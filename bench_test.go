@@ -1,0 +1,296 @@
+package prsim
+
+// This file holds the benchmark harness that regenerates every table and
+// figure of the paper's evaluation section (see EXPERIMENTS.md for the
+// mapping and DESIGN.md §4 for the experiment index). Each BenchmarkFigure*
+// runs the corresponding experiment once per iteration through the quick
+// configuration used by cmd/prsimbench; the micro-benchmarks below measure
+// the individual building blocks (index construction, queries, backward
+// walks) that Table 1's complexity claims are about.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"prsim/internal/core"
+	"prsim/internal/eval"
+	"prsim/internal/gen"
+	"prsim/internal/pagerank"
+	"prsim/internal/walk"
+)
+
+// benchConfig is the configuration the figure benchmarks run with: the quick
+// grids, a single query per point, and reduced sampling so the full suite
+// completes in minutes.
+func benchConfig() eval.Config {
+	cfg := eval.QuickConfig()
+	cfg.Queries = 1
+	cfg.DatasetScale = 0.1
+	cfg.SampleScale = 0.05
+	return cfg
+}
+
+// BenchmarkFigure1DegreeDistribution regenerates Figure 1: the cumulative
+// out-degree distributions of the IT and TW stand-ins.
+func BenchmarkFigure1DegreeDistribution(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eval.RunFigure1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2ErrorVsQueryTime regenerates the measurements behind Figure
+// 2 (AvgError@50 vs query time) on the DB and TW stand-ins.
+func BenchmarkFigure2ErrorVsQueryTime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunTradeoffs(cfg, []string{"DB", "TW"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3PrecisionVsQueryTime regenerates Figure 3 (Precision@50 vs
+// query time); the measurement pass is shared with Figure 2, so this runs the
+// same sweep on a different dataset pair.
+func BenchmarkFigure3PrecisionVsQueryTime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunTradeoffs(cfg, []string{"LJ", "IT"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4ErrorVsIndexSize regenerates Figure 4 (AvgError@50 vs index
+// size) for the index-based methods on the UK stand-in.
+func BenchmarkFigure4ErrorVsIndexSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTradeoffs(cfg, []string{"UK"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == "PRSim" && r.IndexBytes <= 0 {
+				b.Fatalf("PRSim row missing index size: %+v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5ErrorVsPreprocessing regenerates Figure 5 (AvgError@50 vs
+// preprocessing time) for the index-based methods on the DB stand-in.
+func BenchmarkFigure5ErrorVsPreprocessing(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTradeoffs(cfg, []string{"DB"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == "SLING" && r.PrepSeconds <= 0 {
+				b.Fatalf("SLING row missing preprocessing time: %+v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6aQueryTimeVsGamma regenerates Figure 6(a): query time as a
+// function of the power-law exponent γ.
+func BenchmarkFigure6aQueryTimeVsGamma(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure6a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6bScalability regenerates Figure 6(b): PRSim query time as
+// the graph grows (sub-linearity shows as a concave log-log curve).
+func BenchmarkFigure6bScalability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure6b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7aERQueryTime regenerates Figure 7(a): query time on
+// Erdős–Rényi graphs of growing average degree.
+func BenchmarkFigure7aERQueryTime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7bERIndexSize regenerates Figure 7(b): index size on
+// Erdős–Rényi graphs of growing average degree (the same sweep reports both
+// series; this benchmark checks the index-size side).
+func BenchmarkFigure7bERIndexSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFigure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == "PRSim" && r.IndexBytes <= 0 {
+				b.Fatalf("missing index size: %+v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHubCount runs the j0 sweep called out in DESIGN.md: index
+// size vs query time as the number of hub nodes grows (Section 3.3's
+// trade-off knob).
+func BenchmarkAblationHubCount(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunHubSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBackwardWalks compares the simple backward walk (Algorithm
+// 2) against the Variance Bounded Backward Walk (Algorithm 3).
+func BenchmarkAblationBackwardWalks(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunBackwardWalkAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSecondMoment computes the Σπ(w)² hardness measure of every
+// dataset stand-in (Table 1's graph-dependent term).
+func BenchmarkAblationSecondMoment(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunSecondMoments(cfg, []string{"DB", "LJ", "IT", "TW", "UK"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the core building blocks.
+// ---------------------------------------------------------------------------
+
+func benchmarkGraph(b *testing.B, n int, gamma float64) *Graph {
+	b.Helper()
+	g, err := GeneratePowerLawGraph(n, 10, gamma, false, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkIndexBuild measures PRSim preprocessing (Algorithm 1) on a 20k-node
+// power-law graph.
+func BenchmarkIndexBuild(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(g, Options{Epsilon: 0.1, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleSourceQuery measures a PRSim single-source query (Algorithm
+// 4) at the paper's default error target on a 20k-node power-law graph.
+func BenchmarkSingleSourceQuery(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Query(i % g.NumNodes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReversePageRank measures the exact reverse PageRank computation
+// used by preprocessing.
+func BenchmarkReversePageRank(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pagerank.ReversePageRank(g.Internal(), pagerank.Options{C: 0.6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackwardSearch measures one levelwise backward push from the
+// highest reverse-PageRank hub.
+func BenchmarkBackwardSearch(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	pi, err := pagerank.ReversePageRank(g.Internal(), pagerank.Options{C: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub := pagerank.RankNodesByScore(pi)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pagerank.BackwardSearch(g.Internal(), hub, 0.6, 1e-4, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVarianceBoundedBackwardWalk measures Algorithm 3 via the exported
+// ablation entry point (one simple + one bounded run per trial).
+func BenchmarkVarianceBoundedBackwardWalk(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.0)
+	pi, err := pagerank.ReversePageRank(g.Internal(), pagerank.Options{C: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub := pagerank.RankNodesByScore(pi)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.BackwardWalkAblation(g.Internal(), 0.6, hub, 2, hub, 10, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSqrtCWalk measures raw √c-walk sampling throughput.
+func BenchmarkSqrtCWalk(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	w, err := walk.NewWalker(g.Internal(), 0.6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Sample(i % g.NumNodes())
+	}
+}
+
+// BenchmarkPowerLawGeneration measures the synthetic graph generator used by
+// every scalability experiment.
+func BenchmarkPowerLawGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.PowerLaw(gen.PowerLawOptions{N: 20000, AvgDegree: 10, Gamma: 2.5, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

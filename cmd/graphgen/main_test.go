@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestGenerate(t *testing.T) {
+	cases := []struct {
+		kind    string
+		n       int
+		degree  float64
+		gamma   float64
+		m       int
+		ds      string
+		wantErr bool
+	}{
+		{kind: "powerlaw", n: 500, degree: 6, gamma: 2.5},
+		{kind: "er", n: 300, degree: 4},
+		{kind: "ba", n: 200, m: 3},
+		{kind: "dataset", ds: "DB"},
+		{kind: "dataset", ds: "nope", wantErr: true},
+		{kind: "unknown", wantErr: true},
+		{kind: "powerlaw", n: 0, degree: 6, gamma: 2, wantErr: true},
+	}
+	for _, c := range cases {
+		g, err := generate(c.kind, c.n, c.degree, c.gamma, c.m, false, 1, c.ds)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("generate(%q) expected error", c.kind)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("generate(%q): %v", c.kind, err)
+			continue
+		}
+		if g.N() == 0 || g.M() == 0 {
+			t.Errorf("generate(%q) produced an empty graph", c.kind)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Command prsimbench regenerates the tables and figures of the PRSim paper's
+// evaluation section on the synthetic dataset stand-ins. Each experiment
+// prints the series the corresponding figure plots; see EXPERIMENTS.md for the
+// mapping and for paper-vs-measured notes.
+//
+// Usage:
+//
+//	prsimbench -experiment fig2 [-full] [-datasets DB,LJ] [-queries 10]
+//	prsimbench -experiment all
+//
+// Experiments: fig1, fig2, fig3, fig4, fig5, fig6a, fig6b, fig7a, fig7b,
+// hubsweep, backwardwalk, secondmoment, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"prsim/internal/dataset"
+	"prsim/internal/eval"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, all)")
+		full       = flag.Bool("full", false, "use the full (slower) configuration instead of the quick one")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset for fig2-fig5 (default: all five)")
+		queries    = flag.Int("queries", 0, "override the number of queries per measurement")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := eval.QuickConfig()
+	if *full {
+		cfg = eval.FullConfig()
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	cfg.Seed = *seed
+
+	var names []string
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	} else {
+		names = dataset.Names()
+	}
+
+	if err := run(*experiment, cfg, names); err != nil {
+		fmt.Fprintf(os.Stderr, "prsimbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, cfg eval.Config, datasets []string) error {
+	switch strings.ToLower(experiment) {
+	case "fig1":
+		return runFigure1(cfg)
+	case "fig2", "fig3", "fig4", "fig5", "tradeoffs":
+		return runTradeoffs(cfg, datasets)
+	case "fig6a":
+		return runFigure6a(cfg)
+	case "fig6b":
+		return runFigure6b(cfg)
+	case "fig7a", "fig7b", "fig7":
+		return runFigure7(cfg)
+	case "hubsweep":
+		return runHubSweep(cfg)
+	case "backwardwalk":
+		return runBackwardWalk(cfg)
+	case "secondmoment":
+		return runSecondMoment(cfg, datasets)
+	case "all":
+		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment"} {
+			if err := run(exp, cfg, datasets); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func newTable(header ...string) (*tabwriter.Writer, func()) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	return w, func() { w.Flush() }
+}
+
+func runFigure1(cfg eval.Config) error {
+	fmt.Println("=== Figure 1: out-degree distributions of IT and TW ===")
+	rows, gammas, err := eval.RunFigure1(cfg)
+	if err != nil {
+		return err
+	}
+	// Print a compressed view: a handful of quantile points per dataset.
+	byDataset := map[string][]eval.Figure1Row{}
+	for _, r := range rows {
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	w, flush := newTable("dataset", "degree k", "P(out-degree >= k)")
+	defer flush()
+	for _, name := range []string{"IT", "TW"} {
+		ds := byDataset[name]
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Degree < ds[j].Degree })
+		step := len(ds) / 10
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(ds); i += step {
+			fmt.Fprintf(w, "%s\t%d\t%.6f\n", name, ds[i].Degree, ds[i].Fraction)
+		}
+	}
+	for name, gamma := range gammas {
+		fmt.Printf("fitted cumulative out-degree exponent gamma(%s) = %.2f\n", name, gamma)
+	}
+	return nil
+}
+
+func runTradeoffs(cfg eval.Config, datasets []string) error {
+	fmt.Println("=== Figures 2-5: accuracy vs query time / index size / preprocessing ===")
+	rows, err := eval.RunTradeoffs(cfg, datasets)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("dataset", "algorithm", "params", "query time (s)", "AvgError@50", "Precision@50", "index (MB)", "preprocessing (s)")
+	defer flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.4f\t%.4f\t%.3f\t%.2f\t%.3f\n",
+			r.Dataset, r.Algorithm, r.Param, r.QueryTimeSec, r.AvgErrorAt50, r.PrecisionAt50,
+			float64(r.IndexBytes)/(1<<20), r.PrepSeconds)
+	}
+	return nil
+}
+
+func runFigure6a(cfg eval.Config) error {
+	fmt.Println("=== Figure 6(a): query time vs power-law exponent gamma ===")
+	rows, err := eval.RunFigure6a(cfg)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("gamma", "algorithm", "query time (s)")
+	defer flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.1f\t%s\t%.5f\n", r.Gamma, r.Algorithm, r.QueryTimeSec)
+	}
+	return nil
+}
+
+func runFigure6b(cfg eval.Config) error {
+	fmt.Println("=== Figure 6(b): PRSim query time vs graph size (gamma=3, d=10) ===")
+	rows, err := eval.RunFigure6b(cfg)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("n", "query time (s)")
+	defer flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.5f\n", r.N, r.QueryTimeSec)
+	}
+	return nil
+}
+
+func runFigure7(cfg eval.Config) error {
+	fmt.Println("=== Figure 7: Erdos-Renyi graphs, query time (a) and index size (b) vs average degree ===")
+	rows, err := eval.RunFigure7(cfg)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("avg degree", "algorithm", "query time (s)", "index (MB)")
+	defer flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.0f\t%s\t%.5f\t%.2f\n", r.AvgDegree, r.Algorithm, r.QueryTimeSec, float64(r.IndexBytes)/(1<<20))
+	}
+	return nil
+}
+
+func runHubSweep(cfg eval.Config) error {
+	fmt.Println("=== Ablation: hub count j0 vs index size and query time ===")
+	rows, err := eval.RunHubSweep(cfg)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("j0", "index entries", "index (MB)", "preprocessing (s)", "query time (s)")
+	defer flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%.2f\t%.3f\t%.5f\n",
+			r.NumHubs, r.IndexEntries, float64(r.IndexBytes)/(1<<20), r.PrepSeconds, r.QueryTimeSec)
+	}
+	return nil
+}
+
+func runBackwardWalk(cfg eval.Config) error {
+	fmt.Println("=== Ablation: simple vs variance-bounded backward walk ===")
+	rows, err := eval.RunBackwardWalkAblation(cfg)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("algorithm", "mean", "exact", "variance", "max estimate", "cost/run")
+	defer flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.5f\t%.5f\t%.6f\t%.4f\t%.1f\n",
+			r.Algorithm, r.Mean, r.Exact, r.Variance, r.MaxValue, r.CostPerRun)
+	}
+	return nil
+}
+
+func runSecondMoment(cfg eval.Config, datasets []string) error {
+	fmt.Println("=== Hardness measure: reverse-PageRank second moment per dataset ===")
+	rows, err := eval.RunSecondMoments(cfg, datasets)
+	if err != nil {
+		return err
+	}
+	w, flush := newTable("dataset", "sum pi(w)^2", "fitted gamma")
+	defer flush()
+	for _, r := range rows {
+		gamma := "n/a"
+		if r.GammaOK {
+			gamma = fmt.Sprintf("%.2f", r.Gamma)
+		}
+		fmt.Fprintf(w, "%s\t%.6f\t%s\n", r.Dataset, r.SecondMoment, gamma)
+	}
+	return nil
+}

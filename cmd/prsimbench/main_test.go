@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"prsim/internal/eval"
+)
+
+// tinyConfig keeps the CLI plumbing tests fast; the real figure regeneration
+// is exercised by the repository benchmarks.
+func tinyConfig() eval.Config {
+	cfg := eval.QuickConfig()
+	cfg.Queries = 1
+	cfg.DatasetScale = 0.02
+	cfg.SampleScale = 0.02
+	return cfg
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("not-an-experiment", tinyConfig(), nil); err == nil {
+		t.Errorf("unknown experiment should be an error")
+	}
+}
+
+func TestRunFigure1CLI(t *testing.T) {
+	if err := run("fig1", tinyConfig(), nil); err != nil {
+		t.Errorf("run(fig1): %v", err)
+	}
+}
+
+func TestRunSecondMomentCLI(t *testing.T) {
+	if err := run("secondmoment", tinyConfig(), []string{"DB", "TW"}); err != nil {
+		t.Errorf("run(secondmoment): %v", err)
+	}
+}
+
+func TestRunBackwardWalkCLI(t *testing.T) {
+	if err := run("backwardwalk", tinyConfig(), nil); err != nil {
+		t.Errorf("run(backwardwalk): %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+// Command prsimquery builds a PRSim index over a graph and answers
+// single-source SimRank queries from the command line.
+//
+// Usage:
+//
+//	prsimquery -graph graph.txt -source 42 -topk 20
+//	prsimquery -dataset DB -source 7 -epsilon 0.05
+//	prsimquery -generate powerlaw -n 10000 -gamma 2.5 -source 0
+//	prsimquery -graph graph.txt -saveindex idx.prsim        # preprocessing only
+//	prsimquery -graph graph.txt -loadindex idx.prsim -source 3
+//	prsimquery -graph graph.txt -algorithm ProbeSim -source 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prsim"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file to load")
+		dsName    = flag.String("dataset", "", "benchmark dataset stand-in to generate (DB, LJ, IT, TW, UK)")
+		generate  = flag.String("generate", "", "generate a synthetic graph instead: powerlaw or er")
+		n         = flag.Int("n", 10000, "node count for -generate")
+		avgDeg    = flag.Float64("degree", 10, "average degree for -generate")
+		gamma     = flag.Float64("gamma", 2.5, "power-law exponent for -generate powerlaw")
+		directed  = flag.Bool("directed", true, "generate directed edges")
+		epsilon   = flag.Float64("epsilon", 0.1, "additive error target")
+		decay     = flag.Float64("decay", prsim.DefaultDecay, "SimRank decay factor c")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		scale     = flag.Float64("samplescale", 1.0, "Monte Carlo sample scale (1.0 = paper constants)")
+		source    = flag.Int("source", -1, "query node (omit to only build the index)")
+		topK      = flag.Int("topk", 20, "number of results to print")
+		saveIndex = flag.String("saveindex", "", "write the built index to this file")
+		loadIndex = flag.String("loadindex", "", "load a previously saved index instead of building one")
+		algorithm = flag.String("algorithm", "PRSim", "algorithm to use (PRSim, SLING, ProbeSim, READS, TSF, TopSim, MonteCarlo)")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		graphPath: *graphPath, dataset: *dsName, generate: *generate, n: *n, avgDeg: *avgDeg,
+		gamma: *gamma, directed: *directed, epsilon: *epsilon, decay: *decay, seed: *seed,
+		scale: *scale, source: *source, topK: *topK, saveIndex: *saveIndex, loadIndex: *loadIndex,
+		algorithm: *algorithm,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "prsimquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	graphPath, dataset, generate string
+	n                            int
+	avgDeg, gamma                float64
+	directed                     bool
+	epsilon, decay               float64
+	seed                         uint64
+	scale                        float64
+	source, topK                 int
+	saveIndex, loadIndex         string
+	algorithm                    string
+}
+
+func run(cfg config) error {
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges, average degree %.2f\n", g.NumNodes(), g.NumEdges(), g.AverageDegree())
+	if gamma, ok := g.OutDegreeExponent(); ok {
+		fmt.Printf("fitted out-degree power-law exponent gamma = %.2f\n", gamma)
+	}
+
+	if cfg.algorithm != "PRSim" && cfg.algorithm != "prsim" {
+		return runBaseline(cfg, g)
+	}
+
+	var idx *prsim.Index
+	if cfg.loadIndex != "" {
+		idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded index: %d hubs, %.2f MB\n", idx.NumHubs(), float64(idx.SizeBytes())/(1<<20))
+	} else {
+		idx, err = prsim.BuildIndex(g, prsim.Options{
+			Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed, SampleScale: cfg.scale,
+		})
+		if err != nil {
+			return err
+		}
+		st := idx.Stats()
+		fmt.Printf("built index in %.3fs: %d hubs, %d entries, %.2f MB, sum pi^2 = %.6f\n",
+			st.BuildTime, st.NumHubs, st.Entries, float64(idx.SizeBytes())/(1<<20), st.SecondMoment)
+	}
+	if cfg.saveIndex != "" {
+		if err := idx.SaveFile(cfg.saveIndex); err != nil {
+			return err
+		}
+		fmt.Printf("index written to %s\n", cfg.saveIndex)
+	}
+	if cfg.source < 0 {
+		return nil
+	}
+
+	res, err := idx.Query(cfg.source)
+	if err != nil {
+		return err
+	}
+	stats := res.Stats()
+	fmt.Printf("query from node %d took %.4fs (%d walks, %d backward-walk increments, %d index reads)\n",
+		cfg.source, stats.Seconds, stats.Walks, stats.BackwardWalkCost, stats.IndexEntriesRead)
+	printTop(res.TopK(cfg.topK))
+	return nil
+}
+
+func runBaseline(cfg config, g *prsim.Graph) error {
+	algo, err := prsim.NewAlgorithm(cfg.algorithm, g, prsim.BaselineConfig{
+		Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed, SampleScale: cfg.scale,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.source < 0 {
+		fmt.Printf("%s prepared; pass -source to run a query\n", algo.Name())
+		return nil
+	}
+	scores, err := algo.SingleSource(cfg.source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s single-source query from node %d returned %d non-zero scores\n",
+		algo.Name(), cfg.source, len(scores))
+	type kv struct {
+		node  int
+		score float64
+	}
+	var top []kv
+	for v, s := range scores {
+		if v != cfg.source {
+			top = append(top, kv{v, s})
+		}
+	}
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].score > top[i].score {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	if len(top) > cfg.topK {
+		top = top[:cfg.topK]
+	}
+	for rank, e := range top {
+		fmt.Printf("%3d. node %-8d s = %.5f\n", rank+1, e.node, e.score)
+	}
+	return nil
+}
+
+func loadGraph(cfg config) (*prsim.Graph, error) {
+	switch {
+	case cfg.graphPath != "":
+		return prsim.LoadGraphFile(cfg.graphPath)
+	case cfg.dataset != "":
+		return prsim.LoadDataset(cfg.dataset)
+	case cfg.generate == "powerlaw":
+		return prsim.GeneratePowerLawGraph(cfg.n, cfg.avgDeg, cfg.gamma, cfg.directed, cfg.seed)
+	case cfg.generate == "er":
+		return prsim.GenerateERGraph(cfg.n, cfg.avgDeg, cfg.directed, cfg.seed)
+	default:
+		return nil, fmt.Errorf("specify one of -graph, -dataset or -generate")
+	}
+}
+
+func printTop(top []prsim.ScoredNode) {
+	for rank, s := range top {
+		fmt.Printf("%3d. node %-8s s = %.5f\n", rank+1, s.Label, s.Score)
+	}
+}

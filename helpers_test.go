@@ -1,0 +1,8 @@
+package prsim
+
+import "os"
+
+// writeFile is a tiny helper for tests that need an edge list on disk.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

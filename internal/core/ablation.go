@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"prsim/internal/graph"
+	"prsim/internal/pagerank"
+	"prsim/internal/walk"
+)
+
+// BackwardWalkStats summarizes repeated runs of one backward-walk estimator on
+// a single (target, level, probe-node) triple. It is used by the ablation
+// benchmarks that compare Algorithm 2 (simple) with Algorithm 3 (variance
+// bounded).
+type BackwardWalkStats struct {
+	// Mean is the empirical mean of the estimator at the probe node; both
+	// algorithms are unbiased, so it should approach the exact ℓ-hop RPPR.
+	Mean float64
+	// Variance is the empirical variance of the estimator at the probe node.
+	// Lemma 3.5 bounds the variance-bounded walk by the exact value; the
+	// simple walk has no such bound.
+	Variance float64
+	// MaxValue is the largest single estimate observed, a direct view of the
+	// unbounded-estimator problem of Algorithm 2.
+	MaxValue float64
+	// CostPerRun is the average number of estimator increments per run.
+	CostPerRun float64
+	// Exact is the exact ℓ-hop RPPR value at the probe node, for reference.
+	Exact float64
+}
+
+// BackwardWalkAblation runs both backward-walk estimators `trials` times from
+// target node w at the given level and reports their statistics at probeNode.
+// It backs the "variance-bounded vs simple backward walk" ablation called out
+// in DESIGN.md.
+func BackwardWalkAblation(g *graph.Graph, c float64, w, level, probeNode, trials int, seed uint64) (simple, bounded BackwardWalkStats, err error) {
+	if err := g.CheckNode(w); err != nil {
+		return simple, bounded, err
+	}
+	if err := g.CheckNode(probeNode); err != nil {
+		return simple, bounded, err
+	}
+	if c <= 0 || c >= 1 {
+		return simple, bounded, fmt.Errorf("core: decay factor c=%v outside (0,1)", c)
+	}
+	if trials <= 0 {
+		return simple, bounded, fmt.Errorf("core: trials=%d must be positive", trials)
+	}
+	if !g.OutSortedByInDegree() {
+		g.SortOutByInDegree()
+	}
+	exactLevels, err := pagerank.LHopRPPR(g, probeNode, level, pagerank.Options{C: c})
+	if err != nil {
+		return simple, bounded, err
+	}
+	exact := exactLevels[level][w]
+
+	run := func(useBounded bool) BackwardWalkStats {
+		bw := newBackwardWalker(g, c, walk.NewRNG(seed))
+		var sum, sumSq, maxVal float64
+		for i := 0; i < trials; i++ {
+			var est map[int]float64
+			if useBounded {
+				est = bw.VarianceBounded(w, level)
+			} else {
+				est = bw.Simple(w, level)
+			}
+			v := est[probeNode]
+			sum += v
+			sumSq += v * v
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		mean := sum / float64(trials)
+		return BackwardWalkStats{
+			Mean:       mean,
+			Variance:   sumSq/float64(trials) - mean*mean,
+			MaxValue:   maxVal,
+			CostPerRun: float64(bw.Cost()) / float64(trials),
+			Exact:      exact,
+		}
+	}
+	return run(false), run(true), nil
+}

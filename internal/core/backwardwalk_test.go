@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/pagerank"
+	"prsim/internal/walk"
+)
+
+// fixtureGraph is a small graph with a hub (node 2), a cycle and a dangling
+// source; the same shape is used across the core tests.
+func fixtureGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestVarianceBoundedBackwardWalkUnbiased(t *testing.T) {
+	// Average many independent runs of Algorithm 3 and compare with the exact
+	// ℓ-hop RPPR values (Lemma 3.3).
+	g := fixtureGraph()
+	const c = 0.6
+	const trials = 200000
+	const maxLevel = 3
+	for _, w := range []int{0, 2, 3} {
+		sums := make([]map[int]float64, maxLevel+1)
+		for l := range sums {
+			sums[l] = make(map[int]float64)
+		}
+		rng := walk.NewRNG(777)
+		for l := 0; l <= maxLevel; l++ {
+			bw := newBackwardWalker(g, c, rng.Split())
+			for i := 0; i < trials; i++ {
+				for v, p := range bw.VarianceBounded(w, l) {
+					sums[l][v] += p / trials
+				}
+			}
+		}
+		for l := 0; l <= maxLevel; l++ {
+			for v := 0; v < g.N(); v++ {
+				exactLevels, _ := pagerank.LHopRPPR(g, v, l, pagerank.Options{C: c})
+				want := exactLevels[l][w]
+				got := sums[l][v]
+				if math.Abs(got-want) > 0.02 {
+					t.Errorf("w=%d level=%d v=%d: mean estimate %v, exact %v", w, l, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimpleBackwardWalkUnbiased(t *testing.T) {
+	g := fixtureGraph()
+	const c = 0.6
+	const trials = 200000
+	const level = 2
+	w := 2
+	sums := make(map[int]float64)
+	bw := newBackwardWalker(g, c, walk.NewRNG(31337))
+	for i := 0; i < trials; i++ {
+		for v, p := range bw.Simple(w, level) {
+			sums[v] += p / trials
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		exactLevels, _ := pagerank.LHopRPPR(g, v, level, pagerank.Options{C: c})
+		want := exactLevels[level][w]
+		if math.Abs(sums[v]-want) > 0.02 {
+			t.Errorf("v=%d: mean estimate %v, exact %v", v, sums[v], want)
+		}
+	}
+}
+
+func TestBackwardWalkLevelZero(t *testing.T) {
+	g := fixtureGraph()
+	bw := newBackwardWalker(g, 0.6, walk.NewRNG(5))
+	est := bw.VarianceBounded(3, 0)
+	alpha := 1 - math.Sqrt(0.6)
+	if len(est) != 1 || math.Abs(est[3]-alpha) > 1e-12 {
+		t.Errorf("level-0 estimate = %v, want {3: %v}", est, alpha)
+	}
+	est = bw.Simple(3, 0)
+	if len(est) != 1 || math.Abs(est[3]-alpha) > 1e-12 {
+		t.Errorf("simple level-0 estimate = %v, want {3: %v}", est, alpha)
+	}
+}
+
+func TestBackwardWalkCostCounting(t *testing.T) {
+	g := fixtureGraph()
+	bw := newBackwardWalker(g, 0.6, walk.NewRNG(2))
+	if bw.Cost() != 0 {
+		t.Fatalf("fresh walker has non-zero cost")
+	}
+	for i := 0; i < 100; i++ {
+		bw.VarianceBounded(2, 3)
+	}
+	if bw.Cost() == 0 {
+		t.Errorf("cost should be positive after 100 walks from a reachable hub")
+	}
+}
+
+func TestVarianceBoundedSecondMoment(t *testing.T) {
+	// Lemma 3.5: E[π̂_ℓ(v,w)²] <= π_ℓ(v,w). Check empirically on the hub node.
+	g := fixtureGraph()
+	const c = 0.6
+	const trials = 200000
+	const level = 2
+	w := 2
+	sq := make(map[int]float64)
+	bw := newBackwardWalker(g, c, walk.NewRNG(91))
+	for i := 0; i < trials; i++ {
+		for v, p := range bw.VarianceBounded(w, level) {
+			sq[v] += p * p / trials
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		exactLevels, _ := pagerank.LHopRPPR(g, v, level, pagerank.Options{C: c})
+		bound := exactLevels[level][w]
+		// Allow Monte Carlo slack proportional to the bound.
+		if sq[v] > bound+0.02 {
+			t.Errorf("v=%d: E[est²] = %v exceeds bound π_ℓ = %v", v, sq[v], bound)
+		}
+	}
+}
+
+func TestBackwardWalkOnStarGraph(t *testing.T) {
+	// Star into a single sink: w -> x_i -> sink (the worst case discussed
+	// after Lemma 3.4). The variance-bounded walk must still be unbiased.
+	const fan = 20
+	edges := []graph.Edge{}
+	for i := 0; i < fan; i++ {
+		x := 2 + i
+		edges = append(edges, graph.Edge{From: 0, To: x}, graph.Edge{From: x, To: 1})
+	}
+	g := graph.MustFromEdges(fan+2, edges)
+	g.SortOutByInDegree()
+	const c = 0.6
+	const trials = 300000
+	bw := newBackwardWalker(g, c, walk.NewRNG(4242))
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		est := bw.VarianceBounded(0, 2)
+		sum += est[1]
+	}
+	exactLevels, _ := pagerank.LHopRPPR(g, 1, 2, pagerank.Options{C: c})
+	want := exactLevels[2][0]
+	got := sum / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("π̂_2(sink, w): mean %v, exact %v", got, want)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prsim/internal/graph"
+	"prsim/internal/pagerank"
+)
+
+// IndexEntry is one (v, ψ_ℓ(v,w)) pair stored in the hub list L_ℓ(w).
+type IndexEntry struct {
+	Node    int32
+	Reserve float64
+}
+
+// hubList holds, for one hub node, the reserve lists for every level.
+type hubList struct {
+	// Levels[ℓ] lists the (v, ψ_ℓ(v,w)) pairs with ψ_ℓ(v,w) > rmax.
+	Levels [][]IndexEntry
+}
+
+func (h *hubList) entries() int {
+	total := 0
+	for _, lvl := range h.Levels {
+		total += len(lvl)
+	}
+	return total
+}
+
+// Index is the PRSim index: the reverse PageRank vector, the hub set, and the
+// per-hub backward-search reserve lists of Algorithm 1.
+type Index struct {
+	g    *graph.Graph
+	opts Options
+
+	pi       []float64 // reverse PageRank of every node
+	hubOrder []int     // hub nodes, sorted by descending reverse PageRank
+	hubRank  []int     // node -> position in hubOrder, or -1 for non-hubs
+	hubs     []hubList // indexed by hub rank
+
+	stats IndexStats
+}
+
+// IndexStats reports the cost of preprocessing (Figure 5) and the size of the
+// index (Figure 4).
+type IndexStats struct {
+	// NumHubs is the number of hub nodes actually indexed (j0).
+	NumHubs int
+	// Entries is the total number of (v, ℓ, ψ) tuples stored.
+	Entries int
+	// Pushes is the number of backward-push edge relaxations performed.
+	Pushes int
+	// PageRankTime, PushTime and TotalTime break down preprocessing time.
+	PageRankTime time.Duration
+	PushTime     time.Duration
+	TotalTime    time.Duration
+	// SecondMoment is Σ_w π(w)², the graph-hardness measure of Theorem 3.11.
+	SecondMoment float64
+}
+
+// BuildIndex runs Algorithm 1: it sorts every out-adjacency list by head
+// in-degree, computes the reverse PageRank of every node, selects the j0
+// nodes with the largest reverse PageRank as hubs, and runs a levelwise
+// backward search from each hub with residue threshold rmax = (1-√c)²ε/12,
+// storing every reserve above the threshold.
+func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
+	opts, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	start := time.Now()
+	if !g.OutSortedByInDegree() {
+		g.SortOutByInDegree()
+	}
+
+	idx := &Index{g: g, opts: opts}
+	n := g.N()
+
+	prStart := time.Now()
+	pi, err := pagerank.ReversePageRank(g, pagerank.Options{C: opts.C})
+	if err != nil {
+		return nil, fmt.Errorf("core: computing reverse PageRank: %w", err)
+	}
+	idx.pi = pi
+	idx.stats.PageRankTime = time.Since(prStart)
+	idx.stats.SecondMoment = pagerank.SecondMoment(pi)
+
+	j0 := opts.NumHubs
+	if j0 < 0 {
+		j0 = defaultNumHubs(n)
+	}
+	if j0 > n {
+		j0 = n
+	}
+	order := pagerank.RankNodesByScore(pi)
+	idx.hubOrder = order[:j0]
+	idx.hubRank = make([]int, n)
+	for i := range idx.hubRank {
+		idx.hubRank[i] = -1
+	}
+	for rank, w := range idx.hubOrder {
+		idx.hubRank[w] = rank
+	}
+
+	pushStart := time.Now()
+	rmax := opts.rmax()
+	idx.hubs = make([]hubList, j0)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > j0 {
+		workers = j0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// The per-hub backward searches are independent; run them on a small
+	// worker pool. Results land in the rank-indexed slots, so no ordering is
+	// lost. The first error wins.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		pushes   int64
+		next     int64 = -1
+	)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				rank := int(atomic.AddInt64(&next, 1))
+				if rank >= j0 {
+					return
+				}
+				w := idx.hubOrder[rank]
+				res, err := pagerank.BackwardSearch(g, w, opts.C, rmax, opts.MaxLevels)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: backward search from hub %d: %w", w, err)
+					}
+					mu.Unlock()
+					return
+				}
+				atomic.AddInt64(&pushes, int64(res.Pushes))
+				levels := make([][]IndexEntry, len(res.Reserves))
+				for l, lvl := range res.Reserves {
+					for v, psi := range lvl {
+						if psi > rmax {
+							levels[l] = append(levels[l], IndexEntry{Node: int32(v), Reserve: psi})
+						}
+					}
+					sort.Slice(levels[l], func(a, b int) bool { return levels[l][a].Node < levels[l][b].Node })
+				}
+				idx.hubs[rank] = hubList{Levels: levels}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	idx.stats.Pushes = int(pushes)
+	for rank := range idx.hubs {
+		idx.stats.Entries += idx.hubs[rank].entries()
+	}
+	idx.stats.PushTime = time.Since(pushStart)
+	idx.stats.NumHubs = j0
+	idx.stats.TotalTime = time.Since(start)
+	return idx, nil
+}
+
+// Graph returns the indexed graph.
+func (idx *Index) Graph() *graph.Graph { return idx.g }
+
+// Options returns the (validated, default-filled) options used to build the
+// index.
+func (idx *Index) Options() Options { return idx.opts }
+
+// Stats returns preprocessing statistics.
+func (idx *Index) Stats() IndexStats { return idx.stats }
+
+// ReversePageRank returns the reverse PageRank of node w.
+func (idx *Index) ReversePageRank(w int) float64 { return idx.pi[w] }
+
+// ReversePageRankVector returns the full reverse PageRank vector (aliased; do
+// not modify).
+func (idx *Index) ReversePageRankVector() []float64 { return idx.pi }
+
+// SecondMoment returns Σ_w π(w)².
+func (idx *Index) SecondMoment() float64 { return idx.stats.SecondMoment }
+
+// IsHub reports whether node w is one of the j0 indexed hub nodes.
+func (idx *Index) IsHub(w int) bool { return idx.hubRank[w] >= 0 }
+
+// NumHubs returns j0.
+func (idx *Index) NumHubs() int { return len(idx.hubOrder) }
+
+// Hubs returns the hub nodes in descending reverse-PageRank order (aliased).
+func (idx *Index) Hubs() []int { return idx.hubOrder }
+
+// HubEntries returns the stored list L_ℓ(w) for hub w at level ℓ, or nil if w
+// is not a hub or the level holds no entries.
+func (idx *Index) HubEntries(w, level int) []IndexEntry {
+	rank := idx.hubRank[w]
+	if rank < 0 {
+		return nil
+	}
+	levels := idx.hubs[rank].Levels
+	if level < 0 || level >= len(levels) {
+		return nil
+	}
+	return levels[level]
+}
+
+// SizeEntries returns the total number of stored (v, ℓ, ψ) tuples.
+func (idx *Index) SizeEntries() int { return idx.stats.Entries }
+
+// SizeBytes returns an estimate of the serialized index size in bytes: the
+// entry lists plus the reverse PageRank vector and hub bookkeeping.
+func (idx *Index) SizeBytes() int64 {
+	return int64(idx.stats.Entries)*12 + int64(len(idx.pi))*8 + int64(len(idx.hubOrder))*8
+}

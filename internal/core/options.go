@@ -1,0 +1,129 @@
+// Package core implements PRSim, the index-based single-source SimRank
+// algorithm of Wei et al. (SIGMOD 2019). It contains the four algorithms of
+// Section 3 of the paper:
+//
+//   - Algorithm 1: preprocessing — hub selection by reverse PageRank and the
+//     per-hub levelwise backward-search index L_ℓ(w);
+//   - Algorithm 2: the simple Backward Walk (kept for ablation);
+//   - Algorithm 3: the Variance Bounded Backward Walk;
+//   - Algorithm 4: the single-source query combining Monte Carlo estimation
+//     of η(w)·π_ℓ(u,w), index lookups for hub targets, and backward walks for
+//     non-hub targets with a median-of-means estimator.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultDecay is the SimRank decay factor used in the paper's experiments.
+const DefaultDecay = 0.6
+
+// Options configures index construction and querying.
+type Options struct {
+	// C is the SimRank decay factor in (0, 1). Defaults to DefaultDecay.
+	C float64
+	// Epsilon is the target additive error of single-source queries.
+	// Defaults to 0.1.
+	Epsilon float64
+	// Delta is the failure probability. Defaults to 1e-4 (the paper's
+	// default).
+	Delta float64
+	// NumHubs is j0, the number of hub nodes indexed by backward search.
+	// Negative means "choose automatically" (√n, the paper's experimental
+	// setting); zero makes PRSim index-free.
+	NumHubs int
+	// MaxLevels caps the number of walk levels considered anywhere (the decay
+	// makes deep levels negligible). Defaults to 64.
+	MaxLevels int
+	// Seed makes every randomized component deterministic.
+	Seed uint64
+	// SampleScale multiplies the number of Monte Carlo samples used by the
+	// query. 1.0 reproduces the paper's worst-case constants
+	// (d_r = 12/((1-√c)²ε²), f_r = 3·ln(n/δ)); smaller values trade accuracy
+	// for speed and are used by the experiment harness exactly like the
+	// paper's parameter sweeps vary ε. Defaults to 1.0.
+	SampleScale float64
+	// Parallelism is the number of goroutines used for the per-hub backward
+	// searches of Algorithm 1. Zero or negative means GOMAXPROCS. Queries are
+	// single-threaded regardless (they are already sublinear).
+	Parallelism int
+}
+
+// fill validates the options and applies defaults, returning the result.
+func (o Options) fill() (Options, error) {
+	if o.C == 0 {
+		o.C = DefaultDecay
+	}
+	if o.C <= 0 || o.C >= 1 {
+		return o, fmt.Errorf("core: decay factor c=%v outside (0,1)", o.C)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return o, fmt.Errorf("core: epsilon=%v outside (0,1)", o.Epsilon)
+	}
+	if o.Delta == 0 {
+		o.Delta = 1e-4
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return o, fmt.Errorf("core: delta=%v outside (0,1)", o.Delta)
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 64
+	}
+	if o.SampleScale == 0 {
+		o.SampleScale = 1
+	}
+	if o.SampleScale < 0 {
+		return o, fmt.Errorf("core: SampleScale=%v must be positive", o.SampleScale)
+	}
+	return o, nil
+}
+
+// sqrtC returns √c.
+func (o Options) sqrtC() float64 { return math.Sqrt(o.C) }
+
+// alpha returns the termination probability 1-√c.
+func (o Options) alpha() float64 { return 1 - math.Sqrt(o.C) }
+
+// c1 returns the constant c₁ = 12/(1-√c)² of Algorithm 4.
+func (o Options) c1() float64 {
+	a := o.alpha()
+	return 12 / (a * a)
+}
+
+// rmax returns the backward-search residue threshold ε/c₁ = (1-√c)²ε/12 used
+// by Algorithm 1.
+func (o Options) rmax() float64 { return o.Epsilon / o.c1() }
+
+// samplesPerRound returns d_r, the number of √c-walk samples per round.
+func (o Options) samplesPerRound() int {
+	dr := o.c1() / (o.Epsilon * o.Epsilon) * o.SampleScale
+	if dr < 1 {
+		return 1
+	}
+	return int(math.Ceil(dr))
+}
+
+// rounds returns f_r, the number of median-trick rounds for n nodes.
+func (o Options) rounds(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	fr := 3 * math.Log(float64(n)/o.Delta)
+	if fr < 1 {
+		return 1
+	}
+	return int(math.Ceil(fr))
+}
+
+// defaultNumHubs returns the automatic hub count ⌈√n⌉ used by the paper's
+// experiments when NumHubs is negative.
+func defaultNumHubs(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}

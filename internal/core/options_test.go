@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptionsFillDefaults(t *testing.T) {
+	o, err := Options{}.fill()
+	if err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	if o.C != DefaultDecay {
+		t.Errorf("C = %v, want %v", o.C, DefaultDecay)
+	}
+	if o.Epsilon != 0.1 {
+		t.Errorf("Epsilon = %v, want 0.1", o.Epsilon)
+	}
+	if o.Delta != 1e-4 {
+		t.Errorf("Delta = %v, want 1e-4", o.Delta)
+	}
+	if o.MaxLevels != 64 {
+		t.Errorf("MaxLevels = %d, want 64", o.MaxLevels)
+	}
+	if o.SampleScale != 1 {
+		t.Errorf("SampleScale = %v, want 1", o.SampleScale)
+	}
+}
+
+func TestOptionsDerivedConstants(t *testing.T) {
+	o, err := Options{C: 0.6, Epsilon: 0.1, Delta: 0.01}.fill()
+	if err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	alpha := 1 - math.Sqrt(0.6)
+	if math.Abs(o.alpha()-alpha) > 1e-12 {
+		t.Errorf("alpha = %v, want %v", o.alpha(), alpha)
+	}
+	if math.Abs(o.sqrtC()-math.Sqrt(0.6)) > 1e-12 {
+		t.Errorf("sqrtC = %v", o.sqrtC())
+	}
+	wantC1 := 12 / (alpha * alpha)
+	if math.Abs(o.c1()-wantC1) > 1e-9 {
+		t.Errorf("c1 = %v, want %v", o.c1(), wantC1)
+	}
+	if math.Abs(o.rmax()-0.1/wantC1) > 1e-12 {
+		t.Errorf("rmax = %v, want %v", o.rmax(), 0.1/wantC1)
+	}
+	// d_r = c1/eps² and f_r = 3 ln(n/δ), both rounded up.
+	wantDr := int(math.Ceil(wantC1 / 0.01))
+	if o.samplesPerRound() != wantDr {
+		t.Errorf("samplesPerRound = %d, want %d", o.samplesPerRound(), wantDr)
+	}
+	wantFr := int(math.Ceil(3 * math.Log(1000/0.01)))
+	if o.rounds(1000) != wantFr {
+		t.Errorf("rounds(1000) = %d, want %d", o.rounds(1000), wantFr)
+	}
+	if o.rounds(0) < 1 {
+		t.Errorf("rounds must be at least 1")
+	}
+}
+
+func TestOptionsSampleScale(t *testing.T) {
+	full, _ := Options{Epsilon: 0.2}.fill()
+	scaled, _ := Options{Epsilon: 0.2, SampleScale: 0.1}.fill()
+	if scaled.samplesPerRound() >= full.samplesPerRound() {
+		t.Errorf("SampleScale must reduce per-round samples: %d vs %d",
+			scaled.samplesPerRound(), full.samplesPerRound())
+	}
+	if scaled.samplesPerRound() < 1 {
+		t.Errorf("samplesPerRound must be at least 1")
+	}
+	tiny, _ := Options{Epsilon: 0.9, SampleScale: 1e-9}.fill()
+	if tiny.samplesPerRound() != 1 {
+		t.Errorf("degenerate scale should clamp to 1 sample, got %d", tiny.samplesPerRound())
+	}
+}
+
+func TestDefaultNumHubs(t *testing.T) {
+	if defaultNumHubs(0) != 0 {
+		t.Errorf("defaultNumHubs(0) = %d, want 0", defaultNumHubs(0))
+	}
+	if defaultNumHubs(100) != 10 {
+		t.Errorf("defaultNumHubs(100) = %d, want 10", defaultNumHubs(100))
+	}
+	if defaultNumHubs(101) != 11 {
+		t.Errorf("defaultNumHubs(101) = %d, want ceil(sqrt) = 11", defaultNumHubs(101))
+	}
+}
+
+func TestOptionsInvalid(t *testing.T) {
+	invalid := []Options{
+		{C: -0.1},
+		{C: 1.1},
+		{Epsilon: 1.5},
+		{Epsilon: -0.2},
+		{Delta: 1.5},
+		{Delta: -1},
+		{SampleScale: -2},
+	}
+	for i, o := range invalid {
+		if _, err := o.fill(); err == nil {
+			t.Errorf("options %d should be invalid: %+v", i, o)
+		}
+	}
+}

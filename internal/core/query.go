@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"prsim/internal/walk"
+)
+
+// ScoredNode is a node with its estimated SimRank score.
+type ScoredNode struct {
+	Node  int
+	Score float64
+}
+
+// Result holds the outcome of a single-source query.
+type Result struct {
+	// Source is the query node u.
+	Source int
+	// Scores maps node v to the estimate ŝ(u, v); only non-zero estimates are
+	// stored (plus the source itself, whose SimRank is 1 by definition).
+	Scores map[int]float64
+	// Stats reports the work performed by the query.
+	Stats QueryStats
+}
+
+// QueryStats breaks down the cost of one query.
+type QueryStats struct {
+	// Walks is the total number of √c-walks sampled from the source (n_r)
+	// plus the pairs sampled for the last-meeting estimate.
+	Walks int
+	// BackwardWalkCost is the number of estimator increments performed by
+	// Variance Bounded Backward Walks (the C_B term of the analysis).
+	BackwardWalkCost int
+	// IndexEntriesRead is the number of (v, ψ) pairs read from the index (the
+	// C_I term).
+	IndexEntriesRead int
+	// HubHits and NonHubHits count how many sampled walks terminated at hub
+	// and non-hub nodes respectively.
+	HubHits    int
+	NonHubHits int
+	// Time is the wall-clock query time.
+	Time time.Duration
+}
+
+// Score returns ŝ(u, v), which is zero for nodes the query never touched.
+func (r *Result) Score(v int) float64 { return r.Scores[v] }
+
+// TopK returns the k nodes with the highest estimated SimRank, excluding the
+// source itself, ordered by descending score with ties broken by node id.
+func (r *Result) TopK(k int) []ScoredNode {
+	nodes := make([]ScoredNode, 0, len(r.Scores))
+	for v, s := range r.Scores {
+		if v == r.Source {
+			continue
+		}
+		nodes = append(nodes, ScoredNode{Node: v, Score: s})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Score != nodes[j].Score {
+			return nodes[i].Score > nodes[j].Score
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	return nodes[:k]
+}
+
+// AsSlice returns the scores as a dense vector of length n.
+func (r *Result) AsSlice(n int) []float64 {
+	out := make([]float64, n)
+	for v, s := range r.Scores {
+		if v < n {
+			out[v] = s
+		}
+	}
+	return out
+}
+
+// etaPiKey packs a (level, node) pair into one map key.
+type etaPiKey struct {
+	level int32
+	node  int32
+}
+
+// Query runs Algorithm 4: a single-source SimRank query from node u.
+func (idx *Index) Query(u int) (*Result, error) {
+	if err := idx.g.CheckNode(u); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	opts := idx.opts
+	n := idx.g.N()
+
+	dr := opts.samplesPerRound()
+	fr := opts.rounds(n)
+	nr := dr * fr
+	alpha := opts.alpha()
+	alphaSq := alpha * alpha
+	c1 := opts.c1()
+
+	rng := walk.NewRNG(opts.Seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 1))
+	walker, err := walk.NewWalker(idx.g, opts.C, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	bw := newBackwardWalker(idx.g, opts.C, rng.Split())
+
+	stats := QueryStats{}
+	etaPi := make(map[etaPiKey]float64)
+	roundEstimates := make([]map[int]float64, fr)
+
+	for i := 0; i < fr; i++ {
+		roundEstimates[i] = make(map[int]float64)
+		for j := 0; j < dr; j++ {
+			res := walker.Sample(u)
+			stats.Walks++
+			if !res.Terminated {
+				continue
+			}
+			w, level := res.Node, res.Steps
+			if level >= opts.MaxLevels {
+				continue
+			}
+			// Sample the pair of walks from w; the probability they do not
+			// meet is η(w), so the joint event estimates η(w)·π_ℓ(u,w).
+			stats.Walks += 2
+			if walker.PairMeetsFrom(w) {
+				continue
+			}
+			etaPi[etaPiKey{level: int32(level), node: int32(w)}] += 1 / float64(nr)
+
+			if idx.IsHub(w) {
+				stats.HubHits++
+				continue
+			}
+			stats.NonHubHits++
+			// Non-hub target: estimate π̂_ℓ(v, w) by a Variance Bounded
+			// Backward Walk and add it to this round's running mean.
+			est := bw.VarianceBounded(w, level)
+			for v, p := range est {
+				roundEstimates[i][v] += p / (alphaSq * float64(dr))
+			}
+		}
+	}
+	stats.BackwardWalkCost = bw.Cost()
+
+	// sB(u, v) = median over rounds (missing rounds count as zero).
+	scores := make(map[int]float64)
+	if fr > 0 {
+		seen := make(map[int]struct{})
+		for _, round := range roundEstimates {
+			for v := range round {
+				seen[v] = struct{}{}
+			}
+		}
+		vals := make([]float64, fr)
+		for v := range seen {
+			for i, round := range roundEstimates {
+				vals[i] = round[v]
+			}
+			if m := median(vals); m != 0 {
+				scores[v] = m
+			}
+		}
+	}
+
+	// sI(u, v): for every (w, ℓ) with η̂π_ℓ(u,w) > ε/c1 and w a hub, read the
+	// stored reserves L_ℓ(w). Keys are visited in a fixed order so that
+	// floating-point accumulation is reproducible for a fixed seed.
+	threshold := opts.Epsilon / c1
+	etaKeys := make([]etaPiKey, 0, len(etaPi))
+	for key := range etaPi {
+		etaKeys = append(etaKeys, key)
+	}
+	sort.Slice(etaKeys, func(i, j int) bool {
+		if etaKeys[i].node != etaKeys[j].node {
+			return etaKeys[i].node < etaKeys[j].node
+		}
+		return etaKeys[i].level < etaKeys[j].level
+	})
+	for _, key := range etaKeys {
+		ep := etaPi[key]
+		if ep <= threshold {
+			continue
+		}
+		w := int(key.node)
+		if !idx.IsHub(w) {
+			continue
+		}
+		entries := idx.HubEntries(w, int(key.level))
+		for _, e := range entries {
+			scores[int(e.Node)] += ep * e.Reserve / alphaSq
+			stats.IndexEntriesRead++
+		}
+	}
+
+	// SimRank of a node with itself is 1 by definition.
+	scores[u] = 1
+
+	stats.Time = time.Since(start)
+	return &Result{Source: u, Scores: scores, Stats: stats}, nil
+}
+
+// median returns the median of vals. It sorts a copy, leaving vals untouched.
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}

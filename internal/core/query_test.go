@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/powermethod"
+)
+
+func TestQueryMatchesExactSimRank(t *testing.T) {
+	g := fixtureGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	idx, err := BuildIndex(g, Options{C: 0.6, Epsilon: 0.1, Delta: 0.01, NumHubs: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		res, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", u, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			got := res.Score(v)
+			want := exact.At(u, v)
+			if math.Abs(got-want) > 0.1 {
+				t.Errorf("s(%d,%d): PRSim %v, exact %v", u, v, got, want)
+			}
+		}
+		if res.Score(u) != 1 {
+			t.Errorf("s(%d,%d) = %v, want 1", u, u, res.Score(u))
+		}
+	}
+}
+
+func TestQueryMatchesExactOnLargerGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping larger accuracy test in -short mode")
+	}
+	g := largerTestGraph(120, 4, 42)
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	idx, err := BuildIndex(g, Options{C: 0.6, Epsilon: 0.15, Delta: 0.01, NumHubs: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	sources := []int{0, 7, 55, 119}
+	for _, u := range sources {
+		res, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", u, err)
+		}
+		maxErr := 0.0
+		for v := 0; v < g.N(); v++ {
+			diff := math.Abs(res.Score(v) - exact.At(u, v))
+			if diff > maxErr {
+				maxErr = diff
+			}
+		}
+		if maxErr > 0.15 {
+			t.Errorf("source %d: max additive error %v exceeds epsilon", u, maxErr)
+		}
+	}
+}
+
+func TestQueryInvalidSource(t *testing.T) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if _, err := idx.Query(-1); err == nil {
+		t.Errorf("negative source should be an error")
+	}
+	if _, err := idx.Query(g.N()); err == nil {
+		t.Errorf("out-of-range source should be an error")
+	}
+}
+
+func TestQueryDeterministicForSeed(t *testing.T) {
+	g := fixtureGraph()
+	build := func(seed uint64) *Result {
+		idx, err := BuildIndex(g, Options{Epsilon: 0.25, NumHubs: 2, Seed: seed})
+		if err != nil {
+			t.Fatalf("BuildIndex: %v", err)
+		}
+		res, err := idx.Query(1)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		return res
+	}
+	a := build(11)
+	b := build(11)
+	if len(a.Scores) != len(b.Scores) {
+		t.Fatalf("same seed produced different support sizes: %d vs %d", len(a.Scores), len(b.Scores))
+	}
+	for v, s := range a.Scores {
+		if b.Scores[v] != s {
+			t.Errorf("same seed produced different score for node %d: %v vs %v", v, s, b.Scores[v])
+		}
+	}
+}
+
+func TestQueryStatsPopulated(t *testing.T) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, NumHubs: 2, Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	res, err := idx.Query(3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Stats.Walks <= 0 {
+		t.Errorf("stats.Walks = %d, want > 0", res.Stats.Walks)
+	}
+	if res.Stats.Time <= 0 {
+		t.Errorf("stats.Time = %v, want > 0", res.Stats.Time)
+	}
+	if res.Stats.HubHits+res.Stats.NonHubHits <= 0 {
+		t.Errorf("no walk terminations recorded")
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	r := &Result{Source: 0, Scores: map[int]float64{0: 1, 1: 0.3, 2: 0.7, 3: 0.3, 4: 0.05}}
+	top := r.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d items", len(top))
+	}
+	if top[0].Node != 2 {
+		t.Errorf("top[0] = %+v, want node 2", top[0])
+	}
+	// Ties broken by node id: 1 before 3.
+	if top[1].Node != 1 || top[2].Node != 3 {
+		t.Errorf("tie-breaking wrong: %+v", top)
+	}
+	// Source excluded.
+	for _, s := range top {
+		if s.Node == 0 {
+			t.Errorf("TopK must exclude the source")
+		}
+	}
+	// k larger than support.
+	if got := len(r.TopK(100)); got != 4 {
+		t.Errorf("TopK(100) returned %d items, want 4", got)
+	}
+}
+
+func TestAsSlice(t *testing.T) {
+	r := &Result{Source: 1, Scores: map[int]float64{1: 1, 3: 0.25, 9: 0.5}}
+	s := r.AsSlice(5)
+	if len(s) != 5 {
+		t.Fatalf("AsSlice(5) length = %d", len(s))
+	}
+	if s[1] != 1 || s[3] != 0.25 {
+		t.Errorf("AsSlice values wrong: %v", s)
+	}
+	// Node 9 is outside the slice and must be silently dropped.
+	if s[4] != 0 {
+		t.Errorf("unexpected value at index 4: %v", s[4])
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// median must not mutate its input.
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("median mutated its input: %v", in)
+	}
+}
+
+func TestSampleScaleReducesWork(t *testing.T) {
+	g := fixtureGraph()
+	full, err := BuildIndex(g, Options{Epsilon: 0.3, NumHubs: 2, Seed: 1, SampleScale: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	cheap, err := BuildIndex(g, Options{Epsilon: 0.3, NumHubs: 2, Seed: 1, SampleScale: 0.1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	rFull, _ := full.Query(0)
+	rCheap, _ := cheap.Query(0)
+	if rCheap.Stats.Walks >= rFull.Stats.Walks {
+		t.Errorf("SampleScale=0.1 used %d walks, full used %d; expected fewer",
+			rCheap.Stats.Walks, rFull.Stats.Walks)
+	}
+}

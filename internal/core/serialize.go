@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"prsim/internal/graph"
+)
+
+// indexMagic identifies PRSim index files; indexVersion is bumped on format
+// changes.
+const (
+	indexMagic   = 0x5052534d // "PRSM"
+	indexVersion = 1
+)
+
+// Save writes the index (excluding the graph itself) to w in a compact binary
+// format. Load requires the same graph to be supplied again.
+func (idx *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+
+	writeU64(indexMagic)
+	writeU64(indexVersion)
+	writeU64(uint64(idx.g.N()))
+	writeF64(idx.opts.C)
+	writeF64(idx.opts.Epsilon)
+	writeF64(idx.opts.Delta)
+	writeU64(uint64(idx.opts.MaxLevels))
+	writeU64(idx.opts.Seed)
+	writeF64(idx.opts.SampleScale)
+
+	writeU64(uint64(len(idx.pi)))
+	for _, p := range idx.pi {
+		writeF64(p)
+	}
+	writeU64(uint64(len(idx.hubOrder)))
+	for _, h := range idx.hubOrder {
+		writeU64(uint64(h))
+	}
+	for _, hub := range idx.hubs {
+		writeU64(uint64(len(hub.Levels)))
+		for _, lvl := range hub.Levels {
+			writeU64(uint64(len(lvl)))
+			for _, e := range lvl {
+				writeU64(uint64(e.Node))
+				writeF64(e.Reserve)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the index to the given path.
+func (idx *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := idx.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index previously written with Save. The graph must be
+// the same graph (same node count and edges) the index was built from.
+func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readF64 := func() (float64, error) {
+		v, err := readU64()
+		return math.Float64frombits(v), err
+	}
+
+	magic, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", magic)
+	}
+	version, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	}
+	nNodes, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if int(nNodes) != g.N() {
+		return nil, fmt.Errorf("core: index built for %d nodes but graph has %d", nNodes, g.N())
+	}
+
+	idx := &Index{g: g}
+	if idx.opts.C, err = readF64(); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if idx.opts.Epsilon, err = readF64(); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if idx.opts.Delta, err = readF64(); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	maxLevels, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	idx.opts.MaxLevels = int(maxLevels)
+	if idx.opts.Seed, err = readU64(); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if idx.opts.SampleScale, err = readF64(); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+
+	piLen, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if int(piLen) != g.N() {
+		return nil, fmt.Errorf("core: PageRank vector length %d does not match graph", piLen)
+	}
+	idx.pi = make([]float64, piLen)
+	for i := range idx.pi {
+		if idx.pi[i], err = readF64(); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+	}
+
+	numHubs, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	if int(numHubs) > g.N() {
+		return nil, fmt.Errorf("core: hub count %d exceeds node count", numHubs)
+	}
+	idx.hubOrder = make([]int, numHubs)
+	idx.hubRank = make([]int, g.N())
+	for i := range idx.hubRank {
+		idx.hubRank[i] = -1
+	}
+	for i := range idx.hubOrder {
+		h, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		if int(h) >= g.N() {
+			return nil, fmt.Errorf("core: hub node %d out of range", h)
+		}
+		idx.hubOrder[i] = int(h)
+		idx.hubRank[h] = i
+	}
+	idx.hubs = make([]hubList, numHubs)
+	for i := range idx.hubs {
+		numLevels, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		levels := make([][]IndexEntry, numLevels)
+		for l := range levels {
+			count, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("core: loading index: %w", err)
+			}
+			entries := make([]IndexEntry, count)
+			for e := range entries {
+				node, err := readU64()
+				if err != nil {
+					return nil, fmt.Errorf("core: loading index: %w", err)
+				}
+				reserve, err := readF64()
+				if err != nil {
+					return nil, fmt.Errorf("core: loading index: %w", err)
+				}
+				entries[e] = IndexEntry{Node: int32(node), Reserve: reserve}
+			}
+			levels[l] = entries
+		}
+		idx.hubs[i] = hubList{Levels: levels}
+		idx.stats.Entries += idx.hubs[i].entries()
+	}
+	idx.stats.NumHubs = int(numHubs)
+	idx.stats.SecondMoment = 0
+	for _, p := range idx.pi {
+		idx.stats.SecondMoment += p * p
+	}
+	// Re-validate the option combination we loaded.
+	if idx.opts, err = idx.opts.fill(); err != nil {
+		return nil, fmt.Errorf("core: loaded index has invalid options: %w", err)
+	}
+	if !g.OutSortedByInDegree() {
+		g.SortOutByInDegree()
+	}
+	return idx, nil
+}
+
+// LoadIndexFile reads an index from the given path.
+func LoadIndexFile(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadIndex(f, g)
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import "testing"
+
+func TestNamesAndGet(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("expected 5 datasets, got %d", len(names))
+	}
+	for _, name := range names {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("spec name %q != %q", spec.Name, name)
+		}
+		if spec.Nodes <= 0 || spec.AvgDegree <= 0 || spec.Gamma <= 0 {
+			t.Errorf("spec %q has invalid parameters: %+v", name, spec)
+		}
+		if spec.OriginalNodes <= 0 || spec.OriginalEdges <= 0 {
+			t.Errorf("spec %q missing original sizes", name)
+		}
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Errorf("unknown dataset should be an error")
+	}
+}
+
+func TestLoadGeneratesReasonableGraphs(t *testing.T) {
+	for _, name := range Names() {
+		g, spec, err := Load(name)
+		if err != nil {
+			t.Fatalf("Load(%q): %v", name, err)
+		}
+		if g.N() != spec.Nodes {
+			t.Errorf("%s: n=%d, want %d", name, g.N(), spec.Nodes)
+		}
+		avg := g.AverageDegree()
+		if avg < spec.AvgDegree*0.5 || avg > spec.AvgDegree*1.2 {
+			t.Errorf("%s: average degree %v, want near %v", name, avg, spec.AvgDegree)
+		}
+	}
+}
+
+func TestSkewnessOrderingITvsTW(t *testing.T) {
+	// The IT stand-in must have a steeper (larger-exponent, lighter-tailed)
+	// out-degree distribution than the TW stand-in, mirroring Figure 1 and
+	// the observation that IT queries are cheaper than TW queries.
+	it, _, err := Load("IT")
+	if err != nil {
+		t.Fatalf("Load(IT): %v", err)
+	}
+	tw, _, err := Load("TW")
+	if err != nil {
+		t.Fatalf("Load(TW): %v", err)
+	}
+	if it.OutDegreeStats().Max >= tw.OutDegreeStats().Max {
+		t.Errorf("IT max out-degree %d should be below TW max out-degree %d",
+			it.OutDegreeStats().Max, tw.OutDegreeStats().Max)
+	}
+}
+
+func TestScaledCopy(t *testing.T) {
+	spec, _ := Get("DB")
+	half := spec.ScaledCopy(0.5)
+	if half.Nodes != spec.Nodes/2 {
+		t.Errorf("ScaledCopy(0.5) nodes = %d, want %d", half.Nodes, spec.Nodes/2)
+	}
+	tiny := spec.ScaledCopy(0.000001)
+	if tiny.Nodes < 16 {
+		t.Errorf("ScaledCopy floor violated: %d", tiny.Nodes)
+	}
+	// Scaled specs must still generate.
+	g, err := spec.ScaledCopy(0.05).Generate()
+	if err != nil {
+		t.Fatalf("Generate scaled: %v", err)
+	}
+	if g.N() != spec.ScaledCopy(0.05).Nodes {
+		t.Errorf("scaled graph node count mismatch")
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, _, err := Load("XX"); err == nil {
+		t.Errorf("unknown dataset should be an error")
+	}
+}

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"fmt"
+
+	"prsim/internal/core"
+	"prsim/internal/gen"
+	"prsim/internal/pagerank"
+)
+
+// HubSweepRow is one point of the j0 (hub count) ablation: the trade-off
+// between index size, preprocessing time and query time that Section 3.3
+// describes as the purpose of the j0 parameter.
+type HubSweepRow struct {
+	NumHubs      int
+	IndexBytes   int64
+	IndexEntries int
+	PrepSeconds  float64
+	QueryTimeSec float64
+}
+
+// RunHubSweep builds PRSim indexes with increasing hub counts on a power-law
+// graph and measures the resulting index size and query time.
+func RunHubSweep(cfg Config) ([]HubSweepRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 10000
+	hubCounts := []int{0, 10, 100, 1000, 5000}
+	if cfg.Quick {
+		n = 2000
+		hubCounts = []int{0, 10, 100, 500}
+	}
+	g, err := gen.PowerLaw(gen.PowerLawOptions{
+		N: n, AvgDegree: 10, Gamma: 2, Directed: false, Seed: cfg.Seed + 29,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := PickQueryNodes(g, cfg.Queries, cfg.Seed+31)
+	var rows []HubSweepRow
+	for _, j0 := range hubCounts {
+		if j0 > g.N() {
+			continue
+		}
+		pr, err := NewPRSim(g, core.Options{
+			C: cfg.Decay, Epsilon: 0.25, Delta: 1e-3, NumHubs: j0,
+			Seed: cfg.Seed, SampleScale: cfg.SampleScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sec, err := averageQuerySeconds(pr, queries)
+		if err != nil {
+			return nil, err
+		}
+		inner := pr.(interface{ Index() *core.Index }).Index()
+		rows = append(rows, HubSweepRow{
+			NumHubs:      j0,
+			IndexBytes:   pr.IndexSizeBytes(),
+			IndexEntries: inner.SizeEntries(),
+			PrepSeconds:  pr.PreprocessingTime().Seconds(),
+			QueryTimeSec: sec,
+		})
+	}
+	return rows, nil
+}
+
+// BackwardWalkAblationRow reports the simple-vs-variance-bounded backward walk
+// comparison on a skewed graph.
+type BackwardWalkAblationRow struct {
+	Algorithm  string
+	Mean       float64
+	Variance   float64
+	MaxValue   float64
+	CostPerRun float64
+	Exact      float64
+}
+
+// RunBackwardWalkAblation compares Algorithm 2 and Algorithm 3 on the highest
+// reverse-PageRank node of a power-law graph.
+func RunBackwardWalkAblation(cfg Config) ([]BackwardWalkAblationRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 5000
+	trials := 20000
+	if cfg.Quick {
+		n = 1000
+		trials = 5000
+	}
+	g, err := gen.PowerLaw(gen.PowerLawOptions{
+		N: n, AvgDegree: 10, Gamma: 1.8, Directed: false, Seed: cfg.Seed + 37,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pi, err := pagerank.ReversePageRank(g, pagerank.Options{C: cfg.Decay})
+	if err != nil {
+		return nil, err
+	}
+	order := pagerank.RankNodesByScore(pi)
+	target := order[0]
+	// Probe the most likely level-2 destination of a walk ending at the hub:
+	// any out-neighbor of an out-neighbor works; fall back to the hub itself.
+	probe := target
+	if outs := g.OutNeighbors(target); len(outs) > 0 {
+		probe = int(outs[len(outs)-1])
+		if deeper := g.OutNeighbors(probe); len(deeper) > 0 {
+			probe = int(deeper[len(deeper)-1])
+		}
+	}
+	simple, bounded, err := core.BackwardWalkAblation(g, cfg.Decay, target, 2, probe, trials, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	toRow := func(name string, s core.BackwardWalkStats) BackwardWalkAblationRow {
+		return BackwardWalkAblationRow{
+			Algorithm: name, Mean: s.Mean, Variance: s.Variance,
+			MaxValue: s.MaxValue, CostPerRun: s.CostPerRun, Exact: s.Exact,
+		}
+	}
+	return []BackwardWalkAblationRow{
+		toRow("SimpleBackwardWalk", simple),
+		toRow("VarianceBoundedBackwardWalk", bounded),
+	}, nil
+}
+
+// SecondMomentRow reports the Σπ(w)² hardness measure for a dataset, the
+// quantity Theorem 3.11 ties to PRSim's query cost.
+type SecondMomentRow struct {
+	Dataset      string
+	SecondMoment float64
+	Gamma        float64
+	GammaOK      bool
+}
+
+// RunSecondMoments computes the reverse-PageRank second moment of every
+// benchmark dataset stand-in, providing the quantitative hardness measure the
+// paper proposes for "locally dense" vs "locally sparse" graphs.
+func RunSecondMoments(cfg Config, datasets []string) ([]SecondMomentRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var rows []SecondMomentRow
+	for _, name := range datasets {
+		g, _, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		pi, err := pagerank.ReversePageRank(g, pagerank.Options{C: cfg.Decay})
+		if err != nil {
+			return nil, err
+		}
+		gamma, ok := g.OutPowerLawExponent()
+		rows = append(rows, SecondMomentRow{
+			Dataset:      name,
+			SecondMoment: pagerank.SecondMoment(pi),
+			Gamma:        gamma,
+			GammaOK:      ok,
+		})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("eval: no datasets")
+	}
+	return rows, nil
+}

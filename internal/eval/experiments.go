@@ -1,0 +1,505 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"prsim/internal/core"
+	"prsim/internal/dataset"
+	"prsim/internal/gen"
+	"prsim/internal/graph"
+	"prsim/internal/probesim"
+	"prsim/internal/reads"
+	"prsim/internal/sling"
+	"prsim/internal/topsim"
+	"prsim/internal/tsf"
+)
+
+// Config controls how much work the experiment runners perform. The zero
+// value is invalid; use QuickConfig or FullConfig.
+type Config struct {
+	// Quick selects reduced parameter grids, scaled-down datasets and scaled
+	// sample counts so every figure regenerates in seconds. Full mode uses
+	// the paper's parameter grids on the full stand-in datasets.
+	Quick bool
+	// Queries is the number of single-source queries averaged per point (the
+	// paper uses 100).
+	Queries int
+	// K is the pooling depth (the paper uses 50).
+	K int
+	// DatasetScale scales the stand-in dataset sizes.
+	DatasetScale float64
+	// SampleScale scales the Monte Carlo sample counts of PRSim and ProbeSim
+	// relative to their worst-case theoretical values.
+	SampleScale float64
+	// Decay is the SimRank decay factor c.
+	Decay float64
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// QuickConfig returns a configuration that regenerates the shape of every
+// figure in seconds on a laptop.
+func QuickConfig() Config {
+	return Config{
+		Quick:        true,
+		Queries:      3,
+		K:            50,
+		DatasetScale: 0.25,
+		SampleScale:  0.05,
+		Decay:        0.6,
+		Seed:         1,
+	}
+}
+
+// FullConfig returns the configuration matching the paper's experimental
+// methodology on the full-size stand-in datasets (still laptop-scale, but
+// slower: expect minutes per figure).
+func FullConfig() Config {
+	return Config{
+		Quick:        false,
+		Queries:      20,
+		K:            50,
+		DatasetScale: 1,
+		SampleScale:  0.25,
+		Decay:        0.6,
+		Seed:         1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Queries <= 0 {
+		return fmt.Errorf("eval: Queries=%d must be positive", c.Queries)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("eval: K=%d must be positive", c.K)
+	}
+	if c.DatasetScale <= 0 {
+		return fmt.Errorf("eval: DatasetScale=%v must be positive", c.DatasetScale)
+	}
+	if c.SampleScale <= 0 {
+		return fmt.Errorf("eval: SampleScale=%v must be positive", c.SampleScale)
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		return fmt.Errorf("eval: Decay=%v outside (0,1)", c.Decay)
+	}
+	return nil
+}
+
+func (c Config) loadDataset(name string) (*graph.Graph, dataset.Spec, error) {
+	spec, err := dataset.Get(name)
+	if err != nil {
+		return nil, dataset.Spec{}, err
+	}
+	spec = spec.ScaledCopy(c.DatasetScale)
+	g, err := spec.Generate()
+	if err != nil {
+		return nil, dataset.Spec{}, err
+	}
+	return g, spec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: out-degree distributions of IT and TW.
+// ---------------------------------------------------------------------------
+
+// Figure1Row is one point of the cumulative out-degree distribution Po(k).
+type Figure1Row struct {
+	Dataset  string
+	Degree   int
+	Fraction float64
+}
+
+// RunFigure1 regenerates Figure 1: the cumulative out-degree distributions of
+// the IT and TW stand-ins, together with their fitted power-law exponents.
+func RunFigure1(cfg Config) ([]Figure1Row, map[string]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	var rows []Figure1Row
+	gammas := make(map[string]float64)
+	for _, name := range []string{"IT", "TW"} {
+		g, _, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		ks, frac := g.OutDegreeCCDF()
+		for i := range ks {
+			rows = append(rows, Figure1Row{Dataset: name, Degree: ks[i], Fraction: frac[i]})
+		}
+		if gamma, ok := g.OutPowerLawExponent(); ok {
+			gammas[name] = gamma
+		}
+	}
+	return rows, gammas, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2-5: accuracy / query time / index size / preprocessing tradeoffs.
+// ---------------------------------------------------------------------------
+
+// TradeoffRow is one (dataset, algorithm, parameter setting) measurement. One
+// row carries everything needed for Figures 2 (AvgError vs query time), 3
+// (Precision vs query time), 4 (AvgError vs index size) and 5 (AvgError vs
+// preprocessing time).
+type TradeoffRow struct {
+	Dataset       string
+	Algorithm     string
+	Param         string
+	QueryTimeSec  float64
+	AvgErrorAt50  float64
+	PrecisionAt50 float64
+	IndexBytes    int64
+	PrepSeconds   float64
+}
+
+// algoSetup couples a constructed algorithm with the parameter label that
+// produced it.
+type algoSetup struct {
+	algo  Algorithm
+	param string
+}
+
+// buildSweep constructs every (algorithm, parameter) combination evaluated on
+// one dataset, following the parameter grids of Section 5.2 (reduced in quick
+// mode).
+func (c Config) buildSweep(g *graph.Graph) ([]algoSetup, error) {
+	var setups []algoSetup
+
+	prsimEps := []float64{0.5, 0.1, 0.05}
+	probesimEps := []float64{0.5, 0.1, 0.05}
+	// SLING stores only hitting probabilities above ε_a, so very coarse values
+	// leave its index empty; its grid therefore starts lower than the others,
+	// matching the paper's observation that SLING needs small ε_a to be useful.
+	slingEps := []float64{0.1, 0.05, 0.01}
+	readsParams := [][2]int{{10, 2}, {100, 10}, {500, 10}}
+	tsfParams := [][2]int{{10, 2}, {100, 20}, {300, 40}}
+	topsimParams := [][2]int{{1, 10}, {3, 100}}
+	if c.Quick {
+		prsimEps = []float64{0.5, 0.25}
+		probesimEps = []float64{0.5, 0.25}
+		slingEps = []float64{0.1, 0.05}
+		readsParams = [][2]int{{10, 2}, {100, 10}}
+		tsfParams = [][2]int{{10, 2}, {100, 20}}
+		topsimParams = [][2]int{{1, 10}, {3, 100}}
+	}
+
+	for _, eps := range prsimEps {
+		a, err := NewPRSim(g, core.Options{
+			C: c.Decay, Epsilon: eps, Delta: 1e-4, NumHubs: -1,
+			Seed: c.Seed, SampleScale: c.SampleScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, algoSetup{algo: a, param: fmt.Sprintf("eps=%g", eps)})
+	}
+	for _, eps := range probesimEps {
+		a, err := NewProbeSim(g, probesim.Options{
+			C: c.Decay, EpsilonA: eps, Delta: 1e-4, Seed: c.Seed, SampleScale: c.SampleScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, algoSetup{algo: a, param: fmt.Sprintf("eps=%g", eps)})
+	}
+	maxEta := 0
+	if c.Quick {
+		maxEta = 2000
+	}
+	for _, eps := range slingEps {
+		a, err := NewSLING(g, sling.Options{
+			C: c.Decay, EpsilonA: eps, Delta: 1e-4, Seed: c.Seed, MaxEtaSamples: maxEta,
+		})
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, algoSetup{algo: a, param: fmt.Sprintf("eps=%g", eps)})
+	}
+	for _, rt := range readsParams {
+		a, err := NewREADS(g, reads.Options{C: c.Decay, R: rt[0], T: rt[1], Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, algoSetup{algo: a, param: fmt.Sprintf("r=%d,t=%d", rt[0], rt[1])})
+	}
+	for _, rr := range tsfParams {
+		a, err := NewTSF(g, tsf.Options{C: c.Decay, Rg: rr[0], Rq: rr[1], Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, algoSetup{algo: a, param: fmt.Sprintf("Rg=%d,Rq=%d", rr[0], rr[1])})
+	}
+	for _, th := range topsimParams {
+		a, err := NewTopSim(g, topsim.Options{C: c.Decay, T: th[0], InvH: th[1]})
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, algoSetup{algo: a, param: fmt.Sprintf("T=%d,1/h=%d", th[0], th[1])})
+	}
+	return setups, nil
+}
+
+// RunTradeoffs regenerates the measurements behind Figures 2-5 for the given
+// datasets (all five in the paper).
+func RunTradeoffs(cfg Config, datasets []string) ([]TradeoffRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(datasets) == 0 {
+		datasets = dataset.Names()
+	}
+	var rows []TradeoffRow
+	for _, name := range datasets {
+		g, _, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		setups, err := cfg.buildSweep(g)
+		if err != nil {
+			return nil, err
+		}
+		gt, err := NewGroundTruth(g, cfg.Decay, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Quick {
+			// The quick configuration relaxes the Monte Carlo oracle so the
+			// whole sweep finishes in seconds; the evaluated algorithms' errors
+			// at the quick parameter grid are an order of magnitude larger, so
+			// the figure shapes are unaffected.
+			gt.Eps = 0.03
+			gt.Delta = 0.05
+		}
+		queries := PickQueryNodes(g, cfg.Queries, cfg.Seed+7)
+		algos := make([]Algorithm, len(setups))
+		for i, s := range setups {
+			algos[i] = s.algo
+		}
+		metrics, err := EvaluateMany(gt, algos, queries, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range setups {
+			row := TradeoffRow{
+				Dataset:       name,
+				Algorithm:     s.algo.Name(),
+				Param:         s.param,
+				QueryTimeSec:  metrics[i].QueryTime.Seconds(),
+				AvgErrorAt50:  metrics[i].AvgErrorAtK,
+				PrecisionAt50: metrics[i].PrecisionAtK,
+			}
+			if ix, ok := s.algo.(Indexed); ok {
+				row.IndexBytes = ix.IndexSizeBytes()
+				row.PrepSeconds = ix.PreprocessingTime().Seconds()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: query time vs power-law exponent and vs graph size.
+// ---------------------------------------------------------------------------
+
+// Figure6aRow is one (gamma, algorithm) query-time measurement.
+type Figure6aRow struct {
+	Gamma        float64
+	Algorithm    string
+	QueryTimeSec float64
+}
+
+// RunFigure6a regenerates Figure 6(a): average query time on power-law graphs
+// with varying out-degree exponent γ and fixed n, d̄, and ε = 0.25.
+func RunFigure6a(cfg Config) ([]Figure6aRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gammas := []float64{1.2, 1.5, 2, 3, 4, 6, 9}
+	n := 20000
+	queryCount := cfg.Queries
+	if cfg.Quick {
+		gammas = []float64{1.5, 2, 3, 5, 8}
+		n = 8000
+		// A single query per point is too noisy to show the 1/γ trend; use a
+		// handful even in quick mode.
+		if queryCount < 5 {
+			queryCount = 5
+		}
+	}
+	var rows []Figure6aRow
+	for _, gamma := range gammas {
+		g, err := gen.PowerLaw(gen.PowerLawOptions{
+			N: n, AvgDegree: 10, Gamma: gamma, Directed: false, Seed: cfg.Seed + uint64(gamma*10),
+		})
+		if err != nil {
+			return nil, err
+		}
+		algos, err := cfg.fixedParameterAlgos(g)
+		if err != nil {
+			return nil, err
+		}
+		queries := PickQueryNodes(g, queryCount, cfg.Seed+11)
+		for _, a := range algos {
+			sec, err := averageQuerySeconds(a, queries)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure6aRow{Gamma: gamma, Algorithm: a.Name(), QueryTimeSec: sec})
+		}
+	}
+	return rows, nil
+}
+
+// fixedParameterAlgos builds the fixed-parameter algorithm set used by the
+// synthetic experiments of Section 5.3 (ε = 0.25 for PRSim and ProbeSim,
+// default index parameters for the rest). TopSim and SLING are included only
+// in full mode to keep the quick sweep fast.
+func (c Config) fixedParameterAlgos(g *graph.Graph) ([]Algorithm, error) {
+	var algos []Algorithm
+	pr, err := NewPRSim(g, core.Options{
+		C: c.Decay, Epsilon: 0.25, Delta: 1e-3, NumHubs: -1, Seed: c.Seed, SampleScale: c.SampleScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	algos = append(algos, pr)
+	ps, err := NewProbeSim(g, probesim.Options{
+		C: c.Decay, EpsilonA: 0.25, Delta: 1e-3, Seed: c.Seed, SampleScale: c.SampleScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	algos = append(algos, ps)
+	rd, err := NewREADS(g, reads.Options{C: c.Decay, R: 100, T: 10, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	algos = append(algos, rd)
+	ts, err := NewTSF(g, tsf.Options{C: c.Decay, Rg: 100, Rq: 20, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	algos = append(algos, ts)
+	if !c.Quick {
+		sl, err := NewSLING(g, sling.Options{C: c.Decay, EpsilonA: 0.25, Seed: c.Seed, MaxEtaSamples: 5000})
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, sl)
+		tp, err := NewTopSim(g, topsim.Options{C: c.Decay})
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, tp)
+	}
+	return algos, nil
+}
+
+// Figure6bRow is one (n, query time) scalability measurement for PRSim.
+type Figure6bRow struct {
+	N            int
+	QueryTimeSec float64
+}
+
+// RunFigure6b regenerates Figure 6(b): PRSim query time on power-law graphs of
+// increasing size with γ = 3 and d̄ = 10. Sub-linearity shows up as a concave
+// curve in log-log space.
+func RunFigure6b(cfg Config) ([]Figure6bRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sizes := []int{1000, 3000, 10000, 30000, 100000}
+	if cfg.Quick {
+		sizes = []int{500, 1500, 5000, 15000}
+	}
+	var rows []Figure6bRow
+	for _, n := range sizes {
+		g, err := gen.PowerLaw(gen.PowerLawOptions{
+			N: n, AvgDegree: 10, Gamma: 3, Directed: false, Seed: cfg.Seed + uint64(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pr, err := NewPRSim(g, core.Options{
+			C: cfg.Decay, Epsilon: 0.25, Delta: 1e-3, NumHubs: -1, Seed: cfg.Seed, SampleScale: cfg.SampleScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		queries := PickQueryNodes(g, cfg.Queries, cfg.Seed+13)
+		sec, err := averageQuerySeconds(pr, queries)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure6bRow{N: n, QueryTimeSec: sec})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: Erdős–Rényi graphs with growing average degree.
+// ---------------------------------------------------------------------------
+
+// Figure7Row is one (average degree, algorithm) measurement of query time and
+// index size on an ER graph.
+type Figure7Row struct {
+	AvgDegree    float64
+	Algorithm    string
+	QueryTimeSec float64
+	IndexBytes   int64
+}
+
+// RunFigure7 regenerates Figures 7(a) and 7(b): query time and index size on
+// Erdős–Rényi graphs as the average degree grows.
+func RunFigure7(cfg Config) ([]Figure7Row, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 10000
+	degrees := []float64{5, 10, 50, 100, 500, 1000}
+	if cfg.Quick {
+		n = 2000
+		degrees = []float64{5, 10, 50, 200}
+	}
+	var rows []Figure7Row
+	for _, d := range degrees {
+		g, err := gen.ErdosRenyi(gen.EROptions{N: n, AvgDegree: d, Directed: true, Seed: cfg.Seed + uint64(d)})
+		if err != nil {
+			return nil, err
+		}
+		algos, err := cfg.fixedParameterAlgos(g)
+		if err != nil {
+			return nil, err
+		}
+		queries := PickQueryNodes(g, cfg.Queries, cfg.Seed+17)
+		for _, a := range algos {
+			sec, err := averageQuerySeconds(a, queries)
+			if err != nil {
+				return nil, err
+			}
+			row := Figure7Row{AvgDegree: d, Algorithm: a.Name(), QueryTimeSec: sec}
+			if ix, ok := a.(Indexed); ok {
+				row.IndexBytes = ix.IndexSizeBytes()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// averageQuerySeconds runs the algorithm on every query node and returns the
+// mean wall-clock seconds per query.
+func averageQuerySeconds(a Algorithm, queries []int) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: no query nodes")
+	}
+	start := time.Now()
+	for _, u := range queries {
+		if _, err := a.SingleSource(u); err != nil {
+			return 0, fmt.Errorf("eval: %s query on %d: %w", a.Name(), u, err)
+		}
+	}
+	return time.Since(start).Seconds() / float64(len(queries)), nil
+}

@@ -1,0 +1,250 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"prsim/internal/montecarlo"
+	"prsim/internal/probesim"
+	"prsim/internal/reads"
+	"prsim/internal/sling"
+	"prsim/internal/topsim"
+	"prsim/internal/tsf"
+)
+
+// tinyConfig keeps the experiment-runner tests fast: the goal here is to
+// exercise the plumbing, not to reproduce the figures (the benchmarks do
+// that).
+func tinyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Queries = 1
+	cfg.DatasetScale = 0.02
+	cfg.SampleScale = 0.02
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Queries: 1, K: 0, DatasetScale: 1, SampleScale: 1, Decay: 0.6},
+		{Queries: 1, K: 1, DatasetScale: 0, SampleScale: 1, Decay: 0.6},
+		{Queries: 1, K: 1, DatasetScale: 1, SampleScale: 0, Decay: 0.6},
+		{Queries: 1, K: 1, DatasetScale: 1, SampleScale: 1, Decay: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, cfg)
+		}
+	}
+	if err := QuickConfig().validate(); err != nil {
+		t.Errorf("QuickConfig invalid: %v", err)
+	}
+	if err := FullConfig().validate(); err != nil {
+		t.Errorf("FullConfig invalid: %v", err)
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	rows, gammas, err := RunFigure1(tinyConfig())
+	if err != nil {
+		t.Fatalf("RunFigure1: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no rows returned")
+	}
+	haveIT, haveTW := false, false
+	for _, r := range rows {
+		switch r.Dataset {
+		case "IT":
+			haveIT = true
+		case "TW":
+			haveTW = true
+		default:
+			t.Errorf("unexpected dataset %q", r.Dataset)
+		}
+		if r.Fraction < 0 || r.Fraction > 1 {
+			t.Errorf("fraction %v out of range", r.Fraction)
+		}
+	}
+	if !haveIT || !haveTW {
+		t.Errorf("rows missing a dataset: IT=%v TW=%v", haveIT, haveTW)
+	}
+	_ = gammas // gamma fits may be unavailable at tiny scale; presence is enough
+}
+
+func TestRunTradeoffsSingleDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping tradeoff runner in -short mode")
+	}
+	cfg := tinyConfig()
+	rows, err := RunTradeoffs(cfg, []string{"DB"})
+	if err != nil {
+		t.Fatalf("RunTradeoffs: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no rows returned")
+	}
+	seenAlgos := map[string]bool{}
+	for _, r := range rows {
+		if r.Dataset != "DB" {
+			t.Errorf("unexpected dataset %q", r.Dataset)
+		}
+		seenAlgos[r.Algorithm] = true
+		if r.QueryTimeSec <= 0 {
+			t.Errorf("%s %s: non-positive query time", r.Algorithm, r.Param)
+		}
+		if r.AvgErrorAt50 < 0 || r.PrecisionAt50 < 0 || r.PrecisionAt50 > 1 {
+			t.Errorf("%s %s: metrics out of range: %+v", r.Algorithm, r.Param, r)
+		}
+	}
+	for _, want := range []string{"PRSim", "ProbeSim", "SLING", "READS", "TSF", "TopSim"} {
+		if !seenAlgos[want] {
+			t.Errorf("algorithm %s missing from sweep", want)
+		}
+	}
+}
+
+func TestRunFigure6b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping scalability runner in -short mode")
+	}
+	cfg := tinyConfig()
+	rows, err := RunFigure6b(cfg)
+	if err != nil {
+		t.Fatalf("RunFigure6b: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("expected at least 2 sizes, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].N <= rows[i-1].N {
+			t.Errorf("sizes not increasing: %+v", rows)
+		}
+	}
+}
+
+func TestRunSecondMoments(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := RunSecondMoments(cfg, []string{"IT", "TW"})
+	if err != nil {
+		t.Fatalf("RunSecondMoments: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	byName := map[string]SecondMomentRow{}
+	for _, r := range rows {
+		if r.SecondMoment <= 0 || r.SecondMoment > 1 {
+			t.Errorf("%s: second moment %v out of range", r.Dataset, r.SecondMoment)
+		}
+		byName[r.Dataset] = r
+	}
+	// TW (heavier tail) must be at least as hard as IT by the paper's
+	// hardness measure.
+	if byName["TW"].SecondMoment < byName["IT"].SecondMoment {
+		t.Errorf("expected Σπ² of TW (%v) >= IT (%v)",
+			byName["TW"].SecondMoment, byName["IT"].SecondMoment)
+	}
+	if _, err := RunSecondMoments(cfg, nil); err == nil {
+		t.Errorf("empty dataset list should be an error")
+	}
+}
+
+func TestRunBackwardWalkAblation(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := RunBackwardWalkAblation(cfg)
+	if err != nil {
+		t.Fatalf("RunBackwardWalkAblation: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CostPerRun < 0 || r.Variance < -1e-9 {
+			t.Errorf("row has invalid statistics: %+v", r)
+		}
+	}
+}
+
+func TestRunHubSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping hub sweep in -short mode")
+	}
+	cfg := tinyConfig()
+	rows, err := RunHubSweep(cfg)
+	if err != nil {
+		t.Fatalf("RunHubSweep: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("expected at least 2 rows, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NumHubs <= rows[i-1].NumHubs {
+			t.Errorf("hub counts not increasing: %+v", rows)
+		}
+		if rows[i].IndexEntries < rows[i-1].IndexEntries {
+			t.Errorf("more hubs must not shrink the index: %+v", rows)
+		}
+	}
+	if rows[0].NumHubs != 0 || rows[0].IndexEntries != 0 {
+		t.Errorf("first row should be the index-free configuration: %+v", rows[0])
+	}
+}
+
+func TestAdaptersReportNames(t *testing.T) {
+	g := smallGraph()
+	sl, err := NewSLING(g, sling.Options{EpsilonA: 0.3, MaxEtaSamples: 50})
+	if err != nil {
+		t.Fatalf("NewSLING: %v", err)
+	}
+	rd, err := NewREADS(g, reads.Options{R: 5, T: 3})
+	if err != nil {
+		t.Fatalf("NewREADS: %v", err)
+	}
+	ts, err := NewTSF(g, tsf.Options{Rg: 5, Rq: 2})
+	if err != nil {
+		t.Fatalf("NewTSF: %v", err)
+	}
+	ps, err := NewProbeSim(g, probesim.Options{EpsilonA: 0.4})
+	if err != nil {
+		t.Fatalf("NewProbeSim: %v", err)
+	}
+	tp, err := NewTopSim(g, topsim.Options{})
+	if err != nil {
+		t.Fatalf("NewTopSim: %v", err)
+	}
+	mc, err := NewMonteCarlo(g, 0.6, 100, 1)
+	if err != nil {
+		t.Fatalf("NewMonteCarlo: %v", err)
+	}
+	names := map[string]Algorithm{
+		"SLING": sl, "READS": rd, "TSF": ts, "ProbeSim": ps, "TopSim": tp, "MonteCarlo": mc,
+	}
+	for want, a := range names {
+		if a.Name() != want {
+			t.Errorf("Name() = %q, want %q", a.Name(), want)
+		}
+		scores, err := a.SingleSource(0)
+		if err != nil {
+			t.Errorf("%s SingleSource: %v", want, err)
+			continue
+		}
+		if scores[0] != 1 {
+			t.Errorf("%s: s(u,u) = %v, want 1", want, scores[0])
+		}
+	}
+	for _, ix := range []Indexed{sl, rd, ts} {
+		if ix.IndexSizeBytes() <= 0 {
+			t.Errorf("%s: IndexSizeBytes = %d", ix.Name(), ix.IndexSizeBytes())
+		}
+		if ix.PreprocessingTime() <= time.Duration(0) {
+			t.Errorf("%s: PreprocessingTime = %v", ix.Name(), ix.PreprocessingTime())
+		}
+	}
+	if _, err := NewMonteCarlo(g, 0.6, 0, 1); err == nil {
+		t.Errorf("MonteCarlo with zero samples should be an error")
+	}
+	if _, err := montecarlo.New(g, 0.6, 1); err != nil {
+		t.Errorf("montecarlo.New: %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prsim/internal/graph"
+	"prsim/internal/montecarlo"
+	"prsim/internal/powermethod"
+)
+
+// TopKFromScores returns the k highest-scoring nodes (excluding the source),
+// breaking ties by node id for determinism.
+func TopKFromScores(scores map[int]float64, k, source int) []int {
+	type kv struct {
+		node  int
+		score float64
+	}
+	entries := make([]kv, 0, len(scores))
+	for v, s := range scores {
+		if v == source {
+			continue
+		}
+		entries = append(entries, kv{node: v, score: s})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score > entries[j].score
+		}
+		return entries[i].node < entries[j].node
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = entries[i].node
+	}
+	return out
+}
+
+// Pool merges the top-k nodes returned by each algorithm into a deduplicated
+// candidate pool, following the pooling methodology of Section 5.1.
+func Pool(k, source int, results []map[int]float64) []int {
+	seen := make(map[int]struct{})
+	var pool []int
+	for _, scores := range results {
+		for _, v := range TopKFromScores(scores, k, source) {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			pool = append(pool, v)
+		}
+	}
+	sort.Ints(pool)
+	return pool
+}
+
+// GroundTruth supplies reference SimRank values for pooled candidates. Small
+// graphs use the exact power method; larger graphs fall back to the
+// high-precision Monte Carlo oracle exactly as the paper does.
+type GroundTruth struct {
+	g     *graph.Graph
+	c     float64
+	exact *powermethod.Matrix
+	mc    *montecarlo.Estimator
+	// Eps and Delta control the Monte Carlo oracle's precision.
+	Eps   float64
+	Delta float64
+}
+
+// ExactThreshold is the node count up to which ground truth uses the exact
+// power method instead of Monte Carlo sampling.
+const ExactThreshold = 1500
+
+// NewGroundTruth prepares a ground-truth oracle for the graph.
+func NewGroundTruth(g *graph.Graph, c float64, seed uint64) (*GroundTruth, error) {
+	gt := &GroundTruth{g: g, c: c, Eps: 0.005, Delta: 0.001}
+	if g.N() <= ExactThreshold {
+		exact, err := powermethod.Compute(g, powermethod.Options{C: c})
+		if err != nil {
+			return nil, fmt.Errorf("eval: ground truth: %w", err)
+		}
+		gt.exact = exact
+		return gt, nil
+	}
+	mc, err := montecarlo.New(g, c, seed)
+	if err != nil {
+		return nil, fmt.Errorf("eval: ground truth: %w", err)
+	}
+	gt.mc = mc
+	return gt, nil
+}
+
+// Exact reports whether the oracle is exact (power method) rather than
+// sampled.
+func (gt *GroundTruth) Exact() bool { return gt.exact != nil }
+
+// Values returns reference SimRank values s(u, v) for every v in targets.
+func (gt *GroundTruth) Values(u int, targets []int) (map[int]float64, error) {
+	if gt.exact != nil {
+		out := make(map[int]float64, len(targets))
+		for _, v := range targets {
+			out[v] = gt.exact.At(u, v)
+		}
+		return out, nil
+	}
+	return gt.mc.GroundTruthPairs(u, targets, gt.Eps, gt.Delta)
+}
+
+// Metrics summarizes one algorithm's answer to one query against the pooled
+// ground truth.
+type Metrics struct {
+	// AvgErrorAtK is the mean absolute error over the k pool nodes with the
+	// highest true SimRank (AvgError@k in the paper).
+	AvgErrorAtK float64
+	// PrecisionAtK is the fraction of the algorithm's top-k that belongs to
+	// the true top-k of the pool (Precision@k).
+	PrecisionAtK float64
+	// QueryTime is the wall-clock time of the single-source query.
+	QueryTime time.Duration
+}
+
+// Evaluate runs every algorithm on the query node, pools their top-k results,
+// obtains ground truth for the pool and computes AvgError@k and Precision@k
+// for each algorithm, in the same order as algos.
+func Evaluate(gt *GroundTruth, algos []Algorithm, u, k int) ([]Metrics, error) {
+	type answer struct {
+		scores map[int]float64
+		dur    time.Duration
+	}
+	answers := make([]answer, len(algos))
+	results := make([]map[int]float64, len(algos))
+	for i, a := range algos {
+		start := time.Now()
+		scores, err := a.SingleSource(u)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s query failed: %w", a.Name(), err)
+		}
+		answers[i] = answer{scores: scores, dur: time.Since(start)}
+		results[i] = scores
+	}
+
+	pool := Pool(k, u, results)
+	truth, err := gt.Values(u, pool)
+	if err != nil {
+		return nil, err
+	}
+	// True top-k of the pool (V_k in the paper).
+	trueTop := TopKFromScores(truth, k, u)
+	trueTopSet := make(map[int]struct{}, len(trueTop))
+	for _, v := range trueTop {
+		trueTopSet[v] = struct{}{}
+	}
+
+	metrics := make([]Metrics, len(algos))
+	for i := range algos {
+		m := Metrics{QueryTime: answers[i].dur}
+		if len(trueTop) > 0 {
+			var sumErr float64
+			for _, v := range trueTop {
+				sumErr += absFloat(answers[i].scores[v] - truth[v])
+			}
+			m.AvgErrorAtK = sumErr / float64(len(trueTop))
+
+			algoTop := TopKFromScores(answers[i].scores, len(trueTop), u)
+			hits := 0
+			for _, v := range algoTop {
+				if _, ok := trueTopSet[v]; ok {
+					hits++
+				}
+			}
+			m.PrecisionAtK = float64(hits) / float64(len(trueTop))
+		}
+		metrics[i] = m
+	}
+	return metrics, nil
+}
+
+// EvaluateMany averages Evaluate over several query nodes.
+func EvaluateMany(gt *GroundTruth, algos []Algorithm, queries []int, k int) ([]Metrics, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("eval: no query nodes")
+	}
+	agg := make([]Metrics, len(algos))
+	for _, u := range queries {
+		ms, err := Evaluate(gt, algos, u, k)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range ms {
+			agg[i].AvgErrorAtK += m.AvgErrorAtK
+			agg[i].PrecisionAtK += m.PrecisionAtK
+			agg[i].QueryTime += m.QueryTime
+		}
+	}
+	for i := range agg {
+		agg[i].AvgErrorAtK /= float64(len(queries))
+		agg[i].PrecisionAtK /= float64(len(queries))
+		agg[i].QueryTime /= time.Duration(len(queries))
+	}
+	return agg, nil
+}
+
+// PickQueryNodes returns count deterministic pseudo-random query nodes with
+// at least one in-neighbor (so that single-source queries are non-trivial),
+// mirroring the paper's methodology of issuing 100 random queries.
+func PickQueryNodes(g *graph.Graph, count int, seed uint64) []int {
+	if count <= 0 || g.N() == 0 {
+		return nil
+	}
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	var nodes []int
+	seen := make(map[int]struct{})
+	for attempts := 0; len(nodes) < count && attempts < 50*count; attempts++ {
+		v := int(next() % uint64(g.N()))
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		if g.InDegree(v) == 0 && g.OutDegree(v) == 0 {
+			continue
+		}
+		seen[v] = struct{}{}
+		nodes = append(nodes, v)
+	}
+	if len(nodes) == 0 {
+		nodes = append(nodes, 0)
+	}
+	return nodes
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/core"
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func smallGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestTopKFromScores(t *testing.T) {
+	scores := map[int]float64{0: 1, 1: 0.5, 2: 0.9, 3: 0.5, 4: 0.1}
+	top := TopKFromScores(scores, 3, 0)
+	if len(top) != 3 {
+		t.Fatalf("TopK length %d", len(top))
+	}
+	if top[0] != 2 {
+		t.Errorf("top[0] = %d, want 2", top[0])
+	}
+	if top[1] != 1 || top[2] != 3 {
+		t.Errorf("tie-break wrong: %v", top)
+	}
+	if got := TopKFromScores(scores, 100, 0); len(got) != 4 {
+		t.Errorf("TopK(100) length = %d, want 4 (source excluded)", len(got))
+	}
+}
+
+func TestPool(t *testing.T) {
+	a := map[int]float64{1: 0.9, 2: 0.8, 3: 0.1}
+	b := map[int]float64{2: 0.7, 4: 0.6, 5: 0.5}
+	pool := Pool(2, 0, []map[int]float64{a, b})
+	// Top-2 of a is {1,2}; top-2 of b is {2,4}; pool = {1,2,4}.
+	want := map[int]bool{1: true, 2: true, 4: true}
+	if len(pool) != len(want) {
+		t.Fatalf("pool = %v, want keys %v", pool, want)
+	}
+	for _, v := range pool {
+		if !want[v] {
+			t.Errorf("unexpected pool member %d", v)
+		}
+	}
+}
+
+func TestGroundTruthExactSmallGraph(t *testing.T) {
+	g := smallGraph()
+	gt, err := NewGroundTruth(g, 0.6, 1)
+	if err != nil {
+		t.Fatalf("NewGroundTruth: %v", err)
+	}
+	if !gt.Exact() {
+		t.Fatalf("small graph should use the exact oracle")
+	}
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	vals, err := gt.Values(0, []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	for v, s := range vals {
+		if math.Abs(s-exact.At(0, v)) > 1e-12 {
+			t.Errorf("ground truth s(0,%d) = %v, exact %v", v, s, exact.At(0, v))
+		}
+	}
+}
+
+func TestEvaluatePerfectAlgorithmScoresZeroError(t *testing.T) {
+	g := smallGraph()
+	gt, err := NewGroundTruth(g, 0.6, 1)
+	if err != nil {
+		t.Fatalf("NewGroundTruth: %v", err)
+	}
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	perfect := &fixedAlgo{name: "Exact", fn: func(u int) map[int]float64 {
+		out := make(map[int]float64)
+		for v := 0; v < g.N(); v++ {
+			out[v] = exact.At(u, v)
+		}
+		return out
+	}}
+	metrics, err := Evaluate(gt, []Algorithm{perfect}, 0, 3)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if metrics[0].AvgErrorAtK > 1e-12 {
+		t.Errorf("perfect algorithm has AvgError %v", metrics[0].AvgErrorAtK)
+	}
+	if metrics[0].PrecisionAtK != 1 {
+		t.Errorf("perfect algorithm has Precision %v", metrics[0].PrecisionAtK)
+	}
+}
+
+func TestEvaluateDetectsBadAlgorithm(t *testing.T) {
+	g := smallGraph()
+	gt, _ := NewGroundTruth(g, 0.6, 1)
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	perfect := &fixedAlgo{name: "Exact", fn: func(u int) map[int]float64 {
+		out := make(map[int]float64)
+		for v := 0; v < g.N(); v++ {
+			out[v] = exact.At(u, v)
+		}
+		return out
+	}}
+	// An algorithm that answers a constant 0.5 everywhere should have a
+	// clearly worse error than the exact one.
+	constant := &fixedAlgo{name: "Constant", fn: func(u int) map[int]float64 {
+		out := make(map[int]float64)
+		for v := 0; v < g.N(); v++ {
+			out[v] = 0.5
+		}
+		out[u] = 1
+		return out
+	}}
+	metrics, err := Evaluate(gt, []Algorithm{perfect, constant}, 0, 3)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if metrics[1].AvgErrorAtK <= metrics[0].AvgErrorAtK {
+		t.Errorf("constant algorithm error %v should exceed exact error %v",
+			metrics[1].AvgErrorAtK, metrics[0].AvgErrorAtK)
+	}
+}
+
+type fixedAlgo struct {
+	name string
+	fn   func(u int) map[int]float64
+}
+
+func (f *fixedAlgo) Name() string { return f.name }
+func (f *fixedAlgo) SingleSource(u int) (map[int]float64, error) {
+	return f.fn(u), nil
+}
+
+func TestEvaluateManyAverages(t *testing.T) {
+	g := smallGraph()
+	gt, _ := NewGroundTruth(g, 0.6, 1)
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	perfect := &fixedAlgo{name: "Exact", fn: func(u int) map[int]float64 {
+		out := make(map[int]float64)
+		for v := 0; v < g.N(); v++ {
+			out[v] = exact.At(u, v)
+		}
+		return out
+	}}
+	metrics, err := EvaluateMany(gt, []Algorithm{perfect}, []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatalf("EvaluateMany: %v", err)
+	}
+	if metrics[0].PrecisionAtK != 1 {
+		t.Errorf("precision = %v, want 1", metrics[0].PrecisionAtK)
+	}
+	if _, err := EvaluateMany(gt, []Algorithm{perfect}, nil, 3); err == nil {
+		t.Errorf("empty query set should be an error")
+	}
+}
+
+func TestPickQueryNodes(t *testing.T) {
+	g := smallGraph()
+	nodes := PickQueryNodes(g, 4, 9)
+	if len(nodes) != 4 {
+		t.Fatalf("PickQueryNodes returned %d nodes, want 4", len(nodes))
+	}
+	seen := map[int]bool{}
+	for _, v := range nodes {
+		if v < 0 || v >= g.N() {
+			t.Errorf("node %d out of range", v)
+		}
+		if seen[v] {
+			t.Errorf("duplicate query node %d", v)
+		}
+		seen[v] = true
+	}
+	if got := PickQueryNodes(g, 0, 1); got != nil {
+		t.Errorf("count=0 should return nil")
+	}
+	// Determinism.
+	again := PickQueryNodes(g, 4, 9)
+	for i := range nodes {
+		if nodes[i] != again[i] {
+			t.Errorf("PickQueryNodes not deterministic")
+		}
+	}
+}
+
+func TestPRSimAdapterAgainstExact(t *testing.T) {
+	g := smallGraph()
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	pr, err := NewPRSim(g, core.Options{C: 0.6, Epsilon: 0.15, Delta: 0.01, NumHubs: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewPRSim: %v", err)
+	}
+	if pr.Name() != "PRSim" {
+		t.Errorf("Name() = %q", pr.Name())
+	}
+	if pr.IndexSizeBytes() <= 0 || pr.PreprocessingTime() <= 0 {
+		t.Errorf("index metadata not populated")
+	}
+	scores, err := pr.SingleSource(0)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(scores[v]-exact.At(0, v)) > 0.15 {
+			t.Errorf("s(0,%d): PRSim %v, exact %v", v, scores[v], exact.At(0, v))
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package gen generates the synthetic graphs used by the paper's Section 5.3
+// experiments: power-law graphs with a controllable cumulative out-degree
+// exponent γ (a Chung-Lu style substitute for the hyperbolic generator used in
+// the paper), Erdős–Rényi graphs with a controllable average degree, a
+// Barabási–Albert preferential-attachment generator, and small deterministic
+// fixtures used throughout the test suites.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prsim/internal/graph"
+	"prsim/internal/walk"
+)
+
+// PowerLawOptions configures the power-law generator.
+type PowerLawOptions struct {
+	// N is the number of nodes.
+	N int
+	// AvgDegree is the target average (out-)degree d̄.
+	AvgDegree float64
+	// Gamma is the cumulative power-law exponent of the degree distribution:
+	// P(deg >= k) ~ k^-Gamma. Values in (1, 3] are typical for real graphs.
+	Gamma float64
+	// Directed controls whether each generated edge is directed (one arc) or
+	// undirected (two arcs). The paper's synthetic experiments use undirected
+	// graphs.
+	Directed bool
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+func (o PowerLawOptions) validate() error {
+	if o.N <= 0 {
+		return fmt.Errorf("gen: N=%d must be positive", o.N)
+	}
+	if o.AvgDegree <= 0 {
+		return fmt.Errorf("gen: AvgDegree=%v must be positive", o.AvgDegree)
+	}
+	if o.Gamma <= 0 {
+		return fmt.Errorf("gen: Gamma=%v must be positive", o.Gamma)
+	}
+	return nil
+}
+
+// PowerLaw generates a graph whose degree distribution follows a power law
+// with cumulative exponent Gamma, using Chung-Lu style weighted endpoint
+// sampling: node i (1-based rank) receives weight proportional to
+// (N/i)^(1/Gamma), and each edge picks both endpoints independently with
+// probability proportional to their weights.
+func PowerLaw(opts PowerLawOptions) (*graph.Graph, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := opts.N
+	rng := walk.NewRNG(opts.Seed)
+
+	// Node weights w_i ∝ (n/i)^(1/gamma); the normalization cancels in the
+	// endpoint sampling.
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = math.Pow(float64(n)/float64(i+1), 1/opts.Gamma)
+	}
+	// Shuffle ranks so node ids are not correlated with degree.
+	perm := rng.Perm(n)
+	shuffled := make([]float64, n)
+	for i, p := range perm {
+		shuffled[p] = weights[i]
+	}
+	cum := cumulative(shuffled)
+
+	edgesWanted := int(math.Round(opts.AvgDegree * float64(n)))
+	if !opts.Directed {
+		edgesWanted /= 2
+	}
+	if edgesWanted < 1 {
+		edgesWanted = 1
+	}
+	b := graph.NewBuilderN(n)
+	b.SetAllowSelfLoops(false)
+	for e := 0; e < edgesWanted; e++ {
+		u := sampleCumulative(cum, rng)
+		v := sampleCumulative(cum, rng)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		if !opts.Directed {
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// EROptions configures the Erdős–Rényi generator (Figure 7).
+type EROptions struct {
+	// N is the number of nodes.
+	N int
+	// AvgDegree is the expected out-degree of every node; the generator draws
+	// N·AvgDegree directed edges uniformly at random (the G(n, m) model).
+	AvgDegree float64
+	// Directed controls whether edges are single arcs or arc pairs.
+	Directed bool
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// ErdosRenyi generates a uniform random graph with the requested average
+// degree.
+func ErdosRenyi(opts EROptions) (*graph.Graph, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("gen: N=%d must be positive", opts.N)
+	}
+	if opts.AvgDegree <= 0 {
+		return nil, fmt.Errorf("gen: AvgDegree=%v must be positive", opts.AvgDegree)
+	}
+	if opts.AvgDegree >= float64(opts.N) {
+		return nil, fmt.Errorf("gen: AvgDegree=%v must be below N=%d", opts.AvgDegree, opts.N)
+	}
+	rng := walk.NewRNG(opts.Seed)
+	n := opts.N
+	edgesWanted := int(math.Round(opts.AvgDegree * float64(n)))
+	if !opts.Directed {
+		edgesWanted /= 2
+	}
+	b := graph.NewBuilderN(n)
+	b.SetAllowSelfLoops(false)
+	for e := 0; e < edgesWanted; e++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		if !opts.Directed {
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// BAOptions configures the Barabási–Albert generator.
+type BAOptions struct {
+	// N is the number of nodes.
+	N int
+	// M is the number of edges attached from each new node to existing nodes.
+	M int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// BarabasiAlbert generates a preferential-attachment graph. New nodes attach M
+// undirected edges to existing nodes chosen proportionally to their current
+// degree, producing a power-law degree distribution with cumulative exponent
+// close to 2.
+func BarabasiAlbert(opts BAOptions) (*graph.Graph, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("gen: N=%d must be positive", opts.N)
+	}
+	if opts.M <= 0 || opts.M >= opts.N {
+		return nil, fmt.Errorf("gen: M=%d must be in (0, N)", opts.M)
+	}
+	rng := walk.NewRNG(opts.Seed)
+	b := graph.NewBuilderN(opts.N)
+	b.SetAllowSelfLoops(false)
+	// targets holds one entry per edge endpoint, so sampling a uniform entry
+	// implements preferential attachment.
+	var targets []int
+	for v := 0; v < opts.M; v++ {
+		targets = append(targets, v)
+	}
+	for v := opts.M; v < opts.N; v++ {
+		chosen := make(map[int]struct{}, opts.M)
+		for len(chosen) < opts.M {
+			var t int
+			if len(targets) == 0 {
+				t = rng.Intn(v)
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == v {
+				continue
+			}
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			b.AddEdge(v, t)
+			b.AddEdge(t, v)
+			targets = append(targets, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// Cycle returns a directed cycle on n nodes (a deterministic fixture).
+func Cycle(n int) *graph.Graph {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: i, To: (i + 1) % n}
+	}
+	g := graph.MustFromEdges(n, edges)
+	g.SortOutByInDegree()
+	return g
+}
+
+// Star returns a star with node 0 at the center pointing at nodes 1..n-1.
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{From: 0, To: i})
+	}
+	g := graph.MustFromEdges(n, edges)
+	g.SortOutByInDegree()
+	return g
+}
+
+// Complete returns a complete directed graph (no self-loops) on n nodes.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				edges = append(edges, graph.Edge{From: u, To: v})
+			}
+		}
+	}
+	g := graph.MustFromEdges(n, edges)
+	g.SortOutByInDegree()
+	return g
+}
+
+// cumulative returns the cumulative sums of weights.
+func cumulative(weights []float64) []float64 {
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+	return cum
+}
+
+// sampleCumulative draws an index proportionally to the weights represented by
+// the cumulative sums.
+func sampleCumulative(cum []float64, rng *walk.RNG) int {
+	total := cum[len(cum)-1]
+	x := rng.Float64() * total
+	return sort.SearchFloat64s(cum, x)
+}

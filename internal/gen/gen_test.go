@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerLawBasicProperties(t *testing.T) {
+	g, err := PowerLaw(PowerLawOptions{N: 5000, AvgDegree: 10, Gamma: 2.5, Seed: 1})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	if g.N() != 5000 {
+		t.Errorf("N() = %d, want 5000", g.N())
+	}
+	avg := g.AverageDegree()
+	if avg < 6 || avg > 11 {
+		t.Errorf("average degree = %v, want roughly 10 (self-loop and duplicate removal allowed)", avg)
+	}
+	if !g.OutSortedByInDegree() {
+		t.Errorf("generated graph must have sorted out-adjacency")
+	}
+}
+
+func TestPowerLawExponentControl(t *testing.T) {
+	// A smaller gamma must produce a heavier tail (larger maximum degree).
+	heavy, err := PowerLaw(PowerLawOptions{N: 20000, AvgDegree: 10, Gamma: 1.5, Seed: 7})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	light, err := PowerLaw(PowerLawOptions{N: 20000, AvgDegree: 10, Gamma: 3.0, Seed: 7})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	if heavy.OutDegreeStats().Max <= light.OutDegreeStats().Max {
+		t.Errorf("gamma=1.5 max degree %d should exceed gamma=3.0 max degree %d",
+			heavy.OutDegreeStats().Max, light.OutDegreeStats().Max)
+	}
+	// The fitted exponent should be ordered consistently as well.
+	gHeavy, okH := heavy.OutPowerLawExponent()
+	gLight, okL := light.OutPowerLawExponent()
+	if okH && okL && gHeavy >= gLight {
+		t.Errorf("fitted exponents not ordered: gamma=1.5 fit %v, gamma=3.0 fit %v", gHeavy, gLight)
+	}
+}
+
+func TestPowerLawUndirectedSymmetric(t *testing.T) {
+	g, err := PowerLaw(PowerLawOptions{N: 500, AvgDegree: 6, Gamma: 2, Directed: false, Seed: 3})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	bad := 0
+	g.Edges(func(u, v int) bool {
+		if !g.HasEdge(v, u) {
+			bad++
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Errorf("%d edges missing their reverse in an undirected graph", bad)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a, _ := PowerLaw(PowerLawOptions{N: 300, AvgDegree: 5, Gamma: 2, Seed: 42})
+	b, _ := PowerLaw(PowerLawOptions{N: 300, AvgDegree: 5, Gamma: 2, Seed: 42})
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", a.M(), b.M())
+	}
+	c, _ := PowerLaw(PowerLawOptions{N: 300, AvgDegree: 5, Gamma: 2, Seed: 43})
+	if a.M() == c.M() {
+		// Not impossible, but combined with identical degree sequences it
+		// would be suspicious; just check a weaker difference signal.
+		same := true
+		for v := 0; v < a.N(); v++ {
+			if a.OutDegree(v) != c.OutDegree(v) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	if _, err := PowerLaw(PowerLawOptions{N: 0, AvgDegree: 5, Gamma: 2}); err == nil {
+		t.Errorf("N=0 should be an error")
+	}
+	if _, err := PowerLaw(PowerLawOptions{N: 10, AvgDegree: 0, Gamma: 2}); err == nil {
+		t.Errorf("zero degree should be an error")
+	}
+	if _, err := PowerLaw(PowerLawOptions{N: 10, AvgDegree: 5, Gamma: 0}); err == nil {
+		t.Errorf("zero gamma should be an error")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(EROptions{N: 2000, AvgDegree: 8, Seed: 11})
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	avg := g.AverageDegree()
+	if math.Abs(avg-8) > 1 {
+		t.Errorf("average degree = %v, want about 8", avg)
+	}
+	// ER degree distributions are concentrated: max degree stays near the
+	// mean, unlike power-law graphs.
+	if g.OutDegreeStats().Max > 40 {
+		t.Errorf("ER max out-degree = %d, suspiciously heavy tail", g.OutDegreeStats().Max)
+	}
+}
+
+func TestErdosRenyiValidation(t *testing.T) {
+	if _, err := ErdosRenyi(EROptions{N: 0, AvgDegree: 1}); err == nil {
+		t.Errorf("N=0 should be an error")
+	}
+	if _, err := ErdosRenyi(EROptions{N: 10, AvgDegree: 0}); err == nil {
+		t.Errorf("zero degree should be an error")
+	}
+	if _, err := ErdosRenyi(EROptions{N: 10, AvgDegree: 20}); err == nil {
+		t.Errorf("degree above N should be an error")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(BAOptions{N: 3000, M: 3, Seed: 5})
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	if g.N() != 3000 {
+		t.Errorf("N() = %d, want 3000", g.N())
+	}
+	// Preferential attachment produces a heavy tail.
+	if g.OutDegreeStats().Max < 30 {
+		t.Errorf("BA max degree = %d, expected a heavy tail", g.OutDegreeStats().Max)
+	}
+	if _, err := BarabasiAlbert(BAOptions{N: 5, M: 0}); err == nil {
+		t.Errorf("M=0 should be an error")
+	}
+	if _, err := BarabasiAlbert(BAOptions{N: 5, M: 10}); err == nil {
+		t.Errorf("M >= N should be an error")
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	c := Cycle(7)
+	if c.N() != 7 || c.M() != 7 {
+		t.Errorf("cycle size wrong: n=%d m=%d", c.N(), c.M())
+	}
+	s := Star(5)
+	if s.OutDegree(0) != 4 || s.InDegree(0) != 0 {
+		t.Errorf("star center degrees wrong: out=%d in=%d", s.OutDegree(0), s.InDegree(0))
+	}
+	k := Complete(4)
+	if k.M() != 12 {
+		t.Errorf("complete graph edges = %d, want 12", k.M())
+	}
+}
+
+func TestSampleCumulativeBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := newRNGForTest(seed)
+		cum := cumulative([]float64{1, 2, 3, 4})
+		for i := 0; i < 100; i++ {
+			idx := sampleCumulative(cum, rng)
+			if idx < 0 || idx >= 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,7 @@
+package gen
+
+import "prsim/internal/walk"
+
+// newRNGForTest keeps the property tests independent of how the production
+// code seeds its generators.
+func newRNGForTest(seed uint64) *walk.RNG { return walk.NewRNG(seed) }

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and node labels before constructing an immutable
+// Graph. It supports arbitrary (sparse, string, or int64) node identifiers and
+// remaps them to dense ids.
+type Builder struct {
+	dedupe   bool
+	selfOK   bool
+	labels   map[string]int
+	names    []string
+	edges    []Edge
+	explicit int // node count fixed by NewBuilderN, or -1
+}
+
+// NewBuilder returns a builder that accepts string-labelled nodes and assigns
+// dense ids in first-seen order.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels:   make(map[string]int),
+		selfOK:   true,
+		explicit: -1,
+	}
+}
+
+// NewBuilderN returns a builder for a graph with exactly n nodes identified by
+// integers in [0, n).
+func NewBuilderN(n int) *Builder {
+	return &Builder{explicit: n, selfOK: true}
+}
+
+// SetDeduplicate controls whether duplicate edges are removed at Build time.
+func (b *Builder) SetDeduplicate(on bool) { b.dedupe = on }
+
+// SetAllowSelfLoops controls whether self-loops are kept (default true).
+func (b *Builder) SetAllowSelfLoops(on bool) { b.selfOK = on }
+
+// Node interns a string label and returns its dense id. Only valid for
+// builders created with NewBuilder.
+func (b *Builder) Node(label string) int {
+	if b.labels == nil {
+		panic("graph: Node called on a fixed-size builder; use AddEdge with integer ids")
+	}
+	if id, ok := b.labels[label]; ok {
+		return id
+	}
+	id := len(b.names)
+	b.labels[label] = id
+	b.names = append(b.names, label)
+	return id
+}
+
+// AddEdge appends a directed edge between dense node ids.
+func (b *Builder) AddEdge(from, to int) {
+	b.edges = append(b.edges, Edge{From: from, To: to})
+}
+
+// AddEdgeLabels appends a directed edge between string-labelled nodes,
+// interning the labels as needed.
+func (b *Builder) AddEdgeLabels(from, to string) {
+	b.AddEdge(b.Node(from), b.Node(to))
+}
+
+// NumEdges returns the number of edges added so far (before deduplication).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// NumNodes returns the number of nodes the built graph will have.
+func (b *Builder) NumNodes() int {
+	if b.explicit >= 0 {
+		return b.explicit
+	}
+	return len(b.names)
+}
+
+// Labels returns the node labels in dense-id order, or nil for fixed-size
+// builders.
+func (b *Builder) Labels() []string { return b.names }
+
+// Build constructs the immutable graph and sorts each out-adjacency list by
+// head in-degree (the layout PRSim requires).
+func (b *Builder) Build() (*Graph, error) {
+	n := b.NumNodes()
+	edges := b.edges
+	if !b.selfOK {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.From != e.To {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	if b.dedupe {
+		edges = dedupeEdges(edges)
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: build: %w", err)
+	}
+	g.SortOutByInDegree()
+	return g, nil
+}
+
+// MustBuild is Build but panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func dedupeEdges(edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return edges
+	}
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].From != sorted[j].From {
+			return sorted[i].From < sorted[j].From
+		}
+		return sorted[i].To < sorted[j].To
+	})
+	out := sorted[:1]
+	for _, e := range sorted[1:] {
+		last := out[len(out)-1]
+		if e != last {
+			out = append(out, e)
+		}
+	}
+	return out
+}

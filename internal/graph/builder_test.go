@@ -1,0 +1,94 @@
+package graph
+
+import "testing"
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeLabels("a", "b")
+	b.AddEdgeLabels("b", "c")
+	b.AddEdgeLabels("a", "c")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("N() = %d, want 3", g.N())
+	}
+	if g.M() != 3 {
+		t.Fatalf("M() = %d, want 3", g.M())
+	}
+	labels := b.Labels()
+	if len(labels) != 3 || labels[0] != "a" || labels[1] != "b" || labels[2] != "c" {
+		t.Errorf("Labels() = %v, want [a b c]", labels)
+	}
+	if !g.OutSortedByInDegree() {
+		t.Errorf("builder output should be sorted by in-degree")
+	}
+}
+
+func TestBuilderFixedSize(t *testing.T) {
+	b := NewBuilderN(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	if g.N() != 5 {
+		t.Fatalf("N() = %d, want 5", g.N())
+	}
+	if g.M() != 2 {
+		t.Fatalf("M() = %d, want 2", g.M())
+	}
+	// Isolated nodes must have zero degree.
+	if g.OutDegree(4) != 0 || g.InDegree(4) != 0 {
+		t.Errorf("isolated node 4 has nonzero degree")
+	}
+}
+
+func TestBuilderDeduplicate(t *testing.T) {
+	b := NewBuilderN(3)
+	b.SetDeduplicate(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	if g.M() != 2 {
+		t.Errorf("M() = %d after dedupe, want 2", g.M())
+	}
+}
+
+func TestBuilderSelfLoops(t *testing.T) {
+	b := NewBuilderN(2)
+	b.SetAllowSelfLoops(false)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	if g.M() != 1 {
+		t.Errorf("M() = %d with self-loops disallowed, want 1", g.M())
+	}
+
+	b2 := NewBuilderN(2)
+	b2.AddEdge(0, 0)
+	b2.AddEdge(0, 1)
+	g2 := b2.MustBuild()
+	if g2.M() != 2 {
+		t.Errorf("M() = %d with self-loops allowed, want 2", g2.M())
+	}
+}
+
+func TestBuilderErrorOnBadEdge(t *testing.T) {
+	b := NewBuilderN(2)
+	b.AddEdge(0, 7)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("Build with out-of-range edge: want error, got nil")
+	}
+}
+
+func TestBuilderNodePanicsOnFixedSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Node on fixed-size builder should panic")
+		}
+	}()
+	b := NewBuilderN(2)
+	b.Node("a")
+}

@@ -1,0 +1,216 @@
+// Package graph provides the directed-graph substrate used by PRSim and all
+// baseline SimRank algorithms in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form with both in- and
+// out-adjacency so that √c-walks (which follow in-edges) and backward pushes
+// (which follow out-edges) are both sequential scans. Following Algorithm 1 of
+// the PRSim paper, the out-adjacency list of every node is sorted by the
+// in-degree of the head node using counting sort; the Variance Bounded
+// Backward Walk relies on this ordering to stop scanning early.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is an immutable directed graph in CSR form.
+//
+// Node identifiers are dense integers in [0, N()). Build one with a Builder,
+// with FromEdges, or by reading an edge list via ReadEdgeList.
+type Graph struct {
+	n int
+	m int
+
+	// Out-adjacency. outAdj[outOff[v]:outOff[v+1]] lists the out-neighbors of
+	// v, sorted in ascending order of their in-degree (see SortOutByInDegree).
+	outOff []int
+	outAdj []int32
+
+	// In-adjacency. inAdj[inOff[v]:inOff[v+1]] lists the in-neighbors of v.
+	inOff []int
+	inAdj []int32
+
+	// outSorted records whether outAdj has been sorted by head in-degree.
+	outSorted bool
+}
+
+// ErrInvalidNode is returned when a node identifier is outside [0, N()).
+var ErrInvalidNode = errors.New("graph: node id out of range")
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.m }
+
+// AverageDegree returns m/n, the average out-degree (equal to the average
+// in-degree).
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// OutDegree returns the out-degree of node v.
+func (g *Graph) OutDegree(v int) int { return g.outOff[v+1] - g.outOff[v] }
+
+// InDegree returns the in-degree of node v.
+func (g *Graph) InDegree(v int) int { return g.inOff[v+1] - g.inOff[v] }
+
+// OutNeighbors returns the out-neighbors of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v int) []int32 { return g.outAdj[g.outOff[v]:g.outOff[v+1]] }
+
+// InNeighbors returns the in-neighbors of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) InNeighbors(v int) []int32 { return g.inAdj[g.inOff[v]:g.inOff[v+1]] }
+
+// OutSortedByInDegree reports whether each node's out-adjacency list is sorted
+// by the in-degree of the head node (ascending), as required by the Variance
+// Bounded Backward Walk.
+func (g *Graph) OutSortedByInDegree() bool { return g.outSorted }
+
+// ValidNode reports whether v is a valid node identifier.
+func (g *Graph) ValidNode(v int) bool { return v >= 0 && v < g.n }
+
+// CheckNode returns ErrInvalidNode (wrapped with the offending id) unless v is
+// a valid node identifier.
+func (g *Graph) CheckNode(v int) error {
+	if !g.ValidNode(v) {
+		return fmt.Errorf("%w: %d (n=%d)", ErrInvalidNode, v, g.n)
+	}
+	return nil
+}
+
+// HasEdge reports whether the directed edge (u, v) is present. It scans u's
+// out-adjacency list and therefore runs in O(dout(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.ValidNode(u) || !g.ValidNode(v) {
+		return false
+	}
+	for _, w := range g.OutNeighbors(u) {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges calls fn for every directed edge (u, v). Iteration order is by source
+// node and then by the (possibly sorted) out-adjacency order. If fn returns
+// false the iteration stops.
+func (g *Graph) Edges(fn func(u, v int) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !fn(u, int(v)) {
+				return
+			}
+		}
+	}
+}
+
+// Reverse returns a new graph with every edge direction flipped. The reverse
+// graph's out-adjacency is re-sorted by head in-degree if the receiver was
+// sorted.
+func (g *Graph) Reverse() *Graph {
+	edges := make([]Edge, 0, g.m)
+	g.Edges(func(u, v int) bool {
+		edges = append(edges, Edge{From: v, To: u})
+		return true
+	})
+	rg, err := FromEdges(g.n, edges)
+	if err != nil {
+		// Cannot happen: the edges came from a valid graph.
+		panic(fmt.Sprintf("graph: Reverse: %v", err))
+	}
+	if g.outSorted {
+		rg.SortOutByInDegree()
+	}
+	return rg
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		n:         g.n,
+		m:         g.m,
+		outOff:    append([]int(nil), g.outOff...),
+		outAdj:    append([]int32(nil), g.outAdj...),
+		inOff:     append([]int(nil), g.inOff...),
+		inAdj:     append([]int32(nil), g.inAdj...),
+		outSorted: g.outSorted,
+	}
+	return cp
+}
+
+// Edge is a directed edge from From to To.
+type Edge struct {
+	From int
+	To   int
+}
+
+// FromEdges builds a graph with n nodes from the given edge list. Edge
+// endpoints must be in [0, n). Duplicate edges and self-loops are kept as-is
+// (SimRank is well defined for multigraphs; deduplicate with a Builder if
+// needed).
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	g := &Graph{n: n, m: len(edges)}
+
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n {
+			return nil, fmt.Errorf("%w: edge source %d (n=%d)", ErrInvalidNode, e.From, n)
+		}
+		if e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("%w: edge target %d (n=%d)", ErrInvalidNode, e.To, n)
+		}
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+
+	g.outOff = prefixSum(outDeg)
+	g.inOff = prefixSum(inDeg)
+	g.outAdj = make([]int32, len(edges))
+	g.inAdj = make([]int32, len(edges))
+
+	outPos := make([]int, n)
+	inPos := make([]int, n)
+	copy(outPos, g.outOff[:n])
+	copy(inPos, g.inOff[:n])
+	for _, e := range edges {
+		g.outAdj[outPos[e.From]] = int32(e.To)
+		outPos[e.From]++
+		g.inAdj[inPos[e.To]] = int32(e.From)
+		inPos[e.To]++
+	}
+	return g, nil
+}
+
+// MustFromEdges is like FromEdges but panics on error. Intended for tests and
+// fixtures with hand-written edge lists.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// prefixSum returns the exclusive prefix sums of counts, with a final entry
+// holding the total (length len(counts)+1).
+func prefixSum(counts []int) []int {
+	off := make([]int, len(counts)+1)
+	sum := 0
+	for i, c := range counts {
+		off[i] = sum
+		sum += c
+	}
+	off[len(counts)] = sum
+	return off
+}

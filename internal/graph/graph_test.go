@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// cycleGraph returns a directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+func cycleGraph(n int) *Graph {
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{From: i, To: (i + 1) % n}
+	}
+	return MustFromEdges(n, edges)
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}})
+	if g.N() != 4 {
+		t.Fatalf("N() = %d, want 4", g.N())
+	}
+	if g.M() != 5 {
+		t.Fatalf("M() = %d, want 5", g.M())
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(2); got != 2 {
+		t.Errorf("InDegree(2) = %d, want 2", got)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Errorf("HasEdge(0,1) = false, want true")
+	}
+	if g.HasEdge(1, 0) {
+		t.Errorf("HasEdge(1,0) = true, want false")
+	}
+	if got := g.AverageDegree(); got != 1.25 {
+		t.Errorf("AverageDegree() = %v, want 1.25", got)
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Errorf("FromEdges with out-of-range target: want error, got nil")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Errorf("FromEdges with negative source: want error, got nil")
+	}
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Errorf("FromEdges with negative n: want error, got nil")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.N(), g.M())
+	}
+	if g.AverageDegree() != 0 {
+		t.Errorf("AverageDegree of empty graph = %v, want 0", g.AverageDegree())
+	}
+	g.SortOutByInDegree()
+	if !g.OutSortedByInDegree() {
+		t.Errorf("empty graph should be trivially sorted")
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	g := cycleGraph(10)
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(v) != 1 || g.InDegree(v) != 1 {
+			t.Fatalf("cycle node %d has out=%d in=%d", v, g.OutDegree(v), g.InDegree(v))
+		}
+	}
+	// Every edge (u,v) must appear both in u's out list and v's in list.
+	g.Edges(func(u, v int) bool {
+		found := false
+		for _, x := range g.InNeighbors(v) {
+			if int(x) == u {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("edge (%d,%d) missing from in-adjacency of %d", u, v, v)
+		}
+		return true
+	})
+}
+
+func TestReverse(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	r := g.Reverse()
+	if r.N() != g.N() || r.M() != g.M() {
+		t.Fatalf("reverse changed size: n=%d m=%d", r.N(), r.M())
+	}
+	g.Edges(func(u, v int) bool {
+		if !r.HasEdge(v, u) {
+			t.Errorf("reverse missing edge (%d,%d)", v, u)
+		}
+		return true
+	})
+	// Degrees swap.
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(v) != r.InDegree(v) {
+			t.Errorf("node %d: out=%d but reverse in=%d", v, g.OutDegree(v), r.InDegree(v))
+		}
+		if g.InDegree(v) != r.OutDegree(v) {
+			t.Errorf("node %d: in=%d but reverse out=%d", v, g.InDegree(v), r.OutDegree(v))
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("clone size mismatch")
+	}
+	// Mutating the clone's adjacency must not affect the original.
+	if len(c.outAdj) > 0 {
+		c.outAdj[0] = 2
+		if g.outAdj[0] == 2 && g.outAdj[0] != c.outAdj[0] {
+			t.Errorf("clone shares storage with original")
+		}
+	}
+}
+
+func TestSortOutByInDegree(t *testing.T) {
+	// Node 0 points at nodes with in-degrees 3, 1, 2. After sorting the out
+	// list must be ordered by those in-degrees ascending.
+	edges := []Edge{
+		{0, 1}, {0, 2}, {0, 3},
+		// give 1 in-degree 3, node 2 in-degree 2, node 3 in-degree 1
+		{4, 1}, {5, 1},
+		{4, 2},
+	}
+	g := MustFromEdges(6, edges)
+	g.SortOutByInDegree()
+	if !g.OutSortedByInDegree() {
+		t.Fatalf("OutSortedByInDegree() = false after sorting")
+	}
+	out := g.OutNeighbors(0)
+	for i := 1; i < len(out); i++ {
+		if g.InDegree(int(out[i-1])) > g.InDegree(int(out[i])) {
+			t.Errorf("out list of node 0 not sorted by in-degree: %v", out)
+		}
+	}
+	// Sorting must not change the multiset of edges.
+	if g.M() != len(edges) {
+		t.Errorf("edge count changed after sort: %d", g.M())
+	}
+	for _, e := range edges {
+		if !g.HasEdge(e.From, e.To) {
+			t.Errorf("edge (%d,%d) lost after sort", e.From, e.To)
+		}
+	}
+	// Idempotent.
+	before := append([]int32(nil), g.outAdj...)
+	g.SortOutByInDegree()
+	for i := range before {
+		if before[i] != g.outAdj[i] {
+			t.Errorf("SortOutByInDegree is not idempotent at position %d", i)
+			break
+		}
+	}
+}
+
+func TestSortOutByInDegreeProperty(t *testing.T) {
+	// Property: for random graphs, after sorting every adjacency list is
+	// non-decreasing in head in-degree and the edge multiset is preserved.
+	f := func(seed int64) bool {
+		n := 20
+		rng := newTestRand(seed)
+		var edges []Edge
+		for i := 0; i < 100; i++ {
+			edges = append(edges, Edge{From: rng.Intn(n), To: rng.Intn(n)})
+		}
+		g := MustFromEdges(n, edges)
+		countBefore := edgeCounts(g)
+		g.SortOutByInDegree()
+		for v := 0; v < n; v++ {
+			out := g.OutNeighbors(v)
+			for i := 1; i < len(out); i++ {
+				if g.InDegree(int(out[i-1])) > g.InDegree(int(out[i])) {
+					return false
+				}
+			}
+		}
+		countAfter := edgeCounts(g)
+		if len(countBefore) != len(countAfter) {
+			return false
+		}
+		for k, c := range countBefore {
+			if countAfter[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func edgeCounts(g *Graph) map[[2]int]int {
+	m := map[[2]int]int{}
+	g.Edges(func(u, v int) bool {
+		m[[2]int{u, v}]++
+		return true
+	})
+	return m
+}
+
+// newTestRand is a tiny deterministic generator for property tests so that the
+// package does not depend on internal/walk.
+type testRand struct{ state uint64 }
+
+func newTestRand(seed int64) *testRand {
+	return &testRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+func (r *testRand) Intn(n int) int {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return int(r.state % uint64(n))
+}
+
+func TestCheckNode(t *testing.T) {
+	g := cycleGraph(3)
+	if err := g.CheckNode(2); err != nil {
+		t.Errorf("CheckNode(2) = %v, want nil", err)
+	}
+	if err := g.CheckNode(3); err == nil {
+		t.Errorf("CheckNode(3) = nil, want error")
+	}
+	if err := g.CheckNode(-1); err == nil {
+		t.Errorf("CheckNode(-1) = nil, want error")
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := cycleGraph(10)
+	count := 0
+	g.Edges(func(u, v int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Edges visited %d edges after early stop, want 3", count)
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line) from
+// r. Lines that are empty or start with '#' or '%' are skipped. Node ids may
+// be arbitrary non-negative integers; they are remapped to a dense range in
+// first-seen order. The resulting graph has its out-adjacency sorted by head
+// in-degree.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected at least two fields, got %q", lineNo, line)
+		}
+		b.AddEdgeLabels(fields[0], fields[1])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build()
+}
+
+// ReadEdgeListFile opens path and calls ReadEdgeList.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes the graph as a plain "u v" edge list.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(u, v int) bool {
+		_, err = bw.WriteString(strconv.Itoa(u) + "\t" + strconv.Itoa(v) + "\n")
+		return err == nil
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to path as an edge list.
+func (g *Graph) WriteEdgeListFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseEdgeListString is a convenience wrapper over ReadEdgeList for tests and
+// examples that keep the edge list inline.
+func ParseEdgeListString(s string) (*Graph, error) {
+	return ReadEdgeList(strings.NewReader(s))
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	const data = `# comment line
+% matrix-market style comment
+0 1
+1 2
+2 0
+
+3 0
+`
+	g, err := ParseEdgeListString(data)
+	if err != nil {
+		t.Fatalf("ParseEdgeListString: %v", err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N() = %d, want 4", g.N())
+	}
+	if g.M() != 4 {
+		t.Errorf("M() = %d, want 4", g.M())
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	if _, err := ParseEdgeListString("0\n"); err == nil {
+		t.Errorf("single-field line should be an error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: n=%d m=%d", g2.N(), g2.M())
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	if err := g.WriteEdgeListFile(path); err != nil {
+		t.Fatalf("WriteEdgeListFile: %v", err)
+	}
+	g2, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatalf("ReadEdgeListFile: %v", err)
+	}
+	if g2.N() != 3 || g2.M() != 3 {
+		t.Errorf("file round trip mismatch: n=%d m=%d", g2.N(), g2.M())
+	}
+}
+
+func TestReadEdgeListFileMissing(t *testing.T) {
+	if _, err := ReadEdgeListFile("/nonexistent/path/graph.txt"); err == nil {
+		t.Errorf("missing file should be an error")
+	}
+}
+
+func TestReadEdgeListLargeLabels(t *testing.T) {
+	// Labels need not be small integers; arbitrary tokens are remapped.
+	g, err := ParseEdgeListString("alice bob\nbob carol\ncarol alice\n")
+	if err != nil {
+		t.Fatalf("ParseEdgeListString: %v", err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Errorf("labelled graph: n=%d m=%d, want 3/3", g.N(), g.M())
+	}
+	_ = strings.NewReader // keep strings import honest
+}

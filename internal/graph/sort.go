@@ -1,0 +1,59 @@
+package graph
+
+// SortOutByInDegree reorders every node's out-adjacency list so that heads
+// appear in ascending order of their in-degree. This is exactly lines 1-4 of
+// Algorithm 1 in the PRSim paper: a tuple (x, y, din(y)) is formed for each
+// edge (x, y), the tuples are counting-sorted by din(y), and the sorted tuples
+// are re-appended to each source's adjacency list. The whole pass is O(m+n).
+//
+// The in-adjacency lists are left untouched. The method is idempotent.
+func (g *Graph) SortOutByInDegree() {
+	if g.m == 0 {
+		g.outSorted = true
+		return
+	}
+
+	// Counting sort of all edges by din(head). Bucket b holds edges whose
+	// head has in-degree b.
+	maxIn := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	counts := make([]int, maxIn+2)
+	for _, head := range g.outAdj {
+		counts[g.InDegree(int(head))+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+
+	// Scatter edges (tail, head) into din(head)-sorted order.
+	type edge struct {
+		tail int32
+		head int32
+	}
+	sorted := make([]edge, g.m)
+	pos := 0
+	for u := 0; u < g.n; u++ {
+		for _, head := range g.outAdj[g.outOff[u]:g.outOff[u+1]] {
+			b := g.InDegree(int(head))
+			sorted[counts[b]] = edge{tail: int32(u), head: head}
+			counts[b]++
+			pos++
+		}
+	}
+	_ = pos
+
+	// Re-append each edge to its tail's out-adjacency list; because we scan
+	// the globally din-sorted edge array, every per-node list ends up sorted
+	// by head in-degree.
+	fill := make([]int, g.n)
+	copy(fill, g.outOff[:g.n])
+	for _, e := range sorted {
+		g.outAdj[fill[e.tail]] = e.head
+		fill[e.tail]++
+	}
+	g.outSorted = true
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDegreeStatsStar(t *testing.T) {
+	// Star: node 0 has edges to 1..9, so out-degree 9; all others 0.
+	edges := make([]Edge, 9)
+	for i := 0; i < 9; i++ {
+		edges[i] = Edge{From: 0, To: i + 1}
+	}
+	g := MustFromEdges(10, edges)
+	s := g.OutDegreeStats()
+	if s.Max != 9 {
+		t.Errorf("Max = %d, want 9", s.Max)
+	}
+	if s.Min != 0 {
+		t.Errorf("Min = %d, want 0", s.Min)
+	}
+	if s.Zero != 9 {
+		t.Errorf("Zero = %d, want 9", s.Zero)
+	}
+	if math.Abs(s.Mean-0.9) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.9", s.Mean)
+	}
+	in := g.InDegreeStats()
+	if in.Max != 1 || in.Zero != 1 {
+		t.Errorf("in-degree stats: max=%d zero=%d, want 1/1", in.Max, in.Zero)
+	}
+}
+
+func TestDegreeCCDF(t *testing.T) {
+	// Degrees: 0 has 3, 1 has 1, 2 has 1, 3 has 0 (out).
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 0}, {2, 0}})
+	ks, frac := g.OutDegreeCCDF()
+	if len(ks) != len(frac) || len(ks) == 0 {
+		t.Fatalf("CCDF arrays mismatched: %d vs %d", len(ks), len(frac))
+	}
+	// The fraction with degree >= smallest observed degree must be 1.
+	if frac[0] != 1.0 {
+		t.Errorf("frac[0] = %v, want 1.0", frac[0])
+	}
+	// Monotone non-increasing in k.
+	for i := 1; i < len(frac); i++ {
+		if frac[i] > frac[i-1] {
+			t.Errorf("CCDF not monotone at %d: %v > %v", i, frac[i], frac[i-1])
+		}
+	}
+	// Fraction with out-degree >= 3 is exactly 1/4.
+	for i, k := range ks {
+		if k == 3 && math.Abs(frac[i]-0.25) > 1e-12 {
+			t.Errorf("P(out >= 3) = %v, want 0.25", frac[i])
+		}
+	}
+}
+
+func TestPowerLawExponentSynthetic(t *testing.T) {
+	// Construct a synthetic degree sequence following P(deg >= k) ~ k^-2 and
+	// check the estimator recovers an exponent near 2.
+	var degrees []int
+	n := 20000
+	for i := 1; i <= n; i++ {
+		// Inverse-CDF sampling on a deterministic grid: the i-th of n nodes
+		// gets degree round((i/n)^(-1/2)).
+		u := float64(i) / float64(n)
+		d := int(math.Round(math.Pow(u, -1.0/2.0)))
+		degrees = append(degrees, d)
+	}
+	// fitPowerLawExponent requires ascending order.
+	for i, j := 0, len(degrees)-1; i < j; i, j = i+1, j-1 {
+		degrees[i], degrees[j] = degrees[j], degrees[i]
+	}
+	gamma, ok := fitPowerLawExponent(degrees)
+	if !ok {
+		t.Fatalf("fitPowerLawExponent returned ok=false")
+	}
+	if gamma < 1.5 || gamma > 2.6 {
+		t.Errorf("gamma = %v, want roughly 2", gamma)
+	}
+}
+
+func TestPowerLawExponentTooNarrow(t *testing.T) {
+	// A regular graph has no degree spread; the fit must report not-ok.
+	degrees := make([]int, 100)
+	for i := range degrees {
+		degrees[i] = 5
+	}
+	if _, ok := fitPowerLawExponent(degrees); ok {
+		t.Errorf("constant degree sequence should not produce a power-law fit")
+	}
+}
+
+func TestLeastSquaresSlope(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // slope 2
+	slope, ok := leastSquaresSlope(xs, ys)
+	if !ok {
+		t.Fatalf("leastSquaresSlope: ok=false")
+	}
+	if math.Abs(slope-2) > 1e-9 {
+		t.Errorf("slope = %v, want 2", slope)
+	}
+	if _, ok := leastSquaresSlope([]float64{1}, []float64{1}); ok {
+		t.Errorf("slope of single point should be not-ok")
+	}
+	if _, ok := leastSquaresSlope([]float64{1, 1}, []float64{1, 2}); ok {
+		t.Errorf("slope of vertical line should be not-ok")
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	s := g.OutDegreeStats()
+	if s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty graph stats should be zero: %+v", s)
+	}
+}

@@ -1,0 +1,154 @@
+// Package montecarlo implements the classic Monte Carlo SimRank estimator
+// based on pairs of √c-walks [Fogaras & Rácz]. It serves three purposes in
+// this repository: the MC baseline of Section 4, the ground-truth oracle for
+// the pooling methodology of Section 5.1, and an independent validator for
+// PRSim's estimates in tests.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+
+	"prsim/internal/graph"
+	"prsim/internal/walk"
+)
+
+// Estimator estimates SimRank values by sampling pairs of √c-walks.
+type Estimator struct {
+	g *graph.Graph
+	c float64
+	w *walk.Walker
+}
+
+// New returns an estimator with decay factor c and a deterministic seed.
+func New(g *graph.Graph, c float64, seed uint64) (*Estimator, error) {
+	w, err := walk.NewWalker(g, c, seed)
+	if err != nil {
+		return nil, fmt.Errorf("montecarlo: %w", err)
+	}
+	return &Estimator{g: g, c: c, w: w}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(g *graph.Graph, c float64, seed uint64) *Estimator {
+	e, err := New(g, c, seed)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// SinglePair estimates s(u, v) from the given number of walk-pair samples.
+func (e *Estimator) SinglePair(u, v int, samples int) (float64, error) {
+	if err := e.g.CheckNode(u); err != nil {
+		return 0, err
+	}
+	if err := e.g.CheckNode(v); err != nil {
+		return 0, err
+	}
+	if samples <= 0 {
+		return 0, fmt.Errorf("montecarlo: samples=%d must be positive", samples)
+	}
+	if u == v {
+		return 1, nil
+	}
+	met := 0
+	for i := 0; i < samples; i++ {
+		if e.w.Meet(u, v, 0) {
+			met++
+		}
+	}
+	return float64(met) / float64(samples), nil
+}
+
+// SamplesForError returns the number of walk-pair samples that guarantee an
+// additive error of at most eps with probability 1-delta for a single pair,
+// by the Chernoff bound of Lemma A.1.
+func SamplesForError(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	nr := (3*eps + 2) / (eps * eps) * math.Log(1/delta)
+	if nr < 1 {
+		return 1
+	}
+	return int(math.Ceil(nr))
+}
+
+// SinglePairWithError estimates s(u, v) to within eps additive error with
+// probability 1-delta.
+func (e *Estimator) SinglePairWithError(u, v int, eps, delta float64) (float64, error) {
+	return e.SinglePair(u, v, SamplesForError(eps, delta))
+}
+
+// SingleSource estimates s(u, v) for every node v by the classic O(n·nr)
+// algorithm: in each of the samples rounds one √c-walk is drawn from u and one
+// from every other node, and the fraction of rounds in which the walks meet is
+// the estimate.
+func (e *Estimator) SingleSource(u int, samples int) ([]float64, error) {
+	if err := e.g.CheckNode(u); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("montecarlo: samples=%d must be positive", samples)
+	}
+	n := e.g.N()
+	scores := make([]float64, n)
+	inc := 1 / float64(samples)
+	for i := 0; i < samples; i++ {
+		trace, _ := e.w.SampleTrace(u)
+		// Position of u's walk at step t is trace[t]; the walk is alive for
+		// len(trace)-1 steps after the start.
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if e.meetsTrace(trace, v) {
+				scores[v] += inc
+			}
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}
+
+// meetsTrace samples a fresh √c-walk from v and reports whether it meets the
+// recorded walk trace from the source at any step i >= 1.
+func (e *Estimator) meetsTrace(trace []int, v int) bool {
+	cur := v
+	rng := e.w.RNG()
+	sqrtC := e.w.SqrtC()
+	for step := 1; step < len(trace); step++ {
+		if rng.Float64() >= sqrtC {
+			return false
+		}
+		in := e.g.InNeighbors(cur)
+		if len(in) == 0 {
+			return false
+		}
+		cur = int(in[rng.Intn(len(in))])
+		if cur == trace[step] {
+			return true
+		}
+	}
+	return false
+}
+
+// GroundTruthPairs estimates s(u, v) for each v in targets with additive error
+// eps at confidence 1-delta. This is the oracle used by the pooling
+// methodology of Section 5.1.
+func (e *Estimator) GroundTruthPairs(u int, targets []int, eps, delta float64) (map[int]float64, error) {
+	if err := e.g.CheckNode(u); err != nil {
+		return nil, err
+	}
+	samples := SamplesForError(eps, delta)
+	out := make(map[int]float64, len(targets))
+	for _, v := range targets {
+		s, err := e.SinglePair(u, v, samples)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestSinglePairMatchesExact(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	e := MustNew(g, 0.6, 77)
+	pairs := [][2]int{{0, 1}, {1, 3}, {2, 4}, {0, 5}, {3, 5}}
+	for _, p := range pairs {
+		got, err := e.SinglePair(p[0], p[1], 200000)
+		if err != nil {
+			t.Fatalf("SinglePair: %v", err)
+		}
+		want := exact.At(p[0], p[1])
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("s(%d,%d): MC %v, exact %v", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestSinglePairIdentity(t *testing.T) {
+	g := testGraph()
+	e := MustNew(g, 0.6, 1)
+	got, err := e.SinglePair(2, 2, 10)
+	if err != nil {
+		t.Fatalf("SinglePair: %v", err)
+	}
+	if got != 1 {
+		t.Errorf("s(v,v) = %v, want 1", got)
+	}
+}
+
+func TestSingleSourceMatchesExact(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	e := MustNew(g, 0.6, 99)
+	for _, u := range []int{0, 2, 4} {
+		scores, err := e.SingleSource(u, 100000)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", u, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(scores[v]-exact.At(u, v)) > 0.015 {
+				t.Errorf("s(%d,%d): MC %v, exact %v", u, v, scores[v], exact.At(u, v))
+			}
+		}
+	}
+}
+
+func TestSamplesForError(t *testing.T) {
+	if SamplesForError(0.1, 0.01) <= SamplesForError(0.2, 0.01) {
+		t.Errorf("smaller epsilon must need more samples")
+	}
+	if SamplesForError(0.1, 0.001) <= SamplesForError(0.1, 0.1) {
+		t.Errorf("smaller delta must need more samples")
+	}
+	if SamplesForError(-1, 0.5) != 1 || SamplesForError(0.1, 0) != 1 {
+		t.Errorf("degenerate parameters should return 1")
+	}
+}
+
+func TestGroundTruthPairs(t *testing.T) {
+	g := testGraph()
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	e := MustNew(g, 0.6, 13)
+	truth, err := e.GroundTruthPairs(0, []int{1, 2, 3}, 0.02, 0.01)
+	if err != nil {
+		t.Fatalf("GroundTruthPairs: %v", err)
+	}
+	if len(truth) != 3 {
+		t.Fatalf("expected 3 entries, got %d", len(truth))
+	}
+	for v, s := range truth {
+		if math.Abs(s-exact.At(0, v)) > 0.03 {
+			t.Errorf("ground truth s(0,%d) = %v, exact %v", v, s, exact.At(0, v))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := New(g, 0, 1); err == nil {
+		t.Errorf("invalid decay should be an error")
+	}
+	e := MustNew(g, 0.6, 1)
+	if _, err := e.SinglePair(0, 99, 10); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+	if _, err := e.SinglePair(99, 0, 10); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+	if _, err := e.SinglePair(0, 1, 0); err == nil {
+		t.Errorf("zero samples should be an error")
+	}
+	if _, err := e.SingleSource(99, 10); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+	if _, err := e.SingleSource(0, -5); err == nil {
+		t.Errorf("negative samples should be an error")
+	}
+	if _, err := e.GroundTruthPairs(99, []int{0}, 0.1, 0.1); err == nil {
+		t.Errorf("invalid source should be an error")
+	}
+}
+
+func TestSinglePairWithError(t *testing.T) {
+	g := testGraph()
+	exact, _ := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	e := MustNew(g, 0.6, 55)
+	got, err := e.SinglePairWithError(0, 1, 0.02, 0.01)
+	if err != nil {
+		t.Fatalf("SinglePairWithError: %v", err)
+	}
+	if math.Abs(got-exact.At(0, 1)) > 0.03 {
+		t.Errorf("s(0,1) = %v, exact %v", got, exact.At(0, 1))
+	}
+}

@@ -1,0 +1,114 @@
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prsim/internal/graph"
+)
+
+// BackwardResult holds the outcome of a level-by-level backward search (push)
+// from a target node w: per-level reserves ψ_ℓ(v,w) approximating the ℓ-hop
+// RPPR π_ℓ(v,w) with additive error at most RMax, plus the residues left
+// unpushed.
+type BackwardResult struct {
+	Target int
+	RMax   float64
+	// Reserves[ℓ] maps node v to ψ_ℓ(v, Target). Levels with no entries are
+	// omitted from the tail of the slice.
+	Reserves []map[int]float64
+	// Residues[ℓ] maps node v to the residue left at level ℓ when the search
+	// stopped (every residue is < RMax).
+	Residues []map[int]float64
+	// Pushes is the number of edge relaxations performed; it is the dominant
+	// cost term and is reported for the preprocessing-time experiments.
+	Pushes int
+}
+
+// EntriesAtLevel returns the reserve map at level ℓ, or nil if the search
+// produced nothing at that level.
+func (r *BackwardResult) EntriesAtLevel(l int) map[int]float64 {
+	if l < 0 || l >= len(r.Reserves) {
+		return nil
+	}
+	return r.Reserves[l]
+}
+
+// TotalEntries returns the number of stored (v, ℓ) reserve pairs; this is the
+// index-size contribution of the target node.
+func (r *BackwardResult) TotalEntries() int {
+	total := 0
+	for _, lvl := range r.Reserves {
+		total += len(lvl)
+	}
+	return total
+}
+
+// BackwardSearch runs the levelwise backward search of Algorithm 1 (lines
+// 6-17) from target node w: starting from residue r_0(w,w) = 1, any residue
+// of at least rmax is converted into reserve ((1-√c) r) and pushed to the
+// out-neighbors of its node at the next level with weight √c·r/din(z).
+//
+// The resulting reserves satisfy |ψ_ℓ(v,w) − π_ℓ(v,w)| < rmax for every node v
+// and level ℓ (Lemma 3.1).
+func BackwardSearch(g *graph.Graph, w int, c, rmax float64, maxLevels int) (*BackwardResult, error) {
+	if err := g.CheckNode(w); err != nil {
+		return nil, err
+	}
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("pagerank: decay factor c=%v outside (0,1)", c)
+	}
+	if rmax <= 0 {
+		return nil, fmt.Errorf("pagerank: rmax=%v must be positive", rmax)
+	}
+	if maxLevels <= 0 {
+		maxLevels = 256
+	}
+	sqrtC := math.Sqrt(c)
+	alpha := 1 - sqrtC
+
+	res := &BackwardResult{Target: w, RMax: rmax}
+	residue := map[int]float64{w: 1}
+	for level := 0; level < maxLevels && len(residue) > 0; level++ {
+		reserves := make(map[int]float64)
+		nextResidue := make(map[int]float64)
+		leftover := make(map[int]float64)
+		// Nodes are processed in ascending id order so that floating-point
+		// accumulation (and therefore the stored index) is bit-for-bit
+		// reproducible across runs and across parallel builds.
+		order := make([]int, 0, len(residue))
+		for v := range residue {
+			order = append(order, v)
+		}
+		sort.Ints(order)
+		for _, v := range order {
+			r := residue[v]
+			if r < rmax {
+				leftover[v] = r
+				continue
+			}
+			// Convert to reserve and push to out-neighbors at the next level.
+			reserves[v] += alpha * r
+			for _, z := range g.OutNeighbors(v) {
+				zi := int(z)
+				din := g.InDegree(zi)
+				if din == 0 {
+					continue
+				}
+				nextResidue[zi] += sqrtC * r / float64(din)
+				res.Pushes++
+			}
+		}
+		res.Reserves = append(res.Reserves, reserves)
+		res.Residues = append(res.Residues, leftover)
+		residue = nextResidue
+	}
+	// Trim empty trailing levels so TotalEntries and serialization stay tight.
+	for len(res.Reserves) > 0 && len(res.Reserves[len(res.Reserves)-1]) == 0 &&
+		len(res.Residues[len(res.Residues)-1]) == 0 {
+		res.Reserves = res.Reserves[:len(res.Reserves)-1]
+		res.Residues = res.Residues[:len(res.Residues)-1]
+	}
+	return res, nil
+}

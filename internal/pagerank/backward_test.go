@@ -1,0 +1,125 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBackwardSearchMatchesExactRPPR(t *testing.T) {
+	g := smallGraph()
+	const rmax = 1e-7 // tiny rmax: reserves should be nearly exact
+	for w := 0; w < g.N(); w++ {
+		res, err := BackwardSearch(g, w, testC, rmax, 80)
+		if err != nil {
+			t.Fatalf("BackwardSearch(%d): %v", w, err)
+		}
+		// Compare ψ_ℓ(v,w) against exact π_ℓ(v,w) for every source v.
+		for v := 0; v < g.N(); v++ {
+			exactLevels, _ := LHopRPPR(g, v, len(res.Reserves)-1, Options{C: testC})
+			for l := 0; l < len(res.Reserves); l++ {
+				got := res.Reserves[l][v]
+				want := exactLevels[l][w]
+				_ = want
+				// ψ_ℓ(v,w) approximates π_ℓ(v,w): the probability a walk FROM v
+				// terminates at w in ℓ steps.
+				if math.Abs(got-exactLevels[l][w]) > 1e-4 {
+					t.Errorf("w=%d v=%d l=%d: reserve %v, exact %v", w, v, l, got, exactLevels[l][w])
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardSearchErrorBound(t *testing.T) {
+	// With a coarse rmax the reserves must still be within rmax of the exact
+	// values (Lemma 3.1).
+	g := smallGraph()
+	const rmax = 0.05
+	for w := 0; w < g.N(); w++ {
+		res, err := BackwardSearch(g, w, testC, rmax, 80)
+		if err != nil {
+			t.Fatalf("BackwardSearch(%d): %v", w, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			exactLevels, _ := LHopRPPR(g, v, maxInt(len(res.Reserves)-1, 0), Options{C: testC})
+			for l := 0; l < len(res.Reserves); l++ {
+				got := res.Reserves[l][v]
+				want := exactLevels[l][w]
+				if math.Abs(got-want) >= rmax+1e-9 {
+					t.Errorf("w=%d v=%d l=%d: |%v - %v| >= rmax", w, v, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBackwardSearchLevelZero(t *testing.T) {
+	g := smallGraph()
+	res, err := BackwardSearch(g, 2, testC, 1e-6, 80)
+	if err != nil {
+		t.Fatalf("BackwardSearch: %v", err)
+	}
+	alpha := 1 - math.Sqrt(testC)
+	if math.Abs(res.Reserves[0][2]-alpha) > 1e-12 {
+		t.Errorf("psi_0(w,w) = %v, want %v", res.Reserves[0][2], alpha)
+	}
+	if len(res.Reserves[0]) != 1 {
+		t.Errorf("level 0 should only contain the target, got %v", res.Reserves[0])
+	}
+}
+
+func TestBackwardSearchResiduesBelowRMax(t *testing.T) {
+	g := smallGraph()
+	const rmax = 0.01
+	res, err := BackwardSearch(g, 0, testC, rmax, 80)
+	if err != nil {
+		t.Fatalf("BackwardSearch: %v", err)
+	}
+	for l, lvl := range res.Residues {
+		for v, r := range lvl {
+			if r >= rmax {
+				t.Errorf("residue at level %d node %d is %v >= rmax", l, v, r)
+			}
+		}
+	}
+	if res.Pushes <= 0 {
+		t.Errorf("expected at least one push")
+	}
+	if res.TotalEntries() <= 0 {
+		t.Errorf("expected at least one reserve entry")
+	}
+}
+
+func TestBackwardSearchValidation(t *testing.T) {
+	g := smallGraph()
+	if _, err := BackwardSearch(g, 100, testC, 0.01, 10); err == nil {
+		t.Errorf("invalid target should be an error")
+	}
+	if _, err := BackwardSearch(g, 0, 0, 0.01, 10); err == nil {
+		t.Errorf("invalid c should be an error")
+	}
+	if _, err := BackwardSearch(g, 0, testC, 0, 10); err == nil {
+		t.Errorf("non-positive rmax should be an error")
+	}
+}
+
+func TestBackwardSearchEntriesAtLevel(t *testing.T) {
+	g := smallGraph()
+	res, _ := BackwardSearch(g, 0, testC, 1e-4, 80)
+	if res.EntriesAtLevel(-1) != nil {
+		t.Errorf("negative level should return nil")
+	}
+	if res.EntriesAtLevel(10000) != nil {
+		t.Errorf("huge level should return nil")
+	}
+	if res.EntriesAtLevel(0) == nil {
+		t.Errorf("level 0 should exist")
+	}
+}

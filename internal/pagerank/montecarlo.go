@@ -1,0 +1,75 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"prsim/internal/walk"
+)
+
+// MonteCarloReversePageRank estimates the reverse PageRank vector by sampling
+// √c-walks: walksPerNode walks are started from every node and π(w) is the
+// fraction of all walks that terminate at w.
+func MonteCarloReversePageRank(w *walk.Walker, walksPerNode int) ([]float64, error) {
+	if walksPerNode <= 0 {
+		return nil, fmt.Errorf("pagerank: walksPerNode=%d must be positive", walksPerNode)
+	}
+	g := w.Graph()
+	n := g.N()
+	pi := make([]float64, n)
+	if n == 0 {
+		return pi, nil
+	}
+	total := float64(n * walksPerNode)
+	for u := 0; u < n; u++ {
+		for i := 0; i < walksPerNode; i++ {
+			res := w.Sample(u)
+			if res.Terminated {
+				pi[res.Node] += 1 / total
+			}
+		}
+	}
+	return pi, nil
+}
+
+// MonteCarloReversePPR estimates the reverse Personalized PageRank vector
+// π(u, ·) from samples √c-walks started at u.
+func MonteCarloReversePPR(w *walk.Walker, u, samples int) ([]float64, error) {
+	if err := w.Graph().CheckNode(u); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("pagerank: samples=%d must be positive", samples)
+	}
+	ppr := make([]float64, w.Graph().N())
+	inc := 1 / float64(samples)
+	for i := 0; i < samples; i++ {
+		res := w.Sample(u)
+		if res.Terminated {
+			ppr[res.Node] += inc
+		}
+	}
+	return ppr, nil
+}
+
+// MonteCarloLHopRPPR estimates π_ℓ(u, w) for ℓ = 0..maxLevel from samples
+// √c-walks. The result is a slice of sparse maps indexed by level.
+func MonteCarloLHopRPPR(w *walk.Walker, u, samples, maxLevel int) ([]map[int]float64, error) {
+	if err := w.Graph().CheckNode(u); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("pagerank: samples=%d must be positive", samples)
+	}
+	levels := make([]map[int]float64, maxLevel+1)
+	for l := range levels {
+		levels[l] = make(map[int]float64)
+	}
+	inc := 1 / float64(samples)
+	for i := 0; i < samples; i++ {
+		res := w.Sample(u)
+		if res.Terminated && res.Steps <= maxLevel {
+			levels[res.Steps][res.Node] += inc
+		}
+	}
+	return levels, nil
+}

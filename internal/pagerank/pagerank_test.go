@@ -1,0 +1,252 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/walk"
+)
+
+const testC = 0.6
+
+func cycle(n int) *graph.Graph {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: i, To: (i + 1) % n}
+	}
+	g := graph.MustFromEdges(n, edges)
+	g.SortOutByInDegree()
+	return g
+}
+
+// smallGraph is a 6-node graph with hubs, dangling nodes, and a cycle; it is
+// reused across packages as a correctness fixture.
+func smallGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestReversePageRankCycle(t *testing.T) {
+	g := cycle(8)
+	pi, err := ReversePageRank(g, Options{C: testC})
+	if err != nil {
+		t.Fatalf("ReversePageRank: %v", err)
+	}
+	sum := 0.0
+	for v, p := range pi {
+		if math.Abs(p-1.0/8) > 1e-9 {
+			t.Errorf("pi[%d] = %v, want 0.125", v, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum(pi) = %v, want 1 on a cycle", sum)
+	}
+}
+
+func TestReversePageRankSumAtMostOne(t *testing.T) {
+	g := smallGraph()
+	pi, err := ReversePageRank(g, Options{C: testC})
+	if err != nil {
+		t.Fatalf("ReversePageRank: %v", err)
+	}
+	sum := 0.0
+	for _, p := range pi {
+		if p < 0 {
+			t.Errorf("negative reverse PageRank %v", p)
+		}
+		sum += p
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("sum(pi) = %v, must be at most 1", sum)
+	}
+	if sum < 0.5 {
+		t.Errorf("sum(pi) = %v suspiciously small", sum)
+	}
+}
+
+func TestReversePageRankInvalidOptions(t *testing.T) {
+	g := cycle(3)
+	if _, err := ReversePageRank(g, Options{C: 0}); err == nil {
+		t.Errorf("C=0 should be an error")
+	}
+	if _, err := ReversePageRank(g, Options{C: 1.5}); err == nil {
+		t.Errorf("C=1.5 should be an error")
+	}
+}
+
+func TestReversePPRIsDistribution(t *testing.T) {
+	g := smallGraph()
+	for u := 0; u < g.N(); u++ {
+		ppr, err := ReversePPR(g, u, Options{C: testC})
+		if err != nil {
+			t.Fatalf("ReversePPR(%d): %v", u, err)
+		}
+		sum := 0.0
+		for _, p := range ppr {
+			if p < 0 {
+				t.Errorf("negative RPPR from %d", u)
+			}
+			sum += p
+		}
+		if sum > 1+1e-9 {
+			t.Errorf("sum RPPR from %d = %v > 1", u, sum)
+		}
+	}
+}
+
+func TestReversePPRBadNode(t *testing.T) {
+	g := cycle(3)
+	if _, err := ReversePPR(g, 17, Options{C: testC}); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}
+
+func TestAveragePPREqualsPageRank(t *testing.T) {
+	// Identity: (1/n) Σ_u π(u,w) = π(w).
+	g := smallGraph()
+	n := g.N()
+	pi, _ := ReversePageRank(g, Options{C: testC})
+	avg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		ppr, _ := ReversePPR(g, u, Options{C: testC})
+		for w, p := range ppr {
+			avg[w] += p / float64(n)
+		}
+	}
+	for w := range pi {
+		if math.Abs(pi[w]-avg[w]) > 1e-9 {
+			t.Errorf("node %d: pi=%v but average PPR=%v", w, pi[w], avg[w])
+		}
+	}
+}
+
+func TestLHopRPPRSumsToPPR(t *testing.T) {
+	g := smallGraph()
+	u := 1
+	levels, err := LHopRPPR(g, u, 60, Options{C: testC})
+	if err != nil {
+		t.Fatalf("LHopRPPR: %v", err)
+	}
+	ppr, _ := ReversePPR(g, u, Options{C: testC})
+	sum := make([]float64, g.N())
+	for _, lvl := range levels {
+		for w, p := range lvl {
+			sum[w] += p
+		}
+	}
+	for w := range ppr {
+		if math.Abs(sum[w]-ppr[w]) > 1e-6 {
+			t.Errorf("node %d: sum over levels %v != PPR %v", w, sum[w], ppr[w])
+		}
+	}
+	// Level 0 is (1-√c) at the source and zero elsewhere.
+	alpha := 1 - math.Sqrt(testC)
+	if math.Abs(levels[0][u]-alpha) > 1e-12 {
+		t.Errorf("pi_0(u,u) = %v, want %v", levels[0][u], alpha)
+	}
+	for w := range levels[0] {
+		if w != u && levels[0][w] != 0 {
+			t.Errorf("pi_0(u,%d) = %v, want 0", w, levels[0][w])
+		}
+	}
+}
+
+func TestLHopRPPRNegativeLevel(t *testing.T) {
+	g := cycle(3)
+	if _, err := LHopRPPR(g, 0, -1, Options{C: testC}); err == nil {
+		t.Errorf("negative maxLevel should be an error")
+	}
+}
+
+func TestMonteCarloMatchesExactPPR(t *testing.T) {
+	g := smallGraph()
+	w := walk.MustNewWalker(g, testC, 1234)
+	u := 3
+	exact, _ := ReversePPR(g, u, Options{C: testC})
+	est, err := MonteCarloReversePPR(w, u, 200000)
+	if err != nil {
+		t.Fatalf("MonteCarloReversePPR: %v", err)
+	}
+	for v := range exact {
+		if math.Abs(exact[v]-est[v]) > 0.01 {
+			t.Errorf("node %d: exact %v vs MC %v", v, exact[v], est[v])
+		}
+	}
+}
+
+func TestMonteCarloMatchesExactPageRank(t *testing.T) {
+	g := smallGraph()
+	w := walk.MustNewWalker(g, testC, 999)
+	exact, _ := ReversePageRank(g, Options{C: testC})
+	est, err := MonteCarloReversePageRank(w, 20000)
+	if err != nil {
+		t.Fatalf("MonteCarloReversePageRank: %v", err)
+	}
+	for v := range exact {
+		if math.Abs(exact[v]-est[v]) > 0.01 {
+			t.Errorf("node %d: exact %v vs MC %v", v, exact[v], est[v])
+		}
+	}
+}
+
+func TestMonteCarloLHopRPPR(t *testing.T) {
+	g := smallGraph()
+	w := walk.MustNewWalker(g, testC, 4321)
+	u := 0
+	exact, _ := LHopRPPR(g, u, 5, Options{C: testC})
+	est, err := MonteCarloLHopRPPR(w, u, 300000, 5)
+	if err != nil {
+		t.Fatalf("MonteCarloLHopRPPR: %v", err)
+	}
+	for l := 0; l <= 3; l++ {
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(exact[l][v]-est[l][v]) > 0.01 {
+				t.Errorf("level %d node %d: exact %v vs MC %v", l, v, exact[l][v], est[l][v])
+			}
+		}
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	g := cycle(3)
+	w := walk.MustNewWalker(g, testC, 1)
+	if _, err := MonteCarloReversePPR(w, 0, 0); err == nil {
+		t.Errorf("zero samples should be an error")
+	}
+	if _, err := MonteCarloReversePPR(w, 9, 10); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+	if _, err := MonteCarloReversePageRank(w, -1); err == nil {
+		t.Errorf("negative walksPerNode should be an error")
+	}
+	if _, err := MonteCarloLHopRPPR(w, 0, 0, 3); err == nil {
+		t.Errorf("zero samples should be an error")
+	}
+}
+
+func TestRankNodesByScore(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.5, 0.2}
+	order := RankNodesByScore(scores)
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSecondMoment(t *testing.T) {
+	if got := SecondMoment([]float64{0.5, 0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SecondMoment = %v, want 0.5", got)
+	}
+	if got := SecondMoment(nil); got != 0 {
+		t.Errorf("SecondMoment(nil) = %v, want 0", got)
+	}
+}

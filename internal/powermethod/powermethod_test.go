@@ -1,0 +1,125 @@
+package powermethod
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+)
+
+func TestComputeSharedInNeighbor(t *testing.T) {
+	// 2 -> 0, 2 -> 1: s(0,1) = c exactly.
+	g := graph.MustFromEdges(3, []graph.Edge{{From: 2, To: 0}, {From: 2, To: 1}})
+	m, err := Compute(g, Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if math.Abs(m.At(0, 1)-0.6) > 1e-9 {
+		t.Errorf("s(0,1) = %v, want 0.6", m.At(0, 1))
+	}
+	if m.At(0, 2) != 0 {
+		t.Errorf("s(0,2) = %v, want 0 (node 2 has no in-neighbors)", m.At(0, 2))
+	}
+	for v := 0; v < 3; v++ {
+		if m.At(v, v) != 1 {
+			t.Errorf("s(%d,%d) = %v, want 1", v, v, m.At(v, v))
+		}
+	}
+}
+
+func TestComputeSymmetry(t *testing.T) {
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 3, To: 1},
+		{From: 3, To: 2}, {From: 4, To: 0}, {From: 2, To: 4},
+	})
+	m, err := Compute(g, Options{C: 0.8})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if math.Abs(m.At(u, v)-m.At(v, u)) > 1e-12 {
+				t.Errorf("SimRank not symmetric at (%d,%d): %v vs %v", u, v, m.At(u, v), m.At(v, u))
+			}
+			if m.At(u, v) < 0 || m.At(u, v) > 1 {
+				t.Errorf("SimRank out of [0,1] at (%d,%d): %v", u, v, m.At(u, v))
+			}
+		}
+	}
+}
+
+func TestComputeRecursion(t *testing.T) {
+	// After convergence the values must satisfy the SimRank fixed-point
+	// equation (1).
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	const c = 0.6
+	m, err := Compute(g, Options{C: c, Iterations: 80})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			iu, iv := g.InNeighbors(u), g.InNeighbors(v)
+			if len(iu) == 0 || len(iv) == 0 {
+				if m.At(u, v) != 0 {
+					t.Errorf("s(%d,%d) = %v, want 0 for dangling pair", u, v, m.At(u, v))
+				}
+				continue
+			}
+			var sum float64
+			for _, a := range iu {
+				for _, b := range iv {
+					sum += m.At(int(a), int(b))
+				}
+			}
+			want := c * sum / float64(len(iu)*len(iv))
+			if math.Abs(m.At(u, v)-want) > 1e-6 {
+				t.Errorf("fixed point violated at (%d,%d): %v vs %v", u, v, m.At(u, v), want)
+			}
+		}
+	}
+}
+
+func TestSingleSourceRow(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{From: 2, To: 0}, {From: 2, To: 1}})
+	row, err := SingleSource(g, 0, Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if len(row) != 3 {
+		t.Fatalf("row length %d", len(row))
+	}
+	if row[0] != 1 || math.Abs(row[1]-0.6) > 1e-9 {
+		t.Errorf("row = %v", row)
+	}
+	if _, err := SingleSource(g, 9, Options{C: 0.6}); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	if _, err := Compute(g, Options{C: 0}); err == nil {
+		t.Errorf("C=0 should error")
+	}
+	if _, err := Compute(g, Options{C: 0.6, MaxNodes: 1}); err == nil {
+		t.Errorf("MaxNodes guard should trigger")
+	}
+}
+
+func TestRowIsCopy(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{From: 2, To: 0}, {From: 2, To: 1}})
+	m, _ := Compute(g, Options{C: 0.6})
+	row := m.Row(0)
+	row[1] = 42
+	if m.At(0, 1) == 42 {
+		t.Errorf("Row must return a copy")
+	}
+}

@@ -1,0 +1,177 @@
+// Package probesim implements ProbeSim [Liu et al., PVLDB 2017], the
+// index-free single-source SimRank baseline the paper compares against.
+//
+// For each of n_r samples, ProbeSim draws one √c-walk W(u) from the query
+// node and, for every position ℓ >= 1 of the walk, runs a deterministic Probe
+// from the visited node w that computes — for every node v — the probability
+// that a √c-walk from v reaches w at its ℓ-th step while avoiding the nodes
+// visited earlier by W(u) (which enforces the first-meeting semantics of
+// SimRank). Averaging the probe values over the samples yields an unbiased
+// single-source estimate.
+package probesim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"prsim/internal/graph"
+	"prsim/internal/walk"
+)
+
+// Options configures a ProbeSim estimator.
+type Options struct {
+	// C is the SimRank decay factor.
+	C float64
+	// EpsilonA is the additive error target (the paper's ε_a, default 0.1).
+	EpsilonA float64
+	// Delta is the failure probability.
+	Delta float64
+	// SampleScale scales the number of samples relative to the theoretical
+	// Θ(log(n/δ)/ε²); 1.0 keeps the full count. Defaults to 1.0.
+	SampleScale float64
+	// Seed makes the estimator deterministic.
+	Seed uint64
+}
+
+func (o Options) fill() (Options, error) {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.C <= 0 || o.C >= 1 {
+		return o, fmt.Errorf("probesim: decay factor c=%v outside (0,1)", o.C)
+	}
+	if o.EpsilonA == 0 {
+		o.EpsilonA = 0.1
+	}
+	if o.EpsilonA <= 0 || o.EpsilonA >= 1 {
+		return o, fmt.Errorf("probesim: epsilonA=%v outside (0,1)", o.EpsilonA)
+	}
+	if o.Delta == 0 {
+		o.Delta = 1e-4
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return o, fmt.Errorf("probesim: delta=%v outside (0,1)", o.Delta)
+	}
+	if o.SampleScale == 0 {
+		o.SampleScale = 1
+	}
+	if o.SampleScale < 0 {
+		return o, fmt.Errorf("probesim: SampleScale=%v must be positive", o.SampleScale)
+	}
+	return o, nil
+}
+
+// Estimator answers single-source queries without any index.
+type Estimator struct {
+	g    *graph.Graph
+	opts Options
+}
+
+// Stats reports the work done by the most recent query.
+type Stats struct {
+	Samples    int
+	ProbeCost  int // number of probe value updates
+	WalkLength int // total length of the sampled walks
+	Time       time.Duration
+}
+
+// New returns a ProbeSim estimator for the graph.
+func New(g *graph.Graph, opts Options) (*Estimator, error) {
+	if g == nil {
+		return nil, fmt.Errorf("probesim: nil graph")
+	}
+	opts, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{g: g, opts: opts}, nil
+}
+
+// Samples returns the number of Monte Carlo samples a query will use.
+func (e *Estimator) Samples() int {
+	n := e.g.N()
+	if n < 2 {
+		n = 2
+	}
+	nr := 3 * math.Log(float64(n)/e.opts.Delta) / (e.opts.EpsilonA * e.opts.EpsilonA) * e.opts.SampleScale
+	if nr < 1 {
+		return 1
+	}
+	return int(math.Ceil(nr))
+}
+
+// SingleSource answers a single-source SimRank query from u.
+func (e *Estimator) SingleSource(u int) (map[int]float64, error) {
+	scores, _, err := e.SingleSourceWithStats(u)
+	return scores, err
+}
+
+// SingleSourceWithStats is SingleSource plus cost accounting for the
+// experiment harness.
+func (e *Estimator) SingleSourceWithStats(u int) (map[int]float64, Stats, error) {
+	if err := e.g.CheckNode(u); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	nr := e.Samples()
+	walker, err := walk.NewWalker(e.g, e.opts.C, e.opts.Seed^uint64(u)*0x9e3779b97f4a7c15)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Samples: nr}
+	scores := make(map[int]float64)
+	inc := 1 / float64(nr)
+	for i := 0; i < nr; i++ {
+		trace, _ := walker.SampleTrace(u)
+		stats.WalkLength += len(trace)
+		for level := 1; level < len(trace); level++ {
+			e.probe(trace, level, inc, scores, &stats)
+		}
+	}
+	scores[u] = 1
+	stats.Time = time.Since(start)
+	return scores, stats, nil
+}
+
+// probe propagates hitting probabilities from w = trace[level] backwards for
+// level steps, zeroing out the nodes of the query walk at matching positions
+// so that only first meetings are counted, and adds the resulting
+// contributions (scaled by inc) to scores.
+func (e *Estimator) probe(trace []int, level int, inc float64, scores map[int]float64, stats *Stats) {
+	w := trace[level]
+	sqrtC := math.Sqrt(e.opts.C)
+	cur := map[int]float64{w: 1}
+	for i := 1; i <= level; i++ {
+		next := make(map[int]float64)
+		for x, px := range cur {
+			for _, zz := range e.g.OutNeighbors(x) {
+				z := int(zz)
+				din := e.g.InDegree(z)
+				if din == 0 {
+					continue
+				}
+				next[z] += sqrtC * px / float64(din)
+				stats.ProbeCost++
+			}
+		}
+		// First-meeting correction: a walk from v that is at trace[level-i]
+		// at its own step level-i would have met the query walk earlier, so
+		// its mass is discarded (unless we are at the last expansion step,
+		// where position 0 is v itself and trace[0] = u is handled by the
+		// caller scoring u separately).
+		if i < level {
+			delete(next, trace[level-i])
+		}
+		cur = next
+		if len(cur) == 0 {
+			return
+		}
+	}
+	for v, p := range cur {
+		if v == trace[0] {
+			continue
+		}
+		scores[v] += p * inc
+	}
+}

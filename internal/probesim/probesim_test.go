@@ -1,0 +1,105 @@
+package probesim
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := New(nil, Options{}); err == nil {
+		t.Errorf("nil graph should be an error")
+	}
+	if _, err := New(g, Options{C: -1}); err == nil {
+		t.Errorf("invalid decay should be an error")
+	}
+	if _, err := New(g, Options{EpsilonA: 7}); err == nil {
+		t.Errorf("invalid epsilon should be an error")
+	}
+	if _, err := New(g, Options{Delta: 2}); err == nil {
+		t.Errorf("invalid delta should be an error")
+	}
+	if _, err := New(g, Options{SampleScale: -1}); err == nil {
+		t.Errorf("negative sample scale should be an error")
+	}
+}
+
+func TestSingleSourceMatchesExact(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	est, err := New(g, Options{C: 0.6, EpsilonA: 0.05, Delta: 0.01, Seed: 11})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, u := range []int{0, 2, 3} {
+		scores, stats, err := est.SingleSourceWithStats(u)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", u, err)
+		}
+		if scores[u] != 1 {
+			t.Errorf("s(%d,%d) = %v, want 1", u, u, scores[u])
+		}
+		if stats.Samples <= 0 || stats.Time <= 0 {
+			t.Errorf("stats not populated: %+v", stats)
+		}
+		for v := 0; v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			if math.Abs(scores[v]-exact.At(u, v)) > 0.05 {
+				t.Errorf("s(%d,%d): ProbeSim %v, exact %v", u, v, scores[v], exact.At(u, v))
+			}
+		}
+	}
+}
+
+func TestSamplesScaling(t *testing.T) {
+	g := testGraph()
+	full, _ := New(g, Options{EpsilonA: 0.1})
+	scaled, _ := New(g, Options{EpsilonA: 0.1, SampleScale: 0.25})
+	if scaled.Samples() >= full.Samples() {
+		t.Errorf("SampleScale=0.25 should reduce samples: %d vs %d", scaled.Samples(), full.Samples())
+	}
+	coarse, _ := New(g, Options{EpsilonA: 0.5})
+	if coarse.Samples() >= full.Samples() {
+		t.Errorf("larger epsilon should reduce samples: %d vs %d", coarse.Samples(), full.Samples())
+	}
+}
+
+func TestSingleSourceInvalidNode(t *testing.T) {
+	g := testGraph()
+	est, _ := New(g, Options{EpsilonA: 0.3})
+	if _, err := est.SingleSource(100); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}
+
+func TestScoresWithinRange(t *testing.T) {
+	g := testGraph()
+	est, _ := New(g, Options{EpsilonA: 0.2, Seed: 5})
+	scores, err := est.SingleSource(1)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v, s := range scores {
+		if s < 0 || s > 1.2 {
+			t.Errorf("score s(1,%d) = %v far outside [0,1]", v, s)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package reads implements READS [Jiang, Fu & Wong, PVLDB 2017], the
+// index-based random-walk baseline the paper compares against (its static
+// variant, which [16] reports to be the fastest of the three READS versions).
+//
+// Preprocessing draws r √c-walks of depth at most t from every node and stores
+// them in an inverted index keyed by (walk set, step, node). A single-source
+// query from u replays u's stored walk in every set and, for every position,
+// looks up the other sources whose walk in the same set visits the same node
+// at the same step; the fraction of sets in which the walks meet estimates the
+// SimRank value.
+package reads
+
+import (
+	"fmt"
+	"time"
+
+	"prsim/internal/graph"
+	"prsim/internal/walk"
+)
+
+// Options configures READS index construction.
+type Options struct {
+	// C is the SimRank decay factor.
+	C float64
+	// R is the number of walk sets (the paper's parameter r, default 100).
+	R int
+	// T is the maximum walk depth (the paper's parameter t, default 10).
+	T int
+	// Seed makes the sampled walks deterministic.
+	Seed uint64
+}
+
+func (o Options) fill() (Options, error) {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.C <= 0 || o.C >= 1 {
+		return o, fmt.Errorf("reads: decay factor c=%v outside (0,1)", o.C)
+	}
+	if o.R == 0 {
+		o.R = 100
+	}
+	if o.R < 1 {
+		return o, fmt.Errorf("reads: r=%d must be positive", o.R)
+	}
+	if o.T == 0 {
+		o.T = 10
+	}
+	if o.T < 1 {
+		return o, fmt.Errorf("reads: t=%d must be positive", o.T)
+	}
+	return o, nil
+}
+
+// stepKey identifies an inverted-index bucket: the node visited at a given
+// step within one walk set.
+type stepKey struct {
+	Step int32
+	Node int32
+}
+
+// walkSet holds the compressed walks of one set: each source's truncated walk
+// plus the inverted index used at query time.
+type walkSet struct {
+	// traces[v] holds the nodes visited by v's walk at steps 1..len (step 0,
+	// the source itself, is implicit).
+	traces [][]int32
+	// inverted maps (step, node) to the sources whose walk visits node at
+	// that step.
+	inverted map[stepKey][]int32
+}
+
+// Index is a READS index.
+type Index struct {
+	g    *graph.Graph
+	opts Options
+	sets []walkSet
+
+	stats Stats
+}
+
+// Stats reports preprocessing cost and index size.
+type Stats struct {
+	StoredSteps int // total number of (source, step, node) entries
+	TotalTime   time.Duration
+}
+
+// SizeBytes estimates the in-memory index size (each stored step appears in a
+// trace and in the inverted index).
+func (s Stats) SizeBytes() int64 { return int64(s.StoredSteps) * 2 * 12 }
+
+// BuildIndex samples the walks and builds the inverted indexes.
+func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("reads: nil graph")
+	}
+	opts, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	walker, err := walk.NewWalker(g, opts.C, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("reads: %w", err)
+	}
+	idx := &Index{g: g, opts: opts, sets: make([]walkSet, opts.R)}
+	for j := 0; j < opts.R; j++ {
+		set := walkSet{
+			traces:   make([][]int32, g.N()),
+			inverted: make(map[stepKey][]int32),
+		}
+		for v := 0; v < g.N(); v++ {
+			trace, _ := walker.SampleTrace(v)
+			depth := len(trace) - 1
+			if depth > opts.T {
+				depth = opts.T
+			}
+			steps := make([]int32, depth)
+			for s := 1; s <= depth; s++ {
+				node := int32(trace[s])
+				steps[s-1] = node
+				key := stepKey{Step: int32(s), Node: node}
+				set.inverted[key] = append(set.inverted[key], int32(v))
+				idx.stats.StoredSteps++
+			}
+			set.traces[v] = steps
+		}
+		idx.sets[j] = set
+	}
+	idx.stats.TotalTime = time.Since(start)
+	return idx, nil
+}
+
+// Graph returns the indexed graph.
+func (idx *Index) Graph() *graph.Graph { return idx.g }
+
+// Stats returns preprocessing statistics.
+func (idx *Index) Stats() Stats { return idx.stats }
+
+// SingleSource answers a single-source SimRank query from u: for every walk
+// set, every node whose stored walk first meets u's stored walk contributes
+// 1/R to its estimate.
+func (idx *Index) SingleSource(u int) (map[int]float64, error) {
+	if err := idx.g.CheckNode(u); err != nil {
+		return nil, err
+	}
+	scores := make(map[int]float64)
+	inc := 1 / float64(idx.opts.R)
+	for j := range idx.sets {
+		set := &idx.sets[j]
+		trace := set.traces[u]
+		met := make(map[int32]struct{})
+		for s := 0; s < len(trace); s++ {
+			key := stepKey{Step: int32(s + 1), Node: trace[s]}
+			for _, v := range set.inverted[key] {
+				if int(v) == u {
+					continue
+				}
+				if _, ok := met[v]; ok {
+					continue
+				}
+				met[v] = struct{}{}
+				scores[int(v)] += inc
+			}
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}

@@ -1,0 +1,114 @@
+package reads
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := BuildIndex(nil, Options{}); err == nil {
+		t.Errorf("nil graph should be an error")
+	}
+	if _, err := BuildIndex(g, Options{C: 9}); err == nil {
+		t.Errorf("invalid decay should be an error")
+	}
+	if _, err := BuildIndex(g, Options{R: -1}); err == nil {
+		t.Errorf("negative r should be an error")
+	}
+	if _, err := BuildIndex(g, Options{T: -1}); err == nil {
+		t.Errorf("negative t should be an error")
+	}
+}
+
+func TestSingleSourceApproximatesExact(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	idx, err := BuildIndex(g, Options{C: 0.6, R: 8000, T: 12, Seed: 17})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	for _, u := range []int{0, 2, 4} {
+		scores, err := idx.SingleSource(u)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", u, err)
+		}
+		if scores[u] != 1 {
+			t.Errorf("s(%d,%d) = %v, want 1", u, u, scores[u])
+		}
+		for v := 0; v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			if math.Abs(scores[v]-exact.At(u, v)) > 0.06 {
+				t.Errorf("s(%d,%d): READS %v, exact %v", u, v, scores[v], exact.At(u, v))
+			}
+		}
+	}
+}
+
+func TestIndexSizeGrowsWithR(t *testing.T) {
+	g := testGraph()
+	small, _ := BuildIndex(g, Options{R: 10, T: 5, Seed: 1})
+	large, _ := BuildIndex(g, Options{R: 100, T: 5, Seed: 1})
+	if large.Stats().StoredSteps <= small.Stats().StoredSteps {
+		t.Errorf("more walk sets must store more steps: %d vs %d",
+			large.Stats().StoredSteps, small.Stats().StoredSteps)
+	}
+	if small.Stats().SizeBytes() <= 0 {
+		t.Errorf("SizeBytes must be positive")
+	}
+	if small.Graph() != g {
+		t.Errorf("Graph() returned a different graph")
+	}
+}
+
+func TestWalkDepthTruncated(t *testing.T) {
+	g := testGraph()
+	idx, _ := BuildIndex(g, Options{R: 50, T: 2, Seed: 9})
+	for _, set := range idx.sets {
+		for v, trace := range set.traces {
+			if len(trace) > 2 {
+				t.Errorf("walk of node %d has depth %d, want <= 2", v, len(trace))
+			}
+		}
+	}
+}
+
+func TestSingleSourceInvalidNode(t *testing.T) {
+	g := testGraph()
+	idx, _ := BuildIndex(g, Options{R: 10, T: 3})
+	if _, err := idx.SingleSource(77); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}
+
+func TestScoresWithinUnitInterval(t *testing.T) {
+	g := testGraph()
+	idx, _ := BuildIndex(g, Options{R: 500, T: 10, Seed: 23})
+	scores, err := idx.SingleSource(3)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v, s := range scores {
+		if s < 0 || s > 1 {
+			t.Errorf("score s(3,%d) = %v outside [0,1]", v, s)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sling
+
+import (
+	"math"
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := BuildIndex(nil, Options{}); err == nil {
+		t.Errorf("nil graph should be an error")
+	}
+	if _, err := BuildIndex(g, Options{C: 5}); err == nil {
+		t.Errorf("invalid decay should be an error")
+	}
+	if _, err := BuildIndex(g, Options{EpsilonA: 2}); err == nil {
+		t.Errorf("invalid epsilon should be an error")
+	}
+	if _, err := BuildIndex(g, Options{Delta: -1}); err == nil {
+		t.Errorf("invalid delta should be an error")
+	}
+}
+
+func TestSingleSourceMatchesExact(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	idx, err := BuildIndex(g, Options{C: 0.6, EpsilonA: 0.01, Seed: 3, MaxEtaSamples: 100000})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		scores, err := idx.SingleSource(u)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", u, err)
+		}
+		if scores[u] != 1 {
+			t.Errorf("s(%d,%d) = %v, want 1", u, u, scores[u])
+		}
+		for v := 0; v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			if math.Abs(scores[v]-exact.At(u, v)) > 0.08 {
+				t.Errorf("s(%d,%d): SLING %v, exact %v", u, v, scores[v], exact.At(u, v))
+			}
+		}
+	}
+}
+
+func TestEtaInRange(t *testing.T) {
+	g := testGraph()
+	idx, err := BuildIndex(g, Options{C: 0.6, EpsilonA: 0.1, Seed: 1, MaxEtaSamples: 20000})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	for w := 0; w < g.N(); w++ {
+		eta := idx.Eta(w)
+		if eta < 0 || eta > 1 {
+			t.Errorf("eta(%d) = %v outside [0,1]", w, eta)
+		}
+	}
+	// A node with no in-neighbors can never see its two walks move, so its
+	// last-meeting probability is exactly 1.
+	danglingSource := -1
+	for v := 0; v < g.N(); v++ {
+		if g.InDegree(v) == 0 {
+			danglingSource = v
+		}
+	}
+	if danglingSource >= 0 && idx.Eta(danglingSource) != 1 {
+		t.Errorf("eta of in-degree-0 node %d = %v, want 1", danglingSource, idx.Eta(danglingSource))
+	}
+}
+
+func TestStatsAndSize(t *testing.T) {
+	g := testGraph()
+	idx, err := BuildIndex(g, Options{C: 0.6, EpsilonA: 0.05, MaxEtaSamples: 1000})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	s := idx.Stats()
+	if s.Entries <= 0 {
+		t.Errorf("Entries = %d, want > 0", s.Entries)
+	}
+	if s.EtaWalks <= 0 {
+		t.Errorf("EtaWalks = %d, want > 0", s.EtaWalks)
+	}
+	if s.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes = %d, want > 0", s.SizeBytes())
+	}
+	if idx.Graph() != g {
+		t.Errorf("Graph() returned a different graph")
+	}
+}
+
+func TestIndexShrinksWithLargerEpsilon(t *testing.T) {
+	g := testGraph()
+	tight, _ := BuildIndex(g, Options{EpsilonA: 0.01, MaxEtaSamples: 100})
+	loose, _ := BuildIndex(g, Options{EpsilonA: 0.3, MaxEtaSamples: 100})
+	if tight.Stats().Entries < loose.Stats().Entries {
+		t.Errorf("entries: eps=0.01 has %d, eps=0.3 has %d; tighter epsilon must not store fewer",
+			tight.Stats().Entries, loose.Stats().Entries)
+	}
+}
+
+func TestSingleSourceInvalidNode(t *testing.T) {
+	g := testGraph()
+	idx, _ := BuildIndex(g, Options{EpsilonA: 0.2, MaxEtaSamples: 100})
+	if _, err := idx.SingleSource(-1); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}

@@ -1,0 +1,142 @@
+package topsim
+
+import (
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := New(nil, Options{}); err == nil {
+		t.Errorf("nil graph should be an error")
+	}
+	if _, err := New(g, Options{C: 42}); err == nil {
+		t.Errorf("invalid decay should be an error")
+	}
+	if _, err := New(g, Options{T: -1}); err == nil {
+		t.Errorf("negative depth should be an error")
+	}
+	if _, err := New(g, Options{H: -1}); err == nil {
+		t.Errorf("negative H should be an error")
+	}
+}
+
+func TestSingleSourceRanking(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	est, err := New(g, Options{C: 0.6, T: 4, InvH: 100, Eta: 0.0001, H: 100})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, u := range []int{0, 3} {
+		scores, stats, err := est.SingleSourceWithStats(u)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", u, err)
+		}
+		if scores[u] != 1 {
+			t.Errorf("s(u,u) = %v, want 1", scores[u])
+		}
+		if stats.Expansions <= 0 || stats.Time <= 0 {
+			t.Errorf("stats not populated: %+v", stats)
+		}
+		// Scores are clamped to [0,1].
+		for v, s := range scores {
+			if s < 0 || s > 1 {
+				t.Errorf("score s(%d,%d) = %v outside [0,1]", u, v, s)
+			}
+		}
+		// The exact best match must not be ranked below more than one other
+		// node (TopSim is approximate but should preserve the leader).
+		bestExact, bestScore := -1, -1.0
+		for v := 0; v < g.N(); v++ {
+			if v != u && exact.At(u, v) > bestScore {
+				bestScore = exact.At(u, v)
+				bestExact = v
+			}
+		}
+		higher := 0
+		for v := 0; v < g.N(); v++ {
+			if v != u && v != bestExact && scores[v] > scores[bestExact] {
+				higher++
+			}
+		}
+		if bestScore > 0 && higher > 1 {
+			t.Errorf("source %d: %d nodes ranked above the exact best match", u, higher)
+		}
+	}
+}
+
+func TestZeroForUnreachable(t *testing.T) {
+	// Disconnected pair of 2-cycles: similarity across components must be 0.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 2, To: 3}, {From: 3, To: 2},
+	})
+	g.SortOutByInDegree()
+	est, _ := New(g, Options{T: 5})
+	scores, err := est.SingleSource(0)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if scores[2] != 0 || scores[3] != 0 {
+		t.Errorf("cross-component scores must be 0: %v", scores)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dist := map[int]float64{1: 0.5, 2: 0.0001, 3: 0.3, 4: 0.2, 5: 0.25}
+	out := prune(dist, 0.001, 3)
+	if len(out) != 3 {
+		t.Fatalf("prune kept %d entries, want 3", len(out))
+	}
+	if _, ok := out[2]; ok {
+		t.Errorf("entry below eta survived")
+	}
+	if _, ok := out[1]; !ok {
+		t.Errorf("largest entry was pruned")
+	}
+}
+
+func TestHighDegreePruning(t *testing.T) {
+	// Node 0 has in-degree 5 > InvH=3, so expansion through it is skipped and
+	// the walk distribution from node 1 (whose only in-neighbor is 0) is empty
+	// after one step, leaving all scores at zero.
+	edges := []graph.Edge{{From: 0, To: 1}}
+	for i := 2; i < 7; i++ {
+		edges = append(edges, graph.Edge{From: i, To: 0})
+	}
+	g := graph.MustFromEdges(7, edges)
+	g.SortOutByInDegree()
+	est, _ := New(g, Options{T: 3, InvH: 3})
+	scores, err := est.SingleSource(1)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v, s := range scores {
+		if v != 1 && s != 0 {
+			t.Errorf("expected zero scores when the only path is through a pruned hub, got s(1,%d)=%v", v, s)
+		}
+	}
+}
+
+func TestSingleSourceInvalidNode(t *testing.T) {
+	g := testGraph()
+	est, _ := New(g, Options{})
+	if _, err := est.SingleSource(-1); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}

@@ -1,0 +1,196 @@
+// Package tsf implements TSF [Shao et al., PVLDB 2015], the two-stage
+// random-walk sampling baseline the paper compares against.
+//
+// Preprocessing builds R_g one-way graphs, each sampling one in-neighbor per
+// node; the resulting parent pointers define a deterministic reverse walk for
+// every node. At query time R_q fresh random walks are drawn from the query
+// node and matched against the deterministic walks of all other nodes by
+// expanding the one-way graph's child pointers level by level. As in the
+// original algorithm, two walks may be counted as meeting more than once, so
+// TSF tends to overestimate SimRank values (Section 4 of the PRSim paper).
+package tsf
+
+import (
+	"fmt"
+	"time"
+
+	"prsim/internal/graph"
+	"prsim/internal/walk"
+)
+
+// Options configures TSF.
+type Options struct {
+	// C is the SimRank decay factor.
+	C float64
+	// Rg is the number of one-way graphs stored in the index (default 300).
+	Rg int
+	// Rq is the number of query walks matched against each one-way graph
+	// (default 40).
+	Rq int
+	// T is the depth of the walks (default 10).
+	T int
+	// Seed makes index construction and queries deterministic.
+	Seed uint64
+}
+
+func (o Options) fill() (Options, error) {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.C <= 0 || o.C >= 1 {
+		return o, fmt.Errorf("tsf: decay factor c=%v outside (0,1)", o.C)
+	}
+	if o.Rg == 0 {
+		o.Rg = 300
+	}
+	if o.Rq == 0 {
+		o.Rq = 40
+	}
+	if o.T == 0 {
+		o.T = 10
+	}
+	if o.Rg < 1 || o.Rq < 1 || o.T < 1 {
+		return o, fmt.Errorf("tsf: Rg=%d, Rq=%d, T=%d must all be positive", o.Rg, o.Rq, o.T)
+	}
+	return o, nil
+}
+
+// oneWayGraph stores the sampled parent pointer of every node plus the child
+// lists needed to expand descendants at query time.
+type oneWayGraph struct {
+	parent   []int32 // -1 when the node has no in-neighbors
+	childOff []int
+	children []int32
+}
+
+// Index is a TSF index.
+type Index struct {
+	g    *graph.Graph
+	opts Options
+	ways []oneWayGraph
+
+	stats Stats
+}
+
+// Stats reports preprocessing cost and index size.
+type Stats struct {
+	TotalTime time.Duration
+}
+
+// SizeBytes estimates the index size: one parent pointer and one child slot
+// per node per one-way graph.
+func (idx *Index) SizeBytes() int64 {
+	return int64(len(idx.ways)) * int64(idx.g.N()) * 8
+}
+
+// BuildIndex samples the one-way graphs.
+func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tsf: nil graph")
+	}
+	opts, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rng := walk.NewRNG(opts.Seed)
+	idx := &Index{g: g, opts: opts, ways: make([]oneWayGraph, opts.Rg)}
+	n := g.N()
+	for w := 0; w < opts.Rg; w++ {
+		parent := make([]int32, n)
+		counts := make([]int, n)
+		for v := 0; v < n; v++ {
+			in := g.InNeighbors(v)
+			if len(in) == 0 {
+				parent[v] = -1
+				continue
+			}
+			p := in[rng.Intn(len(in))]
+			parent[v] = p
+			counts[p]++
+		}
+		childOff := make([]int, n+1)
+		for v := 0; v < n; v++ {
+			childOff[v+1] = childOff[v] + counts[v]
+		}
+		children := make([]int32, childOff[n])
+		fill := make([]int, n)
+		copy(fill, childOff[:n])
+		for v := 0; v < n; v++ {
+			if parent[v] >= 0 {
+				p := parent[v]
+				children[fill[p]] = int32(v)
+				fill[p]++
+			}
+		}
+		idx.ways[w] = oneWayGraph{parent: parent, childOff: childOff, children: children}
+	}
+	idx.stats.TotalTime = time.Since(start)
+	return idx, nil
+}
+
+// Graph returns the indexed graph.
+func (idx *Index) Graph() *graph.Graph { return idx.g }
+
+// Stats returns preprocessing statistics.
+func (idx *Index) Stats() Stats { return idx.stats }
+
+// SingleSource answers a single-source SimRank query from u.
+func (idx *Index) SingleSource(u int) (map[int]float64, error) {
+	if err := idx.g.CheckNode(u); err != nil {
+		return nil, err
+	}
+	opts := idx.opts
+	rng := walk.NewRNG(opts.Seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 7))
+	scores := make(map[int]float64)
+	norm := 1 / float64(opts.Rg*opts.Rq)
+	for _, way := range idx.ways {
+		for q := 0; q < opts.Rq; q++ {
+			// A plain uniform reverse walk of depth T from u; meetings at
+			// depth i are weighted by c^i.
+			cur := u
+			weight := 1.0
+			for step := 1; step <= opts.T; step++ {
+				in := idx.g.InNeighbors(cur)
+				if len(in) == 0 {
+					break
+				}
+				cur = int(in[rng.Intn(len(in))])
+				weight *= opts.C
+				// All nodes whose deterministic one-way walk is at cur after
+				// `step` steps are the descendants of cur at depth `step`.
+				idx.forEachDescendant(&way, cur, step, func(v int) {
+					if v != u {
+						scores[v] += weight * norm
+					}
+				})
+			}
+		}
+	}
+	// TSF counts repeated meetings and therefore overestimates; clamp to the
+	// SimRank range so downstream consumers always see values in [0, 1].
+	for v, s := range scores {
+		if s > 1 {
+			scores[v] = 1
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}
+
+// forEachDescendant calls fn for every node whose one-way walk reaches root in
+// exactly depth steps (i.e. every depth-level descendant of root in the
+// child forest).
+func (idx *Index) forEachDescendant(way *oneWayGraph, root, depth int, fn func(v int)) {
+	frontier := []int32{int32(root)}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []int32
+		for _, x := range frontier {
+			next = append(next, way.children[way.childOff[x]:way.childOff[x+1]]...)
+		}
+		frontier = next
+	}
+	for _, v := range frontier {
+		fn(int(v))
+	}
+}

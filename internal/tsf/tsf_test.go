@@ -1,0 +1,142 @@
+package tsf
+
+import (
+	"testing"
+
+	"prsim/internal/graph"
+	"prsim/internal/powermethod"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 0}, {From: 3, To: 4}, {From: 4, To: 2}, {From: 1, To: 5},
+		{From: 5, To: 2},
+	})
+	g.SortOutByInDegree()
+	return g
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := BuildIndex(nil, Options{}); err == nil {
+		t.Errorf("nil graph should be an error")
+	}
+	if _, err := BuildIndex(g, Options{C: 3}); err == nil {
+		t.Errorf("invalid decay should be an error")
+	}
+	if _, err := BuildIndex(g, Options{Rg: -2}); err == nil {
+		t.Errorf("negative Rg should be an error")
+	}
+	if _, err := BuildIndex(g, Options{Rq: -2}); err == nil {
+		t.Errorf("negative Rq should be an error")
+	}
+}
+
+func TestOneWayGraphsAreValid(t *testing.T) {
+	g := testGraph()
+	idx, err := BuildIndex(g, Options{Rg: 20, Rq: 4, T: 5, Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	for _, way := range idx.ways {
+		for v := 0; v < g.N(); v++ {
+			p := way.parent[v]
+			if g.InDegree(v) == 0 {
+				if p != -1 {
+					t.Errorf("node %d has no in-neighbors but parent %d", v, p)
+				}
+				continue
+			}
+			if p < 0 || int(p) >= g.N() {
+				t.Errorf("node %d has out-of-range parent %d", v, p)
+				continue
+			}
+			if !g.HasEdge(int(p), v) {
+				t.Errorf("parent %d of node %d is not an in-neighbor", p, v)
+			}
+		}
+		// Children lists must mirror the parent pointers.
+		childCount := 0
+		for v := 0; v < g.N(); v++ {
+			childCount += way.childOff[v+1] - way.childOff[v]
+		}
+		parentCount := 0
+		for v := 0; v < g.N(); v++ {
+			if way.parent[v] >= 0 {
+				parentCount++
+			}
+		}
+		if childCount != parentCount {
+			t.Errorf("children (%d) and parent pointers (%d) disagree", childCount, parentCount)
+		}
+	}
+}
+
+func TestSingleSourceTracksExactOrdering(t *testing.T) {
+	g := testGraph()
+	exact, err := powermethod.Compute(g, powermethod.Options{C: 0.6})
+	if err != nil {
+		t.Fatalf("powermethod: %v", err)
+	}
+	idx, err := BuildIndex(g, Options{C: 0.6, Rg: 400, Rq: 20, T: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	u := 0
+	scores, err := idx.SingleSource(u)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if scores[u] != 1 {
+		t.Errorf("s(u,u) = %v, want 1", scores[u])
+	}
+	// TSF overestimates but must still separate clearly-similar from
+	// clearly-dissimilar nodes: the node with the highest exact SimRank to u
+	// should receive one of the two largest TSF scores.
+	bestExact, bestScore := -1, -1.0
+	for v := 0; v < g.N(); v++ {
+		if v != u && exact.At(u, v) > bestScore {
+			bestScore = exact.At(u, v)
+			bestExact = v
+		}
+	}
+	higher := 0
+	for v := 0; v < g.N(); v++ {
+		if v != u && v != bestExact && scores[v] > scores[bestExact] {
+			higher++
+		}
+	}
+	if higher > 1 {
+		t.Errorf("TSF ranks %d nodes above the exact best match %d", higher, bestExact)
+	}
+	// Every node with zero exact SimRank should also have a small TSF score
+	// relative to the best match.
+	for v := 0; v < g.N(); v++ {
+		if v != u && exact.At(u, v) == 0 && scores[v] > 0.5 {
+			t.Errorf("node %d has exact SimRank 0 but TSF score %v", v, scores[v])
+		}
+	}
+}
+
+func TestSingleSourceInvalidNode(t *testing.T) {
+	g := testGraph()
+	idx, _ := BuildIndex(g, Options{Rg: 5, Rq: 2, T: 3})
+	if _, err := idx.SingleSource(-3); err == nil {
+		t.Errorf("invalid node should be an error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := testGraph()
+	idx, _ := BuildIndex(g, Options{Rg: 10, Rq: 2, T: 3})
+	if idx.Stats().TotalTime <= 0 {
+		t.Errorf("TotalTime should be positive")
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes should be positive")
+	}
+	if idx.Graph() != g {
+		t.Errorf("Graph() returned a different graph")
+	}
+}

@@ -1,0 +1,143 @@
+package walk
+
+import (
+	"fmt"
+	"math"
+
+	"prsim/internal/graph"
+)
+
+// DefaultDecay is the SimRank decay factor c used throughout the paper's
+// experiments.
+const DefaultDecay = 0.6
+
+// Walker samples √c-walks on a graph.
+type Walker struct {
+	g     *graph.Graph
+	c     float64
+	sqrtC float64
+	rng   *RNG
+}
+
+// NewWalker returns a walker with decay factor c (the SimRank decay, not √c)
+// and a deterministic seed.
+func NewWalker(g *graph.Graph, c float64, seed uint64) (*Walker, error) {
+	if g == nil {
+		return nil, fmt.Errorf("walk: nil graph")
+	}
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("walk: decay factor c=%v outside (0,1)", c)
+	}
+	return &Walker{g: g, c: c, sqrtC: math.Sqrt(c), rng: NewRNG(seed)}, nil
+}
+
+// MustNewWalker is NewWalker but panics on error; for tests and fixtures.
+func MustNewWalker(g *graph.Graph, c float64, seed uint64) *Walker {
+	w, err := NewWalker(g, c, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Graph returns the underlying graph.
+func (w *Walker) Graph() *graph.Graph { return w.g }
+
+// Decay returns the SimRank decay factor c.
+func (w *Walker) Decay() float64 { return w.c }
+
+// SqrtC returns √c, the per-step continuation probability.
+func (w *Walker) SqrtC() float64 { return w.sqrtC }
+
+// RNG exposes the walker's generator, e.g. to derive seeds for helpers.
+func (w *Walker) RNG() *RNG { return w.rng }
+
+// Result is the outcome of a single √c-walk.
+type Result struct {
+	// Node is the node at which the walk terminated (meaningful only when
+	// Terminated is true).
+	Node int
+	// Steps is the number of steps taken before termination.
+	Steps int
+	// Terminated is false when the walk died at a node with no in-neighbors
+	// before the termination coin came up.
+	Terminated bool
+}
+
+// Sample runs one √c-walk from u and reports where (and whether) it
+// terminated.
+func (w *Walker) Sample(u int) Result {
+	cur := u
+	steps := 0
+	for {
+		if w.rng.Float64() >= w.sqrtC {
+			return Result{Node: cur, Steps: steps, Terminated: true}
+		}
+		in := w.g.InNeighbors(cur)
+		if len(in) == 0 {
+			return Result{Node: cur, Steps: steps, Terminated: false}
+		}
+		cur = int(in[w.rng.Intn(len(in))])
+		steps++
+	}
+}
+
+// SampleTrace runs one √c-walk from u and returns the full sequence of nodes
+// visited while the walk is alive: trace[0] == u, trace[i] is the node after i
+// steps. terminated reports whether the walk ended by the termination coin (at
+// trace[len(trace)-1]) rather than by dying at a dangling node.
+func (w *Walker) SampleTrace(u int) (trace []int, terminated bool) {
+	trace = append(trace, u)
+	cur := u
+	for {
+		if w.rng.Float64() >= w.sqrtC {
+			return trace, true
+		}
+		in := w.g.InNeighbors(cur)
+		if len(in) == 0 {
+			return trace, false
+		}
+		cur = int(in[w.rng.Intn(len(in))])
+		trace = append(trace, cur)
+	}
+}
+
+// Meet simulates a pair of √c-walks from u and v step-synchronously and
+// reports whether they meet, i.e. whether there is a step i >= minStep at
+// which both walks are alive and occupy the same node. The SimRank value
+// s(u,v) for u != v equals the meeting probability with minStep = 0 applied to
+// the positions after each step (the walks start at different nodes, so the
+// first possible meeting is after one step).
+func (w *Walker) Meet(u, v int, minStep int) bool {
+	if minStep < 0 {
+		minStep = 0
+	}
+	a, b := u, v
+	step := 0
+	for {
+		// Each walk independently decides whether to continue.
+		contA := w.rng.Float64() < w.sqrtC
+		contB := w.rng.Float64() < w.sqrtC
+		if !contA || !contB {
+			return false
+		}
+		inA := w.g.InNeighbors(a)
+		inB := w.g.InNeighbors(b)
+		if len(inA) == 0 || len(inB) == 0 {
+			return false
+		}
+		a = int(inA[w.rng.Intn(len(inA))])
+		b = int(inB[w.rng.Intn(len(inB))])
+		step++
+		if step >= minStep && a == b {
+			return true
+		}
+	}
+}
+
+// PairMeetsFrom reports whether two independent √c-walks started at the same
+// node w meet again at some step i >= 1. The complement of this probability is
+// the last-meeting probability η(w) of Definition 2.1.
+func (w *Walker) PairMeetsFrom(node int) bool {
+	return w.Meet(node, node, 1)
+}

@@ -1,0 +1,255 @@
+package walk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prsim/internal/graph"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed produced different streams at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		f := r.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(7)
+	const n = 10
+	const trials = 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("Intn bucket %d frequency %v, want ~0.1", i, got)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm is not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Split()
+	// The child stream must differ from the parent's subsequent stream.
+	equal := 0
+	for i := 0; i < 20; i++ {
+		if parent.Uint64() == child.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("split stream looks correlated with parent (%d/20 equal)", equal)
+	}
+}
+
+func TestNewWalkerValidation(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	if _, err := NewWalker(nil, 0.6, 1); err == nil {
+		t.Errorf("nil graph should be an error")
+	}
+	if _, err := NewWalker(g, 0, 1); err == nil {
+		t.Errorf("c=0 should be an error")
+	}
+	if _, err := NewWalker(g, 1, 1); err == nil {
+		t.Errorf("c=1 should be an error")
+	}
+	if _, err := NewWalker(g, 0.6, 1); err != nil {
+		t.Errorf("valid walker: %v", err)
+	}
+}
+
+func TestSampleTerminationProbability(t *testing.T) {
+	// On a cycle, walks never die, so the number of steps is geometric with
+	// success probability 1-√c. The probability of terminating at step 0 is
+	// 1-√c ≈ 0.2254 for c = 0.6.
+	n := 10
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: i, To: (i + 1) % n}
+	}
+	g := graph.MustFromEdges(n, edges)
+	w := MustNewWalker(g, 0.6, 11)
+	const trials = 200000
+	zeroSteps := 0
+	for i := 0; i < trials; i++ {
+		res := w.Sample(0)
+		if !res.Terminated {
+			t.Fatalf("walk died on a cycle")
+		}
+		if res.Steps == 0 {
+			zeroSteps++
+		}
+	}
+	want := 1 - math.Sqrt(0.6)
+	got := float64(zeroSteps) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(terminate at step 0) = %v, want %v", got, want)
+	}
+}
+
+func TestSampleDanglingNode(t *testing.T) {
+	// Node 0 has no in-neighbors, so every walk from 0 either terminates at 0
+	// immediately or dies at 0.
+	g := graph.MustFromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	w := MustNewWalker(g, 0.6, 5)
+	terminated, died := 0, 0
+	for i := 0; i < 50000; i++ {
+		res := w.Sample(0)
+		if res.Node != 0 || res.Steps != 0 {
+			t.Fatalf("walk from dangling node moved: %+v", res)
+		}
+		if res.Terminated {
+			terminated++
+		} else {
+			died++
+		}
+	}
+	if terminated == 0 || died == 0 {
+		t.Errorf("expected both terminated and died walks, got %d/%d", terminated, died)
+	}
+	frac := float64(terminated) / 50000
+	want := 1 - math.Sqrt(0.6)
+	if math.Abs(frac-want) > 0.01 {
+		t.Errorf("P(terminate at dangling node) = %v, want %v", frac, want)
+	}
+}
+
+func TestSampleTrace(t *testing.T) {
+	n := 5
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: i, To: (i + 1) % n}
+	}
+	g := graph.MustFromEdges(n, edges)
+	w := MustNewWalker(g, 0.6, 17)
+	for i := 0; i < 1000; i++ {
+		trace, terminated := w.SampleTrace(2)
+		if !terminated {
+			t.Fatalf("trace died on a cycle")
+		}
+		if trace[0] != 2 {
+			t.Fatalf("trace must start at the source, got %v", trace)
+		}
+		// On the cycle i -> i+1, the in-neighbor of x is x-1, so each step
+		// decrements the node id mod n.
+		for j := 1; j < len(trace); j++ {
+			want := ((trace[j-1]-1)%n + n) % n
+			if trace[j] != want {
+				t.Fatalf("trace step %d: got %d, want %d", j, trace[j], want)
+			}
+		}
+	}
+}
+
+func TestMeetOnSharedInNeighbor(t *testing.T) {
+	// Graph: 2 -> 0, 2 -> 1. Both 0 and 1 have the single in-neighbor 2, so
+	// the two walks meet after one step iff both survive their first step:
+	// s(0,1) = c = 0.6.
+	g := graph.MustFromEdges(3, []graph.Edge{{From: 2, To: 0}, {From: 2, To: 1}})
+	w := MustNewWalker(g, 0.6, 23)
+	const trials = 200000
+	met := 0
+	for i := 0; i < trials; i++ {
+		if w.Meet(0, 1, 0) {
+			met++
+		}
+	}
+	got := float64(met) / trials
+	if math.Abs(got-0.6) > 0.01 {
+		t.Errorf("meeting probability = %v, want 0.6", got)
+	}
+}
+
+func TestMeetNeverWhenDisconnected(t *testing.T) {
+	// Two disjoint 2-cycles: walks from different components can never meet.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0},
+		{From: 2, To: 3}, {From: 3, To: 2},
+	})
+	w := MustNewWalker(g, 0.8, 31)
+	for i := 0; i < 5000; i++ {
+		if w.Meet(0, 2, 0) {
+			t.Fatalf("walks met across disconnected components")
+		}
+	}
+}
+
+func TestPairMeetsFromIsBernoulliLike(t *testing.T) {
+	// Property: the meeting indicator from a fixed node has a frequency in
+	// [0,1] and is deterministic given the seed.
+	f := func(seed uint64) bool {
+		g := graph.MustFromEdges(3, []graph.Edge{
+			{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 0, To: 2},
+		})
+		w1 := MustNewWalker(g, 0.6, seed)
+		w2 := MustNewWalker(g, 0.6, seed)
+		for i := 0; i < 50; i++ {
+			if w1.PairMeetsFrom(1) != w2.PairMeetsFrom(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

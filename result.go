@@ -1,0 +1,68 @@
+package prsim
+
+import "prsim/internal/core"
+
+// ScoredNode is a node together with its estimated SimRank score.
+type ScoredNode struct {
+	// Node is the dense node id.
+	Node int
+	// Label is the node's original label (or its id rendered as a string).
+	Label string
+	// Score is the estimated SimRank similarity to the query node.
+	Score float64
+}
+
+// Result is the answer to a single-source SimRank query.
+type Result struct {
+	g     *Graph
+	inner *core.Result
+}
+
+// Source returns the query node.
+func (r *Result) Source() int { return r.inner.Source }
+
+// Score returns the estimated SimRank ŝ(source, v); nodes never touched by the
+// query have score zero.
+func (r *Result) Score(v int) float64 { return r.inner.Score(v) }
+
+// Scores returns the non-zero estimates as a map keyed by node id. The map is
+// the result's own storage; treat it as read-only.
+func (r *Result) Scores() map[int]float64 { return r.inner.Scores }
+
+// TopK returns the k most similar nodes (excluding the source itself) in
+// descending score order.
+func (r *Result) TopK(k int) []ScoredNode {
+	inner := r.inner.TopK(k)
+	out := make([]ScoredNode, len(inner))
+	for i, s := range inner {
+		out[i] = ScoredNode{Node: s.Node, Label: r.g.Label(s.Node), Score: s.Score}
+	}
+	return out
+}
+
+// AsSlice returns the scores as a dense vector of length NumNodes().
+func (r *Result) AsSlice() []float64 { return r.inner.AsSlice(r.g.NumNodes()) }
+
+// Stats describes the work performed by the query.
+func (r *Result) Stats() QueryStats {
+	s := r.inner.Stats
+	return QueryStats{
+		Walks:            s.Walks,
+		BackwardWalkCost: s.BackwardWalkCost,
+		IndexEntriesRead: s.IndexEntriesRead,
+		Seconds:          s.Time.Seconds(),
+	}
+}
+
+// QueryStats summarizes the cost of one query.
+type QueryStats struct {
+	// Walks is the number of √c-walks sampled.
+	Walks int
+	// BackwardWalkCost counts estimator increments performed by Variance
+	// Bounded Backward Walks.
+	BackwardWalkCost int
+	// IndexEntriesRead counts (node, reserve) pairs read from the hub index.
+	IndexEntriesRead int
+	// Seconds is the wall-clock query time.
+	Seconds float64
+}
