@@ -12,6 +12,9 @@ package prsim
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"prsim/internal/core"
@@ -223,6 +226,75 @@ func BenchmarkSingleSourceQuery(b *testing.B) {
 		if _, err := idx.Query(i % g.NumNodes()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryInto measures the amortized-allocation query path: the same
+// workload as BenchmarkSingleSourceQuery but reusing one caller-owned Result,
+// so steady-state allocation is just the score-map churn.
+func BenchmarkQueryInto(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	idx, err := core.BuildIndex(g.Internal(), core.Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.QueryInto(i%g.NumNodes(), &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryThroughput measures end-to-end queries/sec on the LJ dataset
+// stand-in: sequential Index.Query against Engine.QueryBatch with 1, 4 and
+// GOMAXPROCS workers. PRSim queries are independent, so batch throughput
+// should scale near-linearly with workers (each ns/op is one query).
+func BenchmarkQueryThroughput(b *testing.B) {
+	g, err := LoadDataset("LJ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := make([]int, 64)
+	for i := range sources {
+		sources[i] = (i * 131) % g.NumNodes()
+	}
+
+	b.Run("Sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.Query(sources[i%len(sources)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workerCounts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("Batch%dWorkers", workers), func(b *testing.B) {
+			eng, err := NewEngine(idx, EngineOptions{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				m := len(sources)
+				if rem := b.N - done; rem < m {
+					m = rem
+				}
+				if _, err := eng.QueryBatch(ctx, sources[:m]); err != nil {
+					b.Fatal(err)
+				}
+				done += m
+			}
+		})
 	}
 }
 

@@ -1,0 +1,339 @@
+// Command prsimserve serves PRSim single-source SimRank queries over HTTP
+// with JSON responses. It loads a graph and (preferably) a previously saved
+// index at startup, then answers query traffic through the concurrent engine:
+// a bounded worker pool with an optional LRU result cache.
+//
+// Usage:
+//
+//	prsimquery -graph graph.txt -saveindex idx.prsim          # build once
+//	prsimserve -graph graph.txt -loadindex idx.prsim -addr :8080
+//	prsimserve -dataset DB -epsilon 0.1                       # build at startup
+//
+// Endpoints:
+//
+//	GET /query?u=3            single-source query (repeat u for a batch;
+//	                          ?limit=N caps the nodes returned per source)
+//	GET /topk?u=3&k=20        k most similar nodes to u
+//	GET /pair?u=3&v=5         single-pair SimRank s(u, v)
+//	GET /healthz              liveness probe
+//	GET /stats                graph, index and engine statistics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"prsim"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list file to load")
+	flag.StringVar(&cfg.dataset, "dataset", "", "benchmark dataset stand-in to generate (DB, LJ, IT, TW, UK)")
+	flag.StringVar(&cfg.loadIndex, "loadindex", "", "saved index file to load (skips preprocessing)")
+	flag.Float64Var(&cfg.epsilon, "epsilon", 0.1, "additive error target when building an index")
+	flag.Float64Var(&cfg.decay, "decay", prsim.DefaultDecay, "SimRank decay factor c")
+	flag.Float64Var(&cfg.scale, "samplescale", 1.0, "Monte Carlo sample scale (1.0 = paper constants)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.maxLevels, "maxlevels", 0, "cap on walk levels (0 = default 64)")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent query workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cacheSize, "cache", 1024, "LRU result cache size (0 disables)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline")
+	flag.Parse()
+
+	srv, err := buildServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prsimserve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("prsimserve: graph %d nodes / %d edges, %d hubs, %d workers, listening on %s",
+		srv.idx.Graph().NumNodes(), srv.idx.Graph().NumEdges(), srv.idx.NumHubs(), srv.eng.Workers(), cfg.addr)
+	hs := &http.Server{
+		Addr:    cfg.addr,
+		Handler: srv.handler(),
+		// Guard the listener against stalled clients: bound header reads and
+		// idle keep-alives, and cap response writes a little past the
+		// per-request query deadline.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      srv.timeout + 5*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "prsimserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	graphPath, dataset string
+	loadIndex          string
+	epsilon, decay     float64
+	scale              float64
+	seed               uint64
+	maxLevels          int
+	workers, cacheSize int
+	addr               string
+	timeout            time.Duration
+}
+
+// server holds the loaded index and engine; its handler is separable from the
+// listener so tests can drive it through httptest.
+type server struct {
+	idx     *prsim.Index
+	eng     *prsim.Engine
+	start   time.Time
+	timeout time.Duration
+}
+
+// buildServer loads the graph, loads or builds the index, and wires up the
+// engine.
+func buildServer(cfg config) (*server, error) {
+	var g *prsim.Graph
+	var err error
+	switch {
+	case cfg.graphPath != "":
+		g, err = prsim.LoadGraphFile(cfg.graphPath)
+	case cfg.dataset != "":
+		g, err = prsim.LoadDataset(cfg.dataset)
+	default:
+		return nil, fmt.Errorf("specify -graph or -dataset")
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var idx *prsim.Index
+	if cfg.loadIndex != "" {
+		idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
+	} else {
+		idx, err = prsim.BuildIndex(g, prsim.Options{
+			Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed,
+			SampleScale: cfg.scale, MaxLevels: cfg.maxLevels,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng, err := prsim.NewEngine(idx, prsim.EngineOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize})
+	if err != nil {
+		return nil, err
+	}
+	timeout := cfg.timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &server{idx: idx, eng: eng, start: time.Now(), timeout: timeout}, nil
+}
+
+// handler builds the route table. Per-request deadlines come from requestCtx
+// (every query path is context-cancellable), so timed-out requests get the
+// same JSON error contract as every other failure.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /pair", s.handlePair)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// scoredNodeJSON is one (node, score) pair in a response.
+type scoredNodeJSON struct {
+	Node  int     `json:"node"`
+	Label string  `json:"label,omitempty"`
+	Score float64 `json:"score"`
+}
+
+// queryResultJSON is the answer to one single-source query.
+type queryResultJSON struct {
+	Source  int              `json:"source"`
+	Support int              `json:"support"` // number of non-zero scores
+	Scores  []scoredNodeJSON `json:"scores"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sources, err := intParams(q["u"])
+	if err != nil || len(sources) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one integer u parameter is required")
+		return
+	}
+	limit, err := intParam(q.Get("limit"), 0)
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results, err := s.eng.QueryBatch(ctx, sources)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	out := make([]queryResultJSON, len(results))
+	for i, res := range results {
+		out[i] = renderResult(res, limit)
+	}
+	if len(q["u"]) == 1 {
+		writeJSON(w, out[0])
+		return
+	}
+	writeJSON(w, map[string]any{"results": out})
+}
+
+// renderResult flattens a result into descending-score order, source first
+// (its self-similarity is 1, the maximum), keeping at most limit nodes when
+// limit > 0.
+func renderResult(res *prsim.Result, limit int) queryResultJSON {
+	scores := res.Scores()
+	nodes := make([]scoredNodeJSON, 0, len(scores))
+	for v, sc := range scores {
+		nodes = append(nodes, scoredNodeJSON{Node: v, Score: sc})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Score != nodes[j].Score {
+			return nodes[i].Score > nodes[j].Score
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	if limit > 0 && len(nodes) > limit {
+		nodes = nodes[:limit]
+	}
+	return queryResultJSON{Source: res.Source(), Support: len(scores), Scores: nodes}
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u, err := intParam(q.Get("u"), -1)
+	if err != nil || u < 0 {
+		writeError(w, http.StatusBadRequest, "integer u parameter is required")
+		return
+	}
+	k, err := intParam(q.Get("k"), 20)
+	if err != nil || k <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be a positive integer")
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	top, err := s.eng.TopK(ctx, u, k)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	nodes := make([]scoredNodeJSON, len(top))
+	for i, t := range top {
+		nodes[i] = scoredNodeJSON{Node: t.Node, Label: t.Label, Score: t.Score}
+	}
+	writeJSON(w, map[string]any{"source": u, "k": k, "top": nodes})
+}
+
+func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u, errU := intParam(q.Get("u"), -1)
+	v, errV := intParam(q.Get("v"), -1)
+	if errU != nil || errV != nil || u < 0 || v < 0 {
+		writeError(w, http.StatusBadRequest, "integer u and v parameters are required")
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	score, err := s.eng.Pair(ctx, u, v)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"u": u, "v": v, "score": score})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := s.idx.Graph()
+	ist := s.idx.Stats()
+	est := s.eng.Stats()
+	writeJSON(w, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"graph": map[string]any{
+			"nodes": g.NumNodes(),
+			"edges": g.NumEdges(),
+		},
+		"index": map[string]any{
+			"hubs":          ist.NumHubs,
+			"entries":       ist.Entries,
+			"size_bytes":    s.idx.SizeBytes(),
+			"second_moment": ist.SecondMoment,
+		},
+		"engine": map[string]any{
+			"workers":       est.Workers,
+			"queries":       est.Queries,
+			"cache_hits":    est.CacheHits,
+			"cache_entries": est.CacheEntries,
+			"pair_queries":  est.PairQueries,
+			"errors":        est.Errors,
+		},
+	})
+}
+
+func (s *server) requestCtx(r *http.Request) (ctx context.Context, cancel func()) {
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// writeQueryError maps engine errors to HTTP statuses: bad node ids are the
+// client's fault, timeouts are 504, everything else is a server-side failure.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, prsim.ErrInvalidNode):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	}
+	writeError(w, status, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("prsimserve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func intParams(ss []string) ([]int, error) {
+	out := make([]int, 0, len(ss))
+	for _, s := range ss {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

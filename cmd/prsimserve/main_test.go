@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prsim"
+)
+
+// newTestServer writes a graph and a saved index to disk, then boots the
+// server through the same buildServer path main uses, exercising the
+// load-index-at-startup flow end to end.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	dir := t.TempDir()
+	g, err := prsim.GeneratePowerLawGraph(150, 6, 2.5, true, 5)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := prsim.BuildIndex(g, prsim.Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	indexPath := filepath.Join(dir, "idx.prsim")
+	if err := idx.SaveFile(indexPath); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	srv, err := buildServer(config{
+		graphPath: graphPath,
+		loadIndex: indexPath,
+		workers:   4,
+		cacheSize: 16,
+		timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: Content-Type = %q, want application/json", url, ct)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestServeQuery(t *testing.T) {
+	ts := newTestServer(t)
+	var res queryResultJSON
+	resp := getJSON(t, ts.URL+"/query?u=3", &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if res.Source != 3 {
+		t.Errorf("source = %d, want 3", res.Source)
+	}
+	if res.Support == 0 || len(res.Scores) == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	// Source leads with self-similarity 1, and scores are sorted descending.
+	if res.Scores[0].Node != 3 || res.Scores[0].Score != 1 {
+		t.Errorf("first score = %+v, want node 3 score 1", res.Scores[0])
+	}
+	for i := 1; i < len(res.Scores); i++ {
+		if res.Scores[i].Score > res.Scores[i-1].Score {
+			t.Errorf("scores not sorted at %d: %+v", i, res.Scores)
+		}
+	}
+
+	// limit caps the rendered nodes but Support still reports the full count.
+	var limited queryResultJSON
+	getJSON(t, ts.URL+"/query?u=3&limit=2", &limited)
+	if len(limited.Scores) != 2 {
+		t.Errorf("limit=2 returned %d scores", len(limited.Scores))
+	}
+	if limited.Support != res.Support {
+		t.Errorf("limited support %d, want %d", limited.Support, res.Support)
+	}
+}
+
+func TestServeQueryBatch(t *testing.T) {
+	ts := newTestServer(t)
+	var batch struct {
+		Results []queryResultJSON `json:"results"`
+	}
+	resp := getJSON(t, ts.URL+"/query?u=1&u=7&u=1", &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(batch.Results))
+	}
+	if batch.Results[0].Source != 1 || batch.Results[1].Source != 7 || batch.Results[2].Source != 1 {
+		t.Errorf("batch sources wrong: %+v", batch.Results)
+	}
+	// Identical sources must produce identical (deterministic) renderings.
+	a, _ := json.Marshal(batch.Results[0])
+	b, _ := json.Marshal(batch.Results[2])
+	if string(a) != string(b) {
+		t.Errorf("same source diverged across a batch:\n%s\n%s", a, b)
+	}
+}
+
+func TestServeTopK(t *testing.T) {
+	ts := newTestServer(t)
+	var res struct {
+		Source int              `json:"source"`
+		K      int              `json:"k"`
+		Top    []scoredNodeJSON `json:"top"`
+	}
+	resp := getJSON(t, ts.URL+"/topk?u=5&k=7", &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if res.Source != 5 || res.K != 7 {
+		t.Errorf("echo fields wrong: %+v", res)
+	}
+	if len(res.Top) > 7 {
+		t.Errorf("topk returned %d items", len(res.Top))
+	}
+	for _, s := range res.Top {
+		if s.Node == 5 {
+			t.Errorf("topk must exclude the source: %+v", res.Top)
+		}
+	}
+}
+
+func TestServePair(t *testing.T) {
+	ts := newTestServer(t)
+	var res struct {
+		U     int     `json:"u"`
+		V     int     `json:"v"`
+		Score float64 `json:"score"`
+	}
+	resp := getJSON(t, ts.URL+"/pair?u=4&v=4", &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if res.Score != 1 {
+		t.Errorf("s(4,4) = %v, want 1", res.Score)
+	}
+}
+
+func TestServeHealthzAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	var health map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, health)
+	}
+
+	// Serve a couple of queries so the counters move.
+	getJSON(t, ts.URL+"/query?u=2", nil)
+	getJSON(t, ts.URL+"/query?u=2", nil)
+
+	var stats struct {
+		Graph  map[string]float64 `json:"graph"`
+		Index  map[string]float64 `json:"index"`
+		Engine map[string]float64 `json:"engine"`
+	}
+	resp = getJSON(t, ts.URL+"/stats", &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if stats.Graph["nodes"] != 150 {
+		t.Errorf("stats nodes = %v, want 150", stats.Graph["nodes"])
+	}
+	if stats.Index["hubs"] <= 0 {
+		t.Errorf("stats hubs = %v, want > 0", stats.Index["hubs"])
+	}
+	if stats.Engine["queries"] < 2 {
+		t.Errorf("stats queries = %v, want >= 2", stats.Engine["queries"])
+	}
+	if stats.Engine["cache_hits"] < 1 {
+		t.Errorf("stats cache_hits = %v, want >= 1 after repeated query", stats.Engine["cache_hits"])
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/query", http.StatusBadRequest},              // missing u
+		{"/query?u=abc", http.StatusBadRequest},        // non-integer
+		{"/query?u=99999", http.StatusBadRequest},      // out of range
+		{"/query?u=1&limit=-2", http.StatusBadRequest}, // bad limit
+		{"/topk?u=1&k=0", http.StatusBadRequest},       // bad k
+		{"/pair?u=1", http.StatusBadRequest},           // missing v
+		{"/pair?u=1&v=99999", http.StatusBadRequest},   // out of range
+	}
+	for _, c := range cases {
+		var body map[string]string
+		resp := getJSON(t, ts.URL+c.path, &body)
+		if resp.StatusCode != c.want {
+			t.Errorf("GET %s: status %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+		if body["error"] == "" {
+			t.Errorf("GET %s: missing error message", c.path)
+		}
+	}
+}
+
+// TestServeIndexGraphMismatch checks the startup path rejects an index saved
+// for a different graph.
+func TestServeIndexGraphMismatch(t *testing.T) {
+	dir := t.TempDir()
+	small, err := prsim.GeneratePowerLawGraph(50, 4, 2.5, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := prsim.GeneratePowerLawGraph(80, 4, 2.5, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := prsim.BuildIndex(small, prsim.Options{Epsilon: 0.3, SampleScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(dir, "idx.prsim")
+	if err := idx.SaveFile(indexPath); err != nil {
+		t.Fatal(err)
+	}
+	graphPath := filepath.Join(dir, "big.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := buildServer(config{graphPath: graphPath, loadIndex: indexPath}); err == nil {
+		t.Fatal("expected index/graph mismatch error")
+	}
+}
+
+func TestBuildServerNoGraph(t *testing.T) {
+	if _, err := buildServer(config{}); err == nil {
+		t.Fatal("expected error when neither -graph nor -dataset given")
+	}
+}

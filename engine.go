@@ -1,0 +1,114 @@
+package prsim
+
+import (
+	"context"
+	"fmt"
+
+	"prsim/internal/engine"
+)
+
+// EngineOptions configures a concurrent query engine.
+type EngineOptions struct {
+	// Workers bounds the number of queries executing concurrently (and the
+	// fan-out of QueryBatch). Zero means GOMAXPROCS.
+	Workers int
+	// CacheSize is the number of single-source results kept in an LRU cache
+	// keyed by (source, epsilon); zero disables caching. Cached results are
+	// shared between callers: treat them as read-only.
+	CacheSize int
+}
+
+// Engine is a throughput-oriented concurrent front-end over one index: a
+// bounded worker pool, batched multi-source queries, an optional result
+// cache, and request statistics. PRSim single-source queries are sublinear
+// and independent (the point of the paper), so they scale near-linearly with
+// workers; results are bit-identical to sequential Index.Query calls
+// regardless of worker count or scheduling.
+//
+// An Engine is safe for concurrent use and needs no shutdown.
+type Engine struct {
+	g   *Graph
+	eng *engine.Engine
+}
+
+// NewEngine builds an engine over an index.
+func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("prsim: nil index")
+	}
+	eng, err := engine.New(idx.idx, engine.Options{Workers: opts.Workers, CacheSize: opts.CacheSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: idx.g, eng: eng}, nil
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// Query answers one single-source query through the worker pool and cache.
+func (e *Engine) Query(ctx context.Context, u int) (*Result, error) {
+	res, err := e.eng.Query(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{g: e.g, inner: res}, nil
+}
+
+// QueryBatch answers one query per source, in order, using up to Workers
+// goroutines. On the first error the remaining queries are cancelled.
+func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*Result, error) {
+	inner, err := e.eng.QueryBatch(ctx, sources)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResults(e.g, inner), nil
+}
+
+// TopK answers a single-source query from u and returns its k most similar
+// nodes (excluding u itself) in descending score order.
+func (e *Engine) TopK(ctx context.Context, u, k int) ([]ScoredNode, error) {
+	inner, err := e.eng.TopK(ctx, u, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScoredNode, len(inner))
+	for i, s := range inner {
+		out[i] = ScoredNode{Node: s.Node, Label: e.g.Label(s.Node), Score: s.Score}
+	}
+	return out, nil
+}
+
+// Pair estimates the single-pair SimRank s(u, v).
+func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
+	return e.eng.Pair(ctx, u, v)
+}
+
+// EngineStats is a snapshot of an engine's request counters.
+type EngineStats struct {
+	// Workers is the concurrency bound.
+	Workers int
+	// Queries counts single-source queries answered, including cache hits.
+	Queries int64
+	// CacheHits counts queries answered from the LRU cache.
+	CacheHits int64
+	// CacheEntries is the current number of cached results.
+	CacheEntries int
+	// PairQueries counts single-pair queries.
+	PairQueries int64
+	// Errors counts failed or cancelled requests.
+	Errors int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	s := e.eng.Stats()
+	return EngineStats{
+		Workers:      s.Workers,
+		Queries:      s.Queries,
+		CacheHits:    s.CacheHits,
+		CacheEntries: s.CacheEntries,
+		PairQueries:  s.PairQueries,
+		Errors:       s.Errors,
+	}
+}

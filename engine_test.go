@@ -1,0 +1,161 @@
+package prsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func testEngineIndex(t *testing.T) *Index {
+	t.Helper()
+	g, err := GeneratePowerLawGraph(200, 6, 2.5, true, 9)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, Seed: 4, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+func TestIndexQueryBatchMatchesQuery(t *testing.T) {
+	idx := testEngineIndex(t)
+	sources := []int{0, 9, 42, 9, 199}
+	batch, err := idx.QueryBatch(context.Background(), sources)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	for i, u := range sources {
+		want, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", u, err)
+		}
+		got := batch[i]
+		if got.Source() != u {
+			t.Fatalf("batch[%d].Source = %d, want %d", i, got.Source(), u)
+		}
+		ws, gs := want.Scores(), got.Scores()
+		if len(ws) != len(gs) {
+			t.Fatalf("source %d: support %d vs %d", u, len(ws), len(gs))
+		}
+		for v, s := range ws {
+			if gs[v] != s {
+				t.Fatalf("source %d node %d: %v vs %v", u, v, s, gs[v])
+			}
+		}
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	idx := testEngineIndex(t)
+	eng, err := NewEngine(idx, EngineOptions{Workers: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ctx := context.Background()
+
+	res, err := eng.Query(ctx, 3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Score(3) != 1 {
+		t.Errorf("self-similarity = %v, want 1", res.Score(3))
+	}
+	top, err := eng.TopK(ctx, 3, 10)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Errorf("TopK not sorted: %+v", top)
+		}
+	}
+	if s, err := eng.Pair(ctx, 5, 5); err != nil || s != 1 {
+		t.Errorf("Pair(5,5) = %v, %v; want 1, nil", s, err)
+	}
+
+	// Concurrent mixed load under -race: batches, cached queries, topk.
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 4; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.QueryBatch(ctx, []int{1, 2, 3, 4, 5}); err != nil {
+				errs <- err
+			}
+		}()
+		go func(u int) {
+			defer wg.Done()
+			if _, err := eng.Query(ctx, u); err != nil {
+				errs <- err
+			}
+		}(i)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := eng.TopK(ctx, u, 5); err != nil {
+				errs <- err
+			}
+		}(i + 10)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent engine call failed: %v", err)
+	}
+
+	st := eng.Stats()
+	if st.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", st.Workers)
+	}
+	if st.Queries == 0 {
+		t.Error("Queries counter never advanced")
+	}
+	if st.CacheHits == 0 {
+		t.Error("expected cache hits from repeated sources")
+	}
+	if st.PairQueries != 1 {
+		t.Errorf("PairQueries = %d, want 1", st.PairQueries)
+	}
+}
+
+func TestMaxLevelsOption(t *testing.T) {
+	g := paperGraph(t)
+	// MaxLevels must survive the public->core translation: a cap of 1 prunes
+	// every walk deeper than one level, which shows up as fewer non-zero
+	// scores than the default on this cyclic fixture.
+	shallow, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 2, MaxLevels: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	deep, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	rs, err := shallow.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	rd, err := deep.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(rs.Scores()) > len(rd.Scores()) {
+		t.Errorf("MaxLevels=1 support %d exceeds default support %d",
+			len(rs.Scores()), len(rd.Scores()))
+	}
+	if shallow.idx.Options().MaxLevels != 1 {
+		t.Errorf("core MaxLevels = %d, want 1 (option dropped in toCore?)",
+			shallow.idx.Options().MaxLevels)
+	}
+	if deep.idx.Options().MaxLevels != 64 {
+		t.Errorf("default core MaxLevels = %d, want 64", deep.idx.Options().MaxLevels)
+	}
+}
+
+func TestNewEngineNilIndex(t *testing.T) {
+	if _, err := NewEngine(nil, EngineOptions{}); err == nil {
+		t.Fatal("NewEngine(nil) should fail")
+	}
+}

@@ -1,0 +1,3 @@
+module prsim
+
+go 1.22

@@ -14,11 +14,23 @@ import (
 // expectation. They rely on the graph's out-adjacency lists being sorted by
 // head in-degree so that scans can stop at the first node whose in-degree
 // exceeds the current threshold.
+//
+// The walker owns two dense frontier buffers (value slice + touched list) so
+// that repeated walks perform no per-call allocation beyond growth of the
+// touched lists; a queryState reuses one walker across every walk of a query
+// and across queries.
 type backwardWalker struct {
 	g     *graph.Graph
 	alpha float64 // 1-√c
 	sqrtC float64
 	rng   *walk.RNG
+
+	// cur/next are dense frontier values indexed by node; curTouched and
+	// nextTouched list the nodes with non-zero entries. Outside a call, next is
+	// all-zero and cur holds the previous result at curTouched (zeroed lazily
+	// at the start of the next call).
+	cur, next               []float64
+	curTouched, nextTouched []int
 
 	// cost counts the number of estimator increments performed, the quantity
 	// bounded by O(nπ(w)) in Lemma 3.4. Exposed for the experiment harness.
@@ -30,17 +42,50 @@ func newBackwardWalker(g *graph.Graph, c float64, rng *walk.RNG) *backwardWalker
 	return &backwardWalker{g: g, alpha: opts.alpha(), sqrtC: opts.sqrtC(), rng: rng}
 }
 
-// VarianceBounded runs Algorithm 3 from node w with target level ℓ and
-// returns the non-zero estimates π̂_ℓ(v, w).
-func (b *backwardWalker) VarianceBounded(w, level int) map[int]float64 {
-	cur := map[int]float64{w: b.alpha}
-	if level == 0 {
-		return cur
+// reset re-seeds the walker's generator as if it were freshly constructed with
+// walk.NewRNG(seed), so a pooled walker replays the exact random stream a
+// per-query walker would have consumed.
+func (b *backwardWalker) reset(seed uint64) {
+	b.rng.Reseed(seed)
+}
+
+func (b *backwardWalker) ensureScratch() {
+	if b.cur == nil {
+		n := b.g.N()
+		b.cur = make([]float64, n)
+		b.next = make([]float64, n)
 	}
+}
+
+// clearScratch zeroes the result left behind by the previous call, restoring
+// the all-zero invariant on both dense buffers.
+func (b *backwardWalker) clearScratch() {
+	for _, v := range b.curTouched {
+		b.cur[v] = 0
+	}
+	b.curTouched = b.curTouched[:0]
+	b.nextTouched = b.nextTouched[:0]
+}
+
+// varianceBoundedInto runs Algorithm 3 from node w with target level ℓ and
+// returns the nodes with non-zero estimates together with the dense value
+// buffer they index into. Both are owned by the walker's scratch and are valid
+// only until the next walk.
+//
+// The frontier is visited in ascending node order at every level, exactly like
+// the historical map-based implementation iterated sortedKeys(cur), so the
+// random stream consumed (and hence every estimate) is bit-identical for a
+// fixed seed.
+func (b *backwardWalker) varianceBoundedInto(w, level int) (touched []int, values []float64) {
+	b.ensureScratch()
+	b.clearScratch()
+	b.cur[w] = b.alpha
+	b.curTouched = append(b.curTouched, w)
 	for i := 0; i < level; i++ {
-		next := make(map[int]float64)
-		for _, x := range sortedKeys(cur) {
-			px := cur[x]
+		sort.Ints(b.curTouched)
+		for _, x := range b.curTouched {
+			px := b.cur[x]
+			b.cur[x] = 0
 			// Stop the walk at x with probability 1-√c.
 			if b.rng.Float64() >= b.sqrtC {
 				continue
@@ -56,7 +101,10 @@ func (b *backwardWalker) VarianceBounded(w, level int) map[int]float64 {
 				if din > detThreshold {
 					break
 				}
-				next[y] += px / din
+				if b.next[y] == 0 {
+					b.nextTouched = append(b.nextTouched, y)
+				}
+				b.next[y] += px / din
 				b.cost++
 			}
 			// Randomized part: out-neighbors with din(y) <= π̂/(r(1-√c)) get a
@@ -70,19 +118,37 @@ func (b *backwardWalker) VarianceBounded(w, level int) map[int]float64 {
 				if din > randThreshold {
 					break
 				}
-				next[y] += b.alpha
+				if b.next[y] == 0 {
+					b.nextTouched = append(b.nextTouched, y)
+				}
+				b.next[y] += b.alpha
 				b.cost++
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
+		b.cur, b.next = b.next, b.cur
+		b.curTouched, b.nextTouched = b.nextTouched, b.curTouched[:0]
+		if len(b.curTouched) == 0 {
 			break
 		}
 	}
-	if len(cur) == 0 {
+	return b.curTouched, b.cur
+}
+
+// VarianceBounded runs Algorithm 3 and returns the non-zero estimates
+// π̂_ℓ(v, w) as a freshly allocated map. It is the map-allocating
+// compatibility wrapper used by the ablation harness; the query path uses
+// varianceBoundedInto, which returns the walker-owned scratch without
+// allocating.
+func (b *backwardWalker) VarianceBounded(w, level int) map[int]float64 {
+	touched, values := b.varianceBoundedInto(w, level)
+	if len(touched) == 0 {
 		return nil
 	}
-	return cur
+	est := make(map[int]float64, len(touched))
+	for _, v := range touched {
+		est[v] = values[v]
+	}
+	return est
 }
 
 // Simple runs Algorithm 2 (the simple Backward Walk with unbounded variance)

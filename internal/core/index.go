@@ -43,6 +43,11 @@ type Index struct {
 	hubRank  []int     // node -> position in hubOrder, or -1 for non-hubs
 	hubs     []hubList // indexed by hub rank
 
+	// statePool recycles queryState scratch (walkers, dense accumulators,
+	// median workspace) across queries; concurrent queries each draw their own
+	// state, which is what makes Query safe to call from many goroutines.
+	statePool sync.Pool
+
 	stats IndexStats
 }
 

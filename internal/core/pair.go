@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"prsim/internal/walk"
@@ -13,6 +14,14 @@ import (
 // applications (link prediction between two given candidates, pair
 // verification in the pooling oracle) only need one value.
 func (idx *Index) QueryPair(u, v int) (float64, error) {
+	return idx.QueryPairCtx(context.Background(), u, v)
+}
+
+// QueryPairCtx is QueryPair with cancellation: the context is polled every
+// few hundred walk samples, so a cancelled or expired context aborts the
+// estimate promptly without consuming extra random values (a completed query
+// is bit-identical to QueryPair).
+func (idx *Index) QueryPairCtx(ctx context.Context, u, v int) (float64, error) {
 	if err := idx.g.CheckNode(u); err != nil {
 		return 0, err
 	}
@@ -37,6 +46,11 @@ func (idx *Index) QueryPair(u, v int) (float64, error) {
 	}
 	met := 0
 	for i := 0; i < samples; i++ {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		if walker.Meet(u, v, 0) {
 			met++
 		}

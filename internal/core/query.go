@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
-
-	"prsim/internal/walk"
 )
 
 // ScoredNode is a node with its estimated SimRank score.
@@ -87,8 +87,39 @@ type etaPiKey struct {
 
 // Query runs Algorithm 4: a single-source SimRank query from node u.
 func (idx *Index) Query(u int) (*Result, error) {
-	if err := idx.g.CheckNode(u); err != nil {
+	return idx.QueryCtx(context.Background(), u)
+}
+
+// QueryCtx is Query with cancellation: the context is checked at every
+// median-trick round boundary, so a cancelled or expired context aborts the
+// query within one round's worth of work. Cancellation never consumes random
+// values, so a query that does complete is bit-identical whether or not a
+// deadline was attached.
+func (idx *Index) QueryCtx(ctx context.Context, u int) (*Result, error) {
+	res := &Result{}
+	if err := idx.QueryIntoCtx(ctx, u, res); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// QueryInto runs the query into a caller-owned Result, reusing res.Scores when
+// present so repeated queries on one worker amortize the map allocation. The
+// result is bit-identical to Query for the same source and index.
+func (idx *Index) QueryInto(u int, res *Result) error {
+	return idx.QueryIntoCtx(context.Background(), u, res)
+}
+
+// QueryIntoCtx is the full query implementation behind Query, QueryCtx and
+// QueryInto. All scratch state — walkers, dense accumulators, the median
+// workspace — comes from a per-index sync.Pool, so steady-state queries only
+// allocate the returned score map entries.
+func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("core: QueryInto with nil result")
+	}
+	if err := idx.g.CheckNode(u); err != nil {
+		return err
 	}
 	start := time.Now()
 	opts := idx.opts
@@ -101,36 +132,34 @@ func (idx *Index) Query(u int) (*Result, error) {
 	alphaSq := alpha * alpha
 	c1 := opts.c1()
 
-	rng := walk.NewRNG(opts.Seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 1))
-	walker, err := walk.NewWalker(idx.g, opts.C, rng.Uint64())
-	if err != nil {
-		return nil, err
-	}
-	bw := newBackwardWalker(idx.g, opts.C, rng.Split())
+	s := idx.getState()
+	defer idx.putState(s)
+	s.beginQuery(u)
 
 	stats := QueryStats{}
-	etaPi := make(map[etaPiKey]float64)
-	roundEstimates := make([]map[int]float64, fr)
+	bwCost0 := s.bw.Cost()
 
 	for i := 0; i < fr; i++ {
-		roundEstimates[i] = make(map[int]float64)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for j := 0; j < dr; j++ {
-			res := walker.Sample(u)
+			rs := s.walker.Sample(u)
 			stats.Walks++
-			if !res.Terminated {
+			if !rs.Terminated {
 				continue
 			}
-			w, level := res.Node, res.Steps
+			w, level := rs.Node, rs.Steps
 			if level >= opts.MaxLevels {
 				continue
 			}
 			// Sample the pair of walks from w; the probability they do not
 			// meet is η(w), so the joint event estimates η(w)·π_ℓ(u,w).
 			stats.Walks += 2
-			if walker.PairMeetsFrom(w) {
+			if s.walker.PairMeetsFrom(w) {
 				continue
 			}
-			etaPi[etaPiKey{level: int32(level), node: int32(w)}] += 1 / float64(nr)
+			s.etaPi[etaPiKey{level: int32(level), node: int32(w)}] += 1 / float64(nr)
 
 			if idx.IsHub(w) {
 				stats.HubHits++
@@ -139,40 +168,31 @@ func (idx *Index) Query(u int) (*Result, error) {
 			stats.NonHubHits++
 			// Non-hub target: estimate π̂_ℓ(v, w) by a Variance Bounded
 			// Backward Walk and add it to this round's running mean.
-			est := bw.VarianceBounded(w, level)
-			for v, p := range est {
-				roundEstimates[i][v] += p / (alphaSq * float64(dr))
-			}
+			touched, values := s.bw.varianceBoundedInto(w, level)
+			s.accumulate(touched, values, alphaSq*float64(dr))
 		}
+		s.finishRound(i)
 	}
-	stats.BackwardWalkCost = bw.Cost()
+	stats.BackwardWalkCost = s.bw.Cost() - bwCost0
+
+	// Every fallible step is behind us; only now recycle the caller's score
+	// map, so a cancelled query leaves res untouched.
+	scores := res.Scores
+	if scores == nil {
+		scores = make(map[int]float64)
+	} else {
+		clear(scores)
+	}
 
 	// sB(u, v) = median over rounds (missing rounds count as zero).
-	scores := make(map[int]float64)
-	if fr > 0 {
-		seen := make(map[int]struct{})
-		for _, round := range roundEstimates {
-			for v := range round {
-				seen[v] = struct{}{}
-			}
-		}
-		vals := make([]float64, fr)
-		for v := range seen {
-			for i, round := range roundEstimates {
-				vals[i] = round[v]
-			}
-			if m := median(vals); m != 0 {
-				scores[v] = m
-			}
-		}
-	}
+	s.medianScores(fr, scores)
 
 	// sI(u, v): for every (w, ℓ) with η̂π_ℓ(u,w) > ε/c1 and w a hub, read the
 	// stored reserves L_ℓ(w). Keys are visited in a fixed order so that
 	// floating-point accumulation is reproducible for a fixed seed.
 	threshold := opts.Epsilon / c1
-	etaKeys := make([]etaPiKey, 0, len(etaPi))
-	for key := range etaPi {
+	etaKeys := s.etaKeys[:0]
+	for key := range s.etaPi {
 		etaKeys = append(etaKeys, key)
 	}
 	sort.Slice(etaKeys, func(i, j int) bool {
@@ -181,8 +201,9 @@ func (idx *Index) Query(u int) (*Result, error) {
 		}
 		return etaKeys[i].level < etaKeys[j].level
 	})
+	s.etaKeys = etaKeys
 	for _, key := range etaKeys {
-		ep := etaPi[key]
+		ep := s.etaPi[key]
 		if ep <= threshold {
 			continue
 		}
@@ -201,19 +222,15 @@ func (idx *Index) Query(u int) (*Result, error) {
 	scores[u] = 1
 
 	stats.Time = time.Since(start)
-	return &Result{Source: u, Scores: scores, Stats: stats}, nil
+	res.Source = u
+	res.Scores = scores
+	res.Stats = stats
+	return nil
 }
 
-// median returns the median of vals. It sorts a copy, leaving vals untouched.
+// median returns the median of vals. It sorts a copy, leaving vals untouched;
+// the query path uses medianInPlace on scratch rows it owns.
 func median(vals []float64) float64 {
-	if len(vals) == 0 {
-		return 0
-	}
 	cp := append([]float64(nil), vals...)
-	sort.Float64s(cp)
-	mid := len(cp) / 2
-	if len(cp)%2 == 1 {
-		return cp[mid]
-	}
-	return (cp[mid-1] + cp[mid]) / 2
+	return medianInPlace(cp)
 }

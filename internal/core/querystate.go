@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sort"
+
+	"prsim/internal/walk"
+)
+
+// queryState bundles every scratch buffer a single-source query needs — the
+// √c-walker, the backward walker with its dense frontiers, the per-round
+// accumulator, and the median workspace — so that a worker can run many
+// queries with near-zero steady-state allocation. States are pooled on the
+// Index via sync.Pool and sized to the graph on first use.
+type queryState struct {
+	idx *Index
+
+	rng    *walk.RNG
+	walker *walk.Walker
+	bw     *backwardWalker
+
+	// etaPi accumulates the η(w)·π_ℓ(u,w) estimates; etaKeys is the reusable
+	// sort buffer for the deterministic index-read pass.
+	etaPi   map[etaPiKey]float64
+	etaKeys []etaPiKey
+
+	// roundAcc is the dense accumulator for the current round's backward-walk
+	// estimates; roundTouched lists its non-zero entries.
+	roundAcc     []float64
+	roundTouched []int
+
+	// roundNodes/roundVals hold the compacted per-round estimates: round i
+	// touched roundNodes[i] with values roundVals[i]. The inner slices are
+	// reused across queries.
+	roundNodes [][]int32
+	roundVals  [][]float64
+
+	// Median workspace: uid assigns each node in the union of round supports a
+	// compact id (valid when uidGen[v] == gen); valsMat is the |union|×fr
+	// matrix of per-round values, zeroed on release.
+	uid        []int32
+	uidGen     []uint32
+	gen        uint32
+	unionNodes []int
+	valsMat    []float64
+}
+
+func newQueryState(idx *Index) *queryState {
+	n := idx.g.N()
+	rng := walk.NewRNG(0)
+	// The walker and backward walker are constructed once and re-seeded per
+	// query; Options are already validated, so walker construction cannot fail.
+	walker, err := walk.NewWalker(idx.g, idx.opts.C, 0)
+	if err != nil {
+		panic("core: queryState on invalid index: " + err.Error())
+	}
+	return &queryState{
+		idx:      idx,
+		rng:      rng,
+		walker:   walker,
+		bw:       newBackwardWalker(idx.g, idx.opts.C, walk.NewRNG(0)),
+		etaPi:    make(map[etaPiKey]float64),
+		roundAcc: make([]float64, n),
+		uid:      make([]int32, n),
+		uidGen:   make([]uint32, n),
+	}
+}
+
+// getState fetches a pooled query state, creating one sized to the graph when
+// the pool is empty.
+func (idx *Index) getState() *queryState {
+	if s, ok := idx.statePool.Get().(*queryState); ok {
+		return s
+	}
+	return newQueryState(idx)
+}
+
+func (idx *Index) putState(s *queryState) { idx.statePool.Put(s) }
+
+// beginQuery re-seeds the walkers exactly as the historical per-query
+// construction did: a fresh RNG from the per-source seed, the walker from its
+// first value, and the backward walker from a split (the second value).
+func (s *queryState) beginQuery(u int) {
+	opts := s.idx.opts
+	s.rng.Reseed(opts.Seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 1))
+	s.walker.Reset(s.rng.Uint64())
+	s.bw.reset(s.rng.Uint64())
+	clear(s.etaPi)
+	s.etaKeys = s.etaKeys[:0]
+	// A cancelled query may have left a partial round behind; restore the
+	// all-zero accumulator invariant.
+	for _, v := range s.roundTouched {
+		s.roundAcc[v] = 0
+	}
+	s.roundTouched = s.roundTouched[:0]
+}
+
+// accumulate folds one backward-walk estimate (touched nodes indexing into a
+// dense value buffer) into the current round's accumulator, dividing each
+// contribution by div (the same p/div the historical map-based code computed,
+// for bit-identical floating point).
+func (s *queryState) accumulate(touched []int, values []float64, div float64) {
+	for _, v := range touched {
+		if s.roundAcc[v] == 0 {
+			s.roundTouched = append(s.roundTouched, v)
+		}
+		s.roundAcc[v] += values[v] / div
+	}
+}
+
+// finishRound compacts the current round accumulator into the round-i sparse
+// lists and zeroes the accumulator for the next round.
+func (s *queryState) finishRound(i int) {
+	for len(s.roundNodes) <= i {
+		s.roundNodes = append(s.roundNodes, nil)
+		s.roundVals = append(s.roundVals, nil)
+	}
+	nodes := s.roundNodes[i][:0]
+	vals := s.roundVals[i][:0]
+	for _, v := range s.roundTouched {
+		nodes = append(nodes, int32(v))
+		vals = append(vals, s.roundAcc[v])
+		s.roundAcc[v] = 0
+	}
+	s.roundNodes[i] = nodes
+	s.roundVals[i] = vals
+	s.roundTouched = s.roundTouched[:0]
+}
+
+// medianScores computes, for every node touched by any of the first fr rounds,
+// the median of its per-round estimates (missing rounds count as zero) and
+// stores the non-zero medians into scores. The per-node median is computed
+// over exactly the same value multiset as the historical map-based
+// implementation, so results are bit-identical.
+func (s *queryState) medianScores(fr int, scores map[int]float64) {
+	if fr <= 0 {
+		return
+	}
+	// Assign compact ids to the union of round supports.
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped; invalidate all stale marks
+		for i := range s.uidGen {
+			s.uidGen[i] = 0
+		}
+		s.gen = 1
+	}
+	s.unionNodes = s.unionNodes[:0]
+	for i := 0; i < fr && i < len(s.roundNodes); i++ {
+		for _, v32 := range s.roundNodes[i] {
+			v := int(v32)
+			if s.uidGen[v] != s.gen {
+				s.uidGen[v] = s.gen
+				s.uid[v] = int32(len(s.unionNodes))
+				s.unionNodes = append(s.unionNodes, v)
+			}
+		}
+	}
+	if len(s.unionNodes) == 0 {
+		return
+	}
+	// Scatter the sparse rounds into a |union|×fr matrix (rows zero on entry).
+	need := len(s.unionNodes) * fr
+	if cap(s.valsMat) < need {
+		s.valsMat = make([]float64, need)
+	}
+	mat := s.valsMat[:need]
+	for i := 0; i < fr && i < len(s.roundNodes); i++ {
+		vals := s.roundVals[i]
+		for j, v32 := range s.roundNodes[i] {
+			mat[int(s.uid[v32])*fr+i] = vals[j]
+		}
+	}
+	for ui, v := range s.unionNodes {
+		row := mat[ui*fr : (ui+1)*fr]
+		if m := medianInPlace(row); m != 0 {
+			scores[v] = m
+		}
+		for k := range row {
+			row[k] = 0
+		}
+	}
+}
+
+// medianInPlace returns the median of vals, sorting them in place.
+func medianInPlace(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}

@@ -1,0 +1,299 @@
+// Package engine turns a PRSim index into a throughput-oriented concurrent
+// query service. PRSim single-source queries are sublinear and mutually
+// independent (Wei et al., SIGMOD 2019), which makes them embarrassingly
+// parallel: the engine bounds concurrency with a worker semaphore, fans
+// batched multi-source queries out over a small worker pool, and optionally
+// memoizes results in an LRU cache keyed by (source, epsilon).
+//
+// Every query draws its scratch state from the index's internal sync.Pool, so
+// a worker that stays busy performs near-zero per-query allocation. Results
+// are deterministic for a fixed index seed regardless of worker count or
+// scheduling: each source's random stream is derived from (seed, source)
+// only, so Engine.QueryBatch returns bit-identical scores to sequential
+// Index.Query calls.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"prsim/internal/core"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of queries executing concurrently (and the
+	// fan-out of QueryBatch). Zero or negative means GOMAXPROCS.
+	Workers int
+	// CacheSize is the number of query results kept in the LRU cache; zero or
+	// negative disables caching. Cached results are shared: treat them (and
+	// their Scores maps) as read-only.
+	CacheSize int
+}
+
+// Engine is a concurrent query front-end over one PRSim index. It is safe for
+// use by multiple goroutines.
+type Engine struct {
+	idx     *core.Index
+	workers int
+	sem     chan struct{}
+	cache   *resultCache
+
+	queries   atomic.Int64
+	cacheHits atomic.Int64
+	pairs     atomic.Int64
+	errors    atomic.Int64
+}
+
+// New builds an engine over idx.
+func New(idx *core.Index, opts Options) (*Engine, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("engine: nil index")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		idx:     idx,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+	}
+	if opts.CacheSize > 0 {
+		e.cache = newResultCache(opts.CacheSize)
+	}
+	return e, nil
+}
+
+// Index returns the wrapped index.
+func (e *Engine) Index() *core.Index { return e.idx }
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Query answers one single-source query, going through the worker semaphore
+// and the cache. The returned result may be shared with other callers when
+// caching is enabled; treat it as read-only.
+func (e *Engine) Query(ctx context.Context, u int) (*core.Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.errors.Add(1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	return e.query(ctx, u)
+}
+
+// query runs one cached query; the caller holds a worker slot.
+func (e *Engine) query(ctx context.Context, u int) (*core.Result, error) {
+	e.queries.Add(1)
+	key := cacheKey{source: u, epsilon: e.idx.Options().Epsilon}
+	if e.cache != nil {
+		if res, ok := e.cache.get(key); ok {
+			e.cacheHits.Add(1)
+			return res, nil
+		}
+	}
+	res, err := e.idx.QueryCtx(ctx, u)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	if e.cache != nil {
+		e.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// QueryBatch answers one query per source, in order, using up to Workers
+// goroutines. The batch shares the engine's cache, and results are
+// bit-identical to issuing the same queries sequentially. On the first error
+// the remaining queries are cancelled and the error is returned.
+func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result, error) {
+	// Validate every source up front so a bad id fails fast instead of
+	// surfacing mid-batch from an arbitrary worker.
+	g := e.idx.Graph()
+	for _, u := range sources {
+		if err := g.CheckNode(u); err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+	}
+	results := make([]*core.Result, len(sources))
+	workers := e.workers
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errOnce  sync.Once
+		batchErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(sources) {
+					return
+				}
+				select {
+				case e.sem <- struct{}{}:
+				case <-ctx.Done():
+					errOnce.Do(func() { batchErr = ctx.Err() })
+					return
+				}
+				res, err := e.query(ctx, sources[i])
+				<-e.sem
+				if err != nil {
+					errOnce.Do(func() {
+						batchErr = fmt.Errorf("engine: query from source %d: %w", sources[i], err)
+						cancel()
+					})
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	return results, nil
+}
+
+// TopK answers a single-source query and returns its k best nodes (excluding
+// the source), ordered by descending score with ties broken by node id.
+func (e *Engine) TopK(ctx context.Context, u, k int) ([]core.ScoredNode, error) {
+	res, err := e.Query(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return res.TopK(k), nil
+}
+
+// Pair estimates the single-pair SimRank s(u, v). Pair queries skip the cache
+// (they do not produce a Result) but still count toward engine statistics.
+func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.errors.Add(1)
+		return 0, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	e.pairs.Add(1)
+	s, err := e.idx.QueryPairCtx(ctx, u, v)
+	if err != nil {
+		e.errors.Add(1)
+	}
+	return s, err
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Workers is the concurrency bound.
+	Workers int
+	// Queries counts single-source queries answered, including cache hits.
+	Queries int64
+	// CacheHits counts queries answered from the LRU cache.
+	CacheHits int64
+	// CacheEntries is the current number of cached results (0 when disabled).
+	CacheEntries int
+	// PairQueries counts single-pair queries.
+	PairQueries int64
+	// Errors counts failed or cancelled requests.
+	Errors int64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:     e.workers,
+		Queries:     e.queries.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		PairQueries: e.pairs.Load(),
+		Errors:      e.errors.Load(),
+	}
+	if e.cache != nil {
+		s.CacheEntries = e.cache.len()
+	}
+	return s
+}
+
+// cacheKey identifies one cached single-source result. Epsilon rides along so
+// engines over re-tuned indexes (or a future per-query epsilon override)
+// never collide.
+type cacheKey struct {
+	source  int
+	epsilon float64
+}
+
+// resultCache is a small mutex-guarded LRU of query results.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; element values are *cacheEntry
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(key cacheKey) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key cacheKey, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

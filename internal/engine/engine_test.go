@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"prsim/internal/core"
+	"prsim/internal/gen"
+	"prsim/internal/graph"
+)
+
+func testIndex(t testing.TB, n int) *core.Index {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawOptions{N: n, AvgDegree: 6, Gamma: 2.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.25, Seed: 7, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+// sameResult asserts two results are bit-identical: same source and exactly
+// equal score maps (float equality, not tolerance).
+func sameResult(t *testing.T, want, got *core.Result) {
+	t.Helper()
+	if want.Source != got.Source {
+		t.Fatalf("source mismatch: %d vs %d", want.Source, got.Source)
+	}
+	if len(want.Scores) != len(got.Scores) {
+		t.Fatalf("source %d: support size %d vs %d", want.Source, len(want.Scores), len(got.Scores))
+	}
+	for v, s := range want.Scores {
+		if gs, ok := got.Scores[v]; !ok || gs != s {
+			t.Fatalf("source %d node %d: score %v vs %v", want.Source, v, s, gs)
+		}
+	}
+}
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	idx := testIndex(t, 300)
+	e, err := New(idx, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sources := []int{0, 5, 17, 42, 5, 299, 0, 128}
+	want := make([]*core.Result, len(sources))
+	for i, u := range sources {
+		res, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", u, err)
+		}
+		want[i] = res
+	}
+	got, err := e.QueryBatch(context.Background(), sources)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(got) != len(sources) {
+		t.Fatalf("QueryBatch returned %d results, want %d", len(got), len(sources))
+	}
+	for i := range sources {
+		sameResult(t, want[i], got[i])
+	}
+}
+
+func TestQueryIntoMatchesQuery(t *testing.T) {
+	idx := testIndex(t, 200)
+	var reused core.Result
+	for _, u := range []int{3, 77, 3, 150} {
+		want, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", u, err)
+		}
+		if err := idx.QueryInto(u, &reused); err != nil {
+			t.Fatalf("QueryInto(%d): %v", u, err)
+		}
+		sameResult(t, want, &reused)
+	}
+}
+
+// TestConcurrentQueriesDeterministic hammers a shared index from many
+// goroutines (run under -race in CI) and checks every result is bit-identical
+// to its sequential counterpart: scheduling must not leak into the estimates.
+func TestConcurrentQueriesDeterministic(t *testing.T) {
+	idx := testIndex(t, 250)
+	e, err := New(idx, Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sources := make([]int, 40)
+	for i := range sources {
+		sources[i] = (i * 13) % 250
+	}
+	want := make([]*core.Result, len(sources))
+	for i, u := range sources {
+		res, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", u, err)
+		}
+		want[i] = res
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*2)
+	results := make([][]*core.Result, rounds)
+	for r := 0; r < rounds; r++ {
+		wg.Add(2)
+		// Batched queries through the engine...
+		go func(r int) {
+			defer wg.Done()
+			got, err := e.QueryBatch(context.Background(), sources)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results[r] = got
+		}(r)
+		// ...racing direct Index.Query calls on the same pooled state.
+		go func(r int) {
+			defer wg.Done()
+			u := sources[r%len(sources)]
+			if _, err := idx.Query(u); err != nil {
+				errs <- err
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent query failed: %v", err)
+	}
+	for r := 0; r < rounds; r++ {
+		for i := range sources {
+			sameResult(t, want[i], results[r][i])
+		}
+	}
+}
+
+func TestQueryBatchRejectsBadSource(t *testing.T) {
+	idx := testIndex(t, 100)
+	e, err := New(idx, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := e.QueryBatch(context.Background(), []int{1, 2, 500}); err == nil {
+		t.Fatal("expected error for out-of-range source")
+	}
+	if _, err := e.QueryBatch(context.Background(), []int{-1}); err == nil {
+		t.Fatal("expected error for negative source")
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	idx := testIndex(t, 100)
+	e, _ := New(idx, Options{})
+	got, err := e.QueryBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("QueryBatch(nil): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("QueryBatch(nil) returned %d results", len(got))
+	}
+}
+
+func TestQueryCancelled(t *testing.T) {
+	idx := testIndex(t, 100)
+	e, _ := New(idx, Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Query(ctx, 0); err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+	if _, err := e.QueryBatch(ctx, []int{0, 1, 2}); err == nil {
+		t.Fatal("expected error from cancelled batch")
+	}
+	if _, err := e.Pair(ctx, 0, 1); err == nil {
+		t.Fatal("expected error from cancelled pair query")
+	}
+	st := e.Stats()
+	if st.Errors == 0 {
+		t.Errorf("cancelled requests should count as errors, stats = %+v", st)
+	}
+}
+
+func TestCacheHitsAndEviction(t *testing.T) {
+	idx := testIndex(t, 150)
+	e, err := New(idx, Options{Workers: 2, CacheSize: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	first, err := e.Query(ctx, 1)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	again, err := e.Query(ctx, 1)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if first != again {
+		t.Error("second query should be served from cache (same *Result)")
+	}
+	st := e.Stats()
+	if st.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", st.CacheHits)
+	}
+	// Fill past capacity; node 1 becomes LRU and is evicted.
+	if _, err := e.Query(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.CacheEntries != 2 {
+		t.Errorf("CacheEntries = %d, want 2", st.CacheEntries)
+	}
+	third, err := e.Query(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == first {
+		t.Error("node 1 should have been evicted and recomputed")
+	}
+	sameResult(t, first, third)
+}
+
+func TestTopK(t *testing.T) {
+	idx := testIndex(t, 150)
+	e, _ := New(idx, Options{Workers: 2})
+	top, err := e.TopK(context.Background(), 7, 5)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(top) > 5 {
+		t.Fatalf("TopK returned %d items", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Errorf("TopK not sorted: %+v", top)
+		}
+	}
+	for _, s := range top {
+		if s.Node == 7 {
+			t.Error("TopK must exclude the source")
+		}
+	}
+}
+
+func TestPair(t *testing.T) {
+	idx := testIndex(t, 150)
+	e, _ := New(idx, Options{Workers: 2})
+	s, err := e.Pair(context.Background(), 3, 3)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	if s != 1 {
+		t.Errorf("s(3,3) = %v, want 1", s)
+	}
+	if _, err := e.Pair(context.Background(), 0, 1000); err == nil {
+		t.Error("expected error for out-of-range pair node")
+	}
+	if got := e.Stats().PairQueries; got != 2 {
+		t.Errorf("PairQueries = %d, want 2", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("New(nil) should fail")
+	}
+	g := graph.MustFromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	e, err := New(idx, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Workers() < 1 {
+		t.Errorf("default Workers = %d, want >= 1", e.Workers())
+	}
+}

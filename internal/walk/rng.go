@@ -21,6 +21,14 @@ type RNG struct {
 // seeds still yield uncorrelated streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place, exactly as if it had been
+// freshly created with NewRNG(seed). It lets long-lived workers reuse one
+// generator across queries without allocating.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -33,7 +41,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 // Split derives an independent generator from the current one. The parent

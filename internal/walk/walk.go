@@ -40,6 +40,11 @@ func MustNewWalker(g *graph.Graph, c float64, seed uint64) *Walker {
 	return w
 }
 
+// Reset re-seeds the walker in place so it behaves exactly like a walker
+// freshly created with NewWalker(g, c, seed). Query workers use it to reuse
+// one walker across many queries without allocating.
+func (w *Walker) Reset(seed uint64) { w.rng.Reseed(seed) }
+
 // Graph returns the underlying graph.
 func (w *Walker) Graph() *graph.Graph { return w.g }
 

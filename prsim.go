@@ -17,11 +17,14 @@
 package prsim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"prsim/internal/core"
 	"prsim/internal/dataset"
+	"prsim/internal/engine"
 	"prsim/internal/gen"
 	"prsim/internal/graph"
 )
@@ -29,6 +32,11 @@ import (
 // DefaultDecay is the SimRank decay factor c = 0.6 used throughout the
 // paper's experiments.
 const DefaultDecay = core.DefaultDecay
+
+// ErrInvalidNode is returned (wrapped with the offending id) when a query
+// names a node outside [0, NumNodes()). Servers use errors.Is against it to
+// classify bad requests.
+var ErrInvalidNode = graph.ErrInvalidNode
 
 // Graph is a directed graph ready for SimRank computation. Node identifiers
 // are dense integers in [0, NumNodes()).
@@ -178,6 +186,9 @@ type Options struct {
 	// SampleScale scales the query-time Monte Carlo sample count relative to
 	// the paper's worst-case constants (1.0 = paper constants).
 	SampleScale float64
+	// MaxLevels caps the number of walk levels considered anywhere (the decay
+	// makes deep levels negligible); 0 means the default of 64.
+	MaxLevels int
 	// Parallelism sets the number of goroutines used for preprocessing
 	// (per-hub backward searches); 0 means GOMAXPROCS.
 	Parallelism int
@@ -195,16 +206,21 @@ func (o Options) toCore() core.Options {
 		Epsilon:     o.Epsilon,
 		Delta:       o.Delta,
 		NumHubs:     numHubs,
+		MaxLevels:   o.MaxLevels,
 		Seed:        o.Seed,
 		SampleScale: o.SampleScale,
 		Parallelism: o.Parallelism,
 	}
 }
 
-// Index is a PRSim index over one graph.
+// Index is a PRSim index over one graph. It is safe for concurrent use.
 type Index struct {
 	g   *Graph
 	idx *core.Index
+
+	// batchEngine is the lazily created default engine behind QueryBatch.
+	engineOnce  sync.Once
+	batchEngine *engine.Engine
 }
 
 // BuildIndex runs PRSim preprocessing (Algorithm 1 of the paper) and returns
@@ -259,7 +275,8 @@ type IndexStats struct {
 
 // Query answers an approximate single-source SimRank query from node u
 // (Algorithm 4 of the paper): every returned score is within Epsilon of the
-// true SimRank with probability 1-Delta.
+// true SimRank with probability 1-Delta. Queries are safe to run concurrently
+// from multiple goroutines; each draws pooled scratch state from the index.
 func (idx *Index) Query(u int) (*Result, error) {
 	res, err := idx.idx.Query(u)
 	if err != nil {
@@ -268,10 +285,44 @@ func (idx *Index) Query(u int) (*Result, error) {
 	return &Result{g: idx.g, inner: res}, nil
 }
 
+// QueryCtx is Query with cancellation: the context is checked at every
+// internal round boundary, so a cancelled or expired context aborts the query
+// early. A query that completes is bit-identical to Query for the same index.
+func (idx *Index) QueryCtx(ctx context.Context, u int) (*Result, error) {
+	res, err := idx.idx.QueryCtx(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{g: idx.g, inner: res}, nil
+}
+
+// QueryBatch answers one single-source query per entry of sources, in order,
+// fanned out over GOMAXPROCS workers (PRSim queries are independent, so they
+// parallelize perfectly). Results are bit-identical to issuing the same
+// queries sequentially with Query. For control over worker count, caching and
+// statistics, build a dedicated Engine with NewEngine.
+func (idx *Index) QueryBatch(ctx context.Context, sources []int) ([]*Result, error) {
+	idx.engineOnce.Do(func() {
+		// Options are always valid here, so the only New error (nil index)
+		// cannot occur.
+		idx.batchEngine, _ = engine.New(idx.idx, engine.Options{})
+	})
+	inner, err := idx.batchEngine.QueryBatch(ctx, sources)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResults(idx.g, inner), nil
+}
+
 // QueryPair estimates the single-pair SimRank s(u, v) to within Epsilon with
 // probability 1-Delta. It does not use the hub index and is cheaper than a
 // full single-source query when only one value is needed.
 func (idx *Index) QueryPair(u, v int) (float64, error) { return idx.idx.QueryPair(u, v) }
+
+// QueryPairCtx is QueryPair with cancellation.
+func (idx *Index) QueryPairCtx(ctx context.Context, u, v int) (float64, error) {
+	return idx.idx.QueryPairCtx(ctx, u, v)
+}
 
 // Save writes the index to w; Load restores it for the same graph.
 func (idx *Index) Save(w io.Writer) error { return idx.idx.Save(w) }

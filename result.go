@@ -18,6 +18,15 @@ type Result struct {
 	inner *core.Result
 }
 
+// wrapResults lifts a slice of core results into the public type.
+func wrapResults(g *Graph, inner []*core.Result) []*Result {
+	out := make([]*Result, len(inner))
+	for i, r := range inner {
+		out[i] = &Result{g: g, inner: r}
+	}
+	return out
+}
+
 // Source returns the query node.
 func (r *Result) Source() int { return r.inner.Source }
 
