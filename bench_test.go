@@ -14,7 +14,10 @@ package prsim
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 
 	"prsim/internal/core"
@@ -362,6 +365,75 @@ func BenchmarkSqrtCWalk(b *testing.B) {
 func BenchmarkPowerLawGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.PowerLaw(gen.PowerLawOptions{N: 20000, AvgDegree: 10, Gamma: 2.5, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// snapshotFixture builds and saves an index once per benchmark binary run,
+// shared by the load benchmarks below so b.N iterations only measure loading.
+func snapshotFixture(b *testing.B) (*Graph, string) {
+	b.Helper()
+	snapshotFixtureOnce.Do(func() {
+		g := benchmarkGraph(b, 20000, 2.5)
+		idx, err := BuildIndex(g, Options{Epsilon: 0.1, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "prsim-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "index.prsim")
+		if err := idx.SaveFile(path); err != nil {
+			b.Fatal(err)
+		}
+		snapshotFixtureGraph, snapshotFixturePath = g, path
+	})
+	return snapshotFixtureGraph, snapshotFixturePath
+}
+
+var (
+	snapshotFixtureOnce  sync.Once
+	snapshotFixtureGraph *Graph
+	snapshotFixturePath  string
+)
+
+// BenchmarkLoadIndexStream measures the portable streaming parse of a saved
+// snapshot — the cold-start cost -mmap exists to avoid.
+func BenchmarkLoadIndexStream(b *testing.B) {
+	g, path := snapshotFixture(b)
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadIndexFile(path, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenSnapshotMmap measures the zero-copy mmap open of the same
+// file, including structural validation and bookkeeping but not the payload
+// CRC (compare BenchmarkLoadIndexStream; see also prsimbench -experiment
+// loadtime for the ≥100k-node comparison).
+func BenchmarkOpenSnapshotMmap(b *testing.B) {
+	g, path := snapshotFixture(b)
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := OpenSnapshot(path, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := idx.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON report, so CI can archive one benchmark artifact per commit and the
+// performance trajectory of the repo stays diffable.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -o BENCH_ci.json
+//	go test -bench . ./... | benchjson          # JSON to stdout
+//
+// It parses the standard benchmark result lines, e.g.
+//
+//	pkg: prsim
+//	BenchmarkQueryThroughput-8   	 100	  10563000 ns/op	  760000 B/op	      82 allocs/op
+//
+// keeping every extra metric column (B/op, allocs/op, and any custom
+// ReportMetric units) in a per-benchmark metrics map. Non-benchmark lines are
+// passed through to stderr with -echo, so the tool can sit in a pipeline
+// without hiding test failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Pkg is the import path from the preceding "pkg:" line, if any.
+	Pkg string `json:"pkg,omitempty"`
+	// Runs is the iteration count (the first column).
+	Runs int64 `json:"runs"`
+	// NsPerOp is the ns/op metric, the one column every line has.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other "value unit" pair (B/op, allocs/op, custom
+	// units), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	Generated  time.Time `json:"generated"`
+	Benchmarks []Result  `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file (default stdout)")
+	echo := flag.Bool("echo", false, "echo all input lines to stderr so the pipeline stays observable")
+	flag.Parse()
+
+	report, err := parse(os.Stdin, *echo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go test -bench output and collects benchmark result lines.
+func parse(r io.Reader, echo bool) (*Report, error) {
+	report := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if echo {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if p, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		if res, ok := parseBenchLine(line, pkg); ok {
+			report.Benchmarks = append(report.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  N  V unit  V unit ..." line.
+// Lines that do not match the shape are ignored (ok=false).
+func parseBenchLine(line, pkg string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, runs, value, "ns/op".
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Pkg: pkg, Runs: runs}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = val
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = val
+	}
+	return res, true
+}

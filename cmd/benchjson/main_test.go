@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: prsim
+cpu: AMD EPYC 7B13
+BenchmarkQueryThroughput-8   	     100	  10563000 ns/op	  760000 B/op	      82 allocs/op
+BenchmarkQueryInto-8         	     150	   9800000 ns/op
+PASS
+ok  	prsim	3.210s
+pkg: prsim/internal/core
+BenchmarkLoadIndex-8         	       5	 240000000 ns/op	36.50 MB/s
+PASS
+ok  	prsim/internal/core	2.110s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample), false)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkQueryThroughput-8" || b.Pkg != "prsim" {
+		t.Errorf("first benchmark = %q pkg %q", b.Name, b.Pkg)
+	}
+	if b.Runs != 100 || b.NsPerOp != 10563000 {
+		t.Errorf("first benchmark runs/ns = %d/%v", b.Runs, b.NsPerOp)
+	}
+	if b.Metrics["B/op"] != 760000 || b.Metrics["allocs/op"] != 82 {
+		t.Errorf("first benchmark metrics = %v", b.Metrics)
+	}
+	if report.Benchmarks[1].Metrics != nil {
+		t.Errorf("ns/op-only line should have no extra metrics: %v", report.Benchmarks[1].Metrics)
+	}
+	last := report.Benchmarks[2]
+	if last.Pkg != "prsim/internal/core" {
+		t.Errorf("pkg tracking across blocks: got %q", last.Pkg)
+	}
+	if last.Metrics["MB/s"] != 36.50 {
+		t.Errorf("custom metric MB/s = %v", last.Metrics["MB/s"])
+	}
+	if report.GoVersion == "" || report.GOOS == "" || report.GOARCH == "" {
+		t.Errorf("environment fields missing: %+v", report)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `Benchmark
+BenchmarkBroken-8 notanumber 5 ns/op
+BenchmarkOdd-8 10 5
+--- FAIL: TestSomething
+FAIL
+`
+	report, err := parse(strings.NewReader(noise), false)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("noise lines produced %d benchmarks: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+}

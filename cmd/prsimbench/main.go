@@ -9,7 +9,11 @@
 //	prsimbench -experiment all
 //
 // Experiments: fig1, fig2, fig3, fig4, fig5, fig6a, fig6b, fig7a, fig7b,
-// hubsweep, backwardwalk, secondmoment, all.
+// hubsweep, backwardwalk, secondmoment, loadtime, all.
+//
+// The loadtime experiment benchmarks cold-starting from a saved index: the
+// streaming parser against the zero-copy mmap snapshot loader (use -full for
+// the ≥100k-node configuration).
 package main
 
 import (
@@ -26,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, all)")
 		full       = flag.Bool("full", false, "use the full (slower) configuration instead of the quick one")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset for fig2-fig5 (default: all five)")
 		queries    = flag.Int("queries", 0, "override the number of queries per measurement")
@@ -74,8 +78,10 @@ func run(experiment string, cfg eval.Config, datasets []string) error {
 		return runBackwardWalk(cfg)
 	case "secondmoment":
 		return runSecondMoment(cfg, datasets)
+	case "loadtime", "snapshot":
+		return runLoadTime(cfg)
 	case "all":
-		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment"} {
+		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime"} {
 			if err := run(exp, cfg, datasets); err != nil {
 				return err
 			}
@@ -207,6 +213,22 @@ func runBackwardWalk(cfg eval.Config) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.5f\t%.5f\t%.6f\t%.4f\t%.1f\n",
 			r.Algorithm, r.Mean, r.Exact, r.Variance, r.MaxValue, r.CostPerRun)
+	}
+	return nil
+}
+
+func runLoadTime(cfg eval.Config) error {
+	fmt.Println("=== Snapshot loading: streaming parse vs zero-copy mmap ===")
+	res, err := eval.RunLoadTime(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges; saved index: %.2f MB\n",
+		res.Nodes, res.Edges, float64(res.IndexBytes)/(1<<20))
+	w, flush := newTable("mode", "open (ms)", "speedup vs stream", "first query (ms)")
+	defer flush()
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.1fx\t%.3f\n", r.Mode, r.Millis, r.Speedup, r.FirstQueryMillis)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	prsimquery -generate powerlaw -n 10000 -gamma 2.5 -source 0
 //	prsimquery -graph graph.txt -saveindex idx.prsim        # preprocessing only
 //	prsimquery -graph graph.txt -loadindex idx.prsim -source 3
+//	prsimquery -graph graph.txt -loadindex idx.prsim -mmap -source 3
 //	prsimquery -graph graph.txt -algorithm ProbeSim -source 3
 package main
 
@@ -36,6 +37,7 @@ func main() {
 		topK      = flag.Int("topk", 20, "number of results to print")
 		saveIndex = flag.String("saveindex", "", "write the built index to this file")
 		loadIndex = flag.String("loadindex", "", "load a previously saved index instead of building one")
+		useMmap   = flag.Bool("mmap", false, "open -loadindex as a zero-copy mmap snapshot")
 		algorithm = flag.String("algorithm", "PRSim", "algorithm to use (PRSim, SLING, ProbeSim, READS, TSF, TopSim, MonteCarlo)")
 	)
 	flag.Parse()
@@ -44,7 +46,7 @@ func main() {
 		graphPath: *graphPath, dataset: *dsName, generate: *generate, n: *n, avgDeg: *avgDeg,
 		gamma: *gamma, directed: *directed, epsilon: *epsilon, decay: *decay, seed: *seed,
 		scale: *scale, source: *source, topK: *topK, saveIndex: *saveIndex, loadIndex: *loadIndex,
-		algorithm: *algorithm,
+		mmap: *useMmap, algorithm: *algorithm,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "prsimquery: %v\n", err)
 		os.Exit(1)
@@ -61,6 +63,7 @@ type config struct {
 	scale                        float64
 	source, topK                 int
 	saveIndex, loadIndex         string
+	mmap                         bool
 	algorithm                    string
 }
 
@@ -80,10 +83,15 @@ func run(cfg config) error {
 
 	var idx *prsim.Index
 	if cfg.loadIndex != "" {
-		idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
+		if cfg.mmap {
+			idx, err = prsim.OpenSnapshot(cfg.loadIndex, g)
+		} else {
+			idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
+		}
 		if err != nil {
 			return err
 		}
+		defer idx.Close()
 		fmt.Printf("loaded index: %d hubs, %.2f MB\n", idx.NumHubs(), float64(idx.SizeBytes())/(1<<20))
 	} else {
 		idx, err = prsim.BuildIndex(g, prsim.Options{

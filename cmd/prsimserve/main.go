@@ -7,7 +7,12 @@
 //
 //	prsimquery -graph graph.txt -saveindex idx.prsim          # build once
 //	prsimserve -graph graph.txt -loadindex idx.prsim -addr :8080
+//	prsimserve -graph graph.txt -loadindex idx.prsim -mmap    # zero-copy start
 //	prsimserve -dataset DB -epsilon 0.1                       # build at startup
+//
+// With -mmap the saved index is memory-mapped instead of parsed: startup cost
+// is independent of index size and concurrent server processes mapping the
+// same file share one page cache. /stats reports the backing mode.
 //
 // Endpoints:
 //
@@ -40,6 +45,8 @@ func main() {
 	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list file to load")
 	flag.StringVar(&cfg.dataset, "dataset", "", "benchmark dataset stand-in to generate (DB, LJ, IT, TW, UK)")
 	flag.StringVar(&cfg.loadIndex, "loadindex", "", "saved index file to load (skips preprocessing)")
+	flag.BoolVar(&cfg.mmap, "mmap", false, "open -loadindex as a zero-copy mmap snapshot (near-instant start, shared page cache)")
+	flag.BoolVar(&cfg.mmapVerify, "mmapverify", false, "with -mmap, verify the snapshot checksum at startup (reads the whole file once)")
 	flag.Float64Var(&cfg.epsilon, "epsilon", 0.1, "additive error target when building an index")
 	flag.Float64Var(&cfg.decay, "decay", prsim.DefaultDecay, "SimRank decay factor c")
 	flag.Float64Var(&cfg.scale, "samplescale", 1.0, "Monte Carlo sample scale (1.0 = paper constants)")
@@ -56,8 +63,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prsimserve: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("prsimserve: graph %d nodes / %d edges, %d hubs, %d workers, listening on %s",
-		srv.idx.Graph().NumNodes(), srv.idx.Graph().NumEdges(), srv.idx.NumHubs(), srv.eng.Workers(), cfg.addr)
+	log.Printf("prsimserve: graph %d nodes / %d edges, %d hubs (%s-backed, ready in %s), %d workers, listening on %s",
+		srv.idx.Graph().NumNodes(), srv.idx.Graph().NumEdges(), srv.idx.NumHubs(),
+		srv.idx.Backing(), srv.loadTime.Round(time.Millisecond), srv.eng.Workers(), cfg.addr)
 	hs := &http.Server{
 		Addr:    cfg.addr,
 		Handler: srv.handler(),
@@ -77,6 +85,7 @@ func main() {
 type config struct {
 	graphPath, dataset string
 	loadIndex          string
+	mmap, mmapVerify   bool
 	epsilon, decay     float64
 	scale              float64
 	seed               uint64
@@ -89,10 +98,11 @@ type config struct {
 // server holds the loaded index and engine; its handler is separable from the
 // listener so tests can drive it through httptest.
 type server struct {
-	idx     *prsim.Index
-	eng     *prsim.Engine
-	start   time.Time
-	timeout time.Duration
+	idx      *prsim.Index
+	eng      *prsim.Engine
+	start    time.Time
+	loadTime time.Duration // time to load/build the index at startup
+	timeout  time.Duration
 }
 
 // buildServer loads the graph, loads or builds the index, and wires up the
@@ -113,9 +123,18 @@ func buildServer(cfg config) (*server, error) {
 	}
 
 	var idx *prsim.Index
-	if cfg.loadIndex != "" {
+	loadStart := time.Now()
+	switch {
+	case cfg.loadIndex != "" && cfg.mmap:
+		idx, err = prsim.OpenSnapshot(cfg.loadIndex, g)
+		if err == nil && cfg.mmapVerify {
+			err = idx.Verify()
+		}
+	case cfg.loadIndex != "":
 		idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
-	} else {
+	case cfg.mmap:
+		return nil, fmt.Errorf("-mmap requires -loadindex (a saved snapshot file to map)")
+	default:
 		idx, err = prsim.BuildIndex(g, prsim.Options{
 			Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed,
 			SampleScale: cfg.scale, MaxLevels: cfg.maxLevels,
@@ -124,6 +143,7 @@ func buildServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	loadTime := time.Since(loadStart)
 	eng, err := prsim.NewEngine(idx, prsim.EngineOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize})
 	if err != nil {
 		return nil, err
@@ -132,7 +152,7 @@ func buildServer(cfg config) (*server, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &server{idx: idx, eng: eng, start: time.Now(), timeout: timeout}, nil
+	return &server{idx: idx, eng: eng, start: time.Now(), loadTime: loadTime, timeout: timeout}, nil
 }
 
 // handler builds the route table. Per-request deadlines come from requestCtx
@@ -276,6 +296,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"entries":       ist.Entries,
 			"size_bytes":    s.idx.SizeBytes(),
 			"second_moment": ist.SecondMoment,
+			"backing":       s.idx.Backing(),
+			"load_seconds":  s.loadTime.Seconds(),
 		},
 		"engine": map[string]any{
 			"workers":       est.Workers,

@@ -17,6 +17,11 @@ import (
 // load-index-at-startup flow end to end.
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
+	return newTestServerMmap(t, false)
+}
+
+func newTestServerMmap(t *testing.T, mmap bool) *httptest.Server {
+	t.Helper()
 	dir := t.TempDir()
 	g, err := prsim.GeneratePowerLawGraph(150, 6, 2.5, true, 5)
 	if err != nil {
@@ -45,6 +50,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	srv, err := buildServer(config{
 		graphPath: graphPath,
 		loadIndex: indexPath,
+		mmap:      mmap,
 		workers:   4,
 		cacheSize: 16,
 		timeout:   10 * time.Second,
@@ -186,7 +192,7 @@ func TestServeHealthzAndStats(t *testing.T) {
 
 	var stats struct {
 		Graph  map[string]float64 `json:"graph"`
-		Index  map[string]float64 `json:"index"`
+		Index  map[string]any     `json:"index"`
 		Engine map[string]float64 `json:"engine"`
 	}
 	resp = getJSON(t, ts.URL+"/stats", &stats)
@@ -196,14 +202,64 @@ func TestServeHealthzAndStats(t *testing.T) {
 	if stats.Graph["nodes"] != 150 {
 		t.Errorf("stats nodes = %v, want 150", stats.Graph["nodes"])
 	}
-	if stats.Index["hubs"] <= 0 {
+	if hubs, _ := stats.Index["hubs"].(float64); hubs <= 0 {
 		t.Errorf("stats hubs = %v, want > 0", stats.Index["hubs"])
+	}
+	if stats.Index["backing"] != "heap" {
+		t.Errorf("stats backing = %v, want heap for a streaming load", stats.Index["backing"])
 	}
 	if stats.Engine["queries"] < 2 {
 		t.Errorf("stats queries = %v, want >= 2", stats.Engine["queries"])
 	}
 	if stats.Engine["cache_hits"] < 1 {
 		t.Errorf("stats cache_hits = %v, want >= 1 after repeated query", stats.Engine["cache_hits"])
+	}
+}
+
+// TestServeMmapBacking boots the server with -mmap and checks queries work
+// and /stats reports the mmap backing.
+func TestServeMmapBacking(t *testing.T) {
+	ts := newTestServerMmap(t, true)
+	var res queryResultJSON
+	if resp := getJSON(t, ts.URL+"/query?u=2", &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	if res.Source != 2 {
+		t.Errorf("query source = %d, want 2", res.Source)
+	}
+	var stats struct {
+		Index map[string]any `json:"index"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	// On platforms without zero-copy support the open falls back to the
+	// streaming loader and reports heap; both are valid outcomes, but the
+	// field must be present.
+	if b := stats.Index["backing"]; b != "mmap" && b != "heap" {
+		t.Errorf("stats backing = %v, want mmap or heap", b)
+	}
+}
+
+// TestServeMmapRequiresLoadIndex checks -mmap without -loadindex is rejected
+// at startup.
+func TestServeMmapRequiresLoadIndex(t *testing.T) {
+	g, err := prsim.GeneratePowerLawGraph(50, 4, 2.5, true, 5)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(config{graphPath: graphPath, mmap: true}); err == nil {
+		t.Fatal("expected -mmap without -loadindex to fail")
 	}
 }
 

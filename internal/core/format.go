@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Snapshot v2 is the flat, mmap-friendly on-disk index format:
+//
+//	header        128 bytes: 16 little-endian u64 slots (magic, version,
+//	              sections start, node count, option bits, section counts,
+//	              file size, flags)
+//	section table 5 × 16 bytes: (offset, byte length) per section
+//	sections      contiguous, each 8-byte aligned:
+//	                pi            nNodes   × 8  (f64 bits)
+//	                hubOrder      numHubs  × 8  (u64 node ids)
+//	                hubLevelPos   numHubs+1 × 8 (u64 prefix sums of level counts)
+//	                entryOffsets  numLevels+1 × 8 (u64 prefix sums into slab)
+//	                entrySlab     numEntries × 16 (u32 node, u32 zero, f64 bits)
+//	trailer       8 bytes: CRC-32C (Castagnoli) of all section bytes, in the
+//	              low 32 bits of a u64
+//
+// Every field is little-endian and every section offset is a multiple of 8,
+// so a 64-bit little-endian process can reconstruct the index's slices as
+// zero-copy views over an mmap of the file. The 16-byte entry record matches
+// Go's in-memory layout of IndexEntry on 64-bit platforms (int32 at offset 0,
+// 4 bytes of zero padding, float64 at offset 8).
+//
+// Version 1 (the legacy element-streamed format) is still accepted by
+// LoadIndex; Save always writes version 2.
+const (
+	indexMagic     = 0x5052534d // "PRSM"
+	indexVersionV1 = 1
+	indexVersionV2 = 2
+
+	snapshotHeaderBytes   = 128
+	snapshotSectionCount  = 5
+	snapshotTableBytes    = snapshotSectionCount * 16
+	snapshotSectionsStart = snapshotHeaderBytes + snapshotTableBytes
+	snapshotTrailerBytes  = 8
+
+	// entryRecordBytes is the serialized size of one IndexEntry record.
+	entryRecordBytes = 16
+
+	// snapshotMinBytes is the smallest structurally valid v2 file.
+	snapshotMinBytes = snapshotSectionsStart + snapshotTrailerBytes
+
+	// snapshotMaxCount bounds every element count read from a header so that
+	// count*recordSize arithmetic cannot overflow uint64 and hostile headers
+	// cannot request absurd allocations before length cross-checks run.
+	snapshotMaxCount = 1 << 48
+)
+
+// Section indices into SnapshotLayout.Sections, in file order.
+const (
+	sectionPi = iota
+	sectionHubOrder
+	sectionHubLevelPos
+	sectionEntryOffsets
+	sectionEntrySlab
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Section locates one snapshot section inside the file.
+type Section struct {
+	Off uint64 // byte offset from the start of the file; multiple of 8
+	Len uint64 // byte length
+}
+
+// End returns the first byte past the section.
+func (s Section) End() uint64 { return s.Off + s.Len }
+
+// SnapshotLayout is the decoded header and section table of a v2 snapshot.
+// It is exported (within the module) so internal/snapshot can locate the
+// sections of an mmap'd file without re-implementing the format.
+type SnapshotLayout struct {
+	NNodes     uint64
+	Opts       Options
+	NumHubs    uint64
+	NumLevels  uint64 // total level slots across all hubs
+	NumEntries uint64
+	FileSize   uint64
+	Sections   [snapshotSectionCount]Section
+}
+
+// snapshotLayout computes the v2 layout for this index: contiguous sections
+// starting right after the section table, each a multiple of 8 bytes.
+func (idx *Index) snapshotLayout() SnapshotLayout {
+	l := SnapshotLayout{
+		NNodes:     uint64(idx.g.N()),
+		Opts:       idx.opts,
+		NumHubs:    uint64(len(idx.hubOrder)),
+		NumLevels:  uint64(len(idx.entryOffsets) - 1),
+		NumEntries: uint64(len(idx.entrySlab)),
+	}
+	lens := [snapshotSectionCount]uint64{
+		sectionPi:           l.NNodes * 8,
+		sectionHubOrder:     l.NumHubs * 8,
+		sectionHubLevelPos:  (l.NumHubs + 1) * 8,
+		sectionEntryOffsets: (l.NumLevels + 1) * 8,
+		sectionEntrySlab:    l.NumEntries * entryRecordBytes,
+	}
+	off := uint64(snapshotSectionsStart)
+	for i, n := range lens {
+		l.Sections[i] = Section{Off: off, Len: n}
+		off += n
+	}
+	l.FileSize = off + snapshotTrailerBytes
+	return l
+}
+
+// encodeSnapshotPrefix renders the 208-byte header + section table.
+func encodeSnapshotPrefix(l SnapshotLayout) []byte {
+	buf := make([]byte, snapshotSectionsStart)
+	slots := []uint64{
+		indexMagic,
+		indexVersionV2,
+		snapshotSectionsStart,
+		l.NNodes,
+		math.Float64bits(l.Opts.C),
+		math.Float64bits(l.Opts.Epsilon),
+		math.Float64bits(l.Opts.Delta),
+		uint64(l.Opts.MaxLevels),
+		l.Opts.Seed,
+		math.Float64bits(l.Opts.SampleScale),
+		l.NumHubs,
+		l.NumLevels,
+		l.NumEntries,
+		l.FileSize,
+		0, // flags
+		0, // reserved
+	}
+	for i, v := range slots {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	for i, s := range l.Sections {
+		base := snapshotHeaderBytes + i*16
+		binary.LittleEndian.PutUint64(buf[base:], s.Off)
+		binary.LittleEndian.PutUint64(buf[base+8:], s.Len)
+	}
+	return buf
+}
+
+// parseSnapshotPrefix decodes and structurally validates the 208-byte
+// header + section table. prefix must be exactly snapshotSectionsStart bytes.
+// The caller still has to check FileSize against the actual file and verify
+// the checksum trailer.
+func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
+	if len(prefix) != snapshotSectionsStart {
+		return nil, fmt.Errorf("core: snapshot prefix is %d bytes, want %d", len(prefix), snapshotSectionsStart)
+	}
+	slot := func(i int) uint64 { return binary.LittleEndian.Uint64(prefix[i*8:]) }
+	if slot(0) != indexMagic {
+		return nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", slot(0))
+	}
+	if v := slot(1); v != indexVersionV2 {
+		return nil, fmt.Errorf("core: unsupported index version %d", v)
+	}
+	if s := slot(2); s != snapshotSectionsStart {
+		return nil, fmt.Errorf("core: snapshot sections start at %d, want %d", s, snapshotSectionsStart)
+	}
+	l := &SnapshotLayout{
+		NNodes: slot(3),
+		Opts: Options{
+			C:           math.Float64frombits(slot(4)),
+			Epsilon:     math.Float64frombits(slot(5)),
+			Delta:       math.Float64frombits(slot(6)),
+			MaxLevels:   int(slot(7)),
+			Seed:        slot(8),
+			SampleScale: math.Float64frombits(slot(9)),
+		},
+		NumHubs:    slot(10),
+		NumLevels:  slot(11),
+		NumEntries: slot(12),
+		FileSize:   slot(13),
+	}
+	for _, c := range []uint64{l.NNodes, l.NumHubs, l.NumLevels, l.NumEntries} {
+		if c > snapshotMaxCount {
+			return nil, fmt.Errorf("core: snapshot element count %d exceeds format limit", c)
+		}
+	}
+	if l.NumHubs > l.NNodes {
+		return nil, fmt.Errorf("core: snapshot hub count %d exceeds node count %d", l.NumHubs, l.NNodes)
+	}
+	wantLens := [snapshotSectionCount]uint64{
+		sectionPi:           l.NNodes * 8,
+		sectionHubOrder:     l.NumHubs * 8,
+		sectionHubLevelPos:  (l.NumHubs + 1) * 8,
+		sectionEntryOffsets: (l.NumLevels + 1) * 8,
+		sectionEntrySlab:    l.NumEntries * entryRecordBytes,
+	}
+	end := uint64(snapshotSectionsStart)
+	for i := range l.Sections {
+		base := snapshotHeaderBytes + i*16
+		l.Sections[i] = Section{
+			Off: binary.LittleEndian.Uint64(prefix[base:]),
+			Len: binary.LittleEndian.Uint64(prefix[base+8:]),
+		}
+		s := l.Sections[i]
+		if s.Len != wantLens[i] {
+			return nil, fmt.Errorf("core: snapshot section %d is %d bytes, want %d", i, s.Len, wantLens[i])
+		}
+		if s.Off != end {
+			return nil, fmt.Errorf("core: snapshot section %d at offset %d, want %d", i, s.Off, end)
+		}
+		if s.Off%8 != 0 {
+			return nil, fmt.Errorf("core: snapshot section %d misaligned at offset %d", i, s.Off)
+		}
+		end = s.End()
+	}
+	if l.FileSize != end+snapshotTrailerBytes {
+		return nil, fmt.Errorf("core: snapshot file size %d does not match sections (want %d)", l.FileSize, end+snapshotTrailerBytes)
+	}
+	return l, nil
+}
+
+// SnapshotFileVersion inspects the first 16 bytes of a saved index and
+// returns its format version. It errors when the data is too short or the
+// magic does not match; it does not judge whether the version is supported.
+func SnapshotFileVersion(data []byte) (uint64, error) {
+	if len(data) < 16 {
+		return 0, fmt.Errorf("core: snapshot shorter than its 16-byte prelude")
+	}
+	if m := binary.LittleEndian.Uint64(data[:8]); m != indexMagic {
+		return 0, fmt.Errorf("core: not a PRSim index file (magic %#x)", m)
+	}
+	return binary.LittleEndian.Uint64(data[8:16]), nil
+}
+
+// ParseSnapshotLayout decodes and validates the layout of a complete
+// in-memory (typically mmap'd) v2 snapshot. It checks structure only; call
+// VerifyChecksum to validate the section payload.
+func ParseSnapshotLayout(data []byte) (*SnapshotLayout, error) {
+	if len(data) < snapshotMinBytes {
+		return nil, fmt.Errorf("core: snapshot is %d bytes, below minimum %d", len(data), snapshotMinBytes)
+	}
+	l, err := parseSnapshotPrefix(data[:snapshotSectionsStart])
+	if err != nil {
+		return nil, err
+	}
+	if l.FileSize != uint64(len(data)) {
+		return nil, fmt.Errorf("core: snapshot header says %d bytes but file has %d", l.FileSize, len(data))
+	}
+	return l, nil
+}
+
+// VerifyChecksum recomputes the CRC-32C of the section payload and compares
+// it against the trailer. data must be the complete snapshot.
+func (l *SnapshotLayout) VerifyChecksum(data []byte) error {
+	if uint64(len(data)) != l.FileSize {
+		return fmt.Errorf("core: snapshot is %d bytes but layout says %d", len(data), l.FileSize)
+	}
+	payload := data[snapshotSectionsStart : l.FileSize-snapshotTrailerBytes]
+	want := binary.LittleEndian.Uint64(data[l.FileSize-snapshotTrailerBytes:])
+	got := uint64(crc32.Checksum(payload, crcTable))
+	if got != want {
+		return fmt.Errorf("core: snapshot checksum mismatch: file says %#x, computed %#x", want, got)
+	}
+	return nil
+}

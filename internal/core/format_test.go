@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// writeV1 renders idx in the legacy v1 element-streamed format, exactly as
+// the pre-v2 Save did, so the compatibility path stays covered after the
+// writer moved on.
+func writeV1(t *testing.T, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+
+	writeU64(indexMagic)
+	writeU64(indexVersionV1)
+	writeU64(uint64(idx.g.N()))
+	writeF64(idx.opts.C)
+	writeF64(idx.opts.Epsilon)
+	writeF64(idx.opts.Delta)
+	writeU64(uint64(idx.opts.MaxLevels))
+	writeU64(idx.opts.Seed)
+	writeF64(idx.opts.SampleScale)
+
+	writeU64(uint64(len(idx.pi)))
+	for _, p := range idx.pi {
+		writeF64(p)
+	}
+	writeU64(uint64(len(idx.hubOrder)))
+	for _, h := range idx.hubOrder {
+		writeU64(uint64(h))
+	}
+	for rank := range idx.hubOrder {
+		numLevels := idx.hubLevels(rank)
+		writeU64(uint64(numLevels))
+		for level := 0; level < numLevels; level++ {
+			entries := idx.HubEntries(idx.hubOrder[rank], level)
+			writeU64(uint64(len(entries)))
+			for _, e := range entries {
+				writeU64(uint64(e.Node))
+				writeF64(e.Reserve)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("flushing v1 fixture: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadIndexV1 checks the version switch still accepts the legacy format
+// and that a v1-loaded index matches the v2 round trip entry for entry.
+func TestLoadIndexV1(t *testing.T) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.05, NumHubs: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	v1 := writeV1(t, idx)
+	loaded, err := LoadIndex(bytes.NewReader(v1), g)
+	if err != nil {
+		t.Fatalf("LoadIndex (v1): %v", err)
+	}
+	if loaded.NumHubs() != idx.NumHubs() {
+		t.Errorf("hub count: v1 %d, built %d", loaded.NumHubs(), idx.NumHubs())
+	}
+	if loaded.SizeEntries() != idx.SizeEntries() {
+		t.Errorf("entries: v1 %d, built %d", loaded.SizeEntries(), idx.SizeEntries())
+	}
+	for _, w := range idx.Hubs() {
+		for level := 0; level < 10; level++ {
+			a, b := idx.HubEntries(w, level), loaded.HubEntries(w, level)
+			if len(a) != len(b) {
+				t.Fatalf("hub %d level %d: %d vs %d entries", w, level, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("hub %d level %d entry %d: %+v vs %+v", w, level, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	// A v1-loaded index must answer queries identically to the v2 round trip.
+	var v2 bytes.Buffer
+	if err := idx.Save(&v2); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fromV2, err := LoadIndex(&v2, g)
+	if err != nil {
+		t.Fatalf("LoadIndex (v2): %v", err)
+	}
+	resV1, err := loaded.Query(0)
+	if err != nil {
+		t.Fatalf("Query (v1): %v", err)
+	}
+	resV2, err := fromV2.Query(0)
+	if err != nil {
+		t.Fatalf("Query (v2): %v", err)
+	}
+	if len(resV1.Scores) != len(resV2.Scores) {
+		t.Fatalf("score support differs: v1 %d, v2 %d", len(resV1.Scores), len(resV2.Scores))
+	}
+	for v, s := range resV1.Scores {
+		if s2 := resV2.Scores[v]; math.Float64bits(s) != math.Float64bits(s2) {
+			t.Errorf("score of %d differs: v1 %v, v2 %v", v, s, s2)
+		}
+	}
+}
+
+// saveV2 returns a valid v2 snapshot for the fixture graph.
+func saveV2(t *testing.T) (*Index, []byte) {
+	t.Helper()
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.05, NumHubs: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return idx, buf.Bytes()
+}
+
+func TestLoadIndexCorruptV2(t *testing.T) {
+	g := fixtureGraph()
+	_, good := saveV2(t)
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = f(b)
+		if _, err := LoadIndex(bytes.NewReader(b), g); err == nil {
+			t.Errorf("%s: corrupt input loaded without error", name)
+		}
+	}
+
+	mutate("bad magic", func(b []byte) []byte {
+		b[0] ^= 0xff
+		return b
+	})
+	mutate("future version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 99)
+		return b
+	})
+	mutate("checksum mismatch in entry slab", func(b []byte) []byte {
+		b[len(b)-16] ^= 0x01 // last entry record, invalidates the CRC
+		return b
+	})
+	mutate("checksum mismatch in pi", func(b []byte) []byte {
+		b[snapshotSectionsStart+3] ^= 0x80
+		return b
+	})
+	mutate("node count mismatch", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:], 9999)
+		return b
+	})
+	mutate("oversized hub count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[80:], 1<<60)
+		return b
+	})
+	mutate("truncated mid-section", func(b []byte) []byte {
+		return b[:len(b)/2]
+	})
+	mutate("hostile entry count with consistent header", func(b []byte) []byte {
+		// A self-consistent header claiming a colossal entry slab must fail
+		// with a truncated-read error, not a giant up-front allocation: bump
+		// NumEntries, and patch the entrySlab section length and the file
+		// size so the prefix still parses.
+		const claimed = uint64(1) << 40
+		binary.LittleEndian.PutUint64(b[96:], claimed) // NumEntries slot
+		slabLenOff := snapshotHeaderBytes + sectionEntrySlab*16 + 8
+		oldLen := binary.LittleEndian.Uint64(b[slabLenOff:])
+		binary.LittleEndian.PutUint64(b[slabLenOff:], claimed*entryRecordBytes)
+		fileSize := binary.LittleEndian.Uint64(b[104:])
+		binary.LittleEndian.PutUint64(b[104:], fileSize-oldLen+claimed*entryRecordBytes)
+		return b
+	})
+	mutate("truncated trailer", func(b []byte) []byte {
+		return b[:len(b)-3]
+	})
+	mutate("empty", func(b []byte) []byte {
+		return nil
+	})
+	for keep := 0; keep < snapshotSectionsStart; keep += 13 {
+		k := keep
+		mutate("truncated prefix", func(b []byte) []byte { return b[:k] })
+	}
+}
+
+// TestParseSnapshotLayoutTampered drives the structural validation the mmap
+// loader depends on (it cannot rely on the streaming loader's incremental
+// reads failing).
+func TestParseSnapshotLayoutTampered(t *testing.T) {
+	_, good := saveV2(t)
+
+	if _, err := ParseSnapshotLayout(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	check := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = f(b)
+		if _, err := ParseSnapshotLayout(b); err == nil {
+			t.Errorf("%s: tampered layout accepted", name)
+		}
+	}
+	check("short", func(b []byte) []byte { return b[:snapshotMinBytes-1] })
+	check("grown file", func(b []byte) []byte { return append(b, 0) })
+	check("section offset out of order", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[snapshotHeaderBytes+16:], 1<<40)
+		return b
+	})
+	check("misaligned section offset", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[snapshotHeaderBytes+16:])
+		binary.LittleEndian.PutUint64(b[snapshotHeaderBytes+16:], off+4)
+		return b
+	})
+	check("section length mismatch", func(b []byte) []byte {
+		l := binary.LittleEndian.Uint64(b[snapshotHeaderBytes+8:])
+		binary.LittleEndian.PutUint64(b[snapshotHeaderBytes+8:], l+8)
+		return b
+	})
+	check("file size lies", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[104:], uint64(len(b))+8)
+		return b
+	})
+}
+
+// TestFinishLoadRejectsBadOffsets feeds structurally plausible but internally
+// inconsistent section views through the snapshot assembly path, which must
+// reject them (HubEntries would slice out of bounds otherwise).
+func TestFinishLoadRejectsBadOffsets(t *testing.T) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.05, NumHubs: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	l := idx.snapshotLayout()
+
+	fresh := func() ([]float64, []int, []uint64, []uint64, []IndexEntry) {
+		return append([]float64(nil), idx.pi...),
+			append([]int(nil), idx.hubOrder...),
+			append([]uint64(nil), idx.hubLevelPos...),
+			append([]uint64(nil), idx.entryOffsets...),
+			append([]IndexEntry(nil), idx.entrySlab...)
+	}
+
+	pi, hubs, hlp, eo, slab := fresh()
+	if _, err := NewIndexFromSnapshot(g, &l, pi, hubs, hlp, eo, slab); err != nil {
+		t.Fatalf("valid sections rejected: %v", err)
+	}
+
+	pi, hubs, hlp, eo, slab = fresh()
+	hlp[len(hlp)-1]++ // claims more level slots than entryOffsets has
+	if _, err := NewIndexFromSnapshot(g, &l, pi, hubs, hlp, eo, slab); err == nil {
+		t.Errorf("inflated hubLevelPos accepted")
+	}
+
+	pi, hubs, hlp, eo, slab = fresh()
+	if len(eo) > 1 {
+		eo[0], eo[len(eo)-1] = eo[len(eo)-1], eo[0] // non-monotonic
+		if _, err := NewIndexFromSnapshot(g, &l, pi, hubs, hlp, eo, slab); err == nil {
+			t.Errorf("non-monotonic entryOffsets accepted")
+		}
+	}
+
+	pi, hubs, hlp, eo, slab = fresh()
+	hubs[0] = g.N() + 5 // hub id out of range
+	if _, err := NewIndexFromSnapshot(g, &l, pi, hubs, hlp, eo, slab); err == nil {
+		t.Errorf("out-of-range hub accepted")
+	}
+
+	pi, hubs, hlp, eo, slab = fresh()
+	if len(hubs) >= 2 {
+		hubs[1] = hubs[0] // duplicate hub
+		if _, err := NewIndexFromSnapshot(g, &l, pi, hubs, hlp, eo, slab); err == nil {
+			t.Errorf("duplicate hub accepted")
+		}
+	}
+}
+
+// TestAsSliceIgnoresGarbageKeys pins the memory-safety guard for score maps
+// polluted by a corrupt (unverified) snapshot: out-of-range node ids,
+// including negative ones from a u32→int32 reinterpretation, must be dropped
+// rather than indexed.
+func TestAsSliceIgnoresGarbageKeys(t *testing.T) {
+	r := &Result{Scores: map[int]float64{-1: 0.5, 0: 0.25, 2: 0.75, 7: 0.9}}
+	out := r.AsSlice(3)
+	if len(out) != 3 || out[0] != 0.25 || out[2] != 0.75 {
+		t.Errorf("AsSlice = %v, want [0.25 0 0.75]", out)
+	}
+}
+
+// FuzzLoadIndex asserts the loader returns clean errors — never panics — on
+// arbitrary input. Seeds include a valid v2 snapshot, a valid v1 stream, and
+// assorted prefixes/garbage.
+func FuzzLoadIndex(f *testing.F) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.1, NumHubs: 2, Seed: 1, SampleScale: 0.01})
+	if err != nil {
+		f.Fatalf("BuildIndex: %v", err)
+	}
+	wantOpts := idx.Options()
+	var v2 bytes.Buffer
+	if err := idx.Save(&v2); err != nil {
+		f.Fatalf("Save: %v", err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:16])
+	f.Add(v2.Bytes()[:snapshotSectionsStart])
+	f.Add([]byte("not an index at all"))
+	f.Add([]byte{})
+	trunc := append([]byte(nil), v2.Bytes()...)
+	f.Add(trunc[:len(trunc)-9])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := LoadIndex(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be internally consistent enough to query. Only
+		// query when the options survived untampered: the header is not
+		// checksummed, and a mutated epsilon can legitimately parse yet make
+		// the (correct) query astronomically expensive.
+		if idx.Options() != wantOpts {
+			return
+		}
+		if _, qerr := idx.Query(0); qerr != nil {
+			t.Fatalf("loaded index cannot query: %v", qerr)
+		}
+	})
+}

@@ -13,27 +13,27 @@ import (
 )
 
 // IndexEntry is one (v, ψ_ℓ(v,w)) pair stored in the hub list L_ℓ(w).
+//
+// The field order and types are part of the snapshot v2 on-disk format: an
+// entry is serialized as a 16-byte record (u32 node, u32 zero padding, f64
+// reserve bits), which matches this struct's in-memory layout on 64-bit
+// little-endian platforms so the mmap loader can view the entry slab as a
+// []IndexEntry without copying.
 type IndexEntry struct {
 	Node    int32
 	Reserve float64
 }
 
-// hubList holds, for one hub node, the reserve lists for every level.
-type hubList struct {
-	// Levels[ℓ] lists the (v, ψ_ℓ(v,w)) pairs with ψ_ℓ(v,w) > rmax.
-	Levels [][]IndexEntry
-}
-
-func (h *hubList) entries() int {
-	total := 0
-	for _, lvl := range h.Levels {
-		total += len(lvl)
-	}
-	return total
-}
-
 // Index is the PRSim index: the reverse PageRank vector, the hub set, and the
 // per-hub backward-search reserve lists of Algorithm 1.
+//
+// The hub lists are stored as one flat slab plus two prefix-sum offset
+// arrays (CSR-of-CSR): hub rank i owns level slots
+// hubLevelPos[i]..hubLevelPos[i+1], and level slot k owns entries
+// entrySlab[entryOffsets[k]:entryOffsets[k+1]]. This is both the in-memory
+// and the snapshot v2 on-disk layout, so the same query code runs unchanged
+// whether the slices are heap-allocated (BuildIndex, streaming LoadIndex) or
+// zero-copy views over an mmap'd snapshot (internal/snapshot).
 type Index struct {
 	g    *graph.Graph
 	opts Options
@@ -41,7 +41,10 @@ type Index struct {
 	pi       []float64 // reverse PageRank of every node
 	hubOrder []int     // hub nodes, sorted by descending reverse PageRank
 	hubRank  []int     // node -> position in hubOrder, or -1 for non-hubs
-	hubs     []hubList // indexed by hub rank
+
+	hubLevelPos  []uint64     // len NumHubs+1: prefix sums of per-hub level counts
+	entryOffsets []uint64     // len hubLevelPos[NumHubs]+1: prefix sums into entrySlab
+	entrySlab    []IndexEntry // all (node, reserve) pairs, hub-major then level-major
 
 	// statePool recycles queryState scratch (walkers, dense accumulators,
 	// median workspace) across queries; concurrent queries each draw their own
@@ -117,7 +120,7 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 
 	pushStart := time.Now()
 	rmax := opts.rmax()
-	idx.hubs = make([]hubList, j0)
+	built := make([][][]IndexEntry, j0)
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -167,7 +170,7 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 					}
 					sort.Slice(levels[l], func(a, b int) bool { return levels[l][a].Node < levels[l][b].Node })
 				}
-				idx.hubs[rank] = hubList{Levels: levels}
+				built[rank] = levels
 			}
 		}()
 	}
@@ -176,13 +179,37 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 		return nil, firstErr
 	}
 	idx.stats.Pushes = int(pushes)
-	for rank := range idx.hubs {
-		idx.stats.Entries += idx.hubs[rank].entries()
-	}
+	idx.flattenHubLevels(built)
+	idx.stats.Entries = len(idx.entrySlab)
 	idx.stats.PushTime = time.Since(pushStart)
 	idx.stats.NumHubs = j0
 	idx.stats.TotalTime = time.Since(start)
 	return idx, nil
+}
+
+// flattenHubLevels packs per-hub, per-level entry lists into the flat slab
+// representation (hubLevelPos, entryOffsets, entrySlab).
+func (idx *Index) flattenHubLevels(built [][][]IndexEntry) {
+	totalLevels, totalEntries := 0, 0
+	for _, levels := range built {
+		totalLevels += len(levels)
+		for _, lvl := range levels {
+			totalEntries += len(lvl)
+		}
+	}
+	idx.hubLevelPos = make([]uint64, len(built)+1)
+	idx.entryOffsets = make([]uint64, totalLevels+1)
+	idx.entrySlab = make([]IndexEntry, 0, totalEntries)
+	slot := 0
+	for rank, levels := range built {
+		for _, lvl := range levels {
+			idx.entryOffsets[slot] = uint64(len(idx.entrySlab))
+			idx.entrySlab = append(idx.entrySlab, lvl...)
+			slot++
+		}
+		idx.hubLevelPos[rank+1] = idx.hubLevelPos[rank] + uint64(len(levels))
+	}
+	idx.entryOffsets[slot] = uint64(len(idx.entrySlab))
 }
 
 // Graph returns the indexed graph.
@@ -215,24 +242,37 @@ func (idx *Index) NumHubs() int { return len(idx.hubOrder) }
 func (idx *Index) Hubs() []int { return idx.hubOrder }
 
 // HubEntries returns the stored list L_ℓ(w) for hub w at level ℓ, or nil if w
-// is not a hub or the level holds no entries.
+// is not a hub or the level holds no entries. The returned slice aliases the
+// index's entry slab (possibly an mmap'd snapshot); callers must not modify
+// it.
 func (idx *Index) HubEntries(w, level int) []IndexEntry {
 	rank := idx.hubRank[w]
 	if rank < 0 {
 		return nil
 	}
-	levels := idx.hubs[rank].Levels
-	if level < 0 || level >= len(levels) {
+	lo, hi := idx.hubLevelPos[rank], idx.hubLevelPos[rank+1]
+	if level < 0 || uint64(level) >= hi-lo {
 		return nil
 	}
-	return levels[level]
+	slot := lo + uint64(level)
+	return idx.entrySlab[idx.entryOffsets[slot]:idx.entryOffsets[slot+1]]
+}
+
+// hubLevels returns the number of level slots stored for hub rank i.
+func (idx *Index) hubLevels(rank int) int {
+	return int(idx.hubLevelPos[rank+1] - idx.hubLevelPos[rank])
 }
 
 // SizeEntries returns the total number of stored (v, ℓ, ψ) tuples.
 func (idx *Index) SizeEntries() int { return idx.stats.Entries }
 
 // SizeBytes returns an estimate of the serialized index size in bytes: the
-// entry lists plus the reverse PageRank vector and hub bookkeeping.
+// packed entry slab plus the reverse PageRank vector and the hub/level offset
+// arrays (the snapshot v2 section payload).
 func (idx *Index) SizeBytes() int64 {
-	return int64(idx.stats.Entries)*12 + int64(len(idx.pi))*8 + int64(len(idx.hubOrder))*8
+	return int64(len(idx.entrySlab))*entryRecordBytes +
+		int64(len(idx.pi))*8 +
+		int64(len(idx.hubOrder))*8 +
+		int64(len(idx.hubLevelPos))*8 +
+		int64(len(idx.entryOffsets))*8
 }

@@ -68,11 +68,13 @@ func (r *Result) TopK(k int) []ScoredNode {
 	return nodes[:k]
 }
 
-// AsSlice returns the scores as a dense vector of length n.
+// AsSlice returns the scores as a dense vector of length n. Keys outside
+// [0, n) are dropped — a corrupt (unverified) snapshot can surface garbage
+// node ids, and those must not turn into an out-of-range write.
 func (r *Result) AsSlice(n int) []float64 {
 	out := make([]float64, n)
 	for v, s := range r.Scores {
-		if v < n {
+		if v >= 0 && v < n {
 			out[v] = s
 		}
 	}

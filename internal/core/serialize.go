@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -11,52 +13,84 @@ import (
 	"prsim/internal/graph"
 )
 
-// indexMagic identifies PRSim index files; indexVersion is bumped on format
-// changes.
-const (
-	indexMagic   = 0x5052534d // "PRSM"
-	indexVersion = 1
-)
-
-// Save writes the index (excluding the graph itself) to w in a compact binary
-// format. Load requires the same graph to be supplied again.
+// Save writes the index (excluding the graph itself) to w in the snapshot v2
+// format documented in format.go. Load requires the same graph to be supplied
+// again.
 func (idx *Index) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
-	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
-
-	writeU64(indexMagic)
-	writeU64(indexVersion)
-	writeU64(uint64(idx.g.N()))
-	writeF64(idx.opts.C)
-	writeF64(idx.opts.Epsilon)
-	writeF64(idx.opts.Delta)
-	writeU64(uint64(idx.opts.MaxLevels))
-	writeU64(idx.opts.Seed)
-	writeF64(idx.opts.SampleScale)
-
-	writeU64(uint64(len(idx.pi)))
+	l := idx.snapshotLayout()
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.Write(encodeSnapshotPrefix(l)); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
+	}
+	enc := newSectionEncoder(bw)
 	for _, p := range idx.pi {
-		writeF64(p)
+		enc.u64(math.Float64bits(p))
 	}
-	writeU64(uint64(len(idx.hubOrder)))
 	for _, h := range idx.hubOrder {
-		writeU64(uint64(h))
+		enc.u64(uint64(h))
 	}
-	for _, hub := range idx.hubs {
-		writeU64(uint64(len(hub.Levels)))
-		for _, lvl := range hub.Levels {
-			writeU64(uint64(len(lvl)))
-			for _, e := range lvl {
-				writeU64(uint64(e.Node))
-				writeF64(e.Reserve)
-			}
-		}
+	for _, v := range idx.hubLevelPos {
+		enc.u64(v)
+	}
+	for _, v := range idx.entryOffsets {
+		enc.u64(v)
+	}
+	for _, e := range idx.entrySlab {
+		// 16-byte record: u32 node, u32 zero padding, f64 reserve bits.
+		enc.u64(uint64(uint32(e.Node)))
+		enc.u64(math.Float64bits(e.Reserve))
+	}
+	if err := enc.finish(); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
+	}
+	var trailer [snapshotTrailerBytes]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(enc.crc.Sum32()))
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
 	return nil
+}
+
+// sectionEncoder batches little-endian u64 writes and feeds every flushed
+// chunk to both the output and the running section checksum. Errors are
+// sticky, so callers check once at the end instead of on every element (the
+// v1 writer silently dropped binary.Write errors; this propagates them).
+type sectionEncoder struct {
+	w   io.Writer
+	crc hash.Hash32
+	buf []byte
+	err error
+}
+
+func newSectionEncoder(w io.Writer) *sectionEncoder {
+	return &sectionEncoder{w: w, crc: crc32.New(crcTable), buf: make([]byte, 0, 64<<10)}
+}
+
+func (e *sectionEncoder) u64(v uint64) {
+	if len(e.buf) == cap(e.buf) {
+		e.flush()
+	}
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *sectionEncoder) flush() {
+	if e.err != nil || len(e.buf) == 0 {
+		e.buf = e.buf[:0]
+		return
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		e.err = err
+	}
+	e.crc.Write(e.buf)
+	e.buf = e.buf[:0]
+}
+
+func (e *sectionEncoder) finish() error {
+	e.flush()
+	return e.err
 }
 
 // SaveFile writes the index to the given path.
@@ -72,10 +106,146 @@ func (idx *Index) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadIndex reads an index previously written with Save. The graph must be
-// the same graph (same node count and edges) the index was built from.
+// LoadIndex reads an index previously written with Save, accepting both the
+// legacy v1 element-streamed format and the current v2 snapshot format. The
+// graph must be the same graph (same node count and edges) the index was
+// built from. For near-instant zero-copy loading of v2 files from disk, use
+// internal/snapshot instead.
 func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
-	br := bufio.NewReader(r)
+	br := bufio.NewReaderSize(r, 64<<10)
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	magic := binary.LittleEndian.Uint64(head[:8])
+	version := binary.LittleEndian.Uint64(head[8:])
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", magic)
+	}
+	switch version {
+	case indexVersionV1:
+		return loadV1(br, g)
+	case indexVersionV2:
+		prefix := make([]byte, snapshotSectionsStart)
+		copy(prefix, head[:])
+		if _, err := io.ReadFull(br, prefix[16:]); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		return loadV2(br, prefix, g)
+	default:
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	}
+}
+
+// loadV2 streams the section payload of a v2 snapshot, verifying the CRC
+// trailer as it goes. prefix is the already-read 208-byte header + table.
+func loadV2(r io.Reader, prefix []byte, g *graph.Graph) (*Index, error) {
+	l, err := parseSnapshotPrefix(prefix)
+	if err != nil {
+		return nil, err
+	}
+	if int(l.NNodes) != g.N() {
+		return nil, fmt.Errorf("core: index built for %d nodes but graph has %d", l.NNodes, g.N())
+	}
+	// NNodes and NumHubs are bounded by the (trusted) graph at this point,
+	// so their sections are allocated up front. NumLevels and NumEntries are
+	// header-controlled and unbounded: those sections grow by appending as
+	// bytes actually arrive, so a hostile or corrupt header claiming 2^47
+	// entries costs a truncated-read error, not a giant allocation.
+	idx := &Index{g: g, opts: l.Opts}
+	idx.pi = make([]float64, 0, l.NNodes)
+	idx.hubOrder = make([]int, 0, l.NumHubs)
+	idx.hubLevelPos = make([]uint64, 0, l.NumHubs+1)
+	idx.entryOffsets = growCap[uint64](l.NumLevels + 1)
+	idx.entrySlab = growCap[IndexEntry](l.NumEntries)
+
+	dec := newSectionDecoder(r)
+	dec.section(l.Sections[sectionPi].Len, func(v uint64) {
+		idx.pi = append(idx.pi, math.Float64frombits(v))
+	})
+	dec.section(l.Sections[sectionHubOrder].Len, func(v uint64) {
+		idx.hubOrder = append(idx.hubOrder, int(v))
+	})
+	dec.section(l.Sections[sectionHubLevelPos].Len, func(v uint64) {
+		idx.hubLevelPos = append(idx.hubLevelPos, v)
+	})
+	dec.section(l.Sections[sectionEntryOffsets].Len, func(v uint64) {
+		idx.entryOffsets = append(idx.entryOffsets, v)
+	})
+	lo := true
+	dec.section(l.Sections[sectionEntrySlab].Len, func(v uint64) {
+		if lo {
+			idx.entrySlab = append(idx.entrySlab, IndexEntry{Node: int32(uint32(v))})
+		} else {
+			idx.entrySlab[len(idx.entrySlab)-1].Reserve = math.Float64frombits(v)
+		}
+		lo = !lo
+	})
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", dec.err)
+	}
+	var trailer [snapshotTrailerBytes]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	want := binary.LittleEndian.Uint64(trailer[:])
+	if got := uint64(dec.crc.Sum32()); got != want {
+		return nil, fmt.Errorf("core: snapshot checksum mismatch: file says %#x, computed %#x", want, got)
+	}
+	if err := idx.finishLoad(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// growCap returns an empty slice whose initial capacity is count clamped to
+// a modest bound; callers append as section bytes arrive. This keeps
+// header-declared counts from driving allocations before any data has been
+// read.
+func growCap[T any](count uint64) []T {
+	const maxUpfront = 64 << 10
+	if count > maxUpfront {
+		count = maxUpfront
+	}
+	return make([]T, 0, count)
+}
+
+// sectionDecoder reads section payloads in large chunks, updating the
+// running CRC and handing each little-endian u64 to the caller. Its chunk
+// size is a multiple of 16, so no element ever straddles a refill.
+type sectionDecoder struct {
+	r       io.Reader
+	crc     hash.Hash32
+	scratch []byte
+	err     error
+}
+
+func newSectionDecoder(r io.Reader) *sectionDecoder {
+	return &sectionDecoder{r: r, crc: crc32.New(crcTable), scratch: make([]byte, 64<<10)}
+}
+
+func (d *sectionDecoder) section(byteLen uint64, emit func(uint64)) {
+	for byteLen > 0 && d.err == nil {
+		n := uint64(len(d.scratch))
+		if byteLen < n {
+			n = byteLen
+		}
+		chunk := d.scratch[:n]
+		if _, err := io.ReadFull(d.r, chunk); err != nil {
+			d.err = err
+			return
+		}
+		d.crc.Write(chunk)
+		for off := 0; off < len(chunk); off += 8 {
+			emit(binary.LittleEndian.Uint64(chunk[off:]))
+		}
+		byteLen -= n
+	}
+}
+
+// loadV1 reads the legacy element-streamed format (everything after the
+// 16-byte magic+version prelude) and converts it to the flat representation.
+func loadV1(br *bufio.Reader, g *graph.Graph) (*Index, error) {
 	readU64 := func() (uint64, error) {
 		var v uint64
 		err := binary.Read(br, binary.LittleEndian, &v)
@@ -86,20 +256,6 @@ func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		return math.Float64frombits(v), err
 	}
 
-	magic, err := readU64()
-	if err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", err)
-	}
-	if magic != indexMagic {
-		return nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", magic)
-	}
-	version, err := readU64()
-	if err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", err)
-	}
-	if version != indexVersion {
-		return nil, fmt.Errorf("core: unsupported index version %d", version)
-	}
 	nNodes, err := readU64()
 	if err != nil {
 		return nil, fmt.Errorf("core: loading index: %w", err)
@@ -152,32 +308,30 @@ func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		return nil, fmt.Errorf("core: hub count %d exceeds node count", numHubs)
 	}
 	idx.hubOrder = make([]int, numHubs)
-	idx.hubRank = make([]int, g.N())
-	for i := range idx.hubRank {
-		idx.hubRank[i] = -1
-	}
 	for i := range idx.hubOrder {
 		h, err := readU64()
 		if err != nil {
 			return nil, fmt.Errorf("core: loading index: %w", err)
 		}
-		if int(h) >= g.N() {
-			return nil, fmt.Errorf("core: hub node %d out of range", h)
-		}
 		idx.hubOrder[i] = int(h)
-		idx.hubRank[h] = i
 	}
-	idx.hubs = make([]hubList, numHubs)
-	for i := range idx.hubs {
+	built := make([][][]IndexEntry, numHubs)
+	for i := range built {
 		numLevels, err := readU64()
 		if err != nil {
 			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		if numLevels > snapshotMaxCount {
+			return nil, fmt.Errorf("core: hub %d has implausible level count %d", i, numLevels)
 		}
 		levels := make([][]IndexEntry, numLevels)
 		for l := range levels {
 			count, err := readU64()
 			if err != nil {
 				return nil, fmt.Errorf("core: loading index: %w", err)
+			}
+			if count > snapshotMaxCount {
+				return nil, fmt.Errorf("core: hub %d level %d has implausible entry count %d", i, l, count)
 			}
 			entries := make([]IndexEntry, count)
 			for e := range entries {
@@ -193,22 +347,114 @@ func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 			}
 			levels[l] = entries
 		}
-		idx.hubs[i] = hubList{Levels: levels}
-		idx.stats.Entries += idx.hubs[i].entries()
+		built[i] = levels
 	}
-	idx.stats.NumHubs = int(numHubs)
+	idx.flattenHubLevels(built)
+	if err := idx.finishLoad(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// NewIndexFromSnapshot assembles an Index whose slice backing was produced
+// elsewhere — typically zero-copy views over an mmap'd v2 snapshot built by
+// internal/snapshot. It validates the slices against the layout and the
+// graph, then derives the in-memory bookkeeping (hub ranks, stats). The
+// returned index aliases the supplied slices; they must stay valid (mapped)
+// for the index's lifetime.
+func NewIndexFromSnapshot(g *graph.Graph, l *SnapshotLayout, pi []float64, hubOrder []int, hubLevelPos, entryOffsets []uint64, entrySlab []IndexEntry) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if int(l.NNodes) != g.N() {
+		return nil, fmt.Errorf("core: index built for %d nodes but graph has %d", l.NNodes, g.N())
+	}
+	if uint64(len(pi)) != l.NNodes ||
+		uint64(len(hubOrder)) != l.NumHubs ||
+		uint64(len(hubLevelPos)) != l.NumHubs+1 ||
+		uint64(len(entryOffsets)) != l.NumLevels+1 ||
+		uint64(len(entrySlab)) != l.NumEntries {
+		return nil, fmt.Errorf("core: snapshot section views do not match layout")
+	}
+	idx := &Index{
+		g:            g,
+		opts:         l.Opts,
+		pi:           pi,
+		hubOrder:     hubOrder,
+		hubLevelPos:  hubLevelPos,
+		entryOffsets: entryOffsets,
+		entrySlab:    entrySlab,
+	}
+	if err := idx.finishLoad(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// finishLoad derives everything a loaded index needs beyond its section
+// slices: it validates the offset-array invariants (HubEntries slices the
+// slab with them, so corrupt offsets must be rejected up front), rebuilds
+// hubRank, recomputes stats, and re-validates the loaded options. It runs
+// identically for streaming v1/v2 loads and mmap-backed snapshots.
+func (idx *Index) finishLoad() error {
+	g := idx.g
+	n := g.N()
+	numHubs := len(idx.hubOrder)
+	if len(idx.hubLevelPos) != numHubs+1 {
+		return fmt.Errorf("core: hub level offsets have %d slots for %d hubs", len(idx.hubLevelPos), numHubs)
+	}
+	if idx.hubLevelPos[0] != 0 {
+		return fmt.Errorf("core: hub level offsets start at %d, want 0", idx.hubLevelPos[0])
+	}
+	for i := 1; i < len(idx.hubLevelPos); i++ {
+		if idx.hubLevelPos[i] < idx.hubLevelPos[i-1] {
+			return fmt.Errorf("core: hub level offsets decrease at hub %d", i-1)
+		}
+	}
+	totalLevels := uint64(len(idx.entryOffsets) - 1)
+	if len(idx.entryOffsets) == 0 || idx.hubLevelPos[numHubs] != totalLevels {
+		return fmt.Errorf("core: hub level offsets cover %d level slots, file has %d", idx.hubLevelPos[numHubs], totalLevels)
+	}
+	if idx.entryOffsets[0] != 0 {
+		return fmt.Errorf("core: entry offsets start at %d, want 0", idx.entryOffsets[0])
+	}
+	for i := 1; i < len(idx.entryOffsets); i++ {
+		if idx.entryOffsets[i] < idx.entryOffsets[i-1] {
+			return fmt.Errorf("core: entry offsets decrease at level slot %d", i-1)
+		}
+	}
+	if idx.entryOffsets[totalLevels] != uint64(len(idx.entrySlab)) {
+		return fmt.Errorf("core: entry offsets cover %d entries, slab has %d", idx.entryOffsets[totalLevels], len(idx.entrySlab))
+	}
+
+	idx.hubRank = make([]int, n)
+	for i := range idx.hubRank {
+		idx.hubRank[i] = -1
+	}
+	for rank, h := range idx.hubOrder {
+		if h < 0 || h >= n {
+			return fmt.Errorf("core: hub node %d out of range", h)
+		}
+		if idx.hubRank[h] >= 0 {
+			return fmt.Errorf("core: hub node %d listed twice", h)
+		}
+		idx.hubRank[h] = rank
+	}
+
+	idx.stats.NumHubs = numHubs
+	idx.stats.Entries = len(idx.entrySlab)
 	idx.stats.SecondMoment = 0
 	for _, p := range idx.pi {
 		idx.stats.SecondMoment += p * p
 	}
-	// Re-validate the option combination we loaded.
+	var err error
 	if idx.opts, err = idx.opts.fill(); err != nil {
-		return nil, fmt.Errorf("core: loaded index has invalid options: %w", err)
+		return fmt.Errorf("core: loaded index has invalid options: %w", err)
 	}
 	if !g.OutSortedByInDegree() {
 		g.SortOutByInDegree()
 	}
-	return idx, nil
+	return nil
 }
 
 // LoadIndexFile reads an index from the given path.

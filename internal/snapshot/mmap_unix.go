@@ -1,0 +1,44 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapAvailable gates the zero-copy path; see Supported for the remaining
+// (byte order, word size, struct layout) conditions.
+const mmapAvailable = true
+
+// mmapFile maps the whole file read-only and shared, so every process
+// mapping the same snapshot shares one copy of the page cache. The file
+// descriptor is closed before returning; the mapping survives it.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := statSize(f)
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("file size %d exceeds address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package snapshot
+
+import "errors"
+
+// mmapAvailable is false on platforms without a usable mmap, making Open
+// fall back to the portable streaming loader.
+const mmapAvailable = false
+
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

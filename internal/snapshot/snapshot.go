@@ -1,0 +1,193 @@
+// Package snapshot opens saved PRSim indexes (snapshot v2 files written by
+// core.Save) by memory-mapping them and reconstructing the index's slices as
+// zero-copy views over the mapping. Cold-starting a server on a multi-GB
+// index becomes an O(header) operation instead of an O(index) parse, the
+// kernel pages index data in lazily as queries touch it, and multiple server
+// processes mapping the same file share one page cache.
+//
+// On platforms where zero-copy mapping is unavailable (no mmap syscall,
+// 32-bit ints, big-endian byte order) — and for legacy v1 files, which are
+// element-streamed and cannot be viewed in place — Open falls back to the
+// portable streaming loader transparently; Mapped reports which path was
+// taken.
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"unsafe"
+
+	"prsim/internal/core"
+	"prsim/internal/graph"
+)
+
+// Options configures Open.
+type Options struct {
+	// VerifyChecksum validates the CRC-32C trailer over the whole section
+	// payload at open time. Validation faults in every page of the file once
+	// (sequentially, at memory-bandwidth speed), so it trades the O(header)
+	// open for end-to-end integrity; it can also be run at any later point
+	// with Snapshot.Verify. The structural invariants that queries rely on
+	// for memory safety (section table bounds, offset-array monotonicity)
+	// are always validated regardless of this option.
+	VerifyChecksum bool
+	// ForceStream disables mmap and always uses the portable streaming
+	// loader. Useful for benchmarking the two paths against each other and
+	// for tests.
+	ForceStream bool
+}
+
+// Snapshot is an open index snapshot. When Mapped reports true, the index's
+// section slices alias the underlying mmap region and stay valid until Close.
+type Snapshot struct {
+	idx    *core.Index
+	data   []byte // the mmap region; nil when the streaming fallback was used
+	layout *core.SnapshotLayout
+	mapped bool
+}
+
+// entryLayoutOK reports whether Go laid out core.IndexEntry exactly like the
+// on-disk 16-byte record (int32 at 0, float64 at 8), which is what lets the
+// entry slab be viewed as a []core.IndexEntry without copying.
+var entryLayoutOK = unsafe.Sizeof(core.IndexEntry{}) == 16 &&
+	unsafe.Offsetof(core.IndexEntry{}.Node) == 0 &&
+	unsafe.Offsetof(core.IndexEntry{}.Reserve) == 8
+
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// Supported reports whether this platform can open snapshots zero-copy. When
+// false, Open still works via the streaming fallback.
+func Supported() bool {
+	return mmapAvailable && strconv.IntSize == 64 && hostLittleEndian() && entryLayoutOK
+}
+
+// Open opens a saved index against its graph. It memory-maps v2 snapshots
+// when the platform supports it and falls back to the streaming loader
+// otherwise (and for v1 files). The graph must be the same graph the index
+// was built from.
+func Open(path string, g *graph.Graph, opts Options) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("snapshot: nil graph")
+	}
+	if opts.ForceStream || !Supported() {
+		return openStream(path, g)
+	}
+	data, err := mmapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: mapping %s: %w", path, err)
+	}
+	if v, err := core.SnapshotFileVersion(data); err == nil && v == 1 {
+		// Legacy v1 file: element-streamed, no flat sections to view.
+		munmapFile(data)
+		return openStream(path, g)
+	}
+	snap, err := openMapped(data, g, opts)
+	if err != nil {
+		munmapFile(data)
+		return nil, err
+	}
+	return snap, nil
+}
+
+// openMapped validates the mapped bytes and assembles the zero-copy index.
+func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
+	layout, err := core.ParseSnapshotLayout(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if opts.VerifyChecksum {
+		if err := layout.VerifyChecksum(data); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	idx, err := core.NewIndexFromSnapshot(g, layout,
+		viewSlice[float64](data, layout.Sections[0]),
+		viewSlice[int](data, layout.Sections[1]),
+		viewSlice[uint64](data, layout.Sections[2]),
+		viewSlice[uint64](data, layout.Sections[3]),
+		viewSlice[core.IndexEntry](data, layout.Sections[4]),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &Snapshot{idx: idx, data: data, layout: layout, mapped: true}, nil
+}
+
+// viewSlice reinterprets one aligned section of the mapping as a []T. The
+// section table guarantees 8-byte alignment and in-bounds extents, and
+// Supported gates the T layouts (8-byte int/uint64/float64, 16-byte
+// IndexEntry) this relies on.
+func viewSlice[T any](data []byte, s core.Section) []T {
+	if s.Len == 0 {
+		return nil
+	}
+	var t T
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[s.Off])), s.Len/uint64(unsafe.Sizeof(t)))
+}
+
+// openStream is the portable fallback: parse the file with the streaming
+// loader into heap-allocated slices.
+func openStream(path string, g *graph.Graph) (*Snapshot, error) {
+	idx, err := core.LoadIndexFile(path, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{idx: idx}, nil
+}
+
+// Index returns the loaded index. When Mapped reports true it must not be
+// used after Close.
+func (s *Snapshot) Index() *core.Index { return s.idx }
+
+// Mapped reports whether the index is backed by an mmap region (true) or by
+// heap slices from the streaming fallback (false).
+func (s *Snapshot) Mapped() bool { return s.mapped }
+
+// Verify recomputes the CRC-32C of the mapped section payload against the
+// file's trailer, faulting in every page. It is a no-op for streaming-backed
+// snapshots (the streaming loader checksums everything as it parses) and for
+// closed snapshots.
+func (s *Snapshot) Verify() error {
+	if !s.mapped || s.data == nil {
+		return nil
+	}
+	if err := s.layout.VerifyChecksum(s.data); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// SizeBytes returns the size of the mapped file, or 0 for a streaming-backed
+// snapshot.
+func (s *Snapshot) SizeBytes() int64 { return int64(len(s.data)) }
+
+// Close unmaps the snapshot. The index (and every result slice obtained from
+// it) must not be used afterwards; accessing an unmapped region faults.
+// Close is a no-op for streaming-backed snapshots and on repeated calls.
+func (s *Snapshot) Close() error {
+	if !s.mapped || s.data == nil {
+		s.idx = nil
+		return nil
+	}
+	data := s.data
+	s.data = nil
+	s.idx = nil
+	s.mapped = false
+	if err := munmapFile(data); err != nil {
+		return fmt.Errorf("snapshot: unmapping: %w", err)
+	}
+	return nil
+}
+
+// statSize returns the file's size, shared by the mmap implementations.
+func statSize(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,214 @@
+package snapshot
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prsim/internal/core"
+	"prsim/internal/gen"
+	"prsim/internal/graph"
+)
+
+func buildFixture(t *testing.T) (*graph.Graph, *core.Index, string) {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawOptions{N: 400, AvgDegree: 6, Gamma: 2.5, Directed: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "index.prsim")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	return g, idx, path
+}
+
+func TestOpenMapped(t *testing.T) {
+	if !Supported() {
+		t.Skip("zero-copy snapshots unsupported on this platform")
+	}
+	g, built, path := buildFixture(t)
+	snap, err := Open(path, g, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	if !snap.Mapped() {
+		t.Fatalf("Open on a supported platform should mmap")
+	}
+	if snap.SizeBytes() == 0 {
+		t.Errorf("mapped snapshot reports zero size")
+	}
+	idx := snap.Index()
+	if idx.NumHubs() != built.NumHubs() {
+		t.Errorf("hub count: mapped %d, built %d", idx.NumHubs(), built.NumHubs())
+	}
+	if idx.SizeEntries() != built.SizeEntries() {
+		t.Errorf("entries: mapped %d, built %d", idx.SizeEntries(), built.SizeEntries())
+	}
+}
+
+// TestMappedQueryParity is the core zero-copy guarantee: for a fixed seed,
+// queries answered off the mmap backing are bit-identical to queries answered
+// off the streaming loader's heap backing.
+func TestMappedQueryParity(t *testing.T) {
+	if !Supported() {
+		t.Skip("zero-copy snapshots unsupported on this platform")
+	}
+	g, _, path := buildFixture(t)
+
+	streamed, err := Open(path, g, Options{ForceStream: true})
+	if err != nil {
+		t.Fatalf("Open (stream): %v", err)
+	}
+	if streamed.Mapped() {
+		t.Fatalf("ForceStream still mapped")
+	}
+	mapped, err := Open(path, g, Options{})
+	if err != nil {
+		t.Fatalf("Open (mmap): %v", err)
+	}
+	defer mapped.Close()
+
+	for _, u := range []int{0, 1, 57, 399} {
+		a, err := streamed.Index().Query(u)
+		if err != nil {
+			t.Fatalf("stream query %d: %v", u, err)
+		}
+		b, err := mapped.Index().Query(u)
+		if err != nil {
+			t.Fatalf("mapped query %d: %v", u, err)
+		}
+		if len(a.Scores) != len(b.Scores) {
+			t.Fatalf("query %d: score support differs: %d vs %d", u, len(a.Scores), len(b.Scores))
+		}
+		for v, s := range a.Scores {
+			if bs, ok := b.Scores[v]; !ok || math.Float64bits(bs) != math.Float64bits(s) {
+				t.Fatalf("query %d node %d: stream %v (%#x) vs mapped %v (%#x)",
+					u, v, s, math.Float64bits(s), bs, math.Float64bits(bs))
+			}
+		}
+	}
+}
+
+func TestOpenChecksumMismatch(t *testing.T) {
+	if !Supported() {
+		t.Skip("zero-copy snapshots unsupported on this platform")
+	}
+	g, _, path := buildFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Flip one byte in the middle of the section payload.
+	data[len(data)/2] ^= 0xff
+	bad := filepath.Join(t.TempDir(), "corrupt.prsim")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := Open(bad, g, Options{VerifyChecksum: true}); err == nil {
+		t.Fatalf("corrupted payload should fail checksum validation")
+	}
+	// The default open skips the payload CRC for O(header) start; structural
+	// checks may still catch the flip (it can land in an offset array). It
+	// must never panic, and an explicit Verify must flag the corruption.
+	if snap, err := Open(bad, g, Options{}); err == nil {
+		if verr := snap.Verify(); snap.Mapped() && verr == nil {
+			t.Errorf("Verify accepted a corrupted payload")
+		}
+		snap.Close()
+	}
+	// The streaming loader always checksums v2 payloads as it parses.
+	if _, err := Open(bad, g, Options{ForceStream: true}); err == nil {
+		t.Fatalf("streaming load of corrupted payload should fail")
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	g, _, path := buildFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for _, keep := range []int{0, 8, 100, len(data) / 2, len(data) - 1} {
+		bad := filepath.Join(t.TempDir(), "trunc.prsim")
+		if err := os.WriteFile(bad, data[:keep], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		if _, err := Open(bad, g, Options{}); err == nil {
+			t.Errorf("truncation to %d bytes should fail", keep)
+		}
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	g, _, _ := buildFixture(t)
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.prsim"), g, Options{}); err == nil {
+		t.Fatalf("missing file should fail")
+	}
+}
+
+func TestOpenForceStreamParityWithLoadIndex(t *testing.T) {
+	g, built, path := buildFixture(t)
+	snap, err := Open(path, g, Options{ForceStream: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if snap.Mapped() {
+		t.Fatalf("ForceStream must not map")
+	}
+	if snap.Index().NumHubs() != built.NumHubs() {
+		t.Errorf("hub count mismatch via streaming fallback")
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("Close (stream): %v", err)
+	}
+}
+
+// TestOpenIndexFree round-trips an index with zero hubs (index-free mode):
+// its hubOrder and entrySlab sections are zero-length, exercising the nil
+// view edge of the zero-copy path.
+func TestOpenIndexFree(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawOptions{N: 200, AvgDegree: 5, Gamma: 2.5, Directed: true, Seed: 9})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.3, NumHubs: 0, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "indexfree.prsim")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	snap, err := Open(path, g, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	if snap.Index().NumHubs() != 0 {
+		t.Errorf("index-free snapshot has %d hubs", snap.Index().NumHubs())
+	}
+	if _, err := snap.Index().Query(0); err != nil {
+		t.Errorf("query on index-free snapshot: %v", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	g, _, path := buildFixture(t)
+	snap, err := Open(path, g, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

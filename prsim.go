@@ -27,6 +27,7 @@ import (
 	"prsim/internal/engine"
 	"prsim/internal/gen"
 	"prsim/internal/graph"
+	"prsim/internal/snapshot"
 )
 
 // DefaultDecay is the SimRank decay factor c = 0.6 used throughout the
@@ -218,6 +219,10 @@ type Index struct {
 	g   *Graph
 	idx *core.Index
 
+	// snap is non-nil when the index was opened from a snapshot file via
+	// OpenSnapshot; Close releases its mapping.
+	snap *snapshot.Snapshot
+
 	// batchEngine is the lazily created default engine behind QueryBatch.
 	engineOnce  sync.Once
 	batchEngine *engine.Engine
@@ -353,4 +358,62 @@ func LoadIndexFile(path string, g *Graph) (*Index, error) {
 		return nil, err
 	}
 	return &Index{g: g, idx: idx}, nil
+}
+
+// OpenSnapshot opens a saved index file (written by Save) by memory-mapping
+// it: the index's internal arrays become zero-copy views over the mapping, so
+// opening is near-instant regardless of index size, pages are faulted in
+// lazily as queries touch them, and multiple processes mapping the same file
+// share one page cache. Query results are bit-identical to LoadIndexFile for
+// the same file and graph.
+//
+// On platforms without zero-copy support (and for legacy v1 index files) it
+// transparently falls back to the streaming loader; Backing reports which
+// path was taken. A snapshot-backed index must be released with Close when no
+// longer needed.
+//
+// OpenSnapshot always validates the structural invariants that queries rely
+// on for memory safety, but skips the CRC of the bulk payload so opening
+// stays O(header); call Verify to run the full integrity check (it faults in
+// every page once).
+func OpenSnapshot(path string, g *Graph) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("prsim: nil graph")
+	}
+	snap, err := snapshot.Open(path, g.g, snapshot.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{g: g, idx: snap.Index(), snap: snap}, nil
+}
+
+// Verify checks the integrity of an index opened with OpenSnapshot by
+// recomputing the snapshot's CRC-32C over the mapped payload. It is a no-op
+// (always nil) for heap-backed indexes: BuildIndex output is trusted and the
+// streaming loader checksums while parsing.
+func (idx *Index) Verify() error {
+	if idx.snap == nil {
+		return nil
+	}
+	return idx.snap.Verify()
+}
+
+// Backing reports what backs the index's arrays: "mmap" for a zero-copy
+// snapshot opened with OpenSnapshot, "heap" for indexes built in memory or
+// loaded by the streaming loader.
+func (idx *Index) Backing() string {
+	if idx.snap != nil && idx.snap.Mapped() {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// Close releases the snapshot mapping behind an index opened with
+// OpenSnapshot; the index (and any results still aliasing it) must not be
+// used afterwards. It is a no-op, and always safe, for heap-backed indexes.
+func (idx *Index) Close() error {
+	if idx.snap == nil {
+		return nil
+	}
+	return idx.snap.Close()
 }

@@ -1,0 +1,101 @@
+package prsim
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenSnapshotAPI drives the public snapshot workflow end to end:
+// build → SaveFile → OpenSnapshot → query parity with LoadIndexFile →
+// Verify → Close.
+func TestOpenSnapshotAPI(t *testing.T) {
+	g, err := GeneratePowerLawGraph(300, 6, 2.5, true, 11)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	built, err := BuildIndex(g, Options{Epsilon: 0.2, Seed: 5, SampleScale: 0.2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if built.Backing() != "heap" {
+		t.Errorf("built index backing = %q, want heap", built.Backing())
+	}
+	if err := built.Close(); err != nil {
+		t.Errorf("Close on heap-backed index: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "index.prsim")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	streamed, err := LoadIndexFile(path, g)
+	if err != nil {
+		t.Fatalf("LoadIndexFile: %v", err)
+	}
+	snap, err := OpenSnapshot(path, g)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if b := snap.Backing(); b != "mmap" && b != "heap" {
+		t.Errorf("snapshot backing = %q, want mmap (or heap on fallback platforms)", b)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Errorf("Verify on intact snapshot: %v", err)
+	}
+
+	for _, u := range []int{0, 42, 299} {
+		a, err := streamed.Query(u)
+		if err != nil {
+			t.Fatalf("streamed query %d: %v", u, err)
+		}
+		b, err := snap.Query(u)
+		if err != nil {
+			t.Fatalf("snapshot query %d: %v", u, err)
+		}
+		as, bs := a.Scores(), b.Scores()
+		if len(as) != len(bs) {
+			t.Fatalf("query %d: support %d vs %d", u, len(as), len(bs))
+		}
+		for v, s := range as {
+			if math.Float64bits(bs[v]) != math.Float64bits(s) {
+				t.Fatalf("query %d node %d: %v vs %v", u, v, s, bs[v])
+			}
+		}
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestOpenSnapshotErrors covers the public error paths.
+func TestOpenSnapshotErrors(t *testing.T) {
+	g, err := GeneratePowerLawGraph(100, 4, 2.5, true, 1)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	if _, err := OpenSnapshot(filepath.Join(t.TempDir(), "missing.prsim"), g); err == nil {
+		t.Errorf("missing file should fail")
+	}
+	if _, err := OpenSnapshot("", nil); err == nil {
+		t.Errorf("nil graph should fail")
+	}
+	idx, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 1, SampleScale: 0.1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "index.prsim")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	other, err := GeneratePowerLawGraph(50, 4, 2.5, true, 2)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	if _, err := OpenSnapshot(path, other); err == nil {
+		t.Errorf("snapshot for a different graph should fail")
+	}
+}
