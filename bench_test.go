@@ -438,3 +438,25 @@ func BenchmarkOpenSnapshotMmap(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOpenSnapshotSelfContained measures the full serving cold start
+// off one v3 file: graph CSR validation plus index assembly, no edge list
+// involved. This is the number the hot-reload path pays per swap.
+func BenchmarkOpenSnapshotSelfContained(b *testing.B) {
+	_, path := snapshotFixture(b)
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := OpenSnapshot(path, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := idx.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench` output into a machine-readable
 // JSON report, so CI can archive one benchmark artifact per commit and the
-// performance trajectory of the repo stays diffable.
+// performance trajectory of the repo stays diffable — and compares two such
+// reports so CI can fail on regressions.
 //
 // Usage:
 //
 //	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -o BENCH_ci.json
 //	go test -bench . ./... | benchjson          # JSON to stdout
+//	benchjson -compare -max-regress 20 -match 'Query|Snapshot' base.json head.json
 //
 // It parses the standard benchmark result lines, e.g.
 //
@@ -16,6 +18,13 @@
 // ReportMetric units) in a per-benchmark metrics map. Non-benchmark lines are
 // passed through to stderr with -echo, so the tool can sit in a pipeline
 // without hiding test failures.
+//
+// In -compare mode it reads two previously written reports (base first, head
+// second), matches benchmarks by package + name, and exits non-zero when any
+// benchmark whose name matches -match regressed in ns/op by more than
+// -max-regress percent. Benchmarks present in only one report are listed but
+// never fail the gate (new benchmarks must not break the build that adds
+// them).
 package main
 
 import (
@@ -25,7 +34,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -58,7 +69,23 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write JSON to this file (default stdout)")
 	echo := flag.Bool("echo", false, "echo all input lines to stderr so the pipeline stays observable")
+	compare := flag.Bool("compare", false, "compare two report files (base head) instead of parsing bench output")
+	maxRegress := flag.Float64("max-regress", 20, "with -compare, fail when a matched benchmark's ns/op grows by more than this percent")
+	match := flag.String("match", "", "with -compare, regexp selecting which benchmarks can fail the gate (default: all)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: base head")
+			os.Exit(2)
+		}
+		code, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 
 	report, err := parse(os.Stdin, *echo)
 	if err != nil {
@@ -86,6 +113,128 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// comparison is the verdict for one benchmark present in both reports.
+type comparison struct {
+	Name      string
+	BaseNs    float64
+	HeadNs    float64
+	DeltaPct  float64 // positive = slower
+	Gated     bool    // name matched the -match filter
+	Regressed bool    // gated and above the threshold
+	onlyIn    string  // "base" or "head" when only that report has it
+}
+
+// runCompare loads two reports and prints a verdict table. Return code 0
+// means no gated regression, 1 means at least one.
+func runCompare(w io.Writer, basePath, headPath string, maxRegressPct float64, match string) (int, error) {
+	base, err := readReport(basePath)
+	if err != nil {
+		return 0, fmt.Errorf("base report: %w", err)
+	}
+	head, err := readReport(headPath)
+	if err != nil {
+		return 0, fmt.Errorf("head report: %w", err)
+	}
+	var gate *regexp.Regexp
+	if match != "" {
+		gate, err = regexp.Compile(match)
+		if err != nil {
+			return 0, fmt.Errorf("bad -match regexp: %w", err)
+		}
+	}
+	rows := compareReports(base, head, maxRegressPct, gate)
+
+	failed := 0
+	fmt.Fprintf(w, "%-60s %14s %14s %9s  %s\n", "benchmark", "base ns/op", "head ns/op", "delta", "verdict")
+	for _, r := range rows {
+		switch {
+		case r.onlyIn != "":
+			fmt.Fprintf(w, "%-60s %14s %14s %9s  only in %s\n", r.Name,
+				dashIf(r.onlyIn == "head", r.BaseNs), dashIf(r.onlyIn == "base", r.HeadNs),
+				"-", r.onlyIn)
+		default:
+			verdict := "ok"
+			if r.Regressed {
+				verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", maxRegressPct)
+				failed++
+			} else if !r.Gated {
+				verdict = "ok (not gated)"
+			}
+			fmt.Fprintf(w, "%-60s %14.0f %14.0f %+8.1f%%  %s\n", r.Name, r.BaseNs, r.HeadNs, r.DeltaPct, verdict)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.0f%%\n", failed, maxRegressPct)
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nno gated regression beyond %.0f%%\n", maxRegressPct)
+	return 0, nil
+}
+
+func dashIf(missing bool, v float64) string {
+	if missing {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// compareReports joins two reports on pkg+name and computes the ns/op delta
+// for the intersection, sorted worst-regression first.
+func compareReports(base, head *Report, maxRegressPct float64, gate *regexp.Regexp) []comparison {
+	key := func(r Result) string { return r.Pkg + " " + r.Name }
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[key(r)] = r
+	}
+	var rows []comparison
+	seen := make(map[string]bool, len(head.Benchmarks))
+	for _, h := range head.Benchmarks {
+		k := key(h)
+		seen[k] = true
+		b, ok := baseBy[k]
+		if !ok {
+			rows = append(rows, comparison{Name: k, HeadNs: h.NsPerOp, onlyIn: "head"})
+			continue
+		}
+		c := comparison{Name: k, BaseNs: b.NsPerOp, HeadNs: h.NsPerOp}
+		if b.NsPerOp > 0 {
+			c.DeltaPct = (h.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		c.Gated = gate == nil || gate.MatchString(h.Name)
+		c.Regressed = c.Gated && c.DeltaPct > maxRegressPct
+		rows = append(rows, c)
+	}
+	for _, b := range base.Benchmarks {
+		if k := key(b); !seen[k] {
+			rows = append(rows, comparison{Name: k, BaseNs: b.NsPerOp, onlyIn: "base"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Regressed != rows[j].Regressed {
+			return rows[i].Regressed
+		}
+		if rows[i].DeltaPct != rows[j].DeltaPct {
+			return rows[i].DeltaPct > rows[j].DeltaPct
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// readReport loads a JSON report written by this tool.
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // parse scans go test -bench output and collects benchmark result lines.

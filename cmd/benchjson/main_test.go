@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -65,5 +69,81 @@ FAIL
 	}
 	if len(report.Benchmarks) != 0 {
 		t.Fatalf("noise lines produced %d benchmarks: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+}
+
+func reportOf(rs ...Result) *Report { return &Report{Benchmarks: rs} }
+
+func TestCompareReports(t *testing.T) {
+	base := reportOf(
+		Result{Pkg: "prsim", Name: "BenchmarkSingleSourceQuery-8", NsPerOp: 1000},
+		Result{Pkg: "prsim", Name: "BenchmarkOpenSnapshotMmap-8", NsPerOp: 500},
+		Result{Pkg: "prsim", Name: "BenchmarkIndexBuild-8", NsPerOp: 100},
+		Result{Pkg: "prsim", Name: "BenchmarkRemoved-8", NsPerOp: 10},
+	)
+	head := reportOf(
+		Result{Pkg: "prsim", Name: "BenchmarkSingleSourceQuery-8", NsPerOp: 1100}, // +10%, under gate
+		Result{Pkg: "prsim", Name: "BenchmarkOpenSnapshotMmap-8", NsPerOp: 900},   // +80%, over gate
+		Result{Pkg: "prsim", Name: "BenchmarkIndexBuild-8", NsPerOp: 1000},        // +900% but not matched
+		Result{Pkg: "prsim", Name: "BenchmarkNew-8", NsPerOp: 42},                 // new, never gated
+	)
+	gate := regexp.MustCompile(`Query|Snapshot`)
+	rows := compareReports(base, head, 20, gate)
+	byName := map[string]comparison{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if c := byName["prsim BenchmarkSingleSourceQuery-8"]; c.Regressed || !c.Gated {
+		t.Errorf("query +10%% should pass the 20%% gate: %+v", c)
+	}
+	if c := byName["prsim BenchmarkOpenSnapshotMmap-8"]; !c.Regressed {
+		t.Errorf("snapshot open +80%% should fail the gate: %+v", c)
+	}
+	if c := byName["prsim BenchmarkIndexBuild-8"]; c.Regressed || c.Gated {
+		t.Errorf("unmatched benchmark must not be gated: %+v", c)
+	}
+	if c := byName["prsim BenchmarkNew-8"]; c.onlyIn != "head" {
+		t.Errorf("new benchmark should report only-in-head: %+v", c)
+	}
+	if c := byName["prsim BenchmarkRemoved-8"]; c.onlyIn != "base" {
+		t.Errorf("removed benchmark should report only-in-base: %+v", c)
+	}
+	if !rows[0].Regressed {
+		t.Errorf("regressions must sort first, got %+v", rows[0])
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *Report) string {
+		p := filepath.Join(dir, name)
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", reportOf(Result{Pkg: "prsim", Name: "BenchmarkSingleSourceQuery-8", NsPerOp: 1000}))
+	good := write("good.json", reportOf(Result{Pkg: "prsim", Name: "BenchmarkSingleSourceQuery-8", NsPerOp: 1100}))
+	bad := write("bad.json", reportOf(Result{Pkg: "prsim", Name: "BenchmarkSingleSourceQuery-8", NsPerOp: 2000}))
+
+	var out strings.Builder
+	code, err := runCompare(&out, base, good, 20, "Query")
+	if err != nil || code != 0 {
+		t.Fatalf("good compare = code %d err %v\n%s", code, err, out.String())
+	}
+	out.Reset()
+	code, err = runCompare(&out, base, bad, 20, "Query")
+	if err != nil || code != 1 {
+		t.Fatalf("bad compare = code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("verdict table missing REGRESSION marker:\n%s", out.String())
+	}
+	if _, err := runCompare(&out, filepath.Join(dir, "missing.json"), good, 20, ""); err == nil {
+		t.Error("missing base file should error")
 	}
 }

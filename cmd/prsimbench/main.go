@@ -11,8 +11,9 @@
 // Experiments: fig1, fig2, fig3, fig4, fig5, fig6a, fig6b, fig7a, fig7b,
 // hubsweep, backwardwalk, secondmoment, loadtime, all.
 //
-// The loadtime experiment benchmarks cold-starting from a saved index: the
-// streaming parser against the zero-copy mmap snapshot loader (use -full for
+// The loadtime experiment benchmarks the full serving cold start (graph +
+// index): the edge-list parse + v2-era index loaders against the
+// self-contained v3 snapshot, which maps both out of one file (use -full for
 // the ≥100k-node configuration).
 package main
 
@@ -218,14 +219,14 @@ func runBackwardWalk(cfg eval.Config) error {
 }
 
 func runLoadTime(cfg eval.Config) error {
-	fmt.Println("=== Snapshot loading: streaming parse vs zero-copy mmap ===")
+	fmt.Println("=== Cold start: edge-list parse + v2 index vs self-contained v3 snapshot ===")
 	res, err := eval.RunLoadTime(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d nodes, %d edges; saved index: %.2f MB\n",
+	fmt.Printf("graph: %d nodes, %d edges; v3 snapshot: %.2f MB\n",
 		res.Nodes, res.Edges, float64(res.IndexBytes)/(1<<20))
-	w, flush := newTable("mode", "open (ms)", "speedup vs stream", "first query (ms)")
+	w, flush := newTable("mode", "cold start (ms)", "speedup", "first query (ms)")
 	defer flush()
 	for _, r := range res.Rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%.1fx\t%.3f\n", r.Mode, r.Millis, r.Speedup, r.FirstQueryMillis)

@@ -9,6 +9,7 @@
 //	prsimquery -graph graph.txt -saveindex idx.prsim        # preprocessing only
 //	prsimquery -graph graph.txt -loadindex idx.prsim -source 3
 //	prsimquery -graph graph.txt -loadindex idx.prsim -mmap -source 3
+//	prsimquery -loadindex idx.prsim -source 3               # self-contained v3
 //	prsimquery -graph graph.txt -algorithm ProbeSim -source 3
 package main
 
@@ -68,13 +69,21 @@ type config struct {
 }
 
 func run(cfg config) error {
-	g, err := loadGraph(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("graph: %d nodes, %d edges, average degree %.2f\n", g.NumNodes(), g.NumEdges(), g.AverageDegree())
-	if gamma, ok := g.OutDegreeExponent(); ok {
-		fmt.Printf("fitted out-degree power-law exponent gamma = %.2f\n", gamma)
+	// A self-contained v3 snapshot carries its own graph: with -loadindex and
+	// no graph source, both come out of the one file.
+	selfContained := cfg.loadIndex != "" && cfg.graphPath == "" && cfg.dataset == "" && cfg.generate == "" &&
+		(cfg.algorithm == "PRSim" || cfg.algorithm == "prsim")
+	var g *prsim.Graph
+	var err error
+	if !selfContained {
+		g, err = loadGraph(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph: %d nodes, %d edges, average degree %.2f\n", g.NumNodes(), g.NumEdges(), g.AverageDegree())
+		if gamma, ok := g.OutDegreeExponent(); ok {
+			fmt.Printf("fitted out-degree power-law exponent gamma = %.2f\n", gamma)
+		}
 	}
 
 	if cfg.algorithm != "PRSim" && cfg.algorithm != "prsim" {
@@ -83,9 +92,20 @@ func run(cfg config) error {
 
 	var idx *prsim.Index
 	if cfg.loadIndex != "" {
-		if cfg.mmap {
+		switch {
+		case selfContained:
+			idx, err = prsim.OpenSnapshot(cfg.loadIndex, nil)
+			if err != nil {
+				return err
+			}
+			g = idx.Graph()
+			fmt.Printf("graph: %d nodes, %d edges, average degree %.2f\n", g.NumNodes(), g.NumEdges(), g.AverageDegree())
+			if gamma, ok := g.OutDegreeExponent(); ok {
+				fmt.Printf("fitted out-degree power-law exponent gamma = %.2f\n", gamma)
+			}
+		case cfg.mmap:
 			idx, err = prsim.OpenSnapshot(cfg.loadIndex, g)
-		} else {
+		default:
 			idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
 		}
 		if err != nil {

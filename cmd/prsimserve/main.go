@@ -6,22 +6,33 @@
 // Usage:
 //
 //	prsimquery -graph graph.txt -saveindex idx.prsim          # build once
-//	prsimserve -graph graph.txt -loadindex idx.prsim -addr :8080
-//	prsimserve -graph graph.txt -loadindex idx.prsim -mmap    # zero-copy start
+//	prsimserve -loadindex idx.prsim -addr :8080               # self-contained v3
+//	prsimserve -loadindex idx.prsim -watch 2s                 # hot reload on change
+//	prsimserve -graph graph.txt -loadindex idx.prsim -mmap    # v1/v2, zero-copy
 //	prsimserve -dataset DB -epsilon 0.1                       # build at startup
 //
-// With -mmap the saved index is memory-mapped instead of parsed: startup cost
-// is independent of index size and concurrent server processes mapping the
-// same file share one page cache. /stats reports the backing mode.
+// A self-contained v3 snapshot needs no -graph flag: the graph's CSR
+// adjacency (and label table) are embedded in the file and mapped zero-copy
+// alongside the index. With -mmap the saved index is memory-mapped instead of
+// parsed: startup cost is independent of index size and concurrent server
+// processes mapping the same file share one page cache. /stats reports the
+// backing mode of both index and graph.
+//
+// Hot reload: with -watch the snapshot file's mtime is polled and a change
+// atomically swaps in the re-opened snapshot without dropping in-flight
+// requests (the old mapping is unmapped only after they drain, and the
+// result cache is invalidated). POST /reload triggers the same swap on
+// demand. /stats reports the snapshot generation, which increments per swap.
 //
 // Endpoints:
 //
-//	GET /query?u=3            single-source query (repeat u for a batch;
+//	GET  /query?u=3           single-source query (repeat u for a batch;
 //	                          ?limit=N caps the nodes returned per source)
-//	GET /topk?u=3&k=20        k most similar nodes to u
-//	GET /pair?u=3&v=5         single-pair SimRank s(u, v)
-//	GET /healthz              liveness probe
-//	GET /stats                graph, index and engine statistics
+//	GET  /topk?u=3&k=20       k most similar nodes to u
+//	GET  /pair?u=3&v=5        single-pair SimRank s(u, v)
+//	POST /reload              re-open the snapshot and swap it in
+//	GET  /healthz             liveness probe
+//	GET  /stats               graph, index and engine statistics
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"prsim"
@@ -42,11 +54,12 @@ import (
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list file to load")
+	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list file to load (not needed for self-contained v3 snapshots)")
 	flag.StringVar(&cfg.dataset, "dataset", "", "benchmark dataset stand-in to generate (DB, LJ, IT, TW, UK)")
 	flag.StringVar(&cfg.loadIndex, "loadindex", "", "saved index file to load (skips preprocessing)")
 	flag.BoolVar(&cfg.mmap, "mmap", false, "open -loadindex as a zero-copy mmap snapshot (near-instant start, shared page cache)")
 	flag.BoolVar(&cfg.mmapVerify, "mmapverify", false, "with -mmap, verify the snapshot checksum at startup (reads the whole file once)")
+	flag.DurationVar(&cfg.watch, "watch", 0, "poll -loadindex for changes at this interval and hot-swap on change (0 disables)")
 	flag.Float64Var(&cfg.epsilon, "epsilon", 0.1, "additive error target when building an index")
 	flag.Float64Var(&cfg.decay, "decay", prsim.DefaultDecay, "SimRank decay factor c")
 	flag.Float64Var(&cfg.scale, "samplescale", 1.0, "Monte Carlo sample scale (1.0 = paper constants)")
@@ -63,9 +76,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prsimserve: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("prsimserve: graph %d nodes / %d edges, %d hubs (%s-backed, ready in %s), %d workers, listening on %s",
-		srv.idx.Graph().NumNodes(), srv.idx.Graph().NumEdges(), srv.idx.NumHubs(),
-		srv.idx.Backing(), srv.loadTime.Round(time.Millisecond), srv.eng.Workers(), cfg.addr)
+	idx := srv.eng.Current()
+	log.Printf("prsimserve: graph %d nodes / %d edges (%s-backed), %d hubs (%s-backed, ready in %s), %d workers, listening on %s",
+		idx.Graph().NumNodes(), idx.Graph().NumEdges(), idx.GraphBacking(), idx.NumHubs(),
+		idx.Backing(), srv.loadTime.Round(time.Millisecond), srv.eng.Workers(), cfg.addr)
+	if cfg.watch > 0 {
+		go srv.watch(cfg.watch)
+		log.Printf("prsimserve: watching %s every %s for hot reload", cfg.loadIndex, cfg.watch)
+	}
 	hs := &http.Server{
 		Addr:    cfg.addr,
 		Handler: srv.handler(),
@@ -86,6 +104,7 @@ type config struct {
 	graphPath, dataset string
 	loadIndex          string
 	mmap, mmapVerify   bool
+	watch              time.Duration
 	epsilon, decay     float64
 	scale              float64
 	seed               uint64
@@ -95,18 +114,30 @@ type config struct {
 	timeout            time.Duration
 }
 
-// server holds the loaded index and engine; its handler is separable from the
-// listener so tests can drive it through httptest.
+// server holds the engine serving the (swappable) index; its handler is
+// separable from the listener so tests can drive it through httptest.
 type server struct {
-	idx      *prsim.Index
+	cfg      config
+	g        *prsim.Graph // startup graph; nil when serving a self-contained snapshot
 	eng      *prsim.Engine
 	start    time.Time
-	loadTime time.Duration // time to load/build the index at startup
 	timeout  time.Duration
+	loadTime time.Duration // time to load/build the index at startup
+
+	// reloadMu serializes reloads (manual and watcher-triggered); queries
+	// never take it. The fields below it record the last successful load.
+	reloadMu     sync.Mutex
+	lastLoadTime time.Duration
+	lastLoadAt   time.Time
+	watchedMod   time.Time
+	watchedSize  int64
+
+	// stop ends the watch loop (used by tests; main lets it run forever).
+	stop chan struct{}
 }
 
-// buildServer loads the graph, loads or builds the index, and wires up the
-// engine.
+// buildServer loads the graph (unless the snapshot is self-contained), loads
+// or builds the index, and wires up the engine.
 func buildServer(cfg config) (*server, error) {
 	var g *prsim.Graph
 	var err error
@@ -115,31 +146,23 @@ func buildServer(cfg config) (*server, error) {
 		g, err = prsim.LoadGraphFile(cfg.graphPath)
 	case cfg.dataset != "":
 		g, err = prsim.LoadDataset(cfg.dataset)
+	case cfg.loadIndex != "":
+		// Self-contained snapshot: the graph comes out of the file itself.
 	default:
-		return nil, fmt.Errorf("specify -graph or -dataset")
+		return nil, fmt.Errorf("specify -graph, -dataset, or a self-contained v3 -loadindex")
 	}
 	if err != nil {
 		return nil, err
 	}
-
-	var idx *prsim.Index
-	loadStart := time.Now()
-	switch {
-	case cfg.loadIndex != "" && cfg.mmap:
-		idx, err = prsim.OpenSnapshot(cfg.loadIndex, g)
-		if err == nil && cfg.mmapVerify {
-			err = idx.Verify()
-		}
-	case cfg.loadIndex != "":
-		idx, err = prsim.LoadIndexFile(cfg.loadIndex, g)
-	case cfg.mmap:
-		return nil, fmt.Errorf("-mmap requires -loadindex (a saved snapshot file to map)")
-	default:
-		idx, err = prsim.BuildIndex(g, prsim.Options{
-			Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed,
-			SampleScale: cfg.scale, MaxLevels: cfg.maxLevels,
-		})
+	if cfg.watch > 0 && cfg.loadIndex == "" {
+		return nil, fmt.Errorf("-watch requires -loadindex (a snapshot file to watch)")
 	}
+
+	// Capture the snapshot file's identity before opening it, mirroring
+	// reload(): a file republished mid-open must trip the watcher later.
+	startMod, startSize := statWatched(cfg.loadIndex)
+	loadStart := time.Now()
+	idx, err := openIndex(cfg, g)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +175,148 @@ func buildServer(cfg config) (*server, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &server{idx: idx, eng: eng, start: time.Now(), loadTime: loadTime, timeout: timeout}, nil
+	s := &server{
+		cfg: cfg, g: g, eng: eng,
+		start: time.Now(), timeout: timeout,
+		loadTime: loadTime, lastLoadTime: loadTime, lastLoadAt: time.Now(),
+		stop: make(chan struct{}),
+	}
+	s.watchedMod, s.watchedSize = startMod, startSize
+	return s, nil
+}
+
+// openIndex loads, maps, or builds the index per the configuration. g may be
+// nil only when loading a self-contained snapshot.
+func openIndex(cfg config, g *prsim.Graph) (*prsim.Index, error) {
+	switch {
+	case cfg.loadIndex != "" && (cfg.mmap || g == nil):
+		// Zero-copy snapshot open; with g == nil the graph is reconstructed
+		// from the file (v3). Falls back to streaming on unsupported
+		// platforms.
+		idx, err := prsim.OpenSnapshot(cfg.loadIndex, g)
+		if err == nil && cfg.mmapVerify {
+			if verr := idx.Verify(); verr != nil {
+				idx.Close()
+				return nil, verr
+			}
+		}
+		return idx, err
+	case cfg.loadIndex != "":
+		return prsim.LoadIndexFile(cfg.loadIndex, g)
+	case cfg.mmap:
+		return nil, fmt.Errorf("-mmap requires -loadindex (a saved snapshot file to map)")
+	default:
+		return prsim.BuildIndex(g, prsim.Options{
+			Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed,
+			SampleScale: cfg.scale, MaxLevels: cfg.maxLevels,
+		})
+	}
+}
+
+// reloadInfo summarizes one successful reload for the admin response; it is
+// captured under reloadMu so handlers never read the mutable fields raw.
+type reloadInfo struct {
+	generation   uint64
+	loadTime     time.Duration
+	backing      string
+	graphBacking string
+}
+
+// reload re-opens the snapshot file and hot-swaps it into the engine: new
+// queries see the new index immediately, in-flight queries finish on the old
+// one, the old mapping is released once they drain, and the result cache is
+// invalidated (generation-keyed). Reloads are serialized; queries are never
+// blocked by one.
+func (s *server) reload() (reloadInfo, error) {
+	if s.cfg.loadIndex == "" {
+		return reloadInfo{}, fmt.Errorf("no -loadindex snapshot to reload (index was built at startup)")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	// Capture the file's identity BEFORE opening it: a snapshot renamed over
+	// the path while this open is in progress must still look changed on the
+	// next watch tick, or the watcher would serve the stale one forever.
+	preMod, preSize := statWatched(s.cfg.loadIndex)
+	loadStart := time.Now()
+	idx, err := openIndex(s.cfg, s.g)
+	if err != nil {
+		return reloadInfo{}, fmt.Errorf("reload: %w", err)
+	}
+	old, err := s.eng.Swap(idx)
+	if err != nil {
+		idx.Close()
+		return reloadInfo{}, fmt.Errorf("reload: %w", err)
+	}
+	s.lastLoadTime = time.Since(loadStart)
+	s.lastLoadAt = time.Now()
+	s.watchedMod, s.watchedSize = preMod, preSize
+	// The old snapshot's unmap waits for drained queries via its refcount.
+	if err := old.Close(); err != nil {
+		log.Printf("prsimserve: closing swapped-out snapshot: %v", err)
+	}
+	info := reloadInfo{
+		generation:   s.eng.Generation(),
+		loadTime:     s.lastLoadTime,
+		backing:      idx.Backing(),
+		graphBacking: idx.GraphBacking(),
+	}
+	log.Printf("prsimserve: reloaded %s in %s (generation %d, index %s-backed, graph %s-backed)",
+		s.cfg.loadIndex, info.loadTime.Round(time.Millisecond), info.generation,
+		info.backing, info.graphBacking)
+	return info, nil
+}
+
+// statWatched returns the snapshot file's identity (zero values when the
+// path is empty or unreadable).
+func statWatched(path string) (time.Time, int64) {
+	if path == "" {
+		return time.Time{}, 0
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return time.Time{}, 0
+	}
+	return st.ModTime(), st.Size()
+}
+
+// changedSinceLastLoad reports whether the watched snapshot file's mtime or
+// size moved since the last (re)load.
+func (s *server) changedSinceLastLoad() bool {
+	st, err := os.Stat(s.cfg.loadIndex)
+	if err != nil {
+		return false // transiently missing mid-rewrite; try again next tick
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return !st.ModTime().Equal(s.watchedMod) || st.Size() != s.watchedSize
+}
+
+// watch polls the snapshot file and reloads on change. Reload failures are
+// logged and retried on the next change; the server keeps serving the old
+// index (a half-written file simply fails validation and is skipped —
+// publishers should still write-then-rename so a mapped file is never
+// truncated in place).
+func (s *server) watch(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if !s.changedSinceLastLoad() {
+			continue
+		}
+		if _, err := s.reload(); err != nil {
+			log.Printf("prsimserve: watch reload failed (still serving previous index): %v", err)
+			// Remember the bad file's identity so a broken snapshot is not
+			// retried every tick; the next write triggers a fresh attempt.
+			s.reloadMu.Lock()
+			s.watchedMod, s.watchedSize = statWatched(s.cfg.loadIndex)
+			s.reloadMu.Unlock()
+		}
+	}
 }
 
 // handler builds the route table. Per-request deadlines come from requestCtx
@@ -163,6 +327,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /pair", s.handlePair)
+	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -214,7 +379,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // renderResult flattens a result into descending-score order, source first
 // (its self-similarity is 1, the maximum), keeping at most limit nodes when
-// limit > 0.
+// limit > 0. Results may be shared with concurrent requests through the
+// engine's cache, so this reads the result without mutating it.
 func renderResult(res *prsim.Result, limit int) queryResultJSON {
 	scores := res.Scores()
 	nodes := make([]scoredNodeJSON, 0, len(scores))
@@ -277,27 +443,60 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"u": u, "v": v, "score": score})
 }
 
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.loadIndex == "" {
+		writeError(w, http.StatusConflict, "no -loadindex snapshot to reload (index was built at startup)")
+		return
+	}
+	info, err := s.reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status":        "reloaded",
+		"generation":    info.generation,
+		"backing":       info.backing,
+		"graph_backing": info.graphBacking,
+		"load_seconds":  info.loadTime.Seconds(),
+	})
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok"})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	g := s.idx.Graph()
-	ist := s.idx.Stats()
+	idx := s.eng.Current()
+	g := idx.Graph()
+	ist := idx.Stats()
 	est := s.eng.Stats()
+	s.reloadMu.Lock()
+	lastLoad := s.lastLoadTime
+	lastLoadAt := s.lastLoadAt
+	s.reloadMu.Unlock()
 	writeJSON(w, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"graph": map[string]any{
-			"nodes": g.NumNodes(),
-			"edges": g.NumEdges(),
+			"nodes":   g.NumNodes(),
+			"edges":   g.NumEdges(),
+			"backing": idx.GraphBacking(),
 		},
 		"index": map[string]any{
 			"hubs":          ist.NumHubs,
 			"entries":       ist.Entries,
-			"size_bytes":    s.idx.SizeBytes(),
+			"size_bytes":    idx.SizeBytes(),
 			"second_moment": ist.SecondMoment,
-			"backing":       s.idx.Backing(),
-			"load_seconds":  s.loadTime.Seconds(),
+			"backing":       idx.Backing(),
+			"load_seconds":  lastLoad.Seconds(),
+		},
+		"snapshot": map[string]any{
+			"path":           s.cfg.loadIndex,
+			"generation":     est.Generation,
+			"swaps":          est.Swaps,
+			"last_load_at":   lastLoadAt.UTC().Format(time.RFC3339),
+			"watch_seconds":  s.cfg.watch.Seconds(),
+			"self_contained": s.g == nil,
 		},
 		"engine": map[string]any{
 			"workers":       est.Workers,

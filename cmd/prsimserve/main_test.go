@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -191,16 +196,23 @@ func TestServeHealthzAndStats(t *testing.T) {
 	getJSON(t, ts.URL+"/query?u=2", nil)
 
 	var stats struct {
-		Graph  map[string]float64 `json:"graph"`
-		Index  map[string]any     `json:"index"`
-		Engine map[string]float64 `json:"engine"`
+		Graph    map[string]any     `json:"graph"`
+		Index    map[string]any     `json:"index"`
+		Snapshot map[string]any     `json:"snapshot"`
+		Engine   map[string]float64 `json:"engine"`
 	}
 	resp = getJSON(t, ts.URL+"/stats", &stats)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats status = %d", resp.StatusCode)
 	}
-	if stats.Graph["nodes"] != 150 {
+	if stats.Graph["nodes"] != float64(150) {
 		t.Errorf("stats nodes = %v, want 150", stats.Graph["nodes"])
+	}
+	if b := stats.Graph["backing"]; b != "heap" {
+		t.Errorf("stats graph backing = %v, want heap for a parsed edge list", b)
+	}
+	if gen := stats.Snapshot["generation"]; gen != float64(0) {
+		t.Errorf("stats generation = %v, want 0 before any reload", gen)
 	}
 	if hubs, _ := stats.Index["hubs"].(float64); hubs <= 0 {
 		t.Errorf("stats hubs = %v, want > 0", stats.Index["hubs"])
@@ -327,4 +339,309 @@ func TestBuildServerNoGraph(t *testing.T) {
 	if _, err := buildServer(config{}); err == nil {
 		t.Fatal("expected error when neither -graph nor -dataset given")
 	}
+}
+
+// writeSnapshot builds an index over g and atomically publishes it at path
+// (write to temp + rename, the pattern the hot-reload runbook prescribes:
+// truncating a file that is currently mapped would fault the readers).
+func writeSnapshot(t *testing.T, g *prsim.Graph, path string, seed uint64) {
+	t.Helper()
+	idx, err := prsim.BuildIndex(g, prsim.Options{Epsilon: 0.3, Seed: seed, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	tmp := path + ".tmp"
+	if err := idx.SaveFile(tmp); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+}
+
+// newSelfContainedServer boots the server from a v3 snapshot alone — no
+// graph flag — and returns the server plus the snapshot path for reloads.
+func newSelfContainedServer(t *testing.T) (*server, *httptest.Server, *prsim.Graph, string) {
+	t.Helper()
+	g, err := prsim.GeneratePowerLawGraph(150, 6, 2.5, true, 5)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.prsim")
+	writeSnapshot(t, g, path, 1)
+	srv, err := buildServer(config{
+		loadIndex: path,
+		workers:   4,
+		cacheSize: 16,
+		timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("buildServer (self-contained): %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(srv.stop) })
+	return srv, ts, g, path
+}
+
+// TestServeSelfContained starts the server from a v3 snapshot with no
+// edge-list file at all and checks queries and the reported backings.
+func TestServeSelfContained(t *testing.T) {
+	_, ts, _, _ := newSelfContainedServer(t)
+	var res queryResultJSON
+	if resp := getJSON(t, ts.URL+"/query?u=3", &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	if res.Source != 3 || res.Support == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	var stats struct {
+		Graph    map[string]any `json:"graph"`
+		Index    map[string]any `json:"index"`
+		Snapshot map[string]any `json:"snapshot"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Graph["nodes"] != float64(150) {
+		t.Errorf("stats nodes = %v, want 150", stats.Graph["nodes"])
+	}
+	if sc := stats.Snapshot["self_contained"]; sc != true {
+		t.Errorf("stats self_contained = %v, want true", sc)
+	}
+	// mmap where supported, heap on fallback platforms; either way the graph
+	// came out of the snapshot, and both backings must agree with the API.
+	if b := stats.Graph["backing"]; b != "mmap" && b != "heap" {
+		t.Errorf("graph backing = %v, want mmap or heap", b)
+	}
+	if b := stats.Index["backing"]; b != "mmap" && b != "heap" {
+		t.Errorf("index backing = %v, want mmap or heap", b)
+	}
+}
+
+// TestServeReload drives POST /reload: the generation increments, queries
+// keep working, and a server whose index was built at startup (no snapshot
+// file) refuses with 409.
+func TestServeReload(t *testing.T) {
+	_, ts, g, path := newSelfContainedServer(t)
+
+	// Publish a new snapshot (different seed → genuinely different index).
+	writeSnapshot(t, g, path, 2)
+	resp, err := http.Post(ts.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatalf("POST /reload: %v", err)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding reload body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d (%v)", resp.StatusCode, body)
+	}
+	if body["generation"] != float64(1) {
+		t.Errorf("reload generation = %v, want 1", body["generation"])
+	}
+	var res queryResultJSON
+	if qr := getJSON(t, ts.URL+"/query?u=3", &res); qr.StatusCode != http.StatusOK {
+		t.Fatalf("query after reload = %d", qr.StatusCode)
+	}
+
+	// GET on /reload must not trigger one (admin mutation is POST-only).
+	if getResp, err := http.Get(ts.URL + "/reload"); err != nil {
+		t.Fatalf("GET /reload: %v", err)
+	} else {
+		getResp.Body.Close()
+		if getResp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /reload status = %d, want 405", getResp.StatusCode)
+		}
+	}
+
+	// A built-at-startup server has nothing to reload.
+	built, err := buildServer(config{dataset: "DB", timeout: time.Second, epsilon: 0.3, scale: 0.05})
+	if err != nil {
+		t.Fatalf("buildServer (dataset): %v", err)
+	}
+	bts := httptest.NewServer(built.handler())
+	defer bts.Close()
+	resp, err = http.Post(bts.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatalf("POST /reload (built): %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("reload of built index status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeReloadUnderLoad is the zero-downtime guarantee: query traffic
+// hammers the server while snapshots are republished and reloaded, and not a
+// single in-flight request may fail. Run under -race in CI; the swapped-out
+// snapshot being unmapped under a live query would also fault outright.
+func TestServeReloadUnderLoad(t *testing.T) {
+	srv, ts, g, path := newSelfContainedServer(t)
+
+	const clients = 4
+	var failures atomic.Int64
+	var requests atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			urls := []string{
+				ts.URL + "/query?u=" + strconv.Itoa(c*17%150),
+				ts.URL + "/topk?u=" + strconv.Itoa(c*31%150) + "&k=5",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(urls[i%len(urls)])
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("client %d: status %d", c, resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+
+	const reloads = 3
+	for r := 1; r <= reloads; r++ {
+		writeSnapshot(t, g, path, uint64(r+1))
+		resp, err := http.Post(ts.URL+"/reload", "", nil)
+		if err != nil {
+			t.Fatalf("POST /reload %d: %v", r, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d status = %d", r, resp.StatusCode)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d of %d requests failed across %d reloads", f, requests.Load(), reloads)
+	}
+	if requests.Load() == 0 {
+		t.Fatal("no requests completed; load generator never ran")
+	}
+	if gen := srv.eng.Generation(); gen != reloads {
+		t.Errorf("generation = %d, want %d", gen, reloads)
+	}
+}
+
+// TestServeWatchReload exercises the mtime watcher: publishing a new snapshot
+// triggers a hot swap without any /reload call.
+func TestServeWatchReload(t *testing.T) {
+	g, err := prsim.GeneratePowerLawGraph(120, 5, 2.5, true, 9)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "watched.prsim")
+	writeSnapshot(t, g, path, 1)
+	srv, err := buildServer(config{
+		loadIndex: path,
+		watch:     20 * time.Millisecond,
+		timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	go srv.watch(srv.cfg.watch)
+	defer close(srv.stop)
+
+	// Rename alone bumps the mtime; give the file a distinct identity too.
+	time.Sleep(5 * time.Millisecond)
+	writeSnapshot(t, g, path, 2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.eng.Generation() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never picked up the republished snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	idx := srv.eng.Current()
+	if _, err := idx.Query(1); err != nil {
+		t.Fatalf("query after watched reload: %v", err)
+	}
+}
+
+// TestWatchRequiresLoadIndex checks -watch without -loadindex is rejected.
+func TestWatchRequiresLoadIndex(t *testing.T) {
+	if _, err := buildServer(config{dataset: "DB", watch: time.Second}); err == nil {
+		t.Fatal("expected -watch without -loadindex to fail")
+	}
+}
+
+// TestRenderResultSharedCacheConcurrent locks in the "cached results are
+// shared, treat as read-only" contract at the HTTP layer: many goroutines
+// render the same cached *Result (plus its TopK and AsSlice views)
+// concurrently under -race.
+func TestRenderResultSharedCacheConcurrent(t *testing.T) {
+	g, err := prsim.GeneratePowerLawGraph(150, 6, 2.5, true, 5)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	idx, err := prsim.BuildIndex(g, prsim.Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	eng, err := prsim.NewEngine(idx, prsim.EngineOptions{Workers: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ctx := context.Background()
+	shared, err := eng.Query(ctx, 7)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	again, err := eng.Query(ctx, 7)
+	if err != nil {
+		t.Fatalf("Query (cached): %v", err)
+	}
+	if shared.Scores() == nil || again.Scores() == nil {
+		t.Fatal("results missing scores")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(limit int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				out := renderResult(shared, limit)
+				if out.Source != 7 {
+					t.Errorf("rendered source = %d, want 7", out.Source)
+				}
+				_ = shared.TopK(5)
+				_ = shared.AsSlice()
+			}
+		}(i % 3)
+	}
+	// Concurrent cache hits on the same key, racing the renders above.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				if _, err := eng.Query(ctx, 7); err != nil {
+					t.Errorf("cached query: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

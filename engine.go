@@ -3,6 +3,7 @@ package prsim
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"prsim/internal/engine"
 )
@@ -25,34 +26,69 @@ type EngineOptions struct {
 // workers; results are bit-identical to sequential Index.Query calls
 // regardless of worker count or scheduling.
 //
-// An Engine is safe for concurrent use and needs no shutdown.
+// An Engine is safe for concurrent use and needs no shutdown. The index it
+// serves can be hot-swapped with Swap — typically for a freshly re-opened
+// snapshot — without dropping in-flight requests.
 type Engine struct {
-	g   *Graph
+	cur atomic.Pointer[Index]
 	eng *engine.Engine
 }
 
-// NewEngine builds an engine over an index.
+// NewEngine builds an engine over an index. When the index is backed by a
+// snapshot, every query retains the snapshot for its duration, so a
+// swapped-out snapshot can be Closed while traffic drains.
 func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
 	if idx == nil {
 		return nil, fmt.Errorf("prsim: nil index")
 	}
-	eng, err := engine.New(idx.idx, engine.Options{Workers: opts.Workers, CacheSize: opts.CacheSize})
+	eng, err := engine.New(idx.idx, engine.Options{
+		Workers:   opts.Workers,
+		CacheSize: opts.CacheSize,
+		Resource:  idx.engineResource(),
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{g: idx.g, eng: eng}, nil
+	e := &Engine{eng: eng}
+	e.cur.Store(idx)
+	return e, nil
 }
 
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.eng.Workers() }
 
+// Current returns the index the engine is serving right now.
+func (e *Engine) Current() *Index { return e.cur.Load() }
+
+// Generation returns the swap generation of the served index: 0 at creation,
+// incremented by every Swap.
+func (e *Engine) Generation() uint64 { return e.eng.Generation() }
+
+// Swap atomically replaces the served index and returns the previous one.
+// In-flight queries finish against the old index; new queries (and cache
+// lookups, which are keyed by generation) see the new one immediately, and
+// the result cache is invalidated. The caller should Close the returned
+// index once it is done with it — for snapshot-backed indexes the unmap is
+// deferred until drained queries release it.
+func (e *Engine) Swap(idx *Index) (*Index, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("prsim: nil index")
+	}
+	if err := e.eng.Swap(idx.idx, idx.engineResource()); err != nil {
+		return nil, err
+	}
+	return e.cur.Swap(idx), nil
+}
+
 // Query answers one single-source query through the worker pool and cache.
+// The result carries the graph it was computed on, so labels stay correct
+// even when a Swap lands mid-flight or the result came from the cache.
 func (e *Engine) Query(ctx context.Context, u int) (*Result, error) {
 	res, err := e.eng.Query(ctx, u)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{g: e.g, inner: res}, nil
+	return wrapResult(e.cur.Load().g, res), nil
 }
 
 // QueryBatch answers one query per source, in order, using up to Workers
@@ -62,21 +98,23 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return wrapResults(e.g, inner), nil
+	return wrapResults(e.cur.Load().g, inner), nil
 }
 
 // TopK answers a single-source query from u and returns its k most similar
-// nodes (excluding u itself) in descending score order.
+// nodes (excluding u itself) in descending score order. Negative k is
+// treated as zero.
 func (e *Engine) TopK(ctx context.Context, u, k int) ([]ScoredNode, error) {
-	inner, err := e.eng.TopK(ctx, u, k)
+	if k < 0 {
+		k = 0
+	}
+	// Run through Query so the result's own graph labels the nodes; the
+	// inner TopK would lose track of which generation answered.
+	res, err := e.Query(ctx, u)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ScoredNode, len(inner))
-	for i, s := range inner {
-		out[i] = ScoredNode{Node: s.Node, Label: e.g.Label(s.Node), Score: s.Score}
-	}
-	return out, nil
+	return res.TopK(k), nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v).
@@ -88,6 +126,11 @@ func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
 type EngineStats struct {
 	// Workers is the concurrency bound.
 	Workers int
+	// Generation is the swap generation of the served index (0 until the
+	// first Swap).
+	Generation uint64
+	// Swaps counts hot index swaps performed.
+	Swaps int64
 	// Queries counts single-source queries answered, including cache hits.
 	Queries int64
 	// CacheHits counts queries answered from the LRU cache.
@@ -105,6 +148,8 @@ func (e *Engine) Stats() EngineStats {
 	s := e.eng.Stats()
 	return EngineStats{
 		Workers:      s.Workers,
+		Generation:   s.Generation,
+		Swaps:        s.Swaps,
 		Queries:      s.Queries,
 		CacheHits:    s.CacheHits,
 		CacheEntries: s.CacheEntries,

@@ -159,3 +159,134 @@ func TestNewEngineNilIndex(t *testing.T) {
 		t.Fatal("NewEngine(nil) should fail")
 	}
 }
+
+// TestTopKNegativeKPublicAPI exercises negative k through the public surface
+// directly — Result.TopK and Engine.TopK — rather than through the HTTP
+// handlers that happen to pre-validate k. Before the clamp this panicked in
+// core's nodes[:k] slice.
+func TestTopKNegativeKPublicAPI(t *testing.T) {
+	g := paperGraph(t)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	res, err := idx.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for _, k := range []int{-1, -99, 0} {
+		if got := res.TopK(k); len(got) != 0 {
+			t.Errorf("Result.TopK(%d) returned %d nodes, want 0", k, len(got))
+		}
+	}
+	eng, err := NewEngine(idx, EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for _, k := range []int{-1, -99, 0} {
+		got, err := eng.TopK(context.Background(), 0, k)
+		if err != nil {
+			t.Fatalf("Engine.TopK(%d): %v", k, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("Engine.TopK(%d) returned %d nodes, want 0", k, len(got))
+		}
+	}
+}
+
+// TestEngineSwapPublicAPI drives the public hot-swap surface: Swap returns
+// the previous index, Current/Generation track the change, and queries keep
+// answering.
+func TestEngineSwapPublicAPI(t *testing.T) {
+	g := paperGraph(t)
+	idxA, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	idxB, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	eng, err := NewEngine(idxA, EngineOptions{Workers: 2, CacheSize: 4})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if eng.Current() != idxA || eng.Generation() != 0 {
+		t.Fatalf("fresh engine current/gen = %p/%d, want idxA/0", eng.Current(), eng.Generation())
+	}
+	if _, err := eng.Query(context.Background(), 0); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	old, err := eng.Swap(idxB)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if old != idxA {
+		t.Errorf("Swap returned %p, want the previous index %p", old, idxA)
+	}
+	if eng.Current() != idxB || eng.Generation() != 1 {
+		t.Errorf("post-swap current/gen wrong")
+	}
+	if _, err := eng.Query(context.Background(), 0); err != nil {
+		t.Fatalf("Query after swap: %v", err)
+	}
+	st := eng.Stats()
+	if st.Generation != 1 || st.Swaps != 1 {
+		t.Errorf("Stats generation/swaps = %d/%d, want 1/1", st.Generation, st.Swaps)
+	}
+	if _, err := eng.Swap(nil); err == nil {
+		t.Error("Swap(nil) should fail")
+	}
+}
+
+// TestResultLabelsSurviveSwap pins the generation binding of results: a
+// result produced before (or during) a Swap must label its nodes from the
+// graph that computed it, not from whichever graph is current at render
+// time.
+func TestResultLabelsSurviveSwap(t *testing.T) {
+	gOld, err := NewGraphFromLabelledEdges([][2]string{
+		{"old-a", "old-b"}, {"old-b", "old-c"}, {"old-c", "old-a"},
+	})
+	if err != nil {
+		t.Fatalf("NewGraphFromLabelledEdges: %v", err)
+	}
+	gNew, err := NewGraphFromLabelledEdges([][2]string{
+		{"new-a", "new-b"}, {"new-b", "new-c"}, {"new-c", "new-a"},
+	})
+	if err != nil {
+		t.Fatalf("NewGraphFromLabelledEdges: %v", err)
+	}
+	idxOld, err := BuildIndex(gOld, Options{Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	idxNew, err := BuildIndex(gNew, Options{Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	eng, err := NewEngine(idxOld, EngineOptions{Workers: 2, CacheSize: 4})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	res, err := eng.Query(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if _, err := eng.Swap(idxNew); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	for _, s := range res.TopK(3) {
+		if len(s.Label) < 4 || s.Label[:4] != "old-" {
+			t.Errorf("pre-swap result labeled %q from the new graph", s.Label)
+		}
+	}
+	after, err := eng.TopK(context.Background(), 0, 3)
+	if err != nil {
+		t.Fatalf("TopK after swap: %v", err)
+	}
+	for _, s := range after {
+		if len(s.Label) < 4 || s.Label[:4] != "new-" {
+			t.Errorf("post-swap TopK labeled %q from the old graph", s.Label)
+		}
+	}
+}

@@ -7,59 +7,96 @@ import (
 	"math"
 )
 
-// Snapshot v2 is the flat, mmap-friendly on-disk index format:
+// Snapshot v3 is the flat, mmap-friendly, self-contained on-disk format: one
+// file holds the whole serving state — the hub index *and* the graph's CSR
+// adjacency structure (plus the optional node-label table) — so a server can
+// cold-start with a single O(header) mapping instead of re-parsing an edge
+// list:
 //
 //	header        128 bytes: 16 little-endian u64 slots (magic, version,
 //	              sections start, node count, option bits, section counts,
-//	              file size, flags)
-//	section table 5 × 16 bytes: (offset, byte length) per section
-//	sections      contiguous, each 8-byte aligned:
-//	                pi            nNodes   × 8  (f64 bits)
-//	                hubOrder      numHubs  × 8  (u64 node ids)
-//	                hubLevelPos   numHubs+1 × 8 (u64 prefix sums of level counts)
+//	              file size, flags, edge count)
+//	section table 11 × 16 bytes: (offset, byte length) per section
+//	sections      each starting on an 8-byte boundary (zero padding between
+//	              sections whose length is not a multiple of 8):
+//	                pi            nNodes    × 8  (f64 bits)
+//	                hubOrder      numHubs   × 8  (u64 node ids)
+//	                hubLevelPos   numHubs+1 × 8  (u64 prefix sums of level counts)
 //	                entryOffsets  numLevels+1 × 8 (u64 prefix sums into slab)
 //	                entrySlab     numEntries × 16 (u32 node, u32 zero, f64 bits)
-//	trailer       8 bytes: CRC-32C (Castagnoli) of all section bytes, in the
-//	              low 32 bits of a u64
+//	                graphOutOff   nNodes+1  × 8  (i64 prefix sums into outAdj)
+//	                graphOutAdj   nEdges    × 4  (i32 out-neighbor ids)
+//	                graphInOff    nNodes+1  × 8  (i64 prefix sums into inAdj)
+//	                graphInAdj    nEdges    × 4  (i32 in-neighbor ids)
+//	                labelOffsets  nNodes+1  × 8  (u64 prefix sums into blob; absent
+//	                                              when the graph is unlabelled)
+//	                labelBlob     concatenated UTF-8 label bytes
+//	trailer       8 bytes: CRC-32C (Castagnoli) of all bytes between the
+//	              section table and the trailer (padding included), in the low
+//	              32 bits of a u64
 //
-// Every field is little-endian and every section offset is a multiple of 8,
-// so a 64-bit little-endian process can reconstruct the index's slices as
-// zero-copy views over an mmap of the file. The 16-byte entry record matches
-// Go's in-memory layout of IndexEntry on 64-bit platforms (int32 at offset 0,
-// 4 bytes of zero padding, float64 at offset 8).
+// Every field is little-endian and every section starts on a multiple of 8,
+// so a 64-bit little-endian process can reconstruct the index's slices *and*
+// the graph's adjacency arrays as zero-copy views over an mmap of the file.
+// The graph is written with its out-adjacency already sorted by head
+// in-degree (flag bit 0), because a read-only mapping cannot be re-sorted in
+// place.
 //
-// Version 1 (the legacy element-streamed format) is still accepted by
-// LoadIndex; Save always writes version 2.
+// Version 2 (flat index, no graph — the previous Save output) and version 1
+// (the legacy element-streamed format) are still accepted by LoadIndex and by
+// the snapshot opener when the caller supplies the graph separately; Save
+// always writes version 3. SaveV2 keeps the v2 writer available for
+// compatibility tooling.
 const (
 	indexMagic     = 0x5052534d // "PRSM"
 	indexVersionV1 = 1
 	indexVersionV2 = 2
+	indexVersionV3 = 3
 
-	snapshotHeaderBytes   = 128
-	snapshotSectionCount  = 5
+	snapshotHeaderBytes  = 128
+	snapshotTrailerBytes = 8
+
+	// v2 layout: 5 sections, contiguous (every section length is a multiple
+	// of 8, so alignment was free).
+	snapshotSectionCountV2  = 5
+	snapshotSectionsStartV2 = snapshotHeaderBytes + snapshotSectionCountV2*16
+
+	// v3 layout: 11 sections, each aligned up to the next 8-byte boundary.
+	snapshotSectionCount  = 11
 	snapshotTableBytes    = snapshotSectionCount * 16
 	snapshotSectionsStart = snapshotHeaderBytes + snapshotTableBytes
-	snapshotTrailerBytes  = 8
 
 	// entryRecordBytes is the serialized size of one IndexEntry record.
 	entryRecordBytes = 16
 
-	// snapshotMinBytes is the smallest structurally valid v2 file.
+	// snapshotMinBytes is the smallest structurally valid v3 file.
 	snapshotMinBytes = snapshotSectionsStart + snapshotTrailerBytes
 
 	// snapshotMaxCount bounds every element count read from a header so that
 	// count*recordSize arithmetic cannot overflow uint64 and hostile headers
 	// cannot request absurd allocations before length cross-checks run.
 	snapshotMaxCount = 1 << 48
+
+	// Header flag bits (slot 14).
+	snapshotFlagOutSorted = 1 << 0 // graph out-adjacency sorted by head in-degree
+	snapshotFlagLabels    = 1 << 1 // label table present
 )
 
-// Section indices into SnapshotLayout.Sections, in file order.
+// Section indices into SnapshotLayout.Sections, in file order. The first five
+// match the v2 section order exactly; the graph sections exist only in v3
+// files (their extents are zero for v2 layouts).
 const (
 	sectionPi = iota
 	sectionHubOrder
 	sectionHubLevelPos
 	sectionEntryOffsets
 	sectionEntrySlab
+	sectionGraphOutOff
+	sectionGraphOutAdj
+	sectionGraphInOff
+	sectionGraphInAdj
+	sectionLabelOffsets
+	sectionLabelBlob
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -73,52 +110,143 @@ type Section struct {
 // End returns the first byte past the section.
 func (s Section) End() uint64 { return s.Off + s.Len }
 
-// SnapshotLayout is the decoded header and section table of a v2 snapshot.
-// It is exported (within the module) so internal/snapshot can locate the
-// sections of an mmap'd file without re-implementing the format.
+// align8 rounds x up to the next multiple of 8.
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+
+// SnapshotLayout is the decoded header and section table of a v2 or v3
+// snapshot. It is exported (within the module) so internal/snapshot can locate
+// the sections of an mmap'd file without re-implementing the format.
 type SnapshotLayout struct {
+	Version    uint64
 	NNodes     uint64
+	NumEdges   uint64 // v3 only; zero for v2 layouts
 	Opts       Options
 	NumHubs    uint64
 	NumLevels  uint64 // total level slots across all hubs
 	NumEntries uint64
 	FileSize   uint64
+	OutSorted  bool // v3: graph serialized with sorted out-adjacency
+	HasLabels  bool // v3: label table present
+	LabelBytes uint64
 	Sections   [snapshotSectionCount]Section
 }
 
-// snapshotLayout computes the v2 layout for this index: contiguous sections
-// starting right after the section table, each a multiple of 8 bytes.
-func (idx *Index) snapshotLayout() SnapshotLayout {
-	l := SnapshotLayout{
-		NNodes:     uint64(idx.g.N()),
-		Opts:       idx.opts,
-		NumHubs:    uint64(len(idx.hubOrder)),
-		NumLevels:  uint64(len(idx.entryOffsets) - 1),
-		NumEntries: uint64(len(idx.entrySlab)),
+// HasGraph reports whether the snapshot embeds the graph's CSR structure
+// (true for every v3 file; v2 files carry the index only).
+func (l *SnapshotLayout) HasGraph() bool { return l.Version >= indexVersionV3 }
+
+// sectionsStart returns the first byte past the section table.
+func (l *SnapshotLayout) sectionsStart() uint64 {
+	if l.Version == indexVersionV2 {
+		return snapshotSectionsStartV2
 	}
-	lens := [snapshotSectionCount]uint64{
+	return snapshotSectionsStart
+}
+
+// sectionCount returns how many section-table rows the version defines.
+func (l *SnapshotLayout) sectionCount() int {
+	if l.Version == indexVersionV2 {
+		return snapshotSectionCountV2
+	}
+	return snapshotSectionCount
+}
+
+// indexSectionLens returns the required byte length of the five index
+// sections shared by v2 and v3.
+func (l *SnapshotLayout) indexSectionLens() [snapshotSectionCountV2]uint64 {
+	return [snapshotSectionCountV2]uint64{
 		sectionPi:           l.NNodes * 8,
 		sectionHubOrder:     l.NumHubs * 8,
 		sectionHubLevelPos:  (l.NumHubs + 1) * 8,
 		sectionEntryOffsets: (l.NumLevels + 1) * 8,
 		sectionEntrySlab:    l.NumEntries * entryRecordBytes,
 	}
+}
+
+// sectionLens returns the required byte length of every section in file
+// order. For v2 layouts only the first five entries are meaningful.
+func (l *SnapshotLayout) sectionLens() [snapshotSectionCount]uint64 {
+	var lens [snapshotSectionCount]uint64
+	idx := l.indexSectionLens()
+	copy(lens[:], idx[:])
+	if l.Version >= indexVersionV3 {
+		lens[sectionGraphOutOff] = (l.NNodes + 1) * 8
+		lens[sectionGraphOutAdj] = l.NumEdges * 4
+		lens[sectionGraphInOff] = (l.NNodes + 1) * 8
+		lens[sectionGraphInAdj] = l.NumEdges * 4
+		if l.HasLabels {
+			lens[sectionLabelOffsets] = (l.NNodes + 1) * 8
+			lens[sectionLabelBlob] = l.LabelBytes
+		}
+	}
+	return lens
+}
+
+// snapshotLayout computes the v3 layout for this index and its graph:
+// sections starting right after the section table, each aligned up to an
+// 8-byte boundary.
+func (idx *Index) snapshotLayout() SnapshotLayout {
+	g := idx.g
+	l := SnapshotLayout{
+		Version:    indexVersionV3,
+		NNodes:     uint64(g.N()),
+		NumEdges:   uint64(g.M()),
+		Opts:       idx.opts,
+		NumHubs:    uint64(len(idx.hubOrder)),
+		NumLevels:  uint64(len(idx.entryOffsets) - 1),
+		NumEntries: uint64(len(idx.entrySlab)),
+		OutSorted:  g.OutSortedByInDegree(),
+	}
+	if labels := g.Labels(); labels != nil {
+		l.HasLabels = true
+		for _, s := range labels {
+			l.LabelBytes += uint64(len(s))
+		}
+	}
+	lens := l.sectionLens()
 	off := uint64(snapshotSectionsStart)
 	for i, n := range lens {
 		l.Sections[i] = Section{Off: off, Len: n}
-		off += n
+		off = align8(off + n)
 	}
 	l.FileSize = off + snapshotTrailerBytes
 	return l
 }
 
-// encodeSnapshotPrefix renders the 208-byte header + section table.
+// snapshotLayoutV2 computes the legacy 5-section layout (used by SaveV2).
+func (idx *Index) snapshotLayoutV2() SnapshotLayout {
+	l := SnapshotLayout{
+		Version:    indexVersionV2,
+		NNodes:     uint64(idx.g.N()),
+		Opts:       idx.opts,
+		NumHubs:    uint64(len(idx.hubOrder)),
+		NumLevels:  uint64(len(idx.entryOffsets) - 1),
+		NumEntries: uint64(len(idx.entrySlab)),
+	}
+	lens := l.indexSectionLens()
+	off := uint64(snapshotSectionsStartV2)
+	for i, n := range lens {
+		l.Sections[i] = Section{Off: off, Len: n}
+		off += n // every v2 section length is a multiple of 8 already
+	}
+	l.FileSize = off + snapshotTrailerBytes
+	return l
+}
+
+// encodeSnapshotPrefix renders the header + section table for l's version.
 func encodeSnapshotPrefix(l SnapshotLayout) []byte {
-	buf := make([]byte, snapshotSectionsStart)
+	buf := make([]byte, l.sectionsStart())
+	var flags uint64
+	if l.OutSorted {
+		flags |= snapshotFlagOutSorted
+	}
+	if l.HasLabels {
+		flags |= snapshotFlagLabels
+	}
 	slots := []uint64{
 		indexMagic,
-		indexVersionV2,
-		snapshotSectionsStart,
+		l.Version,
+		l.sectionsStart(),
 		l.NNodes,
 		math.Float64bits(l.Opts.C),
 		math.Float64bits(l.Opts.Epsilon),
@@ -130,40 +258,59 @@ func encodeSnapshotPrefix(l SnapshotLayout) []byte {
 		l.NumLevels,
 		l.NumEntries,
 		l.FileSize,
-		0, // flags
-		0, // reserved
+		flags,
+		l.NumEdges,
 	}
 	for i, v := range slots {
 		binary.LittleEndian.PutUint64(buf[i*8:], v)
 	}
-	for i, s := range l.Sections {
+	for i := 0; i < l.sectionCount(); i++ {
 		base := snapshotHeaderBytes + i*16
-		binary.LittleEndian.PutUint64(buf[base:], s.Off)
-		binary.LittleEndian.PutUint64(buf[base+8:], s.Len)
+		binary.LittleEndian.PutUint64(buf[base:], l.Sections[i].Off)
+		binary.LittleEndian.PutUint64(buf[base+8:], l.Sections[i].Len)
 	}
 	return buf
 }
 
-// parseSnapshotPrefix decodes and structurally validates the 208-byte
-// header + section table. prefix must be exactly snapshotSectionsStart bytes.
-// The caller still has to check FileSize against the actual file and verify
-// the checksum trailer.
+// snapshotPrefixBytes returns the header+table size of the given version.
+func snapshotPrefixBytes(version uint64) (int, error) {
+	switch version {
+	case indexVersionV2:
+		return snapshotSectionsStartV2, nil
+	case indexVersionV3:
+		return snapshotSectionsStart, nil
+	default:
+		return 0, fmt.Errorf("core: unsupported index version %d", version)
+	}
+}
+
+// parseSnapshotPrefix decodes and structurally validates a header + section
+// table. prefix must be exactly snapshotPrefixBytes(version) long for the
+// version named in its second slot. The caller still has to check FileSize
+// against the actual file and verify the checksum trailer.
 func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
-	if len(prefix) != snapshotSectionsStart {
-		return nil, fmt.Errorf("core: snapshot prefix is %d bytes, want %d", len(prefix), snapshotSectionsStart)
+	if len(prefix) < 16 {
+		return nil, fmt.Errorf("core: snapshot prefix is %d bytes, want at least 16", len(prefix))
 	}
 	slot := func(i int) uint64 { return binary.LittleEndian.Uint64(prefix[i*8:]) }
 	if slot(0) != indexMagic {
 		return nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", slot(0))
 	}
-	if v := slot(1); v != indexVersionV2 {
-		return nil, fmt.Errorf("core: unsupported index version %d", v)
+	version := slot(1)
+	want, err := snapshotPrefixBytes(version)
+	if err != nil {
+		return nil, err
 	}
-	if s := slot(2); s != snapshotSectionsStart {
-		return nil, fmt.Errorf("core: snapshot sections start at %d, want %d", s, snapshotSectionsStart)
+	if len(prefix) != want {
+		return nil, fmt.Errorf("core: v%d snapshot prefix is %d bytes, want %d", version, len(prefix), want)
 	}
+	if s := slot(2); s != uint64(want) {
+		return nil, fmt.Errorf("core: snapshot sections start at %d, want %d", s, want)
+	}
+	flags := slot(14)
 	l := &SnapshotLayout{
-		NNodes: slot(3),
+		Version: version,
+		NNodes:  slot(3),
 		Opts: Options{
 			C:           math.Float64frombits(slot(4)),
 			Epsilon:     math.Float64frombits(slot(5)),
@@ -177,7 +324,12 @@ func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
 		NumEntries: slot(12),
 		FileSize:   slot(13),
 	}
-	for _, c := range []uint64{l.NNodes, l.NumHubs, l.NumLevels, l.NumEntries} {
+	if version >= indexVersionV3 {
+		l.NumEdges = slot(15)
+		l.OutSorted = flags&snapshotFlagOutSorted != 0
+		l.HasLabels = flags&snapshotFlagLabels != 0
+	}
+	for _, c := range []uint64{l.NNodes, l.NumHubs, l.NumLevels, l.NumEntries, l.NumEdges} {
 		if c > snapshotMaxCount {
 			return nil, fmt.Errorf("core: snapshot element count %d exceeds format limit", c)
 		}
@@ -185,15 +337,18 @@ func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
 	if l.NumHubs > l.NNodes {
 		return nil, fmt.Errorf("core: snapshot hub count %d exceeds node count %d", l.NumHubs, l.NNodes)
 	}
-	wantLens := [snapshotSectionCount]uint64{
-		sectionPi:           l.NNodes * 8,
-		sectionHubOrder:     l.NumHubs * 8,
-		sectionHubLevelPos:  (l.NumHubs + 1) * 8,
-		sectionEntryOffsets: (l.NumLevels + 1) * 8,
-		sectionEntrySlab:    l.NumEntries * entryRecordBytes,
+	// The label blob is the one variable-length section: its length comes from
+	// the table itself, bounded by the declared file size.
+	if l.HasLabels {
+		base := snapshotHeaderBytes + sectionLabelBlob*16
+		l.LabelBytes = binary.LittleEndian.Uint64(prefix[base+8:])
+		if l.LabelBytes > l.FileSize {
+			return nil, fmt.Errorf("core: snapshot label blob of %d bytes exceeds file size %d", l.LabelBytes, l.FileSize)
+		}
 	}
-	end := uint64(snapshotSectionsStart)
-	for i := range l.Sections {
+	wantLens := l.sectionLens()
+	end := l.sectionsStart()
+	for i := 0; i < l.sectionCount(); i++ {
 		base := snapshotHeaderBytes + i*16
 		l.Sections[i] = Section{
 			Off: binary.LittleEndian.Uint64(prefix[base:]),
@@ -210,6 +365,9 @@ func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
 			return nil, fmt.Errorf("core: snapshot section %d misaligned at offset %d", i, s.Off)
 		}
 		end = s.End()
+		if version >= indexVersionV3 {
+			end = align8(end)
+		}
 	}
 	if l.FileSize != end+snapshotTrailerBytes {
 		return nil, fmt.Errorf("core: snapshot file size %d does not match sections (want %d)", l.FileSize, end+snapshotTrailerBytes)
@@ -231,13 +389,22 @@ func SnapshotFileVersion(data []byte) (uint64, error) {
 }
 
 // ParseSnapshotLayout decodes and validates the layout of a complete
-// in-memory (typically mmap'd) v2 snapshot. It checks structure only; call
-// VerifyChecksum to validate the section payload.
+// in-memory (typically mmap'd) v2 or v3 snapshot. It checks structure only;
+// call VerifyChecksum to validate the section payload.
 func ParseSnapshotLayout(data []byte) (*SnapshotLayout, error) {
-	if len(data) < snapshotMinBytes {
-		return nil, fmt.Errorf("core: snapshot is %d bytes, below minimum %d", len(data), snapshotMinBytes)
+	version, err := SnapshotFileVersion(data)
+	if err != nil {
+		return nil, err
 	}
-	l, err := parseSnapshotPrefix(data[:snapshotSectionsStart])
+	prefixLen, err := snapshotPrefixBytes(version)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < prefixLen+snapshotTrailerBytes {
+		return nil, fmt.Errorf("core: snapshot is %d bytes, below the v%d minimum %d",
+			len(data), version, prefixLen+snapshotTrailerBytes)
+	}
+	l, err := parseSnapshotPrefix(data[:prefixLen])
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +420,7 @@ func (l *SnapshotLayout) VerifyChecksum(data []byte) error {
 	if uint64(len(data)) != l.FileSize {
 		return fmt.Errorf("core: snapshot is %d bytes but layout says %d", len(data), l.FileSize)
 	}
-	payload := data[snapshotSectionsStart : l.FileSize-snapshotTrailerBytes]
+	payload := data[l.sectionsStart() : l.FileSize-snapshotTrailerBytes]
 	want := binary.LittleEndian.Uint64(data[l.FileSize-snapshotTrailerBytes:])
 	got := uint64(crc32.Checksum(payload, crcTable))
 	if got != want {

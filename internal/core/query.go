@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"prsim/internal/graph"
 )
 
 // ScoredNode is a node with its estimated SimRank score.
@@ -22,7 +24,17 @@ type Result struct {
 	Scores map[int]float64
 	// Stats reports the work performed by the query.
 	Stats QueryStats
+
+	// g is the graph the query ran on. Results can outlive an engine's hot
+	// swap (shared through its cache), so node labels and dimensions must
+	// resolve against the graph that actually produced the scores, not
+	// whichever graph is being served when the result is rendered.
+	g *graph.Graph
 }
+
+// Graph returns the graph the query ran on, or nil for a zero-value Result
+// that no query has populated.
+func (r *Result) Graph() *graph.Graph { return r.g }
 
 // QueryStats breaks down the cost of one query.
 type QueryStats struct {
@@ -48,7 +60,13 @@ func (r *Result) Score(v int) float64 { return r.Scores[v] }
 
 // TopK returns the k nodes with the highest estimated SimRank, excluding the
 // source itself, ordered by descending score with ties broken by node id.
+// k larger than the support returns everything; k <= 0 returns an empty
+// slice (slicing with a negative k would panic, and callers such as HTTP
+// handlers cannot be assumed to pre-validate).
 func (r *Result) TopK(k int) []ScoredNode {
+	if k < 0 {
+		k = 0
+	}
 	nodes := make([]ScoredNode, 0, len(r.Scores))
 	for v, s := range r.Scores {
 		if v == r.Source {
@@ -123,6 +141,7 @@ func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
 	if err := idx.g.CheckNode(u); err != nil {
 		return err
 	}
+	res.g = idx.g
 	start := time.Now()
 	opts := idx.opts
 	n := idx.g.N()

@@ -208,3 +208,18 @@ func TestSampleScaleReducesWork(t *testing.T) {
 			rCheap.Stats.Walks, rFull.Stats.Walks)
 	}
 }
+
+// TestTopKClampsK pins the boundary behavior of Result.TopK: a negative k
+// must return an empty slice (slicing nodes[:k] with k < 0 panicked before
+// the clamp), zero returns empty, and oversized k returns everything.
+func TestTopKClampsK(t *testing.T) {
+	r := &Result{Source: 0, Scores: map[int]float64{0: 1, 1: 0.5, 2: 0.25}}
+	for _, k := range []int{-1, -1000, 0} {
+		if got := r.TopK(k); len(got) != 0 {
+			t.Errorf("TopK(%d) returned %d nodes, want 0", k, len(got))
+		}
+	}
+	if got := r.TopK(100); len(got) != 2 { // source excluded
+		t.Errorf("TopK(100) returned %d nodes, want 2", len(got))
+	}
+}

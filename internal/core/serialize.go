@@ -13,16 +13,78 @@ import (
 	"prsim/internal/graph"
 )
 
-// Save writes the index (excluding the graph itself) to w in the snapshot v2
-// format documented in format.go. Load requires the same graph to be supplied
-// again.
+// Save writes the index and its graph to w in the self-contained snapshot v3
+// format documented in format.go: one file holding the hub index, the graph's
+// CSR adjacency arrays, and the node-label table when the graph is labelled.
+// Load with LoadSelfContained (no separate graph needed), with LoadIndex (the
+// graph supplied separately is cross-checked), or zero-copy via
+// internal/snapshot.
+//
+// The graph is serialized with its out-adjacency sorted by head in-degree —
+// the order queries require — because a memory-mapped reader cannot re-sort a
+// read-only mapping in place; Save sorts first if needed.
 func (idx *Index) Save(w io.Writer) error {
+	if !idx.g.OutSortedByInDegree() {
+		idx.g.SortOutByInDegree()
+	}
 	l := idx.snapshotLayout()
 	bw := bufio.NewWriterSize(w, 64<<10)
 	if _, err := bw.Write(encodeSnapshotPrefix(l)); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
 	enc := newSectionEncoder(bw)
+	idx.writeIndexSections(enc)
+
+	outOff, outAdj, inOff, inAdj := idx.g.CSR()
+	for _, v := range outOff {
+		enc.u64(uint64(v))
+	}
+	enc.pad()
+	for _, v := range outAdj {
+		enc.u32(uint32(v))
+	}
+	enc.pad()
+	for _, v := range inOff {
+		enc.u64(uint64(v))
+	}
+	enc.pad()
+	for _, v := range inAdj {
+		enc.u32(uint32(v))
+	}
+	enc.pad()
+	if l.HasLabels {
+		off := uint64(0)
+		for _, s := range idx.g.Labels() {
+			enc.u64(off)
+			off += uint64(len(s))
+		}
+		enc.u64(off)
+		for _, s := range idx.g.Labels() {
+			enc.raw([]byte(s))
+		}
+		enc.pad()
+	}
+	return finishSave(bw, enc)
+}
+
+// SaveV2 writes the index alone in the legacy snapshot v2 format (flat index
+// sections, no embedded graph). It is kept so newer builders can feed older
+// deployments and so the v2 load path stays testable; new code should use
+// Save, which writes the self-contained v3 format.
+func (idx *Index) SaveV2(w io.Writer) error {
+	l := idx.snapshotLayoutV2()
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.Write(encodeSnapshotPrefix(l)); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
+	}
+	enc := newSectionEncoder(bw)
+	idx.writeIndexSections(enc)
+	return finishSave(bw, enc)
+}
+
+// writeIndexSections emits the five index sections shared by v2 and v3. Every
+// section length is a multiple of 8, so no padding is needed between them.
+func (idx *Index) writeIndexSections(enc *sectionEncoder) {
 	for _, p := range idx.pi {
 		enc.u64(math.Float64bits(p))
 	}
@@ -40,6 +102,10 @@ func (idx *Index) Save(w io.Writer) error {
 		enc.u64(uint64(uint32(e.Node)))
 		enc.u64(math.Float64bits(e.Reserve))
 	}
+}
+
+// finishSave flushes the encoder and appends the CRC trailer.
+func finishSave(bw *bufio.Writer, enc *sectionEncoder) error {
 	if err := enc.finish(); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
@@ -54,26 +120,63 @@ func (idx *Index) Save(w io.Writer) error {
 	return nil
 }
 
-// sectionEncoder batches little-endian u64 writes and feeds every flushed
-// chunk to both the output and the running section checksum. Errors are
-// sticky, so callers check once at the end instead of on every element (the
-// v1 writer silently dropped binary.Write errors; this propagates them).
+// sectionEncoder batches little-endian writes and feeds every flushed chunk
+// to both the output and the running section checksum. Errors are sticky, so
+// callers check once at the end instead of on every element (the v1 writer
+// silently dropped binary.Write errors; this propagates them).
 type sectionEncoder struct {
-	w   io.Writer
-	crc hash.Hash32
-	buf []byte
-	err error
+	w       io.Writer
+	crc     hash.Hash32
+	buf     []byte
+	written uint64 // total payload bytes emitted, for 8-byte padding
+	err     error
 }
 
 func newSectionEncoder(w io.Writer) *sectionEncoder {
 	return &sectionEncoder{w: w, crc: crc32.New(crcTable), buf: make([]byte, 0, 64<<10)}
 }
 
-func (e *sectionEncoder) u64(v uint64) {
-	if len(e.buf) == cap(e.buf) {
+// ensure flushes if fewer than n bytes of buffer room remain.
+func (e *sectionEncoder) ensure(n int) {
+	if len(e.buf)+n > cap(e.buf) {
 		e.flush()
 	}
+}
+
+func (e *sectionEncoder) u64(v uint64) {
+	e.ensure(8)
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+	e.written += 8
+}
+
+func (e *sectionEncoder) u32(v uint32) {
+	e.ensure(4)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+	e.written += 4
+}
+
+// raw appends arbitrary bytes (the label blob).
+func (e *sectionEncoder) raw(p []byte) {
+	for len(p) > 0 {
+		e.ensure(1)
+		n := cap(e.buf) - len(e.buf)
+		if n > len(p) {
+			n = len(p)
+		}
+		e.buf = append(e.buf, p[:n]...)
+		p = p[n:]
+		e.written += uint64(n)
+	}
+}
+
+// pad writes zero bytes up to the next 8-byte boundary, matching the aligned
+// section offsets computed by snapshotLayout.
+func (e *sectionEncoder) pad() {
+	for e.written%8 != 0 {
+		e.ensure(1)
+		e.buf = append(e.buf, 0)
+		e.written++
+	}
 }
 
 func (e *sectionEncoder) flush() {
@@ -106,53 +209,88 @@ func (idx *Index) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadIndex reads an index previously written with Save, accepting both the
-// legacy v1 element-streamed format and the current v2 snapshot format. The
-// graph must be the same graph (same node count and edges) the index was
-// built from. For near-instant zero-copy loading of v2 files from disk, use
-// internal/snapshot instead.
+// LoadIndex reads an index previously written with Save, accepting the
+// current v3 snapshot format as well as the legacy v2 (index-only) and v1
+// (element-streamed) formats. The graph must be the same graph (same node
+// count and edges) the index was built from; for self-contained v3 files the
+// embedded graph sections are checksummed and cross-checked against it but g
+// remains the graph queries run on. To reconstruct the graph *from* a v3
+// file, use LoadSelfContained. For near-instant zero-copy loading from disk,
+// use internal/snapshot instead.
 func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	_, idx, err := loadIndexMaybeGraph(r, g)
+	return idx, err
+}
+
+// LoadSelfContained reads a self-contained v3 snapshot and reconstructs both
+// the graph and the index from it. It fails for v1/v2 files, which do not
+// embed the graph.
+func LoadSelfContained(r io.Reader) (*graph.Graph, *Index, error) {
+	return loadIndexMaybeGraph(r, nil)
+}
+
+// loadIndexMaybeGraph is the shared streaming loader. When g is nil the file
+// must be v3 and the embedded graph is reconstructed; when g is supplied it
+// is used as the index's graph (v3 graph sections are then decoded only to
+// feed the checksum and cross-check the shape).
+func loadIndexMaybeGraph(r io.Reader, g *graph.Graph) (*graph.Graph, *Index, error) {
 	br := bufio.NewReaderSize(r, 64<<10)
 	var head [16]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", err)
+		return nil, nil, fmt.Errorf("core: loading index: %w", err)
 	}
 	magic := binary.LittleEndian.Uint64(head[:8])
 	version := binary.LittleEndian.Uint64(head[8:])
 	if magic != indexMagic {
-		return nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", magic)
+		return nil, nil, fmt.Errorf("core: not a PRSim index file (magic %#x)", magic)
 	}
-	switch version {
-	case indexVersionV1:
-		return loadV1(br, g)
-	case indexVersionV2:
-		prefix := make([]byte, snapshotSectionsStart)
-		copy(prefix, head[:])
-		if _, err := io.ReadFull(br, prefix[16:]); err != nil {
-			return nil, fmt.Errorf("core: loading index: %w", err)
+	if version == indexVersionV1 {
+		if g == nil {
+			return nil, nil, fmt.Errorf("core: v1 index files do not embed the graph; supply one")
 		}
-		return loadV2(br, prefix, g)
-	default:
-		return nil, fmt.Errorf("core: unsupported index version %d", version)
+		idx, err := loadV1(br, g)
+		return g, idx, err
 	}
-}
-
-// loadV2 streams the section payload of a v2 snapshot, verifying the CRC
-// trailer as it goes. prefix is the already-read 208-byte header + table.
-func loadV2(r io.Reader, prefix []byte, g *graph.Graph) (*Index, error) {
+	prefixLen, err := snapshotPrefixBytes(version)
+	if err != nil {
+		return nil, nil, err
+	}
+	prefix := make([]byte, prefixLen)
+	copy(prefix, head[:])
+	if _, err := io.ReadFull(br, prefix[16:]); err != nil {
+		return nil, nil, fmt.Errorf("core: loading index: %w", err)
+	}
 	l, err := parseSnapshotPrefix(prefix)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if int(l.NNodes) != g.N() {
-		return nil, fmt.Errorf("core: index built for %d nodes but graph has %d", l.NNodes, g.N())
+	if !l.HasGraph() && g == nil {
+		return nil, nil, fmt.Errorf("core: v%d index files do not embed the graph; supply one", version)
 	}
-	// NNodes and NumHubs are bounded by the (trusted) graph at this point,
-	// so their sections are allocated up front. NumLevels and NumEntries are
-	// header-controlled and unbounded: those sections grow by appending as
-	// bytes actually arrive, so a hostile or corrupt header claiming 2^47
-	// entries costs a truncated-read error, not a giant allocation.
-	idx := &Index{g: g, opts: l.Opts}
+	return loadSections(br, l, g)
+}
+
+// loadSections streams the section payload of a v2/v3 snapshot, verifying the
+// CRC trailer as it goes.
+func loadSections(r io.Reader, l *SnapshotLayout, g *graph.Graph) (*graph.Graph, *Index, error) {
+	if g != nil {
+		if int(l.NNodes) != g.N() {
+			return nil, nil, fmt.Errorf("core: index built for %d nodes but graph has %d", l.NNodes, g.N())
+		}
+		if l.HasGraph() && int(l.NumEdges) != g.M() {
+			return nil, nil, fmt.Errorf("core: snapshot graph has %d edges but supplied graph has %d", l.NumEdges, g.M())
+		}
+	}
+	// NNodes and NumHubs are bounded (NumHubs <= NNodes, and NNodes by the
+	// trusted graph when one is supplied), so their sections are allocated up
+	// front. NumLevels and NumEntries are header-controlled and unbounded:
+	// those sections grow by appending as bytes actually arrive, so a hostile
+	// or corrupt header claiming 2^47 entries costs a truncated-read error,
+	// not a giant allocation.
+	idx := &Index{opts: l.Opts}
 	idx.pi = make([]float64, 0, l.NNodes)
 	idx.hubOrder = make([]int, 0, l.NumHubs)
 	idx.hubLevelPos = make([]uint64, 0, l.NumHubs+1)
@@ -181,21 +319,137 @@ func loadV2(r io.Reader, prefix []byte, g *graph.Graph) (*Index, error) {
 		}
 		lo = !lo
 	})
+
+	if l.HasGraph() {
+		eg, err := decodeGraphSections(dec, l, g == nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if g == nil {
+			g = eg
+		}
+	}
 	if dec.err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", dec.err)
+		return nil, nil, fmt.Errorf("core: loading index: %w", dec.err)
 	}
 	var trailer [snapshotTrailerBytes]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", err)
+		return nil, nil, fmt.Errorf("core: loading index: %w", err)
 	}
 	want := binary.LittleEndian.Uint64(trailer[:])
 	if got := uint64(dec.crc.Sum32()); got != want {
-		return nil, fmt.Errorf("core: snapshot checksum mismatch: file says %#x, computed %#x", want, got)
+		return nil, nil, fmt.Errorf("core: snapshot checksum mismatch: file says %#x, computed %#x", want, got)
 	}
+	idx.g = g
 	if err := idx.finishLoad(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return idx, nil
+	return g, idx, nil
+}
+
+// decodeGraphSections streams the v3 graph sections. When build is false the
+// bytes are still consumed (they feed the checksum) but no graph is
+// materialized.
+func decodeGraphSections(dec *sectionDecoder, l *SnapshotLayout, build bool) (*graph.Graph, error) {
+	var outOff, inOff []int
+	var outAdj, inAdj []int32
+	if build {
+		outOff = make([]int, 0, l.NNodes+1)
+		inOff = make([]int, 0, l.NNodes+1)
+		outAdj = growCap[int32](l.NumEdges)
+		inAdj = growCap[int32](l.NumEdges)
+	}
+	discard64 := func(uint64) {}
+	discard32 := func(uint32) {}
+
+	emit64 := func(dst *[]int) func(uint64) {
+		if !build {
+			return discard64
+		}
+		return func(v uint64) { *dst = append(*dst, int(v)) }
+	}
+	emit32 := func(dst *[]int32) func(uint32) {
+		if !build {
+			return discard32
+		}
+		return func(v uint32) { *dst = append(*dst, int32(v)) }
+	}
+	dec.section(l.Sections[sectionGraphOutOff].Len, emit64(&outOff))
+	dec.section32(l.Sections[sectionGraphOutAdj].Len, emit32(&outAdj))
+	dec.section(l.Sections[sectionGraphInOff].Len, emit64(&inOff))
+	dec.section32(l.Sections[sectionGraphInAdj].Len, emit32(&inAdj))
+
+	var labelOffsets []uint64
+	var labelBlob []byte
+	if l.HasLabels && build {
+		labelOffsets = make([]uint64, 0, l.NNodes+1)
+		labelBlob = growCap[byte](l.LabelBytes)
+	}
+	dec.section(l.Sections[sectionLabelOffsets].Len, func(v uint64) {
+		if build {
+			labelOffsets = append(labelOffsets, v)
+		}
+	})
+	dec.raw(l.Sections[sectionLabelBlob].Len, func(p []byte) {
+		if build {
+			labelBlob = append(labelBlob, p...)
+		}
+	})
+	if dec.err != nil || !build {
+		return nil, nil
+	}
+	if !l.OutSorted {
+		// Cannot happen for files written by Save, which sorts first; reject
+		// rather than silently serving the wrong walk order.
+		return nil, fmt.Errorf("core: snapshot graph is not sorted by head in-degree")
+	}
+	eg, err := graph.FromCSR(outOff, outAdj, inOff, inAdj, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot graph: %w", err)
+	}
+	if l.HasLabels {
+		labels, err := labelsFromTable(labelOffsets, labelBlob)
+		if err != nil {
+			return nil, err
+		}
+		if err := eg.SetLabels(labels); err != nil {
+			return nil, fmt.Errorf("core: snapshot labels: %w", err)
+		}
+	}
+	return eg, nil
+}
+
+// labelsFromTable materializes the label table: offsets are prefix sums into
+// the concatenated blob.
+func labelsFromTable(offsets []uint64, blob []byte) ([]string, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("core: snapshot label table has no offsets")
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("core: snapshot label offsets start at %d, want 0", offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("core: snapshot label offsets decrease at %d", i-1)
+		}
+	}
+	if offsets[len(offsets)-1] != uint64(len(blob)) {
+		return nil, fmt.Errorf("core: snapshot label offsets cover %d bytes, blob has %d",
+			offsets[len(offsets)-1], len(blob))
+	}
+	labels := make([]string, len(offsets)-1)
+	for i := range labels {
+		labels[i] = string(blob[offsets[i]:offsets[i+1]])
+	}
+	return labels, nil
+}
+
+// LabelsFromSections is the mmap-side twin of the streaming label decoder:
+// it materializes heap strings from zero-copy section views, so labels stay
+// valid after the mapping is closed. Exported within the module for
+// internal/snapshot.
+func LabelsFromSections(offsets []uint64, blob []byte) ([]string, error) {
+	return labelsFromTable(offsets, blob)
 }
 
 // growCap returns an empty slice whose initial capacity is count clamped to
@@ -211,20 +465,50 @@ func growCap[T any](count uint64) []T {
 }
 
 // sectionDecoder reads section payloads in large chunks, updating the
-// running CRC and handing each little-endian u64 to the caller. Its chunk
-// size is a multiple of 16, so no element ever straddles a refill.
+// running CRC and handing the decoded elements to the caller. Its chunk size
+// is a multiple of 16, so no 4-, 8- or 16-byte element ever straddles a
+// refill. After every section it consumes the zero padding up to the next
+// 8-byte boundary (a no-op for v2 files, whose sections are all 8-aligned).
 type sectionDecoder struct {
-	r       io.Reader
-	crc     hash.Hash32
-	scratch []byte
-	err     error
+	r        io.Reader
+	crc      hash.Hash32
+	scratch  []byte
+	consumed uint64 // payload bytes consumed, to locate padding
+	err      error
 }
 
 func newSectionDecoder(r io.Reader) *sectionDecoder {
 	return &sectionDecoder{r: r, crc: crc32.New(crcTable), scratch: make([]byte, 64<<10)}
 }
 
+// section reads byteLen bytes as little-endian u64s plus trailing padding.
 func (d *sectionDecoder) section(byteLen uint64, emit func(uint64)) {
+	d.chunks(byteLen, func(chunk []byte) {
+		for off := 0; off < len(chunk); off += 8 {
+			emit(binary.LittleEndian.Uint64(chunk[off:]))
+		}
+	})
+	d.skipPadding()
+}
+
+// section32 reads byteLen bytes as little-endian u32s plus trailing padding.
+func (d *sectionDecoder) section32(byteLen uint64, emit func(uint32)) {
+	d.chunks(byteLen, func(chunk []byte) {
+		for off := 0; off < len(chunk); off += 4 {
+			emit(binary.LittleEndian.Uint32(chunk[off:]))
+		}
+	})
+	d.skipPadding()
+}
+
+// raw reads byteLen arbitrary bytes plus trailing padding.
+func (d *sectionDecoder) raw(byteLen uint64, emit func([]byte)) {
+	d.chunks(byteLen, emit)
+	d.skipPadding()
+}
+
+// chunks feeds byteLen bytes through the CRC and emit in scratch-sized runs.
+func (d *sectionDecoder) chunks(byteLen uint64, emit func([]byte)) {
 	for byteLen > 0 && d.err == nil {
 		n := uint64(len(d.scratch))
 		if byteLen < n {
@@ -236,11 +520,25 @@ func (d *sectionDecoder) section(byteLen uint64, emit func(uint64)) {
 			return
 		}
 		d.crc.Write(chunk)
-		for off := 0; off < len(chunk); off += 8 {
-			emit(binary.LittleEndian.Uint64(chunk[off:]))
-		}
+		emit(chunk)
+		d.consumed += n
 		byteLen -= n
 	}
+}
+
+// skipPadding consumes the zero bytes aligning the next section to 8 bytes.
+func (d *sectionDecoder) skipPadding() {
+	if d.err != nil || d.consumed%8 == 0 {
+		return
+	}
+	pad := 8 - d.consumed%8
+	var buf [8]byte
+	if _, err := io.ReadFull(d.r, buf[:pad]); err != nil {
+		d.err = err
+		return
+	}
+	d.crc.Write(buf[:pad])
+	d.consumed += pad
 }
 
 // loadV1 reads the legacy element-streamed format (everything after the
@@ -357,8 +655,8 @@ func loadV1(br *bufio.Reader, g *graph.Graph) (*Index, error) {
 }
 
 // NewIndexFromSnapshot assembles an Index whose slice backing was produced
-// elsewhere — typically zero-copy views over an mmap'd v2 snapshot built by
-// internal/snapshot. It validates the slices against the layout and the
+// elsewhere — typically zero-copy views over an mmap'd v2/v3 snapshot built
+// by internal/snapshot. It validates the slices against the layout and the
 // graph, then derives the in-memory bookkeeping (hub ranks, stats). The
 // returned index aliases the supplied slices; they must stay valid (mapped)
 // for the index's lifetime.
@@ -395,7 +693,7 @@ func NewIndexFromSnapshot(g *graph.Graph, l *SnapshotLayout, pi []float64, hubOr
 // slices: it validates the offset-array invariants (HubEntries slices the
 // slab with them, so corrupt offsets must be rejected up front), rebuilds
 // hubRank, recomputes stats, and re-validates the loaded options. It runs
-// identically for streaming v1/v2 loads and mmap-backed snapshots.
+// identically for streaming v1/v2/v3 loads and mmap-backed snapshots.
 func (idx *Index) finishLoad() error {
 	g := idx.g
 	n := g.N()
@@ -465,4 +763,15 @@ func LoadIndexFile(path string, g *graph.Graph) (*Index, error) {
 	}
 	defer f.Close()
 	return LoadIndex(f, g)
+}
+
+// LoadSelfContainedFile reads a self-contained v3 snapshot from the given
+// path, reconstructing both graph and index.
+func LoadSelfContainedFile(path string) (*graph.Graph, *Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadSelfContained(f)
 }

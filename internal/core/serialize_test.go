@@ -104,3 +104,140 @@ func TestLoadIndexCorrupt(t *testing.T) {
 		t.Errorf("empty input should be an error")
 	}
 }
+
+// TestSaveV2RoundTrip keeps the legacy index-only writer and the v2 load
+// path covered now that Save writes self-contained v3 files.
+func TestSaveV2RoundTrip(t *testing.T) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.05, NumHubs: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	var v2 bytes.Buffer
+	if err := idx.SaveV2(&v2); err != nil {
+		t.Fatalf("SaveV2: %v", err)
+	}
+	if v, err := SnapshotFileVersion(v2.Bytes()); err != nil || v != indexVersionV2 {
+		t.Fatalf("SaveV2 wrote version %d (err %v), want 2", v, err)
+	}
+	loaded, err := LoadIndex(bytes.NewReader(v2.Bytes()), g)
+	if err != nil {
+		t.Fatalf("LoadIndex (v2): %v", err)
+	}
+	if loaded.NumHubs() != idx.NumHubs() || loaded.SizeEntries() != idx.SizeEntries() {
+		t.Errorf("v2 round trip lost shape: hubs %d/%d entries %d/%d",
+			loaded.NumHubs(), idx.NumHubs(), loaded.SizeEntries(), idx.SizeEntries())
+	}
+	// v2 files cannot self-load: no embedded graph.
+	if _, _, err := LoadSelfContained(bytes.NewReader(v2.Bytes())); err == nil {
+		t.Errorf("LoadSelfContained accepted a v2 file with no embedded graph")
+	}
+	// A v2-loaded index must answer bit-identically to the v3 round trip.
+	var v3 bytes.Buffer
+	if err := idx.Save(&v3); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fromV3, err := LoadIndex(bytes.NewReader(v3.Bytes()), g)
+	if err != nil {
+		t.Fatalf("LoadIndex (v3): %v", err)
+	}
+	a, err := loaded.Query(0)
+	if err != nil {
+		t.Fatalf("Query (v2): %v", err)
+	}
+	b, err := fromV3.Query(0)
+	if err != nil {
+		t.Fatalf("Query (v3): %v", err)
+	}
+	if len(a.Scores) != len(b.Scores) {
+		t.Fatalf("support differs: v2 %d, v3 %d", len(a.Scores), len(b.Scores))
+	}
+	for v, s := range a.Scores {
+		if b.Scores[v] != s {
+			t.Errorf("score of %d differs: v2 %v, v3 %v", v, s, b.Scores[v])
+		}
+	}
+}
+
+// TestLoadSelfContained reconstructs graph and index from one v3 stream and
+// checks the graph structure and label table survive byte-for-byte.
+func TestLoadSelfContained(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddEdgeLabels("u", "v")
+	b.AddEdgeLabels("v", "w")
+	b.AddEdgeLabels("w", "u")
+	b.AddEdgeLabels("x", "u")
+	g := b.MustBuild()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.2, Seed: 4})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	lg, lidx, err := LoadSelfContained(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSelfContained: %v", err)
+	}
+	if lg.N() != g.N() || lg.M() != g.M() {
+		t.Fatalf("graph shape %d/%d, want %d/%d", lg.N(), lg.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		a, bNbrs := g.OutNeighbors(v), lg.OutNeighbors(v)
+		if len(a) != len(bNbrs) {
+			t.Fatalf("node %d out-degree %d vs %d", v, len(a), len(bNbrs))
+		}
+		for i := range a {
+			if a[i] != bNbrs[i] {
+				t.Errorf("node %d out[%d] = %d, want %d", v, i, bNbrs[i], a[i])
+			}
+		}
+		ai, bi := g.InNeighbors(v), lg.InNeighbors(v)
+		if len(ai) != len(bi) {
+			t.Fatalf("node %d in-degree %d vs %d", v, len(ai), len(bi))
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				t.Errorf("node %d in[%d] = %d, want %d", v, i, bi[i], ai[i])
+			}
+		}
+	}
+	want := []string{"u", "v", "w", "x"}
+	labels := lg.Labels()
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("label %d = %q, want %q", i, labels[i], want[i])
+		}
+	}
+	if lidx.NumHubs() != idx.NumHubs() {
+		t.Errorf("hubs %d, want %d", lidx.NumHubs(), idx.NumHubs())
+	}
+	if _, err := lidx.Query(0); err != nil {
+		t.Fatalf("query on self-loaded index: %v", err)
+	}
+}
+
+// TestSaveDeterministic pins the byte-for-byte reproducibility of the v3
+// writer: saving the same index twice must produce identical files (CI's
+// snapshot round-trip smoke diff relies on this).
+func TestSaveDeterministic(t *testing.T) {
+	g := fixtureGraph()
+	idx, err := BuildIndex(g, Options{Epsilon: 0.1, NumHubs: 2, Seed: 9})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := idx.Save(&a); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := idx.Save(&b); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two saves of one index differ (%d vs %d bytes)", a.Len(), b.Len())
+	}
+}

@@ -3,7 +3,7 @@
 // independent (Wei et al., SIGMOD 2019), which makes them embarrassingly
 // parallel: the engine bounds concurrency with a worker semaphore, fans
 // batched multi-source queries out over a small worker pool, and optionally
-// memoizes results in an LRU cache keyed by (source, epsilon).
+// memoizes results in an LRU cache keyed by (generation, source, epsilon).
 //
 // Every query draws its scratch state from the index's internal sync.Pool, so
 // a worker that stays busy performs near-zero per-query allocation. Results
@@ -11,11 +11,19 @@
 // scheduling: each source's random stream is derived from (seed, source)
 // only, so Engine.QueryBatch returns bit-identical scores to sequential
 // Index.Query calls.
+//
+// The served index lives behind an atomically swappable handle: Swap installs
+// a new index (typically a freshly opened snapshot) without dropping
+// requests. Each query retains the handle's backing resource for its
+// duration, so the old snapshot's mapping survives until in-flight queries
+// drain, and the result cache is invalidated by the generation counter baked
+// into its keys.
 package engine
 
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +31,19 @@ import (
 
 	"prsim/internal/core"
 )
+
+// ErrIndexClosed is returned when the engine's current index backing has been
+// closed without a replacement being swapped in.
+var ErrIndexClosed = errors.New("engine: index backing closed")
+
+// Resource is the lifecycle hook of an index backing (a mmap'd snapshot).
+// Retain takes a reference for the duration of one query and reports false if
+// the backing has been closed; Release drops it. A nil Resource means the
+// index is heap-backed and needs no tracking.
+type Resource interface {
+	Retain() bool
+	Release()
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -33,12 +54,33 @@ type Options struct {
 	// negative disables caching. Cached results are shared: treat them (and
 	// their Scores maps) as read-only.
 	CacheSize int
+	// Resource is the lifecycle hook of the initial index's backing; nil for
+	// heap-backed indexes.
+	Resource Resource
+}
+
+// slot is one generation of the served index. Immutable once published.
+type slot struct {
+	idx *core.Index
+	res Resource // nil for heap-backed indexes
+	gen uint64
+}
+
+// acquire takes a query-scoped reference on the slot's backing.
+func (s *slot) acquire() bool { return s.res == nil || s.res.Retain() }
+
+// release drops the reference taken by acquire.
+func (s *slot) release() {
+	if s.res != nil {
+		s.res.Release()
+	}
 }
 
 // Engine is a concurrent query front-end over one PRSim index. It is safe for
 // use by multiple goroutines.
 type Engine struct {
-	idx     *core.Index
+	cur     atomic.Pointer[slot]
+	gen     atomic.Uint64
 	workers int
 	sem     chan struct{}
 	cache   *resultCache
@@ -47,9 +89,15 @@ type Engine struct {
 	cacheHits atomic.Int64
 	pairs     atomic.Int64
 	errors    atomic.Int64
+	swaps     atomic.Int64
+
+	// queryFn overrides the per-source query implementation; tests use it to
+	// force error interleavings that real queries cannot produce on demand.
+	queryFn func(ctx context.Context, s *slot, u int) (*core.Result, error)
 }
 
-// New builds an engine over idx.
+// New builds an engine over idx. opts.Resource, when non-nil, is retained
+// around every query so the backing can be closed safely after a Swap.
 func New(idx *core.Index, opts Options) (*Engine, error) {
 	if idx == nil {
 		return nil, fmt.Errorf("engine: nil index")
@@ -59,21 +107,65 @@ func New(idx *core.Index, opts Options) (*Engine, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		idx:     idx,
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 	}
 	if opts.CacheSize > 0 {
 		e.cache = newResultCache(opts.CacheSize)
 	}
+	e.cur.Store(&slot{idx: idx, res: opts.Resource, gen: 0})
 	return e, nil
 }
 
-// Index returns the wrapped index.
-func (e *Engine) Index() *core.Index { return e.idx }
+// Index returns the currently served index.
+func (e *Engine) Index() *core.Index { return e.cur.Load().idx }
+
+// Generation returns the swap generation of the currently served index,
+// starting at 0 and incremented by every Swap.
+func (e *Engine) Generation() uint64 { return e.cur.Load().gen }
 
 // Workers returns the concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// Swap atomically replaces the served index. In-flight queries finish against
+// the old index (its resource stays retained until they drain); new queries
+// see the new one immediately. The result cache is invalidated: generations
+// are baked into cache keys, and the old generation's entries are purged.
+//
+// The engine does not own the old backing: the caller closes it after Swap
+// returns (a refcounted backing then defers its teardown until the drained
+// queries release it).
+func (e *Engine) Swap(idx *core.Index, res Resource) error {
+	if idx == nil {
+		return fmt.Errorf("engine: nil index")
+	}
+	gen := e.gen.Add(1)
+	e.cur.Store(&slot{idx: idx, res: res, gen: gen})
+	e.swaps.Add(1)
+	if e.cache != nil {
+		e.cache.purge()
+	}
+	return nil
+}
+
+// acquire loads the current slot and retains its backing for one query. It
+// retries across a concurrent Swap and fails only when the current backing
+// has been closed without replacement.
+func (e *Engine) acquire() (*slot, error) {
+	for {
+		s := e.cur.Load()
+		if s.acquire() {
+			return s, nil
+		}
+		if e.cur.Load() == s {
+			// Nobody swapped a live index in; the backing was closed under
+			// the engine (an operator error, but one that must surface as an
+			// error, not a fault or a spin).
+			e.errors.Add(1)
+			return nil, ErrIndexClosed
+		}
+	}
+}
 
 // Query answers one single-source query, going through the worker semaphore
 // and the cache. The returned result may be shared with other callers when
@@ -86,20 +178,29 @@ func (e *Engine) Query(ctx context.Context, u int) (*core.Result, error) {
 		return nil, ctx.Err()
 	}
 	defer func() { <-e.sem }()
-	return e.query(ctx, u)
+	s, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return e.query(ctx, s, u)
 }
 
-// query runs one cached query; the caller holds a worker slot.
-func (e *Engine) query(ctx context.Context, u int) (*core.Result, error) {
+// query runs one cached query against the given slot; the caller holds a
+// worker token and a slot reference.
+func (e *Engine) query(ctx context.Context, s *slot, u int) (*core.Result, error) {
 	e.queries.Add(1)
-	key := cacheKey{source: u, epsilon: e.idx.Options().Epsilon}
+	if e.queryFn != nil {
+		return e.queryFn(ctx, s, u)
+	}
+	key := cacheKey{gen: s.gen, source: u, epsilon: s.idx.Options().Epsilon}
 	if e.cache != nil {
 		if res, ok := e.cache.get(key); ok {
 			e.cacheHits.Add(1)
 			return res, nil
 		}
 	}
-	res, err := e.idx.QueryCtx(ctx, u)
+	res, err := s.idx.QueryCtx(ctx, u)
 	if err != nil {
 		e.errors.Add(1)
 		return nil, err
@@ -111,13 +212,22 @@ func (e *Engine) query(ctx context.Context, u int) (*core.Result, error) {
 }
 
 // QueryBatch answers one query per source, in order, using up to Workers
-// goroutines. The batch shares the engine's cache, and results are
-// bit-identical to issuing the same queries sequentially. On the first error
-// the remaining queries are cancelled and the error is returned.
+// goroutines. The whole batch runs against one index generation (a
+// concurrent Swap affects only later batches), shares the engine's cache,
+// and returns results bit-identical to issuing the same queries
+// sequentially. On the first error the remaining queries are cancelled and
+// the error is returned; a real query failure always wins over the
+// context-cancellation errors it triggers in sibling workers.
 func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result, error) {
+	s, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+
 	// Validate every source up front so a bad id fails fast instead of
 	// surfacing mid-batch from an arbitrary worker.
-	g := e.idx.Graph()
+	g := s.idx.Graph()
 	for _, u := range sources {
 		if err := g.CheckNode(u); err != nil {
 			e.errors.Add(1)
@@ -135,12 +245,32 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Two error slots with a strict priority: a query's own failure is
+	// authoritative, while context errors (the parent's deadline, or the
+	// cancellation fan-out a failing sibling triggers) are only reported when
+	// no query failed. A single errOnce cannot express this: a worker parked
+	// on the semaphore can observe ctx.Done and record context.Canceled
+	// before the failing worker records the root cause, masking it.
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64
-		errOnce  sync.Once
-		batchErr error
+		mu       sync.Mutex
+		queryErr error // first non-context query failure
+		ctxErr   error // first context-derived abort
 	)
+	record := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			return
+		}
+		if queryErr == nil {
+			queryErr = err
+		}
+	}
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -154,16 +284,14 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 				select {
 				case e.sem <- struct{}{}:
 				case <-ctx.Done():
-					errOnce.Do(func() { batchErr = ctx.Err() })
+					record(ctx.Err())
 					return
 				}
-				res, err := e.query(ctx, sources[i])
+				res, err := e.query(ctx, s, sources[i])
 				<-e.sem
 				if err != nil {
-					errOnce.Do(func() {
-						batchErr = fmt.Errorf("engine: query from source %d: %w", sources[i], err)
-						cancel()
-					})
+					record(fmt.Errorf("engine: query from source %d: %w", sources[i], err))
+					cancel()
 					return
 				}
 				results[i] = res
@@ -171,14 +299,18 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 		}()
 	}
 	wg.Wait()
-	if batchErr != nil {
-		return nil, batchErr
+	if queryErr != nil {
+		return nil, queryErr
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return results, nil
 }
 
 // TopK answers a single-source query and returns its k best nodes (excluding
 // the source), ordered by descending score with ties broken by node id.
+// Negative k is clamped to zero.
 func (e *Engine) TopK(ctx context.Context, u, k int) ([]core.ScoredNode, error) {
 	res, err := e.Query(ctx, u)
 	if err != nil {
@@ -197,18 +329,28 @@ func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
 		return 0, ctx.Err()
 	}
 	defer func() { <-e.sem }()
+	s, err := e.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer s.release()
 	e.pairs.Add(1)
-	s, err := e.idx.QueryPairCtx(ctx, u, v)
+	score, err := s.idx.QueryPairCtx(ctx, u, v)
 	if err != nil {
 		e.errors.Add(1)
 	}
-	return s, err
+	return score, err
 }
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
 	// Workers is the concurrency bound.
 	Workers int
+	// Generation is the swap generation of the served index (0 until the
+	// first Swap).
+	Generation uint64
+	// Swaps counts index swaps performed.
+	Swaps int64
 	// Queries counts single-source queries answered, including cache hits.
 	Queries int64
 	// CacheHits counts queries answered from the LRU cache.
@@ -225,6 +367,8 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:     e.workers,
+		Generation:  e.cur.Load().gen,
+		Swaps:       e.swaps.Load(),
 		Queries:     e.queries.Load(),
 		CacheHits:   e.cacheHits.Load(),
 		PairQueries: e.pairs.Load(),
@@ -238,8 +382,11 @@ func (e *Engine) Stats() Stats {
 
 // cacheKey identifies one cached single-source result. Epsilon rides along so
 // engines over re-tuned indexes (or a future per-query epsilon override)
-// never collide.
+// never collide; the generation guarantees results computed against a
+// swapped-out index can never serve the new one, even if an in-flight query
+// inserts after the swap's purge.
 type cacheKey struct {
+	gen     uint64
 	source  int
 	epsilon float64
 }
@@ -290,6 +437,14 @@ func (c *resultCache) put(key cacheKey, res *core.Result) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// purge drops every cached result (hot-swap invalidation).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
 }
 
 func (c *resultCache) len() int {

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"prsim/internal/core"
@@ -268,6 +270,306 @@ func TestPair(t *testing.T) {
 	if got := e.Stats().PairQueries; got != 2 {
 		t.Errorf("PairQueries = %d, want 2", got)
 	}
+}
+
+// TestQueryBatchRealErrorWinsOverCancellation is the regression test for the
+// error-masking race: a worker that observes context.Canceled (triggered by a
+// failing sibling's cancel fan-out, or by the parent) must not hide the
+// sibling's real error. The query hook forces the masking interleaving
+// deterministically — the context error is recorded strictly before the real
+// one — which the old single-errOnce implementation lost. Run under -race.
+func TestQueryBatchRealErrorWinsOverCancellation(t *testing.T) {
+	idx := testIndex(t, 100)
+	e, err := New(idx, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	realErr := errors.New("page fault reading entry slab")
+	inQuery := make(chan struct{})
+	e.queryFn = func(ctx context.Context, s *slot, u int) (*core.Result, error) {
+		if u == 1 {
+			// The genuinely failing worker: parked mid-query until the
+			// cancellation fan-out reaches it, so its real error is recorded
+			// strictly AFTER the sibling's context error.
+			close(inQuery)
+			<-ctx.Done()
+			return nil, realErr
+		}
+		// The sibling: waits until the failing worker is inside its query
+		// (so it cannot be skipped by the semaphore select), then aborts
+		// with the context error and triggers cancel.
+		<-inQuery
+		return nil, context.Canceled
+	}
+	_, err = e.QueryBatch(context.Background(), []int{0, 1})
+	if err == nil {
+		t.Fatal("expected batch error")
+	}
+	if !errors.Is(err, realErr) {
+		t.Fatalf("batch error = %v, want the real query error to win over context.Canceled", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error %v still reports cancellation", err)
+	}
+}
+
+// TestQueryBatchPureCancellationStillReported: when every failure is
+// context-derived (nobody had a real error), the context error must still
+// surface.
+func TestQueryBatchPureCancellationStillReported(t *testing.T) {
+	idx := testIndex(t, 100)
+	e, err := New(idx, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e.queryFn = func(qctx context.Context, s *slot, u int) (*core.Result, error) {
+		cancel()
+		<-qctx.Done()
+		return nil, qctx.Err()
+	}
+	if _, err := e.QueryBatch(ctx, []int{0, 1, 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+}
+
+// fakeResource counts retains and releases and can be flipped closed,
+// standing in for a snapshot backing.
+type fakeResource struct {
+	retains  atomic.Int64
+	releases atomic.Int64
+	closed   atomic.Bool
+}
+
+func (f *fakeResource) Retain() bool {
+	if f.closed.Load() {
+		return false
+	}
+	f.retains.Add(1)
+	return true
+}
+
+func (f *fakeResource) Release() { f.releases.Add(1) }
+
+// TestSwapGenerationAndCache checks the hot-swap seam: the generation
+// increments, the old generation's cache entries never serve the new index,
+// and queries flow to the new index immediately.
+func TestSwapGenerationAndCache(t *testing.T) {
+	idxA := testIndex(t, 150)
+	idxB := testIndex(t, 150)
+	e, err := New(idxA, Options{Workers: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	a1, err := e.Query(ctx, 3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	a2, err := e.Query(ctx, 3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if a1 != a2 {
+		t.Fatal("expected cache hit before swap")
+	}
+	if g := e.Generation(); g != 0 {
+		t.Fatalf("Generation = %d before swap, want 0", g)
+	}
+
+	if err := e.Swap(idxB, nil); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if g := e.Generation(); g != 1 {
+		t.Fatalf("Generation = %d after swap, want 1", g)
+	}
+	if e.Index() != idxB {
+		t.Fatal("Index() still returns the old index after Swap")
+	}
+	b1, err := e.Query(ctx, 3)
+	if err != nil {
+		t.Fatalf("Query after swap: %v", err)
+	}
+	if b1 == a1 {
+		t.Fatal("cache served a result computed against the swapped-out index")
+	}
+	st := e.Stats()
+	if st.Swaps != 1 || st.Generation != 1 {
+		t.Errorf("Stats swaps/generation = %d/%d, want 1/1", st.Swaps, st.Generation)
+	}
+	if err := e.Swap(nil, nil); err == nil {
+		t.Error("Swap(nil) should fail")
+	}
+}
+
+// TestSwapRetainsResourcePerQuery checks the refcount choreography: every
+// query retains/releases the slot's resource exactly once, swapped-out
+// resources stop being retained, and a closed current resource surfaces
+// ErrIndexClosed instead of a dead handle.
+func TestSwapRetainsResourcePerQuery(t *testing.T) {
+	idxA := testIndex(t, 100)
+	idxB := testIndex(t, 100)
+	resA, resB := &fakeResource{}, &fakeResource{}
+	e, err := New(idxA, Options{Workers: 2, Resource: resA})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(ctx, i); err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+	}
+	if _, err := e.QueryBatch(ctx, []int{0, 1, 2, 3}); err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if _, err := e.Pair(ctx, 0, 1); err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	if r, rel := resA.retains.Load(), resA.releases.Load(); r != rel || r == 0 {
+		t.Fatalf("resource A retains/releases = %d/%d, want equal and non-zero", r, rel)
+	}
+
+	if err := e.Swap(idxB, resB); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	before := resA.retains.Load()
+	if _, err := e.Query(ctx, 5); err != nil {
+		t.Fatalf("Query after swap: %v", err)
+	}
+	if resA.retains.Load() != before {
+		t.Error("swapped-out resource still being retained by new queries")
+	}
+	if r, rel := resB.retains.Load(), resB.releases.Load(); r != rel || r == 0 {
+		t.Fatalf("resource B retains/releases = %d/%d, want equal and non-zero", r, rel)
+	}
+
+	// Closing the *current* backing without a replacement must error cleanly.
+	resB.closed.Store(true)
+	if _, err := e.Query(ctx, 1); !errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("Query on closed backing = %v, want ErrIndexClosed", err)
+	}
+	if _, err := e.QueryBatch(ctx, []int{1}); !errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("QueryBatch on closed backing = %v, want ErrIndexClosed", err)
+	}
+	if _, err := e.Pair(ctx, 0, 1); !errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("Pair on closed backing = %v, want ErrIndexClosed", err)
+	}
+}
+
+// TestSwapUnderLoad hammers queries while swapping between two indexes (run
+// under -race in CI): every query must succeed against whichever index it
+// acquired, and resource retains must balance releases when the dust
+// settles.
+func TestSwapUnderLoad(t *testing.T) {
+	idxA := testIndex(t, 120)
+	idxB := testIndex(t, 120)
+	resA, resB := &fakeResource{}, &fakeResource{}
+	e, err := New(idxA, Options{Workers: 4, CacheSize: 16, Resource: resA})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.Query(ctx, (w*31+i)%120); err != nil {
+					t.Errorf("query during swaps: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 20; s++ {
+		idx, res := idxB, resB
+		if s%2 == 1 {
+			idx, res = idxA, resA
+		}
+		if err := e.Swap(idx, res); err != nil {
+			t.Fatalf("Swap %d: %v", s, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if r, rel := resA.retains.Load(), resA.releases.Load(); r != rel {
+		t.Errorf("resource A retains/releases = %d/%d after drain", r, rel)
+	}
+	if r, rel := resB.retains.Load(), resB.releases.Load(); r != rel {
+		t.Errorf("resource B retains/releases = %d/%d after drain", r, rel)
+	}
+	if g := e.Generation(); g != 20 {
+		t.Errorf("Generation = %d, want 20", g)
+	}
+}
+
+// TestCachedResultSharedReadOnly locks in the "cached results are shared,
+// treat as read-only" contract: many goroutines run the read-side accessors
+// (TopK, AsSlice, Score) against the same cached *Result while other
+// goroutines keep hitting the cache for it. Run under -race in CI.
+func TestCachedResultSharedReadOnly(t *testing.T) {
+	idx := testIndex(t, 150)
+	e, err := New(idx, Options{Workers: 4, CacheSize: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	shared, err := e.Query(ctx, 9)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	n := idx.Graph().N()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				top := shared.TopK(5 + w%3)
+				for j := 1; j < len(top); j++ {
+					if top[j].Score > top[j-1].Score {
+						t.Errorf("TopK unsorted on shared result")
+						return
+					}
+				}
+				vec := shared.AsSlice(n)
+				if len(vec) != n {
+					t.Errorf("AsSlice length %d, want %d", len(vec), n)
+					return
+				}
+				if s := shared.Score(shared.Source); s != 1 {
+					t.Errorf("self-score = %v, want 1", s)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				got, err := e.Query(ctx, 9)
+				if err != nil {
+					t.Errorf("cached query: %v", err)
+					return
+				}
+				if got != shared {
+					t.Errorf("cache returned a different result mid-run")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestNewValidation(t *testing.T) {

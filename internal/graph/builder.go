@@ -102,6 +102,11 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, fmt.Errorf("graph: build: %w", err)
 	}
 	g.SortOutByInDegree()
+	if b.names != nil {
+		if err := g.SetLabels(b.names); err != nil {
+			return nil, fmt.Errorf("graph: build: %w", err)
+		}
+	}
 	return g, nil
 }
 

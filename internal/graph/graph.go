@@ -33,6 +33,12 @@ type Graph struct {
 
 	// outSorted records whether outAdj has been sorted by head in-degree.
 	outSorted bool
+
+	// labels holds the original node labels in dense-id order when the graph
+	// was built from labelled input; nil otherwise. Carried here (rather than
+	// only in the builder) so self-contained snapshots can embed and restore
+	// the label table alongside the adjacency structure.
+	labels []string
 }
 
 // ErrInvalidNode is returned when a node identifier is outside [0, N()).
@@ -142,7 +148,90 @@ func (g *Graph) Clone() *Graph {
 		inAdj:     append([]int32(nil), g.inAdj...),
 		outSorted: g.outSorted,
 	}
+	if g.labels != nil {
+		cp.labels = append([]string(nil), g.labels...)
+	}
 	return cp
+}
+
+// Labels returns the node labels in dense-id order, or nil when the graph was
+// built from unlabelled input. The slice aliases the graph's storage; treat it
+// as read-only.
+func (g *Graph) Labels() []string { return g.labels }
+
+// SetLabels attaches node labels in dense-id order. labels must be nil (clear)
+// or hold exactly N() entries.
+func (g *Graph) SetLabels(labels []string) error {
+	if labels != nil && len(labels) != g.n {
+		return fmt.Errorf("graph: %d labels for %d nodes", len(labels), g.n)
+	}
+	g.labels = labels
+	return nil
+}
+
+// CSR exposes the raw compressed-sparse-row arrays backing the graph: the
+// out-adjacency (offsets + targets) and in-adjacency (offsets + sources).
+// All four slices alias the graph's storage and must not be modified; they
+// exist so serializers can write the adjacency structure without an
+// edge-by-edge traversal.
+func (g *Graph) CSR() (outOff []int, outAdj []int32, inOff []int, inAdj []int32) {
+	return g.outOff, g.outAdj, g.inOff, g.inAdj
+}
+
+// FromCSR assembles a graph directly over externally-owned CSR slices —
+// typically zero-copy views over a memory-mapped snapshot — without copying
+// them. The graph aliases the supplied slices, which must stay valid (and
+// unmodified) for the graph's lifetime; when they view a read-only mapping,
+// outSorted must be true, because sorting would write in place.
+//
+// Both offset arrays must have the same length n+1, both adjacency arrays the
+// same length m. FromCSR validates every structural invariant the query paths
+// rely on — offset monotonicity and bounds, and adjacency targets inside
+// [0, n) — in one O(n+m) pass, so corrupt input yields an error instead of a
+// panic later.
+func FromCSR(outOff []int, outAdj []int32, inOff []int, inAdj []int32, outSorted bool) (*Graph, error) {
+	if len(outOff) == 0 || len(inOff) != len(outOff) {
+		return nil, fmt.Errorf("graph: CSR offset arrays have %d and %d slots, want equal and non-empty", len(outOff), len(inOff))
+	}
+	n := len(outOff) - 1
+	m := len(outAdj)
+	if len(inAdj) != m {
+		return nil, fmt.Errorf("graph: CSR adjacency arrays have %d and %d entries", m, len(inAdj))
+	}
+	if err := checkCSRSide("out", outOff, outAdj, n, m); err != nil {
+		return nil, err
+	}
+	if err := checkCSRSide("in", inOff, inAdj, n, m); err != nil {
+		return nil, err
+	}
+	return &Graph{
+		n: n, m: m,
+		outOff: outOff, outAdj: outAdj,
+		inOff: inOff, inAdj: inAdj,
+		outSorted: outSorted,
+	}, nil
+}
+
+// checkCSRSide validates one adjacency side: offsets start at 0, increase
+// monotonically, end at m, and every target is a valid node id.
+func checkCSRSide(side string, off []int, adj []int32, n, m int) error {
+	if off[0] != 0 {
+		return fmt.Errorf("graph: %s-offsets start at %d, want 0", side, off[0])
+	}
+	for i := 1; i <= n; i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("graph: %s-offsets decrease at node %d", side, i-1)
+		}
+	}
+	if off[n] != m {
+		return fmt.Errorf("graph: %s-offsets cover %d edges, adjacency has %d", side, off[n], m)
+	}
+	for i, v := range adj {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("%w: %s-adjacency slot %d holds %d (n=%d)", ErrInvalidNode, side, i, v, n)
+		}
+	}
+	return nil
 }
 
 // Edge is a directed edge from From to To.

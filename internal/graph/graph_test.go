@@ -250,3 +250,111 @@ func TestEdgesEarlyStop(t *testing.T) {
 		t.Errorf("Edges visited %d edges after early stop, want 3", count)
 	}
 }
+
+// TestFromCSR round-trips a built graph through its raw CSR arrays and
+// checks the validation rejects every class of corrupt input (a snapshot
+// loader feeds this path with untrusted bytes).
+func TestFromCSR(t *testing.T) {
+	g := MustFromEdges(4, []Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+		{From: 3, To: 0}, {From: 2, To: 3},
+	})
+	g.SortOutByInDegree()
+	outOff, outAdj, inOff, inAdj := g.CSR()
+	rebuilt, err := FromCSR(outOff, outAdj, inOff, inAdj, true)
+	if err != nil {
+		t.Fatalf("FromCSR on valid arrays: %v", err)
+	}
+	if rebuilt.N() != g.N() || rebuilt.M() != g.M() {
+		t.Fatalf("rebuilt shape %d/%d, want %d/%d", rebuilt.N(), rebuilt.M(), g.N(), g.M())
+	}
+	if !rebuilt.OutSortedByInDegree() {
+		t.Errorf("sorted flag dropped")
+	}
+	for v := 0; v < g.N(); v++ {
+		a, b := g.OutNeighbors(v), rebuilt.OutNeighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d out-degree %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("node %d out[%d] = %d, want %d", v, i, b[i], a[i])
+			}
+		}
+	}
+
+	clone := func() ([]int, []int32, []int, []int32) {
+		return append([]int(nil), outOff...), append([]int32(nil), outAdj...),
+			append([]int(nil), inOff...), append([]int32(nil), inAdj...)
+	}
+	cases := []struct {
+		name   string
+		mutate func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32)
+	}{
+		{"empty offsets", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			return nil, oa, nil, ia
+		}},
+		{"offset length mismatch", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			return oo[:len(oo)-1], oa, io, ia
+		}},
+		{"adjacency length mismatch", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			return oo, oa[:len(oa)-1], io, ia
+		}},
+		{"nonzero first offset", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			oo[0] = 1
+			return oo, oa, io, ia
+		}},
+		{"decreasing offsets", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			oo[1], oo[2] = oo[2]+1, oo[1]
+			return oo, oa, io, ia
+		}},
+		{"offsets do not cover m", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			oo[len(oo)-1]--
+			return oo, oa, io, ia
+		}},
+		{"out-of-range target", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			oa[0] = int32(len(oo)) // == n+1 > n-1
+			return oo, oa, io, ia
+		}},
+		{"negative target", func(oo []int, oa []int32, io []int, ia []int32) ([]int, []int32, []int, []int32) {
+			ia[0] = -1
+			return oo, oa, io, ia
+		}},
+	}
+	for _, c := range cases {
+		oo, oa, io, ia := clone()
+		oo, oa, io, ia = c.mutate(oo, oa, io, ia)
+		if _, err := FromCSR(oo, oa, io, ia, true); err == nil {
+			t.Errorf("%s: corrupt CSR accepted", c.name)
+		}
+	}
+}
+
+// TestBuildAttachesLabels checks labelled builders carry their label table
+// onto the graph (the snapshot writer serializes it from there).
+func TestBuildAttachesLabels(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeLabels("x", "y")
+	b.AddEdgeLabels("y", "z")
+	g := b.MustBuild()
+	labels := g.Labels()
+	if len(labels) != 3 || labels[0] != "x" || labels[1] != "y" || labels[2] != "z" {
+		t.Fatalf("Labels() = %v, want [x y z]", labels)
+	}
+	cp := g.Clone()
+	if cl := cp.Labels(); len(cl) != 3 || cl[2] != "z" {
+		t.Errorf("Clone dropped labels: %v", cl)
+	}
+	fixed := NewBuilderN(2)
+	fixed.AddEdge(0, 1)
+	fg := fixed.MustBuild()
+	if fg.Labels() != nil {
+		t.Errorf("fixed-size builder should not attach labels, got %v", fg.Labels())
+	}
+	if err := fg.SetLabels([]string{"only-one"}); err == nil {
+		t.Errorf("SetLabels with wrong length should fail")
+	}
+	if err := fg.SetLabels([]string{"a", "b"}); err != nil {
+		t.Errorf("SetLabels with n entries: %v", err)
+	}
+}

@@ -1,26 +1,41 @@
-// Package snapshot opens saved PRSim indexes (snapshot v2 files written by
+// Package snapshot opens saved PRSim indexes (snapshot v2/v3 files written by
 // core.Save) by memory-mapping them and reconstructing the index's slices as
-// zero-copy views over the mapping. Cold-starting a server on a multi-GB
-// index becomes an O(header) operation instead of an O(index) parse, the
-// kernel pages index data in lazily as queries touch it, and multiple server
-// processes mapping the same file share one page cache.
+// zero-copy views over the mapping. Self-contained v3 files embed the graph's
+// CSR adjacency arrays and label table too, so the *entire* serving state —
+// graph and index — comes out of one mapping: cold-starting a server on a
+// multi-GB index becomes an O(header + CSR validation) operation instead of an
+// O(edge list) parse, the kernel pages data in lazily as queries touch it, and
+// multiple server processes mapping the same file share one page cache.
 //
 // On platforms where zero-copy mapping is unavailable (no mmap syscall,
 // 32-bit ints, big-endian byte order) — and for legacy v1 files, which are
 // element-streamed and cannot be viewed in place — Open falls back to the
 // portable streaming loader transparently; Mapped reports which path was
 // taken.
+//
+// Snapshots are reference counted so they can be hot-swapped under live
+// traffic: Close drops the owner reference but defers the munmap until every
+// in-flight query that Retain'd the snapshot has Release'd it, fixing the
+// use-after-unmap fault a plain Close-while-serving would cause.
 package snapshot
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"unsafe"
 
 	"prsim/internal/core"
 	"prsim/internal/graph"
 )
+
+// ErrClosed is returned by operations on a snapshot after Close. A dead
+// handle must fail loudly: before this sentinel existed, Index and Verify
+// returned nil after Close, handing callers a nil index and a "verified OK"
+// from an unmapped file.
+var ErrClosed = errors.New("snapshot: closed")
 
 // Options configures Open.
 type Options struct {
@@ -29,8 +44,8 @@ type Options struct {
 	// (sequentially, at memory-bandwidth speed), so it trades the O(header)
 	// open for end-to-end integrity; it can also be run at any later point
 	// with Snapshot.Verify. The structural invariants that queries rely on
-	// for memory safety (section table bounds, offset-array monotonicity)
-	// are always validated regardless of this option.
+	// for memory safety (section table bounds, offset-array monotonicity,
+	// CSR adjacency bounds) are always validated regardless of this option.
 	VerifyChecksum bool
 	// ForceStream disables mmap and always uses the portable streaming
 	// loader. Useful for benchmarking the two paths against each other and
@@ -39,12 +54,22 @@ type Options struct {
 }
 
 // Snapshot is an open index snapshot. When Mapped reports true, the index's
-// section slices alias the underlying mmap region and stay valid until Close.
+// (and, for self-contained v3 files, the graph's) section slices alias the
+// underlying mmap region and stay valid until the last reference is released.
 type Snapshot struct {
-	idx    *core.Index
-	data   []byte // the mmap region; nil when the streaming fallback was used
-	layout *core.SnapshotLayout
-	mapped bool
+	idx         *core.Index
+	g           *graph.Graph
+	data        []byte // the mmap region; nil when the streaming fallback was used
+	layout      *core.SnapshotLayout
+	mapped      bool
+	graphMapped bool // graph adjacency aliases the mapping (v3 zero-copy open)
+
+	// refs counts the owner (1 at open) plus every in-flight Retain. The
+	// munmap runs when the count reaches zero, so closing under live queries
+	// defers the unmap until they drain. closed flips once, making Close
+	// idempotent and failing Retain/Index/Verify afterwards.
+	refs   atomic.Int64
+	closed atomic.Bool
 }
 
 // entryLayoutOK reports whether Go laid out core.IndexEntry exactly like the
@@ -65,14 +90,15 @@ func Supported() bool {
 	return mmapAvailable && strconv.IntSize == 64 && hostLittleEndian() && entryLayoutOK
 }
 
-// Open opens a saved index against its graph. It memory-maps v2 snapshots
-// when the platform supports it and falls back to the streaming loader
-// otherwise (and for v1 files). The graph must be the same graph the index
-// was built from.
+// Open opens a saved index. g may be nil for self-contained v3 snapshots, in
+// which case the embedded graph is reconstructed (zero-copy when mapped);
+// when g is supplied it becomes the graph queries run on, and for v3 files
+// the embedded graph's shape is cross-checked against it. v1/v2 files do not
+// embed a graph and require g.
+//
+// Open memory-maps v2/v3 snapshots when the platform supports it and falls
+// back to the streaming loader otherwise (and for v1 files).
 func Open(path string, g *graph.Graph, opts Options) (*Snapshot, error) {
-	if g == nil {
-		return nil, fmt.Errorf("snapshot: nil graph")
-	}
 	if opts.ForceStream || !Supported() {
 		return openStream(path, g)
 	}
@@ -93,7 +119,8 @@ func Open(path string, g *graph.Graph, opts Options) (*Snapshot, error) {
 	return snap, nil
 }
 
-// openMapped validates the mapped bytes and assembles the zero-copy index.
+// openMapped validates the mapped bytes and assembles the zero-copy graph
+// and index.
 func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
 	layout, err := core.ParseSnapshotLayout(data)
 	if err != nil {
@@ -102,6 +129,22 @@ func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
 	if opts.VerifyChecksum {
 		if err := layout.VerifyChecksum(data); err != nil {
 			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	graphMapped := false
+	if g == nil {
+		if !layout.HasGraph() {
+			return nil, fmt.Errorf("snapshot: v%d files do not embed the graph; supply one", layout.Version)
+		}
+		eg, err := graphFromSections(data, layout)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		g, graphMapped = eg, true
+	} else if layout.HasGraph() {
+		if uint64(g.N()) != layout.NNodes || uint64(g.M()) != layout.NumEdges {
+			return nil, fmt.Errorf("snapshot: embedded graph is %d nodes / %d edges but supplied graph is %d / %d",
+				layout.NNodes, layout.NumEdges, g.N(), g.M())
 		}
 	}
 	idx, err := core.NewIndexFromSnapshot(g, layout,
@@ -114,13 +157,52 @@ func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	return &Snapshot{idx: idx, data: data, layout: layout, mapped: true}, nil
+	s := &Snapshot{idx: idx, g: g, data: data, layout: layout, mapped: true, graphMapped: graphMapped}
+	s.refs.Store(1)
+	return s, nil
+}
+
+// graphFromSections assembles the embedded graph of a v3 snapshot: the CSR
+// offset and adjacency arrays are zero-copy views over the mapping, while the
+// label table (when present) is materialized onto the heap so labels survive
+// the mapping being closed (label strings escape into query responses, where
+// no reference count protects them).
+func graphFromSections(data []byte, l *core.SnapshotLayout) (*graph.Graph, error) {
+	if !l.OutSorted {
+		// Sorting writes the adjacency in place, which a read-only mapping
+		// forbids; Save always sorts before writing, so this only trips on
+		// hand-crafted files.
+		return nil, fmt.Errorf("embedded graph is not sorted by head in-degree")
+	}
+	g, err := graph.FromCSR(
+		viewSlice[int](data, l.Sections[5]),
+		viewSlice[int32](data, l.Sections[6]),
+		viewSlice[int](data, l.Sections[7]),
+		viewSlice[int32](data, l.Sections[8]),
+		true,
+	)
+	if err != nil {
+		return nil, err
+	}
+	if l.HasLabels {
+		labels, err := core.LabelsFromSections(
+			viewSlice[uint64](data, l.Sections[9]),
+			viewSlice[byte](data, l.Sections[10]),
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.SetLabels(labels); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 // viewSlice reinterprets one aligned section of the mapping as a []T. The
 // section table guarantees 8-byte alignment and in-bounds extents, and
-// Supported gates the T layouts (8-byte int/uint64/float64, 16-byte
-// IndexEntry) this relies on.
+// Supported gates the T layouts (4-byte int32, 8-byte int/uint64/float64,
+// 16-byte IndexEntry) this relies on.
 func viewSlice[T any](data []byte, s core.Section) []T {
 	if s.Len == 0 {
 		return nil
@@ -130,31 +212,111 @@ func viewSlice[T any](data []byte, s core.Section) []T {
 }
 
 // openStream is the portable fallback: parse the file with the streaming
-// loader into heap-allocated slices.
+// loader into heap-allocated slices, reconstructing the graph too when the
+// caller did not supply one (self-contained v3 files only).
 func openStream(path string, g *graph.Graph) (*Snapshot, error) {
-	idx, err := core.LoadIndexFile(path, g)
+	var idx *core.Index
+	var err error
+	if g == nil {
+		g, idx, err = core.LoadSelfContainedFile(path)
+	} else {
+		idx, err = core.LoadIndexFile(path, g)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{idx: idx}, nil
+	s := &Snapshot{idx: idx, g: g}
+	s.refs.Store(1)
+	return s, nil
 }
 
-// Index returns the loaded index. When Mapped reports true it must not be
-// used after Close.
-func (s *Snapshot) Index() *core.Index { return s.idx }
+// Index returns the loaded index, or ErrClosed after Close. When Mapped
+// reports true the index aliases the mapping and must not be used after the
+// snapshot's last reference is released.
+func (s *Snapshot) Index() (*core.Index, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.idx, nil
+}
+
+// Graph returns the graph the index queries run on: the embedded graph for
+// self-contained opens, or the caller-supplied one. ErrClosed after Close.
+func (s *Snapshot) Graph() (*graph.Graph, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.g, nil
+}
 
 // Mapped reports whether the index is backed by an mmap region (true) or by
 // heap slices from the streaming fallback (false).
 func (s *Snapshot) Mapped() bool { return s.mapped }
 
-// Verify recomputes the CRC-32C of the mapped section payload against the
-// file's trailer, faulting in every page. It is a no-op for streaming-backed
-// snapshots (the streaming loader checksums everything as it parses) and for
-// closed snapshots.
-func (s *Snapshot) Verify() error {
-	if !s.mapped || s.data == nil {
+// GraphMapped reports whether the graph's adjacency arrays alias the mmap
+// region (self-contained zero-copy open) rather than heap memory.
+func (s *Snapshot) GraphMapped() bool { return s.graphMapped }
+
+// Retain takes a reference on the snapshot, keeping the mapping alive until
+// the matching Release even if Close runs in between. It returns false once
+// the snapshot has been closed; callers must not use the index in that case.
+func (s *Snapshot) Retain() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 || s.closed.Load() {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			// Close may have flipped closed between the load and the CAS; the
+			// reference is still counted, so the unmap waits for our Release
+			// either way. Refuse the handle so no new work starts post-Close.
+			if s.closed.Load() {
+				s.Release()
+				return false
+			}
+			return true
+		}
+	}
+}
+
+// Release drops a reference taken with Retain. The final release (owner or
+// query, whichever drops last) performs the munmap; an unmap error at that
+// point is dropped, since the releasing goroutine is usually a draining
+// query with nobody to report to (Close returns it when Close itself is the
+// final release).
+func (s *Snapshot) Release() { _ = s.release() }
+
+// release drops one reference and unmaps on the last one. Exactly one caller
+// observes the zero crossing, so the munmap (and the read of s.data, written
+// only at construction) is single-threaded by construction.
+func (s *Snapshot) release() error {
+	if s.refs.Add(-1) != 0 {
 		return nil
 	}
+	if s.data == nil {
+		return nil
+	}
+	if err := munmapFile(s.data); err != nil {
+		return fmt.Errorf("snapshot: unmapping: %w", err)
+	}
+	return nil
+}
+
+// Verify recomputes the CRC-32C of the mapped section payload against the
+// file's trailer, faulting in every page. It returns ErrClosed after Close
+// and nil for streaming-backed snapshots (the streaming loader checksums
+// everything as it parses).
+func (s *Snapshot) Verify() error {
+	if !s.mapped {
+		if s.closed.Load() {
+			return ErrClosed
+		}
+		return nil
+	}
+	if !s.Retain() {
+		return ErrClosed
+	}
+	defer s.Release()
 	if err := s.layout.VerifyChecksum(s.data); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -165,22 +327,17 @@ func (s *Snapshot) Verify() error {
 // snapshot.
 func (s *Snapshot) SizeBytes() int64 { return int64(len(s.data)) }
 
-// Close unmaps the snapshot. The index (and every result slice obtained from
-// it) must not be used afterwards; accessing an unmapped region faults.
-// Close is a no-op for streaming-backed snapshots and on repeated calls.
+// Close drops the owner reference. The mapping is unmapped once every
+// outstanding Retain has been Release'd — immediately when none are — so the
+// index (and every result slice aliasing it) must not be used by new work
+// afterwards, while queries that retained the snapshot drain safely. Close is
+// idempotent for both mapped and streaming-backed snapshots; repeated calls
+// return nil.
 func (s *Snapshot) Close() error {
-	if !s.mapped || s.data == nil {
-		s.idx = nil
+	if s.closed.Swap(true) {
 		return nil
 	}
-	data := s.data
-	s.data = nil
-	s.idx = nil
-	s.mapped = false
-	if err := munmapFile(data); err != nil {
-		return fmt.Errorf("snapshot: unmapping: %w", err)
-	}
-	return nil
+	return s.release()
 }
 
 // statSize returns the file's size, shared by the mmap implementations.

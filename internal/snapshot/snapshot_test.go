@@ -1,9 +1,11 @@
 package snapshot
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"prsim/internal/core"
@@ -28,6 +30,16 @@ func buildFixture(t *testing.T) (*graph.Graph, *core.Index, string) {
 	return g, idx, path
 }
 
+// mustIndex unwraps Snapshot.Index in tests that know the snapshot is open.
+func mustIndex(t *testing.T, s *Snapshot) *core.Index {
+	t.Helper()
+	idx, err := s.Index()
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	return idx
+}
+
 func TestOpenMapped(t *testing.T) {
 	if !Supported() {
 		t.Skip("zero-copy snapshots unsupported on this platform")
@@ -41,15 +53,163 @@ func TestOpenMapped(t *testing.T) {
 	if !snap.Mapped() {
 		t.Fatalf("Open on a supported platform should mmap")
 	}
+	if snap.GraphMapped() {
+		t.Errorf("caller-supplied graph must not report as mapped")
+	}
 	if snap.SizeBytes() == 0 {
 		t.Errorf("mapped snapshot reports zero size")
 	}
-	idx := snap.Index()
+	idx := mustIndex(t, snap)
 	if idx.NumHubs() != built.NumHubs() {
 		t.Errorf("hub count: mapped %d, built %d", idx.NumHubs(), built.NumHubs())
 	}
 	if idx.SizeEntries() != built.SizeEntries() {
 		t.Errorf("entries: mapped %d, built %d", idx.SizeEntries(), built.SizeEntries())
+	}
+}
+
+// TestOpenSelfContained is the headline v3 capability: no graph supplied, the
+// embedded CSR structure is reconstructed from the same mapping, and queries
+// are bit-identical to an index over the original in-memory graph.
+func TestOpenSelfContained(t *testing.T) {
+	g, built, path := buildFixture(t)
+	snap, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatalf("Open (self-contained): %v", err)
+	}
+	defer snap.Close()
+	sg, err := snap.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if sg.N() != g.N() || sg.M() != g.M() {
+		t.Fatalf("embedded graph is %d/%d, want %d/%d", sg.N(), sg.M(), g.N(), g.M())
+	}
+	if !sg.OutSortedByInDegree() {
+		t.Errorf("embedded graph must come back sorted by head in-degree")
+	}
+	if Supported() {
+		if !snap.Mapped() || !snap.GraphMapped() {
+			t.Errorf("self-contained open should map graph and index (mapped=%v graphMapped=%v)",
+				snap.Mapped(), snap.GraphMapped())
+		}
+	}
+	// The embedded adjacency must match the original exactly (Save sorts
+	// before writing, and the fixture graph is already sorted).
+	for v := 0; v < g.N(); v += 37 {
+		a, b := g.OutNeighbors(v), sg.OutNeighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: out-degree %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d out-neighbor %d: %d vs %d", v, i, a[i], b[i])
+			}
+		}
+	}
+	idx := mustIndex(t, snap)
+	if idx.NumHubs() != built.NumHubs() {
+		t.Errorf("hub count: self-contained %d, built %d", idx.NumHubs(), built.NumHubs())
+	}
+	for _, u := range []int{0, 57, 399} {
+		want, err := built.Query(u)
+		if err != nil {
+			t.Fatalf("built query %d: %v", u, err)
+		}
+		got, err := idx.Query(u)
+		if err != nil {
+			t.Fatalf("self-contained query %d: %v", u, err)
+		}
+		if len(want.Scores) != len(got.Scores) {
+			t.Fatalf("query %d: support %d vs %d", u, len(want.Scores), len(got.Scores))
+		}
+		for v, s := range want.Scores {
+			if gs, ok := got.Scores[v]; !ok || math.Float64bits(gs) != math.Float64bits(s) {
+				t.Fatalf("query %d node %d: %v vs %v", u, v, s, gs)
+			}
+		}
+	}
+}
+
+// TestOpenSelfContainedLabels round-trips the label table through a v3 file,
+// on both the mmap and streaming paths.
+func TestOpenSelfContainedLabels(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddEdgeLabels("alice", "bob")
+	b.AddEdgeLabels("bob", "carol")
+	b.AddEdgeLabels("carol", "alice")
+	b.AddEdgeLabels("dave", "alice")
+	g := b.MustBuild()
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "labelled.prsim")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	for _, opts := range []Options{{}, {ForceStream: true}} {
+		snap, err := Open(path, nil, opts)
+		if err != nil {
+			t.Fatalf("Open (ForceStream=%v): %v", opts.ForceStream, err)
+		}
+		sg, err := snap.Graph()
+		if err != nil {
+			t.Fatalf("Graph: %v", err)
+		}
+		labels := sg.Labels()
+		want := []string{"alice", "bob", "carol", "dave"}
+		if len(labels) != len(want) {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+		for i := range want {
+			if labels[i] != want[i] {
+				t.Errorf("label %d = %q, want %q", i, labels[i], want[i])
+			}
+		}
+		// Labels must survive Close: they are materialized on the heap, not
+		// views over the mapping.
+		if err := snap.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if labels[0] != "alice" {
+			t.Errorf("label after Close = %q, want alice", labels[0])
+		}
+	}
+}
+
+// TestOpenV2RequiresGraph pins the compatibility contract: v2 files load with
+// a supplied graph and fail with a clear error without one.
+func TestOpenV2RequiresGraph(t *testing.T) {
+	g, built, _ := buildFixture(t)
+	v2Path := filepath.Join(t.TempDir(), "index.v2.prsim")
+	f, err := os.Create(v2Path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := built.SaveV2(f); err != nil {
+		t.Fatalf("SaveV2: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, opts := range []Options{{}, {ForceStream: true}} {
+		snap, err := Open(v2Path, g, opts)
+		if err != nil {
+			t.Fatalf("Open v2 with graph (ForceStream=%v): %v", opts.ForceStream, err)
+		}
+		idx := mustIndex(t, snap)
+		if idx.NumHubs() != built.NumHubs() {
+			t.Errorf("v2 hub count %d, want %d", idx.NumHubs(), built.NumHubs())
+		}
+		if _, err := idx.Query(1); err != nil {
+			t.Errorf("v2 query: %v", err)
+		}
+		snap.Close()
+
+		if _, err := Open(v2Path, nil, opts); err == nil {
+			t.Errorf("v2 without graph should fail (ForceStream=%v)", opts.ForceStream)
+		}
 	}
 }
 
@@ -76,11 +236,11 @@ func TestMappedQueryParity(t *testing.T) {
 	defer mapped.Close()
 
 	for _, u := range []int{0, 1, 57, 399} {
-		a, err := streamed.Index().Query(u)
+		a, err := mustIndex(t, streamed).Query(u)
 		if err != nil {
 			t.Fatalf("stream query %d: %v", u, err)
 		}
-		b, err := mapped.Index().Query(u)
+		b, err := mustIndex(t, mapped).Query(u)
 		if err != nil {
 			t.Fatalf("mapped query %d: %v", u, err)
 		}
@@ -123,7 +283,7 @@ func TestOpenChecksumMismatch(t *testing.T) {
 		}
 		snap.Close()
 	}
-	// The streaming loader always checksums v2 payloads as it parses.
+	// The streaming loader always checksums v2/v3 payloads as it parses.
 	if _, err := Open(bad, g, Options{ForceStream: true}); err == nil {
 		t.Fatalf("streaming load of corrupted payload should fail")
 	}
@@ -142,6 +302,9 @@ func TestOpenTruncated(t *testing.T) {
 		}
 		if _, err := Open(bad, g, Options{}); err == nil {
 			t.Errorf("truncation to %d bytes should fail", keep)
+		}
+		if _, err := Open(bad, nil, Options{}); err == nil {
+			t.Errorf("self-contained truncation to %d bytes should fail", keep)
 		}
 	}
 }
@@ -162,7 +325,7 @@ func TestOpenForceStreamParityWithLoadIndex(t *testing.T) {
 	if snap.Mapped() {
 		t.Fatalf("ForceStream must not map")
 	}
-	if snap.Index().NumHubs() != built.NumHubs() {
+	if mustIndex(t, snap).NumHubs() != built.NumHubs() {
 		t.Errorf("hub count mismatch via streaming fallback")
 	}
 	if err := snap.Close(); err != nil {
@@ -191,24 +354,106 @@ func TestOpenIndexFree(t *testing.T) {
 		t.Fatalf("Open: %v", err)
 	}
 	defer snap.Close()
-	if snap.Index().NumHubs() != 0 {
-		t.Errorf("index-free snapshot has %d hubs", snap.Index().NumHubs())
+	if mustIndex(t, snap).NumHubs() != 0 {
+		t.Errorf("index-free snapshot has %d hubs", mustIndex(t, snap).NumHubs())
 	}
-	if _, err := snap.Index().Query(0); err != nil {
+	if _, err := mustIndex(t, snap).Query(0); err != nil {
 		t.Errorf("query on index-free snapshot: %v", err)
 	}
 }
 
 func TestCloseIdempotent(t *testing.T) {
 	g, _, path := buildFixture(t)
+	for _, opts := range []Options{{}, {ForceStream: true}} {
+		snap, err := Open(path, g, opts)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if err := snap.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := snap.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+// TestClosedHandleFailsLoudly pins the ErrClosed contract: a closed snapshot
+// must refuse to hand out its index, its graph, or a "verified OK" — on the
+// mapped path and the streaming path alike.
+func TestClosedHandleFailsLoudly(t *testing.T) {
+	g, _, path := buildFixture(t)
+	for _, opts := range []Options{{}, {ForceStream: true}} {
+		snap, err := Open(path, g, opts)
+		if err != nil {
+			t.Fatalf("Open (ForceStream=%v): %v", opts.ForceStream, err)
+		}
+		if err := snap.Verify(); err != nil {
+			t.Fatalf("Verify while open: %v", err)
+		}
+		if err := snap.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if _, err := snap.Index(); !errors.Is(err, ErrClosed) {
+			t.Errorf("Index after Close = %v, want ErrClosed (ForceStream=%v)", err, opts.ForceStream)
+		}
+		if _, err := snap.Graph(); !errors.Is(err, ErrClosed) {
+			t.Errorf("Graph after Close = %v, want ErrClosed (ForceStream=%v)", err, opts.ForceStream)
+		}
+		if err := snap.Verify(); !errors.Is(err, ErrClosed) {
+			t.Errorf("Verify after Close = %v, want ErrClosed (ForceStream=%v)", err, opts.ForceStream)
+		}
+		if snap.Retain() {
+			t.Errorf("Retain after Close succeeded (ForceStream=%v)", opts.ForceStream)
+		}
+	}
+}
+
+// TestCloseDefersUnmapUntilRelease drives the reload-safety core: queries
+// that retained the snapshot keep using the mapping after Close, and the
+// unmap happens only when the last reference is released. (Run under -race
+// in CI; touching unmapped memory would fault outright.)
+func TestCloseDefersUnmapUntilRelease(t *testing.T) {
+	if !Supported() {
+		t.Skip("zero-copy snapshots unsupported on this platform")
+	}
+	g, _, path := buildFixture(t)
 	snap, err := Open(path, g, Options{})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	if err := snap.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
+	idx := mustIndex(t, snap)
+
+	const queries = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, queries)
+	for i := 0; i < queries; i++ {
+		if !snap.Retain() {
+			t.Fatalf("Retain %d failed on open snapshot", i)
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			defer snap.Release()
+			<-start
+			// The mapping must still be valid here even though Close has
+			// (likely) already run on the main goroutine.
+			if _, err := idx.Query(u); err != nil {
+				errs <- err
+			}
+		}(i * 31 % g.N())
 	}
+	close(start)
 	if err := snap.Close(); err != nil {
-		t.Fatalf("second Close: %v", err)
+		t.Fatalf("Close with retained refs: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("query after Close (retained): %v", err)
+	}
+	if snap.Retain() {
+		t.Fatalf("Retain after full drain should fail")
 	}
 }

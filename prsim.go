@@ -39,6 +39,10 @@ const DefaultDecay = core.DefaultDecay
 // classify bad requests.
 var ErrInvalidNode = graph.ErrInvalidNode
 
+// ErrSnapshotClosed is returned by Verify (and surfaced by engines) when a
+// snapshot-backed index is used after Close.
+var ErrSnapshotClosed = snapshot.ErrClosed
+
 // Graph is a directed graph ready for SimRank computation. Node identifiers
 // are dense integers in [0, NumNodes()).
 type Graph struct {
@@ -87,13 +91,14 @@ func (g *Graph) Internal() *graph.Graph { return g.g }
 
 // ParseGraph reads a whitespace-separated edge list ("u v" per line, '#'
 // comments allowed) and returns a Graph. Node labels may be arbitrary tokens;
-// they are mapped to dense ids in first-seen order.
+// they are mapped to dense ids in first-seen order and recoverable through
+// Label (and preserved in self-contained snapshots).
 func ParseGraph(r io.Reader) (*Graph, error) {
 	g, err := graph.ReadEdgeList(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return wrapGraph(g), nil
 }
 
 // LoadGraphFile reads an edge-list file from disk.
@@ -102,7 +107,13 @@ func LoadGraphFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return wrapGraph(g), nil
+}
+
+// wrapGraph lifts an internal graph into the public type, carrying any node
+// labels it holds (parsed edge lists and embedded snapshot graphs have them).
+func wrapGraph(g *graph.Graph) *Graph {
+	return &Graph{g: g, labels: g.Labels()}
 }
 
 // NewGraphFromEdges builds a graph with n nodes from (from, to) pairs.
@@ -129,7 +140,7 @@ func NewGraphFromLabelledEdges(edges [][2]string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g, labels: b.Labels()}, nil
+	return wrapGraph(g), nil
 }
 
 // GeneratePowerLawGraph generates a synthetic graph whose degree distribution
@@ -310,7 +321,7 @@ func (idx *Index) QueryBatch(ctx context.Context, sources []int) ([]*Result, err
 	idx.engineOnce.Do(func() {
 		// Options are always valid here, so the only New error (nil index)
 		// cannot occur.
-		idx.batchEngine, _ = engine.New(idx.idx, engine.Options{})
+		idx.batchEngine, _ = engine.New(idx.idx, engine.Options{Resource: idx.engineResource()})
 	})
 	inner, err := idx.batchEngine.QueryBatch(ctx, sources)
 	if err != nil {
@@ -367,24 +378,45 @@ func LoadIndexFile(path string, g *Graph) (*Index, error) {
 // share one page cache. Query results are bit-identical to LoadIndexFile for
 // the same file and graph.
 //
+// g may be nil for self-contained v3 snapshots: the graph embedded in the
+// file (CSR adjacency plus any node labels) is reconstructed from the same
+// mapping, so no edge-list file is needed at all. Legacy v1/v2 files do not
+// embed a graph and require g; for v3 files a supplied g is cross-checked
+// against the embedded graph's shape and then used for queries.
+//
 // On platforms without zero-copy support (and for legacy v1 index files) it
-// transparently falls back to the streaming loader; Backing reports which
-// path was taken. A snapshot-backed index must be released with Close when no
-// longer needed.
+// transparently falls back to the streaming loader; Backing and GraphBacking
+// report which path was taken. A snapshot-backed index must be released with
+// Close when no longer needed; Close defers the unmap until queries running
+// through an Engine have drained.
 //
 // OpenSnapshot always validates the structural invariants that queries rely
-// on for memory safety, but skips the CRC of the bulk payload so opening
-// stays O(header); call Verify to run the full integrity check (it faults in
-// every page once).
+// on for memory safety (including the embedded graph's CSR bounds), but
+// skips the CRC of the bulk payload so opening stays cheap; call Verify to
+// run the full integrity check (it faults in every page once).
 func OpenSnapshot(path string, g *Graph) (*Index, error) {
-	if g == nil {
-		return nil, fmt.Errorf("prsim: nil graph")
+	var ig *graph.Graph
+	if g != nil {
+		ig = g.g
 	}
-	snap, err := snapshot.Open(path, g.g, snapshot.Options{})
+	snap, err := snapshot.Open(path, ig, snapshot.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{g: g, idx: snap.Index(), snap: snap}, nil
+	idx, err := snap.Index()
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	if g == nil {
+		sg, err := snap.Graph()
+		if err != nil {
+			snap.Close()
+			return nil, err
+		}
+		g = wrapGraph(sg)
+	}
+	return &Index{g: g, idx: idx, snap: snap}, nil
 }
 
 // Verify checks the integrity of an index opened with OpenSnapshot by
@@ -408,12 +440,34 @@ func (idx *Index) Backing() string {
 	return "heap"
 }
 
-// Close releases the snapshot mapping behind an index opened with
-// OpenSnapshot; the index (and any results still aliasing it) must not be
-// used afterwards. It is a no-op, and always safe, for heap-backed indexes.
+// GraphBacking reports what backs the graph's adjacency arrays: "mmap" when
+// they are zero-copy views over a self-contained snapshot's mapping, "heap"
+// otherwise (built, parsed, streamed, or supplied separately).
+func (idx *Index) GraphBacking() string {
+	if idx.snap != nil && idx.snap.GraphMapped() {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// Close releases the snapshot backing an index opened with OpenSnapshot; the
+// index must not be used for new work afterwards. Queries in flight through
+// an Engine hold references on the snapshot, so the unmap is deferred until
+// they drain — closing a just-swapped-out index under live traffic is safe.
+// Close is idempotent, and a no-op for heap-backed indexes.
 func (idx *Index) Close() error {
 	if idx.snap == nil {
 		return nil
 	}
 	return idx.snap.Close()
+}
+
+// engineResource adapts the index's snapshot backing (if any) to the
+// engine's lifecycle hook. The nil check matters: a typed nil *Snapshot in a
+// non-nil interface would make the engine retain a dead handle.
+func (idx *Index) engineResource() engine.Resource {
+	if idx.snap == nil {
+		return nil
+	}
+	return idx.snap
 }

@@ -22,9 +22,22 @@ type Result struct {
 func wrapResults(g *Graph, inner []*core.Result) []*Result {
 	out := make([]*Result, len(inner))
 	for i, r := range inner {
-		out[i] = &Result{g: g, inner: r}
+		out[i] = wrapResult(g, r)
 	}
 	return out
+}
+
+// wrapResult pairs a core result with the public view of the graph it was
+// computed on. The result's own graph wins: results can be served from an
+// engine's cache across a hot Swap, and their labels and dimensions must
+// resolve against the generation that produced the scores, not whichever
+// index is current at render time. fallback covers zero-value results no
+// query populated.
+func wrapResult(fallback *Graph, inner *core.Result) *Result {
+	if ig := inner.Graph(); ig != nil && (fallback == nil || ig != fallback.g) {
+		return &Result{g: wrapGraph(ig), inner: inner}
+	}
+	return &Result{g: fallback, inner: inner}
 }
 
 // Source returns the query node.
@@ -39,8 +52,11 @@ func (r *Result) Score(v int) float64 { return r.inner.Score(v) }
 func (r *Result) Scores() map[int]float64 { return r.inner.Scores }
 
 // TopK returns the k most similar nodes (excluding the source itself) in
-// descending score order.
+// descending score order. Negative k is treated as zero.
 func (r *Result) TopK(k int) []ScoredNode {
+	if k < 0 {
+		k = 0
+	}
 	inner := r.inner.TopK(k)
 	out := make([]ScoredNode, len(inner))
 	for i, s := range inner {

@@ -1,6 +1,8 @@
 package prsim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -97,5 +99,107 @@ func TestOpenSnapshotErrors(t *testing.T) {
 	}
 	if _, err := OpenSnapshot(path, other); err == nil {
 		t.Errorf("snapshot for a different graph should fail")
+	}
+}
+
+// TestOpenSnapshotSelfContainedAPI drives the v3 headline through the public
+// API: Save embeds the graph, OpenSnapshot(path, nil) needs no graph at all,
+// labels survive, and queries match an index over the original graph.
+func TestOpenSnapshotSelfContainedAPI(t *testing.T) {
+	g, err := NewGraphFromLabelledEdges([][2]string{
+		{"a", "b"}, {"b", "c"}, {"c", "a"}, {"d", "a"}, {"c", "d"},
+	})
+	if err != nil {
+		t.Fatalf("NewGraphFromLabelledEdges: %v", err)
+	}
+	built, err := BuildIndex(g, Options{Epsilon: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "selfcontained.prsim")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	snap, err := OpenSnapshot(path, nil)
+	if err != nil {
+		t.Fatalf("OpenSnapshot(nil graph): %v", err)
+	}
+	defer snap.Close()
+	sg := snap.Graph()
+	if sg.NumNodes() != g.NumNodes() || sg.NumEdges() != g.NumEdges() {
+		t.Fatalf("embedded graph %d/%d, want %d/%d",
+			sg.NumNodes(), sg.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v, want := range []string{"a", "b", "c", "d"} {
+		if got := sg.Label(v); got != want {
+			t.Errorf("Label(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if b := snap.GraphBacking(); b != "mmap" && b != "heap" {
+		t.Errorf("GraphBacking = %q, want mmap or heap", b)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		want, err := built.Query(u)
+		if err != nil {
+			t.Fatalf("built query %d: %v", u, err)
+		}
+		got, err := snap.Query(u)
+		if err != nil {
+			t.Fatalf("snapshot query %d: %v", u, err)
+		}
+		ws, gs := want.Scores(), got.Scores()
+		if len(ws) != len(gs) {
+			t.Fatalf("query %d support %d vs %d", u, len(ws), len(gs))
+		}
+		for v, s := range ws {
+			if math.Float64bits(gs[v]) != math.Float64bits(s) {
+				t.Fatalf("query %d node %d: %v vs %v", u, v, s, gs[v])
+			}
+		}
+	}
+	// TopK through the engine resolves labels from the embedded table.
+	eng, err := NewEngine(snap, EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	top, err := eng.TopK(context.Background(), 0, 3)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	for _, s := range top {
+		if s.Label == "" {
+			t.Errorf("TopK entry missing label: %+v", s)
+		}
+	}
+}
+
+// TestOpenSnapshotClosedIsLoud checks the public Close contract: Verify on a
+// closed snapshot returns ErrSnapshotClosed instead of a silent nil.
+func TestOpenSnapshotClosedIsLoud(t *testing.T) {
+	g, err := GeneratePowerLawGraph(120, 5, 2.5, true, 3)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	built, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 1, SampleScale: 0.1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "index.prsim")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	snap, err := OpenSnapshot(path, g)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := snap.Verify(); !errors.Is(err, ErrSnapshotClosed) {
+		t.Errorf("Verify after Close = %v, want ErrSnapshotClosed", err)
 	}
 }
