@@ -301,6 +301,25 @@ func BenchmarkQueryThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryKernel150k measures raw single-threaded query latency on the
+// 150k-node power-law benchmark graph through the pooled QueryInto path — the
+// headline number the query-kernel work is judged by (see README
+// "Performance" and prsimbench -experiment querypath).
+func BenchmarkQueryKernel150k(b *testing.B) {
+	g := benchmarkGraph(b, 150000, 2.5)
+	idx, err := core.BuildIndex(g.Internal(), core.Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.QueryInto(i%g.NumNodes(), &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReversePageRank measures the exact reverse PageRank computation
 // used by preprocessing.
 func BenchmarkReversePageRank(b *testing.B) {

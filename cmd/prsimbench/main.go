@@ -6,10 +6,18 @@
 // Usage:
 //
 //	prsimbench -experiment fig2 [-full] [-datasets DB,LJ] [-queries 10]
+//	prsimbench -experiment querypath -full -cpuprofile cpu.prof
 //	prsimbench -experiment all
 //
 // Experiments: fig1, fig2, fig3, fig4, fig5, fig6a, fig6b, fig7a, fig7b,
-// hubsweep, backwardwalk, secondmoment, loadtime, all.
+// hubsweep, backwardwalk, secondmoment, loadtime, querypath, all.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the selected
+// experiment, so kernel changes can be attributed function by function (see
+// the README's profiling guide). The querypath experiment reports ns/query,
+// allocs/query and the Walks / BackwardWalkCost / IndexEntriesRead breakdown
+// of the single-source hot path on the standard power-law benchmark graph
+// (150k nodes with -full, 30k without).
 //
 // The loadtime experiment benchmarks the full serving cold start (graph +
 // index): the edge-list parse + v2-era index loaders against the
@@ -21,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -31,11 +41,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, querypath, all)")
 		full       = flag.Bool("full", false, "use the full (slower) configuration instead of the quick one")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset for fig2-fig5 (default: all five)")
 		queries    = flag.Int("queries", 0, "override the number of queries per measurement")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 
@@ -55,9 +67,49 @@ func main() {
 		names = dataset.Names()
 	}
 
+	var stopCPUProfile func()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prsimbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prsimbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
 	if err := run(*experiment, cfg, names); err != nil {
+		// Flush the profile even on failure — a truncated cpu.prof is useless
+		// exactly when a profile of the failing run is wanted, and os.Exit
+		// does not run defers.
+		if stopCPUProfile != nil {
+			stopCPUProfile()
+		}
 		fmt.Fprintf(os.Stderr, "prsimbench: %v\n", err)
 		os.Exit(1)
+	}
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prsimbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prsimbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }
 
@@ -81,8 +133,10 @@ func run(experiment string, cfg eval.Config, datasets []string) error {
 		return runSecondMoment(cfg, datasets)
 	case "loadtime", "snapshot":
 		return runLoadTime(cfg)
+	case "querypath", "kernel":
+		return runQueryPath(cfg)
 	case "all":
-		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime"} {
+		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime", "querypath"} {
 			if err := run(exp, cfg, datasets); err != nil {
 				return err
 			}
@@ -231,6 +285,27 @@ func runLoadTime(cfg eval.Config) error {
 	for _, r := range res.Rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%.1fx\t%.3f\n", r.Mode, r.Millis, r.Speedup, r.FirstQueryMillis)
 	}
+	return nil
+}
+
+func runQueryPath(cfg eval.Config) error {
+	fmt.Println("=== Query hot path: per-query cost and work breakdown ===")
+	res, err := eval.RunQueryPath(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges; epsilon=%.2f sample-scale=%.2f; %d queries (1 warm-up)\n",
+		res.Nodes, res.Edges, res.Epsilon, res.SampleScale, res.Queries)
+	w, flush := newTable("metric", "per query")
+	defer flush()
+	fmt.Fprintf(w, "time (ms)\t%.3f\n", res.NsPerQuery/1e6)
+	fmt.Fprintf(w, "allocs\t%.1f\n", res.AllocsPerQuery)
+	fmt.Fprintf(w, "alloc bytes\t%.0f\n", res.BytesPerQuery)
+	fmt.Fprintf(w, "walks sampled\t%.0f\n", res.Walks)
+	fmt.Fprintf(w, "backward-walk cost\t%.0f\n", res.BackwardWalkCost)
+	fmt.Fprintf(w, "index entries read\t%.0f\n", res.IndexEntriesRead)
+	fmt.Fprintf(w, "hub hits\t%.0f\n", res.HubHits)
+	fmt.Fprintf(w, "non-hub hits\t%.0f\n", res.NonHubHits)
 	return nil
 }
 

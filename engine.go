@@ -74,6 +74,11 @@ func (e *Engine) Swap(idx *Index) (*Index, error) {
 	if idx == nil {
 		return nil, fmt.Errorf("prsim: nil index")
 	}
+	// Start readahead of the new snapshot's hot sections before publishing
+	// it, so the kernel pre-faults pages while the old index still serves
+	// and the first post-swap queries don't hit the page-fault cliff
+	// (no-op for heap-backed indexes; harmless if the swap then fails).
+	idx.WarmUp()
 	if err := e.eng.Swap(idx.idx, idx.engineResource()); err != nil {
 		return nil, err
 	}
@@ -104,17 +109,26 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*Result, erro
 // TopK answers a single-source query from u and returns its k most similar
 // nodes (excluding u itself) in descending score order. Negative k is
 // treated as zero.
+//
+// Selection uses a bounded heap (O(support·log k), not a full sort), and
+// when the engine runs without a result cache the query executes into a
+// pooled result that never escapes the engine — a steady /topk workload
+// allocates only the returned slice. Labels resolve against the graph that
+// actually answered, even when a hot Swap lands mid-flight.
 func (e *Engine) TopK(ctx context.Context, u, k int) ([]ScoredNode, error) {
-	if k < 0 {
-		k = 0
-	}
-	// Run through Query so the result's own graph labels the nodes; the
-	// inner TopK would lose track of which generation answered.
-	res, err := e.Query(ctx, u)
+	nodes, g, err := e.eng.TopK(ctx, u, k)
 	if err != nil {
 		return nil, err
 	}
-	return res.TopK(k), nil
+	pg := e.cur.Load().g
+	if g != nil && (pg == nil || pg.g != g) {
+		pg = wrapGraph(g)
+	}
+	out := make([]ScoredNode, len(nodes))
+	for i, s := range nodes {
+		out[i] = ScoredNode{Node: s.Node, Label: pg.Label(s.Node), Score: s.Score}
+	}
+	return out, nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v).

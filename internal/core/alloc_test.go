@@ -1,0 +1,42 @@
+// The race detector deliberately randomizes sync.Pool (dropping items on
+// Put/Get to shake out races), so pooled scratch legitimately reallocates
+// under -race and the ~0-alloc assertion only holds on regular builds.
+
+//go:build !race
+
+package core
+
+import "testing"
+
+// TestQueryIntoSteadyStateAllocs pins the pooled-scratch guarantee: once the
+// per-index scratch pool and the caller's reused Result have warmed up, a
+// QueryInto performs (approximately) zero heap allocations — the walkers,
+// dense accumulators, median workspace, and batch buffers are all recycled,
+// and the score map is cleared in place rather than reallocated. A couple of
+// allocations of slack absorb runtime noise (e.g. a GC cycle snatching the
+// pooled state mid-measurement), but a regression that reintroduces per-query
+// maps, sorts with allocating comparators, or fresh walk buffers shows up as
+// dozens of allocations and fails loudly.
+func TestQueryIntoSteadyStateAllocs(t *testing.T) {
+	g := largerTestGraph(2000, 6, 13)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, NumHubs: 40, Seed: 9, SampleScale: 0.2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	var res Result
+	// Warm-up queries populate the scratch pool, grow every lazily sized
+	// buffer to its high-water mark, and size the reused score map.
+	for i := 0; i < 3; i++ {
+		if err := idx.QueryInto(7, &res); err != nil {
+			t.Fatalf("warm-up QueryInto: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := idx.QueryInto(7, &res); err != nil {
+			t.Fatalf("QueryInto: %v", err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state QueryInto performed %.1f allocs/query, want ~0 (pooled scratch has rotted)", allocs)
+	}
+}

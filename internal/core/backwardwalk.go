@@ -25,6 +25,16 @@ type backwardWalker struct {
 	sqrtC float64
 	rng   *walk.RNG
 
+	// outOff indexes edges, the packed out-adjacency: edges[k] carries the
+	// head node of the k-th CSR out-edge together with that head's in-degree,
+	// so the walk's threshold scans stream one 8-byte record per edge instead
+	// of chasing a random in-degree lookup per neighbor. recipIn[y] holds
+	// 1/InDegree(y), replacing the deterministic part's division with a
+	// multiply. Query states share both tables, owned by the Index.
+	outOff  []int
+	edges   []outEdge
+	recipIn []float64
+
 	// cur/next are dense frontier values indexed by node; curTouched and
 	// nextTouched list the nodes with non-zero entries. Outside a call, next is
 	// all-zero and cur holds the previous result at curTouched (zeroed lazily
@@ -39,7 +49,43 @@ type backwardWalker struct {
 
 func newBackwardWalker(g *graph.Graph, c float64, rng *walk.RNG) *backwardWalker {
 	opts := Options{C: c}
-	return &backwardWalker{g: g, alpha: opts.alpha(), sqrtC: opts.sqrtC(), rng: rng}
+	b := &backwardWalker{g: g, alpha: opts.alpha(), sqrtC: opts.sqrtC(), rng: rng}
+	b.outOff, _, _, _ = g.CSR()
+	return b
+}
+
+// outEdge is one packed out-adjacency record: the head node and its
+// in-degree (exact — in-degrees are bounded by the edge count, which the
+// int32 CSR adjacency already caps).
+type outEdge struct {
+	node int32
+	din  int32
+}
+
+// setDegreeTables points the walker at shared walk tables (typically the
+// Index's); walkers without shared tables build their own on first use.
+func (b *backwardWalker) setDegreeTables(edges []outEdge, recipIn []float64) {
+	b.edges, b.recipIn = edges, recipIn
+}
+
+// buildDegreeTables computes the packed out-adjacency (head node + head
+// in-degree per edge) and the node-indexed reciprocal-in-degree table.
+// Nodes with in-degree zero get reciprocal zero; they can never be an
+// out-neighbor, so the walk loops never read those slots.
+func buildDegreeTables(g *graph.Graph) (edges []outEdge, recipIn []float64) {
+	_, outAdj, inOff, _ := g.CSR()
+	edges = make([]outEdge, len(outAdj))
+	for k, y := range outAdj {
+		edges[k] = outEdge{node: y, din: int32(inOff[y+1] - inOff[y])}
+	}
+	n := g.N()
+	recipIn = make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.InDegree(v); d > 0 {
+			recipIn[v] = 1 / float64(d)
+		}
+	}
+	return edges, recipIn
 }
 
 // reset re-seeds the walker's generator as if it were freshly constructed with
@@ -54,6 +100,9 @@ func (b *backwardWalker) ensureScratch() {
 		n := b.g.N()
 		b.cur = make([]float64, n)
 		b.next = make([]float64, n)
+	}
+	if b.edges == nil {
+		b.edges, b.recipIn = buildDegreeTables(b.g)
 	}
 }
 
@@ -72,65 +121,73 @@ func (b *backwardWalker) clearScratch() {
 // buffer they index into. Both are owned by the walker's scratch and are valid
 // only until the next walk.
 //
-// The frontier is visited in ascending node order at every level, exactly like
-// the historical map-based implementation iterated sortedKeys(cur), so the
-// random stream consumed (and hence every estimate) is bit-identical for a
-// fixed seed.
+// Canonical frontier order: each level's frontier is visited in first-touch
+// order — the order nodes were discovered while expanding the previous level
+// (the target node alone at level 0). That order is fully determined by the
+// graph and the random stream, so a fixed seed reproduces every estimate
+// without the per-level sort the historical sorted-frontier contract paid
+// for. (The two contracts consume different random streams; see the package
+// determinism notes in Options.)
 func (b *backwardWalker) varianceBoundedInto(w, level int) (touched []int, values []float64) {
 	b.ensureScratch()
 	b.clearScratch()
 	b.cur[w] = b.alpha
 	b.curTouched = append(b.curTouched, w)
+	outOff := b.outOff
+	edges, recipIn := b.edges, b.recipIn
+	rng, alpha, sqrtC := b.rng, b.alpha, b.sqrtC
+	cost := b.cost
 	for i := 0; i < level; i++ {
-		sort.Ints(b.curTouched)
+		cur, next := b.cur, b.next
+		nextTouched := b.nextTouched
 		for _, x := range b.curTouched {
-			px := b.cur[x]
-			b.cur[x] = 0
+			px := cur[x]
+			cur[x] = 0
 			// Stop the walk at x with probability 1-√c.
-			if b.rng.Float64() >= b.sqrtC {
+			if rng.Float64() >= sqrtC {
 				continue
 			}
-			out := b.g.OutNeighbors(x)
+			j, end := outOff[x], outOff[x+1]
 			// Deterministic part: out-neighbors with din(y) <= π̂/(1-√c) get
 			// the exact share π̂/din(y).
-			detThreshold := px / b.alpha
-			j := 0
-			for ; j < len(out); j++ {
-				y := int(out[j])
-				din := float64(b.g.InDegree(y))
-				if din > detThreshold {
+			detThreshold := px / alpha
+			for ; j < end; j++ {
+				e := edges[j]
+				if float64(e.din) > detThreshold {
 					break
 				}
-				if b.next[y] == 0 {
-					b.nextTouched = append(b.nextTouched, y)
+				y := int(e.node)
+				if next[y] == 0 {
+					nextTouched = append(nextTouched, y)
 				}
-				b.next[y] += px / din
-				b.cost++
+				next[y] += px * recipIn[y]
+				cost++
 			}
 			// Randomized part: out-neighbors with din(y) <= π̂/(r(1-√c)) get a
 			// fixed increment 1-√c, turning the tail into a bounded-variance
 			// Bernoulli contribution.
-			r := b.rng.Float64Open()
-			randThreshold := px / (r * b.alpha)
-			for ; j < len(out); j++ {
-				y := int(out[j])
-				din := float64(b.g.InDegree(y))
-				if din > randThreshold {
+			r := rng.Float64Open()
+			randThreshold := px / (r * alpha)
+			for ; j < end; j++ {
+				e := edges[j]
+				if float64(e.din) > randThreshold {
 					break
 				}
-				if b.next[y] == 0 {
-					b.nextTouched = append(b.nextTouched, y)
+				y := int(e.node)
+				if next[y] == 0 {
+					nextTouched = append(nextTouched, y)
 				}
-				b.next[y] += b.alpha
-				b.cost++
+				next[y] += alpha
+				cost++
 			}
 		}
-		b.cur, b.next = b.next, b.cur
-		b.curTouched, b.nextTouched = b.nextTouched, b.curTouched[:0]
+		b.cur, b.next = next, cur
+		b.curTouched, b.nextTouched = nextTouched, b.curTouched[:0]
 		if len(b.curTouched) == 0 {
 			break
 		}
 	}
+	b.cost = cost
 	return b.curTouched, b.cur
 }
 
@@ -153,7 +210,9 @@ func (b *backwardWalker) VarianceBounded(w, level int) map[int]float64 {
 
 // Simple runs Algorithm 2 (the simple Backward Walk with unbounded variance)
 // from node w with target level ℓ. It is retained for the ablation benchmarks
-// comparing it against the variance-bounded version.
+// comparing it against the variance-bounded version; it is not on the query
+// hot path, so it keeps the historical map-based, sorted-iteration
+// implementation.
 func (b *backwardWalker) Simple(w, level int) map[int]float64 {
 	cur := map[int]float64{w: b.alpha}
 	if level == 0 {
@@ -189,9 +248,10 @@ func (b *backwardWalker) Simple(w, level int) map[int]float64 {
 // Cost returns the number of estimator increments performed so far.
 func (b *backwardWalker) Cost() int { return b.cost }
 
-// sortedKeys returns the keys of m in ascending order. The backward walks
-// iterate nodes in this fixed order so that, for a fixed seed, the sequence of
-// random numbers consumed (and hence the whole query) is deterministic.
+// sortedKeys returns the keys of m in ascending order. The simple backward
+// walk iterates nodes in this fixed order so that, for a fixed seed, the
+// sequence of random numbers consumed (and hence the whole run) is
+// deterministic.
 func sortedKeys(m map[int]float64) []int {
 	keys := make([]int, 0, len(m))
 	for k := range m {

@@ -143,6 +143,24 @@ func (l *SnapshotLayout) sectionsStart() uint64 {
 	return snapshotSectionsStart
 }
 
+// HotSections returns the sections queries touch first — the index entry
+// slab and, when the snapshot embeds the graph, its CSR offset and adjacency
+// arrays — for warmup hints (madvise readahead). The layout owns this list
+// so a future section reordering cannot silently desynchronize callers that
+// would otherwise hard-code indices.
+func (l *SnapshotLayout) HotSections() []Section {
+	hot := []Section{l.Sections[sectionEntrySlab]}
+	if l.HasGraph() {
+		hot = append(hot,
+			l.Sections[sectionGraphOutOff],
+			l.Sections[sectionGraphOutAdj],
+			l.Sections[sectionGraphInOff],
+			l.Sections[sectionGraphInAdj],
+		)
+	}
+	return hot
+}
+
 // sectionCount returns how many section-table rows the version defines.
 func (l *SnapshotLayout) sectionCount() int {
 	if l.Version == indexVersionV2 {

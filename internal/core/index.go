@@ -51,7 +51,26 @@ type Index struct {
 	// state, which is what makes Query safe to call from many goroutines.
 	statePool sync.Pool
 
+	// walkEdges/recipIn are the packed out-adjacency (head node + head
+	// in-degree per edge) and the reciprocal-in-degree table shared by every
+	// pooled backward walker, so the walk's threshold scans stream sequential
+	// records and its inner loop performs no divisions. Built lazily
+	// (degOnce) so snapshot-backed indexes get them too without paying for
+	// it at open time.
+	degOnce   sync.Once
+	walkEdges []outEdge
+	recipIn   []float64
+
 	stats IndexStats
+}
+
+// degreeTables returns the shared walk tables, building them on first use.
+// Safe for concurrent callers.
+func (idx *Index) degreeTables() (edges []outEdge, recipIn []float64) {
+	idx.degOnce.Do(func() {
+		idx.walkEdges, idx.recipIn = buildDegreeTables(idx.g)
+	})
+	return idx.walkEdges, idx.recipIn
 }
 
 // IndexStats reports the cost of preprocessing (Figure 5) and the size of the
@@ -179,6 +198,10 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 		return nil, firstErr
 	}
 	idx.stats.Pushes = int(pushes)
+	// Build the shared walk tables now — they are preprocessing, not query
+	// work (snapshot-opened indexes build them lazily on the first query
+	// instead, keeping open O(header)).
+	idx.degreeTables()
 	idx.flattenHubLevels(built)
 	idx.stats.Entries = len(idx.entrySlab)
 	idx.stats.PushTime = time.Since(pushStart)
@@ -250,6 +273,12 @@ func (idx *Index) HubEntries(w, level int) []IndexEntry {
 	if rank < 0 {
 		return nil
 	}
+	return idx.hubEntriesByRank(rank, level)
+}
+
+// hubEntriesByRank is HubEntries addressed by hub rank, for the query's
+// index-read pass, whose η·π accumulators are already rank-indexed.
+func (idx *Index) hubEntriesByRank(rank, level int) []IndexEntry {
 	lo, hi := idx.hubLevelPos[rank], idx.hubLevelPos[rank+1]
 	if level < 0 || uint64(level) >= hi-lo {
 		return nil

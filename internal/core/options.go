@@ -36,7 +36,17 @@ type Options struct {
 	// MaxLevels caps the number of walk levels considered anywhere (the decay
 	// makes deep levels negligible). Defaults to 64.
 	MaxLevels int
-	// Seed makes every randomized component deterministic.
+	// Seed makes every randomized component deterministic: for a fixed Seed
+	// (and index), repeated queries from the same source return bit-identical
+	// scores, regardless of concurrency, batching, or snapshot backing. The
+	// contract is fixed-seed reproducibility on a given build: every kernel
+	// consumes its random stream and accumulates floating point in a
+	// documented canonical order (batch lane order for walk sampling,
+	// first-touch frontier order for backward walks, levels-ascending /
+	// first-touch-within-level order for the index-read pass). Those
+	// canonical orders — and hence the exact score bits — may change between
+	// versions of this package when the kernels change; cross-version bit
+	// compatibility is intentionally not promised.
 	Seed uint64
 	// SampleScale multiplies the number of Monte Carlo samples used by the
 	// query. 1.0 reproduces the paper's worst-case constants

@@ -58,32 +58,71 @@ type QueryStats struct {
 // Score returns ŝ(u, v), which is zero for nodes the query never touched.
 func (r *Result) Score(v int) float64 { return r.Scores[v] }
 
+// scoredWorse reports whether a ranks strictly below b in TopK order
+// (descending score, ties broken by ascending node id). It is a total order,
+// so selection results are independent of map iteration order.
+func scoredWorse(a, b ScoredNode) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
 // TopK returns the k nodes with the highest estimated SimRank, excluding the
 // source itself, ordered by descending score with ties broken by node id.
 // k larger than the support returns everything; k <= 0 returns an empty
 // slice (slicing with a negative k would panic, and callers such as HTTP
 // handlers cannot be assumed to pre-validate).
+//
+// Selection uses a bounded min-heap of size k — O(support · log k) instead of
+// sorting the whole support — so /topk-style requests with small k stay cheap
+// on queries whose support is large.
 func (r *Result) TopK(k int) []ScoredNode {
-	if k < 0 {
-		k = 0
+	if k <= 0 {
+		return []ScoredNode{}
 	}
-	nodes := make([]ScoredNode, 0, len(r.Scores))
+	// h is a binary min-heap under scoredWorse: h[0] is the current worst of
+	// the best-k seen so far.
+	h := make([]ScoredNode, 0, min(k, len(r.Scores)))
 	for v, s := range r.Scores {
 		if v == r.Source {
 			continue
 		}
-		nodes = append(nodes, ScoredNode{Node: v, Score: s})
-	}
-	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].Score != nodes[j].Score {
-			return nodes[i].Score > nodes[j].Score
+		cand := ScoredNode{Node: v, Score: s}
+		if len(h) < k {
+			h = append(h, cand)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !scoredWorse(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			continue
 		}
-		return nodes[i].Node < nodes[j].Node
-	})
-	if k > len(nodes) {
-		k = len(nodes)
+		if !scoredWorse(h[0], cand) {
+			continue
+		}
+		h[0] = cand
+		for i, n := 0, len(h); ; {
+			l, rc := 2*i+1, 2*i+2
+			m := i
+			if l < n && scoredWorse(h[l], h[m]) {
+				m = l
+			}
+			if rc < n && scoredWorse(h[rc], h[m]) {
+				m = rc
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
 	}
-	return nodes[:k]
+	sort.Slice(h, func(i, j int) bool { return scoredWorse(h[j], h[i]) })
+	return h
 }
 
 // AsSlice returns the scores as a dense vector of length n. Keys outside
@@ -97,12 +136,6 @@ func (r *Result) AsSlice(n int) []float64 {
 		}
 	}
 	return out
-}
-
-// etaPiKey packs a (level, node) pair into one map key.
-type etaPiKey struct {
-	level int32
-	node  int32
 }
 
 // Query runs Algorithm 4: a single-source SimRank query from node u.
@@ -133,7 +166,16 @@ func (idx *Index) QueryInto(u int, res *Result) error {
 // QueryIntoCtx is the full query implementation behind Query, QueryCtx and
 // QueryInto. All scratch state — walkers, dense accumulators, the median
 // workspace — comes from a per-index sync.Pool, so steady-state queries only
-// allocate the returned score map entries.
+// allocate the returned score map entries (and nothing at all when reusing a
+// result whose map has already grown to the support size).
+//
+// Determinism: for a fixed Options.Seed, a query consumes a fixed random
+// stream and accumulates floating point in a fixed canonical order — walks
+// are sampled in batch order, backward-walk frontiers expand in first-touch
+// order, and the index-read pass visits levels in ascending order with nodes
+// in first-touch order within each level — so results are reproducible
+// run-to-run on the same build. Bit-compatibility of scores across versions
+// of this package is intentionally not promised.
 func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
 	if res == nil {
 		return fmt.Errorf("core: QueryInto with nil result")
@@ -144,10 +186,9 @@ func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
 	res.g = idx.g
 	start := time.Now()
 	opts := idx.opts
-	n := idx.g.N()
 
 	dr := opts.samplesPerRound()
-	fr := opts.rounds(n)
+	fr := opts.rounds(idx.g.N())
 	nr := dr * fr
 	alpha := opts.alpha()
 	alphaSq := alpha * alpha
@@ -159,88 +200,99 @@ func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
 
 	stats := QueryStats{}
 	bwCost0 := s.bw.Cost()
+	etaInc := 1 / float64(nr)
+	bwInvDiv := 1 / (alphaSq * float64(dr))
 
 	for i := 0; i < fr; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for j := 0; j < dr; j++ {
-			rs := s.walker.Sample(u)
-			stats.Walks++
-			if !rs.Terminated {
+		// Sample the round's d_r √c-walks in one batch, then sample the pair
+		// of walks from every eligible termination node in a second batch:
+		// the probability the pair does not meet is η(w), so the joint event
+		// estimates η(w)·π_ℓ(u,w). Surviving hub targets feed the η·π
+		// accumulators for the index-read pass; non-hub targets get a
+		// Variance Bounded Backward Walk folded into this round's running
+		// mean (their η·π estimate is never read, so it is not kept).
+		s.walkBuf = s.walker.SampleN(u, dr, s.walkBuf)
+		stats.Walks += dr
+		cands := s.candWalks[:0]
+		nodes := s.candNodes[:0]
+		for _, rs := range s.walkBuf {
+			if !rs.Terminated || rs.Steps >= opts.MaxLevels {
+				continue
+			}
+			cands = append(cands, rs)
+			nodes = append(nodes, rs.Node)
+		}
+		s.candWalks, s.candNodes = cands, nodes
+		stats.Walks += 2 * len(cands)
+		s.metBuf = s.walker.PairMeetsFromN(nodes, s.metBuf)
+		for j, rs := range cands {
+			if s.metBuf[j] {
 				continue
 			}
 			w, level := rs.Node, rs.Steps
-			if level >= opts.MaxLevels {
-				continue
-			}
-			// Sample the pair of walks from w; the probability they do not
-			// meet is η(w), so the joint event estimates η(w)·π_ℓ(u,w).
-			stats.Walks += 2
-			if s.walker.PairMeetsFrom(w) {
-				continue
-			}
-			s.etaPi[etaPiKey{level: int32(level), node: int32(w)}] += 1 / float64(nr)
-
-			if idx.IsHub(w) {
+			if rank := idx.hubRank[w]; rank >= 0 {
+				s.addEtaPi(level, rank, etaInc)
 				stats.HubHits++
 				continue
 			}
 			stats.NonHubHits++
-			// Non-hub target: estimate π̂_ℓ(v, w) by a Variance Bounded
-			// Backward Walk and add it to this round's running mean.
 			touched, values := s.bw.varianceBoundedInto(w, level)
-			s.accumulate(touched, values, alphaSq*float64(dr))
+			s.accumulate(touched, values, bwInvDiv)
 		}
 		s.finishRound(i)
 	}
 	stats.BackwardWalkCost = s.bw.Cost() - bwCost0
 
-	// Every fallible step is behind us; only now recycle the caller's score
-	// map, so a cancelled query leaves res untouched.
-	scores := res.Scores
-	if scores == nil {
-		scores = make(map[int]float64)
-	} else {
-		clear(scores)
-	}
+	// sB(u, v): median over rounds (missing rounds count as zero), folded
+	// into the dense final-score accumulator.
+	s.medianScores(fr)
 
-	// sB(u, v) = median over rounds (missing rounds count as zero).
-	s.medianScores(fr, scores)
-
-	// sI(u, v): for every (w, ℓ) with η̂π_ℓ(u,w) > ε/c1 and w a hub, read the
-	// stored reserves L_ℓ(w). Keys are visited in a fixed order so that
-	// floating-point accumulation is reproducible for a fixed seed.
+	// sI(u, v): for every hub w and level ℓ with η̂π_ℓ(u,w) > ε/c1, read the
+	// stored reserves L_ℓ(w). The canonical visit order — levels ascending,
+	// hub ranks in first-touch order within a level — fixes the
+	// floating-point accumulation order, so a fixed seed reproduces every
+	// score.
 	threshold := opts.Epsilon / c1
-	etaKeys := s.etaKeys[:0]
-	for key := range s.etaPi {
-		etaKeys = append(etaKeys, key)
-	}
-	sort.Slice(etaKeys, func(i, j int) bool {
-		if etaKeys[i].node != etaKeys[j].node {
-			return etaKeys[i].node < etaKeys[j].node
-		}
-		return etaKeys[i].level < etaKeys[j].level
-	})
-	s.etaKeys = etaKeys
-	for _, key := range etaKeys {
-		ep := s.etaPi[key]
-		if ep <= threshold {
-			continue
-		}
-		w := int(key.node)
-		if !idx.IsHub(w) {
-			continue
-		}
-		entries := idx.HubEntries(w, int(key.level))
-		for _, e := range entries {
-			scores[int(e.Node)] += ep * e.Reserve / alphaSq
-			stats.IndexEntriesRead++
+	invAlphaSq := 1 / alphaSq
+	for level, touched := range s.etaTouched {
+		vals := s.etaVals[level]
+		for _, rank := range touched {
+			ep := vals[rank]
+			if ep <= threshold {
+				continue
+			}
+			entries := idx.hubEntriesByRank(int(rank), level)
+			for _, e := range entries {
+				s.scoreInto(int(e.Node), ep*e.Reserve*invAlphaSq)
+			}
+			stats.IndexEntriesRead += len(entries)
 		}
 	}
 
 	// SimRank of a node with itself is 1 by definition.
-	scores[u] = 1
+	if s.scoreAcc[u] == 0 {
+		s.scoreTouched = append(s.scoreTouched, u)
+	}
+	s.scoreAcc[u] = 1
+
+	// Every fallible step is behind us; only now recycle the caller's score
+	// map, so a cancelled query leaves res untouched. The map is built in one
+	// pass from the dense accumulator, which is zeroed along the way to
+	// restore the all-zero invariant for the next pooled query.
+	scores := res.Scores
+	if scores == nil {
+		scores = make(map[int]float64, len(s.scoreTouched))
+	} else {
+		clear(scores)
+	}
+	for _, v := range s.scoreTouched {
+		scores[v] = s.scoreAcc[v]
+		s.scoreAcc[v] = 0
+	}
+	s.scoreTouched = s.scoreTouched[:0]
 
 	stats.Time = time.Since(start)
 	res.Source = u

@@ -7,10 +7,11 @@ import (
 )
 
 // queryState bundles every scratch buffer a single-source query needs — the
-// √c-walker, the backward walker with its dense frontiers, the per-round
-// accumulator, and the median workspace — so that a worker can run many
-// queries with near-zero steady-state allocation. States are pooled on the
-// Index via sync.Pool and sized to the graph on first use.
+// √c-walker with its batch buffer, the backward walker with its dense
+// frontiers, the per-round and per-level accumulators, the median workspace,
+// and the dense final-score accumulator — so that a worker can run many
+// queries with zero steady-state allocation. States are pooled on the Index
+// via sync.Pool and sized to the graph on first use.
 type queryState struct {
 	idx *Index
 
@@ -18,10 +19,24 @@ type queryState struct {
 	walker *walk.Walker
 	bw     *backwardWalker
 
-	// etaPi accumulates the η(w)·π_ℓ(u,w) estimates; etaKeys is the reusable
-	// sort buffer for the deterministic index-read pass.
-	etaPi   map[etaPiKey]float64
-	etaKeys []etaPiKey
+	// walkBuf holds one round's batch of √c-walk samples (d_r entries);
+	// candWalks/candNodes collect the walks eligible for the η·π estimate and
+	// metBuf their batched pair-meet indicators.
+	walkBuf   []walk.Result
+	candWalks []walk.Result
+	candNodes []int
+	metBuf    []bool
+
+	// etaVals/etaTouched accumulate the η(w)·π_ℓ(u,w) estimates densely per
+	// level, indexed by hub *rank*: etaVals[ℓ] is a j0-sized value buffer
+	// (allocated lazily the first time level ℓ is hit) and etaTouched[ℓ]
+	// lists its non-zero ranks in first-touch order — the canonical order of
+	// the index-read pass. Only hub targets are accumulated (non-hub entries
+	// were never read), which keeps the buffers small and cache-hot. Outside
+	// a query both are all-zero/empty (restored via the touched lists), so no
+	// hashing, sorting, or full clears happen anywhere.
+	etaVals    [][]float64
+	etaTouched [][]int32
 
 	// roundAcc is the dense accumulator for the current round's backward-walk
 	// estimates; roundTouched lists its non-zero entries.
@@ -41,7 +56,14 @@ type queryState struct {
 	uidGen     []uint32
 	gen        uint32
 	unionNodes []int
+	cnt        []int32 // per-union-node round count, parallel to unionNodes
 	valsMat    []float64
+
+	// scoreAcc is the dense final-score accumulator the median and index-read
+	// passes write into; scoreTouched lists its non-zero entries. The result
+	// map is built from them in one pass at the end of the query.
+	scoreAcc     []float64
+	scoreTouched []int
 }
 
 func newQueryState(idx *Index) *queryState {
@@ -53,13 +75,15 @@ func newQueryState(idx *Index) *queryState {
 	if err != nil {
 		panic("core: queryState on invalid index: " + err.Error())
 	}
+	bw := newBackwardWalker(idx.g, idx.opts.C, walk.NewRNG(0))
+	bw.setDegreeTables(idx.degreeTables())
 	return &queryState{
 		idx:      idx,
 		rng:      rng,
 		walker:   walker,
-		bw:       newBackwardWalker(idx.g, idx.opts.C, walk.NewRNG(0)),
-		etaPi:    make(map[etaPiKey]float64),
+		bw:       bw,
 		roundAcc: make([]float64, n),
+		scoreAcc: make([]float64, n),
 		uid:      make([]int32, n),
 		uidGen:   make([]uint32, n),
 	}
@@ -78,32 +102,67 @@ func (idx *Index) putState(s *queryState) { idx.statePool.Put(s) }
 
 // beginQuery re-seeds the walkers exactly as the historical per-query
 // construction did: a fresh RNG from the per-source seed, the walker from its
-// first value, and the backward walker from a split (the second value).
+// first value, and the backward walker from a split (the second value). It
+// also restores the all-zero invariant on every dense accumulator a cancelled
+// query may have left partially filled.
 func (s *queryState) beginQuery(u int) {
 	opts := s.idx.opts
 	s.rng.Reseed(opts.Seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 1))
 	s.walker.Reset(s.rng.Uint64())
 	s.bw.reset(s.rng.Uint64())
-	clear(s.etaPi)
-	s.etaKeys = s.etaKeys[:0]
-	// A cancelled query may have left a partial round behind; restore the
-	// all-zero accumulator invariant.
+	for l, touched := range s.etaTouched {
+		vals := s.etaVals[l]
+		for _, w := range touched {
+			vals[w] = 0
+		}
+		s.etaTouched[l] = touched[:0]
+	}
 	for _, v := range s.roundTouched {
 		s.roundAcc[v] = 0
 	}
 	s.roundTouched = s.roundTouched[:0]
+	for _, v := range s.scoreTouched {
+		s.scoreAcc[v] = 0
+	}
+	s.scoreTouched = s.scoreTouched[:0]
+}
+
+// addEtaPi folds one terminated-walk observation at hub rank into the level-ℓ
+// dense accumulator, growing the per-level buffers on first touch of a level.
+func (s *queryState) addEtaPi(level, rank int, inc float64) {
+	for len(s.etaVals) <= level {
+		s.etaVals = append(s.etaVals, nil)
+		s.etaTouched = append(s.etaTouched, nil)
+	}
+	vals := s.etaVals[level]
+	if vals == nil {
+		vals = make([]float64, s.idx.NumHubs())
+		s.etaVals[level] = vals
+	}
+	if vals[rank] == 0 {
+		s.etaTouched[level] = append(s.etaTouched[level], int32(rank))
+	}
+	vals[rank] += inc
+}
+
+// scoreInto folds one contribution into the dense final-score accumulator.
+func (s *queryState) scoreInto(v int, val float64) {
+	if s.scoreAcc[v] == 0 {
+		s.scoreTouched = append(s.scoreTouched, v)
+	}
+	s.scoreAcc[v] += val
 }
 
 // accumulate folds one backward-walk estimate (touched nodes indexing into a
-// dense value buffer) into the current round's accumulator, dividing each
-// contribution by div (the same p/div the historical map-based code computed,
-// for bit-identical floating point).
-func (s *queryState) accumulate(touched []int, values []float64, div float64) {
+// dense value buffer) into the current round's accumulator, scaling each
+// contribution by invDiv = 1/(α²·d_r) (the running-mean shape of
+// Algorithm 4, with the division hoisted out of the loop).
+func (s *queryState) accumulate(touched []int, values []float64, invDiv float64) {
 	for _, v := range touched {
 		if s.roundAcc[v] == 0 {
 			s.roundTouched = append(s.roundTouched, v)
 		}
-		s.roundAcc[v] += values[v] / div
+		s.roundAcc[v] += values[v] * invDiv
 	}
 }
 
@@ -128,10 +187,8 @@ func (s *queryState) finishRound(i int) {
 
 // medianScores computes, for every node touched by any of the first fr rounds,
 // the median of its per-round estimates (missing rounds count as zero) and
-// stores the non-zero medians into scores. The per-node median is computed
-// over exactly the same value multiset as the historical map-based
-// implementation, so results are bit-identical.
-func (s *queryState) medianScores(fr int, scores map[int]float64) {
+// folds the non-zero medians into the dense final-score accumulator.
+func (s *queryState) medianScores(fr int) {
 	if fr <= 0 {
 		return
 	}
@@ -144,6 +201,7 @@ func (s *queryState) medianScores(fr int, scores map[int]float64) {
 		s.gen = 1
 	}
 	s.unionNodes = s.unionNodes[:0]
+	s.cnt = s.cnt[:0]
 	for i := 0; i < fr && i < len(s.roundNodes); i++ {
 		for _, v32 := range s.roundNodes[i] {
 			v := int(v32)
@@ -151,13 +209,19 @@ func (s *queryState) medianScores(fr int, scores map[int]float64) {
 				s.uidGen[v] = s.gen
 				s.uid[v] = int32(len(s.unionNodes))
 				s.unionNodes = append(s.unionNodes, v)
+				s.cnt = append(s.cnt, 0)
 			}
+			s.cnt[s.uid[v]]++
 		}
 	}
 	if len(s.unionNodes) == 0 {
 		return
 	}
-	// Scatter the sparse rounds into a |union|×fr matrix (rows zero on entry).
+	// The estimates are non-negative and missing rounds count as zero, so a
+	// node's median can only be non-zero when it appears in more than half
+	// the rounds. The sparse majority of the union is decided right here by
+	// its round count; only majority nodes are scattered and selected.
+	minNz := int32(fr - fr/2)
 	need := len(s.unionNodes) * fr
 	if cap(s.valsMat) < need {
 		s.valsMat = make([]float64, need)
@@ -166,13 +230,18 @@ func (s *queryState) medianScores(fr int, scores map[int]float64) {
 	for i := 0; i < fr && i < len(s.roundNodes); i++ {
 		vals := s.roundVals[i]
 		for j, v32 := range s.roundNodes[i] {
-			mat[int(s.uid[v32])*fr+i] = vals[j]
+			if ui := s.uid[v32]; s.cnt[ui] >= minNz {
+				mat[int(ui)*fr+i] = vals[j]
+			}
 		}
 	}
 	for ui, v := range s.unionNodes {
+		if s.cnt[ui] < minNz {
+			continue
+		}
 		row := mat[ui*fr : (ui+1)*fr]
 		if m := medianInPlace(row); m != 0 {
-			scores[v] = m
+			s.scoreInto(v, m)
 		}
 		for k := range row {
 			row[k] = 0

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"prsim/internal/core"
+	"prsim/internal/graph"
 )
 
 // ErrIndexClosed is returned when the engine's current index backing has been
@@ -90,6 +91,13 @@ type Engine struct {
 	pairs     atomic.Int64
 	errors    atomic.Int64
 	swaps     atomic.Int64
+
+	// resPool recycles core.Results for queries whose Result never escapes
+	// the engine — the TopK path with caching disabled. Pooled results are
+	// index-agnostic (QueryIntoCtx rebinds the graph and recycles the score
+	// map), so the pool survives hot swaps: a result last used against a
+	// swapped-out generation is safely reused against the new one.
+	resPool sync.Pool
 
 	// queryFn overrides the per-source query implementation; tests use it to
 	// force error interleavings that real queries cannot produce on demand.
@@ -309,14 +317,50 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 }
 
 // TopK answers a single-source query and returns its k best nodes (excluding
-// the source), ordered by descending score with ties broken by node id.
-// Negative k is clamped to zero.
-func (e *Engine) TopK(ctx context.Context, u, k int) ([]core.ScoredNode, error) {
-	res, err := e.Query(ctx, u)
-	if err != nil {
-		return nil, err
+// the source), ordered by descending score with ties broken by node id,
+// together with the graph the answering query ran on (a hot Swap can land
+// mid-flight, and labels must resolve against the generation that produced
+// the scores). Negative k is clamped to zero.
+//
+// When caching is enabled the full result is computed and cached exactly
+// like Query. With caching disabled the query runs into a pooled result that
+// never escapes the engine, so a steady stream of TopK requests performs no
+// per-request result allocation: selection is a bounded-heap pass over the
+// pooled score map.
+func (e *Engine) TopK(ctx context.Context, u, k int) ([]core.ScoredNode, *graph.Graph, error) {
+	if e.cache != nil {
+		res, err := e.Query(ctx, u)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.TopK(k), res.Graph(), nil
 	}
-	return res.TopK(k), nil
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.errors.Add(1)
+		return nil, nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	s, err := e.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.release()
+	e.queries.Add(1)
+	res, _ := e.resPool.Get().(*core.Result)
+	if res == nil {
+		res = &core.Result{}
+	}
+	if err := s.idx.QueryIntoCtx(ctx, u, res); err != nil {
+		e.errors.Add(1)
+		e.resPool.Put(res)
+		return nil, nil, err
+	}
+	top := res.TopK(k)
+	g := res.Graph()
+	e.resPool.Put(res)
+	return top, g, nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v). Pair queries skip the cache

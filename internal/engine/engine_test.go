@@ -235,9 +235,12 @@ func TestCacheHitsAndEviction(t *testing.T) {
 func TestTopK(t *testing.T) {
 	idx := testIndex(t, 150)
 	e, _ := New(idx, Options{Workers: 2})
-	top, err := e.TopK(context.Background(), 7, 5)
+	top, g, err := e.TopK(context.Background(), 7, 5)
 	if err != nil {
 		t.Fatalf("TopK: %v", err)
+	}
+	if g != idx.Graph() {
+		t.Errorf("TopK returned wrong graph")
 	}
 	if len(top) > 5 {
 		t.Fatalf("TopK returned %d items", len(top))

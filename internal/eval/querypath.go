@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"runtime"
+	"time"
+
+	"prsim/internal/core"
+	"prsim/internal/gen"
+)
+
+// QueryPathResult reports the per-query cost of the single-source hot path on
+// the standard power-law benchmark graph, together with the work breakdown
+// that makes kernel regressions attributable: how much of a query was √c-walk
+// sampling (Walks), Variance Bounded Backward Walk increments
+// (BackwardWalkCost), and index reads (IndexEntriesRead).
+type QueryPathResult struct {
+	// Nodes/Edges describe the benchmark graph; Queries is the number of
+	// measured queries (after one warm-up).
+	Nodes   int
+	Edges   int
+	Queries int
+	// Epsilon and SampleScale pin the accuracy configuration the numbers
+	// were measured at (query cost scales with 1/ε²·SampleScale).
+	Epsilon     float64
+	SampleScale float64
+	// NsPerQuery is the mean wall-clock nanoseconds per query.
+	NsPerQuery float64
+	// AllocsPerQuery and BytesPerQuery are the mean heap allocations and
+	// bytes per steady-state query (QueryInto with a reused result, the
+	// serving configuration) — the pooled-scratch guarantee says these stay
+	// near zero.
+	AllocsPerQuery float64
+	BytesPerQuery  float64
+	// Walks, BackwardWalkCost, IndexEntriesRead, HubHits and NonHubHits are
+	// per-query means of the corresponding QueryStats counters.
+	Walks            float64
+	BackwardWalkCost float64
+	IndexEntriesRead float64
+	HubHits          float64
+	NonHubHits       float64
+}
+
+// RunQueryPath builds the standard power-law benchmark graph (150k nodes in
+// full mode, 30k in quick mode, average degree 10, γ = 2.5), indexes it, and
+// measures steady-state single-source queries through the pooled QueryInto
+// path. It is the experiment behind the kernel benchmarks: prsimbench
+// -experiment querypath -cpuprofile lets the per-sample cost of every kernel
+// change be attributed to walks, backward walks, or index reads.
+func RunQueryPath(cfg Config) (*QueryPathResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 150_000
+	if cfg.Quick {
+		n = 30_000
+	}
+	g, err := gen.PowerLaw(gen.PowerLawOptions{
+		N: n, AvgDegree: 10, Gamma: 2.5, Directed: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		C:           cfg.Decay,
+		Epsilon:     0.25,
+		NumHubs:     -1, // automatic √n hub selection (0 would be index-free)
+		SampleScale: cfg.SampleScale,
+		Seed:        cfg.Seed,
+	}
+	idx, err := core.BuildIndex(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryPathResult{
+		Nodes:       g.N(),
+		Edges:       g.M(),
+		Queries:     cfg.Queries,
+		Epsilon:     opts.Epsilon,
+		SampleScale: cfg.SampleScale,
+	}
+
+	sources := make([]int, cfg.Queries)
+	for i := range sources {
+		sources[i] = (i * 131) % g.N()
+	}
+	// One warm-up query populates the scratch pool and the reused result, so
+	// the measured loop sees the steady state a serving worker sees.
+	var r core.Result
+	if err := idx.QueryInto(sources[0], &r); err != nil {
+		return nil, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for _, u := range sources {
+		if err := idx.QueryInto(u, &r); err != nil {
+			return nil, err
+		}
+		res.Walks += float64(r.Stats.Walks)
+		res.BackwardWalkCost += float64(r.Stats.BackwardWalkCost)
+		res.IndexEntriesRead += float64(r.Stats.IndexEntriesRead)
+		res.HubHits += float64(r.Stats.HubHits)
+		res.NonHubHits += float64(r.Stats.NonHubHits)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	q := float64(cfg.Queries)
+	res.NsPerQuery = float64(elapsed.Nanoseconds()) / q
+	res.AllocsPerQuery = float64(after.Mallocs-before.Mallocs) / q
+	res.BytesPerQuery = float64(after.TotalAlloc-before.TotalAlloc) / q
+	res.Walks /= q
+	res.BackwardWalkCost /= q
+	res.IndexEntriesRead /= q
+	res.HubHits /= q
+	res.NonHubHits /= q
+	return res, nil
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// adviseWillNeed hints the kernel to start reading the pages covering
+// data[off:off+length] into the page cache (madvise(MADV_WILLNEED)). data
+// must be the full mmap region (page-aligned by construction); off/length
+// are rounded out to page boundaries because madvise requires a page-aligned
+// address. Errors are ignored: the hint is purely an optimization and the
+// pages fault in on demand regardless.
+func adviseWillNeed(data []byte, off, length uint64) {
+	if length == 0 || off >= uint64(len(data)) {
+		return
+	}
+	page := uint64(os.Getpagesize())
+	start := off - off%page
+	end := off + length
+	if end > uint64(len(data)) {
+		end = uint64(len(data))
+	}
+	_ = syscall.Madvise(data[start:end], syscall.MADV_WILLNEED)
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package snapshot
+
+// adviseWillNeed is a no-op on platforms without madvise (or where we have
+// not wired it up); pages fault in on demand.
+func adviseWillNeed(data []byte, off, length uint64) {}

@@ -302,6 +302,23 @@ func (s *Snapshot) release() error {
 	return nil
 }
 
+// WarmUp hints the kernel to fault in the sections queries touch first — the
+// index entry slab and, for self-contained snapshots, the graph's adjacency
+// arrays — via madvise(MADV_WILLNEED) (a no-op off Linux and for
+// streaming-backed snapshots). Serving paths call it right after open and
+// after a hot swap so the first post-(re)load queries do not eat the
+// page-fault cliff one miss at a time; the readahead proceeds asynchronously
+// while the caller starts serving.
+func (s *Snapshot) WarmUp() {
+	if !s.mapped || !s.Retain() {
+		return
+	}
+	defer s.Release()
+	for _, sec := range s.layout.HotSections() {
+		adviseWillNeed(s.data, sec.Off, sec.Len)
+	}
+}
+
 // Verify recomputes the CRC-32C of the mapped section payload against the
 // file's trailer, faulting in every page. It returns ErrClosed after Close
 // and nil for streaming-backed snapshots (the streaming loader checksums

@@ -457,3 +457,36 @@ func TestCloseDefersUnmapUntilRelease(t *testing.T) {
 		t.Fatalf("Retain after full drain should fail")
 	}
 }
+
+// TestWarmUp exercises the madvise warmup hint on every backing: mapped
+// snapshots (with and without an embedded graph), streaming-backed snapshots
+// (no-op), and closed snapshots (must not fault or retain). The hint has no
+// observable result beyond not crashing and not breaking queries, so the
+// test pins exactly that.
+func TestWarmUp(t *testing.T) {
+	g, _, path := buildFixture(t)
+	for _, tc := range []struct {
+		name string
+		open func() (*Snapshot, error)
+	}{
+		{"mapped with graph", func() (*Snapshot, error) { return Open(path, g, Options{}) }},
+		{"self-contained", func() (*Snapshot, error) { return Open(path, nil, Options{}) }},
+		{"streaming", func() (*Snapshot, error) { return Open(path, g, Options{ForceStream: true}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, err := tc.open()
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			snap.WarmUp()
+			idx := mustIndex(t, snap)
+			if _, err := idx.Query(0); err != nil {
+				t.Fatalf("query after WarmUp: %v", err)
+			}
+			if err := snap.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			snap.WarmUp() // must be a safe no-op on a closed snapshot
+		})
+	}
+}

@@ -9,7 +9,10 @@
 // matches the ℓ-hop RPPR recurrence of the paper).
 package walk
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic xoshiro256**-style generator. It is not safe for
 // concurrent use; clone one per goroutine with Split.
@@ -83,34 +86,19 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("walk: Intn with non-positive n")
 	}
-	// Lemire's nearly-divisionless bounded sampling.
+	// Lemire's nearly-divisionless bounded sampling. bits.Mul64 compiles to
+	// one widening-multiply instruction, and this is the innermost operation
+	// of every walk step.
 	v := r.Uint64()
-	hi, lo := mul64(v, uint64(n))
+	hi, lo := bits.Mul64(v, uint64(n))
 	if lo < uint64(n) {
 		threshold := (-uint64(n)) % uint64(n)
 		for lo < threshold {
 			v = r.Uint64()
-			hi, lo = mul64(v, uint64(n))
+			hi, lo = bits.Mul64(v, uint64(n))
 		}
 	}
 	return int(hi)
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	w0 := t & mask
-	k := t >> 32
-	t = aHi*bLo + k
-	w1 := t & mask
-	w2 := t >> 32
-	t = aLo*bHi + w1
-	hi = aHi*bHi + w2 + (t >> 32)
-	lo = (t << 32) + w0
-	return hi, lo
 }
 
 // NormFloat64 returns a standard normal value (Box-Muller). Used by the

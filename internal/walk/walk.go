@@ -11,12 +11,40 @@ import (
 // experiments.
 const DefaultDecay = 0.6
 
+// geomTableLen is the number of precomputed P(L >= k) = (√c)^k thresholds the
+// geometric length sampler scans before falling back to the exact inverse
+// CDF. Walk lengths are geometric with success probability 1-√c, so the scan
+// terminates after ~1/(1-√c) comparisons in expectation and the fallback
+// (probability (√c)^(geomTableLen-1), ~0.04% at c = 0.6) is cold.
+const geomTableLen = 33
+
 // Walker samples √c-walks on a graph.
+//
+// Walk lengths are drawn directly from their geometric distribution — one
+// uniform draw per walk instead of one termination coin per step — so the
+// random stream a walker consumes is: one draw for the length, then one draw
+// per step for the in-neighbor choice. The distribution of (termination node,
+// steps, terminated) is identical to flipping a 1-√c coin before every step.
 type Walker struct {
 	g     *graph.Graph
 	c     float64
 	sqrtC float64
 	rng   *RNG
+
+	// inOff/inAdj are the graph's in-adjacency CSR arrays, cached so the
+	// batch kernels index them directly instead of constructing a slice
+	// header per step.
+	inOff []int
+	inAdj []int32
+
+	// geomT[k] = (√c)^k, the survival function of the walk length, and
+	// geomTC[k] = c^k, the survival function of the synchronized pair-walk
+	// length; invLnSqrtC = 1/ln(√c) and invLnC = 1/ln(c) convert a uniform
+	// draw into an exact geometric sample when a threshold table runs out.
+	geomT      [geomTableLen]float64
+	geomTC     [geomTableLen]float64
+	invLnSqrtC float64
+	invLnC     float64
 }
 
 // NewWalker returns a walker with decay factor c (the SimRank decay, not √c)
@@ -28,7 +56,18 @@ func NewWalker(g *graph.Graph, c float64, seed uint64) (*Walker, error) {
 	if c <= 0 || c >= 1 {
 		return nil, fmt.Errorf("walk: decay factor c=%v outside (0,1)", c)
 	}
-	return &Walker{g: g, c: c, sqrtC: math.Sqrt(c), rng: NewRNG(seed)}, nil
+	w := &Walker{g: g, c: c, sqrtC: math.Sqrt(c), rng: NewRNG(seed)}
+	_, _, w.inOff, w.inAdj = g.CSR()
+	w.invLnSqrtC = 1 / math.Log(w.sqrtC)
+	w.invLnC = 1 / math.Log(c)
+	t, tc := 1.0, 1.0
+	for k := range w.geomT {
+		w.geomT[k] = t
+		t *= w.sqrtC
+		w.geomTC[k] = tc
+		tc *= c
+	}
+	return w, nil
 }
 
 // MustNewWalker is NewWalker but panics on error; for tests and fixtures.
@@ -69,22 +108,194 @@ type Result struct {
 	Terminated bool
 }
 
-// Sample runs one √c-walk from u and reports where (and whether) it
-// terminated.
-func (w *Walker) Sample(u int) Result {
-	cur := u
-	steps := 0
-	for {
-		if w.rng.Float64() >= w.sqrtC {
-			return Result{Node: cur, Steps: steps, Terminated: true}
+// geometricSteps draws the walk length: P(L = k) = (√c)^k · (1-√c). One
+// uniform draw u is inverted against the survival thresholds (√c)^k — a short
+// linear scan, since the distribution decays geometrically — with an exact
+// log-based inverse CDF for the rare tail beyond the table.
+func (w *Walker) geometricSteps() int {
+	u := w.rng.Float64Open()
+	for k := 1; k < geomTableLen; k++ {
+		if u >= w.geomT[k] {
+			return k - 1
 		}
+	}
+	return int(math.Log(u) * w.invLnSqrtC)
+}
+
+// geometricPairSteps draws the number of steps a synchronized pair of
+// √c-walks survives: each step both continuation coins must land, a single
+// event with probability √c·√c = c, so the count is geometric with success
+// probability 1-c. Same one-draw inversion as geometricSteps.
+func (w *Walker) geometricPairSteps() int {
+	u := w.rng.Float64Open()
+	for k := 1; k < geomTableLen; k++ {
+		if u >= w.geomTC[k] {
+			return k - 1
+		}
+	}
+	return int(math.Log(u) * w.invLnC)
+}
+
+// Sample runs one √c-walk from u and reports where (and whether) it
+// terminated. The walk length is pre-sampled from its geometric distribution
+// (one draw), then each step draws one in-neighbor; a walk that reaches a
+// node with no in-neighbors before its pre-sampled length dies unterminated,
+// exactly like losing the per-step coin flip race in the step-by-step
+// formulation.
+func (w *Walker) Sample(u int) Result {
+	length := w.geometricSteps()
+	cur := u
+	for step := 0; step < length; step++ {
 		in := w.g.InNeighbors(cur)
 		if len(in) == 0 {
-			return Result{Node: cur, Steps: steps, Terminated: false}
+			return Result{Node: cur, Steps: step, Terminated: false}
 		}
 		cur = int(in[w.rng.Intn(len(in))])
-		steps++
 	}
+	return Result{Node: cur, Steps: length, Terminated: true}
+}
+
+// sampleLanes is the number of walks the batch kernels advance in lockstep.
+// Walks are independent pointer-chases over the in-adjacency arrays, which on
+// large graphs miss the cache at almost every step; interleaving a handful of
+// walks lets the CPU overlap those misses (memory-level parallelism) instead
+// of serializing each walk's steps behind the previous walk's.
+const sampleLanes = 16
+
+// SampleN runs n √c-walks from u into out (reused when its capacity allows,
+// so steady-state batches allocate nothing), returning the filled slice. Walk
+// i of the batch lands in out[i], distributed identically to Sample.
+//
+// The kernel advances sampleLanes walks in lockstep and refills lanes as
+// walks finish, so the batch consumes the walker's random stream in a
+// deterministic interleaved order — reproducible for a fixed seed, but
+// intentionally not the same stream as n sequential Sample calls.
+func (w *Walker) SampleN(u, n int, out []Result) []Result {
+	if cap(out) < n {
+		out = make([]Result, n)
+	} else {
+		out = out[:n]
+	}
+	rng := w.rng
+	inOff, inAdj := w.inOff, w.inAdj
+	var cur, left, steps, slot [sampleLanes]int
+	active, next := 0, 0
+	for ; active < sampleLanes && next < n; active++ {
+		cur[active], steps[active], slot[active] = u, 0, next
+		left[active] = w.geometricSteps()
+		next++
+	}
+	for active > 0 {
+		for i := 0; i < active; {
+			var res Result
+			if left[i] == 0 {
+				res = Result{Node: cur[i], Steps: steps[i], Terminated: true}
+			} else {
+				off := inOff[cur[i]]
+				if deg := inOff[cur[i]+1] - off; deg > 0 {
+					// Single in-neighbor: the move is forced, so no random
+					// draw is consumed (power-law graphs are full of
+					// in-degree-1 nodes).
+					if deg == 1 {
+						cur[i] = int(inAdj[off])
+					} else {
+						cur[i] = int(inAdj[off+rng.Intn(deg)])
+					}
+					steps[i]++
+					left[i]--
+					i++
+					continue
+				}
+				res = Result{Node: cur[i], Steps: steps[i], Terminated: false}
+			}
+			out[slot[i]] = res
+			if next < n {
+				// Refill the lane with the next walk of the batch; it takes
+				// its first step on the next sweep.
+				cur[i], steps[i], slot[i] = u, 0, next
+				left[i] = w.geometricSteps()
+				next++
+				i++
+			} else {
+				// Retire the lane by compacting the last active lane into it;
+				// the moved lane is processed at index i on this sweep.
+				active--
+				cur[i], left[i], steps[i], slot[i] = cur[active], left[active], steps[active], slot[active]
+			}
+		}
+	}
+	return out
+}
+
+// PairMeetsFromN runs PairMeetsFrom for every node of nodes into out (reused
+// when its capacity allows), returning the filled slice: out[i] reports
+// whether the pair of √c-walks from nodes[i] met again at some step >= 1.
+// Like SampleN it advances the pairs in lockstep lanes and pre-draws each
+// pair's survival length from its geometric distribution (both √c coins land
+// with probability √c·√c = c per step, so the joint length takes one draw),
+// consuming the random stream in a deterministic interleaved order.
+func (w *Walker) PairMeetsFromN(nodes []int, out []bool) []bool {
+	n := len(nodes)
+	if cap(out) < n {
+		out = make([]bool, n)
+	} else {
+		out = out[:n]
+	}
+	rng := w.rng
+	inOff, inAdj := w.inOff, w.inAdj
+	var a, b, left, slot [sampleLanes]int
+	active, next := 0, 0
+	for ; active < sampleLanes && next < n; active++ {
+		a[active], b[active], slot[active] = nodes[next], nodes[next], next
+		left[active] = w.geometricPairSteps()
+		next++
+	}
+	for active > 0 {
+		for i := 0; i < active; {
+			met, done := false, false
+			if left[i] == 0 {
+				done = true
+			} else {
+				offA := inOff[a[i]]
+				degA := inOff[a[i]+1] - offA
+				offB := inOff[b[i]]
+				degB := inOff[b[i]+1] - offB
+				if degA == 0 || degB == 0 {
+					done = true
+				} else {
+					na := int(inAdj[offA])
+					if degA > 1 {
+						na = int(inAdj[offA+rng.Intn(degA)])
+					}
+					nb := int(inAdj[offB])
+					if degB > 1 {
+						nb = int(inAdj[offB+rng.Intn(degB)])
+					}
+					if na == nb {
+						met, done = true, true
+					} else {
+						a[i], b[i] = na, nb
+						left[i]--
+					}
+				}
+			}
+			if !done {
+				i++
+				continue
+			}
+			out[slot[i]] = met
+			if next < n {
+				a[i], b[i], slot[i] = nodes[next], nodes[next], next
+				left[i] = w.geometricPairSteps()
+				next++
+				i++
+			} else {
+				active--
+				a[i], b[i], left[i], slot[i] = a[active], b[active], left[active], slot[active]
+			}
+		}
+	}
+	return out
 }
 
 // SampleTrace runs one √c-walk from u and returns the full sequence of nodes
@@ -94,10 +305,8 @@ func (w *Walker) Sample(u int) Result {
 func (w *Walker) SampleTrace(u int) (trace []int, terminated bool) {
 	trace = append(trace, u)
 	cur := u
-	for {
-		if w.rng.Float64() >= w.sqrtC {
-			return trace, true
-		}
+	length := w.geometricSteps()
+	for step := 0; step < length; step++ {
 		in := w.g.InNeighbors(cur)
 		if len(in) == 0 {
 			return trace, false
@@ -105,6 +314,7 @@ func (w *Walker) SampleTrace(u int) (trace []int, terminated bool) {
 		cur = int(in[w.rng.Intn(len(in))])
 		trace = append(trace, cur)
 	}
+	return trace, true
 }
 
 // Meet simulates a pair of √c-walks from u and v step-synchronously and
@@ -120,10 +330,9 @@ func (w *Walker) Meet(u, v int, minStep int) bool {
 	a, b := u, v
 	step := 0
 	for {
-		// Each walk independently decides whether to continue.
-		contA := w.rng.Float64() < w.sqrtC
-		contB := w.rng.Float64() < w.sqrtC
-		if !contA || !contB {
+		// The pair survives a step iff both independent √c coins land, which
+		// is a single event with probability √c·√c = c — one draw, not two.
+		if w.rng.Float64() >= w.c {
 			return false
 		}
 		inA := w.g.InNeighbors(a)

@@ -200,6 +200,101 @@ func TestSampleTrace(t *testing.T) {
 	}
 }
 
+func TestSampleNDeterministicForSeed(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0},
+		{From: 0, To: 2}, {From: 1, To: 3},
+	})
+	a := MustNewWalker(g, 0.6, 99)
+	b := MustNewWalker(g, 0.6, 99)
+	ra := a.SampleN(1, 500, nil)
+	rb := b.SampleN(1, 500, nil)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed diverged at walk %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	// A second batch on the same walker must continue the stream, not repeat.
+	rc := a.SampleN(1, 500, nil)
+	same := 0
+	for i := range ra {
+		if ra[i] == rc[i] {
+			same++
+		}
+	}
+	if same == len(ra) {
+		t.Errorf("second batch repeated the first exactly; stream did not advance")
+	}
+}
+
+func TestSampleNDistributionMatchesSample(t *testing.T) {
+	// On a cycle, walks never die; the batch kernel must terminate every walk
+	// and the step count must stay geometric with success probability 1-√c,
+	// exactly like sequential Sample.
+	n := 10
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: i, To: (i + 1) % n}
+	}
+	g := graph.MustFromEdges(n, edges)
+	w := MustNewWalker(g, 0.6, 11)
+	const trials = 200000
+	out := w.SampleN(0, trials, nil)
+	zeroSteps, stepSum := 0, 0
+	for _, res := range out {
+		if !res.Terminated {
+			t.Fatalf("batched walk died on a cycle: %+v", res)
+		}
+		if res.Steps == 0 {
+			zeroSteps++
+		}
+		stepSum += res.Steps
+	}
+	alpha := 1 - math.Sqrt(0.6)
+	if got := float64(zeroSteps) / trials; math.Abs(got-alpha) > 0.01 {
+		t.Errorf("P(terminate at step 0) = %v, want %v", got, alpha)
+	}
+	// E[steps] = √c/(1-√c) for a geometric length.
+	wantMean := math.Sqrt(0.6) / alpha
+	if got := float64(stepSum) / trials; math.Abs(got-wantMean) > 0.05 {
+		t.Errorf("mean walk length = %v, want %v", got, wantMean)
+	}
+}
+
+func TestPairMeetsFromNMatchesSequential(t *testing.T) {
+	// The batched pair-meet kernel must estimate the same meeting probability
+	// as sequential PairMeetsFrom (the streams differ; the distribution must
+	// not).
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+		{From: 0, To: 2}, {From: 2, To: 3}, {From: 3, To: 1},
+	})
+	const trials = 100000
+	seq := MustNewWalker(g, 0.6, 21)
+	seqMet := 0
+	for i := 0; i < trials; i++ {
+		if seq.PairMeetsFrom(1) {
+			seqMet++
+		}
+	}
+	batch := MustNewWalker(g, 0.6, 22)
+	nodes := make([]int, trials)
+	for i := range nodes {
+		nodes[i] = 1
+	}
+	out := batch.PairMeetsFromN(nodes, nil)
+	batchMet := 0
+	for _, m := range out {
+		if m {
+			batchMet++
+		}
+	}
+	a, b := float64(seqMet)/trials, float64(batchMet)/trials
+	if math.Abs(a-b) > 0.01 {
+		t.Errorf("meeting probability: sequential %v vs batched %v", a, b)
+	}
+}
+
 func TestMeetOnSharedInNeighbor(t *testing.T) {
 	// Graph: 2 -> 0, 2 -> 1. Both 0 and 1 have the single in-neighbor 2, so
 	// the two walks meet after one step iff both survive their first step:

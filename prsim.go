@@ -416,7 +416,23 @@ func OpenSnapshot(path string, g *Graph) (*Index, error) {
 		}
 		g = wrapGraph(sg)
 	}
+	// Kick off asynchronous readahead of the hot sections (entry slab,
+	// adjacency) so the first queries do not pay the page-fault cliff one
+	// miss at a time.
+	snap.WarmUp()
 	return &Index{g: g, idx: idx, snap: snap}, nil
+}
+
+// WarmUp asks the kernel to fault in the snapshot sections queries touch
+// first (the index entry slab and the embedded graph's adjacency arrays) via
+// madvise(MADV_WILLNEED). It is called automatically by OpenSnapshot and by
+// Engine.Swap and is a no-op for heap-backed indexes and off Linux; calling
+// it again is harmless and re-issues the hint (useful after memory
+// pressure evicted the page cache).
+func (idx *Index) WarmUp() {
+	if idx.snap != nil {
+		idx.snap.WarmUp()
+	}
 }
 
 // Verify checks the integrity of an index opened with OpenSnapshot by
