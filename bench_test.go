@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"prsim/internal/core"
@@ -298,6 +299,51 @@ func BenchmarkQueryThroughput(b *testing.B) {
 				done += m
 			}
 		})
+	}
+}
+
+// BenchmarkCoalescedThroughput measures the request plane under a
+// high-duplication workload: many concurrent callers spread over a handful
+// of hot sources, with the result cache disabled so every answered duplicate
+// is either a fresh computation or a single-flight coalesce. The tracked
+// number is ns per answered request — coalescing turns a thundering herd of
+// identical queries into one computation plus cheap waits, so regressions in
+// the flight table or admission gate show up directly. Runs under the
+// bench-trend gate via BENCH_ci.json.
+func BenchmarkCoalescedThroughput(b *testing.B) {
+	g, err := LoadDataset("LJ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Cache off: dedupe comes from coalescing alone. Unbounded queue so the
+	// benchmark measures throughput, not shed rate.
+	eng, err := NewEngine(idx, EngineOptions{Workers: runtime.GOMAXPROCS(0), MaxQueue: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := []int{1, 7, 42, 99} // 4 hot sources: ~16x duplication at 64 callers
+	ctx := context.Background()
+	var n atomic.Int64
+	b.ResetTimer()
+	b.SetParallelism(16) // 16x GOMAXPROCS caller goroutines
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			u := hot[int(n.Add(1))%len(hot)]
+			if _, err := eng.Do(ctx, Request{Source: u, K: 10}); err != nil {
+				// Fatal would Goexit a RunParallel worker; record and bail.
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Queries > 0 {
+		b.ReportMetric(float64(st.Coalesced)/float64(st.Queries), "coalesced/op")
 	}
 }
 

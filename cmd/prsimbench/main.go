@@ -306,6 +306,16 @@ func runQueryPath(cfg eval.Config) error {
 	fmt.Fprintf(w, "index entries read\t%.0f\n", res.IndexEntriesRead)
 	fmt.Fprintf(w, "hub hits\t%.0f\n", res.HubHits)
 	fmt.Fprintf(w, "non-hub hits\t%.0f\n", res.NonHubHits)
+	flush()
+
+	fmt.Println("\n--- per-request epsilon sweep (one index, request-plane override) ---")
+	w2, flush2 := newTable("request epsilon", "time (ms)", "speedup", "walks", "backward-walk cost", "index reads")
+	defer flush2()
+	for _, tier := range res.EpsilonSweep {
+		fmt.Fprintf(w2, "%.2f (%gx build)\t%.3f\t%.2fx\t%.0f\t%.0f\t%.0f\n",
+			tier.Epsilon, tier.Multiple, tier.NsPerQuery/1e6, tier.Speedup,
+			tier.Walks, tier.BackwardWalkCost, tier.IndexEntriesRead)
+	}
 	return nil
 }
 

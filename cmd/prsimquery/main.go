@@ -10,13 +10,22 @@
 //	prsimquery -graph graph.txt -loadindex idx.prsim -source 3
 //	prsimquery -graph graph.txt -loadindex idx.prsim -mmap -source 3
 //	prsimquery -loadindex idx.prsim -source 3               # self-contained v3
+//	prsimquery -loadindex idx.prsim -source 3 -epsilon 0.4  # faster, coarser
 //	prsimquery -graph graph.txt -algorithm ProbeSim -source 3
+//
+// When an index is loaded (-loadindex), -epsilon becomes a per-request
+// accuracy target threaded through the request plane: larger values answer
+// faster with proportionally fewer walks, values below the index's build
+// epsilon are clamped up to it with a warning. -timeout bounds the query's
+// wall-clock time (the deadline is checked at round boundaries).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"prsim"
 )
@@ -30,7 +39,8 @@ func main() {
 		avgDeg    = flag.Float64("degree", 10, "average degree for -generate")
 		gamma     = flag.Float64("gamma", 2.5, "power-law exponent for -generate powerlaw")
 		directed  = flag.Bool("directed", true, "generate directed edges")
-		epsilon   = flag.Float64("epsilon", 0.1, "additive error target")
+		epsilon   = flag.Float64("epsilon", 0.1, "additive error target (per-request override when -loadindex is used)")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		decay     = flag.Float64("decay", prsim.DefaultDecay, "SimRank decay factor c")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		scale     = flag.Float64("samplescale", 1.0, "Monte Carlo sample scale (1.0 = paper constants)")
@@ -43,10 +53,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Only an explicit -epsilon becomes a per-request override for loaded
+	// indexes; the default would otherwise silently fight the build epsilon
+	// stored in the snapshot.
+	epsilonSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "epsilon" {
+			epsilonSet = true
+		}
+	})
+
 	if err := run(config{
 		graphPath: *graphPath, dataset: *dsName, generate: *generate, n: *n, avgDeg: *avgDeg,
-		gamma: *gamma, directed: *directed, epsilon: *epsilon, decay: *decay, seed: *seed,
-		scale: *scale, source: *source, topK: *topK, saveIndex: *saveIndex, loadIndex: *loadIndex,
+		gamma: *gamma, directed: *directed, epsilon: *epsilon, epsilonSet: epsilonSet,
+		decay: *decay, seed: *seed, scale: *scale, source: *source, topK: *topK,
+		saveIndex: *saveIndex, loadIndex: *loadIndex, timeout: *timeout,
 		mmap: *useMmap, algorithm: *algorithm,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "prsimquery: %v\n", err)
@@ -60,10 +81,12 @@ type config struct {
 	avgDeg, gamma                float64
 	directed                     bool
 	epsilon, decay               float64
+	epsilonSet                   bool
 	seed                         uint64
 	scale                        float64
 	source, topK                 int
 	saveIndex, loadIndex         string
+	timeout                      time.Duration
 	mmap                         bool
 	algorithm                    string
 }
@@ -134,10 +157,30 @@ func run(cfg config) error {
 		return nil
 	}
 
-	res, err := idx.Query(cfg.source)
+	// Per-request epsilon applies only to loaded indexes: when the index was
+	// just built, -epsilon already was the build target and the request
+	// inherits it.
+	req := prsim.Request{Source: cfg.source}
+	if cfg.loadIndex != "" && cfg.epsilonSet {
+		req.Epsilon = cfg.epsilon
+	}
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	resp, err := idx.Do(ctx, req)
 	if err != nil {
 		return err
 	}
+	if resp.Clamped {
+		fmt.Printf("note: requested epsilon %g is below the index's build epsilon; clamped to %g\n",
+			req.Epsilon, resp.Epsilon)
+	} else if req.Epsilon > 0 {
+		fmt.Printf("per-request epsilon %g\n", resp.Epsilon)
+	}
+	res := resp.Result
 	stats := res.Stats()
 	fmt.Printf("query from node %d took %.4fs (%d walks, %d backward-walk increments, %d index reads)\n",
 		cfg.source, stats.Seconds, stats.Walks, stats.BackwardWalkCost, stats.IndexEntriesRead)

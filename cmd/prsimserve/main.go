@@ -20,19 +20,39 @@
 //
 // Hot reload: with -watch the snapshot file's mtime is polled and a change
 // atomically swaps in the re-opened snapshot without dropping in-flight
-// requests (the old mapping is unmapped only after they drain, and the
-// result cache is invalidated). POST /reload triggers the same swap on
-// demand. /stats reports the snapshot generation, which increments per swap.
+// requests (the old mapping is unmapped only after they drain). The result
+// cache is invalidated on swap unless the new snapshot serves an identical
+// graph with identical options, in which case cached results are kept warm
+// across the reload. POST /reload triggers the same swap on demand. /stats
+// reports the snapshot generation, which increments per swap. With
+// -verifyevery the snapshot's CRC-32C is re-verified in the background on a
+// timer; the last verification outcome is logged and exposed in /stats.
+//
+// Request plane: every query endpoint accepts the same per-request knobs —
+// epsilon (accuracy/latency trade, clamped up to the index's build epsilon),
+// k (top-k selection), timeout_ms (per-request deadline, capped by -timeout)
+// and no_cache — as URL parameters on GET or as a JSON body on POST:
+//
+//	POST /query {"u": 3, "epsilon": 0.4, "timeout_ms": 500}
+//	POST /query {"sources": [1, 2, 3], "epsilon": 0.4, "limit": 10}
+//	POST /topk  {"u": 3, "k": 20, "no_cache": true}
+//
+// Responses echo the effective epsilon (and whether it was clamped). When the
+// engine's bounded admission queue (-maxqueue) is full, requests are shed
+// with 429 Too Many Requests and a Retry-After header instead of piling up.
 //
 // Endpoints:
 //
 //	GET  /query?u=3           single-source query (repeat u for a batch;
-//	                          ?limit=N caps the nodes returned per source)
+//	                          ?limit=N caps the nodes returned per source;
+//	                          &epsilon=0.4&timeout_ms=500&nocache=1)
+//	POST /query               same, JSON body (see above)
 //	GET  /topk?u=3&k=20       k most similar nodes to u
+//	POST /topk                same, JSON body
 //	GET  /pair?u=3&v=5        single-pair SimRank s(u, v)
 //	POST /reload              re-open the snapshot and swap it in
 //	GET  /healthz             liveness probe
-//	GET  /stats               graph, index and engine statistics
+//	GET  /stats               graph, index, engine and verify statistics
 package main
 
 import (
@@ -67,8 +87,10 @@ func main() {
 	flag.IntVar(&cfg.maxLevels, "maxlevels", 0, "cap on walk levels (0 = default 64)")
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent query workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.cacheSize, "cache", 1024, "LRU result cache size (0 disables)")
+	flag.IntVar(&cfg.maxQueue, "maxqueue", 0, "admission queue bound before requests are shed with 429 (0 = max(32, 4*workers), negative = unbounded)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline ceiling (timeout_ms may only shorten it)")
+	flag.DurationVar(&cfg.verifyEvery, "verifyevery", 0, "re-verify the snapshot checksum in the background at this interval (0 disables)")
 	flag.Parse()
 
 	srv, err := buildServer(cfg)
@@ -83,6 +105,10 @@ func main() {
 	if cfg.watch > 0 {
 		go srv.watch(cfg.watch)
 		log.Printf("prsimserve: watching %s every %s for hot reload", cfg.loadIndex, cfg.watch)
+	}
+	if cfg.verifyEvery > 0 {
+		go srv.verifyLoop(cfg.verifyEvery)
+		log.Printf("prsimserve: verifying snapshot checksum every %s in the background", cfg.verifyEvery)
 	}
 	hs := &http.Server{
 		Addr:    cfg.addr,
@@ -105,11 +131,13 @@ type config struct {
 	loadIndex          string
 	mmap, mmapVerify   bool
 	watch              time.Duration
+	verifyEvery        time.Duration
 	epsilon, decay     float64
 	scale              float64
 	seed               uint64
 	maxLevels          int
 	workers, cacheSize int
+	maxQueue           int
 	addr               string
 	timeout            time.Duration
 }
@@ -132,7 +160,16 @@ type server struct {
 	watchedMod   time.Time
 	watchedSize  int64
 
-	// stop ends the watch loop (used by tests; main lets it run forever).
+	// verifyMu guards the background checksum-verification status below it.
+	verifyMu      sync.Mutex
+	verifies      int64
+	lastVerifyAt  time.Time
+	lastVerifyDur time.Duration
+	lastVerifyErr error
+	lastVerifyGen uint64
+
+	// stop ends the watch and verify loops (used by tests; main lets them
+	// run forever).
 	stop chan struct{}
 }
 
@@ -167,7 +204,7 @@ func buildServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	loadTime := time.Since(loadStart)
-	eng, err := prsim.NewEngine(idx, prsim.EngineOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize})
+	eng, err := prsim.NewEngine(idx, prsim.EngineOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize, MaxQueue: cfg.maxQueue})
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +303,47 @@ func (s *server) reload() (reloadInfo, error) {
 	return info, nil
 }
 
+// verifySnapshot re-verifies the currently served snapshot's CRC-32C trailer
+// (a full sequential read of the mapped payload) and records the outcome for
+// /stats. Corruption is logged loudly but the server keeps serving: the
+// operator decides whether to republish or restart. A reload racing the
+// verification can surface ErrSnapshotClosed for the swapped-out snapshot;
+// that is recorded like any other outcome and the next tick verifies the new
+// generation.
+func (s *server) verifySnapshot() {
+	idx := s.eng.Current()
+	gen := s.eng.Generation()
+	start := time.Now()
+	err := idx.Verify()
+	dur := time.Since(start)
+	s.verifyMu.Lock()
+	s.verifies++
+	s.lastVerifyAt = time.Now()
+	s.lastVerifyDur = dur
+	s.lastVerifyErr = err
+	s.lastVerifyGen = gen
+	s.verifyMu.Unlock()
+	if err != nil {
+		log.Printf("prsimserve: background snapshot verify FAILED (generation %d): %v", gen, err)
+		return
+	}
+	log.Printf("prsimserve: background snapshot verify ok (generation %d, %s)", gen, dur.Round(time.Millisecond))
+}
+
+// verifyLoop runs verifySnapshot on a timer until the server stops.
+func (s *server) verifyLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.verifySnapshot()
+	}
+}
+
 // statWatched returns the snapshot file's identity (zero values when the
 // path is empty or unreadable).
 func statWatched(path string) (time.Time, int64) {
@@ -325,12 +403,95 @@ func (s *server) watch(every time.Duration) {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("POST /topk", s.handleTopK)
 	mux.HandleFunc("GET /pair", s.handlePair)
 	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
+}
+
+// apiRequest is the decoded request-plane parameter bundle shared by /query
+// and /topk: one parse point regardless of transport (GET URL parameters or
+// POST JSON body), feeding one prsim.Request.
+type apiRequest struct {
+	sources []int
+	epsilon float64
+	k       int
+	kSet    bool
+	limit   int
+	timeout time.Duration
+	noCache bool
+}
+
+// requestBodyJSON is the POST body shape of /query and /topk.
+type requestBodyJSON struct {
+	U         *int    `json:"u"`
+	Sources   []int   `json:"sources"`
+	Epsilon   float64 `json:"epsilon"`
+	K         *int    `json:"k"`
+	Limit     int     `json:"limit"`
+	TimeoutMS int64   `json:"timeout_ms"`
+	NoCache   bool    `json:"no_cache"`
+}
+
+// parseAPIRequest decodes the request-plane knobs from either transport.
+func parseAPIRequest(r *http.Request) (apiRequest, error) {
+	var req apiRequest
+	if r.Method == http.MethodPost {
+		var body requestBodyJSON
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			return req, fmt.Errorf("invalid JSON body: %v", err)
+		}
+		if body.U != nil {
+			req.sources = append(req.sources, *body.U)
+		}
+		req.sources = append(req.sources, body.Sources...)
+		req.epsilon = body.Epsilon
+		if body.K != nil {
+			req.k, req.kSet = *body.K, true
+		}
+		req.limit = body.Limit
+		req.timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+		req.noCache = body.NoCache
+		return req, nil
+	}
+	q := r.URL.Query()
+	sources, err := intParams(q["u"])
+	if err != nil {
+		return req, fmt.Errorf("u must be an integer")
+	}
+	req.sources = sources
+	if v := q.Get("epsilon"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("epsilon must be a number")
+		}
+		req.epsilon = eps
+	}
+	if v := q.Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("k must be an integer")
+		}
+		req.k, req.kSet = k, true
+	}
+	if req.limit, err = intParam(q.Get("limit"), 0); err != nil {
+		return req, fmt.Errorf("limit must be an integer")
+	}
+	ms, err := intParam(q.Get("timeout_ms"), 0)
+	if err != nil {
+		return req, fmt.Errorf("timeout_ms must be an integer")
+	}
+	req.timeout = time.Duration(ms) * time.Millisecond
+	if v := q.Get("nocache"); v != "" && v != "0" && v != "false" {
+		req.noCache = true
+	}
+	return req, nil
 }
 
 // scoredNodeJSON is one (node, score) pair in a response.
@@ -340,7 +501,10 @@ type scoredNodeJSON struct {
 	Score float64 `json:"score"`
 }
 
-// queryResultJSON is the answer to one single-source query.
+// queryResultJSON is the answer to one single-source query. Batch entries
+// deliberately carry no cache/coalescing flags: duplicate sources in one
+// batch must render byte-identically (the flags live on the single-source
+// and /topk envelopes instead).
 type queryResultJSON struct {
 	Source  int              `json:"source"`
 	Support int              `json:"support"` // number of non-zero scores
@@ -348,33 +512,47 @@ type queryResultJSON struct {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	sources, err := intParams(q["u"])
-	if err != nil || len(sources) == 0 {
-		writeError(w, http.StatusBadRequest, "at least one integer u parameter is required")
+	api, err := parseAPIRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	limit, err := intParam(q.Get("limit"), 0)
-	if err != nil || limit < 0 {
+	if len(api.sources) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one source is required (u parameter or JSON u/sources)")
+		return
+	}
+	if api.limit < 0 {
 		writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
 		return
 	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	results, err := s.eng.QueryBatch(ctx, sources)
+	resps, err := s.eng.DoBatch(ctx, prsim.Request{Epsilon: api.epsilon, NoCache: api.noCache}, api.sources)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	out := make([]queryResultJSON, len(results))
-	for i, res := range results {
-		out[i] = renderResult(res, limit)
+	out := make([]queryResultJSON, len(resps))
+	for i, resp := range resps {
+		out[i] = renderResult(resp.Result, api.limit)
 	}
-	if len(q["u"]) == 1 {
-		writeJSON(w, out[0])
+	var epsilon float64
+	var clamped bool
+	if len(resps) > 0 {
+		epsilon, clamped = resps[0].Epsilon, resps[0].Clamped
+	}
+	if len(api.sources) == 1 {
+		one := struct {
+			queryResultJSON
+			Epsilon   float64 `json:"epsilon"`
+			Clamped   bool    `json:"epsilon_clamped,omitempty"`
+			Cached    bool    `json:"cached,omitempty"`
+			Coalesced bool    `json:"coalesced,omitempty"`
+		}{out[0], epsilon, clamped, resps[0].CacheHit, resps[0].Coalesced}
+		writeJSON(w, one)
 		return
 	}
-	writeJSON(w, map[string]any{"results": out})
+	writeJSON(w, map[string]any{"results": out, "epsilon": epsilon, "epsilon_clamped": clamped})
 }
 
 // renderResult flattens a result into descending-score order, source first
@@ -400,29 +578,40 @@ func renderResult(res *prsim.Result, limit int) queryResultJSON {
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	u, err := intParam(q.Get("u"), -1)
-	if err != nil || u < 0 {
-		writeError(w, http.StatusBadRequest, "integer u parameter is required")
+	api, err := parseAPIRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	k, err := intParam(q.Get("k"), 20)
-	if err != nil || k <= 0 {
+	if len(api.sources) != 1 || api.sources[0] < 0 {
+		writeError(w, http.StatusBadRequest, "exactly one non-negative source is required (u parameter or JSON u)")
+		return
+	}
+	u := api.sources[0]
+	k := 20
+	if api.kSet {
+		k = api.k
+	}
+	if k <= 0 {
 		writeError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	top, err := s.eng.TopK(ctx, u, k)
+	resp, err := s.eng.Do(ctx, prsim.Request{Source: u, Epsilon: api.epsilon, K: k, NoCache: api.noCache})
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	nodes := make([]scoredNodeJSON, len(top))
-	for i, t := range top {
+	nodes := make([]scoredNodeJSON, len(resp.Top))
+	for i, t := range resp.Top {
 		nodes[i] = scoredNodeJSON{Node: t.Node, Label: t.Label, Score: t.Score}
 	}
-	writeJSON(w, map[string]any{"source": u, "k": k, "top": nodes})
+	writeJSON(w, map[string]any{
+		"source": u, "k": k, "top": nodes,
+		"epsilon": resp.Epsilon, "epsilon_clamped": resp.Clamped,
+		"cached": resp.CacheHit, "coalesced": resp.Coalesced,
+	})
 }
 
 func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -433,7 +622,7 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "integer u and v parameters are required")
 		return
 	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
 	score, err := s.eng.Pair(ctx, u, v)
 	if err != nil {
@@ -475,6 +664,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	lastLoad := s.lastLoadTime
 	lastLoadAt := s.lastLoadAt
 	s.reloadMu.Unlock()
+	s.verifyMu.Lock()
+	verify := map[string]any{
+		"every_seconds": s.cfg.verifyEvery.Seconds(),
+		"runs":          s.verifies,
+	}
+	if s.verifies > 0 {
+		verify["last_at"] = s.lastVerifyAt.UTC().Format(time.RFC3339)
+		verify["last_seconds"] = s.lastVerifyDur.Seconds()
+		verify["last_generation"] = s.lastVerifyGen
+		verify["last_ok"] = s.lastVerifyErr == nil
+		if s.lastVerifyErr != nil {
+			verify["last_error"] = s.lastVerifyErr.Error()
+		}
+	}
+	s.verifyMu.Unlock()
 	writeJSON(w, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"graph": map[string]any{
@@ -498,27 +702,45 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"watch_seconds":  s.cfg.watch.Seconds(),
 			"self_contained": s.g == nil,
 		},
+		"verify": verify,
 		"engine": map[string]any{
 			"workers":       est.Workers,
+			"max_queue":     est.MaxQueue,
+			"queue_depth":   est.QueueDepth,
 			"queries":       est.Queries,
 			"cache_hits":    est.CacheHits,
 			"cache_entries": est.CacheEntries,
+			"cache_reuses":  est.CacheReuses,
+			"coalesced":     est.Coalesced,
+			"shed":          est.Shed,
 			"pair_queries":  est.PairQueries,
 			"errors":        est.Errors,
 		},
 	})
 }
 
-func (s *server) requestCtx(r *http.Request) (ctx context.Context, cancel func()) {
-	return context.WithTimeout(r.Context(), s.timeout)
+// requestCtx derives the request's deadline: the server's -timeout ceiling,
+// shortened by a positive per-request timeout (timeout_ms). Requests cannot
+// extend past the ceiling — the listener's WriteTimeout is sized to it.
+func (s *server) requestCtx(r *http.Request, reqTimeout time.Duration) (ctx context.Context, cancel func()) {
+	timeout := s.timeout
+	if reqTimeout > 0 && reqTimeout < timeout {
+		timeout = reqTimeout
+	}
+	return context.WithTimeout(r.Context(), timeout)
 }
 
-// writeQueryError maps engine errors to HTTP statuses: bad node ids are the
-// client's fault, timeouts are 504, everything else is a server-side failure.
+// writeQueryError maps engine errors to HTTP statuses: bad node ids (and bad
+// per-request epsilons) are the client's fault, shed requests are 429 with a
+// Retry-After hint, timeouts are 504, everything else is a server-side
+// failure.
 func writeQueryError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, prsim.ErrInvalidNode):
+	case errors.Is(err, prsim.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, prsim.ErrInvalidNode) || errors.Is(err, prsim.ErrInvalidEpsilon):
 		status = http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		status = http.StatusGatewayTimeout

@@ -14,9 +14,15 @@ type EngineOptions struct {
 	// fan-out of QueryBatch). Zero means GOMAXPROCS.
 	Workers int
 	// CacheSize is the number of single-source results kept in an LRU cache
-	// keyed by (source, epsilon); zero disables caching. Cached results are
-	// shared between callers: treat them as read-only.
+	// keyed by (generation, source, effective epsilon); zero disables
+	// caching. Cached results are shared between callers: treat them as
+	// read-only.
 	CacheSize int
+	// MaxQueue bounds how many requests may wait for a worker slot before
+	// new arrivals are shed with ErrOverloaded. Zero means the default bound
+	// (max(32, 4×Workers)); negative disables shedding (unbounded waiting).
+	// Cache hits and coalesced joiners never occupy queue slots.
+	MaxQueue int
 }
 
 // Engine is a throughput-oriented concurrent front-end over one index: a
@@ -44,6 +50,7 @@ func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
 	eng, err := engine.New(idx.idx, engine.Options{
 		Workers:   opts.Workers,
 		CacheSize: opts.CacheSize,
+		MaxQueue:  opts.MaxQueue,
 		Resource:  idx.engineResource(),
 	})
 	if err != nil {
@@ -85,15 +92,16 @@ func (e *Engine) Swap(idx *Index) (*Index, error) {
 	return e.cur.Swap(idx), nil
 }
 
-// Query answers one single-source query through the worker pool and cache.
-// The result carries the graph it was computed on, so labels stay correct
-// even when a Swap lands mid-flight or the result came from the cache.
+// Query answers one single-source query through the worker pool and cache —
+// a shim over Do with a zero Request. The result carries the graph it was
+// computed on, so labels stay correct even when a Swap lands mid-flight or
+// the result came from the cache.
 func (e *Engine) Query(ctx context.Context, u int) (*Result, error) {
-	res, err := e.eng.Query(ctx, u)
+	resp, err := e.Do(ctx, Request{Source: u})
 	if err != nil {
 		return nil, err
 	}
-	return wrapResult(e.cur.Load().g, res), nil
+	return resp.Result, nil
 }
 
 // QueryBatch answers one query per source, in order, using up to Workers
@@ -107,8 +115,8 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*Result, erro
 }
 
 // TopK answers a single-source query from u and returns its k most similar
-// nodes (excluding u itself) in descending score order. Negative k is
-// treated as zero.
+// nodes (excluding u itself) in descending score order — a shim over Do with
+// Request.K set. Negative k is treated as zero.
 //
 // Selection uses a bounded heap (O(support·log k), not a full sort), and
 // when the engine runs without a result cache the query executes into a
@@ -116,19 +124,17 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*Result, erro
 // allocates only the returned slice. Labels resolve against the graph that
 // actually answered, even when a hot Swap lands mid-flight.
 func (e *Engine) TopK(ctx context.Context, u, k int) ([]ScoredNode, error) {
-	nodes, g, err := e.eng.TopK(ctx, u, k)
+	if k < 0 {
+		k = 0
+	}
+	resp, err := e.Do(ctx, Request{Source: u, K: k})
 	if err != nil {
 		return nil, err
 	}
-	pg := e.cur.Load().g
-	if g != nil && (pg == nil || pg.g != g) {
-		pg = wrapGraph(g)
+	if resp.Top == nil {
+		return []ScoredNode{}, nil
 	}
-	out := make([]ScoredNode, len(nodes))
-	for i, s := range nodes {
-		out[i] = ScoredNode{Node: s.Node, Label: pg.Label(s.Node), Score: s.Score}
-	}
-	return out, nil
+	return resp.Top, nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v).
@@ -140,20 +146,34 @@ func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
 type EngineStats struct {
 	// Workers is the concurrency bound.
 	Workers int
+	// MaxQueue is the admission queue bound (-1 when shedding is disabled).
+	MaxQueue int
 	// Generation is the swap generation of the served index (0 until the
 	// first Swap).
 	Generation uint64
 	// Swaps counts hot index swaps performed.
 	Swaps int64
-	// Queries counts single-source queries answered, including cache hits.
+	// CacheReuses counts swaps that kept (re-keyed) the result cache because
+	// the incoming index serves an identical graph with identical options.
+	CacheReuses int64
+	// Queries counts single-source requests answered, including cache hits
+	// and coalesced joiners.
 	Queries int64
-	// CacheHits counts queries answered from the LRU cache.
+	// CacheHits counts requests answered from the LRU cache.
 	CacheHits int64
+	// Coalesced counts requests that shared an identical in-flight
+	// computation instead of running their own.
+	Coalesced int64
+	// Shed counts requests rejected with ErrOverloaded by admission control.
+	Shed int64
+	// QueueDepth is the instantaneous number of requests waiting for a
+	// worker slot.
+	QueueDepth int64
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
 	// PairQueries counts single-pair queries.
 	PairQueries int64
-	// Errors counts failed or cancelled requests.
+	// Errors counts failed, shed, or cancelled requests.
 	Errors int64
 }
 
@@ -162,10 +182,15 @@ func (e *Engine) Stats() EngineStats {
 	s := e.eng.Stats()
 	return EngineStats{
 		Workers:      s.Workers,
+		MaxQueue:     s.MaxQueue,
 		Generation:   s.Generation,
 		Swaps:        s.Swaps,
+		CacheReuses:  s.CacheReuses,
 		Queries:      s.Queries,
 		CacheHits:    s.CacheHits,
+		Coalesced:    s.Coalesced,
+		Shed:         s.Shed,
+		QueueDepth:   s.QueueDepth,
 		CacheEntries: s.CacheEntries,
 		PairQueries:  s.PairQueries,
 		Errors:       s.Errors,

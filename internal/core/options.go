@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -90,6 +91,65 @@ func (o Options) fill() (Options, error) {
 		return o, fmt.Errorf("core: SampleScale=%v must be positive", o.SampleScale)
 	}
 	return o, nil
+}
+
+// QueryOptions carries the per-request knobs of one single-source query — the
+// request half of the unified request plane. The zero value means "use the
+// index's build-time options unchanged", so every existing call site keeps its
+// exact behavior.
+type QueryOptions struct {
+	// Epsilon is the additive error target for THIS query. Zero means the
+	// index's build epsilon. Values above the build epsilon trade accuracy for
+	// speed: the Monte Carlo sample count d_r scales with 1/ε², and the
+	// backward-walk and index-read budgets shrink with the larger threshold
+	// ε/c₁, so a 4× epsilon cuts the walk budget ~16×. Values below the build
+	// epsilon are clamped up to it — the index's reserve lists were pruned at
+	// rmax = (1-√c)²·ε_build/12, so a tighter request bound cannot be honored
+	// by sampling harder against the same index.
+	Epsilon float64
+}
+
+// ErrInvalidEpsilon is returned (wrapped with the offending value) when a
+// per-request epsilon lies outside (0, 1). Servers use errors.Is against it
+// to classify bad requests.
+var ErrInvalidEpsilon = errors.New("core: request epsilon outside (0,1)")
+
+// Validate rejects per-request options that no index could honor. Epsilon
+// must be zero (inherit) or lie in (0, 1) like the build epsilon.
+func (q QueryOptions) Validate() error {
+	if q.Epsilon != 0 && (q.Epsilon <= 0 || q.Epsilon >= 1) {
+		return fmt.Errorf("%w: %v", ErrInvalidEpsilon, q.Epsilon)
+	}
+	return nil
+}
+
+// effective applies the per-request overrides in q to the build options o and
+// reports whether the requested epsilon was clamped up to the build epsilon.
+// q is assumed validated.
+func (o Options) effective(q QueryOptions) (Options, bool) {
+	if q.Epsilon == 0 {
+		return o, false
+	}
+	if q.Epsilon < o.Epsilon {
+		return o, true
+	}
+	o.Epsilon = q.Epsilon
+	return o, false
+}
+
+// QueryEquivalent reports whether two option sets produce bit-identical query
+// results over the same graph: every field that feeds the random streams or
+// the estimator budgets must match. Parallelism only shapes preprocessing
+// fan-out, so it is ignored. The engine's hot-swap path uses this (plus the
+// graph checksum and the realized hub count) to decide whether cached results
+// survive a snapshot reload.
+func (o Options) QueryEquivalent(p Options) bool {
+	o.Parallelism, p.Parallelism = 0, 0
+	// NumHubs is a build *request* (-1 auto, 0 index-free, >0 explicit) whose
+	// realized value is the index's hub count; loaded snapshots do not carry
+	// the original request. Callers compare Index.NumHubs() separately.
+	o.NumHubs, p.NumHubs = 0, 0
+	return o == p
 }
 
 // sqrtC returns √c.

@@ -36,8 +36,25 @@ type Result struct {
 // that no query has populated.
 func (r *Result) Graph() *graph.Graph { return r.g }
 
+// Rebound returns a shallow copy of r bound to g, sharing the score map.
+// The engine's reload-aware cache uses it when a hot swap installs a snapshot
+// whose graph is byte-identical to the outgoing generation's: the scores stay
+// valid, but the kept results must resolve labels and dimensions against the
+// new generation's graph object — the old one may alias a mapping that is
+// about to be unmapped. Callers must only rebind onto a structurally
+// identical graph (equal Checksum).
+func (r *Result) Rebound(g *graph.Graph) *Result {
+	cp := *r
+	cp.g = g
+	return &cp
+}
+
 // QueryStats breaks down the cost of one query.
 type QueryStats struct {
+	// Epsilon is the effective additive error bound the query ran at: the
+	// build epsilon unless a larger per-request epsilon was supplied (smaller
+	// requests are clamped up to the build epsilon).
+	Epsilon float64
 	// Walks is the total number of √c-walks sampled from the source (n_r)
 	// plus the pairs sampled for the last-meeting estimate.
 	Walks int
@@ -163,29 +180,67 @@ func (idx *Index) QueryInto(u int, res *Result) error {
 	return idx.QueryIntoCtx(context.Background(), u, res)
 }
 
-// QueryIntoCtx is the full query implementation behind Query, QueryCtx and
-// QueryInto. All scratch state — walkers, dense accumulators, the median
+// EffectiveOptions resolves the per-request options q against the index's
+// build options, returning the option set the query will actually run with
+// and whether the requested epsilon was clamped up to the build epsilon
+// (requests below the build epsilon cannot be honored — the reserve lists
+// were pruned at the build epsilon's rmax — so they run at build accuracy).
+func (idx *Index) EffectiveOptions(q QueryOptions) (Options, bool) {
+	return idx.opts.effective(q)
+}
+
+// QueryOpts answers a single-source query at a per-request accuracy target:
+// the effective epsilon (see EffectiveOptions) resizes the walk, backward-walk
+// and index-read budgets for this request only. A zero q is bit-identical to
+// QueryCtx.
+func (idx *Index) QueryOpts(ctx context.Context, u int, q QueryOptions) (*Result, error) {
+	res := &Result{}
+	if err := idx.QueryIntoOpts(ctx, u, res, q); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryIntoCtx runs the query with the index's build-time options; it is
+// QueryIntoOpts with a zero per-request override.
+func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
+	return idx.QueryIntoOpts(ctx, u, res, QueryOptions{})
+}
+
+// QueryIntoOpts is the full query implementation behind Query, QueryCtx,
+// QueryInto and QueryOpts — the single entry point the whole request plane
+// funnels into. All scratch state — walkers, dense accumulators, the median
 // workspace — comes from a per-index sync.Pool, so steady-state queries only
 // allocate the returned score map entries (and nothing at all when reusing a
 // result whose map has already grown to the support size).
 //
-// Determinism: for a fixed Options.Seed, a query consumes a fixed random
-// stream and accumulates floating point in a fixed canonical order — walks
-// are sampled in batch order, backward-walk frontiers expand in first-touch
-// order, and the index-read pass visits levels in ascending order with nodes
-// in first-touch order within each level — so results are reproducible
-// run-to-run on the same build. Bit-compatibility of scores across versions
-// of this package is intentionally not promised.
-func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
+// The per-request options resize the query's budgets without touching the
+// index: the effective epsilon (build epsilon, or a larger requested one)
+// derives the per-round sample count d_r = c₁/ε², the pair-walk volume, and
+// the η·π threshold ε/c₁ that gates both the backward walks and the
+// index-read pass — so one index serves a whole spectrum of accuracy/latency
+// trade-offs.
+//
+// Determinism: for a fixed Options.Seed and effective epsilon, a query
+// consumes a fixed random stream and accumulates floating point in a fixed
+// canonical order — walks are sampled in batch order, backward-walk frontiers
+// expand in first-touch order, and the index-read pass visits levels in
+// ascending order with nodes in first-touch order within each level — so
+// results are reproducible run-to-run on the same build. Bit-compatibility of
+// scores across versions of this package is intentionally not promised.
+func (idx *Index) QueryIntoOpts(ctx context.Context, u int, res *Result, q QueryOptions) error {
 	if res == nil {
 		return fmt.Errorf("core: QueryInto with nil result")
+	}
+	if err := q.Validate(); err != nil {
+		return err
 	}
 	if err := idx.g.CheckNode(u); err != nil {
 		return err
 	}
 	res.g = idx.g
 	start := time.Now()
-	opts := idx.opts
+	opts, _ := idx.opts.effective(q)
 
 	dr := opts.samplesPerRound()
 	fr := opts.rounds(idx.g.N())
@@ -198,7 +253,7 @@ func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
 	defer idx.putState(s)
 	s.beginQuery(u)
 
-	stats := QueryStats{}
+	stats := QueryStats{Epsilon: opts.Epsilon}
 	bwCost0 := s.bw.Cost()
 	etaInc := 1 / float64(nr)
 	bwInvDiv := 1 / (alphaSq * float64(dr))

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -222,4 +224,126 @@ func TestTopKClampsK(t *testing.T) {
 	if got := r.TopK(100); len(got) != 2 { // source excluded
 		t.Errorf("TopK(100) returned %d nodes, want 2", len(got))
 	}
+}
+
+// TestQueryOptsBudgetsScaleWithEpsilon pins the budget derivation of the
+// request plane: a per-request epsilon 4x the build epsilon must sample
+// substantially fewer walks (d_r scales with 1/eps^2) and do no more
+// backward-walk or index-read work, while a clamped request (below the build
+// epsilon) must be bit-identical to the default query.
+func TestQueryOptsBudgetsScaleWithEpsilon(t *testing.T) {
+	g := randomGraph(11, 400, 2400)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.15, Seed: 3, SampleScale: 0.2})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	ctx := context.Background()
+	def, err := idx.QueryOpts(ctx, 5, QueryOptions{})
+	if err != nil {
+		t.Fatalf("QueryOpts default: %v", err)
+	}
+	if def.Stats.Epsilon != 0.15 {
+		t.Fatalf("default effective epsilon = %v, want 0.15", def.Stats.Epsilon)
+	}
+	coarse, err := idx.QueryOpts(ctx, 5, QueryOptions{Epsilon: 0.6})
+	if err != nil {
+		t.Fatalf("QueryOpts coarse: %v", err)
+	}
+	if coarse.Stats.Epsilon != 0.6 {
+		t.Fatalf("coarse effective epsilon = %v, want 0.6", coarse.Stats.Epsilon)
+	}
+	// 4x epsilon means 16x fewer samples per round; allow slack for the
+	// per-round ceiling but insist on a big drop.
+	if coarse.Stats.Walks*4 > def.Stats.Walks {
+		t.Fatalf("coarse walks = %d vs default %d, want at least 4x fewer", coarse.Stats.Walks, def.Stats.Walks)
+	}
+	if coarse.Stats.BackwardWalkCost > def.Stats.BackwardWalkCost {
+		t.Errorf("coarse backward-walk cost %d exceeds default %d", coarse.Stats.BackwardWalkCost, def.Stats.BackwardWalkCost)
+	}
+	// Both runs estimate the same quantity: spot-check agreement within the
+	// sum of the two error bounds on the strongest default scores.
+	for _, sn := range def.TopK(5) {
+		if d := coarse.Score(sn.Node) - sn.Score; d > 0.75 || d < -0.75 {
+			t.Errorf("node %d: coarse %v vs default %v", sn.Node, coarse.Score(sn.Node), sn.Score)
+		}
+	}
+
+	// Clamped request: identical to the default query, bit for bit.
+	clamped, err := idx.QueryOpts(ctx, 5, QueryOptions{Epsilon: 0.05})
+	if err != nil {
+		t.Fatalf("QueryOpts clamped: %v", err)
+	}
+	if clamped.Stats.Epsilon != 0.15 {
+		t.Fatalf("clamped effective epsilon = %v, want build 0.15", clamped.Stats.Epsilon)
+	}
+	if len(clamped.Scores) != len(def.Scores) {
+		t.Fatalf("clamped support %d vs default %d", len(clamped.Scores), len(def.Scores))
+	}
+	for v, s := range def.Scores {
+		if clamped.Scores[v] != s {
+			t.Fatalf("clamped query diverged at node %d: %v vs %v", v, clamped.Scores[v], s)
+		}
+	}
+
+	// EffectiveOptions reports the clamp.
+	if eff, cl := idx.EffectiveOptions(QueryOptions{Epsilon: 0.05}); !cl || eff.Epsilon != 0.15 {
+		t.Fatalf("EffectiveOptions(0.05) = %v/%v, want 0.15/clamped", eff.Epsilon, cl)
+	}
+	if eff, cl := idx.EffectiveOptions(QueryOptions{Epsilon: 0.6}); cl || eff.Epsilon != 0.6 {
+		t.Fatalf("EffectiveOptions(0.6) = %v/%v, want 0.6/unclamped", eff.Epsilon, cl)
+	}
+
+	// Determinism per tier: repeating a coarse query reproduces it exactly.
+	again, err := idx.QueryOpts(ctx, 5, QueryOptions{Epsilon: 0.6})
+	if err != nil {
+		t.Fatalf("QueryOpts repeat: %v", err)
+	}
+	if len(again.Scores) != len(coarse.Scores) {
+		t.Fatalf("repeat support %d vs %d", len(again.Scores), len(coarse.Scores))
+	}
+	for v, s := range coarse.Scores {
+		if again.Scores[v] != s {
+			t.Fatalf("coarse query not deterministic at node %d", v)
+		}
+	}
+
+	// Invalid per-request epsilons are rejected before any work.
+	for _, bad := range []float64{-0.5, 1, 2} {
+		if _, err := idx.QueryOpts(ctx, 5, QueryOptions{Epsilon: bad}); !errors.Is(err, ErrInvalidEpsilon) {
+			t.Errorf("QueryOpts(epsilon=%v) error = %v, want ErrInvalidEpsilon", bad, err)
+		}
+	}
+}
+
+// TestResultRebound pins the shallow-copy semantics the engine's
+// reload-aware cache relies on.
+func TestResultRebound(t *testing.T) {
+	g := randomGraph(1, 100, 600)
+	g2 := randomGraph(1, 100, 600)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.3, Seed: 1, SampleScale: 0.1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	res, err := idx.Query(4)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	re := res.Rebound(g2)
+	if re == res {
+		t.Fatal("Rebound returned the same object")
+	}
+	if re.Graph() != g2 || res.Graph() != g {
+		t.Fatal("Rebound must rebind the copy and leave the original untouched")
+	}
+	if re.Source != res.Source {
+		t.Fatal("Rebound must keep metadata")
+	}
+	// The score map must be shared, not copied: a write through one copy is
+	// visible through the other (the engine's rekey path relies on sharing
+	// to keep swaps cheap).
+	re.Scores[-1] = 42
+	if res.Scores[-1] != 42 {
+		t.Fatal("Rebound must share the score map with the original")
+	}
+	delete(re.Scores, -1)
 }

@@ -1,23 +1,39 @@
 // Package engine turns a PRSim index into a throughput-oriented concurrent
 // query service. PRSim single-source queries are sublinear and mutually
 // independent (Wei et al., SIGMOD 2019), which makes them embarrassingly
-// parallel: the engine bounds concurrency with a worker semaphore, fans
-// batched multi-source queries out over a small worker pool, and optionally
-// memoizes results in an LRU cache keyed by (generation, source, epsilon).
+// parallel — and the engine wraps that parallelism in one unified request
+// plane: every query is a Request (source, per-request epsilon, top-k,
+// cache policy) that flows through one validation point, one cache, one
+// in-flight dedupe table, and one admission gate.
+//
+//   - Per-request accuracy: Request.Epsilon resizes the walk and
+//     backward-walk budgets for that query only (clamped up to the index's
+//     build epsilon); the cache is keyed by (generation, source, effective
+//     epsilon) so different accuracy tiers never collide.
+//   - Single-flight coalescing: identical in-flight requests — same key —
+//     share one underlying computation; joiners wait on the leader instead
+//     of burning worker slots, so a thundering herd of duplicates costs one
+//     query.
+//   - Admission control: a bounded wait queue in front of the worker
+//     semaphore. When the queue is full the request is shed immediately with
+//     ErrOverloaded instead of piling up goroutines — callers (the HTTP
+//     front-end) translate that to 429 + Retry-After.
 //
 // Every query draws its scratch state from the index's internal sync.Pool, so
 // a worker that stays busy performs near-zero per-query allocation. Results
-// are deterministic for a fixed index seed regardless of worker count or
-// scheduling: each source's random stream is derived from (seed, source)
-// only, so Engine.QueryBatch returns bit-identical scores to sequential
-// Index.Query calls.
+// are deterministic for a fixed index seed and effective epsilon regardless
+// of worker count or scheduling: each source's random stream is derived from
+// (seed, source) only, so Engine.QueryBatch returns bit-identical scores to
+// sequential Index.Query calls.
 //
 // The served index lives behind an atomically swappable handle: Swap installs
 // a new index (typically a freshly opened snapshot) without dropping
 // requests. Each query retains the handle's backing resource for its
 // duration, so the old snapshot's mapping survives until in-flight queries
-// drain, and the result cache is invalidated by the generation counter baked
-// into its keys.
+// drain. The result cache is generation-keyed; a swap purges it unless the
+// incoming index provably serves the same graph with the same query options
+// (equal structural checksum), in which case the entries are re-keyed to the
+// new generation and stay warm across the reload.
 package engine
 
 import (
@@ -37,6 +53,12 @@ import (
 // closed without a replacement being swapped in.
 var ErrIndexClosed = errors.New("engine: index backing closed")
 
+// ErrOverloaded is the load-shedding sentinel: the worker pool is saturated
+// and the admission queue is full, so the request was rejected without doing
+// any work. Shed requests never return a partial result; callers should back
+// off and retry (the HTTP layer maps this to 429 + Retry-After).
+var ErrOverloaded = errors.New("engine: overloaded, request shed")
+
 // Resource is the lifecycle hook of an index backing (a mmap'd snapshot).
 // Retain takes a reference for the duration of one query and reports false if
 // the backing has been closed; Release drops it. A nil Resource means the
@@ -55,9 +77,61 @@ type Options struct {
 	// negative disables caching. Cached results are shared: treat them (and
 	// their Scores maps) as read-only.
 	CacheSize int
+	// MaxQueue bounds how many requests may wait for a worker slot before new
+	// arrivals are shed with ErrOverloaded. Zero means the default bound
+	// (max(32, 4×Workers)); negative disables shedding entirely (requests
+	// queue without limit, the pre-admission-control behavior). Coalesced
+	// joiners and cache hits never occupy queue slots.
+	MaxQueue int
 	// Resource is the lifecycle hook of the initial index's backing; nil for
 	// heap-backed indexes.
 	Resource Resource
+}
+
+// Request is one unit of query work — the single parameter bundle that flows
+// unchanged from the public API through the engine into core. The zero value
+// (plus a Source) reproduces the classic Query behavior exactly.
+type Request struct {
+	// Source is the query node u.
+	Source int
+	// Epsilon is the per-request additive error target; zero inherits the
+	// index's build epsilon. Values below the build epsilon are clamped up to
+	// it (Response.Clamped reports when); values outside (0,1) are rejected.
+	Epsilon float64
+	// K, when positive, asks for the top-k most similar nodes: Response.Top
+	// is populated, and an engine without caching answers from a pooled
+	// result that never escapes (zero per-request result allocation).
+	// K = 0 returns the full result; negative K yields an empty Top.
+	K int
+	// NoCache makes this request bypass the result cache for both lookup and
+	// insert. It still coalesces with identical in-flight requests.
+	NoCache bool
+}
+
+// Response is the answer to one Request, carrying the result (or top-k
+// selection) plus the request-plane metadata serving layers surface.
+type Response struct {
+	// Result is the full query result; treat it as read-only — it may be
+	// shared with concurrent callers through the cache or coalescing. Nil
+	// when the request asked for top-k only and the engine answered from a
+	// pooled result (K > 0 with caching disabled and no concurrent sharer).
+	Result *core.Result
+	// Top is the top-K selection in descending score order; set when K != 0.
+	Top []core.ScoredNode
+	// Graph is the graph the answering computation ran on — labels must
+	// resolve against it, not against whichever index is current at render
+	// time (a hot Swap can land mid-flight).
+	Graph *graph.Graph
+	// Epsilon is the effective additive error bound the query ran at.
+	Epsilon float64
+	// Clamped reports that the requested epsilon was below the index's build
+	// epsilon and was raised to it.
+	Clamped bool
+	// CacheHit reports the result came from the LRU cache.
+	CacheHit bool
+	// Coalesced reports the result was shared from an identical in-flight
+	// request's computation rather than computed for this caller.
+	Coalesced bool
 }
 
 // slot is one generation of the served index. Immutable once published.
@@ -77,30 +151,54 @@ func (s *slot) release() {
 	}
 }
 
+// flight is one in-flight single-source computation that identical requests
+// coalesce onto. The leader publishes res/err and closes done; joiners
+// registered before the flight left the table read them after done.
+type flight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+	// joiners counts the callers sharing this computation besides the
+	// leader; guarded by Engine.flightMu.
+	joiners int
+}
+
 // Engine is a concurrent query front-end over one PRSim index. It is safe for
 // use by multiple goroutines.
 type Engine struct {
-	cur     atomic.Pointer[slot]
-	gen     atomic.Uint64
-	workers int
-	sem     chan struct{}
-	cache   *resultCache
+	cur      atomic.Pointer[slot]
+	gen      atomic.Uint64
+	workers  int
+	maxQueue int // -1 = unbounded
+	sem      chan struct{}
+	cache    *resultCache
 
-	queries   atomic.Int64
-	cacheHits atomic.Int64
-	pairs     atomic.Int64
-	errors    atomic.Int64
-	swaps     atomic.Int64
+	// flights is the single-flight table: one entry per distinct (generation,
+	// source, effective epsilon) currently being computed.
+	flightMu sync.Mutex
+	flights  map[cacheKey]*flight
+
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	coalesced   atomic.Int64
+	shed        atomic.Int64
+	queueDepth  atomic.Int64
+	pairs       atomic.Int64
+	errors      atomic.Int64
+	swaps       atomic.Int64
+	cacheReuses atomic.Int64
 
 	// resPool recycles core.Results for queries whose Result never escapes
-	// the engine — the TopK path with caching disabled. Pooled results are
-	// index-agnostic (QueryIntoCtx rebinds the graph and recycles the score
-	// map), so the pool survives hot swaps: a result last used against a
-	// swapped-out generation is safely reused against the new one.
+	// the engine — top-k requests with caching disabled that no concurrent
+	// request coalesced onto. Pooled results are index-agnostic
+	// (QueryIntoOpts rebinds the graph and recycles the score map), so the
+	// pool survives hot swaps: a result last used against a swapped-out
+	// generation is safely reused against the new one.
 	resPool sync.Pool
 
-	// queryFn overrides the per-source query implementation; tests use it to
-	// force error interleavings that real queries cannot produce on demand.
+	// queryFn overrides the per-source computation; tests use it to force
+	// interleavings (error masking, coalescing windows) that real queries
+	// cannot produce on demand.
 	queryFn func(ctx context.Context, s *slot, u int) (*core.Result, error)
 }
 
@@ -114,9 +212,21 @@ func New(idx *core.Index, opts Options) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	maxQueue := opts.MaxQueue
+	switch {
+	case maxQueue == 0:
+		maxQueue = 4 * workers
+		if maxQueue < 32 {
+			maxQueue = 32
+		}
+	case maxQueue < 0:
+		maxQueue = -1
+	}
 	e := &Engine{
-		workers: workers,
-		sem:     make(chan struct{}, workers),
+		workers:  workers,
+		maxQueue: maxQueue,
+		sem:      make(chan struct{}, workers),
+		flights:  make(map[cacheKey]*flight),
 	}
 	if opts.CacheSize > 0 {
 		e.cache = newResultCache(opts.CacheSize)
@@ -135,10 +245,19 @@ func (e *Engine) Generation() uint64 { return e.cur.Load().gen }
 // Workers returns the concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// MaxQueue returns the admission queue bound (-1 when shedding is disabled).
+func (e *Engine) MaxQueue() int { return e.maxQueue }
+
 // Swap atomically replaces the served index. In-flight queries finish against
 // the old index (its resource stays retained until they drain); new queries
-// see the new one immediately. The result cache is invalidated: generations
-// are baked into cache keys, and the old generation's entries are purged.
+// see the new one immediately.
+//
+// The result cache is generation-keyed. When the incoming index provably
+// serves the same results — identical graph checksum, query-equivalent build
+// options, same hub count — the cached entries are re-keyed to the new
+// generation (rebound to the new graph object, since the old one may alias a
+// mapping about to be unmapped) and stay warm across the reload. Otherwise
+// the cache is purged.
 //
 // The engine does not own the old backing: the caller closes it after Swap
 // returns (a refcounted backing then defers its teardown until the drained
@@ -147,13 +266,35 @@ func (e *Engine) Swap(idx *core.Index, res Resource) error {
 	if idx == nil {
 		return fmt.Errorf("engine: nil index")
 	}
+	old := e.cur.Load()
 	gen := e.gen.Add(1)
 	e.cur.Store(&slot{idx: idx, res: res, gen: gen})
 	e.swaps.Add(1)
 	if e.cache != nil {
-		e.cache.purge()
+		if servingStateEquivalent(old.idx, idx) {
+			e.cache.rekey(old.gen, gen, idx.Graph())
+			e.cacheReuses.Add(1)
+		} else {
+			e.cache.purge()
+		}
 	}
 	return nil
+}
+
+// servingStateEquivalent reports whether an index swap preserves the validity
+// of cached results: the new index must serve the same graph (equal
+// structural checksum) with the same query-relevant options and the same
+// realized hub count and entry volume. Reloading an unchanged (or re-saved)
+// snapshot satisfies this; republishing a re-built or re-tuned index does
+// not.
+func servingStateEquivalent(a, b *core.Index) bool {
+	if a == b {
+		return true
+	}
+	return a.Options().QueryEquivalent(b.Options()) &&
+		a.NumHubs() == b.NumHubs() &&
+		a.SizeEntries() == b.SizeEntries() &&
+		a.Graph().Checksum() == b.Graph().Checksum()
 }
 
 // acquire loads the current slot and retains its backing for one query. It
@@ -175,66 +316,230 @@ func (e *Engine) acquire() (*slot, error) {
 	}
 }
 
-// Query answers one single-source query, going through the worker semaphore
-// and the cache. The returned result may be shared with other callers when
-// caching is enabled; treat it as read-only.
-func (e *Engine) Query(ctx context.Context, u int) (*core.Result, error) {
+// admit acquires a worker slot, waiting in the bounded admission queue when
+// the pool is saturated. It returns ErrOverloaded (after counting the shed)
+// when the queue is already at MaxQueue — the caller has done no work yet, so
+// shedding is free — and the context error when the caller gives up waiting.
+func (e *Engine) admit(ctx context.Context) error {
 	select {
 	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		e.errors.Add(1)
-		return nil, ctx.Err()
+		return nil
+	default:
 	}
-	defer func() { <-e.sem }()
+	depth := e.queueDepth.Add(1)
+	defer e.queueDepth.Add(-1)
+	if e.maxQueue >= 0 && depth > int64(e.maxQueue) {
+		e.shed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do answers one Request through the full request plane: validation, cache,
+// single-flight coalescing, admission control, computation. See Request and
+// Response for the knob and metadata semantics. The returned Response's
+// Result may be shared with concurrent callers; treat it as read-only.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	s, err := e.acquire()
 	if err != nil {
 		return nil, err
 	}
 	defer s.release()
-	return e.query(ctx, s, u)
+	return e.doSlot(ctx, s, req)
 }
 
-// query runs one cached query against the given slot; the caller holds a
-// worker token and a slot reference.
-func (e *Engine) query(ctx context.Context, s *slot, u int) (*core.Result, error) {
+// doSlot is Do against an already-acquired slot (QueryBatch holds one slot
+// for the whole batch so every sub-query answers from one generation).
+func (e *Engine) doSlot(ctx context.Context, s *slot, req Request) (*Response, error) {
 	e.queries.Add(1)
-	if e.queryFn != nil {
-		return e.queryFn(ctx, s, u)
-	}
-	key := cacheKey{gen: s.gen, source: u, epsilon: s.idx.Options().Epsilon}
-	if e.cache != nil {
-		if res, ok := e.cache.get(key); ok {
-			e.cacheHits.Add(1)
-			return res, nil
-		}
-	}
-	res, err := s.idx.QueryCtx(ctx, u)
-	if err != nil {
+	q := core.QueryOptions{Epsilon: req.Epsilon}
+	if err := q.Validate(); err != nil {
 		e.errors.Add(1)
 		return nil, err
 	}
-	if e.cache != nil {
+	if err := s.idx.Graph().CheckNode(req.Source); err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	eff, clamped := s.idx.EffectiveOptions(q)
+	resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped}
+	key := cacheKey{gen: s.gen, source: req.Source, epsilon: eff.Epsilon}
+
+	for {
+		if e.cache != nil && !req.NoCache {
+			if res, ok := e.cache.get(key); ok {
+				e.cacheHits.Add(1)
+				resp.CacheHit = true
+				return finishResponse(resp, res, req), nil
+			}
+		}
+		// Coalesce onto an identical in-flight computation when one exists;
+		// joiners wait on the leader without consuming worker or queue slots.
+		e.flightMu.Lock()
+		if f, ok := e.flights[key]; ok {
+			f.joiners++
+			e.flightMu.Unlock()
+			e.coalesced.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				e.errors.Add(1)
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				if isContextErr(f.err) && ctx.Err() == nil {
+					// The leader's caller gave up, not ours: retry. The next
+					// attempt hits the cache, joins a fresh flight, or leads.
+					continue
+				}
+				e.errors.Add(1)
+				return nil, f.err
+			}
+			resp.Coalesced = true
+			return finishResponse(resp, f.res, req), nil
+		}
+		f := &flight{done: make(chan struct{})}
+		e.flights[key] = f
+		e.flightMu.Unlock()
+
+		res, pooled, err := e.lead(ctx, s, req, q, key, f)
+		if err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+		if pooled {
+			// The result never escapes: extract the selection, recycle.
+			resp.Top = res.TopK(req.K)
+			resp.Graph = res.Graph()
+			e.resPool.Put(res)
+			return resp, nil
+		}
+		return finishResponse(resp, res, req), nil
+	}
+}
+
+// lead runs the computation this caller became the single-flight leader for:
+// admission, the core query, the cache insert, and the flight hand-off. The
+// returned pooled flag reports that res came from (and may be returned to)
+// the engine's result pool — true only when nothing outside the engine can
+// observe it: a top-k request, caching off, and no joiner arrived before the
+// flight completed.
+func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOptions, key cacheKey, f *flight) (res *core.Result, pooled bool, err error) {
+	cached := e.cache != nil && !req.NoCache
+	poolCandidate := req.K > 0 && !cached && e.queryFn == nil
+	res, err = func() (*core.Result, error) {
+		if err := e.admit(ctx); err != nil {
+			return nil, err
+		}
+		defer func() { <-e.sem }()
+		if e.queryFn != nil {
+			return e.queryFn(ctx, s, req.Source)
+		}
+		if poolCandidate {
+			r, _ := e.resPool.Get().(*core.Result)
+			if r == nil {
+				r = &core.Result{}
+			}
+			if err := s.idx.QueryIntoOpts(ctx, req.Source, r, q); err != nil {
+				e.resPool.Put(r)
+				return nil, err
+			}
+			return r, nil
+		}
+		r := &core.Result{}
+		if err := s.idx.QueryIntoOpts(ctx, req.Source, r, q); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}()
+	// Publish to the cache before retiring the flight so no identical request
+	// can slip between the two and recompute.
+	if err == nil && cached {
 		e.cache.put(key, res)
 	}
-	return res, nil
+	e.flightMu.Lock()
+	delete(e.flights, key)
+	joiners := f.joiners
+	e.flightMu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+	return res, poolCandidate && joiners == 0, err
+}
+
+// finishResponse binds a computed (or shared) result into the response,
+// applying the request's top-k selection. Negative K yields an empty Top —
+// HTTP handlers cannot be assumed to pre-validate, and slicing would panic.
+func finishResponse(resp *Response, res *core.Result, req Request) *Response {
+	resp.Result = res
+	resp.Graph = res.Graph()
+	if req.K != 0 {
+		k := req.K
+		if k < 0 {
+			k = 0
+		}
+		resp.Top = res.TopK(k)
+	}
+	return resp
+}
+
+// isContextErr reports whether err is context-derived (the caller gave up)
+// rather than a real query failure.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Query answers one single-source query with default options — a shim over
+// Do. The returned result may be shared with other callers when caching is
+// enabled; treat it as read-only.
+func (e *Engine) Query(ctx context.Context, u int) (*core.Result, error) {
+	resp, err := e.Do(ctx, Request{Source: u})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
 }
 
 // QueryBatch answers one query per source, in order, using up to Workers
-// goroutines. The whole batch runs against one index generation (a
-// concurrent Swap affects only later batches), shares the engine's cache,
-// and returns results bit-identical to issuing the same queries
-// sequentially. On the first error the remaining queries are cancelled and
-// the error is returned; a real query failure always wins over the
-// context-cancellation errors it triggers in sibling workers.
+// goroutines — a shim over DoBatch with a zero base Request. Results are
+// bit-identical to issuing the same queries sequentially (duplicate sources
+// may share one Result object).
 func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result, error) {
+	resps, err := e.DoBatch(ctx, Request{}, sources)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.Result, len(resps))
+	for i, r := range resps {
+		results[i] = r.Result
+	}
+	return results, nil
+}
+
+// DoBatch answers one request per source, in order, using up to Workers
+// goroutines; base supplies the shared per-request options (its Source is
+// ignored). The whole batch runs against one index generation (a concurrent
+// Swap affects only later batches) and shares the engine's cache and
+// single-flight table. On the first error the remaining queries are
+// cancelled and the error is returned; a real query failure always wins over
+// the context-cancellation errors it triggers in sibling workers.
+func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
 	s, err := e.acquire()
 	if err != nil {
 		return nil, err
 	}
 	defer s.release()
 
-	// Validate every source up front so a bad id fails fast instead of
-	// surfacing mid-batch from an arbitrary worker.
+	// Validate the options and every source up front so a bad request fails
+	// fast instead of surfacing mid-batch from an arbitrary worker.
+	if err := (core.QueryOptions{Epsilon: base.Epsilon}).Validate(); err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
 	g := s.idx.Graph()
 	for _, u := range sources {
 		if err := g.CheckNode(u); err != nil {
@@ -242,7 +547,7 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 			return nil, err
 		}
 	}
-	results := make([]*core.Result, len(sources))
+	results := make([]*Response, len(sources))
 	workers := e.workers
 	if workers > len(sources) {
 		workers = len(sources)
@@ -269,7 +574,7 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 	record := func(err error) {
 		mu.Lock()
 		defer mu.Unlock()
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if isContextErr(err) {
 			if ctxErr == nil {
 				ctxErr = err
 			}
@@ -289,20 +594,15 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 				if i >= len(sources) {
 					return
 				}
-				select {
-				case e.sem <- struct{}{}:
-				case <-ctx.Done():
-					record(ctx.Err())
-					return
-				}
-				res, err := e.query(ctx, s, sources[i])
-				<-e.sem
+				req := base
+				req.Source = sources[i]
+				resp, err := e.doSlot(ctx, s, req)
 				if err != nil {
 					record(fmt.Errorf("engine: query from source %d: %w", sources[i], err))
 					cancel()
 					return
 				}
-				results[i] = res
+				results[i] = resp
 			}
 		}()
 	}
@@ -320,57 +620,37 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 // the source), ordered by descending score with ties broken by node id,
 // together with the graph the answering query ran on (a hot Swap can land
 // mid-flight, and labels must resolve against the generation that produced
-// the scores). Negative k is clamped to zero.
+// the scores). Negative k is clamped to zero. It is a shim over Do with
+// Request.K set.
 //
 // When caching is enabled the full result is computed and cached exactly
 // like Query. With caching disabled the query runs into a pooled result that
-// never escapes the engine, so a steady stream of TopK requests performs no
-// per-request result allocation: selection is a bounded-heap pass over the
-// pooled score map.
+// never escapes the engine (unless an identical concurrent request coalesced
+// onto it), so a steady stream of TopK requests performs no per-request
+// result allocation: selection is a bounded-heap pass over the pooled score
+// map.
 func (e *Engine) TopK(ctx context.Context, u, k int) ([]core.ScoredNode, *graph.Graph, error) {
-	if e.cache != nil {
-		res, err := e.Query(ctx, u)
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.TopK(k), res.Graph(), nil
+	if k < 0 {
+		k = 0
 	}
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		e.errors.Add(1)
-		return nil, nil, ctx.Err()
-	}
-	defer func() { <-e.sem }()
-	s, err := e.acquire()
+	resp, err := e.Do(ctx, Request{Source: u, K: k})
 	if err != nil {
 		return nil, nil, err
 	}
-	defer s.release()
-	e.queries.Add(1)
-	res, _ := e.resPool.Get().(*core.Result)
-	if res == nil {
-		res = &core.Result{}
+	top := resp.Top
+	if top == nil {
+		top = []core.ScoredNode{}
 	}
-	if err := s.idx.QueryIntoCtx(ctx, u, res); err != nil {
-		e.errors.Add(1)
-		e.resPool.Put(res)
-		return nil, nil, err
-	}
-	top := res.TopK(k)
-	g := res.Graph()
-	e.resPool.Put(res)
-	return top, g, nil
+	return top, resp.Graph, nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v). Pair queries skip the cache
-// (they do not produce a Result) but still count toward engine statistics.
+// and the single-flight table (they do not produce a Result) but go through
+// the same admission gate and count toward engine statistics.
 func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
+	if err := e.admit(ctx); err != nil {
 		e.errors.Add(1)
-		return 0, ctx.Err()
+		return 0, err
 	}
 	defer func() { <-e.sem }()
 	s, err := e.acquire()
@@ -390,20 +670,34 @@ func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
 type Stats struct {
 	// Workers is the concurrency bound.
 	Workers int
+	// MaxQueue is the admission queue bound (-1 when shedding is disabled).
+	MaxQueue int
 	// Generation is the swap generation of the served index (0 until the
 	// first Swap).
 	Generation uint64
 	// Swaps counts index swaps performed.
 	Swaps int64
-	// Queries counts single-source queries answered, including cache hits.
+	// CacheReuses counts swaps that kept (re-keyed) the result cache because
+	// the incoming index serves an identical graph with identical options.
+	CacheReuses int64
+	// Queries counts single-source requests answered, including cache hits
+	// and coalesced joiners.
 	Queries int64
-	// CacheHits counts queries answered from the LRU cache.
+	// CacheHits counts requests answered from the LRU cache.
 	CacheHits int64
+	// Coalesced counts requests that shared an identical in-flight
+	// computation instead of running their own.
+	Coalesced int64
+	// Shed counts requests rejected with ErrOverloaded by admission control.
+	Shed int64
+	// QueueDepth is the instantaneous number of requests waiting for a
+	// worker slot.
+	QueueDepth int64
 	// CacheEntries is the current number of cached results (0 when disabled).
 	CacheEntries int
 	// PairQueries counts single-pair queries.
 	PairQueries int64
-	// Errors counts failed or cancelled requests.
+	// Errors counts failed, shed, or cancelled requests.
 	Errors int64
 }
 
@@ -411,10 +705,15 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:     e.workers,
+		MaxQueue:    e.maxQueue,
 		Generation:  e.cur.Load().gen,
 		Swaps:       e.swaps.Load(),
+		CacheReuses: e.cacheReuses.Load(),
 		Queries:     e.queries.Load(),
 		CacheHits:   e.cacheHits.Load(),
+		Coalesced:   e.coalesced.Load(),
+		Shed:        e.shed.Load(),
+		QueueDepth:  e.queueDepth.Load(),
 		PairQueries: e.pairs.Load(),
 		Errors:      e.errors.Load(),
 	}
@@ -424,11 +723,13 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// cacheKey identifies one cached single-source result. Epsilon rides along so
-// engines over re-tuned indexes (or a future per-query epsilon override)
-// never collide; the generation guarantees results computed against a
-// swapped-out index can never serve the new one, even if an in-flight query
-// inserts after the swap's purge.
+// cacheKey identifies one cached single-source result. Epsilon is the
+// *effective* epsilon (post-clamping), so requests at different accuracy
+// tiers never collide and redundant tiers (requested below build epsilon)
+// share the build-epsilon entry; the generation guarantees results computed
+// against a swapped-out index can never serve the new one, even if an
+// in-flight query inserts after the swap's purge. The single-flight table
+// shares this key, which is what makes "identical request" precise.
 type cacheKey struct {
 	gen     uint64
 	source  int
@@ -489,6 +790,34 @@ func (c *resultCache) purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.items)
+}
+
+// rekey migrates every entry of generation oldGen to newGen, rebinding the
+// kept results to g (the new generation's graph object — structurally
+// identical, but the old object may alias a mapping about to be unmapped).
+// Entries already keyed newGen (a query that raced ahead of the swap) are
+// kept as they are; entries from any other generation (a racing insert
+// against an even older slot) are dropped. LRU order is preserved; shared
+// results are never mutated — rebinding produces shallow copies.
+func (c *resultCache) rekey(oldGen, newGen uint64, g *graph.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var el, next *list.Element
+	for el = c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.gen == newGen {
+			continue
+		}
+		delete(c.items, ent.key)
+		if ent.key.gen != oldGen {
+			c.ll.Remove(el)
+			continue
+		}
+		ent.key.gen = newGen
+		ent.res = ent.res.Rebound(g)
+		c.items[ent.key] = el
+	}
 }
 
 func (c *resultCache) len() int {

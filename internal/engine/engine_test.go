@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"time"
+
 	"prsim/internal/core"
 	"prsim/internal/gen"
 	"prsim/internal/graph"
@@ -590,5 +592,371 @@ func TestNewValidation(t *testing.T) {
 	}
 	if e.Workers() < 1 {
 		t.Errorf("default Workers = %d, want >= 1", e.Workers())
+	}
+}
+
+// TestDoCoalescesIdenticalRequests is the acceptance test for single-flight
+// coalescing: 64 concurrent identical uncached requests must trigger exactly
+// one underlying computation. The query hook holds the flight open until
+// every other caller has registered as a joiner, making the count
+// deterministic instead of racing on goroutine startup. Run under -race.
+func TestDoCoalescesIdenticalRequests(t *testing.T) {
+	idx := testIndex(t, 200)
+	// No cache: the dedupe must come from coalescing alone.
+	e, err := New(idx, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const callers = 64
+	var computations atomic.Int64
+	release := make(chan struct{})
+	e.queryFn = func(ctx context.Context, s *slot, u int) (*core.Result, error) {
+		computations.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return s.idx.Query(u)
+	}
+	// Release the leader only once all other callers joined its flight
+	// (joiners increment the coalesced counter at registration time).
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for e.coalesced.Load() < callers-1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = e.Do(context.Background(), Request{Source: 7})
+		}(i)
+	}
+	wg.Wait()
+
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("underlying computations = %d, want exactly 1", got)
+	}
+	var shared, leaders int
+	for i := range resps {
+		if errs[i] != nil {
+			t.Fatalf("caller %d failed: %v", i, errs[i])
+		}
+		if resps[i].Result == nil {
+			t.Fatalf("caller %d got nil result", i)
+		}
+		if resps[i].Coalesced {
+			shared++
+		} else {
+			leaders++
+		}
+		if resps[i].Result != resps[0].Result {
+			t.Fatalf("caller %d got a different result object", i)
+		}
+	}
+	if leaders != 1 || shared != callers-1 {
+		t.Fatalf("leaders/joiners = %d/%d, want 1/%d", leaders, shared, callers-1)
+	}
+	st := e.Stats()
+	if st.Queries != callers || st.Coalesced != callers-1 {
+		t.Fatalf("stats queries/coalesced = %d/%d, want %d/%d", st.Queries, st.Coalesced, callers, callers-1)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDoShedsWhenQueueFull pins admission control: with one worker and one
+// queue slot, the third distinct concurrent request must be shed immediately
+// with ErrOverloaded and no partial result, while the queued requests
+// complete once the worker frees up. Run under -race.
+func TestDoShedsWhenQueueFull(t *testing.T) {
+	idx := testIndex(t, 100)
+	e, err := New(idx, Options{Workers: 1, MaxQueue: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.MaxQueue() != 1 {
+		t.Fatalf("MaxQueue = %d, want 1", e.MaxQueue())
+	}
+	enteredA := make(chan struct{})
+	blockA := make(chan struct{})
+	e.queryFn = func(ctx context.Context, s *slot, u int) (*core.Result, error) {
+		if u == 0 {
+			close(enteredA)
+			select {
+			case <-blockA:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return s.idx.Query(u)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(1)
+	go func() { // A occupies the only worker slot
+		defer wg.Done()
+		_, errA = e.Do(ctx, Request{Source: 0})
+	}()
+	<-enteredA
+	wg.Add(1)
+	go func() { // B takes the only queue slot
+		defer wg.Done()
+		_, errB = e.Do(ctx, Request{Source: 1})
+	}()
+	waitFor(t, "request B to enter the admission queue", func() bool {
+		return e.queueDepth.Load() == 1
+	})
+
+	// C finds the worker busy and the queue full: shed, immediately.
+	resp, err := e.Do(ctx, Request{Source: 2})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third request error = %v, want ErrOverloaded", err)
+	}
+	if resp != nil {
+		t.Fatalf("shed request returned a response: %+v", resp)
+	}
+	if st := e.Stats(); st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+
+	close(blockA)
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("queued requests failed: A=%v B=%v", errA, errB)
+	}
+	if st := e.Stats(); st.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after drain, want 0", st.QueueDepth)
+	}
+}
+
+// TestSwapKeepsCacheForIdenticalGraph pins reload-aware cache reuse: when
+// the incoming index serves a structurally identical graph (equal checksum)
+// with query-equivalent options, Swap re-keys the cache instead of purging
+// it, the kept entries answer as cache hits, and their results are rebound
+// to the new generation's graph object.
+func TestSwapKeepsCacheForIdenticalGraph(t *testing.T) {
+	// Two separately generated (distinct objects, identical content) graphs.
+	gA, err := gen.PowerLaw(gen.PowerLawOptions{N: 200, AvgDegree: 6, Gamma: 2.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	gB, err := gen.PowerLaw(gen.PowerLawOptions{N: 200, AvgDegree: 6, Gamma: 2.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	opts := core.Options{Epsilon: 0.25, Seed: 7, SampleScale: 0.05}
+	idxA, err := core.BuildIndex(gA, opts)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	idxB, err := core.BuildIndex(gB, opts)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if gA.Checksum() != gB.Checksum() {
+		t.Fatalf("identically generated graphs have different checksums")
+	}
+	e, err := New(idxA, Options{Workers: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	before, err := e.Query(ctx, 3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if err := e.Swap(idxB, nil); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	st := e.Stats()
+	if st.CacheReuses != 1 {
+		t.Fatalf("CacheReuses = %d, want 1", st.CacheReuses)
+	}
+	if st.CacheEntries != 1 {
+		t.Fatalf("CacheEntries = %d after same-graph swap, want 1 (kept)", st.CacheEntries)
+	}
+	after, err := e.Query(ctx, 3)
+	if err != nil {
+		t.Fatalf("Query after swap: %v", err)
+	}
+	if got := e.Stats().CacheHits; got != 1 {
+		t.Fatalf("CacheHits = %d after same-graph swap, want 1 (kept entry must answer)", got)
+	}
+	sameResult(t, before, after)
+	if after.Graph() != gB {
+		t.Errorf("kept result still bound to the old graph object")
+	}
+	if before.Graph() != gA {
+		t.Errorf("original result mutated by the rekey; rebinding must copy")
+	}
+}
+
+// TestSwapPurgesCacheForDifferentGraph is the counterpart: a structurally
+// different graph (or different build options) must purge the cache exactly
+// as before.
+func TestSwapPurgesCacheForDifferentGraph(t *testing.T) {
+	idxA := testIndex(t, 150)
+	gB, err := gen.PowerLaw(gen.PowerLawOptions{N: 150, AvgDegree: 6, Gamma: 2.5, Seed: 99})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	idxB, err := core.BuildIndex(gB, core.Options{Epsilon: 0.25, Seed: 7, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	e, err := New(idxA, Options{Workers: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if err := e.Swap(idxB, nil); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	st := e.Stats()
+	if st.CacheReuses != 0 {
+		t.Fatalf("CacheReuses = %d for different graph, want 0", st.CacheReuses)
+	}
+	if st.CacheEntries != 0 {
+		t.Fatalf("CacheEntries = %d after different-graph swap, want 0 (purged)", st.CacheEntries)
+	}
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatalf("Query after swap: %v", err)
+	}
+	if got := e.Stats().CacheHits; got != 0 {
+		t.Fatalf("CacheHits = %d after purge, want 0", got)
+	}
+
+	// Same graph but different options must also purge.
+	idxC, err := core.BuildIndex(gB, core.Options{Epsilon: 0.25, Seed: 8, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if err := e.Swap(idxC, nil); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if st := e.Stats(); st.CacheReuses != 0 || st.CacheEntries != 0 {
+		t.Fatalf("different-seed swap kept the cache: %+v", st)
+	}
+}
+
+// TestDoPerRequestEpsilon exercises the epsilon half of the request plane at
+// the engine layer: coarser requests run fewer walks and cache under their
+// own key, clamped requests share the build-epsilon entry, and invalid
+// epsilons are rejected up front.
+func TestDoPerRequestEpsilon(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawOptions{N: 300, AvgDegree: 6, Gamma: 2.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	// Build epsilon small enough that 4x stays inside (0,1).
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.15, Seed: 7, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	build := idx.Options().Epsilon
+	e, err := New(idx, Options{Workers: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	def, err := e.Do(ctx, Request{Source: 5})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if def.Epsilon != build || def.Clamped {
+		t.Fatalf("default request epsilon/clamped = %v/%v, want %v/false", def.Epsilon, def.Clamped, build)
+	}
+	coarse, err := e.Do(ctx, Request{Source: 5, Epsilon: 4 * build})
+	if err != nil {
+		t.Fatalf("Do coarse: %v", err)
+	}
+	if coarse.CacheHit {
+		t.Fatal("coarse request hit the default-epsilon cache entry")
+	}
+	if coarse.Epsilon != 4*build {
+		t.Fatalf("coarse effective epsilon = %v, want %v", coarse.Epsilon, 4*build)
+	}
+	if cw, dw := coarse.Result.Stats.Walks, def.Result.Stats.Walks; cw >= dw {
+		t.Fatalf("coarse request sampled %d walks, want fewer than default's %d", cw, dw)
+	}
+	if e.Stats().CacheEntries != 2 {
+		t.Fatalf("CacheEntries = %d, want 2 (one per accuracy tier)", e.Stats().CacheEntries)
+	}
+
+	// A request below the build epsilon is clamped and shares the
+	// build-epsilon cache entry.
+	clamped, err := e.Do(ctx, Request{Source: 5, Epsilon: build / 2})
+	if err != nil {
+		t.Fatalf("Do clamped: %v", err)
+	}
+	if !clamped.Clamped || clamped.Epsilon != build {
+		t.Fatalf("clamped epsilon/flag = %v/%v, want %v/true", clamped.Epsilon, clamped.Clamped, build)
+	}
+	if !clamped.CacheHit || clamped.Result != def.Result {
+		t.Fatal("clamped request must share the build-epsilon cache entry")
+	}
+
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if _, err := e.Do(ctx, Request{Source: 5, Epsilon: bad}); !errors.Is(err, core.ErrInvalidEpsilon) {
+			t.Errorf("Do(epsilon=%v) error = %v, want ErrInvalidEpsilon", bad, err)
+		}
+	}
+}
+
+// TestDoTopKPooledAndCoalesced checks the pooled top-k path still holds
+// under the request plane: a cacheless engine answers K>0 requests without
+// exposing a Result, and a full-result request coalescing onto it still gets
+// the full scores.
+func TestDoTopKPooledAndCoalesced(t *testing.T) {
+	idx := testIndex(t, 150)
+	e, err := New(idx, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	resp, err := e.Do(ctx, Request{Source: 7, K: 5})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Result != nil {
+		t.Fatal("cacheless top-k request leaked its pooled result")
+	}
+	if len(resp.Top) == 0 || len(resp.Top) > 5 {
+		t.Fatalf("Top has %d entries", len(resp.Top))
+	}
+	if resp.Graph != idx.Graph() {
+		t.Fatal("Top-k response bound to the wrong graph")
+	}
+	want, err := idx.Query(7)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	wantTop := want.TopK(5)
+	for i := range wantTop {
+		if resp.Top[i] != wantTop[i] {
+			t.Fatalf("Top[%d] = %+v, want %+v", i, resp.Top[i], wantTop[i])
+		}
 	}
 }

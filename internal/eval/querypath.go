@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -38,6 +39,27 @@ type QueryPathResult struct {
 	IndexEntriesRead float64
 	HubHits          float64
 	NonHubHits       float64
+	// EpsilonSweep reports the same workload re-run at per-request epsilon
+	// multiples of the build epsilon through the request plane: one index,
+	// several accuracy/latency tiers.
+	EpsilonSweep []EpsilonTier
+}
+
+// EpsilonTier is one per-request accuracy tier of the epsilon sweep.
+type EpsilonTier struct {
+	// Multiple is the requested epsilon as a multiple of the build epsilon
+	// (1 = the default request).
+	Multiple float64
+	// Epsilon is the effective per-request epsilon.
+	Epsilon float64
+	// NsPerQuery is the mean wall-clock nanoseconds per query at this tier.
+	NsPerQuery float64
+	// Speedup is the default tier's NsPerQuery divided by this tier's.
+	Speedup float64
+	// Walks, BackwardWalkCost and IndexEntriesRead are per-query means.
+	Walks            float64
+	BackwardWalkCost float64
+	IndexEntriesRead float64
 }
 
 // RunQueryPath builds the standard power-law benchmark graph (150k nodes in
@@ -61,8 +83,10 @@ func RunQueryPath(cfg Config) (*QueryPathResult, error) {
 		return nil, err
 	}
 	opts := core.Options{
-		C:           cfg.Decay,
-		Epsilon:     0.25,
+		C: cfg.Decay,
+		// 0.2 rather than the historical 0.25 so the epsilon sweep's 4x tier
+		// (0.8) stays inside the valid (0,1) range.
+		Epsilon:     0.2,
 		NumHubs:     -1, // automatic √n hub selection (0 would be index-free)
 		SampleScale: cfg.SampleScale,
 		Seed:        cfg.Seed,
@@ -116,5 +140,41 @@ func RunQueryPath(cfg Config) (*QueryPathResult, error) {
 	res.IndexEntriesRead /= q
 	res.HubHits /= q
 	res.NonHubHits /= q
+
+	// Epsilon sweep: the same sources re-queried through the request plane
+	// at multiples of the build epsilon. One index serves every tier; only
+	// the per-request budgets change.
+	for _, mult := range []float64{1, 2, 4} {
+		tier := EpsilonTier{Multiple: mult}
+		qopts := core.QueryOptions{}
+		if mult != 1 {
+			qopts.Epsilon = mult * opts.Epsilon
+		}
+		// Warm up the tier so pooled buffers are sized before timing.
+		if err := idx.QueryIntoOpts(context.Background(), sources[0], &r, qopts); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, u := range sources {
+			if err := idx.QueryIntoOpts(context.Background(), u, &r, qopts); err != nil {
+				return nil, err
+			}
+			tier.Walks += float64(r.Stats.Walks)
+			tier.BackwardWalkCost += float64(r.Stats.BackwardWalkCost)
+			tier.IndexEntriesRead += float64(r.Stats.IndexEntriesRead)
+			tier.Epsilon = r.Stats.Epsilon
+		}
+		tier.NsPerQuery = float64(time.Since(start).Nanoseconds()) / q
+		tier.Walks /= q
+		tier.BackwardWalkCost /= q
+		tier.IndexEntriesRead /= q
+		res.EpsilonSweep = append(res.EpsilonSweep, tier)
+	}
+	base := res.EpsilonSweep[0].NsPerQuery
+	for i := range res.EpsilonSweep {
+		if ns := res.EpsilonSweep[i].NsPerQuery; ns > 0 {
+			res.EpsilonSweep[i].Speedup = base / ns
+		}
+	}
 	return res, nil
 }

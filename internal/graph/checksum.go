@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+var checksumTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns a CRC-32C fingerprint of the graph's structure: the node
+// and edge counts plus both CSR adjacency arrays, in their stored order. Two
+// graphs with equal checksums hold byte-for-byte identical adjacency content,
+// regardless of backing (a heap-built graph and the same graph reconstructed
+// from a self-contained snapshot hash identically once both are sorted by
+// head in-degree). Labels do not participate: they never influence query
+// results, only how results are rendered.
+//
+// The engine's hot-swap path uses this to decide whether a freshly installed
+// snapshot still serves the same graph as the outgoing generation, in which
+// case cached query results remain valid and survive the swap.
+//
+// The first call scans the adjacency arrays (O(n+m), memory-bandwidth bound)
+// and the value is memoized; SortOutByInDegree invalidates the memo since it
+// permutes the out-adjacency. Memoization is not synchronized with concurrent
+// mutation — like the rest of Graph, Checksum expects the graph to be
+// immutable by the time it is shared across goroutines.
+func (g *Graph) Checksum() uint32 {
+	if g.csumValid {
+		return g.csum
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(g.n))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(g.m))
+	crc := crc32.Update(0, checksumTable, buf[:])
+	crc = checksumInts(crc, g.outOff)
+	crc = checksumInt32s(crc, g.outAdj)
+	crc = checksumInts(crc, g.inOff)
+	crc = checksumInt32s(crc, g.inAdj)
+	g.csum, g.csumValid = crc, true
+	return crc
+}
+
+// checksumInts folds a []int into the running CRC as little-endian u64 words,
+// staged through a fixed buffer so the scan performs no allocation.
+func checksumInts(crc uint32, vals []int) uint32 {
+	var buf [512 * 8]byte
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > 512 {
+			n = 512
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(vals[i]))
+		}
+		crc = crc32.Update(crc, checksumTable, buf[:n*8])
+		vals = vals[n:]
+	}
+	return crc
+}
+
+// checksumInt32s folds a []int32 into the running CRC as little-endian u32
+// words.
+func checksumInt32s(crc uint32, vals []int32) uint32 {
+	var buf [1024 * 4]byte
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > 1024 {
+			n = 1024
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(vals[i]))
+		}
+		crc = crc32.Update(crc, checksumTable, buf[:n*4])
+		vals = vals[n:]
+	}
+	return crc
+}

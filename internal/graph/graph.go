@@ -39,6 +39,11 @@ type Graph struct {
 	// only in the builder) so self-contained snapshots can embed and restore
 	// the label table alongside the adjacency structure.
 	labels []string
+
+	// csum memoizes the structural CRC-32C computed by Checksum;
+	// SortOutByInDegree invalidates it (it permutes outAdj).
+	csum      uint32
+	csumValid bool
 }
 
 // ErrInvalidNode is returned when a node identifier is outside [0, N()).

@@ -8,6 +8,7 @@ package graph
 //
 // The in-adjacency lists are left untouched. The method is idempotent.
 func (g *Graph) SortOutByInDegree() {
+	g.csumValid = false // the permuted out-adjacency changes the fingerprint
 	if g.m == 0 {
 		g.outSorted = true
 		return

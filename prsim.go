@@ -293,23 +293,20 @@ type IndexStats struct {
 // (Algorithm 4 of the paper): every returned score is within Epsilon of the
 // true SimRank with probability 1-Delta. Queries are safe to run concurrently
 // from multiple goroutines; each draws pooled scratch state from the index.
+// Query is a shim over Do with a zero Request.
 func (idx *Index) Query(u int) (*Result, error) {
-	res, err := idx.idx.Query(u)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{g: idx.g, inner: res}, nil
+	return idx.QueryCtx(context.Background(), u)
 }
 
 // QueryCtx is Query with cancellation: the context is checked at every
 // internal round boundary, so a cancelled or expired context aborts the query
 // early. A query that completes is bit-identical to Query for the same index.
 func (idx *Index) QueryCtx(ctx context.Context, u int) (*Result, error) {
-	res, err := idx.idx.QueryCtx(ctx, u)
+	resp, err := idx.Do(ctx, Request{Source: u})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{g: idx.g, inner: res}, nil
+	return resp.Result, nil
 }
 
 // QueryBatch answers one single-source query per entry of sources, in order,
@@ -320,8 +317,10 @@ func (idx *Index) QueryCtx(ctx context.Context, u int) (*Result, error) {
 func (idx *Index) QueryBatch(ctx context.Context, sources []int) ([]*Result, error) {
 	idx.engineOnce.Do(func() {
 		// Options are always valid here, so the only New error (nil index)
-		// cannot occur.
-		idx.batchEngine, _ = engine.New(idx.idx, engine.Options{Resource: idx.engineResource()})
+		// cannot occur. MaxQueue -1 disables load shedding: this lazily built
+		// engine is a convenience fan-out, not a serving front-end, and
+		// concurrent QueryBatch callers expect to queue, not to be shed.
+		idx.batchEngine, _ = engine.New(idx.idx, engine.Options{Resource: idx.engineResource(), MaxQueue: -1})
 	})
 	inner, err := idx.batchEngine.QueryBatch(ctx, sources)
 	if err != nil {

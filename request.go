@@ -1,0 +1,161 @@
+package prsim
+
+import (
+	"context"
+
+	"prsim/internal/core"
+	"prsim/internal/engine"
+)
+
+// ErrOverloaded is returned by Engine.Do (and the shims over it) when the
+// worker pool is saturated and the admission queue is full: the request was
+// shed without doing any work. Callers should back off and retry; HTTP
+// front-ends map it to 429 Too Many Requests with a Retry-After header.
+var ErrOverloaded = engine.ErrOverloaded
+
+// ErrInvalidEpsilon is returned (wrapped with the offending value) when a
+// Request.Epsilon lies outside (0, 1). Servers use errors.Is against it to
+// classify bad requests.
+var ErrInvalidEpsilon = core.ErrInvalidEpsilon
+
+// Request is one unit of query work — the single parameter bundle the whole
+// stack shares: cmd/prsimserve decodes request bodies into it, Engine.Do
+// threads it through caching, coalescing and admission control, and Index.Do
+// hands it to core, which derives the walk and backward-walk budgets from it.
+// The zero value (plus a Source) reproduces the classic Query behavior
+// exactly; the legacy Query/QueryCtx/TopK signatures remain as shims over it.
+type Request struct {
+	// Source is the query node u.
+	Source int
+	// Epsilon is the per-request additive error target; zero inherits the
+	// index's build epsilon. A larger epsilon trades accuracy for speed — the
+	// Monte Carlo sample count scales with 1/ε² — while values below the
+	// build epsilon are clamped up to it (the index's reserve lists were
+	// pruned at the build epsilon and cannot answer tighter bounds);
+	// Response.Clamped reports when that happened. Values outside (0,1) are
+	// rejected.
+	Epsilon float64
+	// K, when positive, asks for the top-k most similar nodes: Response.Top
+	// is populated, and an engine running without a result cache answers
+	// from pooled storage that never escapes. K = 0 returns the full result;
+	// negative K yields an empty Top.
+	K int
+	// NoCache makes this request bypass the engine's result cache for both
+	// lookup and insert. It still coalesces with identical in-flight
+	// requests. Ignored by Index.Do, which has no cache.
+	NoCache bool
+}
+
+// Response is the answer to one Request, carrying the result (or top-k
+// selection) plus the request-plane metadata serving layers surface.
+type Response struct {
+	// Result is the full query result; treat it as read-only — engines share
+	// results between callers through the cache and coalescing. Nil when the
+	// request asked for top-k only and an engine answered from pooled
+	// storage.
+	Result *Result
+	// Top is the top-K selection in descending score order, with labels
+	// resolved against the graph that answered; set when K != 0.
+	Top []ScoredNode
+	// Epsilon is the effective additive error bound the query ran at (the
+	// build epsilon, or the larger requested one).
+	Epsilon float64
+	// Clamped reports that the requested epsilon was below the index's build
+	// epsilon and was raised to it.
+	Clamped bool
+	// CacheHit reports the result came from an engine's LRU cache.
+	CacheHit bool
+	// Coalesced reports the result was shared from an identical in-flight
+	// request's computation rather than computed for this caller.
+	Coalesced bool
+}
+
+// Do answers one Request directly against the index: per-request epsilon
+// (clamped to the build epsilon) resizes the query's sampling budgets, the
+// context carries the deadline, and K selects the top-k. Index.Do has no
+// cache, coalescing, or admission control — those are Engine features; it is
+// the single-caller entry point the engine builds on.
+func (idx *Index) Do(ctx context.Context, req Request) (*Response, error) {
+	q := core.QueryOptions{Epsilon: req.Epsilon}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	eff, clamped := idx.idx.EffectiveOptions(q)
+	res := &core.Result{}
+	if err := idx.idx.QueryIntoOpts(ctx, req.Source, res, q); err != nil {
+		return nil, err
+	}
+	pr := wrapResult(idx.g, res)
+	resp := &Response{Result: pr, Epsilon: eff.Epsilon, Clamped: clamped}
+	if req.K != 0 {
+		resp.Top = pr.TopK(req.K)
+	}
+	return resp, nil
+}
+
+// Do answers one Request through the engine's full request plane: the LRU
+// cache (keyed by generation, source and effective epsilon), single-flight
+// coalescing of identical in-flight requests, and the bounded admission
+// queue (ErrOverloaded when full). See Request and Response for the knob and
+// metadata semantics.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	inner, err := e.eng.Do(ctx, engine.Request{
+		Source:  req.Source,
+		Epsilon: req.Epsilon,
+		K:       req.K,
+		NoCache: req.NoCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.wrapEngineResponse(inner), nil
+}
+
+// wrapEngineResponse lifts an internal engine response into the public type,
+// resolving labels and dimensions against the graph that actually answered:
+// a hot Swap can land mid-flight, and cached or coalesced results belong to
+// the generation that computed them.
+func (e *Engine) wrapEngineResponse(inner *engine.Response) *Response {
+	pg := e.cur.Load().g
+	if inner.Graph != nil && (pg == nil || pg.g != inner.Graph) {
+		pg = wrapGraph(inner.Graph)
+	}
+	resp := &Response{
+		Epsilon:   inner.Epsilon,
+		Clamped:   inner.Clamped,
+		CacheHit:  inner.CacheHit,
+		Coalesced: inner.Coalesced,
+	}
+	if inner.Result != nil {
+		resp.Result = wrapResult(pg, inner.Result)
+	}
+	if inner.Top != nil {
+		out := make([]ScoredNode, len(inner.Top))
+		for i, s := range inner.Top {
+			out[i] = ScoredNode{Node: s.Node, Label: pg.Label(s.Node), Score: s.Score}
+		}
+		resp.Top = out
+	}
+	return resp
+}
+
+// DoBatch answers one request per source, in order, fanned out over the
+// engine's workers; base supplies the shared per-request options (its Source
+// is ignored). Batches share the cache and coalesce with concurrent
+// identical requests exactly like Do. On the first error the remaining
+// queries are cancelled and the error is returned.
+func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
+	inner, err := e.eng.DoBatch(ctx, engine.Request{
+		Epsilon: base.Epsilon,
+		K:       base.K,
+		NoCache: base.NoCache,
+	}, sources)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Response, len(inner))
+	for i, r := range inner {
+		out[i] = e.wrapEngineResponse(r)
+	}
+	return out, nil
+}

@@ -72,6 +72,7 @@ func (r *Result) AsSlice() []float64 { return r.inner.AsSlice(r.g.NumNodes()) }
 func (r *Result) Stats() QueryStats {
 	s := r.inner.Stats
 	return QueryStats{
+		Epsilon:          s.Epsilon,
 		Walks:            s.Walks,
 		BackwardWalkCost: s.BackwardWalkCost,
 		IndexEntriesRead: s.IndexEntriesRead,
@@ -81,6 +82,9 @@ func (r *Result) Stats() QueryStats {
 
 // QueryStats summarizes the cost of one query.
 type QueryStats struct {
+	// Epsilon is the effective additive error bound the query ran at: the
+	// build epsilon unless a larger per-request epsilon was supplied.
+	Epsilon float64
 	// Walks is the number of √c-walks sampled.
 	Walks int
 	// BackwardWalkCost counts estimator increments performed by Variance
