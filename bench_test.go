@@ -366,6 +366,66 @@ func BenchmarkQueryKernel150k(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelQuery measures intra-query walk parallelism: the
+// 150k-node single-query workload of BenchmarkQueryKernel150k executed at
+// parallelism 1, 2, and GOMAXPROCS. The chunk decomposition is identical at
+// every level (results are bit-identical); only the wall-clock per query
+// moves, so the sub-benchmark ratios are the parallel speedup. Runs under
+// the bench-trend gate via BENCH_ci.json.
+func BenchmarkParallelQuery(b *testing.B) {
+	g := benchmarkGraph(b, 150000, 2.5)
+	idx, err := core.BuildIndex(g.Internal(), core.Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		levels = append(levels, p)
+	}
+	ctx := context.Background()
+	for _, p := range levels {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			q := core.QueryOptions{Parallelism: p}
+			var res core.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.QueryIntoOpts(ctx, i%g.NumNodes(), &res, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDoBatchFused measures the fused multi-source batch path: 16
+// distinct sources per DoBatch, cache disabled so every batch computes. The
+// fusion streams each eligible reserve list once per batch instead of once
+// per source, and the per-source walk phases fan out over the engine's
+// workers; ns/op is one full batch. Runs under the bench-trend gate via
+// BENCH_ci.json.
+func BenchmarkDoBatchFused(b *testing.B) {
+	g := benchmarkGraph(b, 20000, 2.5)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(idx, EngineOptions{Workers: runtime.GOMAXPROCS(0), MaxQueue: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := make([]int, 16)
+	for i := range sources {
+		sources[i] = (i * 977) % g.NumNodes()
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DoBatch(ctx, Request{NoCache: true}, sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReversePageRank measures the exact reverse PageRank computation
 // used by preprocessing.
 func BenchmarkReversePageRank(b *testing.B) {

@@ -59,9 +59,13 @@ type Result struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	GoVersion  string    `json:"go_version"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU records the machine's logical CPU count — parallel-query and
+	// batch-fusion numbers are only comparable between runs on similar core
+	// counts, so trend readers need it alongside the timings.
+	NumCPU     int       `json:"num_cpu"`
 	Generated  time.Time `json:"generated"`
 	Benchmarks []Result  `json:"benchmarks"`
 }
@@ -243,6 +247,7 @@ func parse(r io.Reader, echo bool) (*Report, error) {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 		Generated: time.Now().UTC(),
 	}
 	sc := bufio.NewScanner(r)

@@ -45,6 +45,7 @@ func main() {
 		full       = flag.Bool("full", false, "use the full (slower) configuration instead of the quick one")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset for fig2-fig5 (default: all five)")
 		queries    = flag.Int("queries", 0, "override the number of queries per measurement")
+		parallel   = flag.Int("parallel", 0, "cap the querypath intra-query parallelism sweep (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
@@ -58,6 +59,7 @@ func main() {
 	if *queries > 0 {
 		cfg.Queries = *queries
 	}
+	cfg.MaxParallel = *parallel
 	cfg.Seed = *seed
 
 	var names []string
@@ -315,6 +317,15 @@ func runQueryPath(cfg eval.Config) error {
 		fmt.Fprintf(w2, "%.2f (%gx build)\t%.3f\t%.2fx\t%.0f\t%.0f\t%.0f\n",
 			tier.Epsilon, tier.Multiple, tier.NsPerQuery/1e6, tier.Speedup,
 			tier.Walks, tier.BackwardWalkCost, tier.IndexEntriesRead)
+	}
+	flush2()
+
+	fmt.Println("\n--- intra-query parallelism sweep (bit-identical scores at every level) ---")
+	w3, flush3 := newTable("parallelism", "time (ms)", "speedup", "walk chunks")
+	defer flush3()
+	for _, tier := range res.ParallelSweep {
+		fmt.Fprintf(w3, "%d\t%.3f\t%.2fx\t%.0f\n",
+			tier.Parallelism, tier.NsPerQuery/1e6, tier.Speedup, tier.Chunks)
 	}
 	return nil
 }

@@ -26,12 +26,19 @@
 // across the reload. POST /reload triggers the same swap on demand. /stats
 // reports the snapshot generation, which increments per swap. With
 // -verifyevery the snapshot's CRC-32C is re-verified in the background on a
-// timer; the last verification outcome is logged and exposed in /stats.
+// timer; the last verification outcome is logged and exposed in /stats. A
+// failed verification triggers an automatic rollback: the snapshot path is
+// re-opened and swapped in only if the fresh mapping verifies clean, else the
+// server keeps serving the last-good generation (verify.rolled_back in /stats
+// counts successful rollbacks).
 //
 // Request plane: every query endpoint accepts the same per-request knobs —
 // epsilon (accuracy/latency trade, clamped up to the index's build epsilon),
-// k (top-k selection), timeout_ms (per-request deadline, capped by -timeout)
-// and no_cache — as URL parameters on GET or as a JSON body on POST:
+// k (top-k selection), timeout_ms (per-request deadline, capped by -timeout),
+// no_cache, and parallelism (intra-query walk-chunk fan-out; 0 inherits the
+// -parallel server default, which itself defaults to auto = borrow idle
+// workers) — as URL parameters on GET (the last as ?parallel=N) or as a JSON
+// body on POST:
 //
 //	POST /query {"u": 3, "epsilon": 0.4, "timeout_ms": 500}
 //	POST /query {"sources": [1, 2, 3], "epsilon": 0.4, "limit": 10}
@@ -86,6 +93,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.IntVar(&cfg.maxLevels, "maxlevels", 0, "cap on walk levels (0 = default 64)")
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent query workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "default intra-query parallelism hint: walk chunks per query may run on up to this many workers (0 = auto: borrow idle workers; 1 = serial)")
 	flag.IntVar(&cfg.cacheSize, "cache", 1024, "LRU result cache size (0 disables)")
 	flag.IntVar(&cfg.maxQueue, "maxqueue", 0, "admission queue bound before requests are shed with 429 (0 = max(32, 4*workers), negative = unbounded)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
@@ -137,6 +145,7 @@ type config struct {
 	seed               uint64
 	maxLevels          int
 	workers, cacheSize int
+	parallel           int
 	maxQueue           int
 	addr               string
 	timeout            time.Duration
@@ -163,6 +172,7 @@ type server struct {
 	// verifyMu guards the background checksum-verification status below it.
 	verifyMu      sync.Mutex
 	verifies      int64
+	rolledBack    int64
 	lastVerifyAt  time.Time
 	lastVerifyDur time.Duration
 	lastVerifyErr error
@@ -305,11 +315,13 @@ func (s *server) reload() (reloadInfo, error) {
 
 // verifySnapshot re-verifies the currently served snapshot's CRC-32C trailer
 // (a full sequential read of the mapped payload) and records the outcome for
-// /stats. Corruption is logged loudly but the server keeps serving: the
-// operator decides whether to republish or restart. A reload racing the
-// verification can surface ErrSnapshotClosed for the swapped-out snapshot;
-// that is recorded like any other outcome and the next tick verifies the new
-// generation.
+// /stats. On corruption the server attempts an automatic rollback: the
+// snapshot path is re-opened and the fresh mapping is verified before being
+// swapped in, so a republished good file heals the server without operator
+// action, while a still-corrupt file leaves the last-good generation serving.
+// A reload racing the verification can surface ErrSnapshotClosed for the
+// swapped-out snapshot; that is recorded like any other outcome and the next
+// tick verifies the new generation.
 func (s *server) verifySnapshot() {
 	idx := s.eng.Current()
 	gen := s.eng.Generation()
@@ -323,11 +335,56 @@ func (s *server) verifySnapshot() {
 	s.lastVerifyErr = err
 	s.lastVerifyGen = gen
 	s.verifyMu.Unlock()
-	if err != nil {
-		log.Printf("prsimserve: background snapshot verify FAILED (generation %d): %v", gen, err)
+	if err == nil {
+		log.Printf("prsimserve: background snapshot verify ok (generation %d, %s)", gen, dur.Round(time.Millisecond))
 		return
 	}
-	log.Printf("prsimserve: background snapshot verify ok (generation %d, %s)", gen, dur.Round(time.Millisecond))
+	log.Printf("prsimserve: background snapshot verify FAILED (generation %d): %v", gen, err)
+	if s.cfg.loadIndex == "" {
+		return // built at startup; nothing on disk to roll back to
+	}
+	if rerr := s.rollback(); rerr != nil {
+		log.Printf("prsimserve: rollback failed (still serving generation %d): %v", gen, rerr)
+		return
+	}
+	s.verifyMu.Lock()
+	s.rolledBack++
+	s.verifyMu.Unlock()
+	log.Printf("prsimserve: rolled back to freshly verified snapshot of %s (generation %d)",
+		s.cfg.loadIndex, s.eng.Generation())
+}
+
+// rollback is the recovery half of verifySnapshot: re-open the snapshot path
+// and swap the fresh mapping in, but only after its checksum verifies clean —
+// a corrupt on-disk file must never replace the serving generation, whose
+// resident pages may still be good. Shares reload's bookkeeping (and its
+// lock) so the watcher does not double-load a file the rollback just picked
+// up.
+func (s *server) rollback() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	preMod, preSize := statWatched(s.cfg.loadIndex)
+	loadStart := time.Now()
+	idx, err := openIndex(s.cfg, s.g)
+	if err != nil {
+		return fmt.Errorf("re-open: %w", err)
+	}
+	if err := idx.Verify(); err != nil {
+		idx.Close()
+		return fmt.Errorf("re-opened snapshot still corrupt: %w", err)
+	}
+	old, err := s.eng.Swap(idx)
+	if err != nil {
+		idx.Close()
+		return err
+	}
+	s.lastLoadTime = time.Since(loadStart)
+	s.lastLoadAt = time.Now()
+	s.watchedMod, s.watchedSize = preMod, preSize
+	if err := old.Close(); err != nil {
+		log.Printf("prsimserve: closing rolled-back snapshot: %v", err)
+	}
+	return nil
 }
 
 // verifyLoop runs verifySnapshot on a timer until the server stops.
@@ -417,24 +474,26 @@ func (s *server) handler() http.Handler {
 // and /topk: one parse point regardless of transport (GET URL parameters or
 // POST JSON body), feeding one prsim.Request.
 type apiRequest struct {
-	sources []int
-	epsilon float64
-	k       int
-	kSet    bool
-	limit   int
-	timeout time.Duration
-	noCache bool
+	sources  []int
+	epsilon  float64
+	k        int
+	kSet     bool
+	limit    int
+	timeout  time.Duration
+	noCache  bool
+	parallel int
 }
 
 // requestBodyJSON is the POST body shape of /query and /topk.
 type requestBodyJSON struct {
-	U         *int    `json:"u"`
-	Sources   []int   `json:"sources"`
-	Epsilon   float64 `json:"epsilon"`
-	K         *int    `json:"k"`
-	Limit     int     `json:"limit"`
-	TimeoutMS int64   `json:"timeout_ms"`
-	NoCache   bool    `json:"no_cache"`
+	U           *int    `json:"u"`
+	Sources     []int   `json:"sources"`
+	Epsilon     float64 `json:"epsilon"`
+	K           *int    `json:"k"`
+	Limit       int     `json:"limit"`
+	TimeoutMS   int64   `json:"timeout_ms"`
+	NoCache     bool    `json:"no_cache"`
+	Parallelism int     `json:"parallelism"`
 }
 
 // parseAPIRequest decodes the request-plane knobs from either transport.
@@ -458,6 +517,7 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 		req.limit = body.Limit
 		req.timeout = time.Duration(body.TimeoutMS) * time.Millisecond
 		req.noCache = body.NoCache
+		req.parallel = body.Parallelism
 		return req, nil
 	}
 	q := r.URL.Query()
@@ -491,7 +551,22 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 	if v := q.Get("nocache"); v != "" && v != "0" && v != "false" {
 		req.noCache = true
 	}
+	if req.parallel, err = intParam(q.Get("parallel"), 0); err != nil {
+		return req, fmt.Errorf("parallel must be an integer")
+	}
 	return req, nil
+}
+
+// effectiveParallel resolves the intra-query parallelism hint: the
+// per-request value wins, then the -parallel server default; zero is left for
+// the engine to resolve as auto (borrow idle workers). The hint never changes
+// scores — chunk decomposition and merge order are parallelism-independent —
+// so it is safe to vary per request against a shared cache.
+func (s *server) effectiveParallel(req apiRequest) int {
+	if req.parallel > 0 {
+		return req.parallel
+	}
+	return s.cfg.parallel
 }
 
 // scoredNodeJSON is one (node, score) pair in a response.
@@ -527,7 +602,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	resps, err := s.eng.DoBatch(ctx, prsim.Request{Epsilon: api.epsilon, NoCache: api.noCache}, api.sources)
+	resps, err := s.eng.DoBatch(ctx, prsim.Request{Epsilon: api.epsilon, NoCache: api.noCache, Parallelism: s.effectiveParallel(api)}, api.sources)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -598,7 +673,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	resp, err := s.eng.Do(ctx, prsim.Request{Source: u, Epsilon: api.epsilon, K: k, NoCache: api.noCache})
+	resp, err := s.eng.Do(ctx, prsim.Request{Source: u, Epsilon: api.epsilon, K: k, NoCache: api.noCache, Parallelism: s.effectiveParallel(api)})
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -668,6 +743,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	verify := map[string]any{
 		"every_seconds": s.cfg.verifyEvery.Seconds(),
 		"runs":          s.verifies,
+		"rolled_back":   s.rolledBack,
 	}
 	if s.verifies > 0 {
 		verify["last_at"] = s.lastVerifyAt.UTC().Format(time.RFC3339)
@@ -692,6 +768,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"size_bytes":    idx.SizeBytes(),
 			"second_moment": ist.SecondMoment,
 			"backing":       idx.Backing(),
+			"madvise":       idx.Advices(),
 			"load_seconds":  lastLoad.Seconds(),
 		},
 		"snapshot": map[string]any{
@@ -715,6 +792,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"shed":          est.Shed,
 			"pair_queries":  est.PairQueries,
 			"errors":        est.Errors,
+
+			"parallel_default": s.cfg.parallel,
+			"parallel_queries": est.ParallelQueries,
+			"chunks_executed":  est.ChunksExecuted,
+			"chunks_merged":    est.ChunksMerged,
 		},
 	})
 }

@@ -851,10 +851,11 @@ func TestServeBackgroundVerify(t *testing.T) {
 	srv.verifySnapshot()
 	var stats struct {
 		Verify struct {
-			Runs      int64   `json:"runs"`
-			LastOK    bool    `json:"last_ok"`
-			LastError string  `json:"last_error"`
-			Every     float64 `json:"every_seconds"`
+			Runs       int64   `json:"runs"`
+			RolledBack int64   `json:"rolled_back"`
+			LastOK     bool    `json:"last_ok"`
+			LastError  string  `json:"last_error"`
+			Every      float64 `json:"every_seconds"`
 		} `json:"verify"`
 	}
 	getJSON(t, ts.URL+"/stats", &stats)
@@ -886,6 +887,11 @@ func TestServeBackgroundVerify(t *testing.T) {
 	}
 	if stats.Verify.LastError == "" {
 		t.Fatal("corruption not reported in last_error")
+	}
+	// The file is corrupt in place, so the automatic rollback's re-open finds
+	// the same bad bytes and must NOT swap: keep serving the last-good pages.
+	if stats.Verify.RolledBack != 0 {
+		t.Fatalf("rolled_back = %d, want 0 (re-opened file is still corrupt)", stats.Verify.RolledBack)
 	}
 	// Queries still answer off the mapping (the flipped byte may perturb
 	// scores but the structural validation done at open keeps them safe).
@@ -939,5 +945,165 @@ func TestServeReloadKeepsWarmCache(t *testing.T) {
 	getJSON(t, ts.URL+"/query?u=3", &again)
 	if !again.Cached {
 		t.Fatal("post-reload repeat of a cached query missed the kept cache")
+	}
+}
+
+// TestServeParallelKnob exercises the intra-query parallelism request knob on
+// both transports and the determinism contract through HTTP: answers must be
+// identical at every parallelism level (scores are bit-identical, and JSON
+// float64 encoding round-trips exactly).
+func TestServeParallelKnob(t *testing.T) {
+	ts := newTestServer(t)
+	type queryResp struct {
+		Support int              `json:"support"`
+		Scores  []scoredNodeJSON `json:"scores"`
+	}
+	var serial, parallel queryResp
+	getJSON(t, ts.URL+"/query?u=3&parallel=1&nocache=1", &serial)
+	getJSON(t, ts.URL+"/query?u=3&parallel=4&nocache=1", &parallel)
+	if serial.Support == 0 || serial.Support != parallel.Support {
+		t.Fatalf("support %d vs %d", serial.Support, parallel.Support)
+	}
+	for i := range serial.Scores {
+		if serial.Scores[i] != parallel.Scores[i] {
+			t.Fatalf("entry %d differs across parallelism: %+v vs %+v", i, serial.Scores[i], parallel.Scores[i])
+		}
+	}
+
+	body := strings.NewReader(`{"u": 3, "parallelism": 4, "no_cache": true}`)
+	resp, err := http.Post(ts.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var post queryResp
+	if err := json.NewDecoder(resp.Body).Decode(&post); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || post.Support != serial.Support {
+		t.Fatalf("POST parallelism: status %d support %d", resp.StatusCode, post.Support)
+	}
+
+	resp, err = http.Get(ts.URL + "/query?u=3&parallel=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad parallel value: status %d, want 400", resp.StatusCode)
+	}
+
+	var stats struct {
+		Engine struct {
+			ParallelDefault int   `json:"parallel_default"`
+			ChunksExecuted  int64 `json:"chunks_executed"`
+			ChunksMerged    int64 `json:"chunks_merged"`
+		} `json:"engine"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Engine.ChunksExecuted == 0 || stats.Engine.ChunksExecuted != stats.Engine.ChunksMerged {
+		t.Fatalf("chunk counters executed=%d merged=%d", stats.Engine.ChunksExecuted, stats.Engine.ChunksMerged)
+	}
+}
+
+// TestServeVerifyRollback drives the automatic-recovery path: the serving
+// mapping is corrupted in place, but the good bytes are republished at the
+// path (write + rename, so the path and the mapped inode diverge). The next
+// background verification must detect the corruption, re-open the path,
+// verify the fresh mapping, and swap it in — bumping the generation and the
+// rolled_back counter — after which verification is clean again.
+func TestServeVerifyRollback(t *testing.T) {
+	dir := t.TempDir()
+	g, err := prsim.GeneratePowerLawGraph(120, 6, 2.5, true, 5)
+	if err != nil {
+		t.Fatalf("GeneratePowerLawGraph: %v", err)
+	}
+	idx, err := prsim.BuildIndex(g, prsim.Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.05})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	indexPath := filepath.Join(dir, "idx.prsim")
+	if err := idx.SaveFile(indexPath); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	srv, err := buildServer(config{
+		loadIndex:   indexPath,
+		workers:     2,
+		cacheSize:   4,
+		timeout:     10 * time.Second,
+		verifyEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	if srv.eng.Current().Backing() != "mmap" {
+		t.Skip("platform lacks zero-copy snapshots; nothing to corrupt in place")
+	}
+	genBefore := srv.eng.Stats().Generation
+
+	good, err := os.ReadFile(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the mapped inode in place (no truncation: the pages are live),
+	// then republish the good bytes atomically. The path now holds a healthy
+	// file while the serving mapping reads the flipped byte.
+	f, err := os.OpenFile(indexPath, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{good[len(good)/2] ^ 0xff}, int64(len(good)/2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := indexPath + ".tmp"
+	if err := os.WriteFile(tmp, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, indexPath); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.verifySnapshot()
+	var stats struct {
+		Verify struct {
+			Runs       int64 `json:"runs"`
+			RolledBack int64 `json:"rolled_back"`
+			LastOK     bool  `json:"last_ok"`
+		} `json:"verify"`
+		Snapshot struct {
+			Generation uint64 `json:"generation"`
+		} `json:"snapshot"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Verify.LastOK {
+		t.Fatal("corrupted mapping passed verification")
+	}
+	if stats.Verify.RolledBack != 1 {
+		t.Fatalf("rolled_back = %d, want 1", stats.Verify.RolledBack)
+	}
+	if stats.Snapshot.Generation != genBefore+1 {
+		t.Fatalf("generation = %d, want %d (rollback must swap)", stats.Snapshot.Generation, genBefore+1)
+	}
+
+	// The rolled-back snapshot serves queries and verifies clean.
+	var q struct {
+		Support int `json:"support"`
+	}
+	getJSON(t, ts.URL+"/query?u=3", &q)
+	if q.Support == 0 {
+		t.Fatal("query against rolled-back snapshot returned nothing")
+	}
+	srv.verifySnapshot()
+	getJSON(t, ts.URL+"/stats", &stats)
+	if !stats.Verify.LastOK {
+		t.Fatal("rolled-back snapshot failed verification")
+	}
+	if stats.Verify.RolledBack != 1 {
+		t.Fatalf("rolled_back moved to %d after clean verify", stats.Verify.RolledBack)
 	}
 }

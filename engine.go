@@ -175,6 +175,14 @@ type EngineStats struct {
 	PairQueries int64
 	// Errors counts failed, shed, or cancelled requests.
 	Errors int64
+	// ParallelQueries counts queries whose walk phase ran on more than one
+	// worker (intra-query parallelism engaged).
+	ParallelQueries int64
+	// ChunksExecuted counts walk-phase work chunks run across all queries;
+	// ChunksMerged counts chunks folded into query results. The two are equal
+	// by construction — a divergence would indicate lost work.
+	ChunksExecuted int64
+	ChunksMerged   int64
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -194,5 +202,9 @@ func (e *Engine) Stats() EngineStats {
 		CacheEntries: s.CacheEntries,
 		PairQueries:  s.PairQueries,
 		Errors:       s.Errors,
+
+		ParallelQueries: s.ParallelQueries,
+		ChunksExecuted:  s.ChunksExecuted,
+		ChunksMerged:    s.ChunksMerged,
 	}
 }

@@ -6,7 +6,11 @@
 
 package core
 
-import "testing"
+import (
+	"context"
+	"runtime"
+	"testing"
+)
 
 // TestQueryIntoSteadyStateAllocs pins the pooled-scratch guarantee: once the
 // per-index scratch pool and the caller's reused Result have warmed up, a
@@ -38,5 +42,44 @@ func TestQueryIntoSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs > 2 {
 		t.Errorf("steady-state QueryInto performed %.1f allocs/query, want ~0 (pooled scratch has rotted)", allocs)
+	}
+}
+
+// TestQueryParallelSteadyStateAllocs extends the guarantee to the parallel
+// walk path: worker states and chunk results are pooled, so once warm a
+// parallel query's only per-run heap traffic is spawning its few worker
+// goroutines. A regression that allocates per chunk (fresh chunk buffers,
+// un-pooled states) multiplies with the chunk count and fails loudly.
+func TestQueryParallelSteadyStateAllocs(t *testing.T) {
+	g := largerTestGraph(2000, 6, 13)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.2, NumHubs: 40, Seed: 9, SampleScale: 0.1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	ctx := context.Background()
+	q := QueryOptions{Parallelism: 4}
+	var res Result
+	// A GC clears sync.Pools, forcing the chunk-result pool to re-warm (one
+	// allocation burst proportional to the chunk count). Collect before the
+	// warm-up so the measurement window is unlikely to catch one.
+	runtime.GC()
+	for i := 0; i < 3; i++ {
+		if err := idx.QueryIntoOpts(ctx, 7, &res, q); err != nil {
+			t.Fatalf("warm-up QueryIntoOpts: %v", err)
+		}
+	}
+	if res.Stats.Chunks < 2 {
+		t.Fatalf("query ran %d chunks; the test needs a genuinely parallel workload", res.Stats.Chunks)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := idx.QueryIntoOpts(ctx, 7, &res, q); err != nil {
+			t.Fatalf("QueryIntoOpts: %v", err)
+		}
+	})
+	// Budget: ~2 allocations per spawned worker goroutine plus runtime noise;
+	// per-chunk allocations would multiply with the chunk count (dozens) and
+	// blow well past it.
+	if allocs > 16 {
+		t.Errorf("steady-state parallel query performed %.1f allocs, want just the goroutine spawns (chunk pooling has rotted)", allocs)
 	}
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryBatchIntoOpts answers one single-source query per entry of sources,
+// writing into the caller-owned results, with one fused index-read pass for
+// the whole batch: each eligible reserve list L_ℓ(w) is streamed from the
+// entry slab once per batch instead of once per source, and folded into every
+// eligible source's private accumulator. q.Parallelism bounds the worker
+// goroutines; with more than one source the workers parallelize across
+// sources (each source's walk chunks run on its worker's state), and a
+// single-source batch degenerates to the intra-query chunked path of
+// QueryIntoOpts.
+//
+// Determinism: every source consumes exactly the per-(seed, source, chunk)
+// streams of a solo query, and the fused pass visits levels ascending with
+// hub ranks ascending — the same canonical order as the solo index-read pass
+// restricted to each source's eligible set — so each result is bit-identical
+// to QueryIntoOpts from the same source at any parallelism level.
+//
+// On error (validation, or cancellation mid-batch) no result is touched.
+func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results []*Result, q QueryOptions) error {
+	if len(sources) != len(results) {
+		return fmt.Errorf("core: QueryBatchIntoOpts with %d sources but %d results", len(sources), len(results))
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for i, u := range sources {
+		if results[i] == nil {
+			return fmt.Errorf("core: QueryBatchIntoOpts with nil result %d", i)
+		}
+		if err := idx.g.CheckNode(u); err != nil {
+			return err
+		}
+	}
+	switch len(sources) {
+	case 0:
+		return nil
+	case 1:
+		return idx.QueryIntoOpts(ctx, sources[0], results[0], q)
+	}
+	start := time.Now()
+	opts, _ := idx.opts.effective(q)
+	p := q.Parallelism
+	if p > len(sources) {
+		p = len(sources)
+	}
+	if p < 1 {
+		p = 1
+	}
+
+	states := make([]*queryState, len(sources))
+	for i := range states {
+		states[i] = idx.getState()
+	}
+	defer func() {
+		for _, st := range states {
+			idx.putState(st)
+		}
+	}()
+	stats := make([]QueryStats, len(sources))
+
+	// Walk phases: one complete chunked phase per source, fanned out across
+	// the workers. Each phase is self-contained (private state, private
+	// streams), so scheduling cannot affect bits.
+	walkOne := func(i int) error {
+		st := states[i]
+		st.beginQuery(sources[i])
+		stats[i] = QueryStats{Epsilon: opts.Epsilon}
+		return idx.runWalkPhase(ctx, st, sources[i], opts, &stats[i], 1)
+	}
+	if p <= 1 {
+		for i := range sources {
+			if err := walkOne(i); err != nil {
+				return err
+			}
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		next.Store(-1)
+		run := func() {
+			for {
+				i := int(next.Add(1))
+				if i >= len(sources) || ctx.Err() != nil {
+					return
+				}
+				// runWalkPhase only fails on cancellation, which the next
+				// claim (and the post-join check) observes.
+				_ = walkOne(i)
+			}
+		}
+		for w := 1; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		run()
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			// Cancelled phases left their states clean; completed ones hold
+			// accumulated scores that resetScratch reclaims on next use.
+			return err
+		}
+	}
+
+	idx.readIndexFused(states, opts, stats)
+	for i, st := range states {
+		st.finalize(sources[i], results[i], &stats[i], start)
+	}
+	return nil
+}
+
+// readIndexFused is the batch form of readIndexInto: one pass over the union
+// of the batch's eligible (level, rank) pairs — levels ascending, ranks
+// ascending — reading each reserve list once and folding it into every
+// source whose η̂π clears the threshold. Restricted to one source, the fold
+// sequence is exactly the solo pass's, so fusion never changes bits.
+func (idx *Index) readIndexFused(states []*queryState, opts Options, stats []QueryStats) {
+	threshold := opts.Epsilon / opts.c1()
+	alpha := opts.alpha()
+	invAlphaSq := 1 / (alpha * alpha)
+
+	maxLev := 0
+	for _, st := range states {
+		if len(st.etaTouched) > maxLev {
+			maxLev = len(st.etaTouched)
+		}
+	}
+	if maxLev == 0 {
+		return
+	}
+	// Union-building scratch lives on the batch leader's state.
+	s0 := states[0]
+	if len(s0.hubMark) < idx.NumHubs() {
+		s0.hubMark = make([]byte, idx.NumHubs())
+	}
+	mark := s0.hubMark
+	union := s0.unionRanks[:0]
+
+	for lev := 0; lev < maxLev; lev++ {
+		union = union[:0]
+		for _, st := range states {
+			if lev >= len(st.etaTouched) {
+				continue
+			}
+			for _, rank := range st.etaTouched[lev] {
+				if mark[rank] == 0 {
+					mark[rank] = 1
+					union = append(union, rank)
+				}
+			}
+		}
+		slices.Sort(union)
+		for _, rank := range union {
+			mark[rank] = 0
+			var entries []IndexEntry
+			for si, st := range states {
+				if lev >= len(st.etaTouched) || st.etaVals[lev] == nil {
+					continue
+				}
+				ep := st.etaVals[lev][rank]
+				if ep <= threshold {
+					continue
+				}
+				if entries == nil {
+					entries = idx.hubEntriesByRank(int(rank), lev)
+				}
+				for _, e := range entries {
+					st.scoreInto(int(e.Node), ep*e.Reserve*invAlphaSq)
+				}
+				stats[si].IndexEntriesRead += len(entries)
+			}
+		}
+	}
+	s0.unionRanks = union[:0]
+}

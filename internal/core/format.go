@@ -161,6 +161,10 @@ func (l *SnapshotLayout) HotSections() []Section {
 	return hot
 }
 
+// EntrySlabSection locates the index entry slab — the snapshot's largest hot
+// structure and the target for transparent-huge-page advice on large indexes.
+func (l *SnapshotLayout) EntrySlabSection() Section { return l.Sections[sectionEntrySlab] }
+
 // sectionCount returns how many section-table rows the version defines.
 func (l *SnapshotLayout) sectionCount() int {
 	if l.Version == indexVersionV2 {

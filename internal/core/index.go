@@ -51,6 +51,10 @@ type Index struct {
 	// state, which is what makes Query safe to call from many goroutines.
 	statePool sync.Pool
 
+	// chunkPool recycles the compacted per-chunk walk-phase outputs so
+	// parallel queries stay allocation-free at steady state.
+	chunkPool sync.Pool
+
 	// walkEdges/recipIn are the packed out-adjacency (head node + head
 	// in-degree per edge) and the reciprocal-in-degree table shared by every
 	// pooled backward walker, so the walk's threshold scans stream sequential

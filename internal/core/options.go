@@ -39,15 +39,16 @@ type Options struct {
 	MaxLevels int
 	// Seed makes every randomized component deterministic: for a fixed Seed
 	// (and index), repeated queries from the same source return bit-identical
-	// scores, regardless of concurrency, batching, or snapshot backing. The
-	// contract is fixed-seed reproducibility on a given build: every kernel
-	// consumes its random stream and accumulates floating point in a
-	// documented canonical order (batch lane order for walk sampling,
-	// first-touch frontier order for backward walks, levels-ascending /
-	// first-touch-within-level order for the index-read pass). Those
-	// canonical orders — and hence the exact score bits — may change between
-	// versions of this package when the kernels change; cross-version bit
-	// compatibility is intentionally not promised.
+	// scores, regardless of concurrency, batching, intra-query parallelism,
+	// or snapshot backing. The contract is fixed-seed reproducibility on a
+	// given build: every kernel consumes its random stream and accumulates
+	// floating point in a documented canonical order (per-(seed, source,
+	// chunk) splitmix64 streams with batch lane order inside a chunk,
+	// ascending (round, chunk) left-fold merges, first-touch frontier order
+	// for backward walks, levels-ascending / ranks-ascending order for the
+	// index-read pass). Those canonical orders — and hence the exact score
+	// bits — may change between versions of this package when the kernels
+	// change; cross-version bit compatibility is intentionally not promised.
 	Seed uint64
 	// SampleScale multiplies the number of Monte Carlo samples used by the
 	// query. 1.0 reproduces the paper's worst-case constants
@@ -107,6 +108,15 @@ type QueryOptions struct {
 	// rmax = (1-√c)²·ε_build/12, so a tighter request bound cannot be honored
 	// by sampling harder against the same index.
 	Epsilon float64
+	// Parallelism bounds the number of workers executing THIS query's walk
+	// chunks. Values ≤ 1 run serially; larger values spawn up to that many
+	// goroutines (clamped to the chunk count). It never changes the result:
+	// chunk boundaries, seeds, and the merge order are functions of the
+	// effective options only, so scores are bit-identical at every level —
+	// which is also why it is excluded from result-cache keys and query
+	// equivalence. Serving layers resolve their "auto" policies to a concrete
+	// value before reaching core.
+	Parallelism int
 }
 
 // ErrInvalidEpsilon is returned (wrapped with the offending value) when a

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// walkChunkSize is the number of √c-walk samples in one intra-query work
+// chunk. Chunk boundaries are a function of the effective options only —
+// never of the parallelism level — so the work decomposition (and with it the
+// canonical merge order) is identical no matter how many workers execute the
+// chunks. The size balances scheduling granularity against per-chunk fixed
+// costs (an RNG reseed and a sparse compaction); at the default full-accuracy
+// budget one round splits into a handful of chunks, and the rounds themselves
+// multiply the chunk count well past typical core counts.
+const walkChunkSize = 2048
+
+// chunkSeed derives the deterministic RNG seed of walk chunk j of a query
+// whose per-(seed, source) base seed is qseed: one splitmix64 scramble over
+// the chunk counter, using the same finalizer as walk.RNG's Reseed expansion.
+// Every (seed, source, chunk) triple gets its own well-separated stream, so
+// chunk results do not depend on which worker runs them or in what order.
+func chunkSeed(qseed uint64, j int) uint64 {
+	x := qseed + (uint64(j)+1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// querySeed is the per-(seed, source) base seed every chunk stream derives
+// from — the same derivation historical per-query walker construction used.
+func querySeed(seed uint64, u int) uint64 {
+	return seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 1)
+}
+
+// chunksPerRound returns how many chunks one round's d_r samples split into.
+func chunksPerRound(dr int) int {
+	return (dr + walkChunkSize - 1) / walkChunkSize
+}
+
+// QueryChunks reports how many walk-phase work chunks QueryIntoOpts splits a
+// query with the given per-request options into — the upper bound on useful
+// intra-query parallelism. The engine caps a request's worker fan-out at this
+// value so surplus workers are never reserved just to idle.
+func (idx *Index) QueryChunks(q QueryOptions) int {
+	opts, _ := idx.opts.effective(q)
+	dr := opts.samplesPerRound()
+	return opts.rounds(idx.g.N()) * chunksPerRound(dr)
+}
+
+// chunkResult is the compacted output of one walk chunk: the chunk's share of
+// the round's backward-walk accumulator as sparse (node, value) lists, its
+// η·π observations as flat (level, rank, value) triples — levels ascending,
+// ranks in chunk-local first-touch order — and its integer work counters.
+// Results are pooled on the Index so steady-state parallel queries allocate
+// nothing for them.
+type chunkResult struct {
+	nodes []int32
+	vals  []float64
+
+	etaLev  []int32
+	etaRank []int32
+	etaVal  []float64
+
+	walks, hubHits, nonHubHits, bwCost int
+}
+
+func (cr *chunkResult) reset() {
+	cr.nodes, cr.vals = cr.nodes[:0], cr.vals[:0]
+	cr.etaLev, cr.etaRank, cr.etaVal = cr.etaLev[:0], cr.etaRank[:0], cr.etaVal[:0]
+	cr.walks, cr.hubHits, cr.nonHubHits, cr.bwCost = 0, 0, 0, 0
+}
+
+func (idx *Index) getChunk() *chunkResult {
+	if cr, ok := idx.chunkPool.Get().(*chunkResult); ok {
+		cr.reset()
+		return cr
+	}
+	return &chunkResult{}
+}
+
+func (idx *Index) putChunk(cr *chunkResult) { idx.chunkPool.Put(cr) }
+
+// runChunk executes one walk chunk from source u on this state's kernels: cs
+// √c-walk samples under the chunk's private RNG stream, the batched pair
+// meets, hub η·π accumulation and non-hub Variance Bounded Backward Walks.
+// The state's dense accumulators serve as scratch and are compacted into cr,
+// restoring the all-zero invariant — one state can therefore run any number
+// of chunks back to back, and the serial path runs every chunk on the
+// query's own state.
+func (s *queryState) runChunk(u, cs int, seed uint64, etaInc, bwInvDiv float64, maxLevels int, cr *chunkResult) {
+	s.rng.Reseed(seed)
+	s.walker.Reset(s.rng.Uint64())
+	s.bw.reset(s.rng.Uint64())
+	bw0 := s.bw.Cost()
+
+	s.walkBuf = s.walker.SampleN(u, cs, s.walkBuf)
+	cr.walks += cs
+	cands := s.candWalks[:0]
+	nodes := s.candNodes[:0]
+	for _, rs := range s.walkBuf {
+		if !rs.Terminated || rs.Steps >= maxLevels {
+			continue
+		}
+		cands = append(cands, rs)
+		nodes = append(nodes, rs.Node)
+	}
+	s.candWalks, s.candNodes = cands, nodes
+	cr.walks += 2 * len(cands)
+	s.metBuf = s.walker.PairMeetsFromN(nodes, s.metBuf)
+	for j, rs := range cands {
+		if s.metBuf[j] {
+			continue
+		}
+		w, level := rs.Node, rs.Steps
+		if rank := s.idx.hubRank[w]; rank >= 0 {
+			s.addEtaPi(level, rank, etaInc)
+			cr.hubHits++
+			continue
+		}
+		cr.nonHubHits++
+		touched, values := s.bw.varianceBoundedInto(w, level)
+		s.accumulate(touched, values, bwInvDiv)
+	}
+	cr.bwCost += s.bw.Cost() - bw0
+
+	// Compact the chunk's share of the round accumulator.
+	for _, v := range s.roundTouched {
+		cr.nodes = append(cr.nodes, int32(v))
+		cr.vals = append(cr.vals, s.roundAcc[v])
+		s.roundAcc[v] = 0
+	}
+	s.roundTouched = s.roundTouched[:0]
+
+	// Compact the per-level η·π accumulators: levels ascending, ranks in
+	// chunk-local first-touch order (the merge re-establishes the canonical
+	// global order by folding chunks in ascending chunk order).
+	for l, touched := range s.etaTouched {
+		vals := s.etaVals[l]
+		for _, rank := range touched {
+			cr.etaLev = append(cr.etaLev, int32(l))
+			cr.etaRank = append(cr.etaRank, rank)
+			cr.etaVal = append(cr.etaVal, vals[rank])
+			vals[rank] = 0
+		}
+		s.etaTouched[l] = touched[:0]
+	}
+}
+
+// runWalkPhase runs the chunked Monte Carlo phase of one query from u — every
+// (round, chunk) work item — on up to p workers, then merges the chunk
+// results into s in canonical ascending (round, chunk) order, compacts each
+// round, and applies the median/majority gate. On success s holds the η·π
+// accumulators and the median-folded dense scores; on cancellation s is left
+// with its all-zero invariants intact and stats/results untouched.
+//
+// Determinism: chunk boundaries and seeds depend only on the effective
+// options, the source, and the graph size; each chunk consumes an
+// independent stream into private accumulators; and the merge is a
+// sequential left-fold in a fixed order. Serial (p ≤ 1) execution runs the
+// exact same decomposition on one state, so results are bit-identical at
+// every parallelism level.
+func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts Options, stats *QueryStats, p int) error {
+	dr := opts.samplesPerRound()
+	fr := opts.rounds(idx.g.N())
+	nr := dr * fr
+	alpha := opts.alpha()
+	etaInc := 1 / float64(nr)
+	bwInvDiv := 1 / (alpha * alpha * float64(dr))
+	cpr := chunksPerRound(dr)
+	nchunks := fr * cpr
+	if p > nchunks {
+		p = nchunks
+	}
+	if p < 1 {
+		p = 1
+	}
+	qseed := querySeed(opts.Seed, u)
+
+	if cap(s.chunkRes) < nchunks {
+		s.chunkRes = make([]*chunkResult, nchunks)
+	}
+	crs := s.chunkRes[:nchunks]
+	// chunkLen is the sample count of global chunk j (the last chunk of a
+	// round carries the remainder).
+	chunkLen := func(j int) int {
+		k := j % cpr
+		if cs := dr - k*walkChunkSize; cs < walkChunkSize {
+			return cs
+		}
+		return walkChunkSize
+	}
+
+	if p == 1 {
+		for j := 0; j < nchunks; j++ {
+			if err := ctx.Err(); err != nil {
+				idx.releaseChunks(crs[:j])
+				return err
+			}
+			cr := idx.getChunk()
+			s.runChunk(u, chunkLen(j), chunkSeed(qseed, j), etaInc, bwInvDiv, opts.MaxLevels, cr)
+			crs[j] = cr
+		}
+	} else {
+		var (
+			next    atomic.Int64
+			aborted atomic.Bool
+			wg      sync.WaitGroup
+		)
+		next.Store(-1)
+		run := func(ws *queryState) {
+			for {
+				if aborted.Load() {
+					return
+				}
+				j := int(next.Add(1))
+				if j >= nchunks {
+					return
+				}
+				if ctx.Err() != nil {
+					aborted.Store(true)
+					return
+				}
+				cr := idx.getChunk()
+				ws.runChunk(u, chunkLen(j), chunkSeed(qseed, j), etaInc, bwInvDiv, opts.MaxLevels, cr)
+				crs[j] = cr
+			}
+		}
+		for w := 1; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := idx.getState()
+				ws.resetScratch()
+				run(ws)
+				idx.putState(ws)
+			}()
+		}
+		run(s)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			idx.releaseChunks(crs)
+			return err
+		}
+	}
+
+	stats.Chunks += nchunks
+	stats.Parallelism = p
+
+	// Canonical merge: rounds ascending, chunks ascending within a round —
+	// a sequential left-fold, so the grouping of floating-point additions is
+	// independent of how the chunks were scheduled.
+	for i := 0; i < fr; i++ {
+		base := i * cpr
+		if cpr == 1 {
+			// Single-chunk rounds adopt the compacted lists wholesale (folding
+			// into an empty accumulator would reproduce the same bits); the
+			// swap keeps both slices pooled.
+			cr := crs[base]
+			s.growRounds(i)
+			s.roundNodes[i], cr.nodes = cr.nodes, s.roundNodes[i][:0]
+			s.roundVals[i], cr.vals = cr.vals, s.roundVals[i][:0]
+		} else {
+			for k := 0; k < cpr; k++ {
+				cr := crs[base+k]
+				for t, v32 := range cr.nodes {
+					v := int(v32)
+					if s.roundAcc[v] == 0 {
+						s.roundTouched = append(s.roundTouched, v)
+					}
+					s.roundAcc[v] += cr.vals[t]
+				}
+			}
+			s.finishRound(i)
+		}
+		for k := 0; k < cpr; k++ {
+			cr := crs[base+k]
+			for t := range cr.etaLev {
+				s.addEtaPi(int(cr.etaLev[t]), int(cr.etaRank[t]), cr.etaVal[t])
+			}
+			stats.Walks += cr.walks
+			stats.HubHits += cr.hubHits
+			stats.NonHubHits += cr.nonHubHits
+			stats.BackwardWalkCost += cr.bwCost
+			idx.putChunk(cr)
+			crs[k+base] = nil
+		}
+	}
+
+	// sB(u, v): median over rounds (missing rounds count as zero), folded
+	// into the dense final-score accumulator.
+	s.medianScores(fr)
+	return nil
+}
+
+// releaseChunks returns the chunk results a cancelled walk phase produced.
+func (idx *Index) releaseChunks(crs []*chunkResult) {
+	for i, cr := range crs {
+		if cr != nil {
+			idx.putChunk(cr)
+			crs[i] = nil
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -68,6 +69,13 @@ type QueryStats struct {
 	// and non-hub nodes respectively.
 	HubHits    int
 	NonHubHits int
+	// Chunks is the number of walk-phase work chunks the query's Monte Carlo
+	// budget was split into — the upper bound on useful intra-query
+	// parallelism.
+	Chunks int
+	// Parallelism is the number of workers that executed those chunks
+	// (1 = fully serial). Results are bit-identical at every value.
+	Parallelism int
 	// Time is the wall-clock query time.
 	Time time.Duration
 }
@@ -222,12 +230,16 @@ func (idx *Index) QueryIntoCtx(ctx context.Context, u int, res *Result) error {
 // trade-offs.
 //
 // Determinism: for a fixed Options.Seed and effective epsilon, a query
-// consumes a fixed random stream and accumulates floating point in a fixed
-// canonical order — walks are sampled in batch order, backward-walk frontiers
-// expand in first-touch order, and the index-read pass visits levels in
-// ascending order with nodes in first-touch order within each level — so
-// results are reproducible run-to-run on the same build. Bit-compatibility of
-// scores across versions of this package is intentionally not promised.
+// consumes fixed random streams and accumulates floating point in a fixed
+// canonical order — the walk budget splits into chunks whose boundaries and
+// seeds depend only on the effective options (never on the parallelism
+// level), chunk results merge in a sequential left-fold over ascending
+// (round, chunk) order, backward-walk frontiers expand in first-touch order,
+// and the index-read pass visits levels in ascending order with hub ranks
+// ascending within each level — so results are reproducible run-to-run on
+// the same build and bit-identical at every QueryOptions.Parallelism value.
+// Bit-compatibility of scores across versions of this package is
+// intentionally not promised.
 func (idx *Index) QueryIntoOpts(ctx context.Context, u int, res *Result, q QueryOptions) error {
 	if res == nil {
 		return fmt.Errorf("core: QueryInto with nil result")
@@ -242,77 +254,32 @@ func (idx *Index) QueryIntoOpts(ctx context.Context, u int, res *Result, q Query
 	start := time.Now()
 	opts, _ := idx.opts.effective(q)
 
-	dr := opts.samplesPerRound()
-	fr := opts.rounds(idx.g.N())
-	nr := dr * fr
-	alpha := opts.alpha()
-	alphaSq := alpha * alpha
-	c1 := opts.c1()
-
 	s := idx.getState()
 	defer idx.putState(s)
 	s.beginQuery(u)
 
 	stats := QueryStats{Epsilon: opts.Epsilon}
-	bwCost0 := s.bw.Cost()
-	etaInc := 1 / float64(nr)
-	bwInvDiv := 1 / (alphaSq * float64(dr))
-
-	for i := 0; i < fr; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		// Sample the round's d_r √c-walks in one batch, then sample the pair
-		// of walks from every eligible termination node in a second batch:
-		// the probability the pair does not meet is η(w), so the joint event
-		// estimates η(w)·π_ℓ(u,w). Surviving hub targets feed the η·π
-		// accumulators for the index-read pass; non-hub targets get a
-		// Variance Bounded Backward Walk folded into this round's running
-		// mean (their η·π estimate is never read, so it is not kept).
-		s.walkBuf = s.walker.SampleN(u, dr, s.walkBuf)
-		stats.Walks += dr
-		cands := s.candWalks[:0]
-		nodes := s.candNodes[:0]
-		for _, rs := range s.walkBuf {
-			if !rs.Terminated || rs.Steps >= opts.MaxLevels {
-				continue
-			}
-			cands = append(cands, rs)
-			nodes = append(nodes, rs.Node)
-		}
-		s.candWalks, s.candNodes = cands, nodes
-		stats.Walks += 2 * len(cands)
-		s.metBuf = s.walker.PairMeetsFromN(nodes, s.metBuf)
-		for j, rs := range cands {
-			if s.metBuf[j] {
-				continue
-			}
-			w, level := rs.Node, rs.Steps
-			if rank := idx.hubRank[w]; rank >= 0 {
-				s.addEtaPi(level, rank, etaInc)
-				stats.HubHits++
-				continue
-			}
-			stats.NonHubHits++
-			touched, values := s.bw.varianceBoundedInto(w, level)
-			s.accumulate(touched, values, bwInvDiv)
-		}
-		s.finishRound(i)
+	if err := idx.runWalkPhase(ctx, s, u, opts, &stats, q.Parallelism); err != nil {
+		return err
 	}
-	stats.BackwardWalkCost = s.bw.Cost() - bwCost0
+	idx.readIndexInto(s, opts, &stats)
+	s.finalize(u, res, &stats, start)
+	return nil
+}
 
-	// sB(u, v): median over rounds (missing rounds count as zero), folded
-	// into the dense final-score accumulator.
-	s.medianScores(fr)
-
-	// sI(u, v): for every hub w and level ℓ with η̂π_ℓ(u,w) > ε/c1, read the
-	// stored reserves L_ℓ(w). The canonical visit order — levels ascending,
-	// hub ranks in first-touch order within a level — fixes the
-	// floating-point accumulation order, so a fixed seed reproduces every
-	// score.
-	threshold := opts.Epsilon / c1
-	invAlphaSq := 1 / alphaSq
+// readIndexInto runs sI(u, v), the index-read pass: for every hub w and level
+// ℓ with η̂π_ℓ(u,w) > ε/c1, fold the stored reserves L_ℓ(w) into the state's
+// final-score accumulator. The canonical visit order — levels ascending, hub
+// ranks ascending within a level — fixes the floating-point accumulation
+// order independently of sampling history, streams the entry slab in layout
+// order, and is shared verbatim by the fused batch pass, so fused and solo
+// queries produce identical bits.
+func (idx *Index) readIndexInto(s *queryState, opts Options, stats *QueryStats) {
+	threshold := opts.Epsilon / opts.c1()
+	alpha := opts.alpha()
+	invAlphaSq := 1 / (alpha * alpha)
 	for level, touched := range s.etaTouched {
+		slices.Sort(touched)
 		vals := s.etaVals[level]
 		for _, rank := range touched {
 			ep := vals[rank]
@@ -326,17 +293,20 @@ func (idx *Index) QueryIntoOpts(ctx context.Context, u int, res *Result, q Query
 			stats.IndexEntriesRead += len(entries)
 		}
 	}
+}
 
+// finalize publishes the state's dense final scores into res. Every fallible
+// step is behind us; only now is the caller's score map recycled, so a
+// cancelled query leaves res untouched. The map is built in one pass from
+// the dense accumulator, which is zeroed along the way to restore the
+// all-zero invariant for the next pooled query.
+func (s *queryState) finalize(u int, res *Result, stats *QueryStats, start time.Time) {
 	// SimRank of a node with itself is 1 by definition.
 	if s.scoreAcc[u] == 0 {
 		s.scoreTouched = append(s.scoreTouched, u)
 	}
 	s.scoreAcc[u] = 1
 
-	// Every fallible step is behind us; only now recycle the caller's score
-	// map, so a cancelled query leaves res untouched. The map is built in one
-	// pass from the dense accumulator, which is zeroed along the way to
-	// restore the all-zero invariant for the next pooled query.
 	scores := res.Scores
 	if scores == nil {
 		scores = make(map[int]float64, len(s.scoreTouched))
@@ -352,8 +322,7 @@ func (idx *Index) QueryIntoOpts(ctx context.Context, u int, res *Result, q Query
 	stats.Time = time.Since(start)
 	res.Source = u
 	res.Scores = scores
-	res.Stats = stats
-	return nil
+	res.Stats = *stats
 }
 
 // median returns the median of vals. It sorts a copy, leaving vals untouched;

@@ -64,6 +64,18 @@ type queryState struct {
 	// map is built from them in one pass at the end of the query.
 	scoreAcc     []float64
 	scoreTouched []int
+
+	// chunkRes parks the per-chunk walk-phase outputs between execution and
+	// the canonical merge; entries come from (and return to) the index's
+	// chunk pool, this slice only holds the pointers.
+	chunkRes []*chunkResult
+
+	// hubMark/unionRanks are the fused batch pass's union-building scratch:
+	// hubMark is a j0-sized membership byte per hub rank (all-zero outside a
+	// pass), unionRanks collects the union of the batch's touched ranks at
+	// one level. Only the batch leader's state uses them.
+	hubMark    []byte
+	unionRanks []int32
 }
 
 func newQueryState(idx *Index) *queryState {
@@ -107,9 +119,17 @@ func (idx *Index) putState(s *queryState) { idx.statePool.Put(s) }
 // query may have left partially filled.
 func (s *queryState) beginQuery(u int) {
 	opts := s.idx.opts
-	s.rng.Reseed(opts.Seed ^ (uint64(u)*0x9e3779b97f4a7c15 + 1))
+	s.rng.Reseed(querySeed(opts.Seed, u))
 	s.walker.Reset(s.rng.Uint64())
 	s.bw.reset(s.rng.Uint64())
+	s.resetScratch()
+}
+
+// resetScratch restores the all-zero invariant on every dense accumulator a
+// cancelled query may have left partially filled. Walk-chunk workers call it
+// when borrowing a pooled state without re-seeding (every chunk seeds the
+// kernels itself).
+func (s *queryState) resetScratch() {
 	for l, touched := range s.etaTouched {
 		vals := s.etaVals[l]
 		for _, w := range touched {
@@ -166,13 +186,18 @@ func (s *queryState) accumulate(touched []int, values []float64, invDiv float64)
 	}
 }
 
-// finishRound compacts the current round accumulator into the round-i sparse
-// lists and zeroes the accumulator for the next round.
-func (s *queryState) finishRound(i int) {
+// growRounds ensures the per-round sparse lists reach index i.
+func (s *queryState) growRounds(i int) {
 	for len(s.roundNodes) <= i {
 		s.roundNodes = append(s.roundNodes, nil)
 		s.roundVals = append(s.roundVals, nil)
 	}
+}
+
+// finishRound compacts the current round accumulator into the round-i sparse
+// lists and zeroes the accumulator for the next round.
+func (s *queryState) finishRound(i int) {
+	s.growRounds(i)
 	nodes := s.roundNodes[i][:0]
 	vals := s.roundVals[i][:0]
 	for _, v := range s.roundTouched {

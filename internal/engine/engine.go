@@ -18,6 +18,15 @@
 //     semaphore. When the queue is full the request is shed immediately with
 //     ErrOverloaded instead of piling up goroutines — callers (the HTTP
 //     front-end) translate that to 429 + Retry-After.
+//   - Intra-query parallelism: a request may borrow idle worker slots for
+//     its walk chunks (Request.Parallelism, 0 = auto takes whatever is
+//     idle). The borrow never waits, so a heavy query cannot queue chunks
+//     ahead of other requests, and the chunk decomposition is independent of
+//     the worker count, so results stay bit-identical at every level.
+//   - Fused batches: DoBatch runs its cache-missing entries as one core
+//     computation that streams each index level once per batch into
+//     per-source accumulators; duplicate sources share one Result and count
+//     as coalesced.
 //
 // Every query draws its scratch state from the index's internal sync.Pool, so
 // a worker that stays busy performs near-zero per-query allocation. Results
@@ -106,6 +115,15 @@ type Request struct {
 	// NoCache makes this request bypass the result cache for both lookup and
 	// insert. It still coalesces with identical in-flight requests.
 	NoCache bool
+	// Parallelism is the intra-query parallelism hint: how many worker slots
+	// this query may use for its walk chunks. 0 = auto (borrow every idle
+	// worker, capped at the query's chunk count); 1 pins the query serial;
+	// larger values raise the cap, never past the pool size. Extra slots are
+	// only ever taken when idle — a chunk is never queued behind another
+	// query — so a busy pool degrades gracefully to serial. Results are
+	// bit-identical at every level, which is why the hint is excluded from
+	// cache keys and single-flight identity.
+	Parallelism int
 }
 
 // Response is the answer to one Request, carrying the result (or top-k
@@ -187,6 +205,10 @@ type Engine struct {
 	errors      atomic.Int64
 	swaps       atomic.Int64
 	cacheReuses atomic.Int64
+
+	parallelQueries atomic.Int64
+	chunksExecuted  atomic.Int64
+	chunksMerged    atomic.Int64
 
 	// resPool recycles core.Results for queries whose Result never escapes
 	// the engine — top-k requests with caching disabled that no concurrent
@@ -340,6 +362,62 @@ func (e *Engine) admit(ctx context.Context) error {
 	}
 }
 
+// reserveParallelism resolves a request's intra-query parallelism hint
+// (0 = auto) into a concrete worker count for the core query, borrowing up
+// to want-1 extra slots from the pool. The caller already holds one admitted
+// slot; the borrow never waits — only idle capacity is taken, so one heavy
+// query cannot queue its chunks ahead of other requests — and is capped at
+// the query's chunk count so surplus workers are never reserved to idle.
+// The extras count must be returned via releaseExtras after the query.
+func (e *Engine) reserveParallelism(s *slot, hint int, q core.QueryOptions) (p, extras int) {
+	want := hint
+	if want <= 0 || want > e.workers {
+		want = e.workers
+	}
+	if want > 1 {
+		if mc := s.idx.QueryChunks(q); want > mc {
+			want = mc
+		}
+	}
+	if want > 1 {
+		extras = e.grabExtras(want - 1)
+	}
+	return 1 + extras, extras
+}
+
+// grabExtras opportunistically takes up to n worker slots without waiting.
+func (e *Engine) grabExtras(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case e.sem <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// releaseExtras returns n slots taken by grabExtras.
+func (e *Engine) releaseExtras(n int) {
+	for ; n > 0; n-- {
+		<-e.sem
+	}
+}
+
+// noteQuery folds one completed computation's work counters into the engine
+// stats. Executed and merged chunk counts advance together by construction —
+// every executed chunk is folded exactly once by the canonical merge — so a
+// gap between the two /stats counters would indicate lost work.
+func (e *Engine) noteQuery(st core.QueryStats) {
+	e.chunksExecuted.Add(int64(st.Chunks))
+	e.chunksMerged.Add(int64(st.Chunks))
+	if st.Parallelism > 1 {
+		e.parallelQueries.Add(1)
+	}
+}
+
 // Do answers one Request through the full request plane: validation, cache,
 // single-flight coalescing, admission control, computation. See Request and
 // Response for the knob and metadata semantics. The returned Response's
@@ -353,10 +431,16 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	return e.doSlot(ctx, s, req)
 }
 
-// doSlot is Do against an already-acquired slot (QueryBatch holds one slot
-// for the whole batch so every sub-query answers from one generation).
+// doSlot is Do against an already-acquired slot (a batch holds one slot for
+// the whole batch so every sub-query answers from one generation).
 func (e *Engine) doSlot(ctx context.Context, s *slot, req Request) (*Response, error) {
 	e.queries.Add(1)
+	return e.runSlot(ctx, s, req)
+}
+
+// runSlot is doSlot without the query counting — the fused batch path counts
+// its entries up front and uses runSlot for its rare recompute fallbacks.
+func (e *Engine) runSlot(ctx context.Context, s *slot, req Request) (*Response, error) {
 	q := core.QueryOptions{Epsilon: req.Epsilon}
 	if err := q.Validate(); err != nil {
 		e.errors.Add(1)
@@ -440,6 +524,12 @@ func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOpt
 		if e.queryFn != nil {
 			return e.queryFn(ctx, s, req.Source)
 		}
+		// Intra-query parallelism: borrow idle worker slots for this query's
+		// walk chunks. The hint never changes the result bits, only how many
+		// cores compute them.
+		p, extras := e.reserveParallelism(s, req.Parallelism, q)
+		defer e.releaseExtras(extras)
+		q.Parallelism = p
 		if poolCandidate {
 			r, _ := e.resPool.Get().(*core.Result)
 			if r == nil {
@@ -449,12 +539,14 @@ func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOpt
 				e.resPool.Put(r)
 				return nil, err
 			}
+			e.noteQuery(r.Stats)
 			return r, nil
 		}
 		r := &core.Result{}
 		if err := s.idx.QueryIntoOpts(ctx, req.Source, r, q); err != nil {
 			return nil, err
 		}
+		e.noteQuery(r.Stats)
 		return r, nil
 	}()
 	// Publish to the cache before retiring the flight so no identical request
@@ -520,13 +612,22 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 	return results, nil
 }
 
-// DoBatch answers one request per source, in order, using up to Workers
-// goroutines; base supplies the shared per-request options (its Source is
-// ignored). The whole batch runs against one index generation (a concurrent
-// Swap affects only later batches) and shares the engine's cache and
-// single-flight table. On the first error the remaining queries are
-// cancelled and the error is returned; a real query failure always wins over
-// the context-cancellation errors it triggers in sibling workers.
+// DoBatch answers one request per source, in order; base supplies the shared
+// per-request options (its Source is ignored). The whole batch runs against
+// one index generation (a concurrent Swap affects only later batches) and
+// shares the engine's cache and single-flight table.
+//
+// The batch is fused: entries not answered by the cache or an external
+// in-flight computation run as ONE core computation that streams each index
+// level once per batch — not once per source — into per-source accumulators,
+// with the walk phases fanned out over the group's worker slots. Duplicate
+// sources in one batch share the first occurrence's Result (byte-identical
+// entries) and report Coalesced, exactly like cross-caller coalescing.
+// Results stay bit-identical to issuing the same requests sequentially.
+//
+// On the first error the remaining queries are cancelled and the error is
+// returned; a real query failure always wins over the context-cancellation
+// errors it triggers.
 func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
 	s, err := e.acquire()
 	if err != nil {
@@ -535,8 +636,9 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 	defer s.release()
 
 	// Validate the options and every source up front so a bad request fails
-	// fast instead of surfacing mid-batch from an arbitrary worker.
-	if err := (core.QueryOptions{Epsilon: base.Epsilon}).Validate(); err != nil {
+	// fast instead of surfacing mid-batch.
+	q := core.QueryOptions{Epsilon: base.Epsilon}
+	if err := q.Validate(); err != nil {
 		e.errors.Add(1)
 		return nil, err
 	}
@@ -548,14 +650,219 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 		}
 	}
 	results := make([]*Response, len(sources))
+	if len(sources) == 0 {
+		return results, nil
+	}
+	if e.queryFn != nil {
+		// The test seam overrides the per-source computation, which the fused
+		// core call cannot honor; fan the batch out over doSlot instead.
+		return e.doBatchFanout(ctx, s, base, sources, results)
+	}
+	e.queries.Add(int64(len(sources)))
+
+	eff, clamped := s.idx.EffectiveOptions(q)
+	cached := e.cache != nil && !base.NoCache
+	reqFor := func(u int) Request {
+		r := base
+		r.Source = u
+		return r
+	}
+
+	// Classify each entry in input order: answered from the cache, duplicate
+	// of an earlier in-batch entry, joiner of an external in-flight
+	// computation, or leader in the batch's fused computation.
+	type extJoin struct {
+		i int
+		f *flight
+	}
+	var (
+		firstIdx = make(map[cacheKey]int, len(sources))
+		dupOf    = make([]int, len(sources))
+		joins    []extJoin
+		leaders  []int
+		flights  = make([]*flight, len(sources))
+	)
+	for i, u := range sources {
+		dupOf[i] = -1
+		key := cacheKey{gen: s.gen, source: u, epsilon: eff.Epsilon}
+		if j, ok := firstIdx[key]; ok {
+			dupOf[i] = j
+			continue
+		}
+		firstIdx[key] = i
+		if cached {
+			if res, ok := e.cache.get(key); ok {
+				e.cacheHits.Add(1)
+				resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped, CacheHit: true}
+				results[i] = finishResponse(resp, res, reqFor(u))
+				continue
+			}
+		}
+		e.flightMu.Lock()
+		if f, ok := e.flights[key]; ok {
+			f.joiners++
+			e.flightMu.Unlock()
+			e.coalesced.Add(1)
+			joins = append(joins, extJoin{i: i, f: f})
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		e.flights[key] = f
+		e.flightMu.Unlock()
+		flights[i] = f
+		leaders = append(leaders, i)
+	}
+
+	// Error slots with a strict priority: a query's own failure is
+	// authoritative; context errors are only reported when no query failed.
+	var queryErr, ctxErr error
+	note := func(err error) {
+		if isContextErr(err) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			return
+		}
+		if queryErr == nil {
+			queryErr = err
+		}
+	}
+
+	// The fused computation: one admission slot for the whole group (plus
+	// whatever idle extras the parallelism hint lets it borrow), one core
+	// call, one shared index-read pass.
+	if len(leaders) > 0 {
+		leadSources := make([]int, len(leaders))
+		coreRes := make([]*core.Result, len(leaders))
+		for t, i := range leaders {
+			leadSources[t] = sources[i]
+			coreRes[t] = &core.Result{}
+		}
+		err := func() error {
+			if err := e.admit(ctx); err != nil {
+				return err
+			}
+			defer func() { <-e.sem }()
+			qq := q
+			p, extras := e.reserveParallelism(s, base.Parallelism, qq)
+			defer e.releaseExtras(extras)
+			qq.Parallelism = p
+			return s.idx.QueryBatchIntoOpts(ctx, leadSources, coreRes, qq)
+		}()
+		// Publish to the cache before retiring each flight so no identical
+		// request can slip between the two and recompute.
+		for t, i := range leaders {
+			key := cacheKey{gen: s.gen, source: sources[i], epsilon: eff.Epsilon}
+			f := flights[i]
+			var res *core.Result
+			if err == nil {
+				res = coreRes[t]
+				if cached {
+					e.cache.put(key, res)
+				}
+				e.noteQuery(res.Stats)
+			}
+			e.flightMu.Lock()
+			delete(e.flights, key)
+			e.flightMu.Unlock()
+			f.res, f.err = res, err
+			close(f.done)
+			if err == nil {
+				resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped}
+				results[i] = finishResponse(resp, res, reqFor(sources[i]))
+			}
+		}
+		if err != nil {
+			e.errors.Add(1)
+			note(fmt.Errorf("engine: batch query: %w", err))
+		}
+	}
+
+	// Wait out the external computations this batch coalesced onto.
+	if queryErr == nil && ctxErr == nil {
+		for _, ej := range joins {
+			resp, err := e.joinFlight(ctx, s, reqFor(sources[ej.i]), ej.f)
+			if err != nil {
+				note(fmt.Errorf("engine: query from source %d: %w", sources[ej.i], err))
+				break
+			}
+			results[ej.i] = resp
+		}
+	}
+
+	// Resolve in-batch duplicates against their leaders' responses: the same
+	// Result object (byte-identical entries), counted like any coalesced
+	// request — or like a cache hit when the first occurrence was one.
+	if queryErr == nil && ctxErr == nil {
+		for i, j := range dupOf {
+			if j < 0 {
+				continue
+			}
+			lead := results[j]
+			if lead == nil || lead.Result == nil {
+				// Rare: the duplicated entry answered without a shareable
+				// result (a foreign leader gave up and the retry pooled its
+				// top-k). Recompute through the normal path.
+				resp, err := e.runSlot(ctx, s, reqFor(sources[i]))
+				if err != nil {
+					note(fmt.Errorf("engine: query from source %d: %w", sources[i], err))
+					break
+				}
+				results[i] = resp
+				continue
+			}
+			resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped}
+			if lead.CacheHit {
+				e.cacheHits.Add(1)
+				resp.CacheHit = true
+			} else {
+				e.coalesced.Add(1)
+				resp.Coalesced = true
+			}
+			results[i] = finishResponse(resp, lead.Result, reqFor(sources[i]))
+		}
+	}
+
+	if queryErr != nil {
+		return nil, queryErr
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return results, nil
+}
+
+// joinFlight waits out an external in-flight computation a batch entry
+// coalesced onto, retrying through the normal request path when the foreign
+// leader's caller gave up before publishing (mirroring doSlot's retry loop).
+func (e *Engine) joinFlight(ctx context.Context, s *slot, req Request, f *flight) (*Response, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		e.errors.Add(1)
+		return nil, ctx.Err()
+	}
+	if f.err != nil {
+		if isContextErr(f.err) && ctx.Err() == nil {
+			return e.runSlot(ctx, s, req)
+		}
+		e.errors.Add(1)
+		return nil, f.err
+	}
+	eff, clamped := s.idx.EffectiveOptions(core.QueryOptions{Epsilon: req.Epsilon})
+	resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped, Coalesced: true}
+	return finishResponse(resp, f.res, req), nil
+}
+
+// doBatchFanout is the pre-fusion batch path: one doSlot per source over up
+// to Workers goroutines. It remains behind the queryFn test seam, which
+// forces per-source interleavings the fused single computation cannot
+// reproduce.
+func (e *Engine) doBatchFanout(ctx context.Context, s *slot, base Request, sources []int, results []*Response) ([]*Response, error) {
 	workers := e.workers
 	if workers > len(sources) {
 		workers = len(sources)
 	}
-	if workers < 1 {
-		return results, nil
-	}
-
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// Two error slots with a strict priority: a query's own failure is
@@ -699,6 +1006,14 @@ type Stats struct {
 	PairQueries int64
 	// Errors counts failed, shed, or cancelled requests.
 	Errors int64
+	// ParallelQueries counts computations that executed their walk chunks on
+	// more than one worker (intra-query parallelism actually engaged).
+	ParallelQueries int64
+	// ChunksExecuted and ChunksMerged count intra-query walk chunks run and
+	// folded by the canonical merge. They advance together — every executed
+	// chunk is merged exactly once — so a gap indicates lost work.
+	ChunksExecuted int64
+	ChunksMerged   int64
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -716,6 +1031,10 @@ func (e *Engine) Stats() Stats {
 		QueueDepth:  e.queueDepth.Load(),
 		PairQueries: e.pairs.Load(),
 		Errors:      e.errors.Load(),
+
+		ParallelQueries: e.parallelQueries.Load(),
+		ChunksExecuted:  e.chunksExecuted.Load(),
+		ChunksMerged:    e.chunksMerged.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()

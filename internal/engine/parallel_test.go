@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"prsim/internal/core"
+	"prsim/internal/gen"
+)
+
+// parallelEngineIndex builds an index whose queries span several walk chunks,
+// so intra-query parallelism actually has work to split.
+func parallelEngineIndex(t testing.TB) *core.Index {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawOptions{N: 800, AvgDegree: 6, Gamma: 2.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	idx, err := core.BuildIndex(g, core.Options{Epsilon: 0.2, Seed: 7, SampleScale: 0.5})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return idx
+}
+
+// TestDoBatchDuplicateSourcesShareResult pins the fused batch's duplicate
+// handling: repeated sources in one batch share the leader's Result object —
+// byte-identical entries by construction — and report Coalesced, counted in
+// the engine's coalesced stat.
+func TestDoBatchDuplicateSourcesShareResult(t *testing.T) {
+	idx := parallelEngineIndex(t)
+	e, err := New(idx, Options{Workers: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	resps, err := e.DoBatch(context.Background(), Request{}, []int{3, 9, 3})
+	if err != nil {
+		t.Fatalf("DoBatch: %v", err)
+	}
+	if resps[0].Result == nil || resps[2].Result == nil {
+		t.Fatal("batch entries missing results")
+	}
+	if resps[0].Result != resps[2].Result {
+		t.Fatal("duplicate sources did not share one Result")
+	}
+	if resps[0].Coalesced {
+		t.Fatal("batch leader reported Coalesced")
+	}
+	if !resps[2].Coalesced {
+		t.Fatal("duplicate entry did not report Coalesced")
+	}
+	st := e.Stats()
+	if st.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3 (dups count as requests)", st.Queries)
+	}
+	if st.Coalesced < 1 {
+		t.Fatalf("Coalesced = %d, want >= 1", st.Coalesced)
+	}
+	// The shared result must match an independent computation bit for bit.
+	var solo core.Result
+	if err := idx.QueryIntoOpts(context.Background(), 3, &solo, core.QueryOptions{}); err != nil {
+		t.Fatalf("solo query: %v", err)
+	}
+	sameResult(t, &solo, resps[2].Result)
+}
+
+// TestParallelReservationNeverStarves pins the borrow-only slot discipline:
+// a query asking for more parallelism than the pool has idle capacity gets
+// exactly the idle slots (never queueing its chunks behind other requests),
+// and the hint is otherwise honored up to the worker bound.
+func TestParallelReservationNeverStarves(t *testing.T) {
+	idx := parallelEngineIndex(t)
+	e, err := New(idx, Options{Workers: 4, CacheSize: 0})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+
+	// Occupy three of the four worker slots, as three busy requests would.
+	for i := 0; i < 3; i++ {
+		e.sem <- struct{}{}
+	}
+	resp, err := e.Do(ctx, Request{Source: 5, Parallelism: 8})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Result.Stats.Chunks < 2 {
+		t.Fatalf("query ran %d chunks; the test needs several", resp.Result.Stats.Chunks)
+	}
+	// Admission took the last slot; with zero idle capacity the walk must run
+	// serial rather than wait for the busy workers.
+	if got := resp.Result.Stats.Parallelism; got != 1 {
+		t.Fatalf("saturated pool: parallelism %d, want 1", got)
+	}
+
+	// Free one slot: the next request may borrow exactly it and no more.
+	<-e.sem
+	resp, err = e.Do(ctx, Request{Source: 6, Parallelism: 8})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := resp.Result.Stats.Parallelism; got != 2 {
+		t.Fatalf("one idle slot: parallelism %d, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		<-e.sem
+	}
+
+	// Idle pool: the hint is clamped to the worker count (and chunk count).
+	resp, err = e.Do(ctx, Request{Source: 7, Parallelism: 8})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	want := e.Workers()
+	if mc := resp.Result.Stats.Chunks; mc < want {
+		want = mc
+	}
+	if got := resp.Result.Stats.Parallelism; got != want {
+		t.Fatalf("idle pool: parallelism %d, want %d", got, want)
+	}
+
+	st := e.Stats()
+	if st.ChunksExecuted != st.ChunksMerged {
+		t.Fatalf("chunks executed %d != merged %d (lost work)", st.ChunksExecuted, st.ChunksMerged)
+	}
+	if st.ChunksExecuted == 0 {
+		t.Fatal("no chunks counted")
+	}
+	if st.ParallelQueries != 2 {
+		t.Fatalf("ParallelQueries = %d, want 2", st.ParallelQueries)
+	}
+}

@@ -36,6 +36,11 @@ type Config struct {
 	Decay float64
 	// Seed drives every random choice.
 	Seed uint64
+	// MaxParallel caps the querypath experiment's intra-query parallelism
+	// sweep (0 = GOMAXPROCS). Levels above 1 split each query's walk budget
+	// into chunks executed concurrently; results are bit-identical at every
+	// level, so the sweep measures pure latency scaling.
+	MaxParallel int
 }
 
 // QuickConfig returns a configuration that regenerates the shape of every

@@ -43,6 +43,11 @@ type QueryPathResult struct {
 	// multiples of the build epsilon through the request plane: one index,
 	// several accuracy/latency tiers.
 	EpsilonSweep []EpsilonTier
+	// ParallelSweep reports the same workload re-run at increasing
+	// intra-query parallelism. Scores are bit-identical across tiers (the
+	// chunk decomposition and merge order never depend on the worker count),
+	// so Speedup is pure wall-clock scaling of the walk phase.
+	ParallelSweep []ParallelTier
 }
 
 // EpsilonTier is one per-request accuracy tier of the epsilon sweep.
@@ -60,6 +65,18 @@ type EpsilonTier struct {
 	Walks            float64
 	BackwardWalkCost float64
 	IndexEntriesRead float64
+}
+
+// ParallelTier is one worker count of the intra-query parallelism sweep.
+type ParallelTier struct {
+	// Parallelism is the requested worker count; Chunks is the mean number
+	// of walk chunks each query split into (the fan-out ceiling).
+	Parallelism int
+	Chunks      float64
+	// NsPerQuery is the mean wall-clock nanoseconds per query at this level.
+	NsPerQuery float64
+	// Speedup is the serial tier's NsPerQuery divided by this tier's.
+	Speedup float64
 }
 
 // RunQueryPath builds the standard power-law benchmark graph (150k nodes in
@@ -174,6 +191,44 @@ func RunQueryPath(cfg Config) (*QueryPathResult, error) {
 	for i := range res.EpsilonSweep {
 		if ns := res.EpsilonSweep[i].NsPerQuery; ns > 0 {
 			res.EpsilonSweep[i].Speedup = base / ns
+		}
+	}
+
+	// Parallel sweep: the same sources at increasing intra-query parallelism.
+	// Every tier computes bit-identical scores; the only variable is how many
+	// workers execute each query's walk chunks.
+	maxP := cfg.MaxParallel
+	if maxP <= 0 {
+		maxP = runtime.GOMAXPROCS(0)
+	}
+	levels := []int{1}
+	for p := 2; p < maxP; p *= 2 {
+		levels = append(levels, p)
+	}
+	if maxP > 1 {
+		levels = append(levels, maxP)
+	}
+	for _, p := range levels {
+		tier := ParallelTier{Parallelism: p}
+		qopts := core.QueryOptions{Parallelism: p}
+		if err := idx.QueryIntoOpts(context.Background(), sources[0], &r, qopts); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, u := range sources {
+			if err := idx.QueryIntoOpts(context.Background(), u, &r, qopts); err != nil {
+				return nil, err
+			}
+			tier.Chunks += float64(r.Stats.Chunks)
+		}
+		tier.NsPerQuery = float64(time.Since(start).Nanoseconds()) / q
+		tier.Chunks /= q
+		res.ParallelSweep = append(res.ParallelSweep, tier)
+	}
+	serial := res.ParallelSweep[0].NsPerQuery
+	for i := range res.ParallelSweep {
+		if ns := res.ParallelSweep[i].NsPerQuery; ns > 0 {
+			res.ParallelSweep[i].Speedup = serial / ns
 		}
 	}
 	return res, nil

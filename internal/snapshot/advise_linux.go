@@ -7,15 +7,20 @@ import (
 	"syscall"
 )
 
+// hugePageBytes is the transparent-huge-page granularity on every Linux
+// architecture we map snapshots on (x86-64, arm64 with 4K base pages).
+const hugePageBytes = 2 << 20
+
 // adviseWillNeed hints the kernel to start reading the pages covering
 // data[off:off+length] into the page cache (madvise(MADV_WILLNEED)). data
 // must be the full mmap region (page-aligned by construction); off/length
 // are rounded out to page boundaries because madvise requires a page-aligned
-// address. Errors are ignored: the hint is purely an optimization and the
+// address. The returned bool reports whether the kernel accepted the hint;
+// errors are otherwise ignored — the hint is purely an optimization and the
 // pages fault in on demand regardless.
-func adviseWillNeed(data []byte, off, length uint64) {
+func adviseWillNeed(data []byte, off, length uint64) bool {
 	if length == 0 || off >= uint64(len(data)) {
-		return
+		return false
 	}
 	page := uint64(os.Getpagesize())
 	start := off - off%page
@@ -23,5 +28,33 @@ func adviseWillNeed(data []byte, off, length uint64) {
 	if end > uint64(len(data)) {
 		end = uint64(len(data))
 	}
-	_ = syscall.Madvise(data[start:end], syscall.MADV_WILLNEED)
+	return syscall.Madvise(data[start:end], syscall.MADV_WILLNEED) == nil
+}
+
+// adviseHugePage asks the kernel to back data[off:off+length] with
+// transparent huge pages (madvise(MADV_HUGEPAGE)). One 2 MiB TLB entry then
+// covers what would take 512 base-page entries, which matters for the entry
+// slab's random-access reserve-list reads on multi-GB indexes. The advice
+// only helps for ranges spanning at least one aligned 2 MiB region, so
+// shorter ones are skipped; like adviseWillNeed the range is rounded out to
+// base-page boundaries (khugepaged collapses only the aligned 2 MiB spans
+// within it). Returns whether the hint was issued and accepted — it fails
+// EINVAL on kernels built without CONFIG_TRANSPARENT_HUGEPAGE, and is a
+// no-op (success, no collapse) when THP is set to "never" in sysfs.
+func adviseHugePage(data []byte, off, length uint64) bool {
+	if length == 0 || off >= uint64(len(data)) {
+		return false
+	}
+	page := uint64(os.Getpagesize())
+	start := off - off%page
+	end := off + length
+	if end > uint64(len(data)) {
+		end = uint64(len(data))
+	}
+	// Skip ranges that cannot contain a full aligned huge page.
+	firstHuge := (start + hugePageBytes - 1) &^ (hugePageBytes - 1)
+	if firstHuge+hugePageBytes > end {
+		return false
+	}
+	return syscall.Madvise(data[start:end], syscall.MADV_HUGEPAGE) == nil
 }

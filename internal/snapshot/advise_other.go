@@ -4,4 +4,8 @@ package snapshot
 
 // adviseWillNeed is a no-op on platforms without madvise (or where we have
 // not wired it up); pages fault in on demand.
-func adviseWillNeed(data []byte, off, length uint64) {}
+func adviseWillNeed(data []byte, off, length uint64) bool { return false }
+
+// adviseHugePage is a no-op off Linux; transparent huge pages are a Linux
+// kernel feature.
+func adviseHugePage(data []byte, off, length uint64) bool { return false }

@@ -434,6 +434,19 @@ func (idx *Index) WarmUp() {
 	}
 }
 
+// Advices reports which madvise hints the snapshot backing applied during the
+// most recent WarmUp — "willneed" for page-cache readahead over the hot
+// sections, "hugepage" for transparent-huge-page backing on the entry slab
+// (issued only when the slab is ≥2 MiB). Empty for heap-backed indexes and on
+// platforms without madvise. Serving layers surface it in stats so operators
+// can tell whether THP is actually in play.
+func (idx *Index) Advices() []string {
+	if idx.snap == nil {
+		return nil
+	}
+	return idx.snap.Advices()
+}
+
 // Verify checks the integrity of an index opened with OpenSnapshot by
 // recomputing the snapshot's CRC-32C over the mapped payload. It is a no-op
 // (always nil) for heap-backed indexes: BuildIndex output is trusted and the

@@ -2,6 +2,7 @@ package prsim
 
 import (
 	"context"
+	"runtime"
 
 	"prsim/internal/core"
 	"prsim/internal/engine"
@@ -44,6 +45,16 @@ type Request struct {
 	// lookup and insert. It still coalesces with identical in-flight
 	// requests. Ignored by Index.Do, which has no cache.
 	NoCache bool
+	// Parallelism is the intra-query parallelism hint: how many workers may
+	// execute this query's walk chunks. 0 = auto — an engine borrows every
+	// idle worker-pool slot (never waiting, so concurrent requests are not
+	// starved), while Index.Do uses up to GOMAXPROCS. 1 pins the query
+	// serial; larger values cap the fan-out. The hint never changes the
+	// result: chunk boundaries, per-chunk RNG streams, and merge order
+	// depend only on (seed, source, effective epsilon), so scores are
+	// bit-identical at every parallelism level — which is also why the hint
+	// is excluded from cache and coalescing identity.
+	Parallelism int
 }
 
 // Response is the answer to one Request, carrying the result (or top-k
@@ -76,7 +87,12 @@ type Response struct {
 // cache, coalescing, or admission control — those are Engine features; it is
 // the single-caller entry point the engine builds on.
 func (idx *Index) Do(ctx context.Context, req Request) (*Response, error) {
-	q := core.QueryOptions{Epsilon: req.Epsilon}
+	p := req.Parallelism
+	if p <= 0 {
+		// Auto without an engine's worker pool: the machine is the pool.
+		p = runtime.GOMAXPROCS(0)
+	}
+	q := core.QueryOptions{Epsilon: req.Epsilon, Parallelism: p}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,10 +116,11 @@ func (idx *Index) Do(ctx context.Context, req Request) (*Response, error) {
 // metadata semantics.
 func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	inner, err := e.eng.Do(ctx, engine.Request{
-		Source:  req.Source,
-		Epsilon: req.Epsilon,
-		K:       req.K,
-		NoCache: req.NoCache,
+		Source:      req.Source,
+		Epsilon:     req.Epsilon,
+		K:           req.K,
+		NoCache:     req.NoCache,
+		Parallelism: req.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -139,16 +156,22 @@ func (e *Engine) wrapEngineResponse(inner *engine.Response) *Response {
 	return resp
 }
 
-// DoBatch answers one request per source, in order, fanned out over the
-// engine's workers; base supplies the shared per-request options (its Source
-// is ignored). Batches share the cache and coalesce with concurrent
-// identical requests exactly like Do. On the first error the remaining
-// queries are cancelled and the error is returned.
+// DoBatch answers one request per source, in order; base supplies the shared
+// per-request options (its Source is ignored). The batch is fused: entries
+// not answered by the cache or an in-flight computation run as one core
+// computation that streams each index level once per batch into per-source
+// accumulators, with walk phases fanned out over the engine's workers.
+// Batches share the cache and coalesce with concurrent identical requests
+// exactly like Do; duplicate sources within one batch share one Result
+// (byte-identical entries) and report Coalesced. Results are bit-identical
+// to issuing the same requests sequentially. On the first error the
+// remaining queries are cancelled and the error is returned.
 func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
 	inner, err := e.eng.DoBatch(ctx, engine.Request{
-		Epsilon: base.Epsilon,
-		K:       base.K,
-		NoCache: base.NoCache,
+		Epsilon:     base.Epsilon,
+		K:           base.K,
+		NoCache:     base.NoCache,
+		Parallelism: base.Parallelism,
 	}, sources)
 	if err != nil {
 		return nil, err

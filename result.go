@@ -76,6 +76,8 @@ func (r *Result) Stats() QueryStats {
 		Walks:            s.Walks,
 		BackwardWalkCost: s.BackwardWalkCost,
 		IndexEntriesRead: s.IndexEntriesRead,
+		Chunks:           s.Chunks,
+		Parallelism:      s.Parallelism,
 		Seconds:          s.Time.Seconds(),
 	}
 }
@@ -92,6 +94,11 @@ type QueryStats struct {
 	BackwardWalkCost int
 	// IndexEntriesRead counts (node, reserve) pairs read from the hub index.
 	IndexEntriesRead int
+	// Chunks is the number of walk-phase work chunks the query's Monte Carlo
+	// budget was split into; Parallelism is how many workers executed them
+	// (1 = serial). Results are bit-identical at every parallelism level.
+	Chunks      int
+	Parallelism int
 	// Seconds is the wall-clock query time.
 	Seconds float64
 }
