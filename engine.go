@@ -175,12 +175,15 @@ type EngineStats struct {
 	PairQueries int64
 	// Errors counts failed, shed, or cancelled requests.
 	Errors int64
-	// ParallelQueries counts queries whose walk phase ran on more than one
-	// worker (intra-query parallelism engaged).
+	// ParallelQueries counts computations — solo queries or fused batches —
+	// whose walk phase ran on more than one worker (intra-query parallelism
+	// engaged); a fused batch counts once regardless of its source count.
 	ParallelQueries int64
-	// ChunksExecuted counts walk-phase work chunks run across all queries;
-	// ChunksMerged counts chunks folded into query results. The two are equal
-	// by construction — a divergence would indicate lost work.
+	// ChunksExecuted counts walk-phase work chunks actually run, including
+	// chunks a cancelled query discarded before the merge; ChunksMerged
+	// counts chunks folded into query results. Executed−merged is the work
+	// thrown away by cancellation (plus phases in flight at the snapshot
+	// instant) — zero under healthy steady load.
 	ChunksExecuted int64
 	ChunksMerged   int64
 }

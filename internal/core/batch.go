@@ -9,23 +9,37 @@ import (
 	"time"
 )
 
+// fusedWaveSize floors how many per-source accumulator states a fused batch
+// keeps live at once. Each state carries O(n) dense accumulators, so the wave
+// width — max(q.Parallelism, fusedWaveSize), never the batch length — is what
+// bounds the fused path's memory and the size the state pool can grow to: an
+// arbitrarily long batch costs the same resident memory as a handful of
+// concurrent solo queries. Eight states keeps each reserve-list stream shared
+// across a useful number of sources even when the batch runs serially.
+const fusedWaveSize = 8
+
 // QueryBatchIntoOpts answers one single-source query per entry of sources,
-// writing into the caller-owned results, with one fused index-read pass for
-// the whole batch: each eligible reserve list L_ℓ(w) is streamed from the
-// entry slab once per batch instead of once per source, and folded into every
-// eligible source's private accumulator. q.Parallelism bounds the worker
-// goroutines; with more than one source the workers parallelize across
-// sources (each source's walk chunks run on its worker's state), and a
-// single-source batch degenerates to the intra-query chunked path of
-// QueryIntoOpts.
+// writing into the caller-owned results, with fused index-read passes: the
+// batch is processed in waves of at most max(q.Parallelism, 8) sources, and
+// within a wave each eligible reserve list L_ℓ(w) is streamed from the entry
+// slab once — not once per source — and folded into every eligible source's
+// private accumulator. The wave width, not the batch length, bounds how many
+// O(n) per-source states are live at once, so batch memory is flat in
+// len(sources). q.Parallelism bounds the worker goroutines; with more than
+// one source the workers parallelize across the wave's sources (each
+// source's walk chunks run on its worker's state), and a single-source batch
+// degenerates to the intra-query chunked path of QueryIntoOpts.
 //
 // Determinism: every source consumes exactly the per-(seed, source, chunk)
 // streams of a solo query, and the fused pass visits levels ascending with
 // hub ranks ascending — the same canonical order as the solo index-read pass
 // restricted to each source's eligible set — so each result is bit-identical
-// to QueryIntoOpts from the same source at any parallelism level.
+// to QueryIntoOpts from the same source at any parallelism level and any
+// wave grouping.
 //
-// On error (validation, or cancellation mid-batch) no result is touched.
+// On error (validation, or cancellation mid-batch) the failing wave touches
+// no result, but results of waves completed before the failure are already
+// populated; callers must treat the whole batch as failed.
 func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results []*Result, q QueryOptions) error {
 	if len(sources) != len(results) {
 		return fmt.Errorf("core: QueryBatchIntoOpts with %d sources but %d results", len(sources), len(results))
@@ -57,7 +71,14 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 		p = 1
 	}
 
-	states := make([]*queryState, len(sources))
+	wave := p
+	if wave < fusedWaveSize {
+		wave = fusedWaveSize
+	}
+	if wave > len(sources) {
+		wave = len(sources)
+	}
+	states := make([]*queryState, wave)
 	for i := range states {
 		states[i] = idx.getState()
 	}
@@ -68,63 +89,81 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 	}()
 	stats := make([]QueryStats, len(sources))
 
-	// Walk phases: one complete chunked phase per source, fanned out across
-	// the workers. Each phase is self-contained (private state, private
-	// streams), so scheduling cannot affect bits.
-	walkOne := func(i int) error {
-		st := states[i]
-		st.beginQuery(sources[i])
-		stats[i] = QueryStats{Epsilon: opts.Epsilon}
-		return idx.runWalkPhase(ctx, st, sources[i], opts, &stats[i], 1)
-	}
-	if p <= 1 {
-		for i := range sources {
-			if err := walkOne(i); err != nil {
+	for base := 0; base < len(sources); base += wave {
+		end := base + wave
+		if end > len(sources) {
+			end = len(sources)
+		}
+		// pw is the worker fan-out of this wave (the last wave may be
+		// narrower than p); it is what each source's Stats.Parallelism
+		// reports.
+		pw := p
+		if pw > end-base {
+			pw = end - base
+		}
+
+		// Walk phases: one complete chunked phase per wave source, fanned
+		// out across the workers. Each phase is self-contained (private
+		// state, private streams), so scheduling cannot affect bits.
+		walkOne := func(i int) error {
+			st := states[i-base]
+			st.beginQuery(sources[i])
+			stats[i] = QueryStats{Epsilon: opts.Epsilon}
+			return idx.runWalkPhase(ctx, st, sources[i], opts, &stats[i], 1)
+		}
+		if pw <= 1 {
+			for i := base; i < end; i++ {
+				if err := walkOne(i); err != nil {
+					return err
+				}
+			}
+		} else {
+			var (
+				next atomic.Int64
+				wg   sync.WaitGroup
+			)
+			next.Store(int64(base) - 1)
+			run := func() {
+				for {
+					i := int(next.Add(1))
+					if i >= end || ctx.Err() != nil {
+						return
+					}
+					// runWalkPhase only fails on cancellation, which the next
+					// claim (and the post-join check) observes.
+					_ = walkOne(i)
+				}
+			}
+			for w := 1; w < pw; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					run()
+				}()
+			}
+			run()
+			wg.Wait()
+			if err := ctx.Err(); err != nil {
+				// Cancelled phases left their states clean; completed ones
+				// hold accumulated scores that resetScratch reclaims on next
+				// use.
 				return err
 			}
 		}
-	} else {
-		var (
-			next atomic.Int64
-			wg   sync.WaitGroup
-		)
-		next.Store(-1)
-		run := func() {
-			for {
-				i := int(next.Add(1))
-				if i >= len(sources) || ctx.Err() != nil {
-					return
-				}
-				// runWalkPhase only fails on cancellation, which the next
-				// claim (and the post-join check) observes.
-				_ = walkOne(i)
-			}
+		for i := base; i < end; i++ {
+			stats[i].Parallelism = pw
 		}
-		for w := 1; w < p; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				run()
-			}()
-		}
-		run()
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			// Cancelled phases left their states clean; completed ones hold
-			// accumulated scores that resetScratch reclaims on next use.
-			return err
-		}
-	}
 
-	idx.readIndexFused(states, opts, stats)
-	for i, st := range states {
-		st.finalize(sources[i], results[i], &stats[i], start)
+		idx.readIndexFused(states[:end-base], opts, stats[base:end])
+		for i := base; i < end; i++ {
+			states[i-base].finalize(sources[i], results[i], &stats[i], start)
+		}
 	}
 	return nil
 }
 
 // readIndexFused is the batch form of readIndexInto: one pass over the union
-// of the batch's eligible (level, rank) pairs — levels ascending, ranks
+// of a wave's eligible (level, rank) pairs — levels ascending, ranks
 // ascending — reading each reserve list once and folding it into every
 // source whose η̂π clears the threshold. Restricted to one source, the fold
 // sequence is exactly the solo pass's, so fusion never changes bits.

@@ -65,7 +65,26 @@ type Index struct {
 	walkEdges []outEdge
 	recipIn   []float64
 
+	// chunksExecuted counts walk-phase chunks actually run on this index —
+	// including chunks whose query was cancelled before the merge —
+	// chunksMerged counts chunks folded into a result by the canonical merge.
+	// Counted here, where the work happens, so the executed−merged gap is a
+	// real signal: it equals the chunks discarded by cancellation plus those
+	// of phases currently in flight.
+	chunksExecuted atomic.Int64
+	chunksMerged   atomic.Int64
+
 	stats IndexStats
+}
+
+// WalkChunkCounters returns how many walk-phase work chunks this index has
+// executed and merged over its lifetime. Executed counts every chunk run,
+// including chunks a cancelled query discarded before the merge; merged
+// counts chunks folded into a query result. The difference is work thrown
+// away by cancellation (plus phases still in flight at the instant of the
+// snapshot); the serving layer surfaces both through /stats.
+func (idx *Index) WalkChunkCounters() (executed, merged int64) {
+	return idx.chunksExecuted.Load(), idx.chunksMerged.Load()
 }
 
 // degreeTables returns the shared walk tables, building them on first use.

@@ -195,7 +195,7 @@ func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts O
 	if p == 1 {
 		for j := 0; j < nchunks; j++ {
 			if err := ctx.Err(); err != nil {
-				idx.releaseChunks(crs[:j])
+				idx.chunksExecuted.Add(int64(idx.releaseChunks(crs[:j])))
 				return err
 			}
 			cr := idx.getChunk()
@@ -240,10 +240,14 @@ func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts O
 		run(s)
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
-			idx.releaseChunks(crs)
+			// A claimed chunk either ran to completion (crs entry set) or was
+			// abandoned before execution, so the released count is exactly the
+			// work this cancelled phase performed and discarded.
+			idx.chunksExecuted.Add(int64(idx.releaseChunks(crs)))
 			return err
 		}
 	}
+	idx.chunksExecuted.Add(int64(nchunks))
 
 	stats.Chunks += nchunks
 	stats.Parallelism = p
@@ -288,18 +292,24 @@ func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts O
 		}
 	}
 
+	idx.chunksMerged.Add(int64(nchunks))
+
 	// sB(u, v): median over rounds (missing rounds count as zero), folded
 	// into the dense final-score accumulator.
 	s.medianScores(fr)
 	return nil
 }
 
-// releaseChunks returns the chunk results a cancelled walk phase produced.
-func (idx *Index) releaseChunks(crs []*chunkResult) {
+// releaseChunks returns the chunk results a cancelled walk phase produced,
+// reporting how many chunks had actually executed.
+func (idx *Index) releaseChunks(crs []*chunkResult) int {
+	ran := 0
 	for i, cr := range crs {
 		if cr != nil {
 			idx.putChunk(cr)
 			crs[i] = nil
+			ran++
 		}
 	}
+	return ran
 }

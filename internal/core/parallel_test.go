@@ -134,6 +134,96 @@ func TestQueryBatchFusedMatchesSolo(t *testing.T) {
 	}
 }
 
+// TestQueryBatchWavesMatchSolo pins the wave-bounded fused path: a batch
+// longer than the wave width (so states are reused across waves) still
+// returns bit-identical results to solo queries at several parallelism
+// levels, and never holds more than max(p, fusedWaveSize) states live.
+func TestQueryBatchWavesMatchSolo(t *testing.T) {
+	idx := parallelTestIndex(t)
+	ctx := context.Background()
+	sources := make([]int, 3*fusedWaveSize+2)
+	for i := range sources {
+		sources[i] = (i * 61) % 1500
+	}
+	solos := make(map[int]*Result, len(sources))
+	for _, u := range sources {
+		if solos[u] != nil {
+			continue
+		}
+		solo := &Result{}
+		if err := idx.QueryIntoOpts(ctx, u, solo, QueryOptions{}); err != nil {
+			t.Fatalf("solo(%d): %v", u, err)
+		}
+		solos[u] = solo
+	}
+	for _, p := range []int{1, 3} {
+		results := make([]*Result, len(sources))
+		for i := range results {
+			results[i] = &Result{}
+		}
+		if err := idx.QueryBatchIntoOpts(ctx, sources, results, QueryOptions{Parallelism: p}); err != nil {
+			t.Fatalf("batch(p=%d): %v", p, err)
+		}
+		for i, u := range sources {
+			identicalScores(t, solos[u], results[i], fmt.Sprintf("wave batch p=%d source %d", p, u))
+			if got := results[i].Stats.Parallelism; got < 1 || got > p {
+				t.Fatalf("batch p=%d source %d: reported parallelism %d outside [1, %d]",
+					p, u, got, p)
+			}
+		}
+	}
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after a fixed
+// number of Err calls — a deterministic mid-phase cancellation.
+type countdownCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestWalkChunkCounters pins the lost-work signal: executed counts every
+// chunk run — including chunks a cancelled query discarded before the merge —
+// while merged counts only folded chunks, so cancellation opens a gap.
+func TestWalkChunkCounters(t *testing.T) {
+	idx := parallelTestIndex(t)
+	ex0, me0 := idx.WalkChunkCounters()
+	if ex0 != 0 || me0 != 0 {
+		t.Fatalf("fresh index counters = (%d, %d), want (0, 0)", ex0, me0)
+	}
+
+	var res Result
+	if err := idx.QueryIntoOpts(context.Background(), 4, &res, QueryOptions{}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	ex, me := idx.WalkChunkCounters()
+	if want := int64(res.Stats.Chunks); ex != want || me != want {
+		t.Fatalf("after solo query counters = (%d, %d), want (%d, %d)", ex, me, want, want)
+	}
+
+	// Cancel after three chunk boundary checks: exactly the chunks that ran
+	// before the cancellation count as executed, none as merged.
+	ctx := &countdownCtx{Context: context.Background(), limit: 3}
+	var dropped Result
+	if err := idx.QueryIntoOpts(ctx, 4, &dropped, QueryOptions{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ex2, me2 := idx.WalkChunkCounters()
+	if ex2 <= ex {
+		t.Fatalf("cancelled query executed no chunks (executed %d -> %d)", ex, ex2)
+	}
+	if me2 != me {
+		t.Fatalf("cancelled query merged chunks (merged %d -> %d)", me, me2)
+	}
+}
+
 // TestQueryBatchFusedValidation covers the batch-specific error paths.
 func TestQueryBatchFusedValidation(t *testing.T) {
 	idx := parallelTestIndex(t)

@@ -73,8 +73,11 @@ type QueryStats struct {
 	// budget was split into — the upper bound on useful intra-query
 	// parallelism.
 	Chunks int
-	// Parallelism is the number of workers that executed those chunks
-	// (1 = fully serial). Results are bit-identical at every value.
+	// Parallelism is the number of workers engaged by the computation that
+	// produced this result: the workers that executed a solo query's chunks,
+	// or, for a fused batch, the workers fanned across the sources of the
+	// wave this query ran in (1 = fully serial). Results are bit-identical
+	// at every value.
 	Parallelism int
 	// Time is the wall-clock query time.
 	Time time.Duration

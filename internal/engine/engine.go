@@ -24,9 +24,10 @@
 //     ahead of other requests, and the chunk decomposition is independent of
 //     the worker count, so results stay bit-identical at every level.
 //   - Fused batches: DoBatch runs its cache-missing entries as one core
-//     computation that streams each index level once per batch into
-//     per-source accumulators; duplicate sources share one Result and count
-//     as coalesced.
+//     computation that streams each index level once per bounded wave of
+//     sources — not once per source — into per-source accumulators; memory
+//     stays flat in the batch length, and duplicate sources share one Result
+//     and count as coalesced.
 //
 // Every query draws its scratch state from the index's internal sync.Pool, so
 // a worker that stays busy performs near-zero per-query allocation. Results
@@ -207,8 +208,16 @@ type Engine struct {
 	cacheReuses atomic.Int64
 
 	parallelQueries atomic.Int64
-	chunksExecuted  atomic.Int64
-	chunksMerged    atomic.Int64
+
+	// chunkExecutedBase/chunkMergedBase carry the walk-chunk counters of
+	// swapped-out index generations forward: the live counters belong to the
+	// core Index (counted where the work happens, so cancelled-and-discarded
+	// chunks are included), and Stats adds the current index's counters on
+	// top of these bases. Queries still draining against an old generation
+	// after its Swap may increment counts the base fold already missed — a
+	// bounded undercount, acceptable for monitoring.
+	chunkExecutedBase atomic.Int64
+	chunkMergedBase   atomic.Int64
 
 	// resPool recycles core.Results for queries whose Result never escapes
 	// the engine — top-k requests with caching disabled that no concurrent
@@ -292,6 +301,14 @@ func (e *Engine) Swap(idx *core.Index, res Resource) error {
 	gen := e.gen.Add(1)
 	e.cur.Store(&slot{idx: idx, res: res, gen: gen})
 	e.swaps.Add(1)
+	if old.idx != idx {
+		// Fold the outgoing generation's walk-chunk counters into the bases
+		// so /stats stays monotonic across reloads. (Re-installing the same
+		// Index object would double-count, hence the guard.)
+		ex, me := old.idx.WalkChunkCounters()
+		e.chunkExecutedBase.Add(ex)
+		e.chunkMergedBase.Add(me)
+	}
 	if e.cache != nil {
 		if servingStateEquivalent(old.idx, idx) {
 			e.cache.rekey(old.gen, gen, idx.Graph())
@@ -363,21 +380,21 @@ func (e *Engine) admit(ctx context.Context) error {
 }
 
 // reserveParallelism resolves a request's intra-query parallelism hint
-// (0 = auto) into a concrete worker count for the core query, borrowing up
-// to want-1 extra slots from the pool. The caller already holds one admitted
-// slot; the borrow never waits — only idle capacity is taken, so one heavy
-// query cannot queue its chunks ahead of other requests — and is capped at
-// the query's chunk count so surplus workers are never reserved to idle.
-// The extras count must be returned via releaseExtras after the query.
-func (e *Engine) reserveParallelism(s *slot, hint int, q core.QueryOptions) (p, extras int) {
+// (0 = auto) into a concrete worker count for the core computation, borrowing
+// up to want-1 extra slots from the pool. The caller already holds one
+// admitted slot; the borrow never waits — only idle capacity is taken, so one
+// heavy computation cannot queue its chunks ahead of other requests — and is
+// capped at useful, the computation's real fan-out (a solo query's chunk
+// count, or a fused batch's leader count), so surplus workers are never
+// reserved to idle. The extras count must be returned via releaseExtras
+// after the computation.
+func (e *Engine) reserveParallelism(hint, useful int) (p, extras int) {
 	want := hint
 	if want <= 0 || want > e.workers {
 		want = e.workers
 	}
-	if want > 1 {
-		if mc := s.idx.QueryChunks(q); want > mc {
-			want = mc
-		}
+	if want > useful {
+		want = useful
 	}
 	if want > 1 {
 		extras = e.grabExtras(want - 1)
@@ -406,13 +423,11 @@ func (e *Engine) releaseExtras(n int) {
 	}
 }
 
-// noteQuery folds one completed computation's work counters into the engine
-// stats. Executed and merged chunk counts advance together by construction —
-// every executed chunk is folded exactly once by the canonical merge — so a
-// gap between the two /stats counters would indicate lost work.
+// noteQuery counts one completed solo computation toward the parallel-query
+// stat when it engaged more than one worker. (Chunk counters are maintained
+// by core on the index itself, where cancelled-and-discarded chunks are
+// visible; see Stats.)
 func (e *Engine) noteQuery(st core.QueryStats) {
-	e.chunksExecuted.Add(int64(st.Chunks))
-	e.chunksMerged.Add(int64(st.Chunks))
 	if st.Parallelism > 1 {
 		e.parallelQueries.Add(1)
 	}
@@ -527,7 +542,7 @@ func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOpt
 		// Intra-query parallelism: borrow idle worker slots for this query's
 		// walk chunks. The hint never changes the result bits, only how many
 		// cores compute them.
-		p, extras := e.reserveParallelism(s, req.Parallelism, q)
+		p, extras := e.reserveParallelism(req.Parallelism, s.idx.QueryChunks(q))
 		defer e.releaseExtras(extras)
 		q.Parallelism = p
 		if poolCandidate {
@@ -618,12 +633,15 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 // shares the engine's cache and single-flight table.
 //
 // The batch is fused: entries not answered by the cache or an external
-// in-flight computation run as ONE core computation that streams each index
-// level once per batch — not once per source — into per-source accumulators,
-// with the walk phases fanned out over the group's worker slots. Duplicate
-// sources in one batch share the first occurrence's Result (byte-identical
-// entries) and report Coalesced, exactly like cross-caller coalescing.
-// Results stay bit-identical to issuing the same requests sequentially.
+// in-flight computation run as ONE core computation that processes the
+// sources in bounded waves, streaming each index level once per wave — not
+// once per source — into per-source accumulators, with the walk phases
+// fanned out over the group's worker slots. The wave width (not the batch
+// length) bounds how many O(n) per-source states are live, so an
+// arbitrarily long batch cannot balloon memory. Duplicate sources in one
+// batch share the first occurrence's Result (byte-identical entries) and
+// report Coalesced, exactly like cross-caller coalescing. Results stay
+// bit-identical to issuing the same requests sequentially.
 //
 // On the first error the remaining queries are cancelled and the error is
 // returned; a real query failure always wins over the context-cancellation
@@ -744,11 +762,32 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 			}
 			defer func() { <-e.sem }()
 			qq := q
-			p, extras := e.reserveParallelism(s, base.Parallelism, qq)
+			// The fused computation fans out across sources (each source's
+			// walk phase runs serially on its worker), so the useful fan-out
+			// is the leader count — except for a single leader, which
+			// degenerates to the intra-query chunked path.
+			useful := len(leadSources)
+			if useful == 1 {
+				useful = s.idx.QueryChunks(qq)
+			}
+			p, extras := e.reserveParallelism(base.Parallelism, useful)
 			defer e.releaseExtras(extras)
 			qq.Parallelism = p
 			return s.idx.QueryBatchIntoOpts(ctx, leadSources, coreRes, qq)
 		}()
+		// One fused computation is one unit of engaged parallelism, however
+		// many sources it answered: count it once when any wave fanned out.
+		if err == nil {
+			maxPar := 0
+			for _, r := range coreRes {
+				if r.Stats.Parallelism > maxPar {
+					maxPar = r.Stats.Parallelism
+				}
+			}
+			if maxPar > 1 {
+				e.parallelQueries.Add(1)
+			}
+		}
 		// Publish to the cache before retiring each flight so no identical
 		// request can slip between the two and recompute.
 		for t, i := range leaders {
@@ -760,7 +799,6 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 				if cached {
 					e.cache.put(key, res)
 				}
-				e.noteQuery(res.Stats)
 			}
 			e.flightMu.Lock()
 			delete(e.flights, key)
@@ -1006,22 +1044,31 @@ type Stats struct {
 	PairQueries int64
 	// Errors counts failed, shed, or cancelled requests.
 	Errors int64
-	// ParallelQueries counts computations that executed their walk chunks on
-	// more than one worker (intra-query parallelism actually engaged).
+	// ParallelQueries counts computations — solo queries or fused batches —
+	// that engaged more than one worker (intra-query parallelism actually
+	// used); a fused batch counts once however many sources it answered.
 	ParallelQueries int64
-	// ChunksExecuted and ChunksMerged count intra-query walk chunks run and
-	// folded by the canonical merge. They advance together — every executed
-	// chunk is merged exactly once — so a gap indicates lost work.
+	// ChunksExecuted counts intra-query walk chunks actually run, including
+	// chunks a cancelled query executed and then discarded before the merge;
+	// ChunksMerged counts chunks folded into results by the canonical merge.
+	// Executed−merged is therefore the work thrown away by cancellation
+	// (plus phases in flight at the snapshot instant) — a real lost-work
+	// signal, zero under healthy steady load. Counted on the served index
+	// where the work happens; swapped-out generations' totals are carried
+	// forward, minus whatever their draining in-flight queries add after the
+	// swap (a bounded undercount).
 	ChunksExecuted int64
 	ChunksMerged   int64
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	cur := e.cur.Load()
+	executed, merged := cur.idx.WalkChunkCounters()
 	s := Stats{
 		Workers:     e.workers,
 		MaxQueue:    e.maxQueue,
-		Generation:  e.cur.Load().gen,
+		Generation:  cur.gen,
 		Swaps:       e.swaps.Load(),
 		CacheReuses: e.cacheReuses.Load(),
 		Queries:     e.queries.Load(),
@@ -1033,8 +1080,8 @@ func (e *Engine) Stats() Stats {
 		Errors:      e.errors.Load(),
 
 		ParallelQueries: e.parallelQueries.Load(),
-		ChunksExecuted:  e.chunksExecuted.Load(),
-		ChunksMerged:    e.chunksMerged.Load(),
+		ChunksExecuted:  e.chunkExecutedBase.Load() + executed,
+		ChunksMerged:    e.chunkMergedBase.Load() + merged,
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()

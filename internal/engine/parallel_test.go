@@ -64,6 +64,50 @@ func TestDoBatchDuplicateSourcesShareResult(t *testing.T) {
 	sameResult(t, &solo, resps[2].Result)
 }
 
+// TestDoBatchParallelismStats pins the fused batch's parallelism accounting:
+// with idle workers the batch fans out across its sources (reported in each
+// result's Stats.Parallelism), the whole computation counts once in
+// ParallelQueries, and the chunk counters balance and survive a hot swap.
+func TestDoBatchParallelismStats(t *testing.T) {
+	idx := parallelEngineIndex(t)
+	e, err := New(idx, Options{Workers: 4, CacheSize: 0})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	resps, err := e.DoBatch(context.Background(), Request{}, []int{2, 5, 8, 11})
+	if err != nil {
+		t.Fatalf("DoBatch: %v", err)
+	}
+	for i, r := range resps {
+		// Four leaders on four idle workers: the reservation is capped at the
+		// leader count, not one query's chunk count, and the fan-out engages.
+		if got := r.Result.Stats.Parallelism; got != 4 {
+			t.Fatalf("entry %d: Stats.Parallelism = %d, want 4", i, got)
+		}
+	}
+	st := e.Stats()
+	if st.ParallelQueries != 1 {
+		t.Fatalf("ParallelQueries = %d, want 1 (one fused computation)", st.ParallelQueries)
+	}
+	if st.ChunksExecuted == 0 || st.ChunksExecuted != st.ChunksMerged {
+		t.Fatalf("chunk counters executed=%d merged=%d", st.ChunksExecuted, st.ChunksMerged)
+	}
+
+	// A hot swap folds the outgoing generation's counters into the bases, so
+	// the totals stay monotonic.
+	if err := e.Swap(parallelEngineIndex(t), nil); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if _, err := e.Query(context.Background(), 3); err != nil {
+		t.Fatalf("post-swap query: %v", err)
+	}
+	st2 := e.Stats()
+	if st2.ChunksExecuted <= st.ChunksExecuted || st2.ChunksExecuted != st2.ChunksMerged {
+		t.Fatalf("post-swap counters executed %d -> %d, merged %d",
+			st.ChunksExecuted, st2.ChunksExecuted, st2.ChunksMerged)
+	}
+}
+
 // TestParallelReservationNeverStarves pins the borrow-only slot discipline:
 // a query asking for more parallelism than the pool has idle capacity gets
 // exactly the idle slots (never queueing its chunks behind other requests),
