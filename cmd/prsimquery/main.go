@@ -12,6 +12,8 @@
 //	prsimquery -loadindex idx.prsim -source 3               # self-contained v3
 //	prsimquery -loadindex idx.prsim -source 3 -epsilon 0.4  # faster, coarser
 //	prsimquery -graph graph.txt -algorithm ProbeSim -source 3
+//	prsimquery -server http://localhost:8080 -source 3      # query a prsimserve
+//	prsimquery -server http://localhost:8080 -graphname web -class batch -source 3
 //
 // When an index is loaded (-loadindex), -epsilon becomes a per-request
 // accuracy target threaded through the request plane: larger values answer
@@ -21,10 +23,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"prsim"
@@ -50,6 +56,9 @@ func main() {
 		loadIndex = flag.String("loadindex", "", "load a previously saved index instead of building one")
 		useMmap   = flag.Bool("mmap", false, "open -loadindex as a zero-copy mmap snapshot")
 		algorithm = flag.String("algorithm", "PRSim", "algorithm to use (PRSim, SLING, ProbeSim, READS, TSF, TopSim, MonteCarlo)")
+		server    = flag.String("server", "", "query a running prsimserve over its /v1 HTTP API instead of loading anything locally (base URL, e.g. http://localhost:8080)")
+		graphName = flag.String("graphname", "", "with -server, the mounted graph to query (empty = the server's default graph)")
+		class     = flag.String("class", "", "with -server, the admission class: interactive (default) or batch")
 	)
 	flag.Parse()
 
@@ -69,6 +78,7 @@ func main() {
 		decay: *decay, seed: *seed, scale: *scale, source: *source, topK: *topK,
 		saveIndex: *saveIndex, loadIndex: *loadIndex, timeout: *timeout,
 		mmap: *useMmap, algorithm: *algorithm,
+		server: *server, graphName: *graphName, class: *class,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "prsimquery: %v\n", err)
 		os.Exit(1)
@@ -89,9 +99,13 @@ type config struct {
 	timeout                      time.Duration
 	mmap                         bool
 	algorithm                    string
+	server, graphName, class     string
 }
 
 func run(cfg config) error {
+	if cfg.server != "" {
+		return runRemote(cfg)
+	}
 	// A self-contained v3 snapshot carries its own graph: with -loadindex and
 	// no graph source, both come out of the one file.
 	selfContained := cfg.loadIndex != "" && cfg.graphPath == "" && cfg.dataset == "" && cfg.generate == "" &&
@@ -185,6 +199,85 @@ func run(cfg config) error {
 	fmt.Printf("query from node %d took %.4fs (%d walks, %d backward-walk increments, %d index reads)\n",
 		cfg.source, stats.Seconds, stats.Walks, stats.BackwardWalkCost, stats.IndexEntriesRead)
 	printTop(res.TopK(cfg.topK))
+	return nil
+}
+
+// runRemote answers the query over a prsimserve's versioned HTTP API: POST
+// /v1/graphs/{name}/topk with the request-plane knobs in the JSON body. A
+// 429 shed is reported with the server's telemetry-derived Retry-After hint
+// so scripted callers know when to come back.
+func runRemote(cfg config) error {
+	if cfg.source < 0 {
+		return fmt.Errorf("-server mode needs -source (the server's index is already built)")
+	}
+	name := cfg.graphName
+	if name == "" {
+		name = prsim.DefaultGraph
+	}
+	body := map[string]any{"u": cfg.source, "k": cfg.topK}
+	if cfg.epsilonSet {
+		body["epsilon"] = cfg.epsilon
+	}
+	if cfg.class != "" {
+		body["class"] = cfg.class
+	}
+	if cfg.timeout > 0 {
+		body["timeout_ms"] = cfg.timeout.Milliseconds()
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(cfg.server, "/") + "/v1/graphs/" + name + "/topk"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error struct {
+				Code         string `json:"code"`
+				Message      string `json:"message"`
+				RetryAfterMS int64  `json:"retry_after_ms"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+			return fmt.Errorf("server returned %s", resp.Status)
+		}
+		if envelope.Error.RetryAfterMS > 0 {
+			return fmt.Errorf("server returned %s (%s): %s; retry after %dms",
+				resp.Status, envelope.Error.Code, envelope.Error.Message, envelope.Error.RetryAfterMS)
+		}
+		return fmt.Errorf("server returned %s (%s): %s", resp.Status, envelope.Error.Code, envelope.Error.Message)
+	}
+	var out struct {
+		Source  int     `json:"source"`
+		Epsilon float64 `json:"epsilon"`
+		Clamped bool    `json:"epsilon_clamped"`
+		Cached  bool    `json:"cached"`
+		Top     []struct {
+			Node  int     `json:"node"`
+			Label string  `json:"label"`
+			Score float64 `json:"score"`
+		} `json:"top"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("decoding server response: %v", err)
+	}
+	if out.Clamped {
+		fmt.Printf("note: requested epsilon %g is below the index's build epsilon; clamped to %g\n",
+			cfg.epsilon, out.Epsilon)
+	}
+	fmt.Printf("remote query from node %d on graph %q (epsilon %g, cached %v)\n",
+		out.Source, name, out.Epsilon, out.Cached)
+	for rank, s := range out.Top {
+		label := s.Label
+		if label == "" {
+			label = fmt.Sprint(s.Node)
+		}
+		fmt.Printf("%3d. node %-8s s = %.5f\n", rank+1, label, s.Score)
+	}
 	return nil
 }
 

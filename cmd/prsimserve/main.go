@@ -1,65 +1,58 @@
-// Command prsimserve serves PRSim single-source SimRank queries over HTTP
-// with JSON responses. It loads a graph and (preferably) a previously saved
-// index at startup, then answers query traffic through the concurrent engine:
-// a bounded worker pool with an optional LRU result cache.
-//
-// Usage:
+// Command prsimserve is a multi-graph HTTP serving tier for PRSim
+// single-source SimRank queries. It mounts one or more logical graphs —
+// snapshot files, or an index built at startup — into a registry and serves
+// them through a versioned, graph-scoped JSON API:
 //
 //	prsimquery -graph graph.txt -saveindex idx.prsim          # build once
 //	prsimserve -loadindex idx.prsim -addr :8080               # self-contained v3
-//	prsimserve -loadindex idx.prsim -watch 2s                 # hot reload on change
+//	prsimserve -loadindex idx.prsim -shards 4 -watch 2s       # sharded + hot reload
 //	prsimserve -graph graph.txt -loadindex idx.prsim -mmap    # v1/v2, zero-copy
 //	prsimserve -dataset DB -epsilon 0.1                       # build at startup
 //
-// A self-contained v3 snapshot needs no -graph flag: the graph's CSR
-// adjacency (and label table) are embedded in the file and mapped zero-copy
-// alongside the index. With -mmap the saved index is memory-mapped instead of
-// parsed: startup cost is independent of index size and concurrent server
-// processes mapping the same file share one page cache. /stats reports the
-// backing mode of both index and graph.
+// The boot-time graph mounts under the name "default"; further graphs mount
+// and unmount at runtime through the admin endpoints. Each graph is served
+// by -shards engine shards sharing one zero-copy snapshot mapping: sources
+// hash to shards (stable splitmix64), single-source queries route
+// point-to-point, batches and multi-source top-k scatter-gather with a
+// deterministic merge — answers are bit-identical to a single-engine run at
+// any shard count.
 //
-// Hot reload: with -watch the snapshot file's mtime is polled and a change
-// atomically swaps in the re-opened snapshot without dropping in-flight
-// requests (the old mapping is unmapped only after they drain). The result
-// cache is invalidated on swap unless the new snapshot serves an identical
-// graph with identical options, in which case cached results are kept warm
-// across the reload. POST /reload triggers the same swap on demand. /stats
-// reports the snapshot generation, which increments per swap. With
-// -verifyevery the snapshot's CRC-32C is re-verified in the background on a
-// timer; the last verification outcome is logged and exposed in /stats. A
-// failed verification triggers an automatic rollback: the snapshot path is
-// re-opened and swapped in only if the fresh mapping verifies clean, else the
-// server keeps serving the last-good generation (verify.rolled_back in /stats
-// counts successful rollbacks).
+// Admission control is deadline-aware and two-class: interactive requests
+// (the default) are dispatched ahead of queued batch-class work, each class
+// has its own bounded queue (-maxqueue, per class), and a request whose
+// timeout_ms provably cannot be met — predicted queue wait from observed
+// per-class service times exceeds the deadline — is shed immediately with
+// 429 and a telemetry-derived Retry-After instead of timing out in line.
 //
-// Request plane: every query endpoint accepts the same per-request knobs —
-// epsilon (accuracy/latency trade, clamped up to the index's build epsilon),
-// k (top-k selection), timeout_ms (per-request deadline, capped by -timeout),
-// no_cache, and parallelism (intra-query walk-chunk fan-out; 0 inherits the
-// -parallel server default, which itself defaults to auto = borrow idle
-// workers) — as URL parameters on GET (the last as ?parallel=N) or as a JSON
-// body on POST:
+// Endpoints (see README for the full reference):
 //
-//	POST /query {"u": 3, "epsilon": 0.4, "timeout_ms": 500}
-//	POST /query {"sources": [1, 2, 3], "epsilon": 0.4, "limit": 10}
-//	POST /topk  {"u": 3, "k": 20, "no_cache": true}
+//	GET/POST /v1/graphs/{name}/query    single-source / batch query
+//	GET/POST /v1/graphs/{name}/topk     top-k (multi-source merges globally)
+//	GET  /v1/graphs/{name}/pair         single-pair SimRank s(u, v)
+//	GET  /v1/graphs/{name}/stats        per-graph engine/shard statistics
+//	POST /v1/graphs/{name}/reload       re-open backing, swap without drops
+//	GET  /v1/graphs                     list mounted graphs
+//	PUT  /v1/graphs/{name}              mount a snapshot
+//	DELETE /v1/graphs/{name}            unmount
+//	GET  /v1/stats                      server-wide statistics
+//	GET  /healthz, /v1/healthz          liveness probe
 //
-// Responses echo the effective epsilon (and whether it was clamped). When the
-// engine's bounded admission queue (-maxqueue) is full, requests are shed
-// with 429 Too Many Requests and a Retry-After header instead of piling up.
+// Every query endpoint accepts the same per-request knobs — epsilon, k,
+// limit, timeout_ms, no_cache, parallelism, class ("interactive" or
+// "batch"), graph (body/param alternative to the path) — as URL parameters
+// on GET or a JSON body on POST. Errors share one envelope:
+// {"error":{"code":..., "message":..., "retry_after_ms":...}}.
 //
-// Endpoints:
+// The pre-/v1 routes (/query, /topk, /pair, /reload, /stats) remain as
+// aliases for the default graph; they answer with a Deprecation header and a
+// Link to their successor. New clients should use /v1.
 //
-//	GET  /query?u=3           single-source query (repeat u for a batch;
-//	                          ?limit=N caps the nodes returned per source;
-//	                          &epsilon=0.4&timeout_ms=500&nocache=1)
-//	POST /query               same, JSON body (see above)
-//	GET  /topk?u=3&k=20       k most similar nodes to u
-//	POST /topk                same, JSON body
-//	GET  /pair?u=3&v=5        single-pair SimRank s(u, v)
-//	POST /reload              re-open the snapshot and swap it in
-//	GET  /healthz             liveness probe
-//	GET  /stats               graph, index, engine and verify statistics
+// Hot reload: with -watch the default graph's snapshot file is polled and a
+// change swaps in the re-opened snapshot on every shard without dropping
+// in-flight requests; POST /v1/graphs/default/reload triggers the same swap
+// on demand. With -verifyevery the serving snapshot's CRC-32C is re-verified
+// in the background, and a failed verification triggers an automatic
+// rollback to a freshly verified re-open of the snapshot path.
 package main
 
 import (
@@ -69,10 +62,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -92,10 +87,11 @@ func main() {
 	flag.Float64Var(&cfg.scale, "samplescale", 1.0, "Monte Carlo sample scale (1.0 = paper constants)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.IntVar(&cfg.maxLevels, "maxlevels", 0, "cap on walk levels (0 = default 64)")
-	flag.IntVar(&cfg.workers, "workers", 0, "concurrent query workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shards, "shards", 1, "engine shards per graph: independent worker pools and caches over one shared snapshot mapping (answers are bit-identical at any shard count)")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent query workers per shard (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "default intra-query parallelism hint: walk chunks per query may run on up to this many workers (0 = auto: borrow idle workers; 1 = serial)")
-	flag.IntVar(&cfg.cacheSize, "cache", 1024, "LRU result cache size (0 disables)")
-	flag.IntVar(&cfg.maxQueue, "maxqueue", 0, "admission queue bound before requests are shed with 429 (0 = max(32, 4*workers), negative = unbounded)")
+	flag.IntVar(&cfg.cacheSize, "cache", 1024, "per-shard LRU result cache size (0 disables)")
+	flag.IntVar(&cfg.maxQueue, "maxqueue", 0, "per-class admission queue bound before requests are shed with 429 (0 = max(32, 4*workers), negative = unbounded)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline ceiling (timeout_ms may only shorten it)")
 	flag.DurationVar(&cfg.verifyEvery, "verifyevery", 0, "re-verify the snapshot checksum in the background at this interval (0 disables)")
@@ -106,10 +102,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prsimserve: %v\n", err)
 		os.Exit(1)
 	}
-	idx := srv.eng.Current()
-	log.Printf("prsimserve: graph %d nodes / %d edges (%s-backed), %d hubs (%s-backed, ready in %s), %d workers, listening on %s",
-		idx.Graph().NumNodes(), idx.Graph().NumEdges(), idx.GraphBacking(), idx.NumHubs(),
-		idx.Backing(), srv.loadTime.Round(time.Millisecond), srv.eng.Workers(), cfg.addr)
+	idx := srv.def.Current()
+	log.Printf("prsimserve: graph %q %d nodes / %d edges (%s-backed), %d hubs (%s-backed, ready in %s), %d shards x %d workers, listening on %s",
+		prsim.DefaultGraph, idx.Graph().NumNodes(), idx.Graph().NumEdges(), idx.GraphBacking(), idx.NumHubs(),
+		idx.Backing(), srv.loadTime.Round(time.Millisecond), srv.def.NumShards(),
+		srv.def.StatsAggregate().Workers/srv.def.NumShards(), cfg.addr)
 	if cfg.watch > 0 {
 		go srv.watch(cfg.watch)
 		log.Printf("prsimserve: watching %s every %s for hot reload", cfg.loadIndex, cfg.watch)
@@ -144,6 +141,7 @@ type config struct {
 	scale              float64
 	seed               uint64
 	maxLevels          int
+	shards             int
 	workers, cacheSize int
 	parallel           int
 	maxQueue           int
@@ -151,18 +149,23 @@ type config struct {
 	timeout            time.Duration
 }
 
-// server holds the engine serving the (swappable) index; its handler is
-// separable from the listener so tests can drive it through httptest.
+// server wires the multi-graph registry to the HTTP surface; its handler is
+// separable from the listener so tests can drive it through httptest. The
+// watch/verify/rollback machinery applies to the default graph (the one
+// whose snapshot file the flags name); runtime-mounted graphs reload on
+// demand through the admin API.
 type server struct {
 	cfg      config
 	g        *prsim.Graph // startup graph; nil when serving a self-contained snapshot
-	eng      *prsim.Engine
+	reg      *prsim.Registry
+	def      *prsim.Served // the default graph's serving handle
 	start    time.Time
 	timeout  time.Duration
 	loadTime time.Duration // time to load/build the index at startup
 
-	// reloadMu serializes reloads (manual and watcher-triggered); queries
-	// never take it. The fields below it record the last successful load.
+	// reloadMu serializes default-graph reloads (manual and
+	// watcher-triggered); queries never take it. The fields below it record
+	// the last successful load.
 	reloadMu     sync.Mutex
 	lastLoadTime time.Duration
 	lastLoadAt   time.Time
@@ -183,8 +186,8 @@ type server struct {
 	stop chan struct{}
 }
 
-// buildServer loads the graph (unless the snapshot is self-contained), loads
-// or builds the index, and wires up the engine.
+// buildServer loads the graph (unless the snapshot is self-contained) and
+// mounts the boot-time index under the default graph name.
 func buildServer(cfg config) (*server, error) {
 	var g *prsim.Graph
 	var err error
@@ -204,32 +207,42 @@ func buildServer(cfg config) (*server, error) {
 	if cfg.watch > 0 && cfg.loadIndex == "" {
 		return nil, fmt.Errorf("-watch requires -loadindex (a snapshot file to watch)")
 	}
+	if cfg.mmap && cfg.loadIndex == "" {
+		return nil, fmt.Errorf("-mmap requires -loadindex (a saved snapshot file to map)")
+	}
 
 	// Capture the snapshot file's identity before opening it, mirroring
 	// reload(): a file republished mid-open must trip the watcher later.
 	startMod, startSize := statWatched(cfg.loadIndex)
 	loadStart := time.Now()
-	idx, err := openIndex(cfg, g)
+	reg := prsim.NewRegistry()
+	def, err := reg.MountOpener(prsim.DefaultGraph, cfg.graphConfig(), func() (*prsim.Index, error) {
+		return openIndex(cfg, g)
+	})
 	if err != nil {
 		return nil, err
 	}
 	loadTime := time.Since(loadStart)
-	eng, err := prsim.NewEngine(idx, prsim.EngineOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize, MaxQueue: cfg.maxQueue})
-	if err != nil {
-		return nil, err
-	}
 	timeout := cfg.timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
 	s := &server{
-		cfg: cfg, g: g, eng: eng,
+		cfg: cfg, g: g, reg: reg, def: def,
 		start: time.Now(), timeout: timeout,
 		loadTime: loadTime, lastLoadTime: loadTime, lastLoadAt: time.Now(),
 		stop: make(chan struct{}),
 	}
 	s.watchedMod, s.watchedSize = startMod, startSize
 	return s, nil
+}
+
+// graphConfig derives the default graph's serving shape from the flags.
+func (c config) graphConfig() prsim.GraphConfig {
+	return prsim.GraphConfig{
+		Shards: c.shards,
+		Engine: prsim.EngineOptions{Workers: c.workers, CacheSize: c.cacheSize, MaxQueue: c.maxQueue},
+	}
 }
 
 // openIndex loads, maps, or builds the index per the configuration. g may be
@@ -250,8 +263,6 @@ func openIndex(cfg config, g *prsim.Graph) (*prsim.Index, error) {
 		return idx, err
 	case cfg.loadIndex != "":
 		return prsim.LoadIndexFile(cfg.loadIndex, g)
-	case cfg.mmap:
-		return nil, fmt.Errorf("-mmap requires -loadindex (a saved snapshot file to map)")
 	default:
 		return prsim.BuildIndex(g, prsim.Options{
 			Decay: cfg.decay, Epsilon: cfg.epsilon, Seed: cfg.seed,
@@ -269,11 +280,11 @@ type reloadInfo struct {
 	graphBacking string
 }
 
-// reload re-opens the snapshot file and hot-swaps it into the engine: new
-// queries see the new index immediately, in-flight queries finish on the old
-// one, the old mapping is released once they drain, and the result cache is
-// invalidated (generation-keyed). Reloads are serialized; queries are never
-// blocked by one.
+// reload re-opens the default graph's snapshot file and hot-swaps it onto
+// every shard: new queries see the new index immediately, in-flight queries
+// finish on the old one, the old mapping is released once they drain, and
+// per-shard result caches are invalidated (generation-keyed). Reloads are
+// serialized; queries are never blocked by one.
 func (s *server) reload() (reloadInfo, error) {
 	if s.cfg.loadIndex == "" {
 		return reloadInfo{}, fmt.Errorf("no -loadindex snapshot to reload (index was built at startup)")
@@ -285,24 +296,15 @@ func (s *server) reload() (reloadInfo, error) {
 	// next watch tick, or the watcher would serve the stale one forever.
 	preMod, preSize := statWatched(s.cfg.loadIndex)
 	loadStart := time.Now()
-	idx, err := openIndex(s.cfg, s.g)
-	if err != nil {
+	if err := s.def.Reload(nil); err != nil {
 		return reloadInfo{}, fmt.Errorf("reload: %w", err)
 	}
-	old, err := s.eng.Swap(idx)
-	if err != nil {
-		idx.Close()
-		return reloadInfo{}, fmt.Errorf("reload: %w", err)
-	}
+	idx := s.def.Current()
 	s.lastLoadTime = time.Since(loadStart)
 	s.lastLoadAt = time.Now()
 	s.watchedMod, s.watchedSize = preMod, preSize
-	// The old snapshot's unmap waits for drained queries via its refcount.
-	if err := old.Close(); err != nil {
-		log.Printf("prsimserve: closing swapped-out snapshot: %v", err)
-	}
 	info := reloadInfo{
-		generation:   s.eng.Generation(),
+		generation:   s.def.Generation(),
 		loadTime:     s.lastLoadTime,
 		backing:      idx.Backing(),
 		graphBacking: idx.GraphBacking(),
@@ -323,8 +325,8 @@ func (s *server) reload() (reloadInfo, error) {
 // swapped-out snapshot; that is recorded like any other outcome and the next
 // tick verifies the new generation.
 func (s *server) verifySnapshot() {
-	idx := s.eng.Current()
-	gen := s.eng.Generation()
+	idx := s.def.Current()
+	gen := s.def.Generation()
 	start := time.Now()
 	err := idx.Verify()
 	dur := time.Since(start)
@@ -351,7 +353,7 @@ func (s *server) verifySnapshot() {
 	s.rolledBack++
 	s.verifyMu.Unlock()
 	log.Printf("prsimserve: rolled back to freshly verified snapshot of %s (generation %d)",
-		s.cfg.loadIndex, s.eng.Generation())
+		s.cfg.loadIndex, s.def.Generation())
 }
 
 // rollback is the recovery half of verifySnapshot: re-open the snapshot path
@@ -365,25 +367,12 @@ func (s *server) rollback() error {
 	defer s.reloadMu.Unlock()
 	preMod, preSize := statWatched(s.cfg.loadIndex)
 	loadStart := time.Now()
-	idx, err := openIndex(s.cfg, s.g)
-	if err != nil {
-		return fmt.Errorf("re-open: %w", err)
-	}
-	if err := idx.Verify(); err != nil {
-		idx.Close()
-		return fmt.Errorf("re-opened snapshot still corrupt: %w", err)
-	}
-	old, err := s.eng.Swap(idx)
-	if err != nil {
-		idx.Close()
+	if err := s.def.Reload(func(idx *prsim.Index) error { return idx.Verify() }); err != nil {
 		return err
 	}
 	s.lastLoadTime = time.Since(loadStart)
 	s.lastLoadAt = time.Now()
 	s.watchedMod, s.watchedSize = preMod, preSize
-	if err := old.Close(); err != nil {
-		log.Printf("prsimserve: closing rolled-back snapshot: %v", err)
-	}
 	return nil
 }
 
@@ -454,26 +443,101 @@ func (s *server) watch(every time.Duration) {
 	}
 }
 
-// handler builds the route table. Per-request deadlines come from requestCtx
-// (every query path is context-cancellable), so timed-out requests get the
-// same JSON error contract as every other failure.
+// route is one entry of the declarative route table. successor, when set,
+// marks a legacy route: responses carry a Deprecation header and a Link to
+// the /v1 replacement. The table — not just the mux — is the HTTP surface
+// contract, pinned by the API-surface snapshot test.
+type route struct {
+	pattern   string
+	handler   http.HandlerFunc
+	successor string
+}
+
+// routes returns the full route table: the /v1 graph-scoped surface, the
+// admin plane, and the deprecated unversioned aliases for the default graph.
+func (s *server) routes() []route {
+	return []route{
+		// v1 query plane (graph-scoped).
+		{pattern: "GET /v1/graphs/{graph}/query", handler: s.handleQuery},
+		{pattern: "POST /v1/graphs/{graph}/query", handler: s.handleQuery},
+		{pattern: "GET /v1/graphs/{graph}/topk", handler: s.handleTopK},
+		{pattern: "POST /v1/graphs/{graph}/topk", handler: s.handleTopK},
+		{pattern: "GET /v1/graphs/{graph}/pair", handler: s.handlePair},
+		{pattern: "GET /v1/graphs/{graph}/stats", handler: s.handleGraphStats},
+		// v1 admin plane.
+		{pattern: "POST /v1/graphs/{graph}/reload", handler: s.handleReload},
+		{pattern: "GET /v1/graphs", handler: s.handleGraphList},
+		{pattern: "PUT /v1/graphs/{graph}", handler: s.handleMount},
+		{pattern: "DELETE /v1/graphs/{graph}", handler: s.handleUnmount},
+		{pattern: "GET /v1/stats", handler: s.handleServerStats},
+		{pattern: "GET /v1/healthz", handler: s.handleHealthz},
+		// Legacy unversioned aliases: the default graph's endpoints under
+		// their pre-/v1 paths, answered with a deprecation notice.
+		{pattern: "GET /query", handler: s.handleQuery, successor: "/v1/graphs/default/query"},
+		{pattern: "POST /query", handler: s.handleQuery, successor: "/v1/graphs/default/query"},
+		{pattern: "GET /topk", handler: s.handleTopK, successor: "/v1/graphs/default/topk"},
+		{pattern: "POST /topk", handler: s.handleTopK, successor: "/v1/graphs/default/topk"},
+		{pattern: "GET /pair", handler: s.handlePair, successor: "/v1/graphs/default/pair"},
+		{pattern: "POST /reload", handler: s.handleReload, successor: "/v1/graphs/default/reload"},
+		{pattern: "GET /stats", handler: s.handleGraphStats, successor: "/v1/graphs/default/stats"},
+		{pattern: "GET /healthz", handler: s.handleHealthz},
+	}
+}
+
+// handler builds the mux from the route table, wrapping deprecated routes
+// with RFC 8594-style headers so clients can discover the migration without
+// breaking.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("GET /topk", s.handleTopK)
-	mux.HandleFunc("POST /topk", s.handleTopK)
-	mux.HandleFunc("GET /pair", s.handlePair)
-	mux.HandleFunc("POST /reload", s.handleReload)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	for _, rt := range s.routes() {
+		h := rt.handler
+		if rt.successor != "" {
+			succ := rt.successor
+			inner := h
+			h = func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", succ))
+				inner(w, r)
+			}
+		}
+		mux.HandleFunc(rt.pattern, h)
+	}
 	return mux
+}
+
+// servedFor resolves the logical graph a request addresses: the {graph} path
+// segment when present (the /v1 surface), else the request's graph knob
+// (JSON body or URL parameter), else the default graph. A body graph that
+// contradicts the path is a client error. On failure the error response has
+// already been written.
+func (s *server) servedFor(w http.ResponseWriter, r *http.Request, apiGraph string) (*prsim.Served, string, bool) {
+	name := r.PathValue("graph")
+	if apiGraph != "" {
+		if name != "" && name != apiGraph {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument,
+				fmt.Sprintf("graph %q in request body contradicts graph %q in path", apiGraph, name))
+			return nil, "", false
+		}
+		if name == "" {
+			name = apiGraph
+		}
+	}
+	if name == "" {
+		name = prsim.DefaultGraph
+	}
+	sv, err := s.reg.Get(name)
+	if err != nil {
+		writeQueryError(w, err)
+		return nil, "", false
+	}
+	return sv, name, true
 }
 
 // apiRequest is the decoded request-plane parameter bundle shared by /query
 // and /topk: one parse point regardless of transport (GET URL parameters or
 // POST JSON body), feeding one prsim.Request.
 type apiRequest struct {
+	graph    string
 	sources  []int
 	epsilon  float64
 	k        int
@@ -482,10 +546,12 @@ type apiRequest struct {
 	timeout  time.Duration
 	noCache  bool
 	parallel int
+	class    prsim.Class
 }
 
 // requestBodyJSON is the POST body shape of /query and /topk.
 type requestBodyJSON struct {
+	Graph       string  `json:"graph"`
 	U           *int    `json:"u"`
 	Sources     []int   `json:"sources"`
 	Epsilon     float64 `json:"epsilon"`
@@ -494,6 +560,7 @@ type requestBodyJSON struct {
 	TimeoutMS   int64   `json:"timeout_ms"`
 	NoCache     bool    `json:"no_cache"`
 	Parallelism int     `json:"parallelism"`
+	Class       string  `json:"class"`
 }
 
 // parseAPIRequest decodes the request-plane knobs from either transport.
@@ -506,6 +573,7 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 		if err := dec.Decode(&body); err != nil {
 			return req, fmt.Errorf("invalid JSON body: %v", err)
 		}
+		req.graph = body.Graph
 		if body.U != nil {
 			req.sources = append(req.sources, *body.U)
 		}
@@ -518,9 +586,15 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 		req.timeout = time.Duration(body.TimeoutMS) * time.Millisecond
 		req.noCache = body.NoCache
 		req.parallel = body.Parallelism
+		class, err := prsim.ParseClass(body.Class)
+		if err != nil {
+			return req, err
+		}
+		req.class = class
 		return req, nil
 	}
 	q := r.URL.Query()
+	req.graph = q.Get("graph")
 	sources, err := intParams(q["u"])
 	if err != nil {
 		return req, fmt.Errorf("u must be an integer")
@@ -554,6 +628,9 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 	if req.parallel, err = intParam(q.Get("parallel"), 0); err != nil {
 		return req, fmt.Errorf("parallel must be an integer")
 	}
+	if req.class, err = prsim.ParseClass(q.Get("class")); err != nil {
+		return req, err
+	}
 	return req, nil
 }
 
@@ -567,6 +644,16 @@ func (s *server) effectiveParallel(req apiRequest) int {
 		return req.parallel
 	}
 	return s.cfg.parallel
+}
+
+// baseRequest lowers the decoded knobs into the library request bundle.
+func (s *server) baseRequest(api apiRequest) prsim.Request {
+	return prsim.Request{
+		Epsilon:     api.epsilon,
+		NoCache:     api.noCache,
+		Parallelism: s.effectiveParallel(api),
+		Class:       api.class,
+	}
 }
 
 // scoredNodeJSON is one (node, score) pair in a response.
@@ -589,20 +676,24 @@ type queryResultJSON struct {
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	api, err := parseAPIRequest(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	sv, _, ok := s.servedFor(w, r, api.graph)
+	if !ok {
 		return
 	}
 	if len(api.sources) == 0 {
-		writeError(w, http.StatusBadRequest, "at least one source is required (u parameter or JSON u/sources)")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "at least one source is required (u parameter or JSON u/sources)")
 		return
 	}
 	if api.limit < 0 {
-		writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "limit must be a non-negative integer")
 		return
 	}
 	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	resps, err := s.eng.DoBatch(ctx, prsim.Request{Epsilon: api.epsilon, NoCache: api.noCache, Parallelism: s.effectiveParallel(api)}, api.sources)
+	resps, err := sv.DoBatch(ctx, s.baseRequest(api), api.sources)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -655,38 +746,68 @@ func renderResult(res *prsim.Result, limit int) queryResultJSON {
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	api, err := parseAPIRequest(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
 		return
 	}
-	if len(api.sources) != 1 || api.sources[0] < 0 {
-		writeError(w, http.StatusBadRequest, "exactly one non-negative source is required (u parameter or JSON u)")
+	sv, _, ok := s.servedFor(w, r, api.graph)
+	if !ok {
 		return
 	}
-	u := api.sources[0]
+	if len(api.sources) == 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "at least one non-negative source is required (u parameter or JSON u/sources)")
+		return
+	}
+	for _, u := range api.sources {
+		if u < 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "sources must be non-negative")
+			return
+		}
+	}
 	k := 20
 	if api.kSet {
 		k = api.k
 	}
 	if k <= 0 {
-		writeError(w, http.StatusBadRequest, "k must be a positive integer")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "k must be a positive integer")
 		return
 	}
 	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	resp, err := s.eng.Do(ctx, prsim.Request{Source: u, Epsilon: api.epsilon, K: k, NoCache: api.noCache, Parallelism: s.effectiveParallel(api)})
+	if len(api.sources) > 1 {
+		// Multi-source: per-source top-k on the owning shards, merged into
+		// one global selection (max score per node, deterministic order).
+		top, err := sv.TopKMerged(ctx, s.baseRequest(api), api.sources, k)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"sources": api.sources, "k": k, "top": renderScored(top),
+		})
+		return
+	}
+	u := api.sources[0]
+	base := s.baseRequest(api)
+	base.Source = u
+	base.K = k
+	resp, err := sv.Do(ctx, base)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	nodes := make([]scoredNodeJSON, len(resp.Top))
-	for i, t := range resp.Top {
-		nodes[i] = scoredNodeJSON{Node: t.Node, Label: t.Label, Score: t.Score}
-	}
 	writeJSON(w, map[string]any{
-		"source": u, "k": k, "top": nodes,
+		"source": u, "k": k, "top": renderScored(resp.Top),
 		"epsilon": resp.Epsilon, "epsilon_clamped": resp.Clamped,
 		"cached": resp.CacheHit, "coalesced": resp.Coalesced,
 	})
+}
+
+func renderScored(top []prsim.ScoredNode) []scoredNodeJSON {
+	nodes := make([]scoredNodeJSON, len(top))
+	for i, t := range top {
+		nodes[i] = scoredNodeJSON{Node: t.Node, Label: t.Label, Score: t.Score}
+	}
+	return nodes
 }
 
 func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -694,12 +815,16 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 	u, errU := intParam(q.Get("u"), -1)
 	v, errV := intParam(q.Get("v"), -1)
 	if errU != nil || errV != nil || u < 0 || v < 0 {
-		writeError(w, http.StatusBadRequest, "integer u and v parameters are required")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "integer u and v parameters are required")
+		return
+	}
+	sv, _, ok := s.servedFor(w, r, q.Get("graph"))
+	if !ok {
 		return
 	}
 	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-	score, err := s.eng.Pair(ctx, u, v)
+	score, err := sv.Pair(ctx, u, v)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -708,55 +833,180 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.loadIndex == "" {
-		writeError(w, http.StatusConflict, "no -loadindex snapshot to reload (index was built at startup)")
+	name := r.PathValue("graph")
+	if name == "" {
+		name = prsim.DefaultGraph
+	}
+	if name == prsim.DefaultGraph {
+		// The default graph reloads through the watcher's bookkeeping (file
+		// identity, load timing) and requires an on-disk snapshot.
+		if s.cfg.loadIndex == "" {
+			writeError(w, http.StatusConflict, codeConflict, "no -loadindex snapshot to reload (index was built at startup)")
+			return
+		}
+		info, err := s.reload()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{
+			"status":        "reloaded",
+			"graph":         name,
+			"generation":    info.generation,
+			"backing":       info.backing,
+			"graph_backing": info.graphBacking,
+			"load_seconds":  info.loadTime.Seconds(),
+		})
 		return
 	}
-	info, err := s.reload()
+	sv, err := s.reg.Get(name)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeQueryError(w, err)
 		return
 	}
+	loadStart := time.Now()
+	if err := sv.Reload(nil); err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	idx := sv.Current()
 	writeJSON(w, map[string]any{
 		"status":        "reloaded",
-		"generation":    info.generation,
-		"backing":       info.backing,
-		"graph_backing": info.graphBacking,
-		"load_seconds":  info.loadTime.Seconds(),
+		"graph":         name,
+		"generation":    sv.Generation(),
+		"backing":       idx.Backing(),
+		"graph_backing": idx.GraphBacking(),
+		"load_seconds":  time.Since(loadStart).Seconds(),
 	})
+}
+
+// mountBodyJSON is the PUT /v1/graphs/{name} body: the snapshot file to
+// serve and the graph's serving shape (defaults follow the server flags).
+type mountBodyJSON struct {
+	Snapshot string `json:"snapshot"`
+	Shards   int    `json:"shards"`
+	Workers  int    `json:"workers"`
+	Cache    *int   `json:"cache"`
+	MaxQueue *int   `json:"max_queue"`
+}
+
+func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("graph")
+	if !validGraphName(name) {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument,
+			"graph names are 1-64 characters of [a-zA-Z0-9._-]")
+		return
+	}
+	var body mountBodyJSON
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Sprintf("invalid JSON body: %v", err))
+		return
+	}
+	if body.Snapshot == "" {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "snapshot (a self-contained snapshot file path) is required")
+		return
+	}
+	cfg := prsim.GraphConfig{
+		Shards: body.Shards,
+		Engine: prsim.EngineOptions{
+			Workers:   body.Workers,
+			CacheSize: s.cfg.cacheSize,
+			MaxQueue:  s.cfg.maxQueue,
+		},
+	}
+	if body.Cache != nil {
+		cfg.Engine.CacheSize = *body.Cache
+	}
+	if body.MaxQueue != nil {
+		cfg.Engine.MaxQueue = *body.MaxQueue
+	}
+	sv, err := s.reg.MountSnapshot(name, body.Snapshot, cfg)
+	if err != nil {
+		status, code := http.StatusInternalServerError, codeInternal
+		if strings.Contains(err.Error(), "already mounted") {
+			status, code = http.StatusConflict, codeConflict
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	idx := sv.Current()
+	log.Printf("prsimserve: mounted graph %q from %s (%d nodes, %d shards)",
+		name, body.Snapshot, idx.Graph().NumNodes(), sv.NumShards())
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{
+		"status": "mounted",
+		"graph":  name,
+		"shards": sv.NumShards(),
+		"nodes":  idx.Graph().NumNodes(),
+		"edges":  idx.Graph().NumEdges(),
+	})
+}
+
+func (s *server) handleUnmount(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("graph")
+	if name == prsim.DefaultGraph {
+		writeError(w, http.StatusConflict, codeConflict,
+			"the default graph cannot be unmounted (the watch/verify loops serve it)")
+		return
+	}
+	if err := s.reg.Unmount(name); err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	log.Printf("prsimserve: unmounted graph %q", name)
+	writeJSON(w, map[string]any{"status": "unmounted", "graph": name})
+}
+
+func (s *server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	graphs := make([]map[string]any, 0, len(names))
+	for _, name := range names {
+		sv, err := s.reg.Get(name)
+		if err != nil {
+			continue // unmounted between Names and Get
+		}
+		idx := sv.Current()
+		graphs = append(graphs, map[string]any{
+			"name":       name,
+			"generation": sv.Generation(),
+			"shards":     sv.NumShards(),
+			"nodes":      idx.Graph().NumNodes(),
+			"edges":      idx.Graph().NumEdges(),
+			"backing":    idx.Backing(),
+		})
+	}
+	writeJSON(w, map[string]any{"graphs": graphs})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok"})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	idx := s.eng.Current()
+func (s *server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	sv, name, ok := s.servedFor(w, r, r.URL.Query().Get("graph"))
+	if !ok {
+		return
+	}
+	writeJSON(w, s.graphStatsPayload(sv, name))
+}
+
+// graphStatsPayload renders one graph's statistics. The default graph
+// additionally carries the snapshot watch/verify sections — that machinery
+// is wired to the boot-time snapshot file.
+func (s *server) graphStatsPayload(sv *prsim.Served, name string) map[string]any {
+	idx := sv.Current()
 	g := idx.Graph()
 	ist := idx.Stats()
-	est := s.eng.Stats()
-	s.reloadMu.Lock()
-	lastLoad := s.lastLoadTime
-	lastLoadAt := s.lastLoadAt
-	s.reloadMu.Unlock()
-	s.verifyMu.Lock()
-	verify := map[string]any{
-		"every_seconds": s.cfg.verifyEvery.Seconds(),
-		"runs":          s.verifies,
-		"rolled_back":   s.rolledBack,
-	}
-	if s.verifies > 0 {
-		verify["last_at"] = s.lastVerifyAt.UTC().Format(time.RFC3339)
-		verify["last_seconds"] = s.lastVerifyDur.Seconds()
-		verify["last_generation"] = s.lastVerifyGen
-		verify["last_ok"] = s.lastVerifyErr == nil
-		if s.lastVerifyErr != nil {
-			verify["last_error"] = s.lastVerifyErr.Error()
-		}
-	}
-	s.verifyMu.Unlock()
-	writeJSON(w, map[string]any{
+	est := sv.StatsAggregate()
+
+	// engine holds numeric totals only (monitoring scrapes decode it as a
+	// flat number map); per-class and per-shard breakdowns get their own
+	// keys.
+	payload := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
+		"name":           name,
 		"graph": map[string]any{
 			"nodes":   g.NumNodes(),
 			"edges":   g.NumEdges(),
@@ -769,18 +1019,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"second_moment": ist.SecondMoment,
 			"backing":       idx.Backing(),
 			"madvise":       idx.Advices(),
-			"load_seconds":  lastLoad.Seconds(),
 		},
-		"snapshot": map[string]any{
-			"path":           s.cfg.loadIndex,
-			"generation":     est.Generation,
-			"swaps":          est.Swaps,
-			"last_load_at":   lastLoadAt.UTC().Format(time.RFC3339),
-			"watch_seconds":  s.cfg.watch.Seconds(),
-			"self_contained": s.g == nil,
-		},
-		"verify": verify,
 		"engine": map[string]any{
+			"shards":        sv.NumShards(),
 			"workers":       est.Workers,
 			"max_queue":     est.MaxQueue,
 			"queue_depth":   est.QueueDepth,
@@ -798,7 +1039,118 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"chunks_executed":  est.ChunksExecuted,
 			"chunks_merged":    est.ChunksMerged,
 		},
+		"classes": map[string]any{
+			"interactive": classStatsJSON(est.Interactive),
+			"batch":       classStatsJSON(est.Batch),
+		},
+		"shards": shardStatsJSON(sv.Stats()),
+	}
+	if name != prsim.DefaultGraph {
+		payload["generation"] = est.Generation
+		return payload
+	}
+	s.reloadMu.Lock()
+	lastLoad := s.lastLoadTime
+	lastLoadAt := s.lastLoadAt
+	s.reloadMu.Unlock()
+	payload["index"].(map[string]any)["load_seconds"] = lastLoad.Seconds()
+	payload["snapshot"] = map[string]any{
+		"path":           s.cfg.loadIndex,
+		"generation":     est.Generation,
+		"swaps":          est.Swaps,
+		"last_load_at":   lastLoadAt.UTC().Format(time.RFC3339),
+		"watch_seconds":  s.cfg.watch.Seconds(),
+		"self_contained": s.g == nil,
+	}
+	s.verifyMu.Lock()
+	verify := map[string]any{
+		"every_seconds": s.cfg.verifyEvery.Seconds(),
+		"runs":          s.verifies,
+		"rolled_back":   s.rolledBack,
+	}
+	if s.verifies > 0 {
+		verify["last_at"] = s.lastVerifyAt.UTC().Format(time.RFC3339)
+		verify["last_seconds"] = s.lastVerifyDur.Seconds()
+		verify["last_generation"] = s.lastVerifyGen
+		verify["last_ok"] = s.lastVerifyErr == nil
+		if s.lastVerifyErr != nil {
+			verify["last_error"] = s.lastVerifyErr.Error()
+		}
+	}
+	s.verifyMu.Unlock()
+	payload["verify"] = verify
+	return payload
+}
+
+// classStatsJSON renders one admission class's telemetry, including the
+// observed mean service time the deadline shedding and Retry-After hints
+// derive from.
+func classStatsJSON(c prsim.ClassStats) map[string]any {
+	return map[string]any{
+		"queries":        c.Queries,
+		"shed":           c.Shed,
+		"queue_depth":    c.QueueDepth,
+		"avg_service_ms": float64(c.AvgServiceNs) / 1e6,
+	}
+}
+
+// shardStatsJSON renders the per-shard breakdown (queries, cache activity,
+// shed) so uneven source distributions are visible to operators.
+func shardStatsJSON(stats []prsim.EngineStats) []map[string]any {
+	out := make([]map[string]any, len(stats))
+	for i, st := range stats {
+		out[i] = map[string]any{
+			"shard":       i,
+			"queries":     st.Queries,
+			"cache_hits":  st.CacheHits,
+			"coalesced":   st.Coalesced,
+			"shed":        st.Shed,
+			"queue_depth": st.QueueDepth,
+			"errors":      st.Errors,
+		}
+	}
+	return out
+}
+
+func (s *server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	graphs := make(map[string]any, len(names))
+	for _, name := range names {
+		sv, err := s.reg.Get(name)
+		if err != nil {
+			continue
+		}
+		est := sv.StatsAggregate()
+		graphs[name] = map[string]any{
+			"generation":  sv.Generation(),
+			"shards":      sv.NumShards(),
+			"queries":     est.Queries,
+			"shed":        est.Shed,
+			"queue_depth": est.QueueDepth,
+			"errors":      est.Errors,
+		}
+	}
+	writeJSON(w, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"graphs":         graphs,
 	})
+}
+
+// validGraphName bounds admin-supplied graph names to a filesystem- and
+// URL-safe alphabet.
+func validGraphName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // requestCtx derives the request's deadline: the server's -timeout ceiling,
@@ -812,22 +1164,59 @@ func (s *server) requestCtx(r *http.Request, reqTimeout time.Duration) (ctx cont
 	return context.WithTimeout(r.Context(), timeout)
 }
 
-// writeQueryError maps engine errors to HTTP statuses: bad node ids (and bad
-// per-request epsilons) are the client's fault, shed requests are 429 with a
-// Retry-After hint, timeouts are 504, everything else is a server-side
-// failure.
+// Error codes of the unified error envelope. Every error response is
+// {"error":{"code":..., "message":..., "retry_after_ms":...}}; the code set
+// is part of the API surface (pinned by the surface snapshot test).
+const (
+	codeOverloaded       = "overloaded"
+	codeInvalidNode      = "invalid_node"
+	codeInvalidEpsilon   = "invalid_epsilon"
+	codeInvalidArgument  = "invalid_argument"
+	codeDeadlineExceeded = "deadline_exceeded"
+	codeUnknownGraph     = "unknown_graph"
+	codeConflict         = "conflict"
+	codeInternal         = "internal"
+)
+
+// errorJSON is the unified error envelope body.
+type errorJSON struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// writeQueryError maps library errors to the envelope: bad node ids and bad
+// per-request epsilons are the client's fault, unknown graphs are 404, shed
+// requests are 429 with the admission queue's telemetry-derived Retry-After,
+// timeouts are 504, everything else is a server-side failure.
 func writeQueryError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, prsim.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		status = http.StatusTooManyRequests
-	case errors.Is(err, prsim.ErrInvalidNode) || errors.Is(err, prsim.ErrInvalidEpsilon):
-		status = http.StatusBadRequest
+		// The engine predicts when the shed request's class drains; before
+		// any telemetry exists, fall back to a fixed 1s hint.
+		ra, _ := prsim.RetryAfter(err)
+		if ra <= 0 {
+			ra = time.Second
+		}
+		seconds := int(math.Ceil(ra.Seconds()))
+		if seconds < 1 {
+			seconds = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(seconds))
+		writeErrorEnvelope(w, http.StatusTooManyRequests, errorJSON{
+			Code: codeOverloaded, Message: err.Error(), RetryAfterMS: ra.Milliseconds(),
+		})
+	case errors.Is(err, prsim.ErrUnknownGraph):
+		writeError(w, http.StatusNotFound, codeUnknownGraph, err.Error())
+	case errors.Is(err, prsim.ErrInvalidNode):
+		writeError(w, http.StatusBadRequest, codeInvalidNode, err.Error())
+	case errors.Is(err, prsim.ErrInvalidEpsilon):
+		writeError(w, http.StatusBadRequest, codeInvalidEpsilon, err.Error())
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		status = http.StatusGatewayTimeout
+		writeError(w, http.StatusGatewayTimeout, codeDeadlineExceeded, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 	}
-	writeError(w, status, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -838,10 +1227,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorEnvelope(w, status, errorJSON{Code: code, Message: msg})
+}
+
+func writeErrorEnvelope(w http.ResponseWriter, status int, e errorJSON) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(map[string]errorJSON{"error": e})
 }
 
 func intParam(s string, def int) (int, error) {

@@ -292,13 +292,15 @@ func TestServeErrors(t *testing.T) {
 		{"/pair?u=1&v=99999", http.StatusBadRequest},   // out of range
 	}
 	for _, c := range cases {
-		var body map[string]string
+		var body struct {
+			Error errorJSON `json:"error"`
+		}
 		resp := getJSON(t, ts.URL+c.path, &body)
 		if resp.StatusCode != c.want {
 			t.Errorf("GET %s: status %d, want %d", c.path, resp.StatusCode, c.want)
 		}
-		if body["error"] == "" {
-			t.Errorf("GET %s: missing error message", c.path)
+		if body.Error.Code == "" || body.Error.Message == "" {
+			t.Errorf("GET %s: incomplete error envelope %+v", c.path, body.Error)
 		}
 	}
 }
@@ -539,7 +541,7 @@ func TestServeReloadUnderLoad(t *testing.T) {
 	if requests.Load() == 0 {
 		t.Fatal("no requests completed; load generator never ran")
 	}
-	if gen := srv.eng.Generation(); gen != reloads {
+	if gen := srv.def.Generation(); gen != reloads {
 		t.Errorf("generation = %d, want %d", gen, reloads)
 	}
 }
@@ -569,13 +571,13 @@ func TestServeWatchReload(t *testing.T) {
 	writeSnapshot(t, g, path, 2)
 
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.eng.Generation() == 0 {
+	for srv.def.Generation() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("watcher never picked up the republished snapshot")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	idx := srv.eng.Current()
+	idx := srv.def.Current()
 	if _, err := idx.Query(1); err != nil {
 		t.Fatalf("query after watched reload: %v", err)
 	}
@@ -778,9 +780,14 @@ func TestWriteQueryErrorOverloaded(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("429 response missing Retry-After")
 	}
-	var body map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+	var body struct {
+		Error errorJSON `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error.Code != codeOverloaded {
 		t.Fatalf("error body = %q (%v)", rec.Body.String(), err)
+	}
+	if body.Error.RetryAfterMS <= 0 {
+		t.Fatalf("retry_after_ms = %d, want positive fallback", body.Error.RetryAfterMS)
 	}
 }
 
@@ -869,7 +876,7 @@ func TestServeBackgroundVerify(t *testing.T) {
 	// Flip one byte in the middle of the section payload; for mmap-backed
 	// snapshots the next verify reads the mutated page, for stream-backed
 	// ones Verify is a no-op and the rest of this test does not apply.
-	if srv.eng.Current().Backing() != "mmap" {
+	if srv.def.Current().Backing() != "mmap" {
 		t.Skip("platform lacks zero-copy snapshots; background verify has nothing to re-check")
 	}
 	raw, err := os.ReadFile(indexPath)
@@ -1038,10 +1045,10 @@ func TestServeVerifyRollback(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
-	if srv.eng.Current().Backing() != "mmap" {
+	if srv.def.Current().Backing() != "mmap" {
 		t.Skip("platform lacks zero-copy snapshots; nothing to corrupt in place")
 	}
-	genBefore := srv.eng.Stats().Generation
+	genBefore := srv.def.Generation()
 
 	good, err := os.ReadFile(indexPath)
 	if err != nil {

@@ -164,11 +164,18 @@ type EngineStats struct {
 	// Coalesced counts requests that shared an identical in-flight
 	// computation instead of running their own.
 	Coalesced int64
-	// Shed counts requests rejected with ErrOverloaded by admission control.
+	// Shed counts requests rejected with ErrOverloaded by admission control,
+	// summed over both classes.
 	Shed int64
 	// QueueDepth is the instantaneous number of requests waiting for a
-	// worker slot.
+	// worker slot, summed over both classes.
 	QueueDepth int64
+	// Interactive and Batch break admission activity down per class: the
+	// engine queues ClassInteractive and ClassBatch requests separately,
+	// dispatches interactive first, and tracks each class's service-time
+	// telemetry (which deadline shedding and Retry-After derive from).
+	Interactive ClassStats
+	Batch       ClassStats
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
 	// PairQueries counts single-pair queries.
@@ -190,7 +197,12 @@ type EngineStats struct {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EngineStats {
-	s := e.eng.Stats()
+	return wrapEngineStats(e.eng.Stats())
+}
+
+// wrapEngineStats lifts internal engine stats into the public type; shared
+// by Engine.Stats and the Registry's per-graph stats.
+func wrapEngineStats(s engine.Stats) EngineStats {
 	return EngineStats{
 		Workers:      s.Workers,
 		MaxQueue:     s.MaxQueue,
@@ -205,6 +217,18 @@ func (e *Engine) Stats() EngineStats {
 		CacheEntries: s.CacheEntries,
 		PairQueries:  s.PairQueries,
 		Errors:       s.Errors,
+		Interactive: ClassStats{
+			Queries:      s.Interactive.Queries,
+			Shed:         s.Interactive.Shed,
+			QueueDepth:   s.Interactive.QueueDepth,
+			AvgServiceNs: s.Interactive.AvgServiceNs,
+		},
+		Batch: ClassStats{
+			Queries:      s.Batch.Queries,
+			Shed:         s.Batch.Shed,
+			QueueDepth:   s.Batch.QueueDepth,
+			AvgServiceNs: s.Batch.AvgServiceNs,
+		},
 
 		ParallelQueries: s.ParallelQueries,
 		ChunksExecuted:  s.ChunksExecuted,

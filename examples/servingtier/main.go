@@ -1,0 +1,112 @@
+// Serving tier: mount a graph into the multi-graph registry, serve it from
+// several shards, and drive the request plane the way prsimserve's /v1 HTTP
+// surface does — single-source queries, a fused batch, a merged multi-source
+// top-k, and a batch-class request — then read the per-class telemetry.
+//
+// Run with:
+//
+//	go run ./examples/servingtier
+//
+// The same operations over a running server (prsimserve -loadindex idx.prsim
+// -shards 4):
+//
+//	curl 'localhost:8080/v1/graphs/default/query?u=3'
+//	curl 'localhost:8080/v1/graphs/default/topk?u=3&u=9&k=5'
+//	curl -X POST localhost:8080/v1/graphs/default/query \
+//	     -d '{"sources": [1, 2, 3], "class": "batch"}'
+//	curl 'localhost:8080/v1/graphs/default/stats'
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"prsim"
+)
+
+func main() {
+	g, err := prsim.GeneratePowerLawGraph(2000, 8, 2.5, true, 7)
+	if err != nil {
+		log.Fatalf("generating graph: %v", err)
+	}
+	idx, err := prsim.BuildIndex(g, prsim.Options{Epsilon: 0.1, Seed: 42})
+	if err != nil {
+		log.Fatalf("building index: %v", err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges; index: %d hubs\n",
+		g.NumNodes(), g.NumEdges(), idx.NumHubs())
+
+	// Mount the index under the default graph name, served by 4 shards.
+	// Shards share the one index but have independent worker pools, admission
+	// queues, and caches; sources hash to shards, and every answer is
+	// bit-identical to a single-engine run.
+	reg := prsim.NewRegistry()
+	served, err := reg.MountIndex(prsim.DefaultGraph, idx, prsim.GraphConfig{
+		Shards: 4,
+		Engine: prsim.EngineOptions{Workers: 2, CacheSize: 256},
+	})
+	if err != nil {
+		log.Fatalf("mounting: %v", err)
+	}
+	fmt.Printf("mounted %q: %d shards\n", prsim.DefaultGraph, served.NumShards())
+
+	ctx := context.Background()
+
+	// Single-source: routed point-to-point to the shard that owns source 3.
+	resp, err := served.Do(ctx, prsim.Request{Source: 3, K: 5})
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Printf("\ntop-5 most similar to node 3 (epsilon %g):\n", resp.Epsilon)
+	for rank, s := range resp.Top {
+		fmt.Printf("%3d. node %-6d s = %.5f\n", rank+1, s.Node, s.Score)
+	}
+
+	// Batch: scattered into per-shard sub-batches, each running the engine's
+	// fused multi-source execution, gathered back in input order.
+	sources := []int{1, 2, 3, 5, 8, 13, 21, 34}
+	resps, err := served.DoBatch(ctx, prsim.Request{}, sources)
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+	fmt.Printf("\nbatch of %d sources answered; node %d has %d non-zero scores\n",
+		len(sources), sources[0], len(resps[0].Result.Scores()))
+
+	// Multi-source top-k: per-source selections merge into one global top-k
+	// (max score per node, score-descending, deterministic at any shard
+	// count).
+	top, err := served.TopKMerged(ctx, prsim.Request{}, []int{3, 9, 27}, 5)
+	if err != nil {
+		log.Fatalf("merged topk: %v", err)
+	}
+	fmt.Printf("\nglobal top-5 around nodes {3, 9, 27}:\n")
+	for rank, s := range top {
+		fmt.Printf("%3d. node %-6d s = %.5f\n", rank+1, s.Node, s.Score)
+	}
+
+	// Batch-class traffic queues behind interactive requests and sheds with a
+	// telemetry-derived Retry-After hint when its deadline cannot be met.
+	bctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, err := served.Do(bctx, prsim.Request{Source: 55, Class: prsim.ClassBatch}); err != nil {
+		if errors.Is(err, prsim.ErrOverloaded) {
+			if ra, ok := prsim.RetryAfter(err); ok {
+				fmt.Printf("shed; retry after %s\n", ra)
+			}
+		} else {
+			log.Fatalf("batch-class query: %v", err)
+		}
+	}
+
+	// Per-graph telemetry, aggregated over shards and broken down per class.
+	st := served.StatsAggregate()
+	fmt.Printf("\nstats: %d queries over %d shards (%d workers total), %d cache hits\n",
+		st.Queries, served.NumShards(), st.Workers, st.CacheHits)
+	fmt.Printf("  interactive: %d queries, avg service %.2fms\n",
+		st.Interactive.Queries, float64(st.Interactive.AvgServiceNs)/1e6)
+	fmt.Printf("  batch:       %d queries, avg service %.2fms\n",
+		st.Batch.Queries, float64(st.Batch.AvgServiceNs)/1e6)
+}

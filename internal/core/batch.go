@@ -156,6 +156,7 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 
 		idx.readIndexFused(states[:end-base], opts, stats[base:end])
 		for i := base; i < end; i++ {
+			results[i].g = idx.g
 			states[i-base].finalize(sources[i], results[i], &stats[i], start)
 		}
 	}

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class is the admission class of a request. The engine schedules the two
+// classes through one worker pool but separate wait queues: when a worker
+// frees up, waiting interactive requests are always dispatched before waiting
+// batch requests, so a flood of batch work cannot add queueing delay to
+// interactive traffic (it can only compete for the workers themselves).
+type Class int
+
+const (
+	// ClassInteractive is the default class: latency-sensitive requests that
+	// jump ahead of any queued batch work.
+	ClassInteractive Class = iota
+	// ClassBatch marks throughput traffic (bulk scoring, offline jobs): it is
+	// only dispatched when no interactive request is waiting.
+	ClassBatch
+
+	numClasses = 2
+)
+
+// String returns the wire name of the class ("interactive" / "batch").
+func (c Class) String() string {
+	if c == ClassBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// valid reports whether c is one of the defined classes.
+func (c Class) valid() bool { return c >= 0 && c < numClasses }
+
+// OverloadedError is the concrete error admission control sheds with. It
+// unwraps to ErrOverloaded (errors.Is keeps working) and carries the
+// telemetry-derived backoff hint: how long the current backlog of the
+// request's class is expected to take to drain, given the observed per-class
+// service times. HTTP front-ends surface it as Retry-After / retry_after_ms.
+type OverloadedError struct {
+	// Class is the admission class of the shed request.
+	Class Class
+	// RetryAfter estimates when retrying has a chance of admission: the
+	// predicted queue drain time for the request's class plus one service
+	// time. Zero when no service time has been observed yet.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("engine: overloaded, %s request shed (retry after %s)", e.Class, e.RetryAfter)
+}
+
+// Unwrap ties the typed error to the ErrOverloaded sentinel.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// waiter is one request parked in an admission queue. grant is buffered so a
+// release can hand the slot over without blocking; a waiter that gives up
+// (context cancelled) removes itself, or passes the slot on if the hand-off
+// already happened.
+type waiter struct {
+	grant chan struct{}
+	class Class
+}
+
+// admitter is a two-class priority semaphore over the worker pool with
+// deadline-aware load shedding.
+//
+// Admission policy, in order:
+//  1. A free worker slot admits immediately, any class.
+//  2. A full per-class queue sheds immediately (the pre-existing MaxQueue
+//     behavior, now per class so batch backlog cannot crowd out interactive
+//     arrivals).
+//  3. A request whose context deadline provably cannot be met — the predicted
+//     queue wait, computed from the queue depths ahead of it times the
+//     observed per-class service times divided by the worker count, exceeds
+//     the time remaining — is shed immediately instead of timing out in line.
+//  4. Otherwise the request parks in its class's FIFO queue. Every released
+//     slot goes to the oldest interactive waiter first, then the oldest batch
+//     waiter, then back to the free pool.
+//
+// Shedding decisions and Retry-After hints derive from the same telemetry:
+// an exponentially weighted moving average of per-class service time,
+// observed on every completed computation.
+type admitter struct {
+	workers  int
+	maxQueue int // per-class queue bound; -1 = unbounded
+
+	mu   sync.Mutex
+	free int
+	q    [numClasses][]*waiter
+	// svc is the EWMA of observed service time per class, in nanoseconds;
+	// zero until the first observation (deadline shedding stays optimistic —
+	// it never sheds on a class it has no data for).
+	svc [numClasses]time.Duration
+}
+
+func newAdmitter(workers, maxQueue int) *admitter {
+	return &admitter{workers: workers, maxQueue: maxQueue, free: workers}
+}
+
+// acquire obtains one worker slot for a request of the given class, applying
+// the shedding policy above. It returns *OverloadedError when shed, the
+// context error when the caller gives up waiting, and nil once the slot is
+// held.
+func (a *admitter) acquire(ctx context.Context, class Class) error {
+	a.mu.Lock()
+	if a.free > 0 {
+		a.free--
+		a.mu.Unlock()
+		return nil
+	}
+	if a.maxQueue >= 0 && len(a.q[class]) >= a.maxQueue {
+		err := &OverloadedError{Class: class, RetryAfter: a.retryAfterLocked(class)}
+		a.mu.Unlock()
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if wait := a.predictedWaitLocked(class); wait > 0 && time.Now().Add(wait).After(dl) {
+			err := &OverloadedError{Class: class, RetryAfter: a.retryAfterLocked(class)}
+			a.mu.Unlock()
+			return err
+		}
+	}
+	w := &waiter{grant: make(chan struct{}, 1), class: class}
+	a.q[class] = append(a.q[class], w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if a.removeLocked(w) {
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		a.mu.Unlock()
+		// The grant raced the cancellation: the slot is ours, pass it on.
+		select {
+		case <-w.grant:
+		default:
+		}
+		a.release()
+		return ctx.Err()
+	}
+}
+
+// tryAcquire takes a worker slot only if one is idle right now — the borrow
+// primitive behind intra-query parallelism. It never queues, so borrowed
+// slots can starve nobody: whenever a waiter exists, free is zero.
+func (a *admitter) tryAcquire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.free > 0 {
+		a.free--
+		return true
+	}
+	return false
+}
+
+// release returns one worker slot, dispatching it to the oldest interactive
+// waiter, else the oldest batch waiter, else the free pool.
+func (a *admitter) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for class := ClassInteractive; class < numClasses; class++ {
+		if len(a.q[class]) > 0 {
+			w := a.q[class][0]
+			a.q[class] = a.q[class][1:]
+			w.grant <- struct{}{}
+			return
+		}
+	}
+	a.free++
+}
+
+// removeLocked unlinks a waiter that gave up; false means the waiter already
+// left the queue (its grant is in flight or delivered).
+func (a *admitter) removeLocked(w *waiter) bool {
+	q := a.q[w.class]
+	for i, x := range q {
+		if x == w {
+			a.q[w.class] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// observe folds one completed computation's service time into the class's
+// EWMA (α = 1/8; the first observation seeds the average).
+func (a *admitter) observe(class Class, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.svc[class] == 0 {
+		a.svc[class] = d
+	} else {
+		a.svc[class] += (d - a.svc[class]) / 8
+	}
+	a.mu.Unlock()
+}
+
+// predictedWaitLocked estimates how long a new arrival of the given class
+// would wait for a worker: the work queued ahead of it (all interactive
+// waiters, plus — for a batch arrival — the batch waiters), costed at each
+// class's observed mean service time, spread over the worker pool. Classes
+// with no telemetry yet contribute zero (optimistic: never shed on a guess).
+func (a *admitter) predictedWaitLocked(class Class) time.Duration {
+	ahead := time.Duration(len(a.q[ClassInteractive])) * a.svc[ClassInteractive]
+	if class == ClassBatch {
+		ahead += time.Duration(len(a.q[ClassBatch])) * a.svc[ClassBatch]
+	}
+	return ahead / time.Duration(a.workers)
+}
+
+// retryAfterLocked derives the backoff hint for a shed request of the given
+// class from the same telemetry: the predicted drain of the queue ahead plus
+// one service time (the retry itself must also run). Zero when the class has
+// no observed service time yet — callers fall back to a fixed hint.
+func (a *admitter) retryAfterLocked(class Class) time.Duration {
+	svc := a.svc[class]
+	if svc == 0 {
+		svc = a.svc[ClassInteractive] // batch may borrow interactive telemetry
+	}
+	if svc == 0 {
+		return 0
+	}
+	return a.predictedWaitLocked(class) + svc
+}
+
+// depths returns the instantaneous per-class queue depths.
+func (a *admitter) depths() [numClasses]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return [numClasses]int{len(a.q[ClassInteractive]), len(a.q[ClassBatch])}
+}
+
+// serviceTimes returns the per-class service-time EWMAs (zero = no data).
+func (a *admitter) serviceTimes() [numClasses]time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.svc
+}

@@ -14,10 +14,15 @@
 //     share one underlying computation; joiners wait on the leader instead
 //     of burning worker slots, so a thundering herd of duplicates costs one
 //     query.
-//   - Admission control: a bounded wait queue in front of the worker
-//     semaphore. When the queue is full the request is shed immediately with
-//     ErrOverloaded instead of piling up goroutines — callers (the HTTP
-//     front-end) translate that to 429 + Retry-After.
+//   - Admission control: a deadline-aware two-class wait queue in front of
+//     the worker pool. Requests carry a Class (interactive or batch); freed
+//     worker slots always go to waiting interactive requests before batch
+//     ones, per-class queues are bounded, and a request whose context
+//     deadline provably cannot be met — predicted wait from queue depth ×
+//     observed per-class service time already exceeds it — is shed
+//     immediately with ErrOverloaded instead of timing out in line. Shed
+//     errors carry a Retry-After hint derived from the same telemetry;
+//     callers (the HTTP front-end) translate them to 429 + Retry-After.
 //   - Intra-query parallelism: a request may borrow idle worker slots for
 //     its walk chunks (Request.Parallelism, 0 = auto takes whatever is
 //     idle). The borrow never waits, so a heavy query cannot queue chunks
@@ -54,6 +59,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prsim/internal/core"
 	"prsim/internal/graph"
@@ -87,11 +93,13 @@ type Options struct {
 	// negative disables caching. Cached results are shared: treat them (and
 	// their Scores maps) as read-only.
 	CacheSize int
-	// MaxQueue bounds how many requests may wait for a worker slot before new
-	// arrivals are shed with ErrOverloaded. Zero means the default bound
-	// (max(32, 4×Workers)); negative disables shedding entirely (requests
-	// queue without limit, the pre-admission-control behavior). Coalesced
-	// joiners and cache hits never occupy queue slots.
+	// MaxQueue bounds how many requests of each class may wait for a worker
+	// slot before new arrivals of that class are shed with ErrOverloaded.
+	// Zero means the default bound (max(32, 4×Workers)); negative disables
+	// shedding entirely (requests queue without limit, the
+	// pre-admission-control behavior). The bound is per class, so a batch
+	// backlog can never crowd interactive arrivals out of the queue.
+	// Coalesced joiners and cache hits never occupy queue slots.
 	MaxQueue int
 	// Resource is the lifecycle hook of the initial index's backing; nil for
 	// heap-backed indexes.
@@ -125,6 +133,12 @@ type Request struct {
 	// bit-identical at every level, which is why the hint is excluded from
 	// cache keys and single-flight identity.
 	Parallelism int
+	// Class is the admission class: ClassInteractive (the zero value) jumps
+	// ahead of queued ClassBatch work whenever a worker frees up, and the two
+	// classes have separate bounded queues and service-time telemetry. The
+	// class never changes results and is excluded from cache and
+	// single-flight identity.
+	Class Class
 }
 
 // Response is the answer to one Request, carrying the result (or top-k
@@ -189,7 +203,7 @@ type Engine struct {
 	gen      atomic.Uint64
 	workers  int
 	maxQueue int // -1 = unbounded
-	sem      chan struct{}
+	adm      *admitter
 	cache    *resultCache
 
 	// flights is the single-flight table: one entry per distinct (generation,
@@ -200,12 +214,15 @@ type Engine struct {
 	queries     atomic.Int64
 	cacheHits   atomic.Int64
 	coalesced   atomic.Int64
-	shed        atomic.Int64
-	queueDepth  atomic.Int64
 	pairs       atomic.Int64
 	errors      atomic.Int64
 	swaps       atomic.Int64
 	cacheReuses atomic.Int64
+
+	// classQueries / classShed split the request and shed counts by admission
+	// class (indexed by Class).
+	classQueries [numClasses]atomic.Int64
+	classShed    [numClasses]atomic.Int64
 
 	parallelQueries atomic.Int64
 
@@ -256,7 +273,7 @@ func New(idx *core.Index, opts Options) (*Engine, error) {
 	e := &Engine{
 		workers:  workers,
 		maxQueue: maxQueue,
-		sem:      make(chan struct{}, workers),
+		adm:      newAdmitter(workers, maxQueue),
 		flights:  make(map[cacheKey]*flight),
 	}
 	if opts.CacheSize > 0 {
@@ -355,28 +372,20 @@ func (e *Engine) acquire() (*slot, error) {
 	}
 }
 
-// admit acquires a worker slot, waiting in the bounded admission queue when
-// the pool is saturated. It returns ErrOverloaded (after counting the shed)
-// when the queue is already at MaxQueue — the caller has done no work yet, so
-// shedding is free — and the context error when the caller gives up waiting.
-func (e *Engine) admit(ctx context.Context) error {
-	select {
-	case e.sem <- struct{}{}:
-		return nil
-	default:
+// admit acquires a worker slot through the two-class admission queue. It
+// returns *OverloadedError (unwrapping to ErrOverloaded, after counting the
+// shed) when the class's queue is full or the request's deadline provably
+// cannot be met — the caller has done no work yet, so shedding is free — and
+// the context error when the caller gives up waiting.
+func (e *Engine) admit(ctx context.Context, class Class) error {
+	if !class.valid() {
+		class = ClassInteractive
 	}
-	depth := e.queueDepth.Add(1)
-	defer e.queueDepth.Add(-1)
-	if e.maxQueue >= 0 && depth > int64(e.maxQueue) {
-		e.shed.Add(1)
-		return ErrOverloaded
+	err := e.adm.acquire(ctx, class)
+	if errors.Is(err, ErrOverloaded) {
+		e.classShed[class].Add(1)
 	}
-	select {
-	case e.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return err
 }
 
 // reserveParallelism resolves a request's intra-query parallelism hint
@@ -405,13 +414,8 @@ func (e *Engine) reserveParallelism(hint, useful int) (p, extras int) {
 // grabExtras opportunistically takes up to n worker slots without waiting.
 func (e *Engine) grabExtras(n int) int {
 	got := 0
-	for got < n {
-		select {
-		case e.sem <- struct{}{}:
-			got++
-		default:
-			return got
-		}
+	for got < n && e.adm.tryAcquire() {
+		got++
 	}
 	return got
 }
@@ -419,7 +423,7 @@ func (e *Engine) grabExtras(n int) int {
 // releaseExtras returns n slots taken by grabExtras.
 func (e *Engine) releaseExtras(n int) {
 	for ; n > 0; n-- {
-		<-e.sem
+		e.adm.release()
 	}
 }
 
@@ -449,7 +453,11 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 // doSlot is Do against an already-acquired slot (a batch holds one slot for
 // the whole batch so every sub-query answers from one generation).
 func (e *Engine) doSlot(ctx context.Context, s *slot, req Request) (*Response, error) {
+	if !req.Class.valid() {
+		req.Class = ClassInteractive
+	}
 	e.queries.Add(1)
+	e.classQueries[req.Class].Add(1)
 	return e.runSlot(ctx, s, req)
 }
 
@@ -531,11 +539,14 @@ func (e *Engine) runSlot(ctx context.Context, s *slot, req Request) (*Response, 
 func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOptions, key cacheKey, f *flight) (res *core.Result, pooled bool, err error) {
 	cached := e.cache != nil && !req.NoCache
 	poolCandidate := req.K > 0 && !cached && e.queryFn == nil
+	var svcElapsed time.Duration
 	res, err = func() (*core.Result, error) {
-		if err := e.admit(ctx); err != nil {
+		if err := e.admit(ctx, req.Class); err != nil {
 			return nil, err
 		}
-		defer func() { <-e.sem }()
+		defer e.adm.release()
+		start := time.Now()
+		defer func() { svcElapsed = time.Since(start) }()
 		if e.queryFn != nil {
 			return e.queryFn(ctx, s, req.Source)
 		}
@@ -564,6 +575,11 @@ func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOpt
 		e.noteQuery(r.Stats)
 		return r, nil
 	}()
+	if err == nil {
+		// Completed computations feed the per-class service-time telemetry
+		// the admission queue sheds and advises Retry-After from.
+		e.adm.observe(req.Class, svcElapsed)
+	}
 	// Publish to the cache before retiring the flight so no identical request
 	// can slip between the two and recompute.
 	if err == nil && cached {
@@ -671,12 +687,16 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 	if len(sources) == 0 {
 		return results, nil
 	}
+	if !base.Class.valid() {
+		base.Class = ClassInteractive
+	}
 	if e.queryFn != nil {
 		// The test seam overrides the per-source computation, which the fused
 		// core call cannot honor; fan the batch out over doSlot instead.
 		return e.doBatchFanout(ctx, s, base, sources, results)
 	}
 	e.queries.Add(int64(len(sources)))
+	e.classQueries[base.Class].Add(int64(len(sources)))
 
 	eff, clamped := s.idx.EffectiveOptions(q)
 	cached := e.cache != nil && !base.NoCache
@@ -756,11 +776,14 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 			leadSources[t] = sources[i]
 			coreRes[t] = &core.Result{}
 		}
+		var svcElapsed time.Duration
 		err := func() error {
-			if err := e.admit(ctx); err != nil {
+			if err := e.admit(ctx, base.Class); err != nil {
 				return err
 			}
-			defer func() { <-e.sem }()
+			defer e.adm.release()
+			start := time.Now()
+			defer func() { svcElapsed = time.Since(start) }()
 			qq := q
 			// The fused computation fans out across sources (each source's
 			// walk phase runs serially on its worker), so the useful fan-out
@@ -775,6 +798,12 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 			qq.Parallelism = p
 			return s.idx.QueryBatchIntoOpts(ctx, leadSources, coreRes, qq)
 		}()
+		if err == nil {
+			// Feed the per-class service-time telemetry with the per-source
+			// cost: a fused batch answers len(leadSources) sources in one
+			// admission slot, so each source's share is the fair sample.
+			e.adm.observe(base.Class, svcElapsed/time.Duration(len(leadSources)))
+		}
 		// One fused computation is one unit of engaged parallelism, however
 		// many sources it answered: count it once when any wave fanned out.
 		if err == nil {
@@ -993,11 +1022,11 @@ func (e *Engine) TopK(ctx context.Context, u, k int) ([]core.ScoredNode, *graph.
 // and the single-flight table (they do not produce a Result) but go through
 // the same admission gate and count toward engine statistics.
 func (e *Engine) Pair(ctx context.Context, u, v int) (float64, error) {
-	if err := e.admit(ctx); err != nil {
+	if err := e.admit(ctx, ClassInteractive); err != nil {
 		e.errors.Add(1)
 		return 0, err
 	}
-	defer func() { <-e.sem }()
+	defer e.adm.release()
 	s, err := e.acquire()
 	if err != nil {
 		return 0, err
@@ -1033,11 +1062,15 @@ type Stats struct {
 	// Coalesced counts requests that shared an identical in-flight
 	// computation instead of running their own.
 	Coalesced int64
-	// Shed counts requests rejected with ErrOverloaded by admission control.
+	// Shed counts requests rejected with ErrOverloaded by admission control,
+	// summed over both classes.
 	Shed int64
 	// QueueDepth is the instantaneous number of requests waiting for a
-	// worker slot.
+	// worker slot, summed over both classes.
 	QueueDepth int64
+	// Interactive and Batch break admission activity down per class.
+	Interactive ClassStats
+	Batch       ClassStats
 	// CacheEntries is the current number of cached results (0 when disabled).
 	CacheEntries int
 	// PairQueries counts single-pair queries.
@@ -1061,10 +1094,27 @@ type Stats struct {
 	ChunksMerged   int64
 }
 
+// ClassStats is the per-class slice of admission telemetry.
+type ClassStats struct {
+	// Queries counts single-source requests of this class.
+	Queries int64
+	// Shed counts requests of this class rejected by admission control.
+	Shed int64
+	// QueueDepth is the instantaneous number of waiting requests of this
+	// class.
+	QueueDepth int
+	// AvgServiceNs is the EWMA of observed service time for this class in
+	// nanoseconds (0 until the first completed computation). It is the same
+	// telemetry deadline shedding and Retry-After hints derive from.
+	AvgServiceNs int64
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	cur := e.cur.Load()
 	executed, merged := cur.idx.WalkChunkCounters()
+	depths := e.adm.depths()
+	svc := e.adm.serviceTimes()
 	s := Stats{
 		Workers:     e.workers,
 		MaxQueue:    e.maxQueue,
@@ -1074,10 +1124,22 @@ func (e *Engine) Stats() Stats {
 		Queries:     e.queries.Load(),
 		CacheHits:   e.cacheHits.Load(),
 		Coalesced:   e.coalesced.Load(),
-		Shed:        e.shed.Load(),
-		QueueDepth:  e.queueDepth.Load(),
+		Shed:        e.classShed[ClassInteractive].Load() + e.classShed[ClassBatch].Load(),
+		QueueDepth:  int64(depths[ClassInteractive] + depths[ClassBatch]),
 		PairQueries: e.pairs.Load(),
 		Errors:      e.errors.Load(),
+		Interactive: ClassStats{
+			Queries:      e.classQueries[ClassInteractive].Load(),
+			Shed:         e.classShed[ClassInteractive].Load(),
+			QueueDepth:   depths[ClassInteractive],
+			AvgServiceNs: int64(svc[ClassInteractive]),
+		},
+		Batch: ClassStats{
+			Queries:      e.classQueries[ClassBatch].Load(),
+			Shed:         e.classShed[ClassBatch].Load(),
+			QueueDepth:   depths[ClassBatch],
+			AvgServiceNs: int64(svc[ClassBatch]),
+		},
 
 		ParallelQueries: e.parallelQueries.Load(),
 		ChunksExecuted:  e.chunkExecutedBase.Load() + executed,

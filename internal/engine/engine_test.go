@@ -723,7 +723,7 @@ func TestDoShedsWhenQueueFull(t *testing.T) {
 		_, errB = e.Do(ctx, Request{Source: 1})
 	}()
 	waitFor(t, "request B to enter the admission queue", func() bool {
-		return e.queueDepth.Load() == 1
+		return e.adm.depths()[ClassInteractive] == 1
 	})
 
 	// C finds the worker busy and the queue full: shed, immediately.

@@ -122,7 +122,9 @@ func TestParallelReservationNeverStarves(t *testing.T) {
 
 	// Occupy three of the four worker slots, as three busy requests would.
 	for i := 0; i < 3; i++ {
-		e.sem <- struct{}{}
+		if !e.adm.tryAcquire() {
+			t.Fatal("could not occupy an idle worker slot")
+		}
 	}
 	resp, err := e.Do(ctx, Request{Source: 5, Parallelism: 8})
 	if err != nil {
@@ -138,7 +140,7 @@ func TestParallelReservationNeverStarves(t *testing.T) {
 	}
 
 	// Free one slot: the next request may borrow exactly it and no more.
-	<-e.sem
+	e.adm.release()
 	resp, err = e.Do(ctx, Request{Source: 6, Parallelism: 8})
 	if err != nil {
 		t.Fatalf("Do: %v", err)
@@ -147,7 +149,7 @@ func TestParallelReservationNeverStarves(t *testing.T) {
 		t.Fatalf("one idle slot: parallelism %d, want 2", got)
 	}
 	for i := 0; i < 2; i++ {
-		<-e.sem
+		e.adm.release()
 	}
 
 	// Idle pool: the hint is clamped to the worker count (and chunk count).

@@ -1,0 +1,90 @@
+package router
+
+import (
+	"prsim/internal/core"
+)
+
+// MergeTopK merges several per-source top-k selections into one global top-k:
+// a node appearing in multiple lists keeps its maximum score, the k best
+// survivors are selected with a bounded min-heap (O(total · log k)), and the
+// output is ordered by descending score with ties broken by ascending node
+// id — the same tie-break the per-source selections use. The result is fully
+// determined by the multiset of (node, score) pairs: list order, list count,
+// and how sources were partitioned across shards cannot change a byte of it,
+// which is what makes scatter-gather top-k bit-identical to a single-engine
+// merge.
+func MergeTopK(k int, lists ...[]core.ScoredNode) []core.ScoredNode {
+	if k <= 0 {
+		return []core.ScoredNode{}
+	}
+	best := make(map[int]float64)
+	for _, list := range lists {
+		for _, sn := range list {
+			if cur, ok := best[sn.Node]; !ok || sn.Score > cur {
+				best[sn.Node] = sn.Score
+			}
+		}
+	}
+	// h is a binary min-heap under mergeWorse: h[0] is the worst of the
+	// best-k seen so far, evicted when a better candidate arrives.
+	h := make([]core.ScoredNode, 0, min(k, len(best)))
+	for node, score := range best {
+		c := core.ScoredNode{Node: node, Score: score}
+		if len(h) < k {
+			h = append(h, c)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if mergeWorse(c, h[0]) {
+			continue
+		}
+		h[0] = c
+		siftDown(h, 0)
+	}
+	// Pop into place back-to-front: ascending heap order is descending rank.
+	out := h
+	for n := len(h) - 1; n > 0; n-- {
+		out[0], out[n] = out[n], out[0]
+		siftDown(out[:n], 0)
+	}
+	return out
+}
+
+// mergeWorse orders candidates for the merge heap: lower score is worse,
+// ties broken by higher node id (so the surviving set and final order match
+// a full sort by score desc, node asc).
+func mergeWorse(a, b core.ScoredNode) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+func siftUp(h []core.ScoredNode, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !mergeWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []core.ScoredNode, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && mergeWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && mergeWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

@@ -1,0 +1,455 @@
+// Package router is the multi-graph, shard-aware serving tier: a registry of
+// named logical graphs, each served by one or more engine shards behind a
+// scatter-gather front.
+//
+// A logical graph is one snapshot (or heap-built index) shared — zero-copy —
+// by N engine.Engine shards: one mmap and one refcounted resource, N
+// independent admission queues, result caches, and single-flight tables.
+// Sources are hashed to shards with a fixed splitmix64 hash, so a given
+// source always lands on the same shard and its cache entry. Because PRSim
+// single-source queries are deterministic in (seed, source, effective
+// epsilon) alone, routing is bit-transparent: every answer is bit-identical
+// to a single-engine run, at any shard count.
+//
+//   - Single-source queries route point-to-point to the owning shard.
+//   - Batch queries scatter per-shard sub-batches (each keeps the engine's
+//     fused-wave execution) and gather results back in input order.
+//   - Multi-source top-k queries scatter like a batch and merge the
+//     per-source selections with MergeTopK, a deterministic bounded-heap
+//     merge whose output is independent of shard count and arrival order.
+//
+// The registry mounts, unmounts, and hot-reloads logical graphs at runtime;
+// reload swaps every shard of a graph onto a freshly opened snapshot and
+// closes the old backing once in-flight queries drain (the engines' retained
+// resources defer the unmap).
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"prsim/internal/core"
+	"prsim/internal/engine"
+	"prsim/internal/graph"
+)
+
+// ErrUnknownGraph is returned by Registry.Get (and everything routed through
+// it) when no graph is mounted under the requested name.
+var ErrUnknownGraph = errors.New("router: unknown graph")
+
+// MaxShards bounds the shard count of one logical graph. Shards multiply
+// queues and caches, not data (the index is shared), but an absurd count is
+// almost certainly a configuration error.
+const MaxShards = 64
+
+// Opened is one opened graph backing, produced by an Opener: the index to
+// serve, its refcounted resource (nil for heap-backed indexes), a close hook
+// for the backing (nil when there is nothing to close), and an opaque Tag the
+// mounting layer can retrieve via Served.Current (the public API uses it to
+// carry its own index wrapper through the router without a dependency
+// cycle).
+type Opened struct {
+	Index *core.Index
+	Res   engine.Resource
+	Close func() error
+	Tag   any
+}
+
+// Opener opens one fresh instance of a graph's backing — called once at
+// mount and once per reload. It must return an independent instance each
+// time (reload closes the previous one after the swap).
+type Opener func() (Opened, error)
+
+// Config configures one logical graph.
+type Config struct {
+	// Shards is the number of engine shards serving the graph; 0 or negative
+	// means 1 (no sharding). Each shard has its own worker pool, admission
+	// queue, and cache, so per-shard Engine options multiply by Shards.
+	Shards int
+	// Engine configures each shard's engine. The Resource field is ignored —
+	// the router wires every shard to the Opened resource.
+	Engine engine.Options
+	// Open produces the graph's backing; required.
+	Open Opener
+}
+
+// Served is one mounted logical graph: N engine shards over one shared
+// index. All methods are safe for concurrent use; Reload serializes with
+// itself and with Close.
+type Served struct {
+	shards []*engine.Engine
+	open   Opener
+
+	mu     sync.Mutex // serializes Reload/Close and guards cur/closed
+	cur    Opened
+	closed bool
+}
+
+// newServed mounts a graph from cfg.
+func newServed(cfg Config) (*Served, error) {
+	if cfg.Open == nil {
+		return nil, fmt.Errorf("router: Config.Open is required")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("router: %d shards exceeds the maximum of %d", n, MaxShards)
+	}
+	op, err := cfg.Open()
+	if err != nil {
+		return nil, fmt.Errorf("router: open graph: %w", err)
+	}
+	if op.Index == nil {
+		closeOpened(op)
+		return nil, fmt.Errorf("router: opener returned a nil index")
+	}
+	opts := cfg.Engine
+	opts.Resource = op.Res
+	shards := make([]*engine.Engine, n)
+	for i := range shards {
+		e, err := engine.New(op.Index, opts)
+		if err != nil {
+			closeOpened(op)
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		shards[i] = e
+	}
+	return &Served{shards: shards, open: cfg.Open, cur: op}, nil
+}
+
+// closeOpened runs an Opened's close hook, tolerating a nil hook.
+func closeOpened(op Opened) error {
+	if op.Close == nil {
+		return nil
+	}
+	return op.Close()
+}
+
+// splitmix64 is the shard hash finalizer — the same mix the core walk
+// kernels use for their per-chunk streams. Any fixed avalanche hash works;
+// what matters is that it never changes, so a source's shard (and cache
+// home) is stable across processes and restarts.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NumShards returns the shard count of the logical graph.
+func (s *Served) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard that owns source u.
+func (s *Served) ShardFor(u int) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(splitmix64(uint64(int64(u))) % uint64(len(s.shards)))
+}
+
+// Engine exposes shard i's engine — for tests and stats; routing callers
+// should use Do/DoBatch/TopKMerged/Pair.
+func (s *Served) Engine(i int) *engine.Engine { return s.shards[i] }
+
+// Current returns the Tag of the currently served Opened (nil when the
+// opener set none). A concurrent Reload may replace it at any time; callers
+// get a consistent snapshot, not a lease.
+func (s *Served) Current() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.Tag
+}
+
+// Generation returns the swap generation of the served graph: 0 at mount,
+// incremented by every successful Reload. All shards swap in lockstep, so
+// one shard's generation speaks for the graph.
+func (s *Served) Generation() uint64 { return s.shards[0].Generation() }
+
+// Do answers one single-source request point-to-point on the shard that owns
+// the source.
+func (s *Served) Do(ctx context.Context, req Request) (*engine.Response, error) {
+	return s.shards[s.ShardFor(req.Source)].Do(ctx, req)
+}
+
+// Request aliases the engine request type — the router adds no per-request
+// fields of its own.
+type Request = engine.Request
+
+// DoBatch scatters one batch across the owning shards — each shard answers
+// its sub-batch with the engine's fused multi-source execution — and gathers
+// the responses back in input order. Results are bit-identical to a
+// single-engine DoBatch under the same seed. On error the batch fails as a
+// whole; a real engine error is reported in preference to a context
+// cancellation.
+func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*engine.Response, error) {
+	if len(sources) == 0 {
+		return []*engine.Response{}, nil
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].DoBatch(ctx, base, sources)
+	}
+	// Group source positions by owning shard, preserving input order within
+	// each group.
+	groups := make(map[int][]int, len(s.shards))
+	for i, u := range sources {
+		sh := s.ShardFor(u)
+		groups[sh] = append(groups[sh], i)
+	}
+	if len(groups) == 1 {
+		for sh, idxs := range groups {
+			sub := make([]int, len(idxs))
+			for t, i := range idxs {
+				sub[t] = sources[i]
+			}
+			return s.shards[sh].DoBatch(ctx, base, sub)
+		}
+	}
+	results := make([]*engine.Response, len(sources))
+	// Cancel the remaining sub-batches as soon as one fails.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	note := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		// Keep the most informative error: a real failure beats the context
+		// cancellations it triggered in the other sub-batches.
+		if first == nil || (errors.Is(first, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			first = err
+		}
+		cancel()
+	}
+	for sh, idxs := range groups {
+		wg.Add(1)
+		go func(sh int, idxs []int) {
+			defer wg.Done()
+			sub := make([]int, len(idxs))
+			for t, i := range idxs {
+				sub[t] = sources[i]
+			}
+			resps, err := s.shards[sh].DoBatch(sctx, base, sub)
+			if err != nil {
+				note(err)
+				return
+			}
+			for t, i := range idxs {
+				results[i] = resps[t]
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// TopKMerged answers a multi-source top-k query: one top-k per source,
+// scattered like a batch, merged into a single global selection with
+// MergeTopK (max score per node wins). The merge is deterministic and
+// independent of shard count; k <= 0 returns an empty selection. The
+// returned graph is the one the computations ran on — label resolution must
+// use it, exactly as with single-source responses.
+func (s *Served) TopKMerged(ctx context.Context, base Request, sources []int, k int) ([]core.ScoredNode, *graph.Graph, error) {
+	if k <= 0 || len(sources) == 0 {
+		return []core.ScoredNode{}, nil, nil
+	}
+	base.K = k
+	resps, err := s.DoBatch(ctx, base, sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	lists := make([][]core.ScoredNode, len(resps))
+	var g *graph.Graph
+	for i, r := range resps {
+		lists[i] = r.Top
+		if g == nil {
+			g = r.Graph
+		}
+	}
+	return MergeTopK(k, lists...), g, nil
+}
+
+// Pair estimates the single-pair SimRank s(u, v), routed to the shard that
+// owns u.
+func (s *Served) Pair(ctx context.Context, u, v int) (float64, error) {
+	return s.shards[s.ShardFor(u)].Pair(ctx, u, v)
+}
+
+// Reload opens a fresh backing, optionally verifies it, swaps every shard
+// onto it, and closes the previous backing (in-flight queries keep it
+// retained until they drain). verify, when non-nil, runs against the new
+// backing before any shard swaps; a verify error aborts the reload with the
+// old backing still serving. Reloads serialize.
+func (s *Served) Reload(verify func(Opened) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("router: graph is closed")
+	}
+	op, err := s.open()
+	if err != nil {
+		return fmt.Errorf("router: reload open: %w", err)
+	}
+	if op.Index == nil {
+		closeOpened(op)
+		return fmt.Errorf("router: reload opener returned a nil index")
+	}
+	if verify != nil {
+		if err := verify(op); err != nil {
+			closeOpened(op)
+			return fmt.Errorf("router: reload verify: %w", err)
+		}
+	}
+	for i, e := range s.shards {
+		if err := e.Swap(op.Index, op.Res); err != nil {
+			// Shards 0..i-1 already serve the new backing; roll nothing back
+			// (a torn generation would be worse) and surface the error. In
+			// practice Swap only fails on a nil index, checked above.
+			return fmt.Errorf("router: reload swap shard %d: %w", i, err)
+		}
+	}
+	old := s.cur
+	s.cur = op
+	if err := closeOpened(old); err != nil {
+		return fmt.Errorf("router: reload close previous backing: %w", err)
+	}
+	return nil
+}
+
+// Close releases the graph's backing. In-flight queries finish safely (they
+// hold retains); new queries against a closed graph are the caller's bug —
+// Unmount removes the graph from the registry before closing it.
+func (s *Served) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return closeOpened(s.cur)
+}
+
+// Stats returns one engine stats snapshot per shard, in shard order.
+func (s *Served) Stats() []engine.Stats {
+	out := make([]engine.Stats, len(s.shards))
+	for i, e := range s.shards {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// Aggregate folds per-shard stats into one graph-level snapshot: counters
+// and queue depths sum; Workers sums (total serving capacity); MaxQueue,
+// Generation, and per-class service times are taken from shard 0 (shards are
+// configured identically and swap in lockstep, and shard 0's EWMA is as
+// representative as any).
+func Aggregate(shards []engine.Stats) engine.Stats {
+	if len(shards) == 0 {
+		return engine.Stats{}
+	}
+	agg := shards[0]
+	for _, s := range shards[1:] {
+		agg.Workers += s.Workers
+		agg.Swaps += s.Swaps
+		agg.CacheReuses += s.CacheReuses
+		agg.Queries += s.Queries
+		agg.CacheHits += s.CacheHits
+		agg.Coalesced += s.Coalesced
+		agg.Shed += s.Shed
+		agg.QueueDepth += s.QueueDepth
+		agg.CacheEntries += s.CacheEntries
+		agg.PairQueries += s.PairQueries
+		agg.Errors += s.Errors
+		agg.ParallelQueries += s.ParallelQueries
+		agg.ChunksExecuted += s.ChunksExecuted
+		agg.ChunksMerged += s.ChunksMerged
+
+		agg.Interactive.Queries += s.Interactive.Queries
+		agg.Interactive.Shed += s.Interactive.Shed
+		agg.Interactive.QueueDepth += s.Interactive.QueueDepth
+		agg.Batch.Queries += s.Batch.Queries
+		agg.Batch.Shed += s.Batch.Shed
+		agg.Batch.QueueDepth += s.Batch.QueueDepth
+	}
+	return agg
+}
+
+// Registry is the set of mounted logical graphs, keyed by name. Safe for
+// concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Served
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Served)}
+}
+
+// Mount opens and registers a logical graph under name. Mounting over an
+// existing name is an error — Unmount first (or Reload the mounted graph).
+func (r *Registry) Mount(name string, cfg Config) (*Served, error) {
+	if name == "" {
+		return nil, fmt.Errorf("router: empty graph name")
+	}
+	// Mount outside the lock would allow racing mounts of the same name to
+	// both open a backing; holding the lock across the open keeps mounts
+	// atomic (opens are rare and reloads do not take this path).
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok {
+		return nil, fmt.Errorf("router: graph %q already mounted", name)
+	}
+	s, err := newServed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.m[name] = s
+	return s, nil
+}
+
+// Unmount removes the named graph and closes its backing. In-flight queries
+// drain safely; subsequent Gets return ErrUnknownGraph.
+func (r *Registry) Unmount(name string) error {
+	r.mu.Lock()
+	s, ok := r.m[name]
+	delete(r.m, name)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return s.Close()
+}
+
+// Get returns the named graph, or ErrUnknownGraph.
+func (r *Registry) Get(name string) (*Served, error) {
+	r.mu.RLock()
+	s, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return s, nil
+}
+
+// Names returns the mounted graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -55,6 +55,29 @@ type Request struct {
 	// bit-identical at every parallelism level — which is also why the hint
 	// is excluded from cache and coalescing identity.
 	Parallelism int
+	// Graph names the logical graph a Registry routes this request to; empty
+	// means DefaultGraph. Ignored by Index.Do and Engine.Do, which serve
+	// exactly one graph.
+	Graph string
+	// Class is the admission class: ClassInteractive (the zero value) jumps
+	// ahead of queued ClassBatch work whenever an engine worker frees up.
+	// The class never changes results — it only shapes queueing. Ignored by
+	// Index.Do, which has no admission control.
+	Class Class
+}
+
+// toEngine lowers the public request into the engine's parameter bundle.
+// Graph is routing metadata consumed before this point; everything else maps
+// one-to-one.
+func (r Request) toEngine() engine.Request {
+	return engine.Request{
+		Source:      r.Source,
+		Epsilon:     r.Epsilon,
+		K:           r.K,
+		NoCache:     r.NoCache,
+		Parallelism: r.Parallelism,
+		Class:       r.Class,
+	}
 }
 
 // Response is the answer to one Request, carrying the result (or top-k
@@ -115,25 +138,27 @@ func (idx *Index) Do(ctx context.Context, req Request) (*Response, error) {
 // queue (ErrOverloaded when full). See Request and Response for the knob and
 // metadata semantics.
 func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
-	inner, err := e.eng.Do(ctx, engine.Request{
-		Source:      req.Source,
-		Epsilon:     req.Epsilon,
-		K:           req.K,
-		NoCache:     req.NoCache,
-		Parallelism: req.Parallelism,
-	})
+	inner, err := e.eng.Do(ctx, req.toEngine())
 	if err != nil {
 		return nil, err
 	}
 	return e.wrapEngineResponse(inner), nil
 }
 
-// wrapEngineResponse lifts an internal engine response into the public type,
+// wrapEngineResponse lifts an internal engine response into the public type
+// against this engine's current graph.
+func (e *Engine) wrapEngineResponse(inner *engine.Response) *Response {
+	return wrapResponse(e.cur.Load().g, inner)
+}
+
+// wrapResponse lifts an internal engine response into the public type,
 // resolving labels and dimensions against the graph that actually answered:
 // a hot Swap can land mid-flight, and cached or coalesced results belong to
-// the generation that computed them.
-func (e *Engine) wrapEngineResponse(inner *engine.Response) *Response {
-	pg := e.cur.Load().g
+// the generation that computed them. cur is the caller's current public
+// graph, reused when it is the one that answered (the common case — no
+// re-wrap per response).
+func wrapResponse(cur *Graph, inner *engine.Response) *Response {
+	pg := cur
 	if inner.Graph != nil && (pg == nil || pg.g != inner.Graph) {
 		pg = wrapGraph(inner.Graph)
 	}
@@ -167,12 +192,7 @@ func (e *Engine) wrapEngineResponse(inner *engine.Response) *Response {
 // to issuing the same requests sequentially. On the first error the
 // remaining queries are cancelled and the error is returned.
 func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
-	inner, err := e.eng.DoBatch(ctx, engine.Request{
-		Epsilon:     base.Epsilon,
-		K:           base.K,
-		NoCache:     base.NoCache,
-		Parallelism: base.Parallelism,
-	}, sources)
+	inner, err := e.eng.DoBatch(ctx, base.toEngine(), sources)
 	if err != nil {
 		return nil, err
 	}

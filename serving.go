@@ -1,0 +1,324 @@
+package prsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"prsim/internal/engine"
+	"prsim/internal/router"
+)
+
+// DefaultGraph is the graph name a Registry routes requests to when
+// Request.Graph is empty, and the name servers mount their boot-time graph
+// under.
+const DefaultGraph = "default"
+
+// ErrUnknownGraph is returned by Registry lookups (and everything routed
+// through them) when no graph is mounted under the requested name.
+var ErrUnknownGraph = router.ErrUnknownGraph
+
+// Class is the admission class of a request: ClassInteractive (the zero
+// value) is dispatched ahead of queued ClassBatch work whenever an engine
+// worker frees up, and the two classes have separate bounded queues and
+// service-time telemetry. The class shapes queueing only — results are
+// bit-identical either way.
+type Class = engine.Class
+
+const (
+	// ClassInteractive marks latency-sensitive requests (the default).
+	ClassInteractive = engine.ClassInteractive
+	// ClassBatch marks throughput traffic: bulk scoring, offline jobs.
+	ClassBatch = engine.ClassBatch
+)
+
+// ParseClass maps the wire name of an admission class ("interactive",
+// "batch", or empty for the default) to its value.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	default:
+		return ClassInteractive, fmt.Errorf("prsim: unknown admission class %q (want \"interactive\" or \"batch\")", s)
+	}
+}
+
+// RetryAfter extracts the telemetry-derived backoff hint from an
+// ErrOverloaded error: how long admission control predicts the shed
+// request's class needs to drain, plus one service time. ok is false when
+// err is not an overload shed; a zero duration with ok true means the engine
+// had no service-time telemetry yet (callers fall back to a fixed hint).
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var oe *engine.OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// ClassStats is the per-class slice of an engine's admission telemetry.
+type ClassStats struct {
+	// Queries counts single-source requests of this class.
+	Queries int64
+	// Shed counts requests of this class rejected by admission control.
+	Shed int64
+	// QueueDepth is the instantaneous number of waiting requests of this
+	// class.
+	QueueDepth int
+	// AvgServiceNs is the observed mean service time of this class in
+	// nanoseconds (EWMA; 0 until the first completed computation) — the
+	// telemetry deadline shedding and Retry-After hints derive from.
+	AvgServiceNs int64
+}
+
+// GraphConfig configures one logical graph mounted in a Registry.
+type GraphConfig struct {
+	// Shards is the number of engine shards serving the graph; 0 means 1.
+	// Shards share one index (one snapshot mapping) but have independent
+	// worker pools, admission queues, and result caches: sources are hashed
+	// to shards, so sharding multiplies serving capacity without changing a
+	// bit of any answer.
+	Shards int
+	// Engine configures each shard's engine (per shard, so total workers are
+	// Shards × Engine.Workers).
+	Engine EngineOptions
+}
+
+func (c GraphConfig) toRouter(open router.Opener) router.Config {
+	return router.Config{
+		Shards: c.Shards,
+		Engine: engine.Options{
+			Workers:   c.Engine.Workers,
+			CacheSize: c.Engine.CacheSize,
+			MaxQueue:  c.Engine.MaxQueue,
+		},
+		Open: open,
+	}
+}
+
+// Registry is a set of independently mounted, named logical graphs — the
+// multi-tenant serving tier. Graphs can be mounted, unmounted, and
+// hot-reloaded at runtime; requests route by Request.Graph. Safe for
+// concurrent use.
+type Registry struct {
+	r *router.Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{r: router.NewRegistry()}
+}
+
+// openerFor adapts a public index opener to the router's Opened contract:
+// the router shards the internal index and retains the snapshot per query,
+// and the public *Index rides along as the Tag so Served.Current can return
+// it.
+func openerFor(open func() (*Index, error)) router.Opener {
+	return func() (router.Opened, error) {
+		idx, err := open()
+		if err != nil {
+			return router.Opened{}, err
+		}
+		if idx == nil {
+			return router.Opened{}, fmt.Errorf("prsim: opener returned a nil index")
+		}
+		return router.Opened{
+			Index: idx.idx,
+			Res:   idx.engineResource(),
+			Close: idx.Close,
+			Tag:   idx,
+		}, nil
+	}
+}
+
+// MountOpener mounts a logical graph whose backing is produced by open —
+// called once now and once per Reload, so each call must return a fresh
+// instance (reload closes the previous one after swapping). This is the
+// general form behind MountSnapshot and MountIndex.
+func (r *Registry) MountOpener(name string, cfg GraphConfig, open func() (*Index, error)) (*Served, error) {
+	s, err := r.r.Mount(name, cfg.toRouter(openerFor(open)))
+	if err != nil {
+		return nil, err
+	}
+	return &Served{s: s}, nil
+}
+
+// MountSnapshot mounts a logical graph served from a snapshot file; Reload
+// re-opens the file (picking up an atomically replaced snapshot) and swaps
+// traffic over without dropping requests.
+func (r *Registry) MountSnapshot(name, path string, cfg GraphConfig) (*Served, error) {
+	return r.MountOpener(name, cfg, func() (*Index, error) {
+		return OpenSnapshot(path, nil)
+	})
+}
+
+// MountIndex mounts a logical graph over an existing index. The registry
+// does not take ownership: unmounting never closes idx, and Reload re-serves
+// the same index (mount with MountOpener to make reload meaningful).
+func (r *Registry) MountIndex(name string, idx *Index, cfg GraphConfig) (*Served, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("prsim: nil index")
+	}
+	s, err := r.r.Mount(name, cfg.toRouter(func() (router.Opened, error) {
+		// No Close: the caller owns the index's lifecycle.
+		return router.Opened{Index: idx.idx, Res: idx.engineResource(), Tag: idx}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return &Served{s: s}, nil
+}
+
+// Unmount removes the named graph and closes its backing (unless it was
+// mounted with MountIndex, whose backing the caller owns). In-flight queries
+// drain safely.
+func (r *Registry) Unmount(name string) error { return r.r.Unmount(name) }
+
+// Get returns the named graph's serving handle, or ErrUnknownGraph. An empty
+// name means DefaultGraph.
+func (r *Registry) Get(name string) (*Served, error) {
+	if name == "" {
+		name = DefaultGraph
+	}
+	s, err := r.r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Served{s: s}, nil
+}
+
+// Names returns the mounted graph names, sorted.
+func (r *Registry) Names() []string { return r.r.Names() }
+
+// Do routes one request to the graph named by Request.Graph (empty =
+// DefaultGraph) and answers it there.
+func (r *Registry) Do(ctx context.Context, req Request) (*Response, error) {
+	s, err := r.Get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return s.Do(ctx, req)
+}
+
+// Served is the serving handle of one mounted logical graph: requests route
+// to the shard that owns their source, batches scatter-gather across shards,
+// and answers are bit-identical to a single-engine run at any shard count.
+// Safe for concurrent use.
+type Served struct {
+	s *router.Served
+}
+
+// currentGraph returns the public graph of the currently served index.
+func (s *Served) currentGraph() *Graph {
+	if idx, ok := s.s.Current().(*Index); ok {
+		return idx.g
+	}
+	return nil
+}
+
+// Current returns the index the graph is serving right now (the instance the
+// mount's opener produced most recently).
+func (s *Served) Current() *Index {
+	idx, _ := s.s.Current().(*Index)
+	return idx
+}
+
+// Generation returns the reload generation: 0 at mount, incremented by every
+// successful Reload.
+func (s *Served) Generation() uint64 { return s.s.Generation() }
+
+// NumShards returns the graph's shard count.
+func (s *Served) NumShards() int { return s.s.NumShards() }
+
+// Do answers one single-source request on the shard that owns the source.
+// Request.Graph is ignored — routing to this graph already happened.
+func (s *Served) Do(ctx context.Context, req Request) (*Response, error) {
+	inner, err := s.s.Do(ctx, req.toEngine())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResponse(s.currentGraph(), inner), nil
+}
+
+// DoBatch answers one request per source, in input order, scattering
+// per-shard sub-batches (each runs the engine's fused multi-source
+// execution) and gathering the responses. Bit-identical to a single-engine
+// DoBatch.
+func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
+	inner, err := s.s.DoBatch(ctx, base.toEngine(), sources)
+	if err != nil {
+		return nil, err
+	}
+	cur := s.currentGraph()
+	out := make([]*Response, len(inner))
+	for i, r := range inner {
+		out[i] = wrapResponse(cur, r)
+	}
+	return out, nil
+}
+
+// TopKMerged answers a multi-source top-k query: each source's top-k is
+// computed on its owning shard and the per-source selections merge into one
+// global top-k (a node reached from several sources keeps its maximum
+// score), ordered by descending score with ties broken by ascending node id.
+// The merge is deterministic and independent of shard count.
+func (s *Served) TopKMerged(ctx context.Context, base Request, sources []int, k int) ([]ScoredNode, error) {
+	top, g, err := s.s.TopKMerged(ctx, base.toEngine(), sources, k)
+	if err != nil {
+		return nil, err
+	}
+	pg := s.currentGraph()
+	if g != nil && (pg == nil || pg.g != g) {
+		pg = wrapGraph(g)
+	}
+	out := make([]ScoredNode, len(top))
+	for i, sn := range top {
+		out[i] = ScoredNode{Node: sn.Node, Label: pg.Label(sn.Node), Score: sn.Score}
+	}
+	return out, nil
+}
+
+// Pair estimates the single-pair SimRank s(u, v), routed to the shard that
+// owns u.
+func (s *Served) Pair(ctx context.Context, u, v int) (float64, error) {
+	return s.s.Pair(ctx, u, v)
+}
+
+// Reload re-runs the mount's opener, optionally verifies the fresh backing,
+// swaps every shard onto it without dropping in-flight requests, and closes
+// the previous backing once traffic drains. A verify error aborts the reload
+// with the old backing still serving. Reloads serialize.
+func (s *Served) Reload(verify func(*Index) error) error {
+	var rv func(router.Opened) error
+	if verify != nil {
+		rv = func(op router.Opened) error {
+			idx, _ := op.Tag.(*Index)
+			if idx == nil {
+				return fmt.Errorf("prsim: reload produced no public index")
+			}
+			return verify(idx)
+		}
+	}
+	return s.s.Reload(rv)
+}
+
+// Stats returns one engine stats snapshot per shard, in shard order.
+func (s *Served) Stats() []EngineStats {
+	inner := s.s.Stats()
+	out := make([]EngineStats, len(inner))
+	for i, st := range inner {
+		out[i] = wrapEngineStats(st)
+	}
+	return out
+}
+
+// StatsAggregate folds the per-shard stats into one graph-level snapshot:
+// counters and queue depths sum, Workers sums to the total serving capacity,
+// and Generation/MaxQueue/service times come from shard 0 (shards are
+// configured identically and swap in lockstep).
+func (s *Served) StatsAggregate() EngineStats {
+	return wrapEngineStats(router.Aggregate(s.s.Stats()))
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -201,5 +202,103 @@ func TestOpenSnapshotClosedIsLoud(t *testing.T) {
 	}
 	if err := snap.Verify(); !errors.Is(err, ErrSnapshotClosed) {
 		t.Errorf("Verify after Close = %v, want ErrSnapshotClosed", err)
+	}
+}
+
+// TestPublicAPISurface pins the serving tier's public API: the method sets of
+// the registry types and the field names of the request/response bundles.
+// These names are the contract clients and the HTTP layer compile against —
+// additions are fine (extend the snapshot deliberately), renames and removals
+// are breaks this test exists to catch.
+func TestPublicAPISurface(t *testing.T) {
+	methods := func(v any) []string {
+		rt := reflect.TypeOf(v)
+		out := make([]string, 0, rt.NumMethod())
+		for i := 0; i < rt.NumMethod(); i++ {
+			out = append(out, rt.Method(i).Name)
+		}
+		return out
+	}
+	fields := func(v any) []string {
+		rt := reflect.TypeOf(v)
+		out := make([]string, 0, rt.NumField())
+		for i := 0; i < rt.NumField(); i++ {
+			out = append(out, rt.Field(i).Name)
+		}
+		return out
+	}
+	check := func(name string, got, want []string) {
+		t.Helper()
+		missing := []string{}
+		have := map[string]bool{}
+		for _, m := range got {
+			have[m] = true
+		}
+		for _, m := range want {
+			if !have[m] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) > 0 {
+			t.Errorf("%s lost surface: missing %v (have %v)", name, missing, got)
+		}
+	}
+
+	check("Registry", methods(&Registry{}), []string{
+		"MountOpener", "MountSnapshot", "MountIndex", "Unmount", "Get", "Names", "Do",
+	})
+	check("Served", methods(&Served{}), []string{
+		"Current", "Generation", "NumShards", "Do", "DoBatch", "TopKMerged",
+		"Pair", "Reload", "Stats", "StatsAggregate",
+	})
+	check("Engine", methods(&Engine{}), []string{
+		"Workers", "Current", "Generation", "Swap", "Query", "QueryBatch",
+		"TopK", "Pair", "Do", "DoBatch", "Stats",
+	})
+	check("Index", methods(&Index{}), []string{
+		"Query", "QueryCtx", "QueryBatch", "QueryPair", "Do", "SaveFile",
+		"Verify", "Close", "Backing", "GraphBacking", "Graph", "Stats",
+	})
+	check("Request", fields(Request{}), []string{
+		"Source", "Epsilon", "K", "NoCache", "Parallelism", "Graph", "Class",
+	})
+	check("Response", fields(Response{}), []string{
+		"Result", "Top", "Epsilon", "Clamped", "CacheHit", "Coalesced",
+	})
+	check("EngineStats", fields(EngineStats{}), []string{
+		"Workers", "MaxQueue", "Generation", "Swaps", "CacheReuses", "Queries",
+		"CacheHits", "Coalesced", "Shed", "QueueDepth", "Interactive", "Batch",
+		"CacheEntries", "PairQueries", "Errors", "ParallelQueries",
+		"ChunksExecuted", "ChunksMerged",
+	})
+	check("ClassStats", fields(ClassStats{}), []string{
+		"Queries", "Shed", "QueueDepth", "AvgServiceNs",
+	})
+	check("GraphConfig", fields(GraphConfig{}), []string{"Shards", "Engine"})
+
+	// The admission classes and their wire names.
+	if ClassInteractive.String() != "interactive" || ClassBatch.String() != "batch" {
+		t.Errorf("class names = %q/%q", ClassInteractive, ClassBatch)
+	}
+	if c, err := ParseClass("batch"); err != nil || c != ClassBatch {
+		t.Errorf("ParseClass(batch) = %v, %v", c, err)
+	}
+	if c, err := ParseClass(""); err != nil || c != ClassInteractive {
+		t.Errorf("ParseClass(\"\") = %v, %v", c, err)
+	}
+	if _, err := ParseClass("bulk"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+
+	// Sentinel errors servers classify on.
+	for name, sentinel := range map[string]error{
+		"ErrOverloaded":     ErrOverloaded,
+		"ErrUnknownGraph":   ErrUnknownGraph,
+		"ErrInvalidNode":    ErrInvalidNode,
+		"ErrInvalidEpsilon": ErrInvalidEpsilon,
+	} {
+		if sentinel == nil {
+			t.Errorf("%s is nil", name)
+		}
 	}
 }
