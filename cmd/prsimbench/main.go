@@ -10,7 +10,7 @@
 //	prsimbench -experiment all
 //
 // Experiments: fig1, fig2, fig3, fig4, fig5, fig6a, fig6b, fig7a, fig7b,
-// hubsweep, backwardwalk, secondmoment, loadtime, querypath, all.
+// hubsweep, backwardwalk, secondmoment, loadtime, querypath, updatecost, all.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment, so kernel changes can be attributed function by function (see
@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, querypath, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, querypath, updatecost, all)")
 		full       = flag.Bool("full", false, "use the full (slower) configuration instead of the quick one")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset for fig2-fig5 (default: all five)")
 		queries    = flag.Int("queries", 0, "override the number of queries per measurement")
@@ -137,8 +137,10 @@ func run(experiment string, cfg eval.Config, datasets []string) error {
 		return runLoadTime(cfg)
 	case "querypath", "kernel":
 		return runQueryPath(cfg)
+	case "updatecost", "dynamic":
+		return runUpdateCost(cfg)
 	case "all":
-		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime", "querypath"} {
+		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime", "querypath", "updatecost"} {
 			if err := run(exp, cfg, datasets); err != nil {
 				return err
 			}
@@ -326,6 +328,29 @@ func runQueryPath(cfg eval.Config) error {
 	for _, tier := range res.ParallelSweep {
 		fmt.Fprintf(w3, "%d\t%.3f\t%.2fx\t%.0f\n",
 			tier.Parallelism, tier.NsPerQuery/1e6, tier.Speedup, tier.Chunks)
+	}
+	return nil
+}
+
+func runUpdateCost(cfg eval.Config) error {
+	fmt.Println("=== Dynamic graphs: incremental hub maintenance vs full rebuild ===")
+	res, err := eval.RunUpdateCost(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges; epsilon=%.2f, %d hubs; full build %.0f ms; parity over %d queries\n",
+		res.Nodes, res.Edges, res.Epsilon, res.NumHubs, res.BuildMillis, res.Queries)
+	w, flush := newTable("batch", "mode", "hubs recomputed", "fraction", "entries rewritten", "apply (ms)", "rebuild (ms)", "speedup", "max |diff|")
+	defer flush()
+	for _, r := range res.Rows {
+		mode := "exact"
+		if r.DriftBudget > 0 {
+			mode = fmt.Sprintf("drift %.3g (skipped %d)", r.DriftBudget, r.HubsSkippedDrift)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d/%d\t%.1f%%\t%.1f%%\t%.1f\t%.1f\t%.1fx\t%.4f (2eps=%.2f)\n",
+			r.BatchSize, mode, r.HubsRecomputed, r.HubsTotal, 100*r.FractionHubs,
+			100*r.FractionEntries, r.ApplyMillis, r.RebuildMillis, r.Speedup,
+			r.MaxAbsDiff, 2*res.Epsilon)
 	}
 	return nil
 }

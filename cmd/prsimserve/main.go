@@ -30,6 +30,7 @@
 //	GET/POST /v1/graphs/{name}/topk     top-k (multi-source merges globally)
 //	GET  /v1/graphs/{name}/pair         single-pair SimRank s(u, v)
 //	GET  /v1/graphs/{name}/stats        per-graph engine/shard statistics
+//	POST /v1/graphs/{name}/edges        apply streamed edge mutations
 //	POST /v1/graphs/{name}/reload       re-open backing, swap without drops
 //	GET  /v1/graphs                     list mounted graphs
 //	PUT  /v1/graphs/{name}              mount a snapshot
@@ -53,6 +54,15 @@
 // on demand. With -verifyevery the serving snapshot's CRC-32C is re-verified
 // in the background, and a failed verification triggers an automatic
 // rollback to a freshly verified re-open of the snapshot path.
+//
+// Streaming mutations: POST /v1/graphs/{name}/edges applies a batch of edge
+// insertions/deletions incrementally (only the hubs the batch can perturb are
+// recomputed), publishes the successor as a delta file next to the snapshot
+// (<snapshot>.delta; a full rewrite once the delta passes -rewriteratio of
+// the base size), and hot-swaps every shard with impact-filtered cache
+// retention. Opens and reloads layer a published delta back over its base
+// automatically. Admin endpoints (edges, reload, mount, unmount) can be gated
+// behind a bearer token with -admintoken.
 package main
 
 import (
@@ -95,6 +105,9 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline ceiling (timeout_ms may only shorten it)")
 	flag.DurationVar(&cfg.verifyEvery, "verifyevery", 0, "re-verify the snapshot checksum in the background at this interval (0 disables)")
+	flag.StringVar(&cfg.adminToken, "admintoken", "", "bearer token required on admin endpoints (reload, mount, unmount, edges); empty leaves the admin plane open")
+	flag.Float64Var(&cfg.rewriteRatio, "rewriteratio", 0.5, "full-rewrite threshold for edge updates: republish the whole snapshot once the delta would exceed this fraction of the base size")
+	flag.Float64Var(&cfg.driftBudget, "mutatedrift", 0, "drift budget for edge updates in units of rmax: hubs perturbed by at most this much skip recomputation (bounded score drift, smaller update footprint); 0 keeps updates bit-exact")
 	flag.Parse()
 
 	srv, err := buildServer(cfg)
@@ -147,6 +160,9 @@ type config struct {
 	maxQueue           int
 	addr               string
 	timeout            time.Duration
+	adminToken         string
+	rewriteRatio       float64
+	driftBudget        float64
 }
 
 // server wires the multi-graph registry to the HTTP surface; its handler is
@@ -171,6 +187,12 @@ type server struct {
 	lastLoadAt   time.Time
 	watchedMod   time.Time
 	watchedSize  int64
+
+	// mutMu guards the mutator map; each graph's mutation pipeline state
+	// (apply→publish→swap serialization, delta base gens, counters) lives in
+	// its mutator (see mutate.go).
+	mutMu    sync.Mutex
+	mutators map[string]*mutator
 
 	// verifyMu guards the background checksum-verification status below it.
 	verifyMu      sync.Mutex
@@ -231,7 +253,8 @@ func buildServer(cfg config) (*server, error) {
 		cfg: cfg, g: g, reg: reg, def: def,
 		start: time.Now(), timeout: timeout,
 		loadTime: loadTime, lastLoadTime: loadTime, lastLoadAt: time.Now(),
-		stop: make(chan struct{}),
+		mutators: make(map[string]*mutator),
+		stop:     make(chan struct{}),
 	}
 	s.watchedMod, s.watchedSize = startMod, startSize
 	return s, nil
@@ -249,10 +272,20 @@ func (c config) graphConfig() prsim.GraphConfig {
 // nil only when loading a self-contained snapshot.
 func openIndex(cfg config, g *prsim.Graph) (*prsim.Index, error) {
 	switch {
-	case cfg.loadIndex != "" && (cfg.mmap || g == nil):
-		// Zero-copy snapshot open; with g == nil the graph is reconstructed
-		// from the file (v3). Falls back to streaming on unsupported
-		// platforms.
+	case cfg.loadIndex != "" && g == nil:
+		// Self-contained zero-copy open, layering a published edge-update
+		// delta over the base when one exists next to the file. Falls back to
+		// streaming on unsupported platforms.
+		idx, err := openSnapshotAuto(cfg.loadIndex)
+		if err == nil && cfg.mmapVerify {
+			if verr := idx.Verify(); verr != nil {
+				idx.Close()
+				return nil, verr
+			}
+		}
+		return idx, err
+	case cfg.loadIndex != "" && cfg.mmap:
+		// Zero-copy snapshot open against a separately supplied graph.
 		idx, err := prsim.OpenSnapshot(cfg.loadIndex, g)
 		if err == nil && cfg.mmapVerify {
 			if verr := idx.Verify(); verr != nil {
@@ -289,6 +322,11 @@ func (s *server) reload() (reloadInfo, error) {
 	if s.cfg.loadIndex == "" {
 		return reloadInfo{}, fmt.Errorf("no -loadindex snapshot to reload (index was built at startup)")
 	}
+	// Serialize against edge mutations first (mutator before reloadMu,
+	// everywhere): a reload must never retire the index an apply is reading.
+	m := s.mutatorFor(prsim.DefaultGraph)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	// Capture the file's identity BEFORE opening it: a snapshot renamed over
@@ -303,6 +341,7 @@ func (s *server) reload() (reloadInfo, error) {
 	s.lastLoadTime = time.Since(loadStart)
 	s.lastLoadAt = time.Now()
 	s.watchedMod, s.watchedSize = preMod, preSize
+	m.refreshBase()
 	info := reloadInfo{
 		generation:   s.def.Generation(),
 		loadTime:     s.lastLoadTime,
@@ -363,6 +402,9 @@ func (s *server) verifySnapshot() {
 // lock) so the watcher does not double-load a file the rollback just picked
 // up.
 func (s *server) rollback() error {
+	m := s.mutatorFor(prsim.DefaultGraph)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	preMod, preSize := statWatched(s.cfg.loadIndex)
@@ -373,6 +415,7 @@ func (s *server) rollback() error {
 	s.lastLoadTime = time.Since(loadStart)
 	s.lastLoadAt = time.Now()
 	s.watchedMod, s.watchedSize = preMod, preSize
+	m.refreshBase()
 	return nil
 }
 
@@ -464,11 +507,12 @@ func (s *server) routes() []route {
 		{pattern: "POST /v1/graphs/{graph}/topk", handler: s.handleTopK},
 		{pattern: "GET /v1/graphs/{graph}/pair", handler: s.handlePair},
 		{pattern: "GET /v1/graphs/{graph}/stats", handler: s.handleGraphStats},
-		// v1 admin plane.
-		{pattern: "POST /v1/graphs/{graph}/reload", handler: s.handleReload},
+		// v1 admin plane (bearer-auth gated when -admintoken is set).
+		{pattern: "POST /v1/graphs/{graph}/edges", handler: s.admin(s.handleEdges)},
+		{pattern: "POST /v1/graphs/{graph}/reload", handler: s.admin(s.handleReload)},
 		{pattern: "GET /v1/graphs", handler: s.handleGraphList},
-		{pattern: "PUT /v1/graphs/{graph}", handler: s.handleMount},
-		{pattern: "DELETE /v1/graphs/{graph}", handler: s.handleUnmount},
+		{pattern: "PUT /v1/graphs/{graph}", handler: s.admin(s.handleMount)},
+		{pattern: "DELETE /v1/graphs/{graph}", handler: s.admin(s.handleUnmount)},
 		{pattern: "GET /v1/stats", handler: s.handleServerStats},
 		{pattern: "GET /v1/healthz", handler: s.handleHealthz},
 		// Legacy unversioned aliases: the default graph's endpoints under
@@ -478,7 +522,7 @@ func (s *server) routes() []route {
 		{pattern: "GET /topk", handler: s.handleTopK, successor: "/v1/graphs/default/topk"},
 		{pattern: "POST /topk", handler: s.handleTopK, successor: "/v1/graphs/default/topk"},
 		{pattern: "GET /pair", handler: s.handlePair, successor: "/v1/graphs/default/pair"},
-		{pattern: "POST /reload", handler: s.handleReload, successor: "/v1/graphs/default/reload"},
+		{pattern: "POST /reload", handler: s.admin(s.handleReload), successor: "/v1/graphs/default/reload"},
 		{pattern: "GET /stats", handler: s.handleGraphStats, successor: "/v1/graphs/default/stats"},
 		{pattern: "GET /healthz", handler: s.handleHealthz},
 	}
@@ -864,11 +908,18 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	// Serialize with edge mutations on this graph and re-read the delta base
+	// afterwards (the reload may have picked up an externally republished
+	// snapshot with fresh gens).
+	m := s.mutatorFor(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	loadStart := time.Now()
 	if err := sv.Reload(nil); err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
+	m.refreshBase()
 	idx := sv.Current()
 	writeJSON(w, map[string]any{
 		"status":        "reloaded",
@@ -922,7 +973,12 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	if body.MaxQueue != nil {
 		cfg.Engine.MaxQueue = *body.MaxQueue
 	}
-	sv, err := s.reg.MountSnapshot(name, body.Snapshot, cfg)
+	// Mount through the delta-aware opener so a graph whose snapshot has a
+	// published edge-update delta next to it comes up at the updated state
+	// (and reloads keep picking the pair up).
+	sv, err := s.reg.MountOpener(name, cfg, func() (*prsim.Index, error) {
+		return openSnapshotAuto(body.Snapshot)
+	})
 	if err != nil {
 		status, code := http.StatusInternalServerError, codeInternal
 		if strings.Contains(err.Error(), "already mounted") {
@@ -931,6 +987,7 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err.Error())
 		return
 	}
+	s.mountMutator(name, body.Snapshot)
 	idx := sv.Current()
 	log.Printf("prsimserve: mounted graph %q from %s (%d nodes, %d shards)",
 		name, body.Snapshot, idx.Graph().NumNodes(), sv.NumShards())
@@ -955,6 +1012,7 @@ func (s *server) handleUnmount(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	s.dropMutator(name)
 	log.Printf("prsimserve: unmounted graph %q", name)
 	writeJSON(w, map[string]any{"status": "unmounted", "graph": name})
 }
@@ -1043,8 +1101,10 @@ func (s *server) graphStatsPayload(sv *prsim.Served, name string) map[string]any
 			"interactive": classStatsJSON(est.Interactive),
 			"batch":       classStatsJSON(est.Batch),
 		},
-		"shards": shardStatsJSON(sv.Stats()),
+		"shards":    shardStatsJSON(sv.Stats()),
+		"mutations": s.mutatorFor(name).statsJSON(),
 	}
+	payload["index"].(map[string]any)["update_generation"] = idx.Generation()
 	if name != prsim.DefaultGraph {
 		payload["generation"] = est.Generation
 		return payload
@@ -1176,6 +1236,7 @@ const (
 	codeUnknownGraph     = "unknown_graph"
 	codeConflict         = "conflict"
 	codeInternal         = "internal"
+	codeUnauthorized     = "unauthorized"
 )
 
 // errorJSON is the unified error envelope body.

@@ -472,6 +472,7 @@ func TestHTTPSurfaceSnapshot(t *testing.T) {
 		"POST /v1/graphs/{graph}/topk",
 		"GET /v1/graphs/{graph}/pair",
 		"GET /v1/graphs/{graph}/stats",
+		"POST /v1/graphs/{graph}/edges",
 		"POST /v1/graphs/{graph}/reload",
 		"GET /v1/graphs",
 		"PUT /v1/graphs/{graph}",
@@ -507,10 +508,12 @@ func TestHTTPSurfaceSnapshot(t *testing.T) {
 	codes := []string{
 		codeOverloaded, codeInvalidNode, codeInvalidEpsilon, codeInvalidArgument,
 		codeDeadlineExceeded, codeUnknownGraph, codeConflict, codeInternal,
+		codeUnauthorized,
 	}
 	wantCodes := []string{
 		"overloaded", "invalid_node", "invalid_epsilon", "invalid_argument",
 		"deadline_exceeded", "unknown_graph", "conflict", "internal",
+		"unauthorized",
 	}
 	for i, c := range codes {
 		if c != wantCodes[i] {

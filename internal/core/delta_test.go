@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"prsim/internal/graph"
+)
+
+// deltaFixture builds an index, applies one update batch, and returns the
+// predecessor, the successor, and the batch.
+func deltaFixture(t *testing.T) (*Index, *Index, []graph.EdgeUpdate) {
+	t.Helper()
+	g := randomGraph(11, 60, 240)
+	idx, err := BuildIndex(g, updateTestOptions(11))
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	batch := []graph.EdgeUpdate{{From: 3, To: 41}, {From: 17, To: 2}}
+	nidx, _, err := idx.ApplyUpdates(batch)
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	return idx, nidx, batch
+}
+
+func TestGensAdvanceAcrossUpdates(t *testing.T) {
+	idx, nidx, _ := deltaFixture(t)
+	old, cur := idx.Gens(), nidx.Gens()
+	if old.Generation != 1 || cur.Generation != 2 {
+		t.Fatalf("generations %d -> %d, want 1 -> 2", old.Generation, cur.Generation)
+	}
+	if old.Lineage != cur.Lineage {
+		t.Fatalf("lineage changed across ApplyUpdates: %#x -> %#x", old.Lineage, cur.Lineage)
+	}
+	// The hub set is carried verbatim, so its section must keep the old stamp;
+	// the graph adjacency changed, so its sections must carry the new one.
+	if cur.Sections[sectionHubOrder] != old.Sections[sectionHubOrder] {
+		t.Errorf("hubOrder section stamp advanced despite identical bytes")
+	}
+	for _, s := range []int{sectionGraphOutOff, sectionGraphOutAdj, sectionGraphInOff, sectionGraphInAdj} {
+		if cur.Sections[s] != 2 {
+			t.Errorf("graph section %d stamp %d, want 2", s, cur.Sections[s])
+		}
+	}
+	// Re-building the same graph with the same options lands on the same
+	// lineage, so pre-v4 loads and rebuilds stay delta-compatible.
+	idx2, err := BuildIndex(idx.Graph(), updateTestOptions(11))
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if idx2.Gens().Lineage != old.Lineage {
+		t.Errorf("rebuild changed lineage: %#x vs %#x", idx2.Gens().Lineage, old.Lineage)
+	}
+}
+
+// TestDeltaSpliceMatchesFullSave is the core delta guarantee: base + delta
+// reproduces the successor's full save bit for bit, while shipping only the
+// sections the update actually rewrote.
+func TestDeltaSpliceMatchesFullSave(t *testing.T) {
+	idx, nidx, _ := deltaFixture(t)
+
+	var base, full, delta bytes.Buffer
+	if err := idx.Save(&base); err != nil {
+		t.Fatalf("Save base: %v", err)
+	}
+	if err := nidx.Save(&full); err != nil {
+		t.Fatalf("Save full: %v", err)
+	}
+	if err := nidx.WriteDelta(&delta, idx.Gens()); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+
+	if size, err := nidx.DeltaSize(idx.Gens()); err != nil || size != uint64(delta.Len()) {
+		t.Fatalf("DeltaSize = %d (err %v), actual delta is %d bytes", size, err, delta.Len())
+	}
+	d, err := ParseDeltaLayout(delta.Bytes())
+	if err != nil {
+		t.Fatalf("ParseDeltaLayout: %v", err)
+	}
+	if d.Ships(sectionHubOrder) {
+		t.Errorf("delta ships the unchanged hubOrder section")
+	}
+	if !d.Ships(sectionPi) || !d.Ships(sectionGraphOutAdj) {
+		t.Errorf("delta does not ship changed sections (mask %#x)", d.ShippedMask)
+	}
+
+	spliced, err := SpliceDelta(base.Bytes(), delta.Bytes())
+	if err != nil {
+		t.Fatalf("SpliceDelta: %v", err)
+	}
+	if !bytes.Equal(spliced, full.Bytes()) {
+		t.Fatalf("spliced snapshot differs from the successor's full save (%d vs %d bytes)",
+			len(spliced), full.Len())
+	}
+
+	// The spliced image must load like any full snapshot.
+	lg, lidx, err := LoadSelfContained(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatalf("LoadSelfContained(spliced): %v", err)
+	}
+	if lg.Checksum() != nidx.Graph().Checksum() {
+		t.Fatalf("spliced graph checksum differs from successor graph")
+	}
+	if lidx.Gens() != nidx.Gens() {
+		t.Fatalf("spliced gens %+v, want %+v", lidx.Gens(), nidx.Gens())
+	}
+}
+
+// TestDeltaChainedGenerations covers a delta spanning several ApplyUpdates
+// steps: a receiver still on generation 1 applies one delta to reach
+// generation 3.
+func TestDeltaChainedGenerations(t *testing.T) {
+	idx, nidx, _ := deltaFixture(t)
+	n2, _, err := nidx.ApplyUpdates([]graph.EdgeUpdate{{From: 3, To: 41, Delete: true}, {From: 8, To: 30}})
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	if g := n2.Gens().Generation; g != 3 {
+		t.Fatalf("generation %d, want 3", g)
+	}
+
+	var base, full, delta bytes.Buffer
+	if err := idx.Save(&base); err != nil {
+		t.Fatalf("Save base: %v", err)
+	}
+	if err := n2.Save(&full); err != nil {
+		t.Fatalf("Save full: %v", err)
+	}
+	if err := n2.WriteDelta(&delta, idx.Gens()); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+	spliced, err := SpliceDelta(base.Bytes(), delta.Bytes())
+	if err != nil {
+		t.Fatalf("SpliceDelta: %v", err)
+	}
+	if !bytes.Equal(spliced, full.Bytes()) {
+		t.Fatalf("chained delta splice differs from full save")
+	}
+}
+
+func TestDeltaRejectsMismatches(t *testing.T) {
+	idx, nidx, batch := deltaFixture(t)
+
+	// Same generation: nothing to ship.
+	if err := nidx.WriteDelta(&bytes.Buffer{}, nidx.Gens()); err == nil {
+		t.Errorf("WriteDelta against its own generation succeeded")
+	}
+	// Different lineage: an independent build of a different graph.
+	other, err := BuildIndex(randomGraph(12, 60, 240), updateTestOptions(12))
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if err := nidx.WriteDelta(&bytes.Buffer{}, other.Gens()); err == nil {
+		t.Errorf("WriteDelta across lineages succeeded")
+	}
+
+	var base, full, delta bytes.Buffer
+	if err := idx.Save(&base); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := nidx.Save(&full); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := nidx.WriteDelta(&delta, idx.Gens()); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+
+	// Applying the delta to the successor itself (wrong generation) fails.
+	if _, err := SpliceDelta(full.Bytes(), delta.Bytes()); err == nil {
+		t.Errorf("splice onto the wrong generation succeeded")
+	}
+	// Corrupting a shipped payload byte trips the delta checksum.
+	bad := append([]byte(nil), delta.Bytes()...)
+	bad[len(bad)-16] ^= 0x01
+	if _, err := SpliceDelta(base.Bytes(), bad); err == nil {
+		t.Errorf("splice with corrupt delta payload succeeded")
+	}
+	// Corrupting the base is caught too — the spliced file gets a fresh
+	// trailer, so this is the only place base corruption can surface.
+	badBase := append([]byte(nil), base.Bytes()...)
+	badBase[len(badBase)-16] ^= 0x01
+	if _, err := SpliceDelta(badBase, delta.Bytes()); err == nil {
+		t.Errorf("splice with corrupt base succeeded")
+	}
+	// A batch that leaves the graph byte-identical still bumps the
+	// generation, and the resulting delta must apply cleanly.
+	undo := []graph.EdgeUpdate{
+		{From: batch[0].From, To: batch[0].To, Delete: true},
+		{From: batch[1].From, To: batch[1].To, Delete: true},
+		{From: batch[0].From, To: batch[0].To},
+		{From: batch[1].From, To: batch[1].To},
+	}
+	n2, _, err := nidx.ApplyUpdates(undo)
+	if err != nil {
+		t.Fatalf("ApplyUpdates(undo): %v", err)
+	}
+	var d2 bytes.Buffer
+	if err := n2.WriteDelta(&d2, nidx.Gens()); err != nil {
+		t.Fatalf("WriteDelta after no-op batch: %v", err)
+	}
+	var f2 bytes.Buffer
+	if err := nidx.Save(&f2); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := SpliceDelta(f2.Bytes(), d2.Bytes()); err != nil {
+		t.Errorf("no-op delta did not apply: %v", err)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
+	"io"
 	"math"
+	"os"
 )
 
-// Snapshot v3 is the flat, mmap-friendly, self-contained on-disk format: one
+// Snapshot v4 is the flat, mmap-friendly, self-contained on-disk format: one
 // file holds the whole serving state — the hub index *and* the graph's CSR
 // adjacency structure (plus the optional node-label table) — so a server can
 // cold-start with a single O(header) mapping instead of re-parsing an edge
@@ -17,6 +20,9 @@ import (
 //	              sections start, node count, option bits, section counts,
 //	              file size, flags, edge count)
 //	section table 11 × 16 bytes: (offset, byte length) per section
+//	generations   104 bytes (v4 only): lineage u64, generation u64, and one
+//	              u64 per section stamping the generation that last rewrote
+//	              its bytes (the provenance delta snapshots are keyed on)
 //	sections      each starting on an 8-byte boundary (zero padding between
 //	              sections whose length is not a multiple of 8):
 //	                pi            nNodes    × 8  (f64 bits)
@@ -42,16 +48,25 @@ import (
 // in-degree (flag bit 0), because a read-only mapping cannot be re-sorted in
 // place.
 //
+// Version 4 extends v3 with a generation block between the section table and
+// the sections: a lineage id (shared by every snapshot derived from one
+// BuildIndex by chained ApplyUpdates), the snapshot's generation counter, and
+// a per-section generation stamp recording the last generation that rewrote
+// each section's bytes. The stamps are what make delta snapshots possible — a
+// delta file (see delta.go) ships only the sections whose stamp is newer than
+// the receiver's generation and splices the rest out of the base file.
+//
 // Version 2 (flat index, no graph — the previous Save output) and version 1
 // (the legacy element-streamed format) are still accepted by LoadIndex and by
 // the snapshot opener when the caller supplies the graph separately; Save
-// always writes version 3. SaveV2 keeps the v2 writer available for
+// always writes version 4. SaveV2 keeps the v2 writer available for
 // compatibility tooling.
 const (
 	indexMagic     = 0x5052534d // "PRSM"
 	indexVersionV1 = 1
 	indexVersionV2 = 2
 	indexVersionV3 = 3
+	indexVersionV4 = 4
 
 	snapshotHeaderBytes  = 128
 	snapshotTrailerBytes = 8
@@ -65,6 +80,11 @@ const (
 	snapshotSectionCount  = 11
 	snapshotTableBytes    = snapshotSectionCount * 16
 	snapshotSectionsStart = snapshotHeaderBytes + snapshotTableBytes
+
+	// v4 layout: v3 plus the generation block (lineage u64, generation u64,
+	// one u64 stamp per section) between the section table and the sections.
+	snapshotGensBytes       = (2 + snapshotSectionCount) * 8
+	snapshotSectionsStartV4 = snapshotSectionsStart + snapshotGensBytes
 
 	// entryRecordBytes is the serialized size of one IndexEntry record.
 	entryRecordBytes = 16
@@ -113,34 +133,56 @@ func (s Section) End() uint64 { return s.Off + s.Len }
 // align8 rounds x up to the next multiple of 8.
 func align8(x uint64) uint64 { return (x + 7) &^ 7 }
 
-// SnapshotLayout is the decoded header and section table of a v2 or v3
+// SnapshotGens is the v4 generation block: the provenance metadata delta
+// snapshots are keyed on. Lineage identifies the BuildIndex ancestry — every
+// index derived from one build by chained ApplyUpdates keeps the same lineage,
+// and deltas between different lineages are refused. Generation counts the
+// ApplyUpdates steps since the build (1 for a fresh build), and Sections[i]
+// records the generation that last rewrote section i's bytes; a section is
+// byte-identical across two snapshots of one lineage iff its stamps match.
+type SnapshotGens struct {
+	Lineage    uint64
+	Generation uint64
+	Sections   [snapshotSectionCount]uint64
+}
+
+// SnapshotLayout is the decoded header and section table of a v2–v4
 // snapshot. It is exported (within the module) so internal/snapshot can locate
 // the sections of an mmap'd file without re-implementing the format.
 type SnapshotLayout struct {
 	Version    uint64
 	NNodes     uint64
-	NumEdges   uint64 // v3 only; zero for v2 layouts
+	NumEdges   uint64 // v3+ only; zero for v2 layouts
 	Opts       Options
 	NumHubs    uint64
 	NumLevels  uint64 // total level slots across all hubs
 	NumEntries uint64
 	FileSize   uint64
-	OutSorted  bool // v3: graph serialized with sorted out-adjacency
-	HasLabels  bool // v3: label table present
+	OutSorted  bool // v3+: graph serialized with sorted out-adjacency
+	HasLabels  bool // v3+: label table present
 	LabelBytes uint64
+	Gens       SnapshotGens // v4 only; zero for earlier versions
 	Sections   [snapshotSectionCount]Section
 }
 
 // HasGraph reports whether the snapshot embeds the graph's CSR structure
-// (true for every v3 file; v2 files carry the index only).
+// (true for every v3+ file; v2 files carry the index only).
 func (l *SnapshotLayout) HasGraph() bool { return l.Version >= indexVersionV3 }
 
-// sectionsStart returns the first byte past the section table.
+// HasGens reports whether the snapshot carries the v4 generation block.
+func (l *SnapshotLayout) HasGens() bool { return l.Version >= indexVersionV4 }
+
+// sectionsStart returns the first byte past the fixed prefix (header, section
+// table, and — for v4 — the generation block).
 func (l *SnapshotLayout) sectionsStart() uint64 {
-	if l.Version == indexVersionV2 {
+	switch l.Version {
+	case indexVersionV2:
 		return snapshotSectionsStartV2
+	case indexVersionV3:
+		return snapshotSectionsStart
+	default:
+		return snapshotSectionsStartV4
 	}
-	return snapshotSectionsStart
 }
 
 // HotSections returns the sections queries touch first — the index entry
@@ -149,14 +191,20 @@ func (l *SnapshotLayout) sectionsStart() uint64 {
 // so a future section reordering cannot silently desynchronize callers that
 // would otherwise hard-code indices.
 func (l *SnapshotLayout) HotSections() []Section {
-	hot := []Section{l.Sections[sectionEntrySlab]}
+	hot := make([]Section, 0, 5)
+	for _, i := range l.HotSectionIndices() {
+		hot = append(hot, l.Sections[i])
+	}
+	return hot
+}
+
+// HotSectionIndices returns the indices (into Sections) of the hot sections,
+// for callers — like the delta opener — whose section bytes live in more than
+// one file and who therefore need indices rather than single-file offsets.
+func (l *SnapshotLayout) HotSectionIndices() []int {
+	hot := []int{sectionEntrySlab}
 	if l.HasGraph() {
-		hot = append(hot,
-			l.Sections[sectionGraphOutOff],
-			l.Sections[sectionGraphOutAdj],
-			l.Sections[sectionGraphInOff],
-			l.Sections[sectionGraphInAdj],
-		)
+		hot = append(hot, sectionGraphOutOff, sectionGraphOutAdj, sectionGraphInOff, sectionGraphInAdj)
 	}
 	return hot
 }
@@ -164,6 +212,10 @@ func (l *SnapshotLayout) HotSections() []Section {
 // EntrySlabSection locates the index entry slab — the snapshot's largest hot
 // structure and the target for transparent-huge-page advice on large indexes.
 func (l *SnapshotLayout) EntrySlabSection() Section { return l.Sections[sectionEntrySlab] }
+
+// EntrySlabIndex returns the entry slab's index into Sections, for callers
+// addressing sections across the two files of a delta-backed open.
+func (l *SnapshotLayout) EntrySlabIndex() int { return sectionEntrySlab }
 
 // sectionCount returns how many section-table rows the version defines.
 func (l *SnapshotLayout) sectionCount() int {
@@ -204,13 +256,43 @@ func (l *SnapshotLayout) sectionLens() [snapshotSectionCount]uint64 {
 	return lens
 }
 
-// snapshotLayout computes the v3 layout for this index and its graph:
-// sections starting right after the section table, each aligned up to an
+// ensureGens initializes the generation block for an index that does not have
+// one yet: a fresh build, or an index loaded from a pre-v4 snapshot. The
+// lineage is derived deterministically from the graph fingerprint and the
+// build options, so re-building (or re-loading a pre-v4 save of) the same
+// index yields the same lineage and deltas between such snapshots still work.
+func (idx *Index) ensureGens() {
+	if idx.gens.Generation != 0 {
+		return
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(idx.g.Checksum()))
+	put(math.Float64bits(idx.opts.C))
+	put(math.Float64bits(idx.opts.Epsilon))
+	put(math.Float64bits(idx.opts.Delta))
+	put(uint64(idx.opts.MaxLevels))
+	put(idx.opts.Seed)
+	put(math.Float64bits(idx.opts.SampleScale))
+	put(uint64(int64(idx.opts.NumHubs)))
+	idx.gens = SnapshotGens{Lineage: h.Sum64(), Generation: 1}
+	for i := range idx.gens.Sections {
+		idx.gens.Sections[i] = 1
+	}
+}
+
+// snapshotLayout computes the v4 layout for this index and its graph:
+// sections starting right after the generation block, each aligned up to an
 // 8-byte boundary.
 func (idx *Index) snapshotLayout() SnapshotLayout {
 	g := idx.g
+	idx.ensureGens()
 	l := SnapshotLayout{
-		Version:    indexVersionV3,
+		Version:    indexVersionV4,
 		NNodes:     uint64(g.N()),
 		NumEdges:   uint64(g.M()),
 		Opts:       idx.opts,
@@ -218,6 +300,7 @@ func (idx *Index) snapshotLayout() SnapshotLayout {
 		NumLevels:  uint64(len(idx.entryOffsets) - 1),
 		NumEntries: uint64(len(idx.entrySlab)),
 		OutSorted:  g.OutSortedByInDegree(),
+		Gens:       idx.gens,
 	}
 	if labels := g.Labels(); labels != nil {
 		l.HasLabels = true
@@ -226,7 +309,7 @@ func (idx *Index) snapshotLayout() SnapshotLayout {
 		}
 	}
 	lens := l.sectionLens()
-	off := uint64(snapshotSectionsStart)
+	off := l.sectionsStart()
 	for i, n := range lens {
 		l.Sections[i] = Section{Off: off, Len: n}
 		off = align8(off + n)
@@ -291,16 +374,26 @@ func encodeSnapshotPrefix(l SnapshotLayout) []byte {
 		binary.LittleEndian.PutUint64(buf[base:], l.Sections[i].Off)
 		binary.LittleEndian.PutUint64(buf[base+8:], l.Sections[i].Len)
 	}
+	if l.HasGens() {
+		base := snapshotHeaderBytes + snapshotTableBytes
+		binary.LittleEndian.PutUint64(buf[base:], l.Gens.Lineage)
+		binary.LittleEndian.PutUint64(buf[base+8:], l.Gens.Generation)
+		for i, gen := range l.Gens.Sections {
+			binary.LittleEndian.PutUint64(buf[base+16+i*8:], gen)
+		}
+	}
 	return buf
 }
 
-// snapshotPrefixBytes returns the header+table size of the given version.
+// snapshotPrefixBytes returns the fixed-prefix size of the given version.
 func snapshotPrefixBytes(version uint64) (int, error) {
 	switch version {
 	case indexVersionV2:
 		return snapshotSectionsStartV2, nil
 	case indexVersionV3:
 		return snapshotSectionsStart, nil
+	case indexVersionV4:
+		return snapshotSectionsStartV4, nil
 	default:
 		return 0, fmt.Errorf("core: unsupported index version %d", version)
 	}
@@ -351,6 +444,23 @@ func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
 		l.OutSorted = flags&snapshotFlagOutSorted != 0
 		l.HasLabels = flags&snapshotFlagLabels != 0
 	}
+	if version >= indexVersionV4 {
+		base := snapshotHeaderBytes + snapshotTableBytes
+		l.Gens.Lineage = binary.LittleEndian.Uint64(prefix[base:])
+		l.Gens.Generation = binary.LittleEndian.Uint64(prefix[base+8:])
+		for i := range l.Gens.Sections {
+			l.Gens.Sections[i] = binary.LittleEndian.Uint64(prefix[base+16+i*8:])
+		}
+		if l.Gens.Generation == 0 {
+			return nil, fmt.Errorf("core: snapshot generation is 0, want >= 1")
+		}
+		for i, gen := range l.Gens.Sections {
+			if gen == 0 || gen > l.Gens.Generation {
+				return nil, fmt.Errorf("core: snapshot section %d has generation %d outside [1,%d]",
+					i, gen, l.Gens.Generation)
+			}
+		}
+	}
 	for _, c := range []uint64{l.NNodes, l.NumHubs, l.NumLevels, l.NumEntries, l.NumEdges} {
 		if c > snapshotMaxCount {
 			return nil, fmt.Errorf("core: snapshot element count %d exceeds format limit", c)
@@ -395,6 +505,43 @@ func parseSnapshotPrefix(prefix []byte) (*SnapshotLayout, error) {
 		return nil, fmt.Errorf("core: snapshot file size %d does not match sections (want %d)", l.FileSize, end+snapshotTrailerBytes)
 	}
 	return l, nil
+}
+
+// ReadSnapshotGens reads the generation block of a saved snapshot without
+// loading (or mapping) the file: just the fixed prefix is read and
+// structurally validated. ok reports whether the file carries generation
+// stamps at all — false for pre-v4 files, which cannot serve as the base of a
+// delta and need a full rewrite to become one. Serving layers use this to
+// learn what base generation to publish deltas against.
+func ReadSnapshotGens(path string) (gens SnapshotGens, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotGens{}, false, err
+	}
+	defer f.Close()
+	var head [16]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return SnapshotGens{}, false, fmt.Errorf("core: reading snapshot prelude: %w", err)
+	}
+	version, err := SnapshotFileVersion(head[:])
+	if err != nil {
+		return SnapshotGens{}, false, err
+	}
+	prefixLen, err := snapshotPrefixBytes(version)
+	if err != nil {
+		// Unknown (e.g. v1) versions certainly carry no generation block.
+		return SnapshotGens{}, false, nil
+	}
+	prefix := make([]byte, prefixLen)
+	copy(prefix, head[:])
+	if _, err := io.ReadFull(f, prefix[16:]); err != nil {
+		return SnapshotGens{}, false, fmt.Errorf("core: reading snapshot prefix: %w", err)
+	}
+	l, err := parseSnapshotPrefix(prefix)
+	if err != nil {
+		return SnapshotGens{}, false, err
+	}
+	return l.Gens, l.HasGens(), nil
 }
 
 // SnapshotFileVersion inspects the first 16 bytes of a saved index and

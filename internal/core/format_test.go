@@ -153,7 +153,7 @@ func TestLoadIndexCorruptV2(t *testing.T) {
 		return b
 	})
 	mutate("checksum mismatch in pi", func(b []byte) []byte {
-		b[snapshotSectionsStart+3] ^= 0x80
+		b[snapshotSectionsStartV4+3] ^= 0x80
 		return b
 	})
 	mutate("node count mismatch", func(b []byte) []byte {
@@ -187,7 +187,7 @@ func TestLoadIndexCorruptV2(t *testing.T) {
 	mutate("empty", func(b []byte) []byte {
 		return nil
 	})
-	for keep := 0; keep < snapshotSectionsStart; keep += 13 {
+	for keep := 0; keep < snapshotSectionsStartV4; keep += 13 {
 		k := keep
 		mutate("truncated prefix", func(b []byte) []byte { return b[:k] })
 	}
@@ -313,7 +313,7 @@ func FuzzLoadIndex(f *testing.F) {
 	}
 	f.Add(v2.Bytes())
 	f.Add(v2.Bytes()[:16])
-	f.Add(v2.Bytes()[:snapshotSectionsStart])
+	f.Add(v2.Bytes()[:snapshotSectionsStartV4])
 	f.Add([]byte("not an index at all"))
 	f.Add([]byte{})
 	trunc := append([]byte(nil), v2.Bytes()...)

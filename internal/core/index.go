@@ -74,7 +74,34 @@ type Index struct {
 	chunksExecuted atomic.Int64
 	chunksMerged   atomic.Int64
 
+	// gens is the v4 snapshot generation block (see SnapshotGens): set to
+	// generation 1 by BuildIndex, advanced by ApplyUpdates, loaded verbatim
+	// from v4 snapshots, and synthesized deterministically for pre-v4 loads.
+	gens SnapshotGens
+
+	// acts holds each hub's activation set: the sorted node ids its backward
+	// search converted residue at. ApplyUpdates uses it for exact affected-hub
+	// detection — a hub needs recomputation iff its set meets the update's
+	// endpoint in-neighborhoods. actMass is aligned with acts and records the
+	// total reserve the search converted at each activated node (α × the
+	// residue pushed from it), which drift-budget updates use to bound how much
+	// a skipped recomputation can move the hub's entries. In-memory only
+	// (never serialized): BuildIndex and ApplyUpdates populate both as a free
+	// by-product of the searches; snapshot- and stream-loaded indexes leave
+	// them nil (per-hub nil falls back to the conservative residue-bound
+	// detection, and the hub gains its set the first time it is recomputed).
+	acts    [][]int32
+	actMass [][]float32
+
 	stats IndexStats
+}
+
+// Gens returns the index's snapshot generation block: its lineage id, its
+// generation counter, and the per-section stamps delta snapshots are built
+// from.
+func (idx *Index) Gens() SnapshotGens {
+	idx.ensureGens()
+	return idx.gens
 }
 
 // WalkChunkCounters returns how many walk-phase work chunks this index has
@@ -119,6 +146,21 @@ type IndexStats struct {
 // backward search from each hub with residue threshold rmax = (1-√c)²ε/12,
 // storing every reserve above the threshold.
 func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
+	return buildIndex(g, opts, nil)
+}
+
+// buildIndexWithHubs is BuildIndex with the hub set forced instead of derived
+// from the reverse-PageRank ranking. Incremental maintenance keeps the hub
+// set fixed across updates, so its parity harness needs a from-scratch build
+// over the same hubs to compare against bit for bit.
+func buildIndexWithHubs(g *graph.Graph, opts Options, hubOrder []int) (*Index, error) {
+	if len(hubOrder) == 0 {
+		return nil, fmt.Errorf("core: empty forced hub set")
+	}
+	return buildIndex(g, opts, hubOrder)
+}
+
+func buildIndex(g *graph.Graph, opts Options, forcedHubs []int) (*Index, error) {
 	opts, err := opts.fill()
 	if err != nil {
 		return nil, err
@@ -143,15 +185,25 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 	idx.stats.PageRankTime = time.Since(prStart)
 	idx.stats.SecondMoment = pagerank.SecondMoment(pi)
 
-	j0 := opts.NumHubs
-	if j0 < 0 {
-		j0 = defaultNumHubs(n)
+	if forcedHubs != nil {
+		for _, w := range forcedHubs {
+			if err := g.CheckNode(w); err != nil {
+				return nil, fmt.Errorf("core: forced hub: %w", err)
+			}
+		}
+		idx.hubOrder = append([]int(nil), forcedHubs...)
+	} else {
+		j0 := opts.NumHubs
+		if j0 < 0 {
+			j0 = defaultNumHubs(n)
+		}
+		if j0 > n {
+			j0 = n
+		}
+		order := pagerank.RankNodesByScore(pi)
+		idx.hubOrder = order[:j0]
 	}
-	if j0 > n {
-		j0 = n
-	}
-	order := pagerank.RankNodesByScore(pi)
-	idx.hubOrder = order[:j0]
+	j0 := len(idx.hubOrder)
 	idx.hubRank = make([]int, n)
 	for i := range idx.hubRank {
 		idx.hubRank[i] = -1
@@ -161,21 +213,98 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 	}
 
 	pushStart := time.Now()
-	rmax := opts.rmax()
 	built := make([][][]IndexEntry, j0)
+	acts := make([][]int32, j0)
+	mass := make([][]float32, j0)
+	pushes, err := runHubSearches(g, opts, idx.hubOrder, nil, built, acts, mass)
+	if err != nil {
+		return nil, err
+	}
+	idx.acts = acts
+	idx.actMass = mass
+	idx.stats.Pushes = pushes
+	// Build the shared walk tables now — they are preprocessing, not query
+	// work (snapshot-opened indexes build them lazily on the first query
+	// instead, keeping open O(header)).
+	idx.degreeTables()
+	idx.flattenHubLevels(built)
+	idx.stats.Entries = len(idx.entrySlab)
+	idx.stats.PushTime = time.Since(pushStart)
+	idx.stats.NumHubs = j0
+	idx.stats.TotalTime = time.Since(start)
+	idx.ensureGens()
+	return idx, nil
+}
+
+// searchHubLevels runs the backward search from hub w and converts the result
+// into the trimmed, node-sorted per-level entry lists the flat slab stores. It
+// also returns the hub's activation set: every node the search converted
+// residue at (reserves before the storage cut), sorted ascending, with the
+// total reserve converted at each. An edge mutation can change this search's
+// result only if it touches the out-neighborhood or in-degree of an activated
+// node, so the activation set is exactly what incremental maintenance needs to
+// decide whether the hub's entries survive an update verbatim — and the
+// per-node reserve bounds how much the entries can move when a drift budget
+// lets a weakly-perturbed hub skip recomputation.
+func searchHubLevels(g *graph.Graph, w int, opts Options, rmax float64) ([][]IndexEntry, []int32, []float32, int, error) {
+	res, err := pagerank.BackwardSearch(g, w, opts.C, rmax, opts.MaxLevels)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("core: backward search from hub %d: %w", w, err)
+	}
+	levels := make([][]IndexEntry, len(res.Reserves))
+	actSet := make(map[int32]float64)
+	for l, lvl := range res.Reserves {
+		for v, psi := range lvl {
+			actSet[int32(v)] += psi
+			if psi > rmax {
+				levels[l] = append(levels[l], IndexEntry{Node: int32(v), Reserve: psi})
+			}
+		}
+		sort.Slice(levels[l], func(a, b int) bool { return levels[l][a].Node < levels[l][b].Node })
+	}
+	acts := make([]int32, 0, len(actSet))
+	for v := range actSet {
+		acts = append(acts, v)
+	}
+	sort.Slice(acts, func(a, b int) bool { return acts[a] < acts[b] })
+	mass := make([]float32, len(acts))
+	for i, v := range acts {
+		mass[i] = float32(actSet[v])
+	}
+	return levels, acts, mass, res.Pushes, nil
+}
+
+// runHubSearches fills built[rank] (and acts[rank]/mass[rank] with the hub's
+// activation set and per-node reserve masses) with the backward-search levels
+// of every hub for which need returns true (nil need means every hub), fanning
+// the independent searches across a bounded worker pool. Slots whose hub is
+// skipped are left untouched, so incremental maintenance can pre-populate them
+// with carried-over levels and activation sets. Returns the total pushes
+// performed.
+func runHubSearches(g *graph.Graph, opts Options, hubOrder []int, need func(rank int) bool, built [][][]IndexEntry, acts [][]int32, mass [][]float32) (int, error) {
+	j0 := len(hubOrder)
+	work := make([]int, 0, j0)
+	for rank := 0; rank < j0; rank++ {
+		if need == nil || need(rank) {
+			work = append(work, rank)
+		}
+	}
+	if len(work) == 0 {
+		return 0, nil
+	}
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > j0 {
-		workers = j0
+	if workers > len(work) {
+		workers = len(work)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	// The per-hub backward searches are independent; run them on a small
-	// worker pool. Results land in the rank-indexed slots, so no ordering is
-	// lost. The first error wins.
+	rmax := opts.rmax()
+	// The per-hub backward searches are independent; results land in
+	// rank-indexed slots, so no ordering is lost. The first error wins.
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -188,49 +317,32 @@ func BuildIndex(g *graph.Graph, opts Options) (*Index, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				rank := int(atomic.AddInt64(&next, 1))
-				if rank >= j0 {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(work) {
 					return
 				}
-				w := idx.hubOrder[rank]
-				res, err := pagerank.BackwardSearch(g, w, opts.C, rmax, opts.MaxLevels)
+				rank := work[i]
+				levels, a, m, p, err := searchHubLevels(g, hubOrder[rank], opts, rmax)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("core: backward search from hub %d: %w", w, err)
+						firstErr = err
 					}
 					mu.Unlock()
 					return
 				}
-				atomic.AddInt64(&pushes, int64(res.Pushes))
-				levels := make([][]IndexEntry, len(res.Reserves))
-				for l, lvl := range res.Reserves {
-					for v, psi := range lvl {
-						if psi > rmax {
-							levels[l] = append(levels[l], IndexEntry{Node: int32(v), Reserve: psi})
-						}
-					}
-					sort.Slice(levels[l], func(a, b int) bool { return levels[l][a].Node < levels[l][b].Node })
-				}
+				atomic.AddInt64(&pushes, int64(p))
 				built[rank] = levels
+				acts[rank] = a
+				mass[rank] = m
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return 0, firstErr
 	}
-	idx.stats.Pushes = int(pushes)
-	// Build the shared walk tables now — they are preprocessing, not query
-	// work (snapshot-opened indexes build them lazily on the first query
-	// instead, keeping open O(header)).
-	idx.degreeTables()
-	idx.flattenHubLevels(built)
-	idx.stats.Entries = len(idx.entrySlab)
-	idx.stats.PushTime = time.Since(pushStart)
-	idx.stats.NumHubs = j0
-	idx.stats.TotalTime = time.Since(start)
-	return idx, nil
+	return int(pushes), nil
 }
 
 // flattenHubLevels packs per-hub, per-level entry lists into the flat slab

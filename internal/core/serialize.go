@@ -13,9 +13,10 @@ import (
 	"prsim/internal/graph"
 )
 
-// Save writes the index and its graph to w in the self-contained snapshot v3
+// Save writes the index and its graph to w in the self-contained snapshot v4
 // format documented in format.go: one file holding the hub index, the graph's
-// CSR adjacency arrays, and the node-label table when the graph is labelled.
+// CSR adjacency arrays, the node-label table when the graph is labelled, and
+// the generation block delta snapshots are keyed on.
 // Load with LoadSelfContained (no separate graph needed), with LoadIndex (the
 // graph supplied separately is cross-checked), or zero-copy via
 // internal/snapshot.
@@ -33,36 +34,8 @@ func (idx *Index) Save(w io.Writer) error {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
 	enc := newSectionEncoder(bw)
-	idx.writeIndexSections(enc)
-
-	outOff, outAdj, inOff, inAdj := idx.g.CSR()
-	for _, v := range outOff {
-		enc.u64(uint64(v))
-	}
-	enc.pad()
-	for _, v := range outAdj {
-		enc.u32(uint32(v))
-	}
-	enc.pad()
-	for _, v := range inOff {
-		enc.u64(uint64(v))
-	}
-	enc.pad()
-	for _, v := range inAdj {
-		enc.u32(uint32(v))
-	}
-	enc.pad()
-	if l.HasLabels {
-		off := uint64(0)
-		for _, s := range idx.g.Labels() {
-			enc.u64(off)
-			off += uint64(len(s))
-		}
-		enc.u64(off)
-		for _, s := range idx.g.Labels() {
-			enc.raw([]byte(s))
-		}
-		enc.pad()
+	for i := 0; i < snapshotSectionCount; i++ {
+		idx.writeSection(enc, i)
 	}
 	return finishSave(bw, enc)
 }
@@ -70,7 +43,7 @@ func (idx *Index) Save(w io.Writer) error {
 // SaveV2 writes the index alone in the legacy snapshot v2 format (flat index
 // sections, no embedded graph). It is kept so newer builders can feed older
 // deployments and so the v2 load path stays testable; new code should use
-// Save, which writes the self-contained v3 format.
+// Save, which writes the self-contained v4 format.
 func (idx *Index) SaveV2(w io.Writer) error {
 	l := idx.snapshotLayoutV2()
 	bw := bufio.NewWriterSize(w, 64<<10)
@@ -78,30 +51,76 @@ func (idx *Index) SaveV2(w io.Writer) error {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
 	enc := newSectionEncoder(bw)
-	idx.writeIndexSections(enc)
+	for i := 0; i < snapshotSectionCountV2; i++ {
+		idx.writeSection(enc, i)
+	}
 	return finishSave(bw, enc)
 }
 
-// writeIndexSections emits the five index sections shared by v2 and v3. Every
-// section length is a multiple of 8, so no padding is needed between them.
-func (idx *Index) writeIndexSections(enc *sectionEncoder) {
-	for _, p := range idx.pi {
-		enc.u64(math.Float64bits(p))
+// writeSection emits one section's payload plus its trailing alignment
+// padding. It is the single source of truth for section bytes: Save streams
+// all eleven in order, SaveV2 the first five, and WriteDelta an arbitrary
+// subset — so a section shipped in a delta is byte-identical to the same
+// section in a full save.
+func (idx *Index) writeSection(enc *sectionEncoder, section int) {
+	switch section {
+	case sectionPi:
+		for _, p := range idx.pi {
+			enc.u64(math.Float64bits(p))
+		}
+	case sectionHubOrder:
+		for _, h := range idx.hubOrder {
+			enc.u64(uint64(h))
+		}
+	case sectionHubLevelPos:
+		for _, v := range idx.hubLevelPos {
+			enc.u64(v)
+		}
+	case sectionEntryOffsets:
+		for _, v := range idx.entryOffsets {
+			enc.u64(v)
+		}
+	case sectionEntrySlab:
+		for _, e := range idx.entrySlab {
+			// 16-byte record: u32 node, u32 zero padding, f64 reserve bits.
+			enc.u64(uint64(uint32(e.Node)))
+			enc.u64(math.Float64bits(e.Reserve))
+		}
+	case sectionGraphOutOff:
+		outOff, _, _, _ := idx.g.CSR()
+		for _, v := range outOff {
+			enc.u64(uint64(v))
+		}
+	case sectionGraphOutAdj:
+		_, outAdj, _, _ := idx.g.CSR()
+		for _, v := range outAdj {
+			enc.u32(uint32(v))
+		}
+	case sectionGraphInOff:
+		_, _, inOff, _ := idx.g.CSR()
+		for _, v := range inOff {
+			enc.u64(uint64(v))
+		}
+	case sectionGraphInAdj:
+		_, _, _, inAdj := idx.g.CSR()
+		for _, v := range inAdj {
+			enc.u32(uint32(v))
+		}
+	case sectionLabelOffsets:
+		if labels := idx.g.Labels(); labels != nil {
+			off := uint64(0)
+			for _, s := range labels {
+				enc.u64(off)
+				off += uint64(len(s))
+			}
+			enc.u64(off)
+		}
+	case sectionLabelBlob:
+		for _, s := range idx.g.Labels() {
+			enc.raw([]byte(s))
+		}
 	}
-	for _, h := range idx.hubOrder {
-		enc.u64(uint64(h))
-	}
-	for _, v := range idx.hubLevelPos {
-		enc.u64(v)
-	}
-	for _, v := range idx.entryOffsets {
-		enc.u64(v)
-	}
-	for _, e := range idx.entrySlab {
-		// 16-byte record: u32 node, u32 zero padding, f64 reserve bits.
-		enc.u64(uint64(uint32(e.Node)))
-		enc.u64(math.Float64bits(e.Reserve))
-	}
+	enc.pad()
 }
 
 // finishSave flushes the encoder and appends the CRC trailer.
@@ -210,7 +229,7 @@ func (idx *Index) SaveFile(path string) error {
 }
 
 // LoadIndex reads an index previously written with Save, accepting the
-// current v3 snapshot format as well as the legacy v2 (index-only) and v1
+// current v4 snapshot format as well as the legacy v3, v2 (index-only) and v1
 // (element-streamed) formats. The graph must be the same graph (same node
 // count and edges) the index was built from; for self-contained v3 files the
 // embedded graph sections are checksummed and cross-checked against it but g
@@ -225,7 +244,7 @@ func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	return idx, err
 }
 
-// LoadSelfContained reads a self-contained v3 snapshot and reconstructs both
+// LoadSelfContained reads a self-contained v3/v4 snapshot and reconstructs both
 // the graph and the index from it. It fails for v1/v2 files, which do not
 // embed the graph.
 func LoadSelfContained(r io.Reader) (*graph.Graph, *Index, error) {
@@ -273,7 +292,7 @@ func loadIndexMaybeGraph(r io.Reader, g *graph.Graph) (*graph.Graph, *Index, err
 	return loadSections(br, l, g)
 }
 
-// loadSections streams the section payload of a v2/v3 snapshot, verifying the
+// loadSections streams the section payload of a v2–v4 snapshot, verifying the
 // CRC trailer as it goes.
 func loadSections(r io.Reader, l *SnapshotLayout, g *graph.Graph) (*graph.Graph, *Index, error) {
 	if g != nil {
@@ -290,7 +309,7 @@ func loadSections(r io.Reader, l *SnapshotLayout, g *graph.Graph) (*graph.Graph,
 	// those sections grow by appending as bytes actually arrive, so a hostile
 	// or corrupt header claiming 2^47 entries costs a truncated-read error,
 	// not a giant allocation.
-	idx := &Index{opts: l.Opts}
+	idx := &Index{opts: l.Opts, gens: l.Gens}
 	idx.pi = make([]float64, 0, l.NNodes)
 	idx.hubOrder = make([]int, 0, l.NumHubs)
 	idx.hubLevelPos = make([]uint64, 0, l.NumHubs+1)
@@ -655,7 +674,7 @@ func loadV1(br *bufio.Reader, g *graph.Graph) (*Index, error) {
 }
 
 // NewIndexFromSnapshot assembles an Index whose slice backing was produced
-// elsewhere — typically zero-copy views over an mmap'd v2/v3 snapshot built
+// elsewhere — typically zero-copy views over an mmap'd v2–v4 snapshot built
 // by internal/snapshot. It validates the slices against the layout and the
 // graph, then derives the in-memory bookkeeping (hub ranks, stats). The
 // returned index aliases the supplied slices; they must stay valid (mapped)
@@ -677,6 +696,7 @@ func NewIndexFromSnapshot(g *graph.Graph, l *SnapshotLayout, pi []float64, hubOr
 	idx := &Index{
 		g:            g,
 		opts:         l.Opts,
+		gens:         l.Gens,
 		pi:           pi,
 		hubOrder:     hubOrder,
 		hubLevelPos:  hubLevelPos,
@@ -752,6 +772,10 @@ func (idx *Index) finishLoad() error {
 	if !g.OutSortedByInDegree() {
 		g.SortOutByInDegree()
 	}
+	// Pre-v4 files carry no generation block; synthesize one now that the
+	// graph is sorted (the lineage hashes the sorted graph's fingerprint, so
+	// a pre-v4 load of an index agrees with a fresh build of the same index).
+	idx.ensureGens()
 	return nil
 }
 
@@ -765,7 +789,7 @@ func LoadIndexFile(path string, g *graph.Graph) (*Index, error) {
 	return LoadIndex(f, g)
 }
 
-// LoadSelfContainedFile reads a self-contained v3 snapshot from the given
+// LoadSelfContainedFile reads a self-contained v3/v4 snapshot from the given
 // path, reconstructing both graph and index.
 func LoadSelfContainedFile(path string) (*graph.Graph, *Index, error) {
 	f, err := os.Open(path)

@@ -311,6 +311,29 @@ func (e *Engine) MaxQueue() int { return e.maxQueue }
 // returns (a refcounted backing then defers its teardown until the drained
 // queries release it).
 func (e *Engine) Swap(idx *core.Index, res Resource) error {
+	return e.swap(idx, res, nil)
+}
+
+// SwapWithImpact atomically replaces the served index with the successor of an
+// incremental core.Index.ApplyUpdates, using the update's impact set to keep
+// the cache warm across the swap. Swap keeps the cache only when the successor
+// provably serves identical results; an incremental update changes results,
+// but core.UpdateStats bounds the blast radius: only the recomputed hubs and
+// the mutation endpoints carry new index state. A cached entry whose source
+// and score support both avoid that impact set was computed entirely from
+// carried hub state; it remains an ε-faithful answer for the successor — and
+// is bit-identical to a fresh query when the source's reachable neighborhood
+// avoids the mutation entirely (natural LRU turnover refreshes the rest).
+// SwapWithImpact retains exactly those entries, rebound to the new
+// generation's graph. Every other entry — and, when the successor does not
+// descend from the served index's lineage or impact is nil, the whole cache —
+// is dropped, exactly like Swap.
+func (e *Engine) SwapWithImpact(idx *core.Index, res Resource, impact *core.UpdateStats) error {
+	return e.swap(idx, res, impact)
+}
+
+// swap is the shared implementation of Swap and SwapWithImpact.
+func (e *Engine) swap(idx *core.Index, res Resource, impact *core.UpdateStats) error {
 	if idx == nil {
 		return fmt.Errorf("engine: nil index")
 	}
@@ -326,15 +349,53 @@ func (e *Engine) Swap(idx *core.Index, res Resource) error {
 		e.chunkExecutedBase.Add(ex)
 		e.chunkMergedBase.Add(me)
 	}
-	if e.cache != nil {
-		if servingStateEquivalent(old.idx, idx) {
-			e.cache.rekey(old.gen, gen, idx.Graph())
-			e.cacheReuses.Add(1)
-		} else {
-			e.cache.purge()
+	if e.cache == nil {
+		return nil
+	}
+	switch {
+	case servingStateEquivalent(old.idx, idx):
+		e.cache.rekey(old.gen, gen, idx.Graph())
+		e.cacheReuses.Add(1)
+	case impact != nil && updateCompatible(old.idx, idx):
+		touched := make(map[int]bool, len(impact.RecomputedHubs)+len(impact.Endpoints))
+		for _, w := range impact.RecomputedHubs {
+			touched[w] = true
 		}
+		for _, v := range impact.Endpoints {
+			touched[v] = true
+		}
+		kept := e.cache.rekeyFiltered(old.gen, gen, idx.Graph(), func(source int, res *core.Result) bool {
+			if touched[source] {
+				return false
+			}
+			for v := range res.Scores {
+				if touched[v] {
+					return false
+				}
+			}
+			return true
+		})
+		if kept > 0 {
+			e.cacheReuses.Add(1)
+		}
+	default:
+		e.cache.purge()
 	}
 	return nil
+}
+
+// updateCompatible reports whether b descends from a's serving lineage through
+// incremental ApplyUpdates steps, which is what makes impact-filtered cache
+// retention sound: the generation lineage matches (same original graph, build
+// options, and seed — carried by every update and synthesized identically for
+// pre-v4 snapshots), b's generation is strictly newer, and the query-relevant
+// options and carried hub count agree.
+func updateCompatible(a, b *core.Index) bool {
+	ga, gb := a.Gens(), b.Gens()
+	return ga.Lineage == gb.Lineage &&
+		gb.Generation > ga.Generation &&
+		a.Options().QueryEquivalent(b.Options()) &&
+		a.NumHubs() == b.NumHubs()
 }
 
 // servingStateEquivalent reports whether an index swap preserves the validity
@@ -1246,6 +1307,35 @@ func (c *resultCache) rekey(oldGen, newGen uint64, g *graph.Graph) {
 		ent.res = ent.res.Rebound(g)
 		c.items[ent.key] = el
 	}
+}
+
+// rekeyFiltered is rekey with a retention predicate: entries of generation
+// oldGen that keep reports true for migrate to newGen (rebound to g, like
+// rekey); entries keep rejects — and entries of any other stale generation —
+// are dropped. Entries already keyed newGen (a query that raced ahead of the
+// swap) are kept as they are. It returns the number of entries migrated.
+func (c *resultCache) rekeyFiltered(oldGen, newGen uint64, g *graph.Graph, keep func(source int, res *core.Result) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := 0
+	var el, next *list.Element
+	for el = c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.gen == newGen {
+			continue
+		}
+		delete(c.items, ent.key)
+		if ent.key.gen != oldGen || !keep(ent.key.source, ent.res) {
+			c.ll.Remove(el)
+			continue
+		}
+		ent.key.gen = newGen
+		ent.res = ent.res.Rebound(g)
+		c.items[ent.key] = el
+		kept++
+	}
+	return kept
 }
 
 func (c *resultCache) len() int {

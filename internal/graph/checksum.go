@@ -21,7 +21,12 @@ var checksumTable = crc32.MakeTable(crc32.Castagnoli)
 //
 // The first call scans the adjacency arrays (O(n+m), memory-bandwidth bound)
 // and the value is memoized; SortOutByInDegree invalidates the memo since it
-// permutes the out-adjacency. Memoization is not synchronized with concurrent
+// permutes the out-adjacency, and ApplyUpdates invalidates it since the
+// journal participates in the fingerprint. A graph with a pending overlay
+// folds its mutation journal after the base arrays, so its checksum differs
+// from both the base graph's and the compacted result's — conservative on
+// purpose: cached results keyed by the base fingerprint must not be served
+// for the mutated graph. Memoization is not synchronized with concurrent
 // mutation — like the rest of Graph, Checksum expects the graph to be
 // immutable by the time it is shared across goroutines.
 func (g *Graph) Checksum() uint32 {
@@ -36,6 +41,18 @@ func (g *Graph) Checksum() uint32 {
 	crc = checksumInt32s(crc, g.outAdj)
 	crc = checksumInts(crc, g.inOff)
 	crc = checksumInt32s(crc, g.inAdj)
+	if g.HasOverlay() {
+		var ub [17]byte
+		for _, up := range g.ov.journal {
+			binary.LittleEndian.PutUint64(ub[0:], uint64(up.From))
+			binary.LittleEndian.PutUint64(ub[8:], uint64(up.To))
+			ub[16] = 0
+			if up.Delete {
+				ub[16] = 1
+			}
+			crc = crc32.Update(crc, checksumTable, ub[:])
+		}
+	}
 	g.csum, g.csumValid = crc, true
 	return crc
 }

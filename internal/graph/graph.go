@@ -40,8 +40,12 @@ type Graph struct {
 	// the label table alongside the adjacency structure.
 	labels []string
 
+	// ov journals edge mutations applied over the immutable base CSR; nil
+	// for graphs with no pending updates (the common, hot-path case).
+	ov *overlay
+
 	// csum memoizes the structural CRC-32C computed by Checksum;
-	// SortOutByInDegree invalidates it (it permutes outAdj).
+	// SortOutByInDegree and ApplyUpdates invalidate it.
 	csum      uint32
 	csumValid bool
 }
@@ -52,8 +56,13 @@ var ErrInvalidNode = errors.New("graph: node id out of range")
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
-// M returns the number of directed edges.
-func (g *Graph) M() int { return g.m }
+// M returns the number of directed edges, including the overlay's net delta.
+func (g *Graph) M() int {
+	if g.ov != nil {
+		return g.m + g.ov.added - g.ov.deleted
+	}
+	return g.m
+}
 
 // AverageDegree returns m/n, the average out-degree (equal to the average
 // in-degree).
@@ -65,18 +74,51 @@ func (g *Graph) AverageDegree() float64 {
 }
 
 // OutDegree returns the out-degree of node v.
-func (g *Graph) OutDegree(v int) int { return g.outOff[v+1] - g.outOff[v] }
+func (g *Graph) OutDegree(v int) int {
+	d := g.outOff[v+1] - g.outOff[v]
+	if g.ov != nil {
+		d += len(g.ov.outAdd[v])
+		for _, c := range g.ov.outDel[v] {
+			d -= c
+		}
+	}
+	return d
+}
 
 // InDegree returns the in-degree of node v.
-func (g *Graph) InDegree(v int) int { return g.inOff[v+1] - g.inOff[v] }
+func (g *Graph) InDegree(v int) int {
+	d := g.inOff[v+1] - g.inOff[v]
+	if g.ov != nil {
+		d += len(g.ov.inAdd[v])
+		for _, c := range g.ov.inDel[v] {
+			d -= c
+		}
+	}
+	return d
+}
 
-// OutNeighbors returns the out-neighbors of v. The returned slice aliases the
-// graph's internal storage and must not be modified.
-func (g *Graph) OutNeighbors(v int) []int32 { return g.outAdj[g.outOff[v]:g.outOff[v+1]] }
+// OutNeighbors returns the out-neighbors of v. With no pending overlay the
+// returned slice aliases the graph's internal storage and must not be
+// modified; when the overlay touches v a freshly merged view is returned
+// (base order with deleted occurrences removed, then insertions in journal
+// order).
+func (g *Graph) OutNeighbors(v int) []int32 {
+	base := g.outAdj[g.outOff[v]:g.outOff[v+1]]
+	if g.ov == nil || !g.ov.touchesOut(v) {
+		return base
+	}
+	return mergeAdj(base, g.ov.outDel[v], g.ov.outAdd[v])
+}
 
-// InNeighbors returns the in-neighbors of v. The returned slice aliases the
-// graph's internal storage and must not be modified.
-func (g *Graph) InNeighbors(v int) []int32 { return g.inAdj[g.inOff[v]:g.inOff[v+1]] }
+// InNeighbors returns the in-neighbors of v, merged with the overlay the same
+// way as OutNeighbors.
+func (g *Graph) InNeighbors(v int) []int32 {
+	base := g.inAdj[g.inOff[v]:g.inOff[v+1]]
+	if g.ov == nil || !g.ov.touchesIn(v) {
+		return base
+	}
+	return mergeAdj(base, g.ov.inDel[v], g.ov.inAdd[v])
+}
 
 // OutSortedByInDegree reports whether each node's out-adjacency list is sorted
 // by the in-degree of the head node (ascending), as required by the Variance
@@ -100,6 +142,9 @@ func (g *Graph) CheckNode(v int) error {
 func (g *Graph) HasEdge(u, v int) bool {
 	if !g.ValidNode(u) || !g.ValidNode(v) {
 		return false
+	}
+	if g.ov != nil {
+		return g.multiplicity(u, v) > 0
 	}
 	for _, w := range g.OutNeighbors(u) {
 		if int(w) == v {
@@ -142,7 +187,7 @@ func (g *Graph) Reverse() *Graph {
 	return rg
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, including any pending overlay.
 func (g *Graph) Clone() *Graph {
 	cp := &Graph{
 		n:         g.n,
@@ -152,6 +197,9 @@ func (g *Graph) Clone() *Graph {
 		inOff:     append([]int(nil), g.inOff...),
 		inAdj:     append([]int32(nil), g.inAdj...),
 		outSorted: g.outSorted,
+	}
+	if g.ov != nil {
+		cp.ov = g.ov.clone()
 	}
 	if g.labels != nil {
 		cp.labels = append([]string(nil), g.labels...)
@@ -178,8 +226,13 @@ func (g *Graph) SetLabels(labels []string) error {
 // out-adjacency (offsets + targets) and in-adjacency (offsets + sources).
 // All four slices alias the graph's storage and must not be modified; they
 // exist so serializers can write the adjacency structure without an
-// edge-by-edge traversal.
+// edge-by-edge traversal. CSR panics when the graph carries a pending
+// overlay — serializing would silently drop the journaled mutations; call
+// Compact first.
 func (g *Graph) CSR() (outOff []int, outAdj []int32, inOff []int, inAdj []int32) {
+	if g.HasOverlay() {
+		panic("graph: CSR called on a graph with a pending edge overlay; Compact it first")
+	}
 	return g.outOff, g.outAdj, g.inOff, g.inAdj
 }
 

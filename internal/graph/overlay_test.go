@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// overlayFixture returns a small graph with a duplicate edge and a self-loop,
+// exercising the multigraph semantics updates must preserve.
+func overlayFixture() *Graph {
+	return MustFromEdges(5, []Edge{
+		{0, 1}, {0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {3, 3}, {4, 0},
+	})
+}
+
+func sortedCopy(s []int32) []int32 {
+	c := append([]int32(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+// requireSameGraph asserts that a and b describe the same logical multigraph:
+// equal node/edge counts and, per node, equal adjacency multisets.
+func requireSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	for v := 0; v < a.N(); v++ {
+		if got, want := sortedCopy(a.OutNeighbors(v)), sortedCopy(b.OutNeighbors(v)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d out-neighbors %v, want %v", v, got, want)
+		}
+		if got, want := sortedCopy(a.InNeighbors(v)), sortedCopy(b.InNeighbors(v)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d in-neighbors %v, want %v", v, got, want)
+		}
+		if a.OutDegree(v) != b.OutDegree(v) || a.InDegree(v) != b.InDegree(v) {
+			t.Fatalf("node %d degrees (%d,%d) vs (%d,%d)", v, a.OutDegree(v), a.InDegree(v), b.OutDegree(v), b.InDegree(v))
+		}
+	}
+}
+
+func TestOverlayMergedViewsMatchRebuild(t *testing.T) {
+	g := overlayFixture()
+	ups := []EdgeUpdate{
+		{From: 4, To: 2},               // insert
+		{From: 0, To: 1, Delete: true}, // delete one of the duplicate edges
+		{From: 3, To: 3, Delete: true}, // delete the self-loop
+		{From: 2, To: 4},               // insert
+	}
+	if err := g.ApplyUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromEdges(5, []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {4, 0}, {4, 2}, {2, 4},
+	})
+	requireSameGraph(t, g, want)
+	if !g.HasOverlay() || g.PendingUpdates() != 4 {
+		t.Fatalf("HasOverlay=%v PendingUpdates=%d, want true/4", g.HasOverlay(), g.PendingUpdates())
+	}
+	if g.HasEdge(3, 3) {
+		t.Fatal("deleted self-loop still reported by HasEdge")
+	}
+	if !g.HasEdge(2, 4) {
+		t.Fatal("inserted edge missing from HasEdge")
+	}
+	// One duplicate 0→1 edge was deleted; the other must survive.
+	if !g.HasEdge(0, 1) {
+		t.Fatal("surviving duplicate edge missing")
+	}
+	var edges int
+	g.Edges(func(u, v int) bool { edges++; return true })
+	if edges != g.M() {
+		t.Fatalf("Edges visited %d edges, M()=%d", edges, g.M())
+	}
+}
+
+func TestOverlayCompactMatchesMergedViews(t *testing.T) {
+	g := overlayFixture()
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2}, {From: 0, To: 1, Delete: true}}); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Compact()
+	if c.HasOverlay() {
+		t.Fatal("compacted graph still has an overlay")
+	}
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("compacted size (%d,%d), want (%d,%d)", c.N(), c.M(), g.N(), g.M())
+	}
+	// Compaction must preserve the exact merged view order, not just the sets.
+	for v := 0; v < g.N(); v++ {
+		if got, want := c.OutNeighbors(v), g.OutNeighbors(v); !reflect.DeepEqual(append([]int32{}, got...), append([]int32{}, want...)) {
+			t.Fatalf("node %d compacted out-neighbors %v, want merged view %v", v, got, want)
+		}
+		if got, want := c.InNeighbors(v), g.InNeighbors(v); !reflect.DeepEqual(append([]int32{}, got...), append([]int32{}, want...)) {
+			t.Fatalf("node %d compacted in-neighbors %v, want merged view %v", v, got, want)
+		}
+	}
+	// The overlaid graph, its base, and its compaction are three distinct
+	// serving states and must not share a fingerprint.
+	base := overlayFixture()
+	if g.Checksum() == base.Checksum() {
+		t.Fatal("overlaid graph shares the base graph's checksum")
+	}
+	if g.Checksum() == c.Checksum() {
+		t.Fatal("overlaid graph shares the compacted graph's checksum")
+	}
+}
+
+func TestOverlayBatchIsAtomic(t *testing.T) {
+	g := overlayFixture()
+	before := g.Checksum()
+	err := g.ApplyUpdates([]EdgeUpdate{
+		{From: 4, To: 2},
+		{From: 1, To: 4, Delete: true}, // absent edge: the whole batch must fail
+	})
+	if err == nil {
+		t.Fatal("deleting an absent edge did not fail")
+	}
+	if g.HasOverlay() || g.PendingUpdates() != 0 {
+		t.Fatalf("failed batch left %d journaled updates", g.PendingUpdates())
+	}
+	if g.Checksum() != before {
+		t.Fatal("failed batch changed the checksum")
+	}
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 0, To: 99}}); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	// A delete is valid when an earlier update in the same batch inserted it.
+	if err := g.ApplyUpdates([]EdgeUpdate{
+		{From: 1, To: 4},
+		{From: 1, To: 4, Delete: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, overlayFixture())
+}
+
+// TestChecksumInvalidatedByOverlay pins the memoization fix: a Checksum call
+// memoizes, and a subsequent ApplyUpdates must invalidate that memo — the
+// overlaid graph must never return the base fingerprint from cache.
+func TestChecksumInvalidatedByOverlay(t *testing.T) {
+	g := overlayFixture()
+	c1 := g.Checksum()
+	if c1 != g.Checksum() {
+		t.Fatal("checksum not stable across calls")
+	}
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := g.Checksum()
+	if c2 == c1 {
+		t.Fatal("ApplyUpdates did not invalidate the memoized checksum")
+	}
+	// Growing the journal further must keep moving the fingerprint.
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2, Delete: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Checksum() == c2 {
+		t.Fatal("second ApplyUpdates did not invalidate the memoized checksum")
+	}
+}
+
+func TestOverlayCloneIsIndependent(t *testing.T) {
+	g := overlayFixture()
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Clone()
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2, Delete: true}, {From: 2, To: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.PendingUpdates() != 1 || !cp.HasEdge(4, 2) || cp.HasEdge(2, 0) {
+		t.Fatal("clone shares overlay state with the original")
+	}
+}
+
+func TestOverlayGuardsBaseMutation(t *testing.T) {
+	g := overlayFixture()
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic on an overlaid graph", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("CSR", func() { g.CSR() })
+	mustPanic("SortOutByInDegree", func() { g.SortOutByInDegree() })
+	// Compacting clears the overlay, after which both are allowed again.
+	c := g.Compact()
+	c.SortOutByInDegree()
+	c.CSR()
+}
+
+func TestOverlayUpdatedNodes(t *testing.T) {
+	g := overlayFixture()
+	if err := g.ApplyUpdates([]EdgeUpdate{{From: 4, To: 2}, {From: 3, To: 0, Delete: true}}); err != nil {
+		t.Fatal(err)
+	}
+	got := g.UpdatedNodes()
+	want := []int{0, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UpdatedNodes() = %v, want %v", got, want)
+	}
+}

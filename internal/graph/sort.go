@@ -7,7 +7,15 @@ package graph
 // are re-appended to each source's adjacency list. The whole pass is O(m+n).
 //
 // The in-adjacency lists are left untouched. The method is idempotent.
+//
+// SortOutByInDegree panics when the graph carries a pending edge overlay: it
+// permutes the base out-adjacency in place, which may alias a read-only
+// mapping and would desynchronize the overlay's base-occurrence bookkeeping;
+// Compact the overlay first.
 func (g *Graph) SortOutByInDegree() {
+	if g.HasOverlay() {
+		panic("graph: SortOutByInDegree called on a graph with a pending edge overlay; Compact it first")
+	}
 	g.csumValid = false // the permuted out-adjacency changes the fingerprint
 	if g.m == 0 {
 		g.outSorted = true

@@ -326,6 +326,40 @@ func (s *Served) Reload(verify func(Opened) error) error {
 	return nil
 }
 
+// Update swaps every shard of the graph onto an already-opened successor
+// backing — typically the in-memory index produced by an incremental
+// core.Index.ApplyUpdates — without going through the Opener. impact, when
+// non-nil, carries the update's impact set so each shard's engine keeps the
+// cache entries the update provably left alone (see engine.SwapWithImpact);
+// nil impact purges the caches like a plain reload of a changed index. The
+// previous backing is closed once in-flight queries drain. Updates serialize
+// with Reload and Close.
+func (s *Served) Update(op Opened, impact *core.UpdateStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		closeOpened(op)
+		return fmt.Errorf("router: graph is closed")
+	}
+	if op.Index == nil {
+		closeOpened(op)
+		return fmt.Errorf("router: update with a nil index")
+	}
+	for i, e := range s.shards {
+		if err := e.SwapWithImpact(op.Index, op.Res, impact); err != nil {
+			// Like Reload: earlier shards already serve the successor; surface
+			// the error without tearing the generation back.
+			return fmt.Errorf("router: update swap shard %d: %w", i, err)
+		}
+	}
+	old := s.cur
+	s.cur = op
+	if err := closeOpened(old); err != nil {
+		return fmt.Errorf("router: update close previous backing: %w", err)
+	}
+	return nil
+}
+
 // Close releases the graph's backing. In-flight queries finish safely (they
 // hold retains); new queries against a closed graph are the caller's bug —
 // Unmount removes the graph from the registry before closing it.

@@ -20,6 +20,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -53,16 +54,33 @@ type Options struct {
 	ForceStream bool
 }
 
+// numSections is the number of snapshot sections, taken from the layout's
+// array type so it cannot drift from the format definition.
+const numSections = len((core.SnapshotLayout{}).Sections)
+
+// sectionView locates one section's bytes: for plain opens every view points
+// into the one mapped file, for delta opens each view points into whichever
+// of the base and delta mappings actually holds that section.
+type sectionView struct {
+	data []byte
+	sec  core.Section
+}
+
 // Snapshot is an open index snapshot. When Mapped reports true, the index's
-// (and, for self-contained v3 files, the graph's) section slices alias the
-// underlying mmap region and stay valid until the last reference is released.
+// (and, for self-contained v3+ files, the graph's) section slices alias the
+// underlying mmap region(s) and stay valid until the last reference is
+// released.
 type Snapshot struct {
 	idx         *core.Index
 	g           *graph.Graph
 	data        []byte // the mmap region; nil when the streaming fallback was used
+	delta       []byte // second mmap region for delta-backed opens; nil otherwise
 	layout      *core.SnapshotLayout
+	baseLayout  *core.SnapshotLayout // delta-backed opens: the base file's layout
+	deltaLayout *core.DeltaLayout    // delta-backed opens: the delta file's layout
+	views       [numSections]sectionView
 	mapped      bool
-	graphMapped bool // graph adjacency aliases the mapping (v3 zero-copy open)
+	graphMapped bool // graph adjacency aliases the mapping (v3+ zero-copy open)
 
 	// refs counts the owner (1 at open) plus every in-flight Retain. The
 	// munmap runs when the count reaches zero, so closing under live queries
@@ -125,6 +143,103 @@ func Open(path string, g *graph.Graph, opts Options) (*Snapshot, error) {
 	return snap, nil
 }
 
+// OpenDelta opens the successor snapshot described by a delta file layered
+// over its base snapshot, without materializing the spliced file: both files
+// are memory-mapped and each section is viewed from whichever file holds its
+// current bytes. The base must be the v4 snapshot the delta was written
+// against (same lineage, matching generation); the delta's unshipped
+// sections are served straight from the base mapping, so the combined open
+// faults in only the delta's changed sections beyond what the base mapping
+// already shares with other users of the same file.
+//
+// On platforms without zero-copy support (and with Options.ForceStream) the
+// two files are read, spliced into the full successor image in memory, and
+// parsed by the portable streaming loader.
+func OpenDelta(basePath, deltaPath string, opts Options) (*Snapshot, error) {
+	if opts.ForceStream || !Supported() {
+		return openStreamDelta(basePath, deltaPath)
+	}
+	base, err := mmapFile(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: mapping %s: %w", basePath, err)
+	}
+	delta, err := mmapFile(deltaPath)
+	if err != nil {
+		munmapFile(base)
+		return nil, fmt.Errorf("snapshot: mapping %s: %w", deltaPath, err)
+	}
+	snap, err := openMappedDelta(base, delta, opts)
+	if err != nil {
+		munmapFile(delta)
+		munmapFile(base)
+		return nil, err
+	}
+	return snap, nil
+}
+
+// openMappedDelta validates the two mapped files against each other and
+// assembles the zero-copy successor state.
+func openMappedDelta(base, delta []byte, opts Options) (*Snapshot, error) {
+	bl, err := core.ParseSnapshotLayout(base)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: base: %w", err)
+	}
+	d, err := core.ParseDeltaLayout(delta)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := d.CheckBase(bl); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if opts.VerifyChecksum {
+		if err := bl.VerifyChecksum(base); err != nil {
+			return nil, fmt.Errorf("snapshot: base: %w", err)
+		}
+		if err := d.VerifyChecksum(delta); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	layout := d.Layout
+	var views [numSections]sectionView
+	for i := range views {
+		if d.Ships(i) {
+			views[i] = sectionView{data: delta, sec: d.Shipped[i]}
+		} else {
+			views[i] = sectionView{data: base, sec: bl.Sections[i]}
+		}
+	}
+	s, err := assembleMapped(layout, views, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.data, s.delta, s.baseLayout, s.deltaLayout = base, delta, bl, d
+	return s, nil
+}
+
+// openStreamDelta is the portable fallback for delta opens: splice the full
+// successor image in memory and run the streaming loader over it.
+func openStreamDelta(basePath, deltaPath string) (*Snapshot, error) {
+	base, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	delta, err := os.ReadFile(deltaPath)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	full, err := core.SpliceDelta(base, delta)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	g, idx, err := core.LoadSelfContained(bytes.NewReader(full))
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{idx: idx, g: g}
+	s.refs.Store(1)
+	return s, nil
+}
+
 // openMapped validates the mapped bytes and assembles the zero-copy graph
 // and index.
 func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
@@ -137,12 +252,28 @@ func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
 			return nil, fmt.Errorf("snapshot: %w", err)
 		}
 	}
+	var views [numSections]sectionView
+	for i := range views {
+		views[i] = sectionView{data: data, sec: layout.Sections[i]}
+	}
+	s, err := assembleMapped(layout, views, g)
+	if err != nil {
+		return nil, err
+	}
+	s.data = data
+	return s, nil
+}
+
+// assembleMapped builds the zero-copy graph and index from per-section byte
+// views (one file for plain opens, two for delta-backed opens). The caller
+// fills in the mapping fields it owns.
+func assembleMapped(layout *core.SnapshotLayout, views [numSections]sectionView, g *graph.Graph) (*Snapshot, error) {
 	graphMapped := false
 	if g == nil {
 		if !layout.HasGraph() {
 			return nil, fmt.Errorf("snapshot: v%d files do not embed the graph; supply one", layout.Version)
 		}
-		eg, err := graphFromSections(data, layout)
+		eg, err := graphFromSections(views, layout)
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: %w", err)
 		}
@@ -154,26 +285,26 @@ func openMapped(data []byte, g *graph.Graph, opts Options) (*Snapshot, error) {
 		}
 	}
 	idx, err := core.NewIndexFromSnapshot(g, layout,
-		viewSlice[float64](data, layout.Sections[0]),
-		viewSlice[int](data, layout.Sections[1]),
-		viewSlice[uint64](data, layout.Sections[2]),
-		viewSlice[uint64](data, layout.Sections[3]),
-		viewSlice[core.IndexEntry](data, layout.Sections[4]),
+		viewSlice[float64](views[0]),
+		viewSlice[int](views[1]),
+		viewSlice[uint64](views[2]),
+		viewSlice[uint64](views[3]),
+		viewSlice[core.IndexEntry](views[4]),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	s := &Snapshot{idx: idx, g: g, data: data, layout: layout, mapped: true, graphMapped: graphMapped}
+	s := &Snapshot{idx: idx, g: g, layout: layout, views: views, mapped: true, graphMapped: graphMapped}
 	s.refs.Store(1)
 	return s, nil
 }
 
-// graphFromSections assembles the embedded graph of a v3 snapshot: the CSR
-// offset and adjacency arrays are zero-copy views over the mapping, while the
-// label table (when present) is materialized onto the heap so labels survive
-// the mapping being closed (label strings escape into query responses, where
-// no reference count protects them).
-func graphFromSections(data []byte, l *core.SnapshotLayout) (*graph.Graph, error) {
+// graphFromSections assembles the embedded graph of a v3+ snapshot: the CSR
+// offset and adjacency arrays are zero-copy views over the mapping(s), while
+// the label table (when present) is materialized onto the heap so labels
+// survive the mapping being closed (label strings escape into query
+// responses, where no reference count protects them).
+func graphFromSections(views [numSections]sectionView, l *core.SnapshotLayout) (*graph.Graph, error) {
 	if !l.OutSorted {
 		// Sorting writes the adjacency in place, which a read-only mapping
 		// forbids; Save always sorts before writing, so this only trips on
@@ -181,10 +312,10 @@ func graphFromSections(data []byte, l *core.SnapshotLayout) (*graph.Graph, error
 		return nil, fmt.Errorf("embedded graph is not sorted by head in-degree")
 	}
 	g, err := graph.FromCSR(
-		viewSlice[int](data, l.Sections[5]),
-		viewSlice[int32](data, l.Sections[6]),
-		viewSlice[int](data, l.Sections[7]),
-		viewSlice[int32](data, l.Sections[8]),
+		viewSlice[int](views[5]),
+		viewSlice[int32](views[6]),
+		viewSlice[int](views[7]),
+		viewSlice[int32](views[8]),
 		true,
 	)
 	if err != nil {
@@ -192,8 +323,8 @@ func graphFromSections(data []byte, l *core.SnapshotLayout) (*graph.Graph, error
 	}
 	if l.HasLabels {
 		labels, err := core.LabelsFromSections(
-			viewSlice[uint64](data, l.Sections[9]),
-			viewSlice[byte](data, l.Sections[10]),
+			viewSlice[uint64](views[9]),
+			viewSlice[byte](views[10]),
 		)
 		if err != nil {
 			return nil, err
@@ -205,16 +336,16 @@ func graphFromSections(data []byte, l *core.SnapshotLayout) (*graph.Graph, error
 	return g, nil
 }
 
-// viewSlice reinterprets one aligned section of the mapping as a []T. The
-// section table guarantees 8-byte alignment and in-bounds extents, and
-// Supported gates the T layouts (4-byte int32, 8-byte int/uint64/float64,
-// 16-byte IndexEntry) this relies on.
-func viewSlice[T any](data []byte, s core.Section) []T {
-	if s.Len == 0 {
+// viewSlice reinterprets one aligned section view as a []T. The section
+// table guarantees 8-byte alignment and in-bounds extents, and Supported
+// gates the T layouts (4-byte int32, 8-byte int/uint64/float64, 16-byte
+// IndexEntry) this relies on.
+func viewSlice[T any](v sectionView) []T {
+	if v.sec.Len == 0 {
 		return nil
 	}
 	var t T
-	return unsafe.Slice((*T)(unsafe.Pointer(&data[s.Off])), s.Len/uint64(unsafe.Sizeof(t)))
+	return unsafe.Slice((*T)(unsafe.Pointer(&v.data[v.sec.Off])), v.sec.Len/uint64(unsafe.Sizeof(t)))
 }
 
 // openStream is the portable fallback: parse the file with the streaming
@@ -293,19 +424,25 @@ func (s *Snapshot) Retain() bool {
 func (s *Snapshot) Release() { _ = s.release() }
 
 // release drops one reference and unmaps on the last one. Exactly one caller
-// observes the zero crossing, so the munmap (and the read of s.data, written
-// only at construction) is single-threaded by construction.
+// observes the zero crossing, so the munmap (and the reads of s.data/s.delta,
+// written only at construction) is single-threaded by construction. For
+// delta-backed snapshots both mappings are released.
 func (s *Snapshot) release() error {
 	if s.refs.Add(-1) != 0 {
 		return nil
 	}
-	if s.data == nil {
-		return nil
+	var err error
+	if s.delta != nil {
+		if e := munmapFile(s.delta); e != nil {
+			err = fmt.Errorf("snapshot: unmapping delta: %w", e)
+		}
 	}
-	if err := munmapFile(s.data); err != nil {
-		return fmt.Errorf("snapshot: unmapping: %w", err)
+	if s.data != nil {
+		if e := munmapFile(s.data); e != nil && err == nil {
+			err = fmt.Errorf("snapshot: unmapping: %w", e)
+		}
 	}
-	return nil
+	return err
 }
 
 // WarmUp hints the kernel to fault in the sections queries touch first — the
@@ -326,15 +463,15 @@ func (s *Snapshot) WarmUp() {
 	defer s.Release()
 	applied := make([]string, 0, 2)
 	willNeed := false
-	for _, sec := range s.layout.HotSections() {
-		if adviseWillNeed(s.data, sec.Off, sec.Len) {
+	for _, i := range s.layout.HotSectionIndices() {
+		if v := s.views[i]; adviseWillNeed(v.data, v.sec.Off, v.sec.Len) {
 			willNeed = true
 		}
 	}
 	if willNeed {
 		applied = append(applied, "willneed")
 	}
-	if slab := s.layout.EntrySlabSection(); adviseHugePage(s.data, slab.Off, slab.Len) {
+	if slab := s.views[s.layout.EntrySlabIndex()]; adviseHugePage(slab.data, slab.sec.Off, slab.sec.Len) {
 		applied = append(applied, "hugepage")
 	}
 	s.advices.Store(&applied)
@@ -368,15 +505,26 @@ func (s *Snapshot) Verify() error {
 		return ErrClosed
 	}
 	defer s.Release()
+	if s.deltaLayout != nil {
+		// Delta-backed: the serving state spans two files, each carrying its
+		// own trailer; verify both.
+		if err := s.baseLayout.VerifyChecksum(s.data); err != nil {
+			return fmt.Errorf("snapshot: base: %w", err)
+		}
+		if err := s.deltaLayout.VerifyChecksum(s.delta); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		return nil
+	}
 	if err := s.layout.VerifyChecksum(s.data); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	return nil
 }
 
-// SizeBytes returns the size of the mapped file, or 0 for a streaming-backed
-// snapshot.
-func (s *Snapshot) SizeBytes() int64 { return int64(len(s.data)) }
+// SizeBytes returns the total size of the mapped file(s) — base plus delta
+// for delta-backed opens — or 0 for a streaming-backed snapshot.
+func (s *Snapshot) SizeBytes() int64 { return int64(len(s.data) + len(s.delta)) }
 
 // Close drops the owner reference. The mapping is unmapped once every
 // outstanding Retain has been Release'd — immediately when none are — so the
