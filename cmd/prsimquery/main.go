@@ -26,10 +26,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -202,10 +204,58 @@ func run(cfg config) error {
 	return nil
 }
 
+// topKReplyJSON is the decoded POST /v1/graphs/{name}/topk success body.
+type topKReplyJSON struct {
+	Source  int     `json:"source"`
+	Epsilon float64 `json:"epsilon"`
+	Clamped bool    `json:"epsilon_clamped"`
+	Cached  bool    `json:"cached"`
+	Top     []struct {
+		Node  int     `json:"node"`
+		Label string  `json:"label"`
+		Score float64 `json:"score"`
+	} `json:"top"`
+}
+
+// shedError marks a 429 shed carrying the server's telemetry-derived
+// Retry-After hint (zero when the server gave none).
+type shedError struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// Shed-retry policy: a 429 is retried a few times, sleeping for the server's
+// Retry-After hint (capped so a pathological hint cannot stall the CLI, with
+// ±25% jitter so a herd of scripted callers does not re-converge on the same
+// instant). Every other failure is final — the server already classified it.
+const (
+	shedRetryAttempts = 4
+	shedRetryCap      = 2 * time.Second
+	shedRetryBase     = 100 * time.Millisecond
+)
+
+// shedBackoff turns the server's hint (or its absence) into the next sleep.
+func shedBackoff(hint time.Duration, attempt int) time.Duration {
+	wait := hint
+	if wait <= 0 {
+		wait = shedRetryBase * time.Duration(attempt)
+	}
+	if wait > shedRetryCap {
+		wait = shedRetryCap
+	}
+	// Deterministic per-attempt jitter in [0.75, 1.25): scripted callers that
+	// shed together spread out without the CLI needing a random source.
+	frac := float64((uint64(time.Now().UnixNano())*0x9e3779b97f4a7c15)>>40) / float64(1<<24)
+	return time.Duration(float64(wait) * (0.75 + 0.5*frac))
+}
+
 // runRemote answers the query over a prsimserve's versioned HTTP API: POST
 // /v1/graphs/{name}/topk with the request-plane knobs in the JSON body. A
-// 429 shed is reported with the server's telemetry-derived Retry-After hint
-// so scripted callers know when to come back.
+// 429 shed honors the server's Retry-After hint with capped, jittered
+// retries; after the last attempt the shed is reported with the hint so
+// scripted callers know when to come back.
 func runRemote(cfg config) error {
 	if cfg.source < 0 {
 		return fmt.Errorf("-server mode needs -source (the server's index is already built)")
@@ -229,41 +279,20 @@ func runRemote(cfg config) error {
 		return err
 	}
 	url := strings.TrimRight(cfg.server, "/") + "/v1/graphs/" + name + "/topk"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var envelope struct {
-			Error struct {
-				Code         string `json:"code"`
-				Message      string `json:"message"`
-				RetryAfterMS int64  `json:"retry_after_ms"`
-			} `json:"error"`
+	var out *topKReplyJSON
+	for attempt := 1; ; attempt++ {
+		out, err = postTopK(url, payload)
+		if err == nil {
+			break
 		}
-		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
-			return fmt.Errorf("server returned %s", resp.Status)
+		var shed *shedError
+		if !errors.As(err, &shed) || attempt >= shedRetryAttempts {
+			return err
 		}
-		if envelope.Error.RetryAfterMS > 0 {
-			return fmt.Errorf("server returned %s (%s): %s; retry after %dms",
-				resp.Status, envelope.Error.Code, envelope.Error.Message, envelope.Error.RetryAfterMS)
-		}
-		return fmt.Errorf("server returned %s (%s): %s", resp.Status, envelope.Error.Code, envelope.Error.Message)
-	}
-	var out struct {
-		Source  int     `json:"source"`
-		Epsilon float64 `json:"epsilon"`
-		Clamped bool    `json:"epsilon_clamped"`
-		Cached  bool    `json:"cached"`
-		Top     []struct {
-			Node  int     `json:"node"`
-			Label string  `json:"label"`
-			Score float64 `json:"score"`
-		} `json:"top"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return fmt.Errorf("decoding server response: %v", err)
+		wait := shedBackoff(shed.retryAfter, attempt)
+		fmt.Fprintf(os.Stderr, "prsimquery: %v; retrying in %s (attempt %d/%d)\n",
+			shed, wait.Round(time.Millisecond), attempt, shedRetryAttempts)
+		time.Sleep(wait)
 	}
 	if out.Clamped {
 		fmt.Printf("note: requested epsilon %g is below the index's build epsilon; clamped to %g\n",
@@ -279,6 +308,50 @@ func runRemote(cfg config) error {
 		fmt.Printf("%3d. node %-8s s = %.5f\n", rank+1, label, s.Score)
 	}
 	return nil
+}
+
+// postTopK issues one attempt against the server, decoding the error
+// envelope on failure. A 429 comes back as *shedError with the Retry-After
+// hint (the envelope's retry_after_ms, or the Retry-After header's seconds);
+// everything else is a terminal error.
+func postTopK(url string, payload []byte) (*topKReplyJSON, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error struct {
+				Code         string `json:"code"`
+				Message      string `json:"message"`
+				RetryAfterMS int64  `json:"retry_after_ms"`
+			} `json:"error"`
+		}
+		msg := fmt.Sprintf("server returned %s", resp.Status)
+		hint := time.Duration(0)
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error.Code != "" {
+			msg = fmt.Sprintf("server returned %s (%s): %s", resp.Status, envelope.Error.Code, envelope.Error.Message)
+			hint = time.Duration(envelope.Error.RetryAfterMS) * time.Millisecond
+		}
+		if hint <= 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				hint = time.Duration(secs) * time.Second
+			}
+		}
+		if hint > 0 {
+			msg += fmt.Sprintf("; retry after %s", hint)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return nil, &shedError{msg: msg, retryAfter: hint}
+		}
+		return nil, errors.New(msg)
+	}
+	out := &topKReplyJSON{}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, fmt.Errorf("decoding server response: %v", err)
+	}
+	return out, nil
 }
 
 func runBaseline(cfg config, g *prsim.Graph) error {

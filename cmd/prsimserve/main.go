@@ -75,10 +75,12 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"prsim"
@@ -105,7 +107,9 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline ceiling (timeout_ms may only shorten it)")
 	flag.DurationVar(&cfg.verifyEvery, "verifyevery", 0, "re-verify the snapshot checksum in the background at this interval (0 disables)")
-	flag.StringVar(&cfg.adminToken, "admintoken", "", "bearer token required on admin endpoints (reload, mount, unmount, edges); empty leaves the admin plane open")
+	flag.StringVar(&cfg.adminToken, "admintoken", "", "bearer token required on admin endpoints (reload, mount, unmount, edges, health); empty leaves the admin plane open")
+	flag.StringVar(&cfg.shardMap, "shardmap", "", "JSON shard-map file mounting remote graphs at boot: {\"graphs\":{name:{\"placement\":[[endpoint,...],...],...}}}")
+	flag.DurationVar(&cfg.drainTimeout, "draintimeout", 15*time.Second, "graceful-shutdown drain budget: on SIGTERM/SIGINT stop accepting and wait this long for in-flight requests before exiting")
 	flag.Float64Var(&cfg.rewriteRatio, "rewriteratio", 0.5, "full-rewrite threshold for edge updates: republish the whole snapshot once the delta would exceed this fraction of the base size")
 	flag.Float64Var(&cfg.driftBudget, "mutatedrift", 0, "drift budget for edge updates in units of rmax: hubs perturbed by at most this much skip recomputation (bounded score drift, smaller update footprint); 0 keeps updates bit-exact")
 	flag.Parse()
@@ -128,6 +132,12 @@ func main() {
 		go srv.verifyLoop(cfg.verifyEvery)
 		log.Printf("prsimserve: verifying snapshot checksum every %s in the background", cfg.verifyEvery)
 	}
+	if cfg.shardMap != "" {
+		if err := srv.mountShardMap(cfg.shardMap); err != nil {
+			fmt.Fprintf(os.Stderr, "prsimserve: shard map: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	hs := &http.Server{
 		Addr:    cfg.addr,
 		Handler: srv.handler(),
@@ -138,10 +148,32 @@ func main() {
 		WriteTimeout:      srv.timeout + 5*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain in-flight
+	// requests within -draintimeout, then stop the background loops and
+	// close every mounted graph (releasing snapshot mappings and remote
+	// shard clients) before exiting.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "prsimserve: %v\n", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stopSignals() // a second signal kills the process immediately
 	}
+	log.Printf("prsimserve: shutting down (draining for up to %s)", cfg.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("prsimserve: drain incomplete: %v", err)
+	}
+	close(srv.stop)
+	if err := srv.reg.Close(); err != nil {
+		log.Printf("prsimserve: closing registry: %v", err)
+	}
+	log.Printf("prsimserve: shutdown complete")
 }
 
 type config struct {
@@ -163,7 +195,15 @@ type config struct {
 	adminToken         string
 	rewriteRatio       float64
 	driftBudget        float64
+	shardMap           string
+	drainTimeout       time.Duration
 }
+
+// remoteTransport, when non-nil, overrides the HTTP transport of every
+// remote graph mounted by this server — the test seam that lets chaos tests
+// drive remote mounts through an in-process handler or fault injector
+// without a network.
+var remoteTransport http.RoundTripper
 
 // server wires the multi-graph registry to the HTTP surface; its handler is
 // separable from the listener so tests can drive it through httptest. The
@@ -508,6 +548,7 @@ func (s *server) routes() []route {
 		{pattern: "GET /v1/graphs/{graph}/pair", handler: s.handlePair},
 		{pattern: "GET /v1/graphs/{graph}/stats", handler: s.handleGraphStats},
 		// v1 admin plane (bearer-auth gated when -admintoken is set).
+		{pattern: "GET /v1/graphs/{graph}/health", handler: s.admin(s.handleGraphHealth)},
 		{pattern: "POST /v1/graphs/{graph}/edges", handler: s.admin(s.handleEdges)},
 		{pattern: "POST /v1/graphs/{graph}/reload", handler: s.admin(s.handleReload)},
 		{pattern: "GET /v1/graphs", handler: s.handleGraphList},
@@ -581,16 +622,17 @@ func (s *server) servedFor(w http.ResponseWriter, r *http.Request, apiGraph stri
 // and /topk: one parse point regardless of transport (GET URL parameters or
 // POST JSON body), feeding one prsim.Request.
 type apiRequest struct {
-	graph    string
-	sources  []int
-	epsilon  float64
-	k        int
-	kSet     bool
-	limit    int
-	timeout  time.Duration
-	noCache  bool
-	parallel int
-	class    prsim.Class
+	graph        string
+	sources      []int
+	epsilon      float64
+	k            int
+	kSet         bool
+	limit        int
+	timeout      time.Duration
+	noCache      bool
+	parallel     int
+	class        prsim.Class
+	allowPartial bool
 }
 
 // requestBodyJSON is the POST body shape of /query and /topk.
@@ -605,6 +647,10 @@ type requestBodyJSON struct {
 	NoCache     bool    `json:"no_cache"`
 	Parallelism int     `json:"parallelism"`
 	Class       string  `json:"class"`
+	// AllowPartial opts multi-source requests against remote graphs into
+	// graceful degradation: unreachable shards drop out and the response is
+	// flagged degraded instead of failing with 503.
+	AllowPartial bool `json:"allow_partial"`
 }
 
 // parseAPIRequest decodes the request-plane knobs from either transport.
@@ -635,6 +681,7 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 			return req, err
 		}
 		req.class = class
+		req.allowPartial = body.AllowPartial
 		return req, nil
 	}
 	q := r.URL.Query()
@@ -675,6 +722,9 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 	if req.class, err = prsim.ParseClass(q.Get("class")); err != nil {
 		return req, err
 	}
+	if v := q.Get("allow_partial"); v != "" && v != "0" && v != "false" {
+		req.allowPartial = true
+	}
 	return req, nil
 }
 
@@ -693,10 +743,11 @@ func (s *server) effectiveParallel(req apiRequest) int {
 // baseRequest lowers the decoded knobs into the library request bundle.
 func (s *server) baseRequest(api apiRequest) prsim.Request {
 	return prsim.Request{
-		Epsilon:     api.epsilon,
-		NoCache:     api.noCache,
-		Parallelism: s.effectiveParallel(api),
-		Class:       api.class,
+		Epsilon:      api.epsilon,
+		NoCache:      api.noCache,
+		Parallelism:  s.effectiveParallel(api),
+		Class:        api.class,
+		AllowPartial: api.allowPartial,
 	}
 }
 
@@ -737,19 +788,33 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, api.timeout)
 	defer cancel()
-	resps, err := sv.DoBatch(ctx, s.baseRequest(api), api.sources)
+	batch, err := sv.DoBatch(ctx, s.baseRequest(api), api.sources)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	out := make([]queryResultJSON, len(resps))
-	for i, resp := range resps {
-		out[i] = renderResult(resp.Result, api.limit)
+	resps := batch.Responses
+	// A single-source request has nothing to return when its one shard is
+	// missing — degrade to the fail-fast shape even under allow_partial.
+	if len(api.sources) == 1 && (len(resps) == 0 || resps[0] == nil) {
+		writeError(w, http.StatusServiceUnavailable, codeShardUnavailable,
+			fmt.Sprintf("shard(s) %v unavailable", batch.MissingShards))
+		return
 	}
+	// Degraded batches render missing sources as null entries; the envelope
+	// carries the degradation flag and the missing shard list.
+	out := make([]*queryResultJSON, len(resps))
 	var epsilon float64
 	var clamped bool
-	if len(resps) > 0 {
-		epsilon, clamped = resps[0].Epsilon, resps[0].Clamped
+	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		rr := renderResult(resp.Result, api.limit)
+		out[i] = &rr
+		if epsilon == 0 {
+			epsilon, clamped = resp.Epsilon, resp.Clamped
+		}
 	}
 	if len(api.sources) == 1 {
 		one := struct {
@@ -758,11 +823,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Clamped   bool    `json:"epsilon_clamped,omitempty"`
 			Cached    bool    `json:"cached,omitempty"`
 			Coalesced bool    `json:"coalesced,omitempty"`
-		}{out[0], epsilon, clamped, resps[0].CacheHit, resps[0].Coalesced}
+		}{*out[0], epsilon, clamped, resps[0].CacheHit, resps[0].Coalesced}
 		writeJSON(w, one)
 		return
 	}
-	writeJSON(w, map[string]any{"results": out, "epsilon": epsilon, "epsilon_clamped": clamped})
+	payload := map[string]any{"results": out, "epsilon": epsilon, "epsilon_clamped": clamped}
+	if batch.Degraded {
+		payload["degraded"] = true
+		payload["missing_shards"] = batch.MissingShards
+	}
+	writeJSON(w, payload)
 }
 
 // renderResult flattens a result into descending-score order, source first
@@ -820,14 +890,19 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if len(api.sources) > 1 {
 		// Multi-source: per-source top-k on the owning shards, merged into
 		// one global selection (max score per node, deterministic order).
-		top, err := sv.TopKMerged(ctx, s.baseRequest(api), api.sources, k)
+		res, err := sv.TopKMerged(ctx, s.baseRequest(api), api.sources, k)
 		if err != nil {
 			writeQueryError(w, err)
 			return
 		}
-		writeJSON(w, map[string]any{
-			"sources": api.sources, "k": k, "top": renderScored(top),
-		})
+		payload := map[string]any{
+			"sources": api.sources, "k": k, "top": renderScored(res.Top),
+		}
+		if res.Degraded {
+			payload["degraded"] = true
+			payload["missing_shards"] = res.MissingShards
+		}
+		writeJSON(w, payload)
 		return
 	}
 	u := api.sources[0]
@@ -908,6 +983,11 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	if sv.Remote() {
+		writeError(w, http.StatusConflict, codeConflict,
+			fmt.Sprintf("graph %q is remote: reload it on its shard hosts", name))
+		return
+	}
 	// Serialize with edge mutations on this graph and re-read the delta base
 	// afterwards (the reload may have picked up an externally republished
 	// snapshot with fresh gens).
@@ -931,14 +1011,115 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// mountBodyJSON is the PUT /v1/graphs/{name} body: the snapshot file to
-// serve and the graph's serving shape (defaults follow the server flags).
+// mountBodyJSON is the PUT /v1/graphs/{name} body. Exactly one of snapshot
+// (a local snapshot file to serve) or placement (remote shard placement:
+// one replica endpoint list per shard slot) is required; the remaining
+// fields shape local serving (shards/workers/cache/max_queue, defaulting to
+// the server flags) or the remote resilience layer.
 type mountBodyJSON struct {
 	Snapshot string `json:"snapshot"`
 	Shards   int    `json:"shards"`
 	Workers  int    `json:"workers"`
 	Cache    *int   `json:"cache"`
 	MaxQueue *int   `json:"max_queue"`
+
+	// Remote placement: one replica endpoint list per shard slot.
+	Placement [][]string `json:"placement"`
+	// RemoteGraph is the graph name on the shard hosts (default: the name
+	// being mounted here).
+	RemoteGraph string `json:"remote_graph"`
+	// Resilience knobs; zero values pick production defaults.
+	HealthIntervalMS  int64 `json:"health_interval_ms"`
+	MaxAttempts       int   `json:"max_attempts"`
+	HedgeDelayMS      int64 `json:"hedge_delay_ms"`
+	AttemptTimeoutMS  int64 `json:"attempt_timeout_ms"`
+	BreakerThreshold  int   `json:"breaker_threshold"`
+	BreakerCooldownMS int64 `json:"breaker_cooldown_ms"`
+}
+
+// remoteConfig lowers the mount body's remote placement into the library
+// configuration, wiring the test transport override.
+func (b mountBodyJSON) remoteConfig(name string) prsim.RemoteGraphConfig {
+	remoteGraph := b.RemoteGraph
+	if remoteGraph == "" {
+		remoteGraph = name
+	}
+	return prsim.RemoteGraphConfig{
+		Graph:     remoteGraph,
+		Shards:    b.Placement,
+		Transport: remoteTransport,
+		Resilience: prsim.ResilienceOptions{
+			HealthInterval:   time.Duration(b.HealthIntervalMS) * time.Millisecond,
+			MaxAttempts:      b.MaxAttempts,
+			HedgeDelay:       time.Duration(b.HedgeDelayMS) * time.Millisecond,
+			AttemptTimeout:   time.Duration(b.AttemptTimeoutMS) * time.Millisecond,
+			BreakerThreshold: b.BreakerThreshold,
+			BreakerCooldown:  time.Duration(b.BreakerCooldownMS) * time.Millisecond,
+		},
+	}
+}
+
+// mountRemote mounts a remote-placement graph and writes the mount
+// response; shared by the admin endpoint and the boot-time shard map.
+func (s *server) mountRemote(name string, body mountBodyJSON) (*prsim.Served, error) {
+	if name == prsim.DefaultGraph {
+		return nil, fmt.Errorf("the default graph is served locally (placement mounts need another name)")
+	}
+	for i, endpoints := range body.Placement {
+		if len(endpoints) == 0 {
+			return nil, fmt.Errorf("placement shard %d has no endpoints", i)
+		}
+		for _, ep := range endpoints {
+			if !strings.HasPrefix(ep, "http://") && !strings.HasPrefix(ep, "https://") {
+				return nil, fmt.Errorf("placement shard %d endpoint %q is not an http(s) base URL", i, ep)
+			}
+		}
+	}
+	return s.reg.MountRemote(name, body.remoteConfig(name))
+}
+
+// shardMapJSON is the -shardmap file: remote graphs to mount at boot, keyed
+// by name, each a mount body restricted to the placement fields.
+type shardMapJSON struct {
+	Graphs map[string]mountBodyJSON `json:"graphs"`
+}
+
+// mountShardMap mounts every remote graph named by the -shardmap file.
+func (s *server) mountShardMap(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sm shardMapJSON
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sm); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	// Mount in sorted order so boot logs and failures are deterministic.
+	names := make([]string, 0, len(sm.Graphs))
+	for name := range sm.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		body := sm.Graphs[name]
+		if !validGraphName(name) {
+			return fmt.Errorf("%s: invalid graph name %q", path, name)
+		}
+		if len(body.Placement) == 0 {
+			return fmt.Errorf("%s: graph %q has no placement (shard maps mount remote graphs; local graphs use -loadindex or the admin API)", path, name)
+		}
+		if body.Snapshot != "" {
+			return fmt.Errorf("%s: graph %q sets both snapshot and placement", path, name)
+		}
+		sv, err := s.mountRemote(name, body)
+		if err != nil {
+			return fmt.Errorf("%s: graph %q: %w", path, name, err)
+		}
+		log.Printf("prsimserve: mounted remote graph %q (%d shards)", name, sv.NumShards())
+	}
+	return nil
 }
 
 func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
@@ -955,8 +1136,32 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Sprintf("invalid JSON body: %v", err))
 		return
 	}
+	if body.Snapshot != "" && len(body.Placement) > 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "snapshot and placement are mutually exclusive")
+		return
+	}
+	if len(body.Placement) > 0 {
+		sv, err := s.mountRemote(name, body)
+		if err != nil {
+			status, code := http.StatusBadRequest, codeInvalidArgument
+			if strings.Contains(err.Error(), "already mounted") {
+				status, code = http.StatusConflict, codeConflict
+			}
+			writeError(w, status, code, err.Error())
+			return
+		}
+		log.Printf("prsimserve: mounted remote graph %q (%d shards)", name, sv.NumShards())
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]any{
+			"status": "mounted",
+			"graph":  name,
+			"shards": sv.NumShards(),
+			"remote": true,
+		})
+		return
+	}
 	if body.Snapshot == "" {
-		writeError(w, http.StatusBadRequest, codeInvalidArgument, "snapshot (a self-contained snapshot file path) is required")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "snapshot (a self-contained snapshot file path) or placement (remote shard endpoints) is required")
 		return
 	}
 	cfg := prsim.GraphConfig{
@@ -1025,15 +1230,19 @@ func (s *server) handleGraphList(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // unmounted between Names and Get
 		}
-		idx := sv.Current()
-		graphs = append(graphs, map[string]any{
+		entry := map[string]any{
 			"name":       name,
 			"generation": sv.Generation(),
 			"shards":     sv.NumShards(),
-			"nodes":      idx.Graph().NumNodes(),
-			"edges":      idx.Graph().NumEdges(),
-			"backing":    idx.Backing(),
-		})
+		}
+		if idx := sv.Current(); idx != nil {
+			entry["nodes"] = idx.Graph().NumNodes()
+			entry["edges"] = idx.Graph().NumEdges()
+			entry["backing"] = idx.Backing()
+		} else {
+			entry["remote"] = true
+		}
+		graphs = append(graphs, entry)
 	}
 	writeJSON(w, map[string]any{"graphs": graphs})
 }
@@ -1054,6 +1263,26 @@ func (s *server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 // additionally carries the snapshot watch/verify sections — that machinery
 // is wired to the boot-time snapshot file.
 func (s *server) graphStatsPayload(sv *prsim.Served, name string) map[string]any {
+	if sv.Remote() {
+		// Remote graphs have no local index: report the client-side view —
+		// aggregated call counters, per-shard resilience counters, and the
+		// replica health map. Index/graph statistics live on the shard hosts.
+		est := sv.StatsAggregate()
+		return map[string]any{
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"name":           name,
+			"remote":         true,
+			"generation":     est.Generation,
+			"engine": map[string]any{
+				"shards":       sv.NumShards(),
+				"queries":      est.Queries,
+				"pair_queries": est.PairQueries,
+				"errors":       est.Errors,
+			},
+			"shards": remoteShardStatsJSON(sv),
+			"health": healthJSON(sv.Health()),
+		}
+	}
 	idx := sv.Current()
 	g := idx.Graph()
 	ist := idx.Stats()
@@ -1102,6 +1331,7 @@ func (s *server) graphStatsPayload(sv *prsim.Served, name string) map[string]any
 			"batch":       classStatsJSON(est.Batch),
 		},
 		"shards":    shardStatsJSON(sv.Stats()),
+		"health":    healthJSON(sv.Health()),
 		"mutations": s.mutatorFor(name).statsJSON(),
 	}
 	payload["index"].(map[string]any)["update_generation"] = idx.Generation()
@@ -1152,6 +1382,74 @@ func classStatsJSON(c prsim.ClassStats) map[string]any {
 		"queue_depth":    c.QueueDepth,
 		"avg_service_ms": float64(c.AvgServiceNs) / 1e6,
 	}
+}
+
+// remoteShardStatsJSON renders the client-side resilience counters of every
+// remote shard: attempts vs calls shows retry/hedge amplification, failures
+// count calls that exhausted every replica.
+func remoteShardStatsJSON(sv *prsim.Served) []map[string]any {
+	out := make([]map[string]any, sv.NumShards())
+	for i := range out {
+		st, _ := sv.RemoteStats(i)
+		out[i] = map[string]any{
+			"shard":      i,
+			"calls":      st.Calls,
+			"attempts":   st.Attempts,
+			"retries":    st.Retries,
+			"hedges":     st.Hedges,
+			"hedge_wins": st.HedgeWins,
+			"failures":   st.Failures,
+		}
+	}
+	return out
+}
+
+// healthJSON renders a graph's shard health map.
+func healthJSON(shards []prsim.ShardHealth) []map[string]any {
+	out := make([]map[string]any, len(shards))
+	for i, sh := range shards {
+		entry := map[string]any{
+			"shard":  sh.Shard,
+			"remote": sh.Remote,
+			"state":  sh.State.String(),
+		}
+		if sh.Remote {
+			replicas := make([]map[string]any, len(sh.Replicas))
+			for j, rep := range sh.Replicas {
+				replicas[j] = map[string]any{
+					"endpoint":             rep.Endpoint,
+					"state":                rep.State.String(),
+					"consecutive_failures": rep.ConsecutiveFailures,
+					"breaker_open":         rep.BreakerOpen,
+					"breaker_opens":        rep.BreakerOpens,
+					"generation":           rep.Generation,
+					"probes":               rep.Probes,
+					"probe_failures":       rep.ProbeFailures,
+					"ewma_latency_ms":      float64(rep.EWMALatency) / float64(time.Millisecond),
+					"hedge_delay_ms":       float64(rep.HedgeDelay) / float64(time.Millisecond),
+				}
+			}
+			entry["replicas"] = replicas
+		}
+		out[i] = entry
+	}
+	return out
+}
+
+// handleGraphHealth reports the per-shard health map of one graph — for
+// remote graphs, the live replica states the router routes around
+// (breakers, probe failures, observed generations). Admin-gated: the map
+// exposes internal endpoints.
+func (s *server) handleGraphHealth(w http.ResponseWriter, r *http.Request) {
+	sv, name, ok := s.servedFor(w, r, r.URL.Query().Get("graph"))
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"graph":  name,
+		"remote": sv.Remote(),
+		"shards": healthJSON(sv.Health()),
+	})
 }
 
 // shardStatsJSON renders the per-shard breakdown (queries, cache activity,
@@ -1237,6 +1535,7 @@ const (
 	codeConflict         = "conflict"
 	codeInternal         = "internal"
 	codeUnauthorized     = "unauthorized"
+	codeShardUnavailable = "shard_unavailable"
 )
 
 // errorJSON is the unified error envelope body.
@@ -1269,6 +1568,12 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		})
 	case errors.Is(err, prsim.ErrUnknownGraph):
 		writeError(w, http.StatusNotFound, codeUnknownGraph, err.Error())
+	case errors.Is(err, prsim.ErrShardUnavailable):
+		// A remote shard could not be reached past its retries and breaker.
+		// 503 tells clients the failure is on the serving side and transient;
+		// multi-source requests can opt into partial results instead with
+		// allow_partial.
+		writeError(w, http.StatusServiceUnavailable, codeShardUnavailable, err.Error())
 	case errors.Is(err, prsim.ErrInvalidNode):
 		writeError(w, http.StatusBadRequest, codeInvalidNode, err.Error())
 	case errors.Is(err, prsim.ErrInvalidEpsilon):

@@ -237,6 +237,11 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	if sv.Remote() {
+		writeError(w, http.StatusConflict, codeConflict,
+			fmt.Sprintf("graph %q is remote: apply edge updates on its shard hosts", name))
+		return
+	}
 	ups := make([]prsim.EdgeUpdate, len(body.Updates))
 	for i, e := range body.Updates {
 		ups[i] = prsim.EdgeUpdate{From: e.From, To: e.To, Delete: e.Delete}

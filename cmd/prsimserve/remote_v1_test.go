@@ -1,0 +1,502 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prsim/internal/router"
+)
+
+// setRemoteTransport points the server's remote-shard transport at an
+// in-process handler (or a fault-injecting wrapper) for the duration of one
+// test. Tests in this package run sequentially, so a package-level swap with
+// cleanup restore is race-free.
+func setRemoteTransport(t *testing.T, tr http.RoundTripper) {
+	t.Helper()
+	old := remoteTransport
+	remoteTransport = tr
+	t.Cleanup(func() { remoteTransport = old })
+}
+
+// putJSON PUTs a JSON body and decodes the JSON response.
+func putJSON(t *testing.T, url, body string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("PUT %s: %v", url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("PUT %s: decoding body: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// mountWebBody is the placement mount request used across these tests: two
+// shard slots on hosts b0/b1, pointing at the backend's default graph, with
+// a huge health interval (these tests drive the call path, not the prober)
+// and a breaker threshold high enough that blackhole tests recover instantly
+// once the fault clears.
+const mountWebBody = `{
+	"placement": [["http://b0"], ["http://b1"]],
+	"remote_graph": "default",
+	"health_interval_ms": 3600000,
+	"max_attempts": 1,
+	"attempt_timeout_ms": 500,
+	"breaker_threshold": 1000
+}`
+
+// TestV1RemotePlacementMount mounts a remote-placement graph over the admin
+// API and checks the serving surface end to end: query/topk/pair answers are
+// bit-identical to the backend serving the same snapshot, the graph list and
+// stats flag the graph as remote, the health endpoint exposes the replica
+// map, mutations are refused with a conflict, and validation rejects
+// malformed placements.
+func TestV1RemotePlacementMount(t *testing.T) {
+	backend, bts, _, _ := newV1Server(t, 2)
+	setRemoteTransport(t, &router.HandlerTransport{Handler: backend.handler()})
+	_, ts, _, _ := newV1Server(t, 1)
+
+	var mounted struct {
+		Status string `json:"status"`
+		Graph  string `json:"graph"`
+		Shards int    `json:"shards"`
+		Remote bool   `json:"remote"`
+	}
+	resp := putJSON(t, ts.URL+"/v1/graphs/web", mountWebBody, &mounted)
+	if resp.StatusCode != http.StatusCreated || !mounted.Remote || mounted.Shards != 2 {
+		t.Fatalf("mount = %d %+v, want 201 remote with 2 shards", resp.StatusCode, mounted)
+	}
+
+	// Graph list flags the remote mount.
+	var list struct {
+		Graphs []map[string]any `json:"graphs"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs", &list)
+	found := false
+	for _, g := range list.Graphs {
+		if g["name"] == "web" {
+			found = true
+			if g["remote"] != true {
+				t.Errorf("graph list entry for web = %v, want remote:true", g)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("graph list %v missing web", list.Graphs)
+	}
+
+	// Single-source parity: the frontend's answer over the wire must match
+	// the backend serving the identical snapshot locally.
+	var fres, bres queryResultJSON
+	getJSON(t, ts.URL+"/v1/graphs/web/query?u=3", &fres)
+	getJSON(t, bts.URL+"/v1/graphs/default/query?u=3", &bres)
+	mustEqualJSON(t, "single-source query", fres, bres)
+
+	// Batch parity in input order.
+	var fbatch, bbatch struct {
+		Results []*queryResultJSON `json:"results"`
+		Epsilon float64            `json:"epsilon"`
+	}
+	body := `{"sources": [0, 1, 2, 3, 4, 5, 6, 7]}`
+	postJSON(t, ts.URL+"/v1/graphs/web/query", body, &fbatch)
+	postJSON(t, bts.URL+"/v1/graphs/default/query", body, &bbatch)
+	mustEqualJSON(t, "batch query", fbatch, bbatch)
+
+	// Merged multi-source top-k parity (deterministic merge).
+	var ftop, btop struct {
+		Top []scoredNodeJSON `json:"top"`
+		K   int              `json:"k"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs/web/topk?u=3&u=9&u=27&k=5", &ftop)
+	getJSON(t, bts.URL+"/v1/graphs/default/topk?u=3&u=9&u=27&k=5", &btop)
+	mustEqualJSON(t, "merged topk", ftop, btop)
+
+	// Pair parity.
+	var fpair, bpair struct {
+		Score float64 `json:"score"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs/web/pair?u=3&v=9", &fpair)
+	getJSON(t, bts.URL+"/v1/graphs/default/pair?u=3&v=9", &bpair)
+	if fpair.Score != bpair.Score {
+		t.Errorf("pair score = %v, backend = %v", fpair.Score, bpair.Score)
+	}
+
+	// Stats render the client-side remote view: per-shard resilience
+	// counters and the replica health map instead of index statistics.
+	var stats struct {
+		Remote bool             `json:"remote"`
+		Shards []map[string]any `json:"shards"`
+		Health []map[string]any `json:"health"`
+		Engine map[string]any   `json:"engine"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs/web/stats", &stats)
+	if !stats.Remote || len(stats.Shards) != 2 || len(stats.Health) != 2 {
+		t.Errorf("remote stats = %+v, want remote with 2 shard and health entries", stats)
+	}
+	if q, ok := stats.Engine["queries"].(float64); !ok || q == 0 {
+		t.Errorf("remote stats queries = %v, want > 0", stats.Engine["queries"])
+	}
+
+	// The health endpoint exposes the replica map the router routes around.
+	var health struct {
+		Graph  string `json:"graph"`
+		Remote bool   `json:"remote"`
+		Shards []struct {
+			Shard    int    `json:"shard"`
+			Remote   bool   `json:"remote"`
+			State    string `json:"state"`
+			Replicas []struct {
+				Endpoint string `json:"endpoint"`
+				State    string `json:"state"`
+			} `json:"replicas"`
+		} `json:"shards"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs/web/health", &health)
+	if !health.Remote || len(health.Shards) != 2 {
+		t.Fatalf("health = %+v, want remote with 2 shards", health)
+	}
+	for i, sh := range health.Shards {
+		if !sh.Remote || sh.State != "up" || len(sh.Replicas) != 1 {
+			t.Errorf("health shard %d = %+v, want remote up with 1 replica", i, sh)
+		}
+		if want := fmt.Sprintf("http://b%d", i); sh.Replicas[0].Endpoint != want {
+			t.Errorf("shard %d replica endpoint = %q, want %q", i, sh.Replicas[0].Endpoint, want)
+		}
+	}
+
+	// Mutations belong on the shard hosts: reload and edges answer 409.
+	var reloadErr struct {
+		Error errorJSON `json:"error"`
+	}
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/reload", `{}`, &reloadErr); resp.StatusCode != http.StatusConflict || reloadErr.Error.Code != codeConflict {
+		t.Errorf("reload on remote graph = %d %+v, want 409 conflict", resp.StatusCode, reloadErr)
+	}
+	var edgesErr struct {
+		Error errorJSON `json:"error"`
+	}
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/edges", `{"updates": [{"from": 0, "to": 1}]}`, &edgesErr); resp.StatusCode != http.StatusConflict || edgesErr.Error.Code != codeConflict {
+		t.Errorf("edges on remote graph = %d %+v, want 409 conflict", resp.StatusCode, edgesErr)
+	}
+
+	// Duplicate mounts conflict; malformed placements are the client's fault.
+	for _, tc := range []struct {
+		name, graph, body string
+		status            int
+		code              string
+	}{
+		{"already mounted", "web", mountWebBody, http.StatusConflict, codeConflict},
+		{"snapshot and placement", "web2", `{"snapshot": "x.prsim", "placement": [["http://b0"]]}`, http.StatusBadRequest, codeInvalidArgument},
+		{"empty shard slot", "web2", `{"placement": [[]]}`, http.StatusBadRequest, codeInvalidArgument},
+		{"non-http endpoint", "web2", `{"placement": [["ftp://b0"]]}`, http.StatusBadRequest, codeInvalidArgument},
+		{"default graph", "default", `{"placement": [["http://b0"]]}`, http.StatusBadRequest, codeInvalidArgument},
+		{"unknown field", "web2", `{"placement": [["http://b0"]], "bogus": 1}`, http.StatusBadRequest, codeInvalidArgument},
+	} {
+		var e struct {
+			Error errorJSON `json:"error"`
+		}
+		resp := putJSON(t, ts.URL+"/v1/graphs/"+tc.graph, tc.body, &e)
+		if resp.StatusCode != tc.status || e.Error.Code != tc.code {
+			t.Errorf("%s: mount = %d %q, want %d %q", tc.name, resp.StatusCode, e.Error.Code, tc.status, tc.code)
+		}
+	}
+
+	// Unmount frees the name; queries then answer 404.
+	var unmounted struct {
+		Status string `json:"status"`
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/web", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE web: %v", err)
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&unmounted); err != nil {
+		t.Fatalf("decoding unmount: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || unmounted.Status != "unmounted" {
+		t.Fatalf("unmount = %d %+v", dresp.StatusCode, unmounted)
+	}
+	var gone struct {
+		Error errorJSON `json:"error"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/graphs/web/query?u=3", &gone); resp.StatusCode != http.StatusNotFound || gone.Error.Code != codeUnknownGraph {
+		t.Errorf("query after unmount = %d %q, want 404 unknown_graph", resp.StatusCode, gone.Error.Code)
+	}
+}
+
+// TestV1RemoteDegradedRendering blackholes one of two remote shards and
+// drives the degradation contract over HTTP: the default multi-source
+// request fails with 503 shard_unavailable, allow_partial returns the
+// surviving shard's answers with null entries plus the degraded envelope,
+// a single-source request on the dead shard is 503 even under
+// allow_partial, and once the fault clears full bit-parity returns.
+func TestV1RemoteDegradedRendering(t *testing.T) {
+	backend, bts, _, _ := newV1Server(t, 1)
+	fault := router.NewFaultTransport(&router.HandlerTransport{Handler: backend.handler()}, 1)
+	setRemoteTransport(t, fault)
+	_, ts, _, _ := newV1Server(t, 1)
+
+	if resp := putJSON(t, ts.URL+"/v1/graphs/web", mountWebBody, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("mount = %d", resp.StatusCode)
+	}
+
+	sources := `[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]`
+	type batchReply struct {
+		Results       []*queryResultJSON `json:"results"`
+		Epsilon       float64            `json:"epsilon"`
+		Degraded      bool               `json:"degraded"`
+		MissingShards []int              `json:"missing_shards"`
+	}
+
+	// Healthy baseline: every source answered, no degradation flag.
+	var healthy batchReply
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/query", `{"sources": `+sources+`}`, &healthy); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy batch = %d", resp.StatusCode)
+	}
+	if healthy.Degraded || len(healthy.Results) != 10 {
+		t.Fatalf("healthy batch = %+v, want 10 results undegraded", healthy)
+	}
+	for i, r := range healthy.Results {
+		if r == nil {
+			t.Fatalf("healthy batch result %d is null", i)
+		}
+	}
+
+	fault.Blackhole("b1")
+
+	// Default contract: fail fast with a typed 503 naming the shard.
+	var failed struct {
+		Error errorJSON `json:"error"`
+	}
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/query", `{"sources": `+sources+`}`, &failed); resp.StatusCode != http.StatusServiceUnavailable || failed.Error.Code != codeShardUnavailable {
+		t.Fatalf("blackholed batch = %d %+v, want 503 shard_unavailable", resp.StatusCode, failed)
+	}
+
+	// allow_partial: surviving shard's answers come back, missing sources
+	// render as nulls, and the envelope carries the missing shard list.
+	var partial batchReply
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/query", `{"sources": `+sources+`, "allow_partial": true}`, &partial); resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial batch = %d", resp.StatusCode)
+	}
+	if !partial.Degraded || len(partial.MissingShards) != 1 || partial.MissingShards[0] != 1 {
+		t.Fatalf("partial batch degraded=%v missing=%v, want degraded missing [1]", partial.Degraded, partial.MissingShards)
+	}
+	nulls, deadSource := 0, -1
+	for i, r := range partial.Results {
+		if r == nil {
+			nulls++
+			deadSource = i // sources are 0..9, so index == source id
+			continue
+		}
+		// Surviving entries are bit-identical to the healthy baseline.
+		mustEqualJSON(t, fmt.Sprintf("surviving result %d", i), r, healthy.Results[i])
+	}
+	if nulls == 0 || nulls == len(partial.Results) {
+		t.Fatalf("partial batch has %d/%d nulls, want a strict subset missing", nulls, len(partial.Results))
+	}
+
+	// A single-source request has nothing partial to return: 503 even with
+	// allow_partial.
+	var single struct {
+		Error errorJSON `json:"error"`
+	}
+	url := fmt.Sprintf("%s/v1/graphs/web/query?u=%d&allow_partial=1", ts.URL, deadSource)
+	if resp := getJSON(t, url, &single); resp.StatusCode != http.StatusServiceUnavailable || single.Error.Code != codeShardUnavailable {
+		t.Errorf("single-source on dead shard = %d %+v, want 503 shard_unavailable", resp.StatusCode, single)
+	}
+
+	// Merged top-k degrades the same way.
+	var top struct {
+		Top           []scoredNodeJSON `json:"top"`
+		Degraded      bool             `json:"degraded"`
+		MissingShards []int            `json:"missing_shards"`
+	}
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/topk", `{"sources": `+sources+`, "k": 5, "allow_partial": true}`, &top); resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial topk = %d", resp.StatusCode)
+	}
+	if !top.Degraded || len(top.MissingShards) != 1 || top.MissingShards[0] != 1 || len(top.Top) == 0 {
+		t.Errorf("partial topk = %+v, want degraded missing [1] with results", top)
+	}
+
+	// Client-side failure counters are visible to operators.
+	var stats struct {
+		Shards []struct {
+			Shard    int   `json:"shard"`
+			Failures int64 `json:"failures"`
+		} `json:"shards"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs/web/stats", &stats)
+	if len(stats.Shards) != 2 || stats.Shards[1].Failures == 0 {
+		t.Errorf("remote stats shards = %+v, want failures on shard 1", stats.Shards)
+	}
+
+	// Fault clears; the breaker never opened (huge threshold), so the next
+	// batch is whole again and bit-identical to the backend.
+	fault.Clear()
+	var recovered, reference batchReply
+	if resp := postJSON(t, ts.URL+"/v1/graphs/web/query", `{"sources": `+sources+`}`, &recovered); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered batch = %d", resp.StatusCode)
+	}
+	if recovered.Degraded {
+		t.Error("recovered batch still degraded")
+	}
+	postJSON(t, bts.URL+"/v1/graphs/default/query", `{"sources": `+sources+`}`, &reference)
+	mustEqualJSON(t, "recovered batch", recovered.Results, reference.Results)
+}
+
+// TestV1RemoteAdminAuth pins the bearer-auth 401 envelope on the remote
+// admin plane: placement mounts and the health endpoint are gated by
+// -admintoken while the query plane stays open.
+func TestV1RemoteAdminAuth(t *testing.T) {
+	backend, _, _, _ := newV1Server(t, 1)
+	setRemoteTransport(t, &router.HandlerTransport{Handler: backend.handler()})
+	_, ts, _, _ := newEdgesServer(t, func(c *config) { c.adminToken = "sesame" })
+
+	do := func(method, url, token, body string) (*http.Response, []byte) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, url, err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, url, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, raw
+	}
+
+	checkDenied := func(name string, resp *http.Response, raw []byte) {
+		t.Helper()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s = %d, want 401", name, resp.StatusCode)
+		}
+		if www := resp.Header.Get("WWW-Authenticate"); !strings.Contains(www, "Bearer") {
+			t.Errorf("%s: WWW-Authenticate = %q, want Bearer challenge", name, www)
+		}
+		var e struct {
+			Error errorJSON `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error.Code != codeUnauthorized {
+			t.Errorf("%s: body %s, want unauthorized envelope", name, raw)
+		}
+	}
+
+	mountBody := `{"placement": [["http://b0"]], "remote_graph": "default"}`
+	resp, raw := do(http.MethodPut, ts.URL+"/v1/graphs/web", "", mountBody)
+	checkDenied("placement mount without token", resp, raw)
+	resp, raw = do(http.MethodPut, ts.URL+"/v1/graphs/web", "wrong", mountBody)
+	checkDenied("placement mount with wrong token", resp, raw)
+	resp, raw = do(http.MethodGet, ts.URL+"/v1/graphs/default/health", "", "")
+	checkDenied("health without token", resp, raw)
+
+	// The right token passes: mount succeeds and health answers.
+	resp, raw = do(http.MethodPut, ts.URL+"/v1/graphs/web", "sesame", mountBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("authorized mount = %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = do(http.MethodGet, ts.URL+"/v1/graphs/web/health", "sesame", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"remote":true`) {
+		t.Fatalf("authorized health = %d: %s", resp.StatusCode, raw)
+	}
+
+	// The query plane stays open — remote graphs included.
+	var res queryResultJSON
+	if qresp := getJSON(t, ts.URL+"/v1/graphs/web/query?u=3", &res); qresp.StatusCode != http.StatusOK || res.Support == 0 {
+		t.Fatalf("unauthenticated query on remote graph = %d %+v", qresp.StatusCode, res)
+	}
+}
+
+// TestV1ShardMapBoot exercises the -shardmap boot path: a valid map mounts
+// its remote graphs (served with full parity), and malformed maps are
+// rejected with actionable errors before anything is served.
+func TestV1ShardMapBoot(t *testing.T) {
+	backend, bts, _, _ := newV1Server(t, 1)
+	setRemoteTransport(t, &router.HandlerTransport{Handler: backend.handler()})
+	srv, ts, _, _ := newV1Server(t, 1)
+
+	writeMap := func(name, contents string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+		return path
+	}
+
+	good := writeMap("map.json", `{
+		"graphs": {
+			"maps-a": {"placement": [["http://b0"]], "remote_graph": "default"},
+			"maps-b": {"placement": [["http://b0"], ["http://b1"]], "remote_graph": "default"}
+		}
+	}`)
+	if err := srv.mountShardMap(good); err != nil {
+		t.Fatalf("mountShardMap: %v", err)
+	}
+	for _, g := range []string{"maps-a", "maps-b"} {
+		var res queryResultJSON
+		if resp := getJSON(t, ts.URL+"/v1/graphs/"+g+"/query?u=3", &res); resp.StatusCode != http.StatusOK || res.Support == 0 {
+			t.Errorf("query on shard-map graph %s = %d %+v", g, resp.StatusCode, res)
+		}
+	}
+	// Shard-map graphs answer identically to the backend they proxy.
+	var fres, bres queryResultJSON
+	getJSON(t, ts.URL+"/v1/graphs/maps-a/query?u=5", &fres)
+	getJSON(t, bts.URL+"/v1/graphs/default/query?u=5", &bres)
+	mustEqualJSON(t, "shard-map parity", fres, bres)
+
+	for _, tc := range []struct {
+		name, contents, wantErr string
+	}{
+		{"missing placement", `{"graphs": {"x": {}}}`, "has no placement"},
+		{"snapshot and placement", `{"graphs": {"x": {"snapshot": "s.prsim", "placement": [["http://b0"]]}}}`, "sets both snapshot and placement"},
+		{"unknown field", `{"graphs": {"x": {"placement": [["http://b0"]], "bogus": 1}}}`, "bogus"},
+		{"invalid name", `{"graphs": {"bad name!": {"placement": [["http://b0"]]}}}`, "invalid graph name"},
+		{"bad endpoint", `{"graphs": {"x": {"placement": [["tcp://b0"]]}}}`, "not an http(s) base URL"},
+	} {
+		path := writeMap(tc.name+".json", tc.contents)
+		err := srv.mountShardMap(path)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: mountShardMap err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// mustEqualJSON fails the test unless both values marshal to identical JSON —
+// the bit-parity check used across the remote serving tests.
+func mustEqualJSON(t *testing.T, label string, got, want any) {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("%s: marshaling got: %v", label, err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("%s: marshaling want: %v", label, err)
+	}
+	if string(g) != string(w) {
+		t.Errorf("%s diverges:\n got: %s\nwant: %s", label, g, w)
+	}
+}

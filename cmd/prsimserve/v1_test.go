@@ -472,6 +472,7 @@ func TestHTTPSurfaceSnapshot(t *testing.T) {
 		"POST /v1/graphs/{graph}/topk",
 		"GET /v1/graphs/{graph}/pair",
 		"GET /v1/graphs/{graph}/stats",
+		"GET /v1/graphs/{graph}/health",
 		"POST /v1/graphs/{graph}/edges",
 		"POST /v1/graphs/{graph}/reload",
 		"GET /v1/graphs",
@@ -508,12 +509,12 @@ func TestHTTPSurfaceSnapshot(t *testing.T) {
 	codes := []string{
 		codeOverloaded, codeInvalidNode, codeInvalidEpsilon, codeInvalidArgument,
 		codeDeadlineExceeded, codeUnknownGraph, codeConflict, codeInternal,
-		codeUnauthorized,
+		codeUnauthorized, codeShardUnavailable,
 	}
 	wantCodes := []string{
 		"overloaded", "invalid_node", "invalid_epsilon", "invalid_argument",
 		"deadline_exceeded", "unknown_graph", "conflict", "internal",
-		"unauthorized",
+		"unauthorized", "shard_unavailable",
 	}
 	for i, c := range codes {
 		if c != wantCodes[i] {

@@ -73,7 +73,7 @@ func main() {
 		log.Fatalf("batch: %v", err)
 	}
 	fmt.Printf("\nbatch of %d sources answered; node %d has %d non-zero scores\n",
-		len(sources), sources[0], len(resps[0].Result.Scores()))
+		len(sources), sources[0], len(resps.Responses[0].Result.Scores()))
 
 	// Multi-source top-k: per-source selections merge into one global top-k
 	// (max score per node, score-descending, deterministic at any shard
@@ -83,7 +83,7 @@ func main() {
 		log.Fatalf("merged topk: %v", err)
 	}
 	fmt.Printf("\nglobal top-5 around nodes {3, 9, 27}:\n")
-	for rank, s := range top {
+	for rank, s := range top.Top {
 		fmt.Printf("%3d. node %-6d s = %.5f\n", rank+1, s.Node, s.Score)
 	}
 

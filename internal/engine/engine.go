@@ -139,6 +139,14 @@ type Request struct {
 	// class never changes results and is excluded from cache and
 	// single-flight identity.
 	Class Class
+	// AllowPartial opts a scatter-gathered batch into graceful degradation:
+	// when a shard is unavailable (remote replica down, circuit breaker
+	// open), the router returns the surviving shards' answers flagged
+	// Degraded instead of failing the whole batch. The engine itself ignores
+	// the flag — a single local engine is never partial — and it is excluded
+	// from cache and single-flight identity (it cannot change any per-source
+	// result).
+	AllowPartial bool
 }
 
 // Response is the answer to one Request, carrying the result (or top-k

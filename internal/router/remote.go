@@ -1,0 +1,969 @@
+// Remote shards: the /v1 HTTP client half of cross-machine scatter-gather.
+//
+// A RemoteShard owns one shard slot of a Served graph and forwards its
+// sub-batches to one of several replica endpoints, each a prsimserve
+// speaking the versioned /v1 surface. Every call runs through a resilience
+// layer:
+//
+//   - per-replica circuit breakers (consecutive failures open the breaker
+//     for a cooldown; a half-open probe closes it again),
+//   - deadline-aware retries with exponential backoff and seeded jitter,
+//     budgeted by MaxAttempts and never extending past the request deadline,
+//   - hedged requests: after an EWMA-p95 delay the first attempt is
+//     duplicated on a second replica and the first success wins (at most 2
+//     in-flight attempts per call),
+//   - active health checks driving an up/degraded/down replica map, run on
+//     a background loop against the shard's /v1 stats endpoint (which also
+//     reports the replica's snapshot generation, so a stale shard is
+//     visible).
+//
+// When every replica is unreachable the call fails with a typed
+// ShardUnavailableError; the router turns that into fail-fast or graceful
+// degradation depending on Request.AllowPartial.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prsim/internal/core"
+	"prsim/internal/engine"
+	"prsim/internal/graph"
+)
+
+// RemoteOptions configures the remote placement of a Served graph: one
+// replica endpoint list per shard, the graph name on the shard hosts, and
+// the resilience knobs. The zero value of every knob picks a production
+// default; tests shrink them.
+type RemoteOptions struct {
+	// Graph is the logical graph name on the shard hosts ("default" when
+	// empty).
+	Graph string
+	// Shards holds one replica endpoint list per shard slot (base URLs,
+	// e.g. "http://10.0.0.7:8080"). len(Shards) is the shard count; every
+	// shard needs at least one endpoint, and hedging needs at least two.
+	Shards [][]string
+	// Transport overrides the HTTP transport (connection pooling included);
+	// nil uses a pooled http.Transport. Tests inject a loopback or
+	// fault-injecting transport here — the whole resilience layer is
+	// exercised without a network.
+	Transport http.RoundTripper
+	// Resilience tunes retries, hedging, breakers, and health checks.
+	Resilience ResilienceOptions
+}
+
+// ResilienceOptions tunes the remote call path. Zero values mean defaults.
+type ResilienceOptions struct {
+	// MaxAttempts bounds the tries per logical shard call, counting the
+	// first attempt and any hedge (default 2). The budget is hard: a hedged
+	// call never retries again.
+	MaxAttempts int
+	// RetryBackoff is the base backoff before the second attempt (default
+	// 10ms), doubled per further attempt with ±50% seeded jitter. A backoff
+	// that cannot finish before the request deadline aborts the retry loop.
+	RetryBackoff time.Duration
+	// AttemptTimeout bounds one attempt's wall-clock time (default: the
+	// request deadline). Set it so a blackholed replica costs one attempt,
+	// not the whole deadline.
+	AttemptTimeout time.Duration
+	// HedgeDelay seeds the hedge timer before latency telemetry exists
+	// (default 25ms). Once a replica has answered a few calls the delay is
+	// its EWMA-p95 estimate (mean + 2σ), clamped to [1ms, 10×HedgeDelay].
+	HedgeDelay time.Duration
+	// DisableHedge turns duplicate requests off (retries and breakers stay).
+	DisableHedge bool
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// replica's circuit breaker (default 3); the same threshold marks the
+	// replica "down" in the health map (fewer failures mark it "degraded").
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before one
+	// half-open probe may test the replica (default 2s).
+	BreakerCooldown time.Duration
+	// HealthInterval is the active health-check period; 0 disables active
+	// checks (passive call outcomes still drive the map).
+	HealthInterval time.Duration
+	// Seed seeds the jitter and replica-rotation RNG; 0 uses a fixed seed,
+	// keeping single-threaded tests deterministic.
+	Seed uint64
+}
+
+// Resilience defaults.
+const (
+	defaultMaxAttempts      = 2
+	defaultRetryBackoff     = 10 * time.Millisecond
+	defaultHedgeDelay       = 25 * time.Millisecond
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 2 * time.Second
+	probeTimeout            = 2 * time.Second
+)
+
+func (o ResilienceOptions) withDefaults() ResilienceOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = defaultMaxAttempts
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = defaultRetryBackoff
+	}
+	if o.HedgeDelay <= 0 {
+		o.HedgeDelay = defaultHedgeDelay
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = defaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = defaultBreakerCooldown
+	}
+	return o
+}
+
+// ReplicaState is a replica's position in the health map.
+type ReplicaState int32
+
+const (
+	// ReplicaUp: the last probe or call succeeded.
+	ReplicaUp ReplicaState = iota
+	// ReplicaDegraded: recent failures below the down threshold.
+	ReplicaDegraded
+	// ReplicaDown: consecutive failures at or past the breaker threshold.
+	ReplicaDown
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaUp:
+		return "up"
+	case ReplicaDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// replica is one endpoint of a RemoteShard: breaker state, health state, and
+// the latency EWMA the hedge delay derives from.
+type replica struct {
+	endpoint string
+
+	mu          sync.Mutex
+	consecFails int
+	openUntil   time.Time // breaker open until (zero = closed)
+	halfOpen    bool      // one probe in flight through an expired breaker
+	// ewmaMean/ewmaVar track call latency (seconds) for the hedge delay;
+	// ewmaN counts samples (0 = no telemetry yet).
+	ewmaMean, ewmaVar float64
+	ewmaN             int64
+	generation        uint64 // snapshot generation last seen by a health probe
+
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	breakerOpens  atomic.Int64
+}
+
+// state derives the health-map state from the failure counter. Callers hold mu.
+func (r *replica) stateLocked(threshold int) ReplicaState {
+	switch {
+	case r.consecFails == 0:
+		return ReplicaUp
+	case r.consecFails < threshold:
+		return ReplicaDegraded
+	default:
+		return ReplicaDown
+	}
+}
+
+// allow reports whether the breaker admits a call now, claiming the single
+// half-open probe slot when the cooldown has expired.
+func (r *replica) allow(now time.Time, threshold int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.consecFails < threshold {
+		return true
+	}
+	if now.Before(r.openUntil) {
+		return false
+	}
+	if r.halfOpen {
+		return false // another probe is already testing the replica
+	}
+	r.halfOpen = true
+	return true
+}
+
+// noteSuccess records a successful call: failure counters reset (closing the
+// breaker) and, when latency >= 0, the hedge EWMA absorbs the sample.
+func (r *replica) noteSuccess(latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails = 0
+	r.halfOpen = false
+	r.openUntil = time.Time{}
+	if latency >= 0 {
+		const alpha = 0.2
+		x := latency.Seconds()
+		if r.ewmaN == 0 {
+			r.ewmaMean, r.ewmaVar = x, 0
+		} else {
+			d := x - r.ewmaMean
+			r.ewmaMean += alpha * d
+			r.ewmaVar += alpha * (d*d - r.ewmaVar)
+		}
+		r.ewmaN++
+	}
+}
+
+// noteFailure records a failed call; crossing the threshold opens the
+// breaker for cooldown.
+func (r *replica) noteFailure(threshold int, cooldown time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.halfOpen = false
+	r.consecFails++
+	if r.consecFails >= threshold {
+		if r.openUntil.IsZero() || !time.Now().Before(r.openUntil) {
+			r.breakerOpens.Add(1)
+		}
+		r.openUntil = time.Now().Add(cooldown)
+	}
+}
+
+// hedgeDelay is the EWMA-p95 estimate (mean + 2σ) of the replica's call
+// latency, clamped to [1ms, 10×def]; def before any telemetry.
+func (r *replica) hedgeDelay(def time.Duration) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ewmaN < 3 {
+		return def
+	}
+	d := time.Duration((r.ewmaMean + 2*math.Sqrt(math.Max(r.ewmaVar, 0))) * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if maxD := 10 * def; d > maxD {
+		d = maxD
+	}
+	return d
+}
+
+// ReplicaHealth is one replica's row in the shard health map.
+type ReplicaHealth struct {
+	Endpoint            string
+	State               ReplicaState
+	ConsecutiveFailures int
+	BreakerOpen         bool
+	BreakerOpens        int64
+	Generation          uint64
+	Probes              int64
+	ProbeFailures       int64
+	EWMALatency         time.Duration
+	HedgeDelay          time.Duration
+}
+
+// ShardHealth is one shard's row in a Served graph's health map.
+type ShardHealth struct {
+	Shard  int
+	Remote bool
+	// State is the best replica state (a shard with any up replica is up);
+	// local shards are always up.
+	State ReplicaState
+	// Replicas is empty for local shards.
+	Replicas []ReplicaHealth
+}
+
+// RemoteStats are the client-side counters of one RemoteShard, surfaced next
+// to the health map.
+type RemoteStats struct {
+	Calls     int64 // logical shard calls (batches count once)
+	Attempts  int64 // HTTP attempts, including hedges and retries
+	Retries   int64 // attempts after the first (excluding hedges)
+	Hedges    int64 // duplicate attempts fired by the hedge timer
+	HedgeWins int64 // hedged calls won by the duplicate
+	Failures  int64 // logical calls that returned ShardUnavailableError
+}
+
+// RemoteShard forwards one shard slot's queries to replica endpoints
+// speaking the /v1 surface. Safe for concurrent use.
+type RemoteShard struct {
+	index    int    // shard slot in the Served graph (for error reporting)
+	graph    string // graph name on the shard hosts
+	replicas []*replica
+	client   *http.Client
+	opts     ResilienceOptions
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	rr    atomic.Uint64 // round-robin cursor for replica rotation
+
+	queries  atomic.Int64
+	pairs    atomic.Int64
+	errs     atomic.Int64
+	calls    atomic.Int64
+	attempts atomic.Int64
+	retries  atomic.Int64
+	hedges   atomic.Int64
+	hedgeWin atomic.Int64
+	failures atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// NewRemoteShard builds the client for one shard slot. The caller owns the
+// endpoint list; health checking starts immediately when enabled.
+func NewRemoteShard(index int, graphName string, endpoints []string, transport http.RoundTripper, opts ResilienceOptions) (*RemoteShard, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("router: remote shard %d has no endpoints", index)
+	}
+	if graphName == "" {
+		graphName = "default"
+	}
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	rs := &RemoteShard{
+		index:  index,
+		graph:  graphName,
+		client: &http.Client{Transport: transport},
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(int64(seed) ^ int64(index)<<32)),
+		stop:   make(chan struct{}),
+	}
+	for _, ep := range endpoints {
+		rs.replicas = append(rs.replicas, &replica{endpoint: strings.TrimRight(ep, "/")})
+	}
+	if opts.HealthInterval > 0 {
+		go rs.healthLoop()
+	}
+	return rs, nil
+}
+
+// Close stops the health-check loop and releases idle connections.
+func (rs *RemoteShard) Close() error {
+	rs.stopOnce.Do(func() { close(rs.stop) })
+	rs.client.CloseIdleConnections()
+	return nil
+}
+
+// Endpoints returns the replica endpoints, in configuration order.
+func (rs *RemoteShard) Endpoints() []string {
+	out := make([]string, len(rs.replicas))
+	for i, r := range rs.replicas {
+		out[i] = r.endpoint
+	}
+	return out
+}
+
+// Health returns the replica health map.
+func (rs *RemoteShard) Health() []ReplicaHealth {
+	now := time.Now()
+	out := make([]ReplicaHealth, len(rs.replicas))
+	for i, r := range rs.replicas {
+		r.mu.Lock()
+		out[i] = ReplicaHealth{
+			Endpoint:            r.endpoint,
+			State:               r.stateLocked(rs.opts.BreakerThreshold),
+			ConsecutiveFailures: r.consecFails,
+			BreakerOpen:         r.consecFails >= rs.opts.BreakerThreshold && now.Before(r.openUntil),
+			BreakerOpens:        r.breakerOpens.Load(),
+			Generation:          r.generation,
+			Probes:              r.probes.Load(),
+			ProbeFailures:       r.probeFailures.Load(),
+			EWMALatency:         time.Duration(r.ewmaMean * float64(time.Second)),
+		}
+		r.mu.Unlock()
+		out[i].HedgeDelay = r.hedgeDelay(rs.opts.HedgeDelay)
+	}
+	return out
+}
+
+// RemoteStats returns the client-side counters.
+func (rs *RemoteShard) RemoteStats() RemoteStats {
+	return RemoteStats{
+		Calls:     rs.calls.Load(),
+		Attempts:  rs.attempts.Load(),
+		Retries:   rs.retries.Load(),
+		Hedges:    rs.hedges.Load(),
+		HedgeWins: rs.hedgeWin.Load(),
+		Failures:  rs.failures.Load(),
+	}
+}
+
+// Generation returns the highest snapshot generation a health probe has
+// observed across replicas (0 before the first successful probe).
+func (rs *RemoteShard) Generation() uint64 {
+	var gen uint64
+	for _, r := range rs.replicas {
+		r.mu.Lock()
+		if r.generation > gen {
+			gen = r.generation
+		}
+		r.mu.Unlock()
+	}
+	return gen
+}
+
+// Stats synthesizes an engine-stats snapshot from the client-side counters
+// so remote shards slot into the same per-shard stats plumbing as local
+// engines (queue/cache fields stay zero — those live on the shard host).
+func (rs *RemoteShard) Stats() engine.Stats {
+	return engine.Stats{
+		Queries:     rs.queries.Load(),
+		PairQueries: rs.pairs.Load(),
+		Errors:      rs.errs.Load(),
+		Generation:  rs.Generation(),
+	}
+}
+
+// healthLoop actively probes every replica until Close.
+func (rs *RemoteShard) healthLoop() {
+	t := time.NewTicker(rs.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rs.stop:
+			return
+		case <-t.C:
+		}
+		for _, rep := range rs.replicas {
+			rs.probe(rep)
+		}
+	}
+}
+
+// probe checks one replica's /v1 graph stats endpoint: liveness plus the
+// replica's serving generation. Outcomes feed the same failure counters as
+// real calls, so a probe can open or close the breaker — the active half of
+// the health map.
+func (rs *RemoteShard) probe(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	rep.probes.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		rep.endpoint+"/v1/graphs/"+url.PathEscape(rs.graph)+"/stats", nil)
+	if err != nil {
+		rep.probeFailures.Add(1)
+		rep.noteFailure(rs.opts.BreakerThreshold, rs.opts.BreakerCooldown)
+		return
+	}
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		rep.probeFailures.Add(1)
+		rep.noteFailure(rs.opts.BreakerThreshold, rs.opts.BreakerCooldown)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rep.probeFailures.Add(1)
+		rep.noteFailure(rs.opts.BreakerThreshold, rs.opts.BreakerCooldown)
+		return
+	}
+	// Probe successes reset the failure counters but do not pollute the
+	// hedge latency EWMA (stats are cheaper than queries).
+	rep.noteSuccess(-1)
+	var st struct {
+		Generation *uint64 `json:"generation"`
+		Snapshot   struct {
+			Generation *uint64 `json:"generation"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(body, &st); err == nil {
+		gen := st.Generation
+		if gen == nil {
+			gen = st.Snapshot.Generation
+		}
+		if gen != nil {
+			rep.mu.Lock()
+			rep.generation = *gen
+			rep.mu.Unlock()
+		}
+	}
+}
+
+// pick selects the next replica for an attempt: breaker-admitted replicas
+// only, ranked healthiest-first (up before degraded before down), untried
+// before tried, with a rotating start so load spreads across equally healthy
+// replicas. Returns nil when no replica is admissible.
+func (rs *RemoteShard) pick(now time.Time, tried map[*replica]bool) *replica {
+	start := int(rs.rr.Add(1)-1) % len(rs.replicas)
+	var best *replica
+	bestRank := math.MaxInt
+	for i, rep := range rs.replicas {
+		rep.mu.Lock()
+		state := rep.stateLocked(rs.opts.BreakerThreshold)
+		rep.mu.Unlock()
+		rank := int(state)
+		if tried[rep] {
+			rank += 8
+		}
+		// Rotate among equal ranks so load spreads across healthy replicas.
+		pos := ((i-start)%len(rs.replicas) + len(rs.replicas)) % len(rs.replicas)
+		rank = rank*len(rs.replicas) + pos
+		if rank < bestRank && rep.allowPeek(now, rs.opts.BreakerThreshold) {
+			bestRank, best = rank, rep
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if !best.allow(now, rs.opts.BreakerThreshold) {
+		return nil
+	}
+	return best
+}
+
+// allowPeek reports whether allow would admit a call, without claiming the
+// half-open probe slot.
+func (r *replica) allowPeek(now time.Time, threshold int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.consecFails < threshold {
+		return true
+	}
+	return !now.Before(r.openUntil) && !r.halfOpen
+}
+
+// backoff returns the jittered exponential delay before attempt n (n >= 2).
+func (rs *RemoteShard) backoff(attempt int) time.Duration {
+	d := rs.opts.RetryBackoff << (attempt - 2)
+	rs.rngMu.Lock()
+	j := 0.5 + rs.rng.Float64() // ±50% jitter
+	rs.rngMu.Unlock()
+	return time.Duration(float64(d) * j)
+}
+
+// remoteError wraps a per-attempt failure with its retryability class.
+type remoteError struct {
+	err       error
+	retryable bool
+}
+
+func (e *remoteError) Error() string { return e.err.Error() }
+func (e *remoteError) Unwrap() error { return e.err }
+
+func retryableErr(err error) bool {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.retryable
+	}
+	return false
+}
+
+// call runs one logical shard call through the resilience layer and returns
+// the response body. build constructs a fresh *http.Request per attempt (a
+// request body cannot be replayed).
+func (rs *RemoteShard) call(ctx context.Context, build func(endpoint string) (*http.Request, error)) ([]byte, error) {
+	rs.calls.Add(1)
+	opts := rs.opts
+	tried := make(map[*replica]bool, len(rs.replicas))
+	var lastErr error
+	attempt := 0
+	for attempt < opts.MaxAttempts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep := rs.pick(time.Now(), tried)
+		if rep == nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("all %d replica(s) down or breaker-open", len(rs.replicas))
+			}
+			break
+		}
+		tried[rep] = true
+		hedging := attempt == 0 && !opts.DisableHedge && opts.MaxAttempts-attempt >= 2
+		var second *replica
+		if hedging {
+			if second = rs.pickOther(rep); second == nil {
+				hedging = false
+			}
+		}
+		if attempt > 0 {
+			rs.retries.Add(1)
+		}
+		attempt++
+		var payload []byte
+		var err error
+		if hedging {
+			var hedgeFired bool
+			payload, err, hedgeFired = rs.hedgedAttempt(ctx, rep, second, build)
+			if hedgeFired {
+				tried[second] = true
+				attempt++
+			}
+		} else {
+			payload, err = rs.attempt(ctx, rep, build)
+		}
+		if err == nil {
+			return payload, nil
+		}
+		if !retryableErr(err) {
+			return nil, unwrapRemote(err)
+		}
+		lastErr = unwrapRemote(err)
+		// Budgeted, deadline-aware backoff before the next attempt.
+		if attempt < opts.MaxAttempts {
+			d := rs.backoff(attempt + 1)
+			if dl, ok := ctx.Deadline(); ok && time.Now().Add(d).After(dl) {
+				break // the retry could not finish; fail now, inside the deadline
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+	}
+	rs.failures.Add(1)
+	return nil, &ShardUnavailableError{Shards: []int{rs.index}, Err: lastErr}
+}
+
+// pickOther returns a breaker-admitted replica other than rep, for hedging.
+func (rs *RemoteShard) pickOther(rep *replica) *replica {
+	now := time.Now()
+	for _, other := range rs.replicas {
+		if other != rep && other.allowPeek(now, rs.opts.BreakerThreshold) {
+			return other
+		}
+	}
+	return nil
+}
+
+// hedgedAttempt runs the first attempt on rep1 and, if it has not finished
+// after the hedge delay, fires a duplicate on rep2; the first success wins
+// and the loser is cancelled. hedgeFired reports whether the duplicate
+// launched (it counts against the attempt budget).
+func (rs *RemoteShard) hedgedAttempt(ctx context.Context, rep1, rep2 *replica, build func(string) (*http.Request, error)) (payload []byte, err error, hedgeFired bool) {
+	type outcome struct {
+		payload []byte
+		err     error
+		rep     *replica
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, 2)
+	launch := func(rep *replica) {
+		go func() {
+			p, e := rs.attempt(actx, rep, build)
+			ch <- outcome{p, e, rep}
+		}()
+	}
+	launch(rep1)
+	timer := time.NewTimer(rep1.hedgeDelay(rs.opts.HedgeDelay))
+	defer timer.Stop()
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			inFlight--
+			if o.err == nil {
+				if hedgeFired && o.rep == rep2 {
+					rs.hedgeWin.Add(1)
+				}
+				return o.payload, nil, hedgeFired
+			}
+			if !retryableErr(o.err) {
+				return nil, o.err, hedgeFired
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if inFlight > 0 {
+				continue // the other attempt may still win
+			}
+			if !hedgeFired {
+				// Primary failed before the hedge timer: hand the failure to
+				// the outer retry loop (which backs off and rotates replicas).
+				return nil, firstErr, false
+			}
+			return nil, firstErr, true
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				inFlight++
+				rs.hedges.Add(1)
+				launch(rep2)
+			}
+		case <-ctx.Done():
+			return nil, &remoteError{err: ctx.Err(), retryable: false}, hedgeFired
+		}
+	}
+}
+
+// attempt performs one HTTP attempt against one replica, classifying the
+// outcome for the retry loop and feeding the breaker and latency telemetry.
+func (rs *RemoteShard) attempt(ctx context.Context, rep *replica, build func(string) (*http.Request, error)) ([]byte, error) {
+	rs.attempts.Add(1)
+	actx := ctx
+	if rs.opts.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, rs.opts.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := build(rep.endpoint)
+	if err != nil {
+		return nil, &remoteError{err: err, retryable: false}
+	}
+	req = req.WithContext(actx)
+	start := time.Now()
+	resp, err := rs.client.Do(req)
+	latency := time.Since(start)
+	if err != nil {
+		rep.noteFailure(rs.opts.BreakerThreshold, rs.opts.BreakerCooldown)
+		// The parent being cancelled is the request's own problem, never the
+		// replica's; everything else (attempt timeout included) is a
+		// replica-side failure worth retrying elsewhere.
+		if ctx.Err() != nil {
+			return nil, &remoteError{err: ctx.Err(), retryable: false}
+		}
+		return nil, &remoteError{err: fmt.Errorf("shard %d %s: %w", rs.index, rep.endpoint, err), retryable: true}
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		rep.noteFailure(rs.opts.BreakerThreshold, rs.opts.BreakerCooldown)
+		if ctx.Err() != nil {
+			return nil, &remoteError{err: ctx.Err(), retryable: false}
+		}
+		return nil, &remoteError{err: fmt.Errorf("shard %d %s: reading response: %w", rs.index, rep.endpoint, rerr), retryable: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		appErr, retryable := rs.decodeErrorEnvelope(resp.StatusCode, body)
+		if retryable {
+			rep.noteFailure(rs.opts.BreakerThreshold, rs.opts.BreakerCooldown)
+		} else {
+			// Application-level rejections (bad node, overload shed) mean the
+			// replica is alive and answering.
+			rep.noteSuccess(-1)
+		}
+		return nil, &remoteError{err: appErr, retryable: retryable}
+	}
+	rep.noteSuccess(latency)
+	return body, nil
+}
+
+// unwrapRemote strips the retryability wrapper for surfacing.
+func unwrapRemote(err error) error {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.err
+	}
+	return err
+}
+
+// decodeErrorEnvelope maps a /v1 error envelope back to the typed errors the
+// local request plane produces, so callers classify remote failures exactly
+// like local ones (errors.Is on the same sentinels).
+func (rs *RemoteShard) decodeErrorEnvelope(status int, body []byte) (err error, retryable bool) {
+	var envelope struct {
+		Error struct {
+			Code         string `json:"code"`
+			Message      string `json:"message"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+		} `json:"error"`
+	}
+	if jerr := json.Unmarshal(body, &envelope); jerr != nil || envelope.Error.Code == "" {
+		return fmt.Errorf("shard %d: remote returned HTTP %d", rs.index, status), status >= 500
+	}
+	e := envelope.Error
+	switch e.Code {
+	case "overloaded":
+		return &engine.OverloadedError{RetryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond}, false
+	case "invalid_node":
+		return fmt.Errorf("shard %d: %w: %s", rs.index, graph.ErrInvalidNode, e.Message), false
+	case "invalid_epsilon":
+		return fmt.Errorf("shard %d: %w: %s", rs.index, core.ErrInvalidEpsilon, e.Message), false
+	case "unknown_graph":
+		return fmt.Errorf("%w: shard %d: %s", ErrUnknownGraph, rs.index, e.Message), false
+	case "deadline_exceeded":
+		return fmt.Errorf("shard %d: %w: %s", rs.index, context.DeadlineExceeded, e.Message), false
+	case "invalid_argument":
+		return fmt.Errorf("shard %d: remote rejected request: %s", rs.index, e.Message), false
+	default:
+		return fmt.Errorf("shard %d: remote error %q: %s", rs.index, e.Code, e.Message), status >= 500
+	}
+}
+
+// wire shapes of the /v1 query surface (the subset the client reads).
+type wireScored struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+type wireResult struct {
+	Source int          `json:"source"`
+	Scores []wireScored `json:"scores"`
+}
+
+type wireSingle struct {
+	wireResult
+	Epsilon   float64 `json:"epsilon"`
+	Clamped   bool    `json:"epsilon_clamped"`
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced"`
+}
+
+type wireBatch struct {
+	Results []wireResult `json:"results"`
+	Epsilon float64      `json:"epsilon"`
+	Clamped bool         `json:"epsilon_clamped"`
+}
+
+// queryURL is the shard-host query endpoint for this shard's graph.
+func (rs *RemoteShard) queryURL(endpoint string) string {
+	return endpoint + "/v1/graphs/" + url.PathEscape(rs.graph) + "/query"
+}
+
+// buildQuery constructs the POST body for a sub-batch. Full score lists are
+// requested (no limit): per-source top-k selections are computed locally
+// with the same bounded-heap code the engine uses, which is what keeps
+// remote answers bit-identical to local ones (JSON float64 encoding is
+// round-trip exact).
+func (rs *RemoteShard) buildQuery(ctx context.Context, base Request, sources []int) func(string) (*http.Request, error) {
+	return func(endpoint string) (*http.Request, error) {
+		body := map[string]any{"sources": sources}
+		if base.Epsilon > 0 {
+			body["epsilon"] = base.Epsilon
+		}
+		if base.NoCache {
+			body["no_cache"] = true
+		}
+		if base.Parallelism > 0 {
+			body["parallelism"] = base.Parallelism
+		}
+		if base.Class == engine.ClassBatch {
+			body["class"] = "batch"
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				body["timeout_ms"] = ms
+			}
+		}
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, rs.queryURL(endpoint), bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}
+}
+
+// toResponse lifts one wire result into an engine response. The graph stays
+// nil — labels resolve on the shard hosts, and local callers fall back to
+// numeric labels.
+func toResponse(w wireResult, epsilon float64, clamped, cached, coalesced bool, k int) *engine.Response {
+	scores := make(map[int]float64, len(w.Scores))
+	for _, s := range w.Scores {
+		scores[s.Node] = s.Score
+	}
+	res := &core.Result{Source: w.Source, Scores: scores}
+	resp := &engine.Response{
+		Result:    res,
+		Epsilon:   epsilon,
+		Clamped:   clamped,
+		CacheHit:  cached,
+		Coalesced: coalesced,
+	}
+	if k != 0 {
+		resp.Top = res.TopK(k)
+	}
+	return resp
+}
+
+// DoBatch forwards one sub-batch to the shard's replicas and lifts the
+// answers back into engine responses, in input order.
+func (rs *RemoteShard) DoBatch(ctx context.Context, base Request, sources []int) ([]*engine.Response, error) {
+	if len(sources) == 0 {
+		return []*engine.Response{}, nil
+	}
+	rs.queries.Add(int64(len(sources)))
+	payload, err := rs.call(ctx, rs.buildQuery(ctx, base, sources))
+	if err != nil {
+		rs.errs.Add(1)
+		return nil, err
+	}
+	if len(sources) == 1 {
+		var single wireSingle
+		if err := json.Unmarshal(payload, &single); err != nil {
+			rs.errs.Add(1)
+			return nil, fmt.Errorf("shard %d: decoding response: %w", rs.index, err)
+		}
+		return []*engine.Response{
+			toResponse(single.wireResult, single.Epsilon, single.Clamped, single.Cached, single.Coalesced, base.K),
+		}, nil
+	}
+	var batch wireBatch
+	if err := json.Unmarshal(payload, &batch); err != nil {
+		rs.errs.Add(1)
+		return nil, fmt.Errorf("shard %d: decoding response: %w", rs.index, err)
+	}
+	if len(batch.Results) != len(sources) {
+		rs.errs.Add(1)
+		return nil, fmt.Errorf("shard %d: remote answered %d of %d sources", rs.index, len(batch.Results), len(sources))
+	}
+	out := make([]*engine.Response, len(batch.Results))
+	for i, w := range batch.Results {
+		out[i] = toResponse(w, batch.Epsilon, batch.Clamped, false, false, base.K)
+	}
+	return out, nil
+}
+
+// Do answers one single-source request remotely.
+func (rs *RemoteShard) Do(ctx context.Context, req Request) (*engine.Response, error) {
+	resps, err := rs.DoBatch(ctx, req, []int{req.Source})
+	if err != nil {
+		return nil, err
+	}
+	return resps[0], nil
+}
+
+// Pair estimates the single-pair SimRank on the shard host.
+func (rs *RemoteShard) Pair(ctx context.Context, u, v int) (float64, error) {
+	rs.pairs.Add(1)
+	build := func(endpoint string) (*http.Request, error) {
+		q := url.Values{}
+		q.Set("u", fmt.Sprint(u))
+		q.Set("v", fmt.Sprint(v))
+		return http.NewRequest(http.MethodGet,
+			endpoint+"/v1/graphs/"+url.PathEscape(rs.graph)+"/pair?"+q.Encode(), nil)
+	}
+	payload, err := rs.call(ctx, build)
+	if err != nil {
+		rs.errs.Add(1)
+		return 0, err
+	}
+	var out struct {
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		rs.errs.Add(1)
+		return 0, fmt.Errorf("shard %d: decoding pair response: %w", rs.index, err)
+	}
+	return out.Score, nil
+}
+
+var _ Shard = (*RemoteShard)(nil)

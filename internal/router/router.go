@@ -22,6 +22,16 @@
 // reload swaps every shard of a graph onto a freshly opened snapshot and
 // closes the old backing once in-flight queries drain (the engines' retained
 // resources defer the unmap).
+//
+// Shards need not be local: a graph mounted with Config.Remote places each
+// shard slot on replica endpoints of other prsimserve processes speaking the
+// /v1 surface (see RemoteShard). Routing and merging are identical — the
+// Shard interface hides the distance — and every remote call runs through
+// the resilience layer (health checks, retries, breakers, hedging). When a
+// remote shard is unreachable, requests fail fast with a typed
+// ShardUnavailableError unless they opt into graceful degradation with
+// Request.AllowPartial, in which case DoBatch/TopKMerged return the
+// surviving shards' answers flagged Degraded.
 package router
 
 import (
@@ -68,20 +78,30 @@ type Config struct {
 	// Shards is the number of engine shards serving the graph; 0 or negative
 	// means 1 (no sharding). Each shard has its own worker pool, admission
 	// queue, and cache, so per-shard Engine options multiply by Shards.
+	// Ignored for remote graphs (len(Remote.Shards) is the shard count).
 	Shards int
 	// Engine configures each shard's engine. The Resource field is ignored —
-	// the router wires every shard to the Opened resource.
+	// the router wires every shard to the Opened resource. Ignored for
+	// remote graphs.
 	Engine engine.Options
-	// Open produces the graph's backing; required.
+	// Open produces the graph's backing; required for local graphs, and
+	// must be nil for remote ones.
 	Open Opener
+	// Remote, when non-nil, places every shard slot on remote replica
+	// endpoints instead of local engines. Mutually exclusive with Open.
+	Remote *RemoteOptions
 }
 
-// Served is one mounted logical graph: N engine shards over one shared
-// index. All methods are safe for concurrent use; Reload serializes with
-// itself and with Close.
+// Served is one mounted logical graph: N shards over one source-hash
+// routing function — either local engine shards over one shared index, or
+// remote shard clients forwarding to other prsimserve processes. All
+// methods are safe for concurrent use; Reload serializes with itself and
+// with Close.
 type Served struct {
-	shards []*engine.Engine
-	open   Opener
+	shards  []Shard
+	engines []*engine.Engine // engines[i] is shards[i] when local, nil when remote
+	remotes []*RemoteShard   // remotes[i] is shards[i] when remote, nil when local
+	open    Opener
 
 	mu     sync.Mutex // serializes Reload/Close and guards cur/closed
 	cur    Opened
@@ -90,6 +110,12 @@ type Served struct {
 
 // newServed mounts a graph from cfg.
 func newServed(cfg Config) (*Served, error) {
+	if cfg.Remote != nil {
+		if cfg.Open != nil {
+			return nil, fmt.Errorf("router: Config.Open and Config.Remote are mutually exclusive")
+		}
+		return newRemoteServed(*cfg.Remote)
+	}
 	if cfg.Open == nil {
 		return nil, fmt.Errorf("router: Config.Open is required")
 	}
@@ -110,17 +136,60 @@ func newServed(cfg Config) (*Served, error) {
 	}
 	opts := cfg.Engine
 	opts.Resource = op.Res
-	shards := make([]*engine.Engine, n)
-	for i := range shards {
+	s := &Served{
+		shards:  make([]Shard, n),
+		engines: make([]*engine.Engine, n),
+		remotes: make([]*RemoteShard, n),
+		open:    cfg.Open,
+		cur:     op,
+	}
+	for i := range s.shards {
 		e, err := engine.New(op.Index, opts)
 		if err != nil {
 			closeOpened(op)
 			return nil, fmt.Errorf("router: shard %d: %w", i, err)
 		}
-		shards[i] = e
+		s.shards[i] = e
+		s.engines[i] = e
 	}
-	return &Served{shards: shards, open: cfg.Open, cur: op}, nil
+	return s, nil
 }
+
+// newRemoteServed mounts a graph whose shards live on other prsimserve
+// processes.
+func newRemoteServed(ro RemoteOptions) (*Served, error) {
+	n := len(ro.Shards)
+	if n == 0 {
+		return nil, fmt.Errorf("router: remote graph needs at least one shard endpoint list")
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("router: %d shards exceeds the maximum of %d", n, MaxShards)
+	}
+	s := &Served{
+		shards:  make([]Shard, n),
+		engines: make([]*engine.Engine, n),
+		remotes: make([]*RemoteShard, n),
+	}
+	for i, endpoints := range ro.Shards {
+		rs, err := NewRemoteShard(i, ro.Graph, endpoints, ro.Transport, ro.Resilience)
+		if err != nil {
+			for _, prev := range s.remotes[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards[i] = rs
+		s.remotes[i] = rs
+	}
+	return s, nil
+}
+
+// Remote reports whether the graph's shards are remote.
+func (s *Served) Remote() bool { return s.remotes[0] != nil }
+
+// RemoteShard exposes shard i's remote client (nil for local shards) — for
+// stats, health, and tests.
+func (s *Served) RemoteShard(i int) *RemoteShard { return s.remotes[i] }
 
 // closeOpened runs an Opened's close hook, tolerating a nil hook.
 func closeOpened(op Opened) error {
@@ -152,9 +221,9 @@ func (s *Served) ShardFor(u int) int {
 	return int(splitmix64(uint64(int64(u))) % uint64(len(s.shards)))
 }
 
-// Engine exposes shard i's engine — for tests and stats; routing callers
-// should use Do/DoBatch/TopKMerged/Pair.
-func (s *Served) Engine(i int) *engine.Engine { return s.shards[i] }
+// Engine exposes shard i's engine (nil for remote shards) — for tests and
+// stats; routing callers should use Do/DoBatch/TopKMerged/Pair.
+func (s *Served) Engine(i int) *engine.Engine { return s.engines[i] }
 
 // Current returns the Tag of the currently served Opened (nil when the
 // opener set none). A concurrent Reload may replace it at any time; callers
@@ -166,9 +235,22 @@ func (s *Served) Current() any {
 }
 
 // Generation returns the swap generation of the served graph: 0 at mount,
-// incremented by every successful Reload. All shards swap in lockstep, so
-// one shard's generation speaks for the graph.
-func (s *Served) Generation() uint64 { return s.shards[0].Generation() }
+// incremented by every successful Reload. All local shards swap in
+// lockstep, so one shard's generation speaks for the graph; for remote
+// graphs this is the highest generation the health probes have observed
+// across shard hosts (0 before the first successful probe).
+func (s *Served) Generation() uint64 {
+	if e := s.engines[0]; e != nil {
+		return e.Generation()
+	}
+	var gen uint64
+	for _, rs := range s.remotes {
+		if g := rs.Generation(); g > gen {
+			gen = g
+		}
+	}
+	return gen
+}
 
 // Do answers one single-source request point-to-point on the shard that owns
 // the source.
@@ -183,15 +265,20 @@ type Request = engine.Request
 // DoBatch scatters one batch across the owning shards — each shard answers
 // its sub-batch with the engine's fused multi-source execution — and gathers
 // the responses back in input order. Results are bit-identical to a
-// single-engine DoBatch under the same seed. On error the batch fails as a
-// whole; a real engine error is reported in preference to a context
-// cancellation.
-func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*engine.Response, error) {
+// single-engine DoBatch under the same seed.
+//
+// Failure semantics: an application error (invalid node, bad epsilon,
+// overload shed, deadline) always fails the batch as a whole, and a real
+// error is reported in preference to the context cancellations it triggers
+// in sibling sub-batches. A shard being unreachable (ShardUnavailableError
+// from the remote resilience layer) fails the batch with the unreachable
+// shards listed — unless base.AllowPartial is set, in which case the batch
+// degrades gracefully: the surviving shards' responses are returned in
+// input order with nil entries for sources owned by missing shards, and the
+// result is flagged Degraded.
+func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) (*BatchResult, error) {
 	if len(sources) == 0 {
-		return []*engine.Response{}, nil
-	}
-	if len(s.shards) == 1 {
-		return s.shards[0].DoBatch(ctx, base, sources)
+		return &BatchResult{Resps: []*engine.Response{}}, nil
 	}
 	// Group source positions by owning shard, preserving input order within
 	// each group.
@@ -200,27 +287,56 @@ func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*e
 		sh := s.ShardFor(u)
 		groups[sh] = append(groups[sh], i)
 	}
+	results := make([]*engine.Response, len(sources))
 	if len(groups) == 1 {
 		for sh, idxs := range groups {
 			sub := make([]int, len(idxs))
 			for t, i := range idxs {
 				sub[t] = sources[i]
 			}
-			return s.shards[sh].DoBatch(ctx, base, sub)
+			resps, err := s.shards[sh].DoBatch(ctx, base, sub)
+			if err != nil {
+				return s.degradeOrFail(base, results, map[int]bool{sh: true}, err)
+			}
+			for t, i := range idxs {
+				results[i] = resps[t]
+			}
+			return &BatchResult{Resps: results}, nil
 		}
 	}
-	results := make([]*engine.Response, len(sources))
-	// Cancel the remaining sub-batches as soon as one fails.
+	// Cancel the remaining sub-batches as soon as one fails hard. Shard
+	// unavailability under AllowPartial is not a hard failure — siblings
+	// keep running and the batch degrades.
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		first   error
+		missing map[int]bool
+		cause   error
 	)
-	note := func(err error) {
+	note := func(sh int, err error) {
 		errMu.Lock()
 		defer errMu.Unlock()
+		var su *ShardUnavailableError
+		if errors.As(err, &su) {
+			if missing == nil {
+				missing = make(map[int]bool)
+			}
+			missing[sh] = true
+			if cause == nil {
+				cause = su.Cause()
+			}
+			if base.AllowPartial {
+				return // siblings keep serving; the batch degrades
+			}
+			if first == nil {
+				first = err
+			}
+			cancel()
+			return
+		}
 		// Keep the most informative error: a real failure beats the context
 		// cancellations it triggered in the other sub-batches.
 		if first == nil || (errors.Is(first, context.Canceled) && !errors.Is(err, context.Canceled)) {
@@ -238,7 +354,7 @@ func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*e
 			}
 			resps, err := s.shards[sh].DoBatch(sctx, base, sub)
 			if err != nil {
-				note(err)
+				note(sh, err)
 				return
 			}
 			for t, i := range idxs {
@@ -248,35 +364,72 @@ func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*e
 	}
 	wg.Wait()
 	if first != nil {
+		if len(missing) > 0 && !base.AllowPartial {
+			var su *ShardUnavailableError
+			if errors.As(first, &su) {
+				// Fold every unreachable shard into the one typed error.
+				return nil, &ShardUnavailableError{Shards: sortedShardSet(missing), Err: cause}
+			}
+		}
 		return nil, first
 	}
-	return results, nil
+	if len(missing) > 0 {
+		return s.degradeOrFail(base, results, missing, &ShardUnavailableError{Shards: sortedShardSet(missing), Err: cause})
+	}
+	return &BatchResult{Resps: results}, nil
+}
+
+// degradeOrFail resolves a batch whose only failures were unreachable
+// shards: a degraded partial result under AllowPartial, the typed error
+// otherwise. Non-shard-availability errors pass through as failures.
+func (s *Served) degradeOrFail(base Request, results []*engine.Response, missing map[int]bool, err error) (*BatchResult, error) {
+	var su *ShardUnavailableError
+	if !errors.As(err, &su) {
+		return nil, err
+	}
+	all := sortedShardSet(missing)
+	if !base.AllowPartial {
+		return nil, &ShardUnavailableError{Shards: all, Err: su.Cause()}
+	}
+	return &BatchResult{Resps: results, Degraded: true, MissingShards: all}, nil
 }
 
 // TopKMerged answers a multi-source top-k query: one top-k per source,
 // scattered like a batch, merged into a single global selection with
 // MergeTopK (max score per node wins). The merge is deterministic and
 // independent of shard count; k <= 0 returns an empty selection. The
-// returned graph is the one the computations ran on — label resolution must
-// use it, exactly as with single-source responses.
-func (s *Served) TopKMerged(ctx context.Context, base Request, sources []int, k int) ([]core.ScoredNode, *graph.Graph, error) {
+// returned graph is the one the computations ran on (nil when every
+// answering shard was remote) — label resolution must use it, exactly as
+// with single-source responses. Degradation follows DoBatch: under
+// AllowPartial, missing shards' sources drop out of the merge and the
+// result is flagged Degraded; the merge over the survivors stays
+// deterministic for a fixed set of missing shards.
+func (s *Served) TopKMerged(ctx context.Context, base Request, sources []int, k int) (*TopKResult, error) {
 	if k <= 0 || len(sources) == 0 {
-		return []core.ScoredNode{}, nil, nil
+		return &TopKResult{Top: []core.ScoredNode{}}, nil
 	}
 	base.K = k
-	resps, err := s.DoBatch(ctx, base, sources)
+	batch, err := s.DoBatch(ctx, base, sources)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	lists := make([][]core.ScoredNode, len(resps))
+	lists := make([][]core.ScoredNode, 0, len(batch.Resps))
 	var g *graph.Graph
-	for i, r := range resps {
-		lists[i] = r.Top
+	for _, r := range batch.Resps {
+		if r == nil {
+			continue // source owned by a missing shard (AllowPartial)
+		}
+		lists = append(lists, r.Top)
 		if g == nil {
 			g = r.Graph
 		}
 	}
-	return MergeTopK(k, lists...), g, nil
+	return &TopKResult{
+		Top:           MergeTopK(k, lists...),
+		Graph:         g,
+		Degraded:      batch.Degraded,
+		MissingShards: batch.MissingShards,
+	}, nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v), routed to the shard that
@@ -296,6 +449,9 @@ func (s *Served) Reload(verify func(Opened) error) error {
 	if s.closed {
 		return fmt.Errorf("router: graph is closed")
 	}
+	if s.Remote() {
+		return fmt.Errorf("router: remote graphs reload on their shard hosts")
+	}
 	op, err := s.open()
 	if err != nil {
 		return fmt.Errorf("router: reload open: %w", err)
@@ -310,7 +466,7 @@ func (s *Served) Reload(verify func(Opened) error) error {
 			return fmt.Errorf("router: reload verify: %w", err)
 		}
 	}
-	for i, e := range s.shards {
+	for i, e := range s.engines {
 		if err := e.Swap(op.Index, op.Res); err != nil {
 			// Shards 0..i-1 already serve the new backing; roll nothing back
 			// (a torn generation would be worse) and surface the error. In
@@ -341,11 +497,15 @@ func (s *Served) Update(op Opened, impact *core.UpdateStats) error {
 		closeOpened(op)
 		return fmt.Errorf("router: graph is closed")
 	}
+	if s.Remote() {
+		closeOpened(op)
+		return fmt.Errorf("router: remote graphs mutate on their shard hosts")
+	}
 	if op.Index == nil {
 		closeOpened(op)
 		return fmt.Errorf("router: update with a nil index")
 	}
-	for i, e := range s.shards {
+	for i, e := range s.engines {
 		if err := e.SwapWithImpact(op.Index, op.Res, impact); err != nil {
 			// Like Reload: earlier shards already serve the successor; surface
 			// the error without tearing the generation back.
@@ -360,8 +520,9 @@ func (s *Served) Update(op Opened, impact *core.UpdateStats) error {
 	return nil
 }
 
-// Close releases the graph's backing. In-flight queries finish safely (they
-// hold retains); new queries against a closed graph are the caller's bug —
+// Close releases the graph's backing — for remote graphs, the health-check
+// loops and pooled connections. In-flight queries finish safely (they hold
+// retains); new queries against a closed graph are the caller's bug —
 // Unmount removes the graph from the registry before closing it.
 func (s *Served) Close() error {
 	s.mu.Lock()
@@ -370,14 +531,42 @@ func (s *Served) Close() error {
 		return nil
 	}
 	s.closed = true
+	for _, rs := range s.remotes {
+		if rs != nil {
+			rs.Close()
+		}
+	}
 	return closeOpened(s.cur)
 }
 
-// Stats returns one engine stats snapshot per shard, in shard order.
+// Stats returns one engine stats snapshot per shard, in shard order (remote
+// shards synthesize theirs from client-side counters).
 func (s *Served) Stats() []engine.Stats {
 	out := make([]engine.Stats, len(s.shards))
-	for i, e := range s.shards {
-		out[i] = e.Stats()
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Health returns the per-shard health map. Local shards are always up;
+// remote shards report one row per replica with breaker and probe state.
+func (s *Served) Health() []ShardHealth {
+	out := make([]ShardHealth, len(s.shards))
+	for i := range s.shards {
+		out[i] = ShardHealth{Shard: i}
+		rs := s.remotes[i]
+		if rs == nil {
+			continue // local shards are up by definition
+		}
+		out[i].Remote = true
+		out[i].Replicas = rs.Health()
+		out[i].State = ReplicaDown
+		for _, rep := range out[i].Replicas {
+			if rep.State < out[i].State {
+				out[i].State = rep.State
+			}
+		}
 	}
 	return out
 }
@@ -486,4 +675,24 @@ func (r *Registry) Names() []string {
 	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
+}
+
+// Close unmounts every graph and closes its backing — the registry half of
+// a graceful shutdown. The first close error is reported; all graphs are
+// closed regardless.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	graphs := make([]*Served, 0, len(r.m))
+	for name, s := range r.m {
+		graphs = append(graphs, s)
+		delete(r.m, name)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, s := range graphs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

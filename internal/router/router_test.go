@@ -81,10 +81,11 @@ func TestScatterGatherBitParity(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reference DoBatch: %v", err)
 	}
-	refTop, _, err := ref.TopKMerged(ctx, Request{}, sources, k)
+	refTopRes, err := ref.TopKMerged(ctx, Request{}, sources, k)
 	if err != nil {
 		t.Fatalf("reference TopKMerged: %v", err)
 	}
+	refTop := refTopRes.Top
 	if len(refTop) != k {
 		t.Fatalf("reference TopKMerged returned %d entries, want %d", len(refTop), k)
 	}
@@ -115,25 +116,28 @@ func TestScatterGatherBitParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("DoBatch: %v", err)
 			}
+			if batch.Degraded || len(batch.MissingShards) != 0 {
+				t.Fatalf("DoBatch degraded = %v missing %v on healthy shards", batch.Degraded, batch.MissingShards)
+			}
 			for i := range sources {
-				for v, want := range refBatch[i].Result.Scores {
-					if got, ok := batch[i].Result.Scores[v]; !ok || got != want {
+				for v, want := range refBatch.Resps[i].Result.Scores {
+					if got, ok := batch.Resps[i].Result.Scores[v]; !ok || got != want {
 						t.Fatalf("DoBatch[%d]: score[%d] = %v, want %v", i, v, got, want)
 					}
 				}
-				if len(batch[i].Result.Scores) != len(refBatch[i].Result.Scores) {
-					t.Fatalf("DoBatch[%d]: %d scores, want %d", i, len(batch[i].Result.Scores), len(refBatch[i].Result.Scores))
+				if len(batch.Resps[i].Result.Scores) != len(refBatch.Resps[i].Result.Scores) {
+					t.Fatalf("DoBatch[%d]: %d scores, want %d", i, len(batch.Resps[i].Result.Scores), len(refBatch.Resps[i].Result.Scores))
 				}
 			}
 			// Top-k: deterministic global merge.
-			top, g, err := s.TopKMerged(ctx, Request{}, sources, k)
+			top, err := s.TopKMerged(ctx, Request{}, sources, k)
 			if err != nil {
 				t.Fatalf("TopKMerged: %v", err)
 			}
-			if g == nil {
+			if top.Graph == nil {
 				t.Fatal("TopKMerged returned a nil graph")
 			}
-			sameScored(t, "TopKMerged", refTop, top)
+			sameScored(t, "TopKMerged", refTop, top.Top)
 		})
 	}
 }
@@ -188,6 +192,52 @@ func TestMergeTopK(t *testing.T) {
 	}
 	if got := MergeTopK(100, a); len(got) != 3 {
 		t.Fatalf("MergeTopK(100) returned %d entries, want 3", len(got))
+	}
+}
+
+// TestMergeTopKEdgeCases pins the degenerate inputs scatter-gather can
+// produce: non-positive k, no lists at all, empty lists (a shard that owned
+// no sources, or a degraded batch's dropped shard), and the single-list
+// passthrough — always a non-nil, correctly bounded slice.
+func TestMergeTopKEdgeCases(t *testing.T) {
+	a := []core.ScoredNode{{Node: 1, Score: 0.9}, {Node: 2, Score: 0.5}}
+
+	for _, k := range []int{0, -1, -100} {
+		if got := MergeTopK(k, a); got == nil || len(got) != 0 {
+			t.Fatalf("MergeTopK(%d) = %v, want empty non-nil", k, got)
+		}
+	}
+	if got := MergeTopK(5); got == nil || len(got) != 0 {
+		t.Fatalf("MergeTopK with no lists = %v, want empty non-nil", got)
+	}
+	if got := MergeTopK(5, nil, []core.ScoredNode{}, nil); got == nil || len(got) != 0 {
+		t.Fatalf("MergeTopK over all-empty lists = %v, want empty non-nil", got)
+	}
+	// Single list: passthrough of the already-sorted selection, still bounded.
+	sameScored(t, "single list", a, MergeTopK(5, a))
+	sameScored(t, "single list truncated", a[:1], MergeTopK(1, a))
+	// Empty lists mixed in (a missing shard under AllowPartial) change nothing.
+	sameScored(t, "empty lists mixed in", a, MergeTopK(5, nil, a, []core.ScoredNode{}))
+}
+
+// TestAggregateEdgeCases pins the stats fold at its boundaries: no shards
+// yields the zero snapshot, and one shard passes through unchanged.
+func TestAggregateEdgeCases(t *testing.T) {
+	if agg := Aggregate(nil); agg != (engine.Stats{}) {
+		t.Fatalf("Aggregate(nil) = %+v, want zero", agg)
+	}
+	if agg := Aggregate([]engine.Stats{}); agg != (engine.Stats{}) {
+		t.Fatalf("Aggregate(empty) = %+v, want zero", agg)
+	}
+	one := engine.Stats{Workers: 3, Queries: 17, CacheHits: 4, Generation: 2}
+	one.Batch.Queries = 5
+	if agg := Aggregate([]engine.Stats{one}); agg != one {
+		t.Fatalf("Aggregate(single) = %+v, want passthrough %+v", agg, one)
+	}
+	// Two shards: counters sum, shard 0's generation speaks for the graph.
+	two := Aggregate([]engine.Stats{one, one})
+	if two.Queries != 34 || two.Workers != 6 || two.Batch.Queries != 10 || two.Generation != 2 {
+		t.Fatalf("Aggregate(two) = %+v, want summed counters at generation 2", two)
 	}
 }
 
@@ -302,7 +352,7 @@ func TestDoBatchEmptyAndClassThreading(t *testing.T) {
 	idx := testIndex(t, 200)
 	s := mountShards(t, idx, 2)
 	ctx := context.Background()
-	if resps, err := s.DoBatch(ctx, Request{}, nil); err != nil || len(resps) != 0 {
+	if resps, err := s.DoBatch(ctx, Request{}, nil); err != nil || len(resps.Resps) != 0 {
 		t.Fatalf("empty DoBatch = %v, %v", resps, err)
 	}
 	sources := []int{1, 2, 3, 4, 5, 6, 7, 8}
@@ -349,12 +399,12 @@ func BenchmarkScatterGatherTopK(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		top, _, err := s.TopKMerged(ctx, Request{NoCache: true}, sources, 10)
+		top, err := s.TopKMerged(ctx, Request{NoCache: true}, sources, 10)
 		if err != nil {
 			b.Fatalf("TopKMerged: %v", err)
 		}
-		if len(top) != 10 {
-			b.Fatalf("got %d entries", len(top))
+		if len(top.Top) != 10 {
+			b.Fatalf("got %d entries", len(top.Top))
 		}
 	}
 }

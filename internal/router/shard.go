@@ -1,0 +1,108 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"prsim/internal/core"
+	"prsim/internal/engine"
+	"prsim/internal/graph"
+)
+
+// Shard is one slot of a Served graph's scatter-gather fan-out: the query
+// surface a shard must answer, independent of where it runs. Two
+// implementations exist — *engine.Engine serves a shard in-process over a
+// shared snapshot mapping, and *RemoteShard forwards to replicas of another
+// prsimserve speaking the /v1 HTTP surface. Routing (source → shard) and
+// merging are identical either way, so answers stay bit-identical to a
+// single local engine as long as every shard serves the same snapshot
+// generation.
+type Shard interface {
+	// Do answers one single-source request.
+	Do(ctx context.Context, req Request) (*engine.Response, error)
+	// DoBatch answers one request per source, in input order.
+	DoBatch(ctx context.Context, base Request, sources []int) ([]*engine.Response, error)
+	// Pair estimates the single-pair SimRank s(u, v).
+	Pair(ctx context.Context, u, v int) (float64, error)
+	// Stats returns the shard's engine-stats snapshot (remote shards
+	// synthesize one from their client-side counters).
+	Stats() engine.Stats
+}
+
+// *engine.Engine implements Shard natively.
+var _ Shard = (*engine.Engine)(nil)
+
+// ErrShardUnavailable is the sentinel behind ShardUnavailableError: a shard
+// could not be reached at all (every replica down, circuit breaker open, or
+// retries exhausted on transport failures). errors.Is against it classifies
+// the failure; HTTP front-ends map it to 503.
+var ErrShardUnavailable = errors.New("router: shard unavailable")
+
+// ShardUnavailableError reports which shards of a scatter-gather request
+// could not be reached. It unwraps to ErrShardUnavailable (errors.Is keeps
+// working) and carries the underlying cause of the first failure. Returned
+// by Do/DoBatch/TopKMerged when a shard is down and the request did not opt
+// into partial results with Request.AllowPartial.
+type ShardUnavailableError struct {
+	// Shards lists the unreachable shard indexes, sorted ascending.
+	Shards []int
+	// Err is the underlying cause observed on the first failed shard.
+	Err error
+}
+
+func (e *ShardUnavailableError) Error() string {
+	return fmt.Sprintf("router: shard(s) %v unavailable: %v", e.Shards, e.Err)
+}
+
+// Unwrap ties the typed error to the ErrShardUnavailable sentinel.
+func (e *ShardUnavailableError) Unwrap() error { return ErrShardUnavailable }
+
+// Cause exposes the underlying failure for logging; errors.Is/As callers
+// should use Unwrap semantics via ErrShardUnavailable instead.
+func (e *ShardUnavailableError) Cause() error { return e.Err }
+
+// BatchResult is the outcome of one scatter-gathered batch. When every shard
+// answered, Degraded is false and Resps has one response per source in input
+// order — bit-identical to a single-engine DoBatch. When Request.AllowPartial
+// let the batch survive unreachable shards, Degraded is true, MissingShards
+// lists them (sorted), and the entries of sources owned by a missing shard
+// are nil.
+type BatchResult struct {
+	// Resps holds one response per source, in input order; nil entries mark
+	// sources whose owning shard was unavailable (only under AllowPartial).
+	Resps []*engine.Response
+	// Degraded reports that at least one shard did not answer.
+	Degraded bool
+	// MissingShards lists the unavailable shard indexes, sorted ascending.
+	MissingShards []int
+}
+
+// TopKResult is the outcome of one merged multi-source top-k query; see
+// BatchResult for the degradation semantics. The merge over the surviving
+// shards is the same deterministic MergeTopK — partial results are
+// reproducible for a fixed set of missing shards.
+type TopKResult struct {
+	Top []core.ScoredNode
+	// Graph is the graph the computations ran on (nil when every answering
+	// shard was remote — labels then resolve on the shard hosts).
+	Graph *graph.Graph
+	// Degraded reports that at least one shard did not answer.
+	Degraded bool
+	// MissingShards lists the unavailable shard indexes, sorted ascending.
+	MissingShards []int
+}
+
+// sortedShardSet folds a shard-index set into a sorted slice.
+func sortedShardSet(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for sh := range set {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,85 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HandlerTransport is an http.RoundTripper that serves every request from an
+// in-process http.Handler — no sockets, no listeners. It is the loopback
+// half of the remote-shard test seam: point a RemoteShard's Transport at a
+// prsimserve handler (or a minimal /v1 stub) and the full client/server wire
+// path — JSON encode, envelope decode, resilience layer — runs in one
+// process, deterministic and race-detectable. Layer a FaultTransport on top
+// for chaos.
+type HandlerTransport struct {
+	// Handler answers every round trip. Route through the server's real mux
+	// so path patterns (r.PathValue) resolve exactly as in production.
+	Handler http.Handler
+}
+
+// handlerResponseWriter is a minimal in-memory http.ResponseWriter. A
+// hand-rolled recorder keeps net/http/httptest out of the production
+// dependency graph.
+type handlerResponseWriter struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (w *handlerResponseWriter) Header() http.Header { return w.header }
+
+func (w *handlerResponseWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+}
+
+func (w *handlerResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.body.Write(p)
+}
+
+// RoundTrip serves req from the handler and packages the recorded response.
+// The request context is honored: a handler that blocks past cancellation
+// returns the context error like a real transport would.
+func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Handler == nil {
+		return nil, fmt.Errorf("router: HandlerTransport has no handler")
+	}
+	type done struct {
+		w *handlerResponseWriter
+	}
+	ch := make(chan done, 1)
+	go func() {
+		w := &handlerResponseWriter{header: make(http.Header)}
+		t.Handler.ServeHTTP(w, req)
+		ch <- done{w}
+	}()
+	select {
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	case d := <-ch:
+		w := d.w
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		return &http.Response{
+			StatusCode:    w.status,
+			Status:        fmt.Sprintf("%d %s", w.status, http.StatusText(w.status)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        w.header,
+			Body:          io.NopCloser(bytes.NewReader(w.body.Bytes())),
+			ContentLength: int64(w.body.Len()),
+			Request:       req,
+		}, nil
+	}
+}
+
+var _ http.RoundTripper = (*HandlerTransport)(nil)

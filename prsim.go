@@ -68,9 +68,11 @@ func (g *Graph) OutDegree(v int) int { return g.g.OutDegree(v) }
 func (g *Graph) InDegree(v int) int { return g.g.InDegree(v) }
 
 // Label returns the original label of node v when the graph was built from a
-// labelled edge list, or its numeric id otherwise.
+// labelled edge list, or its numeric id otherwise. Safe on a nil receiver —
+// responses gathered from remote shards carry no local graph, and their
+// labels resolve to numeric ids.
 func (g *Graph) Label(v int) string {
-	if g.labels != nil && v >= 0 && v < len(g.labels) {
+	if g != nil && g.labels != nil && v >= 0 && v < len(g.labels) {
 		return g.labels[v]
 	}
 	return fmt.Sprintf("%d", v)

@@ -64,6 +64,14 @@ type Request struct {
 	// The class never changes results — it only shapes queueing. Ignored by
 	// Index.Do, which has no admission control.
 	Class Class
+	// AllowPartial opts a scatter-gathered batch into graceful degradation:
+	// when a shard of a remote graph is unavailable (every replica down,
+	// circuit breaker open), Served.DoBatch/TopKMerged return the surviving
+	// shards' answers flagged Degraded instead of failing with
+	// ErrShardUnavailable. Local graphs and single-source requests ignore
+	// the flag, and it never changes any per-source answer — only whether
+	// an incomplete batch is an error or a partial result.
+	AllowPartial bool
 }
 
 // toEngine lowers the public request into the engine's parameter bundle.
@@ -71,12 +79,13 @@ type Request struct {
 // one-to-one.
 func (r Request) toEngine() engine.Request {
 	return engine.Request{
-		Source:      r.Source,
-		Epsilon:     r.Epsilon,
-		K:           r.K,
-		NoCache:     r.NoCache,
-		Parallelism: r.Parallelism,
-		Class:       r.Class,
+		Source:       r.Source,
+		Epsilon:      r.Epsilon,
+		K:            r.K,
+		NoCache:      r.NoCache,
+		Parallelism:  r.Parallelism,
+		Class:        r.Class,
+		AllowPartial: r.AllowPartial,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	"prsim/internal/engine"
@@ -18,6 +19,24 @@ const DefaultGraph = "default"
 // ErrUnknownGraph is returned by Registry lookups (and everything routed
 // through them) when no graph is mounted under the requested name.
 var ErrUnknownGraph = router.ErrUnknownGraph
+
+// ErrShardUnavailable is the sentinel behind shard-unavailability failures:
+// a remote shard could not be reached at all (every replica down, circuit
+// breaker open, or retries exhausted on transport errors). Requests that
+// set Request.AllowPartial degrade gracefully instead of failing with it.
+// HTTP front-ends map it to 503 Service Unavailable.
+var ErrShardUnavailable = router.ErrShardUnavailable
+
+// UnavailableShards extracts the unreachable shard indexes from a
+// shard-unavailability error (sorted ascending); ok is false when err is
+// not one.
+func UnavailableShards(err error) (shards []int, ok bool) {
+	var su *router.ShardUnavailableError
+	if errors.As(err, &su) {
+		return su.Shards, true
+	}
+	return nil, false
+}
 
 // Class is the admission class of a request: ClassInteractive (the zero
 // value) is dispatched ahead of queued ClassBatch work whenever an engine
@@ -86,6 +105,49 @@ type GraphConfig struct {
 	// Shards × Engine.Workers).
 	Engine EngineOptions
 }
+
+// RemoteGraphConfig places a logical graph's shards on other prsimserve
+// processes speaking the /v1 HTTP surface. Source→shard routing and result
+// merging are identical to local sharding, so answers stay bit-identical to
+// a single local engine as long as every shard host serves the same
+// snapshot generation.
+type RemoteGraphConfig struct {
+	// Graph is the graph name on the shard hosts ("default" when empty).
+	Graph string
+	// Shards holds one replica endpoint list per shard slot (base URLs).
+	// len(Shards) is the shard count; each shard needs at least one
+	// endpoint, and hedged requests need at least two.
+	Shards [][]string
+	// Transport overrides the HTTP transport; nil uses a pooled default.
+	// Tests inject loopback or fault-injecting transports here.
+	Transport http.RoundTripper
+	// Resilience tunes retries, hedging, circuit breakers, and health
+	// checks; the zero value picks production defaults.
+	Resilience ResilienceOptions
+}
+
+// ResilienceOptions tunes the remote shard call path; see the field docs on
+// router.ResilienceOptions. Zero values mean production defaults.
+type ResilienceOptions = router.ResilienceOptions
+
+// ShardHealth is one shard's row in a graph's health map.
+type ShardHealth = router.ShardHealth
+
+// ReplicaHealth is one replica's row in a remote shard's health map.
+type ReplicaHealth = router.ReplicaHealth
+
+// ReplicaState is a replica's health state: up, degraded, or down.
+type ReplicaState = router.ReplicaState
+
+// Replica health states.
+const (
+	ReplicaUp       = router.ReplicaUp
+	ReplicaDegraded = router.ReplicaDegraded
+	ReplicaDown     = router.ReplicaDown
+)
+
+// RemoteShardStats are the client-side counters of one remote shard.
+type RemoteShardStats = router.RemoteStats
 
 func (c GraphConfig) toRouter(open router.Opener) router.Config {
 	return router.Config{
@@ -172,10 +234,35 @@ func (r *Registry) MountIndex(name string, idx *Index, cfg GraphConfig) (*Served
 	return &Served{s: s}, nil
 }
 
+// MountRemote mounts a logical graph whose shards are served by remote
+// prsimserve processes. The graph has no local index: queries scatter to
+// the shard hosts through the resilience layer (health checks, retries,
+// circuit breakers, hedged requests) and gather exactly like local shards.
+// Reload and Current are host-side concepts for remote graphs — Reload
+// errors, and Current returns nil.
+func (r *Registry) MountRemote(name string, cfg RemoteGraphConfig) (*Served, error) {
+	s, err := r.r.Mount(name, router.Config{
+		Remote: &router.RemoteOptions{
+			Graph:      cfg.Graph,
+			Shards:     cfg.Shards,
+			Transport:  cfg.Transport,
+			Resilience: cfg.Resilience,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Served{s: s}, nil
+}
+
 // Unmount removes the named graph and closes its backing (unless it was
 // mounted with MountIndex, whose backing the caller owns). In-flight queries
 // drain safely.
 func (r *Registry) Unmount(name string) error { return r.r.Unmount(name) }
+
+// Close unmounts every graph and releases its backing — the registry half
+// of a graceful shutdown. In-flight queries drain safely.
+func (r *Registry) Close() error { return r.r.Close() }
 
 // Get returns the named graph's serving handle, or ErrUnknownGraph. An empty
 // name means DefaultGraph.
@@ -243,42 +330,86 @@ func (s *Served) Do(ctx context.Context, req Request) (*Response, error) {
 	return wrapResponse(s.currentGraph(), inner), nil
 }
 
+// BatchResponse is the outcome of one scatter-gathered batch. When every
+// shard answered, Degraded is false and Responses has one entry per source
+// in input order — bit-identical to a single-engine DoBatch. When
+// Request.AllowPartial let the batch survive unreachable shards, Degraded
+// is true, MissingShards lists them (sorted ascending), and entries of
+// sources owned by a missing shard are nil.
+type BatchResponse struct {
+	// Responses holds one response per source, in input order; nil entries
+	// mark sources whose owning shard was unavailable (only under
+	// AllowPartial).
+	Responses []*Response
+	// Degraded reports that at least one shard did not answer.
+	Degraded bool
+	// MissingShards lists the unavailable shard indexes, sorted ascending.
+	MissingShards []int
+}
+
+// TopKResponse is the outcome of one merged multi-source top-k query; see
+// BatchResponse for the degradation semantics. The merge over the surviving
+// shards is the same deterministic bounded-heap merge, so partial results
+// are reproducible for a fixed set of missing shards.
+type TopKResponse struct {
+	Top []ScoredNode
+	// Degraded reports that at least one shard did not answer.
+	Degraded bool
+	// MissingShards lists the unavailable shard indexes, sorted ascending.
+	MissingShards []int
+}
+
 // DoBatch answers one request per source, in input order, scattering
 // per-shard sub-batches (each runs the engine's fused multi-source
 // execution) and gathering the responses. Bit-identical to a single-engine
-// DoBatch.
-func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
+// DoBatch. An unreachable remote shard fails the whole batch with an
+// ErrShardUnavailable error unless base.AllowPartial is set, in which case
+// the surviving shards' responses return flagged Degraded.
+func (s *Served) DoBatch(ctx context.Context, base Request, sources []int) (*BatchResponse, error) {
 	inner, err := s.s.DoBatch(ctx, base.toEngine(), sources)
 	if err != nil {
 		return nil, err
 	}
 	cur := s.currentGraph()
-	out := make([]*Response, len(inner))
-	for i, r := range inner {
+	out := make([]*Response, len(inner.Resps))
+	for i, r := range inner.Resps {
+		if r == nil {
+			continue // source owned by a missing shard (AllowPartial)
+		}
 		out[i] = wrapResponse(cur, r)
 	}
-	return out, nil
+	return &BatchResponse{
+		Responses:     out,
+		Degraded:      inner.Degraded,
+		MissingShards: inner.MissingShards,
+	}, nil
 }
 
 // TopKMerged answers a multi-source top-k query: each source's top-k is
 // computed on its owning shard and the per-source selections merge into one
 // global top-k (a node reached from several sources keeps its maximum
 // score), ordered by descending score with ties broken by ascending node id.
-// The merge is deterministic and independent of shard count.
-func (s *Served) TopKMerged(ctx context.Context, base Request, sources []int, k int) ([]ScoredNode, error) {
-	top, g, err := s.s.TopKMerged(ctx, base.toEngine(), sources, k)
+// The merge is deterministic and independent of shard count. Degradation
+// follows DoBatch: under AllowPartial, missing shards' sources drop out of
+// the merge and the result is flagged Degraded.
+func (s *Served) TopKMerged(ctx context.Context, base Request, sources []int, k int) (*TopKResponse, error) {
+	inner, err := s.s.TopKMerged(ctx, base.toEngine(), sources, k)
 	if err != nil {
 		return nil, err
 	}
 	pg := s.currentGraph()
-	if g != nil && (pg == nil || pg.g != g) {
-		pg = wrapGraph(g)
+	if inner.Graph != nil && (pg == nil || pg.g != inner.Graph) {
+		pg = wrapGraph(inner.Graph)
 	}
-	out := make([]ScoredNode, len(top))
-	for i, sn := range top {
+	out := make([]ScoredNode, len(inner.Top))
+	for i, sn := range inner.Top {
 		out[i] = ScoredNode{Node: sn.Node, Label: pg.Label(sn.Node), Score: sn.Score}
 	}
-	return out, nil
+	return &TopKResponse{
+		Top:           out,
+		Degraded:      inner.Degraded,
+		MissingShards: inner.MissingShards,
+	}, nil
 }
 
 // Pair estimates the single-pair SimRank s(u, v), routed to the shard that
@@ -321,4 +452,22 @@ func (s *Served) Stats() []EngineStats {
 // configured identically and swap in lockstep).
 func (s *Served) StatsAggregate() EngineStats {
 	return wrapEngineStats(router.Aggregate(s.s.Stats()))
+}
+
+// Remote reports whether the graph's shards are served by remote hosts.
+func (s *Served) Remote() bool { return s.s.Remote() }
+
+// Health returns the per-shard health map: local shards are always up;
+// remote shards report one row per replica with breaker, probe, and
+// latency state.
+func (s *Served) Health() []ShardHealth { return s.s.Health() }
+
+// RemoteStats returns shard i's client-side resilience counters (attempts,
+// retries, hedges, failures); ok is false for local shards.
+func (s *Served) RemoteStats(i int) (st RemoteShardStats, ok bool) {
+	rs := s.s.RemoteShard(i)
+	if rs == nil {
+		return RemoteShardStats{}, false
+	}
+	return rs.RemoteStats(), true
 }
