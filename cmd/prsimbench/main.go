@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, querypath, updatecost, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1..fig7b, hubsweep, backwardwalk, secondmoment, loadtime, querypath, updatecost, adaptive, all)")
 		full       = flag.Bool("full", false, "use the full (slower) configuration instead of the quick one")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset for fig2-fig5 (default: all five)")
 		queries    = flag.Int("queries", 0, "override the number of queries per measurement")
@@ -139,8 +139,10 @@ func run(experiment string, cfg eval.Config, datasets []string) error {
 		return runQueryPath(cfg)
 	case "updatecost", "dynamic":
 		return runUpdateCost(cfg)
+	case "adaptive":
+		return runAdaptive(cfg)
 	case "all":
-		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime", "querypath", "updatecost"} {
+		for _, exp := range []string{"fig1", "tradeoffs", "fig6a", "fig6b", "fig7", "hubsweep", "backwardwalk", "secondmoment", "loadtime", "querypath", "updatecost", "adaptive"} {
 			if err := run(exp, cfg, datasets); err != nil {
 				return err
 			}
@@ -351,6 +353,35 @@ func runUpdateCost(cfg eval.Config) error {
 			r.BatchSize, mode, r.HubsRecomputed, r.HubsTotal, 100*r.FractionHubs,
 			100*r.FractionEntries, r.ApplyMillis, r.RebuildMillis, r.Speedup,
 			r.MaxAbsDiff, 2*res.Epsilon)
+	}
+	return nil
+}
+
+func runAdaptive(cfg eval.Config) error {
+	fmt.Println("=== Adaptive sampling: early termination vs the fixed worst-case budget ===")
+	res, err := eval.RunAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges; build epsilon=%.2f sample-scale=%.2f; %d queries/tier, round budget %d, oracle %s (%d pooled sources)\n",
+		res.Nodes, res.Edges, res.Epsilon, res.SampleScale, res.Queries, res.RoundsBudget, res.Oracle, res.ErrorQueries)
+	w, flush := newTable("request epsilon", "fixed median (ms)", "fixed p99 (ms)", "adaptive median (ms)", "adaptive p99 (ms)", "speedup", "rounds", "stop rate", "fixed max err", "adaptive max err")
+	defer flush()
+	for _, t := range res.Tiers {
+		fmt.Fprintf(w, "%.2f (%gx build)\t%.3f\t%.3f\t%.3f\t%.3f\t%.2fx\t%.1f/%d\t%.0f%%\t%.4f\t%.4f\n",
+			t.Epsilon, t.Multiple, t.FixedMedianNs/1e6, t.FixedP99Ns/1e6,
+			t.AdaptiveMedianNs/1e6, t.AdaptiveP99Ns/1e6, t.Speedup,
+			t.RoundsExecuted, res.RoundsBudget, 100*t.EarlyStopRate,
+			t.FixedMaxError, t.AdaptiveMaxError)
+	}
+	flush()
+
+	fmt.Println("\n--- rounds saved by adaptive queries (fraction of the round budget) ---")
+	w2, flush2 := newTable("request epsilon", "[0,20%)", "[20,40%)", "[40,60%)", "[60,80%)", "[80,100%]")
+	defer flush2()
+	for _, t := range res.Tiers {
+		h := t.RoundsSavedHist
+		fmt.Fprintf(w2, "%.2f\t%d\t%d\t%d\t%d\t%d\n", t.Epsilon, h[0], h[1], h[2], h[3], h[4])
 	}
 	return nil
 }

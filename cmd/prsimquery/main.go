@@ -61,6 +61,7 @@ func main() {
 		server    = flag.String("server", "", "query a running prsimserve over its /v1 HTTP API instead of loading anything locally (base URL, e.g. http://localhost:8080)")
 		graphName = flag.String("graphname", "", "with -server, the mounted graph to query (empty = the server's default graph)")
 		class     = flag.String("class", "", "with -server, the admission class: interactive (default) or batch")
+		adaptive  = flag.String("adaptive", "", "sampling mode: on (variance-based early termination), off (fixed worst-case budget), or auto/empty (the server or library default)")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 		decay: *decay, seed: *seed, scale: *scale, source: *source, topK: *topK,
 		saveIndex: *saveIndex, loadIndex: *loadIndex, timeout: *timeout,
 		mmap: *useMmap, algorithm: *algorithm,
-		server: *server, graphName: *graphName, class: *class,
+		server: *server, graphName: *graphName, class: *class, adaptive: *adaptive,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "prsimquery: %v\n", err)
 		os.Exit(1)
@@ -102,6 +103,21 @@ type config struct {
 	mmap                         bool
 	algorithm                    string
 	server, graphName, class     string
+	adaptive                     string
+}
+
+// parseAdaptive maps the -adaptive flag onto the tri-state request mode.
+func parseAdaptive(v string) (prsim.AdaptiveMode, error) {
+	switch v {
+	case "", "auto":
+		return prsim.AdaptiveAuto, nil
+	case "on":
+		return prsim.AdaptiveOn, nil
+	case "off":
+		return prsim.AdaptiveOff, nil
+	default:
+		return prsim.AdaptiveAuto, fmt.Errorf("-adaptive must be one of on, off, auto")
+	}
 }
 
 func run(cfg config) error {
@@ -180,6 +196,9 @@ func run(cfg config) error {
 	if cfg.loadIndex != "" && cfg.epsilonSet {
 		req.Epsilon = cfg.epsilon
 	}
+	if req.Adaptive, err = parseAdaptive(cfg.adaptive); err != nil {
+		return err
+	}
 	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
@@ -200,17 +219,22 @@ func run(cfg config) error {
 	stats := res.Stats()
 	fmt.Printf("query from node %d took %.4fs (%d walks, %d backward-walk increments, %d index reads)\n",
 		cfg.source, stats.Seconds, stats.Walks, stats.BackwardWalkCost, stats.IndexEntriesRead)
+	if stats.EarlyStopped {
+		fmt.Printf("adaptive early stop after %d of %d rounds\n", stats.RoundsExecuted, stats.RoundsBudget)
+	}
 	printTop(res.TopK(cfg.topK))
 	return nil
 }
 
 // topKReplyJSON is the decoded POST /v1/graphs/{name}/topk success body.
 type topKReplyJSON struct {
-	Source  int     `json:"source"`
-	Epsilon float64 `json:"epsilon"`
-	Clamped bool    `json:"epsilon_clamped"`
-	Cached  bool    `json:"cached"`
-	Top     []struct {
+	Source            int     `json:"source"`
+	Epsilon           float64 `json:"epsilon"`
+	EpsilonEffective  float64 `json:"epsilon_effective"`
+	Clamped           bool    `json:"epsilon_clamped"`
+	Cached            bool    `json:"cached"`
+	ServedFromTighter bool    `json:"served_from_tighter"`
+	Top               []struct {
 		Node  int     `json:"node"`
 		Label string  `json:"label"`
 		Score float64 `json:"score"`
@@ -271,6 +295,14 @@ func runRemote(cfg config) error {
 	if cfg.class != "" {
 		body["class"] = cfg.class
 	}
+	// Validate the spelling locally, but forward only explicit modes — an
+	// absent field leaves the server's own default in charge.
+	if _, err := parseAdaptive(cfg.adaptive); err != nil {
+		return err
+	}
+	if cfg.adaptive == "on" || cfg.adaptive == "off" {
+		body["adaptive"] = cfg.adaptive
+	}
 	if cfg.timeout > 0 {
 		body["timeout_ms"] = cfg.timeout.Milliseconds()
 	}
@@ -300,6 +332,9 @@ func runRemote(cfg config) error {
 	}
 	fmt.Printf("remote query from node %d on graph %q (epsilon %g, cached %v)\n",
 		out.Source, name, out.Epsilon, out.Cached)
+	if out.ServedFromTighter {
+		fmt.Printf("served from a tighter computation at epsilon %g\n", out.EpsilonEffective)
+	}
 	for rank, s := range out.Top {
 		label := s.Label
 		if label == "" {

@@ -102,6 +102,7 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "engine shards per graph: independent worker pools and caches over one shared snapshot mapping (answers are bit-identical at any shard count)")
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent query workers per shard (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "default intra-query parallelism hint: walk chunks per query may run on up to this many workers (0 = auto: borrow idle workers; 1 = serial)")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "default requests with no adaptive field to variance-based early termination (per-request adaptive=on/off always wins)")
 	flag.IntVar(&cfg.cacheSize, "cache", 1024, "per-shard LRU result cache size (0 disables)")
 	flag.IntVar(&cfg.maxQueue, "maxqueue", 0, "per-class admission queue bound before requests are shed with 429 (0 = max(32, 4*workers), negative = unbounded)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
@@ -189,6 +190,7 @@ type config struct {
 	shards             int
 	workers, cacheSize int
 	parallel           int
+	adaptive           bool
 	maxQueue           int
 	addr               string
 	timeout            time.Duration
@@ -304,7 +306,7 @@ func buildServer(cfg config) (*server, error) {
 func (c config) graphConfig() prsim.GraphConfig {
 	return prsim.GraphConfig{
 		Shards: c.shards,
-		Engine: prsim.EngineOptions{Workers: c.workers, CacheSize: c.cacheSize, MaxQueue: c.maxQueue},
+		Engine: prsim.EngineOptions{Workers: c.workers, CacheSize: c.cacheSize, MaxQueue: c.maxQueue, AdaptiveDefault: c.adaptive},
 	}
 }
 
@@ -631,6 +633,7 @@ type apiRequest struct {
 	timeout      time.Duration
 	noCache      bool
 	parallel     int
+	adaptive     prsim.AdaptiveMode
 	class        prsim.Class
 	allowPartial bool
 }
@@ -646,7 +649,11 @@ type requestBodyJSON struct {
 	TimeoutMS   int64   `json:"timeout_ms"`
 	NoCache     bool    `json:"no_cache"`
 	Parallelism int     `json:"parallelism"`
-	Class       string  `json:"class"`
+	// Adaptive selects the sampling mode: "on" enables variance-based early
+	// termination, "off" pins the fixed worst-case budget, ""/"auto" follows
+	// the server's -adaptive default.
+	Adaptive string `json:"adaptive"`
+	Class    string `json:"class"`
 	// AllowPartial opts multi-source requests against remote graphs into
 	// graceful degradation: unreachable shards drop out and the response is
 	// flagged degraded instead of failing with 503.
@@ -676,6 +683,11 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 		req.timeout = time.Duration(body.TimeoutMS) * time.Millisecond
 		req.noCache = body.NoCache
 		req.parallel = body.Parallelism
+		ad, err := parseAdaptive(body.Adaptive)
+		if err != nil {
+			return req, err
+		}
+		req.adaptive = ad
 		class, err := prsim.ParseClass(body.Class)
 		if err != nil {
 			return req, err
@@ -719,6 +731,9 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 	if req.parallel, err = intParam(q.Get("parallel"), 0); err != nil {
 		return req, fmt.Errorf("parallel must be an integer")
 	}
+	if req.adaptive, err = parseAdaptive(q.Get("adaptive")); err != nil {
+		return req, err
+	}
 	if req.class, err = prsim.ParseClass(q.Get("class")); err != nil {
 		return req, err
 	}
@@ -726,6 +741,21 @@ func parseAPIRequest(r *http.Request) (apiRequest, error) {
 		req.allowPartial = true
 	}
 	return req, nil
+}
+
+// parseAdaptive maps the wire spelling of the sampling mode onto the
+// tri-state request field; empty (or "auto") defers to the server default.
+func parseAdaptive(v string) (prsim.AdaptiveMode, error) {
+	switch v {
+	case "", "auto":
+		return prsim.AdaptiveAuto, nil
+	case "on", "true", "1":
+		return prsim.AdaptiveOn, nil
+	case "off", "false", "0":
+		return prsim.AdaptiveOff, nil
+	default:
+		return prsim.AdaptiveAuto, fmt.Errorf("adaptive must be one of on, off, auto")
+	}
 }
 
 // effectiveParallel resolves the intra-query parallelism hint: the
@@ -746,6 +776,7 @@ func (s *server) baseRequest(api apiRequest) prsim.Request {
 		Epsilon:      api.epsilon,
 		NoCache:      api.noCache,
 		Parallelism:  s.effectiveParallel(api),
+		Adaptive:     api.adaptive,
 		Class:        api.class,
 		AllowPartial: api.allowPartial,
 	}
@@ -819,11 +850,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if len(api.sources) == 1 {
 		one := struct {
 			queryResultJSON
-			Epsilon   float64 `json:"epsilon"`
-			Clamped   bool    `json:"epsilon_clamped,omitempty"`
-			Cached    bool    `json:"cached,omitempty"`
-			Coalesced bool    `json:"coalesced,omitempty"`
-		}{*out[0], epsilon, clamped, resps[0].CacheHit, resps[0].Coalesced}
+			Epsilon float64 `json:"epsilon"`
+			// EpsilonEffective is the epsilon the answering computation ran
+			// at — tighter than epsilon when range coalescing served this
+			// request from a more accurate cached or in-flight answer.
+			EpsilonEffective  float64 `json:"epsilon_effective"`
+			Clamped           bool    `json:"epsilon_clamped,omitempty"`
+			Cached            bool    `json:"cached,omitempty"`
+			Coalesced         bool    `json:"coalesced,omitempty"`
+			ServedFromTighter bool    `json:"served_from_tighter,omitempty"`
+		}{*out[0], epsilon, resps[0].EpsilonServed, clamped,
+			resps[0].CacheHit, resps[0].Coalesced, resps[0].ServedFromTighter}
 		writeJSON(w, one)
 		return
 	}
@@ -914,11 +951,16 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{
+	payload := map[string]any{
 		"source": u, "k": k, "top": renderScored(resp.Top),
-		"epsilon": resp.Epsilon, "epsilon_clamped": resp.Clamped,
-		"cached": resp.CacheHit, "coalesced": resp.Coalesced,
-	})
+		"epsilon": resp.Epsilon, "epsilon_effective": resp.EpsilonServed,
+		"epsilon_clamped": resp.Clamped,
+		"cached":          resp.CacheHit, "coalesced": resp.Coalesced,
+	}
+	if resp.ServedFromTighter {
+		payload["served_from_tighter"] = true
+	}
+	writeJSON(w, payload)
 }
 
 func renderScored(top []prsim.ScoredNode) []scoredNodeJSON {
@@ -1167,9 +1209,10 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	cfg := prsim.GraphConfig{
 		Shards: body.Shards,
 		Engine: prsim.EngineOptions{
-			Workers:   body.Workers,
-			CacheSize: s.cfg.cacheSize,
-			MaxQueue:  s.cfg.maxQueue,
+			Workers:         body.Workers,
+			CacheSize:       s.cfg.cacheSize,
+			MaxQueue:        s.cfg.maxQueue,
+			AdaptiveDefault: s.cfg.adaptive,
 		},
 	}
 	if body.Cache != nil {
@@ -1325,6 +1368,11 @@ func (s *server) graphStatsPayload(sv *prsim.Served, name string) map[string]any
 			"parallel_queries": est.ParallelQueries,
 			"chunks_executed":  est.ChunksExecuted,
 			"chunks_merged":    est.ChunksMerged,
+
+			"range_coalesced": est.RangeCoalesced,
+			"early_stops":     est.EarlyStops,
+			"rounds_executed": est.RoundsExecuted,
+			"rounds_budget":   est.RoundsBudget,
 		},
 		"classes": map[string]any{
 			"interactive": classStatsJSON(est.Interactive),

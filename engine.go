@@ -23,6 +23,10 @@ type EngineOptions struct {
 	// (max(32, 4×Workers)); negative disables shedding (unbounded waiting).
 	// Cache hits and coalesced joiners never occupy queue slots.
 	MaxQueue int
+	// AdaptiveDefault makes requests with Adaptive == AdaptiveAuto (the zero
+	// value) run with variance-based early termination. Requests that set
+	// AdaptiveOff or AdaptiveOn explicitly are unaffected.
+	AdaptiveDefault bool
 }
 
 // Engine is a throughput-oriented concurrent front-end over one index: a
@@ -48,10 +52,11 @@ func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
 		return nil, fmt.Errorf("prsim: nil index")
 	}
 	eng, err := engine.New(idx.idx, engine.Options{
-		Workers:   opts.Workers,
-		CacheSize: opts.CacheSize,
-		MaxQueue:  opts.MaxQueue,
-		Resource:  idx.engineResource(),
+		Workers:         opts.Workers,
+		CacheSize:       opts.CacheSize,
+		MaxQueue:        opts.MaxQueue,
+		AdaptiveDefault: opts.AdaptiveDefault,
+		Resource:        idx.engineResource(),
 	})
 	if err != nil {
 		return nil, err
@@ -164,6 +169,17 @@ type EngineStats struct {
 	// Coalesced counts requests that shared an identical in-flight
 	// computation instead of running their own.
 	Coalesced int64
+	// RangeCoalesced counts adaptive requests answered by a cached or
+	// in-flight computation at a strictly tighter epsilon than requested
+	// (a subset of CacheHits + Coalesced).
+	RangeCoalesced int64
+	// EarlyStops counts computations whose adaptive stop rule fired before
+	// the worst-case round budget. RoundsExecuted and RoundsBudget sum the
+	// actual and worst-case Monte Carlo rounds over all computations; their
+	// ratio is the fraction of the sampling budget actually spent.
+	EarlyStops     int64
+	RoundsExecuted int64
+	RoundsBudget   int64
 	// Shed counts requests rejected with ErrOverloaded by admission control,
 	// summed over both classes.
 	Shed int64
@@ -204,19 +220,23 @@ func (e *Engine) Stats() EngineStats {
 // by Engine.Stats and the Registry's per-graph stats.
 func wrapEngineStats(s engine.Stats) EngineStats {
 	return EngineStats{
-		Workers:      s.Workers,
-		MaxQueue:     s.MaxQueue,
-		Generation:   s.Generation,
-		Swaps:        s.Swaps,
-		CacheReuses:  s.CacheReuses,
-		Queries:      s.Queries,
-		CacheHits:    s.CacheHits,
-		Coalesced:    s.Coalesced,
-		Shed:         s.Shed,
-		QueueDepth:   s.QueueDepth,
-		CacheEntries: s.CacheEntries,
-		PairQueries:  s.PairQueries,
-		Errors:       s.Errors,
+		Workers:        s.Workers,
+		MaxQueue:       s.MaxQueue,
+		Generation:     s.Generation,
+		Swaps:          s.Swaps,
+		CacheReuses:    s.CacheReuses,
+		Queries:        s.Queries,
+		CacheHits:      s.CacheHits,
+		Coalesced:      s.Coalesced,
+		RangeCoalesced: s.RangeCoalesced,
+		EarlyStops:     s.EarlyStops,
+		RoundsExecuted: s.RoundsExecuted,
+		RoundsBudget:   s.RoundsBudget,
+		Shed:           s.Shed,
+		QueueDepth:     s.QueueDepth,
+		CacheEntries:   s.CacheEntries,
+		PairQueries:    s.PairQueries,
+		Errors:         s.Errors,
 		Interactive: ClassStats{
 			Queries:      s.Interactive.Queries,
 			Shed:         s.Interactive.Shed,

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkAdaptiveQuery measures the progressive walk phase with
+// variance-based early termination against the fixed worst-case budget on
+// the same index: one op is one single-source query through the pooled
+// QueryIntoOpts path. The Adaptive/Fixed ratio is the typical-case saving
+// the stop rule buys; both variants run under the CI bench-trend gate via
+// BENCH_ci.json, so a regression in either the stop rule's overhead or its
+// effectiveness is caught against the base branch.
+func BenchmarkAdaptiveQuery(b *testing.B) {
+	g := largerTestGraph(20000, 10, 7)
+	idx, err := BuildIndex(g, Options{Epsilon: 0.25, Seed: 3, SampleScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{{"Fixed", false}, {"Adaptive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res Result
+			q := QueryOptions{Adaptive: mode.adaptive}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.QueryIntoOpts(ctx, i%g.N(), &res, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

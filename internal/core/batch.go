@@ -41,11 +41,42 @@ const fusedWaveSize = 8
 // no result, but results of waves completed before the failure are already
 // populated; callers must treat the whole batch as failed.
 func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results []*Result, q QueryOptions) error {
-	if len(sources) != len(results) {
-		return fmt.Errorf("core: QueryBatchIntoOpts with %d sources but %d results", len(sources), len(results))
-	}
 	if err := q.Validate(); err != nil {
 		return err
+	}
+	return idx.queryBatchImpl(ctx, sources, results, func(int) QueryOptions { return q }, q.Parallelism)
+}
+
+// QueryBatchEachIntoOpts is QueryBatchIntoOpts with heterogeneous per-entry
+// options: entry i runs at qs[i]'s epsilon and adaptive policy while still
+// sharing the batch's fused index-read passes — within a wave each eligible
+// reserve list streams once and folds into every source whose own η̂π clears
+// its own ε/c₁ threshold. Adaptive stopping is likewise per entry: each
+// source's walk phase stops at its own converged round. The wave's worker
+// fan-out is the maximum Parallelism requested by any entry. Every result is
+// bit-identical to a solo QueryIntoOpts with the same entry's options.
+func (idx *Index) QueryBatchEachIntoOpts(ctx context.Context, sources []int, results []*Result, qs []QueryOptions) error {
+	if len(qs) != len(sources) {
+		return fmt.Errorf("core: QueryBatchEachIntoOpts with %d sources but %d option sets", len(sources), len(qs))
+	}
+	p := 0
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		if q.Parallelism > p {
+			p = q.Parallelism
+		}
+	}
+	return idx.queryBatchImpl(ctx, sources, results, func(i int) QueryOptions { return qs[i] }, p)
+}
+
+// queryBatchImpl is the shared wave machinery behind QueryBatchIntoOpts
+// (one option set) and QueryBatchEachIntoOpts (per-entry option sets);
+// optFor(i) yields entry i's already-validated per-request options.
+func (idx *Index) queryBatchImpl(ctx context.Context, sources []int, results []*Result, optFor func(int) QueryOptions, p int) error {
+	if len(sources) != len(results) {
+		return fmt.Errorf("core: QueryBatchIntoOpts with %d sources but %d results", len(sources), len(results))
 	}
 	for i, u := range sources {
 		if results[i] == nil {
@@ -59,11 +90,15 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 	case 0:
 		return nil
 	case 1:
-		return idx.QueryIntoOpts(ctx, sources[0], results[0], q)
+		return idx.QueryIntoOpts(ctx, sources[0], results[0], optFor(0))
 	}
 	start := time.Now()
-	opts, _ := idx.opts.effective(q)
-	p := q.Parallelism
+	// Per-entry effective options, resolved once; entries sharing one option
+	// set resolve to identical values, reproducing the homogeneous batch.
+	effOpts := make([]Options, len(sources))
+	for i := range sources {
+		effOpts[i], _ = idx.opts.effective(optFor(i))
+	}
 	if p > len(sources) {
 		p = len(sources)
 	}
@@ -108,8 +143,8 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 		walkOne := func(i int) error {
 			st := states[i-base]
 			st.beginQuery(sources[i])
-			stats[i] = QueryStats{Epsilon: opts.Epsilon}
-			return idx.runWalkPhase(ctx, st, sources[i], opts, &stats[i], 1)
+			stats[i] = QueryStats{Epsilon: effOpts[i].Epsilon}
+			return idx.runWalkPhase(ctx, st, sources[i], effOpts[i], &stats[i], 1, optFor(i).adaptiveParams())
 		}
 		if pw <= 1 {
 			for i := base; i < end; i++ {
@@ -154,7 +189,7 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 			stats[i].Parallelism = pw
 		}
 
-		idx.readIndexFused(states[:end-base], opts, stats[base:end])
+		idx.readIndexFused(states[:end-base], effOpts[base:end], stats[base:end])
 		for i := base; i < end; i++ {
 			results[i].g = idx.g
 			states[i-base].finalize(sources[i], results[i], &stats[i], start)
@@ -166,11 +201,17 @@ func (idx *Index) QueryBatchIntoOpts(ctx context.Context, sources []int, results
 // readIndexFused is the batch form of readIndexInto: one pass over the union
 // of a wave's eligible (level, rank) pairs — levels ascending, ranks
 // ascending — reading each reserve list once and folding it into every
-// source whose η̂π clears the threshold. Restricted to one source, the fold
-// sequence is exactly the solo pass's, so fusion never changes bits.
-func (idx *Index) readIndexFused(states []*queryState, opts Options, stats []QueryStats) {
-	threshold := opts.Epsilon / opts.c1()
-	alpha := opts.alpha()
+// source whose η̂π clears that source's own ε/c₁ threshold (opts[i] is the
+// wave's i-th source's effective option set; heterogeneous epsilons simply
+// gate differently against the same streamed list). Restricted to one
+// source, the fold sequence is exactly the solo pass's, so fusion never
+// changes bits.
+func (idx *Index) readIndexFused(states []*queryState, opts []Options, stats []QueryStats) {
+	thresholds := make([]float64, len(states))
+	for i := range states {
+		thresholds[i] = opts[i].Epsilon / opts[i].c1()
+	}
+	alpha := opts[0].alpha()
 	invAlphaSq := 1 / (alpha * alpha)
 
 	maxLev := 0
@@ -212,7 +253,7 @@ func (idx *Index) readIndexFused(states []*queryState, opts Options, stats []Que
 					continue
 				}
 				ep := st.etaVals[lev][rank]
-				if ep <= threshold {
+				if ep <= thresholds[si] {
 					continue
 				}
 				if entries == nil {

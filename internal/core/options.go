@@ -117,6 +117,28 @@ type QueryOptions struct {
 	// equivalence. Serving layers resolve their "auto" policies to a concrete
 	// value before reaching core.
 	Parallelism int
+	// Adaptive enables variance-based early termination of the Monte Carlo
+	// phase: rounds execute progressively, and after each fully-merged round
+	// an empirical-Bernstein confidence bound over the running per-node
+	// estimates (plus the hub-mass share feeding the index-read pass) is
+	// checked against the effective epsilon; the query stops as soon as the
+	// bound clears, with a floor of MinRounds and a hard ceiling at the
+	// paper's worst-case budget f_r. False (the default) runs the full fixed
+	// budget, bit-identical to the historical path.
+	//
+	// Determinism is preserved: the stop decision is taken at round
+	// boundaries from fully-merged state, which depends only on (seed,
+	// source, effective epsilon) — never on the parallelism level — so a
+	// fixed seed yields the same stop round and bit-identical scores at
+	// every Parallelism value. An adaptive query that never stops early is
+	// bit-identical to Adaptive=false. Because the executed budget differs,
+	// Adaptive IS part of result-cache and coalescing identity at the
+	// serving layers.
+	Adaptive bool
+	// MinRounds floors the adaptive stop check: no query stops before this
+	// many rounds have been merged. Zero means the default (2); values are
+	// clamped to [2, f_r]. Ignored unless Adaptive is set.
+	MinRounds int
 }
 
 // ErrInvalidEpsilon is returned (wrapped with the offending value) when a

@@ -42,10 +42,15 @@ func chunksPerRound(dr int) int {
 // QueryChunks reports how many walk-phase work chunks QueryIntoOpts splits a
 // query with the given per-request options into — the upper bound on useful
 // intra-query parallelism. The engine caps a request's worker fan-out at this
-// value so surplus workers are never reserved just to idle.
+// value so surplus workers are never reserved just to idle. Adaptive queries
+// execute (and can parallelize across) one round's chunks at a time, so their
+// useful fan-out is the per-round chunk count, not the full budget.
 func (idx *Index) QueryChunks(q QueryOptions) int {
 	opts, _ := idx.opts.effective(q)
 	dr := opts.samplesPerRound()
+	if q.Adaptive {
+		return chunksPerRound(dr)
+	}
 	return opts.rounds(idx.g.N()) * chunksPerRound(dr)
 }
 
@@ -161,7 +166,7 @@ func (s *queryState) runChunk(u, cs int, seed uint64, etaInc, bwInvDiv float64, 
 // sequential left-fold in a fixed order. Serial (p ≤ 1) execution runs the
 // exact same decomposition on one state, so results are bit-identical at
 // every parallelism level.
-func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts Options, stats *QueryStats, p int) error {
+func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts Options, stats *QueryStats, p int, ad adaptiveParams) error {
 	dr := opts.samplesPerRound()
 	fr := opts.rounds(idx.g.N())
 	nr := dr * fr
@@ -169,6 +174,9 @@ func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts O
 	etaInc := 1 / float64(nr)
 	bwInvDiv := 1 / (alpha * alpha * float64(dr))
 	cpr := chunksPerRound(dr)
+	if ad.enabled {
+		return idx.runWalkPhaseAdaptive(ctx, s, u, opts, stats, p, ad, dr, fr, cpr, etaInc, bwInvDiv)
+	}
 	nchunks := fr * cpr
 	if p > nchunks {
 		p = nchunks
@@ -251,45 +259,13 @@ func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts O
 
 	stats.Chunks += nchunks
 	stats.Parallelism = p
+	stats.RoundsExecuted, stats.RoundsBudget = fr, fr
 
 	// Canonical merge: rounds ascending, chunks ascending within a round —
 	// a sequential left-fold, so the grouping of floating-point additions is
 	// independent of how the chunks were scheduled.
 	for i := 0; i < fr; i++ {
-		base := i * cpr
-		if cpr == 1 {
-			// Single-chunk rounds adopt the compacted lists wholesale (folding
-			// into an empty accumulator would reproduce the same bits); the
-			// swap keeps both slices pooled.
-			cr := crs[base]
-			s.growRounds(i)
-			s.roundNodes[i], cr.nodes = cr.nodes, s.roundNodes[i][:0]
-			s.roundVals[i], cr.vals = cr.vals, s.roundVals[i][:0]
-		} else {
-			for k := 0; k < cpr; k++ {
-				cr := crs[base+k]
-				for t, v32 := range cr.nodes {
-					v := int(v32)
-					if s.roundAcc[v] == 0 {
-						s.roundTouched = append(s.roundTouched, v)
-					}
-					s.roundAcc[v] += cr.vals[t]
-				}
-			}
-			s.finishRound(i)
-		}
-		for k := 0; k < cpr; k++ {
-			cr := crs[base+k]
-			for t := range cr.etaLev {
-				s.addEtaPi(int(cr.etaLev[t]), int(cr.etaRank[t]), cr.etaVal[t])
-			}
-			stats.Walks += cr.walks
-			stats.HubHits += cr.hubHits
-			stats.NonHubHits += cr.nonHubHits
-			stats.BackwardWalkCost += cr.bwCost
-			idx.putChunk(cr)
-			crs[k+base] = nil
-		}
+		idx.mergeRound(s, crs[i*cpr:(i+1)*cpr], i, stats)
 	}
 
 	idx.chunksMerged.Add(int64(nchunks))
@@ -298,6 +274,46 @@ func (idx *Index) runWalkPhase(ctx context.Context, s *queryState, u int, opts O
 	// into the dense final-score accumulator.
 	s.medianScores(fr)
 	return nil
+}
+
+// mergeRound folds one round's chunk results into s in the canonical order —
+// chunks ascending, a sequential left-fold — compacts the round into its
+// sparse per-round lists, and retires the chunks to the pool. Both the fixed
+// and the adaptive walk phases merge every round through this exact sequence,
+// so an adaptive query that runs its full budget reproduces the fixed path's
+// bits.
+func (idx *Index) mergeRound(s *queryState, chunks []*chunkResult, i int, stats *QueryStats) {
+	if len(chunks) == 1 {
+		// Single-chunk rounds adopt the compacted lists wholesale (folding
+		// into an empty accumulator would reproduce the same bits); the
+		// swap keeps both slices pooled.
+		cr := chunks[0]
+		s.growRounds(i)
+		s.roundNodes[i], cr.nodes = cr.nodes, s.roundNodes[i][:0]
+		s.roundVals[i], cr.vals = cr.vals, s.roundVals[i][:0]
+	} else {
+		for _, cr := range chunks {
+			for t, v32 := range cr.nodes {
+				v := int(v32)
+				if s.roundAcc[v] == 0 {
+					s.roundTouched = append(s.roundTouched, v)
+				}
+				s.roundAcc[v] += cr.vals[t]
+			}
+		}
+		s.finishRound(i)
+	}
+	for k, cr := range chunks {
+		for t := range cr.etaLev {
+			s.addEtaPi(int(cr.etaLev[t]), int(cr.etaRank[t]), cr.etaVal[t])
+		}
+		stats.Walks += cr.walks
+		stats.HubHits += cr.hubHits
+		stats.NonHubHits += cr.nonHubHits
+		stats.BackwardWalkCost += cr.bwCost
+		idx.putChunk(cr)
+		chunks[k] = nil
+	}
 }
 
 // releaseChunks returns the chunk results a cancelled walk phase produced,

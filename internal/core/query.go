@@ -79,6 +79,16 @@ type QueryStats struct {
 	// wave this query ran in (1 = fully serial). Results are bit-identical
 	// at every value.
 	Parallelism int
+	// RoundsExecuted is the number of median-trick rounds actually merged
+	// into this result; RoundsBudget is the worst-case budget f_r the paper's
+	// analysis prescribes. They differ only when an adaptive query stopped
+	// early (EarlyStopped), in which case RoundsBudget−RoundsExecuted rounds
+	// of work were saved.
+	RoundsExecuted int
+	RoundsBudget   int
+	// EarlyStopped reports that adaptive variance-based termination cut the
+	// Monte Carlo phase short of the worst-case budget.
+	EarlyStopped bool
 	// Time is the wall-clock query time.
 	Time time.Duration
 }
@@ -262,7 +272,7 @@ func (idx *Index) QueryIntoOpts(ctx context.Context, u int, res *Result, q Query
 	s.beginQuery(u)
 
 	stats := QueryStats{Epsilon: opts.Epsilon}
-	if err := idx.runWalkPhase(ctx, s, u, opts, &stats, q.Parallelism); err != nil {
+	if err := idx.runWalkPhase(ctx, s, u, opts, &stats, q.Parallelism, q.adaptiveParams()); err != nil {
 		return err
 	}
 	idx.readIndexInto(s, opts, &stats)

@@ -70,6 +70,16 @@ type queryState struct {
 	// chunk pool, this slice only holds the pointers.
 	chunkRes []*chunkResult
 
+	// Adaptive early-termination accumulators (see adaptive.go): the scalar
+	// running sum / sum-of-squares / min / max over the merged rounds'
+	// hub-mass shares, plus the scratch list of matrix rows the
+	// median-concentration test sorted (and must therefore zero wholesale).
+	// The per-node side of the stop rule reads the compacted per-round
+	// lists above through the shared median workspace, so it keeps no dense
+	// state of its own.
+	hSum, hSumSq, hMin, hMax float64
+	sortedRows               []int32
+
 	// hubMark/unionRanks are the fused batch pass's union-building scratch:
 	// hubMark is a j0-sized membership byte per hub rank (all-zero outside a
 	// pass), unionRanks collects the union of the batch's touched ranks at

@@ -1,0 +1,124 @@
+package engine
+
+// Adaptive execution and range coalescing — the engine half of the adaptive
+// sampling feature (see internal/core/adaptive.go for the stop rule itself).
+// The engine resolves each request's tri-state AdaptiveMode to the concrete
+// execution bit core takes, keys the cache and single-flight table on it,
+// and lets adaptive requests be satisfied by *tighter* computations than
+// they asked for: a request at epsilon 0.4 gains nothing from recomputing
+// when an answer at 0.2 — strictly more accurate — is already cached or in
+// flight for the same source. Non-adaptive requests never range-match; they
+// keep the exact-identity semantics (and therefore the exact bits) of the
+// pre-adaptive engine.
+
+// AdaptiveMode selects how a Request's Monte Carlo sampling budget is
+// executed. The zero value defers to the engine's configured default, so
+// callers that never set the field keep whatever policy the operator chose.
+type AdaptiveMode uint8
+
+const (
+	// AdaptiveAuto (the zero value) resolves to the engine's configured
+	// default (Options.AdaptiveDefault; fixed-budget unless enabled).
+	AdaptiveAuto AdaptiveMode = iota
+	// AdaptiveOff pins the fixed worst-case budget: bit-identical results
+	// to the pre-adaptive engine, regardless of the engine default.
+	AdaptiveOff
+	// AdaptiveOn enables variance-based early termination: the computation
+	// stops at the first confirmed round boundary where an
+	// empirical-Bernstein bound certifies the epsilon target, never past
+	// the worst-case budget.
+	AdaptiveOn
+)
+
+// resolveAdaptive lowers a request's tri-state mode to the concrete
+// execution bit the core layer takes.
+func (e *Engine) resolveAdaptive(m AdaptiveMode) bool {
+	switch m {
+	case AdaptiveOn:
+		return true
+	case AdaptiveOff:
+		return false
+	default:
+		return e.adaptiveDefault
+	}
+}
+
+// genSource addresses every computation for one source on one index
+// generation — the bucket the range lookups scan.
+type genSource struct {
+	gen    uint64
+	source int
+}
+
+// satisfies reports whether a computation with identity k may answer an
+// adaptive request with identity key: same generation and source, and an
+// epsilon no looser than requested. The candidate's own mode does not
+// matter — a fixed-budget answer at epsilon e is at least as accurate as an
+// adaptive one, and an adaptive answer certifies e by construction. Only
+// adaptive requests use this relation; a non-adaptive request demands its
+// exact identity, preserving bit-parity with the fixed path.
+func satisfies(k, key cacheKey) bool {
+	return k.gen == key.gen && k.source == key.source && k.epsilon <= key.epsilon
+}
+
+// tighterKey is the deterministic preference order among satisfying
+// candidates: smallest epsilon first, fixed-budget before adaptive at equal
+// epsilon. A total order over distinct keys of one (generation, source)
+// bucket, so the pick never depends on map or scan order.
+func tighterKey(a, b cacheKey) bool {
+	if a.epsilon != b.epsilon {
+		return a.epsilon < b.epsilon
+	}
+	return !a.adaptive && b.adaptive
+}
+
+// addFlightKey and removeFlightKey maintain the per-(generation, source)
+// secondary index over the single-flight table; both require flightMu.
+func (e *Engine) addFlightKey(key cacheKey) {
+	gs := genSource{gen: key.gen, source: key.source}
+	e.flightIdx[gs] = append(e.flightIdx[gs], key)
+}
+
+func (e *Engine) removeFlightKey(key cacheKey) {
+	gs := genSource{gen: key.gen, source: key.source}
+	ks := e.flightIdx[gs]
+	for i, k := range ks {
+		if k == key {
+			ks[i] = ks[len(ks)-1]
+			ks = ks[:len(ks)-1]
+			break
+		}
+	}
+	if len(ks) == 0 {
+		delete(e.flightIdx, gs)
+	} else {
+		e.flightIdx[gs] = ks
+	}
+}
+
+// lookupFlight finds the in-flight computation a request may wait on: the
+// exact key, or — for adaptive requests — the tightest satisfying flight.
+// The returned key identifies the flight actually joined; callers compare
+// it against the request key to detect a tighter join. Requires flightMu.
+func (e *Engine) lookupFlight(key cacheKey, adaptive bool) (*flight, cacheKey, bool) {
+	if f, ok := e.flights[key]; ok {
+		return f, key, true
+	}
+	if !adaptive {
+		return nil, cacheKey{}, false
+	}
+	var best cacheKey
+	found := false
+	for _, k := range e.flightIdx[genSource{gen: key.gen, source: key.source}] {
+		if !satisfies(k, key) {
+			continue
+		}
+		if !found || tighterKey(k, best) {
+			best, found = k, true
+		}
+	}
+	if !found {
+		return nil, cacheKey{}, false
+	}
+	return e.flights[best], best, true
+}

@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRangeCoalescing measures the request-plane cost of answering a
+// loose-epsilon adaptive request from a cached tighter-epsilon computation:
+// one op is one Do that must range-match in the cache (no walk work at
+// all), so the number is the range-lookup plus response-assembly overhead.
+// Runs under the CI bench-trend gate via BENCH_ci.json.
+func BenchmarkRangeCoalescing(b *testing.B) {
+	idx := testIndex(b, 2000)
+	e, err := New(idx, Options{Workers: 2, CacheSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const u = 17
+	if _, err := e.Do(ctx, Request{Source: u, Epsilon: 0.3, Adaptive: AdaptiveOn}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(ctx, Request{Source: u, Epsilon: 0.6, Adaptive: AdaptiveOn})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.ServedFromTighter {
+			b.Fatal("request was not served from the tighter cached computation")
+		}
+	}
+}

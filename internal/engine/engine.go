@@ -104,6 +104,11 @@ type Options struct {
 	// Resource is the lifecycle hook of the initial index's backing; nil for
 	// heap-backed indexes.
 	Resource Resource
+	// AdaptiveDefault is the execution mode AdaptiveAuto requests resolve to:
+	// false (the default) keeps auto requests on the fixed worst-case budget,
+	// true lets them terminate early once converged. Explicit AdaptiveOn /
+	// AdaptiveOff requests are unaffected.
+	AdaptiveDefault bool
 }
 
 // Request is one unit of query work — the single parameter bundle that flows
@@ -133,6 +138,16 @@ type Request struct {
 	// bit-identical at every level, which is why the hint is excluded from
 	// cache keys and single-flight identity.
 	Parallelism int
+	// Adaptive selects the sampling execution mode: AdaptiveAuto (the zero
+	// value) follows the engine's configured default, AdaptiveOn enables
+	// variance-based early termination (the query stops as soon as an
+	// empirical-Bernstein bound certifies the epsilon target, never past the
+	// worst-case budget), AdaptiveOff pins the fixed budget — bit-identical
+	// to the pre-adaptive engine. The resolved mode is part of cache and
+	// single-flight identity; adaptive requests additionally accept any
+	// cached or in-flight answer computed at a tighter epsilon (range
+	// coalescing, reported via Response.ServedFromTighter).
+	Adaptive AdaptiveMode
 	// Class is the admission class: ClassInteractive (the zero value) jumps
 	// ahead of queued ClassBatch work whenever a worker frees up, and the two
 	// classes have separate bounded queues and service-time telemetry. The
@@ -163,8 +178,19 @@ type Response struct {
 	// resolve against it, not against whichever index is current at render
 	// time (a hot Swap can land mid-flight).
 	Graph *graph.Graph
-	// Epsilon is the effective additive error bound the query ran at.
+	// Epsilon is the effective additive error bound of the *request*
+	// (post-clamping): what the caller asked for and is guaranteed. The
+	// answering computation may have run tighter — see EpsilonServed.
 	Epsilon float64
+	// EpsilonServed is the epsilon the answering computation actually ran at:
+	// equal to Epsilon except when range coalescing satisfied this request
+	// from a tighter cached or in-flight computation, in which case
+	// EpsilonServed < Epsilon (a strictly better answer than requested).
+	EpsilonServed float64
+	// ServedFromTighter reports that range coalescing answered this request
+	// from a computation at a tighter epsilon (or a fixed-budget computation
+	// at the same epsilon) instead of one with the request's exact identity.
+	ServedFromTighter bool
 	// Clamped reports that the requested epsilon was below the index's build
 	// epsilon and was raised to it.
 	Clamped bool
@@ -207,17 +233,22 @@ type flight struct {
 // Engine is a concurrent query front-end over one PRSim index. It is safe for
 // use by multiple goroutines.
 type Engine struct {
-	cur      atomic.Pointer[slot]
-	gen      atomic.Uint64
-	workers  int
-	maxQueue int // -1 = unbounded
-	adm      *admitter
-	cache    *resultCache
+	cur             atomic.Pointer[slot]
+	gen             atomic.Uint64
+	workers         int
+	maxQueue        int // -1 = unbounded
+	adm             *admitter
+	cache           *resultCache
+	adaptiveDefault bool
 
 	// flights is the single-flight table: one entry per distinct (generation,
-	// source, effective epsilon) currently being computed.
-	flightMu sync.Mutex
-	flights  map[cacheKey]*flight
+	// source, effective epsilon, adaptive mode) currently being computed.
+	// flightIdx is its per-(generation, source) secondary index — the range
+	// lookup adaptive requests coalesce through; both are guarded by flightMu
+	// and maintained together.
+	flightMu  sync.Mutex
+	flights   map[cacheKey]*flight
+	flightIdx map[genSource][]cacheKey
 
 	queries     atomic.Int64
 	cacheHits   atomic.Int64
@@ -226,6 +257,17 @@ type Engine struct {
 	errors      atomic.Int64
 	swaps       atomic.Int64
 	cacheReuses atomic.Int64
+
+	// Adaptive-execution telemetry: rangeCoalesced counts requests satisfied
+	// by a tighter-than-requested cached or in-flight computation,
+	// earlyStops counts computations that terminated before the worst-case
+	// budget, and roundsExecuted/roundsBudget accumulate the per-computation
+	// Monte Carlo round counts (their ratio is the fleet-wide fraction of
+	// the worst-case sampling budget actually spent).
+	rangeCoalesced atomic.Int64
+	earlyStops     atomic.Int64
+	roundsExecuted atomic.Int64
+	roundsBudget   atomic.Int64
 
 	// classQueries / classShed split the request and shed counts by admission
 	// class (indexed by Class).
@@ -279,10 +321,12 @@ func New(idx *core.Index, opts Options) (*Engine, error) {
 		maxQueue = -1
 	}
 	e := &Engine{
-		workers:  workers,
-		maxQueue: maxQueue,
-		adm:      newAdmitter(workers, maxQueue),
-		flights:  make(map[cacheKey]*flight),
+		workers:         workers,
+		maxQueue:        maxQueue,
+		adm:             newAdmitter(workers, maxQueue),
+		flights:         make(map[cacheKey]*flight),
+		flightIdx:       make(map[genSource][]cacheKey),
+		adaptiveDefault: opts.AdaptiveDefault,
 	}
 	if opts.CacheSize > 0 {
 		e.cache = newResultCache(opts.CacheSize)
@@ -497,12 +541,27 @@ func (e *Engine) releaseExtras(n int) {
 }
 
 // noteQuery counts one completed solo computation toward the parallel-query
-// stat when it engaged more than one worker. (Chunk counters are maintained
-// by core on the index itself, where cancelled-and-discarded chunks are
-// visible; see Stats.)
+// stat when it engaged more than one worker, and folds its round counts into
+// the adaptive telemetry. (Chunk counters are maintained by core on the index
+// itself, where cancelled-and-discarded chunks are visible; see Stats.)
 func (e *Engine) noteQuery(st core.QueryStats) {
 	if st.Parallelism > 1 {
 		e.parallelQueries.Add(1)
+	}
+	e.noteRounds(st)
+}
+
+// noteRounds folds one completed computation's Monte Carlo round counts into
+// the adaptive telemetry. Zero-budget stats (a queryFn test seam result that
+// never ran a walk phase) are skipped.
+func (e *Engine) noteRounds(st core.QueryStats) {
+	if st.RoundsBudget == 0 {
+		return
+	}
+	e.roundsExecuted.Add(int64(st.RoundsExecuted))
+	e.roundsBudget.Add(int64(st.RoundsBudget))
+	if st.EarlyStopped {
+		e.earlyStops.Add(1)
 	}
 }
 
@@ -533,7 +592,7 @@ func (e *Engine) doSlot(ctx context.Context, s *slot, req Request) (*Response, e
 // runSlot is doSlot without the query counting — the fused batch path counts
 // its entries up front and uses runSlot for its rare recompute fallbacks.
 func (e *Engine) runSlot(ctx context.Context, s *slot, req Request) (*Response, error) {
-	q := core.QueryOptions{Epsilon: req.Epsilon}
+	q := core.QueryOptions{Epsilon: req.Epsilon, Adaptive: e.resolveAdaptive(req.Adaptive)}
 	if err := q.Validate(); err != nil {
 		e.errors.Add(1)
 		return nil, err
@@ -543,24 +602,34 @@ func (e *Engine) runSlot(ctx context.Context, s *slot, req Request) (*Response, 
 		return nil, err
 	}
 	eff, clamped := s.idx.EffectiveOptions(q)
-	resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped}
-	key := cacheKey{gen: s.gen, source: req.Source, epsilon: eff.Epsilon}
+	resp := &Response{Epsilon: eff.Epsilon, EpsilonServed: eff.Epsilon, Clamped: clamped}
+	key := cacheKey{gen: s.gen, source: req.Source, epsilon: eff.Epsilon, adaptive: q.Adaptive}
 
 	for {
 		if e.cache != nil && !req.NoCache {
-			if res, ok := e.cache.get(key); ok {
+			if res, served, ok := e.cache.lookup(key, q.Adaptive); ok {
 				e.cacheHits.Add(1)
 				resp.CacheHit = true
+				if served != key {
+					e.rangeCoalesced.Add(1)
+					resp.ServedFromTighter = true
+					resp.EpsilonServed = served.epsilon
+				}
 				return finishResponse(resp, res, req), nil
 			}
 		}
-		// Coalesce onto an identical in-flight computation when one exists;
-		// joiners wait on the leader without consuming worker or queue slots.
+		// Coalesce onto a satisfying in-flight computation when one exists —
+		// the identical key, or (for adaptive requests) the tightest
+		// computation at a smaller-or-equal epsilon; joiners wait on the
+		// leader without consuming worker or queue slots.
 		e.flightMu.Lock()
-		if f, ok := e.flights[key]; ok {
+		if f, fkey, ok := e.lookupFlight(key, q.Adaptive); ok {
 			f.joiners++
 			e.flightMu.Unlock()
 			e.coalesced.Add(1)
+			if fkey != key {
+				e.rangeCoalesced.Add(1)
+			}
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -577,10 +646,15 @@ func (e *Engine) runSlot(ctx context.Context, s *slot, req Request) (*Response, 
 				return nil, f.err
 			}
 			resp.Coalesced = true
+			if fkey != key {
+				resp.ServedFromTighter = true
+				resp.EpsilonServed = fkey.epsilon
+			}
 			return finishResponse(resp, f.res, req), nil
 		}
 		f := &flight{done: make(chan struct{})}
 		e.flights[key] = f
+		e.addFlightKey(key)
 		e.flightMu.Unlock()
 
 		res, pooled, err := e.lead(ctx, s, req, q, key, f)
@@ -656,6 +730,7 @@ func (e *Engine) lead(ctx context.Context, s *slot, req Request, q core.QueryOpt
 	}
 	e.flightMu.Lock()
 	delete(e.flights, key)
+	e.removeFlightKey(key)
 	joiners := f.joiners
 	e.flightMu.Unlock()
 	f.res, f.err = res, err
@@ -713,108 +788,159 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int) ([]*core.Result,
 }
 
 // DoBatch answers one request per source, in order; base supplies the shared
-// per-request options (its Source is ignored). The whole batch runs against
-// one index generation (a concurrent Swap affects only later batches) and
-// shares the engine's cache and single-flight table.
+// per-request options (its Source is ignored). It is a shim over DoBatchEach
+// with every entry carrying base's options; see DoBatchEach for the fused
+// execution and coalescing semantics.
+func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
+	// Validate the shared options up front so a bad base fails fast even when
+	// the source list is empty.
+	q := core.QueryOptions{Epsilon: base.Epsilon, Adaptive: e.resolveAdaptive(base.Adaptive)}
+	if err := q.Validate(); err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	reqs := make([]Request, len(sources))
+	for i, u := range sources {
+		reqs[i] = base
+		reqs[i].Source = u
+	}
+	return e.DoBatchEach(ctx, reqs)
+}
+
+// DoBatchEach answers one arbitrary Request per entry, in order — the
+// heterogeneous generalization of DoBatch: entries may carry different
+// epsilons, top-k selections, cache policies, and adaptive modes.
 //
-// The batch is fused: entries not answered by the cache or an external
-// in-flight computation run as ONE core computation that processes the
-// sources in bounded waves, streaming each index level once per wave — not
-// once per source — into per-source accumulators, with the walk phases
-// fanned out over the group's worker slots. The wave width (not the batch
-// length) bounds how many O(n) per-source states are live, so an
-// arbitrarily long batch cannot balloon memory. Duplicate sources in one
-// batch share the first occurrence's Result (byte-identical entries) and
-// report Coalesced, exactly like cross-caller coalescing. Results stay
-// bit-identical to issuing the same requests sequentially.
+// The batch is fused: entries not answered by the cache or an in-flight
+// computation run as ONE core computation that processes the sources in
+// bounded waves, streaming each index level once per wave — not once per
+// entry — into per-entry accumulators gated by each entry's own epsilon,
+// with the walk phases (each stopping under its own entry's adaptive
+// policy) fanned out over the group's worker slots. The wave width (not the
+// batch length) bounds how many O(n) per-entry states are live, so an
+// arbitrarily long batch cannot balloon memory. Entries duplicating an
+// earlier entry's exact identity share the first occurrence's Result
+// (byte-identical entries) and report Coalesced, exactly like cross-caller
+// coalescing; an adaptive entry may also be satisfied by a tighter cached
+// computation or join a tighter in-flight one — including a tighter entry
+// earlier in the same batch, through the flight table — reported via
+// ServedFromTighter. Results stay bit-identical to issuing the same
+// requests sequentially.
+//
+// The whole batch runs against one index generation (a concurrent Swap
+// affects only later batches), shares the engine's cache and single-flight
+// table, and admits once: as ClassBatch when every entry is ClassBatch,
+// ClassInteractive otherwise.
 //
 // On the first error the remaining queries are cancelled and the error is
 // returned; a real query failure always wins over the context-cancellation
 // errors it triggers.
-func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
+func (e *Engine) DoBatchEach(ctx context.Context, reqs []Request) ([]*Response, error) {
 	s, err := e.acquire()
 	if err != nil {
 		return nil, err
 	}
 	defer s.release()
 
-	// Validate the options and every source up front so a bad request fails
-	// fast instead of surfacing mid-batch.
-	q := core.QueryOptions{Epsilon: base.Epsilon}
-	if err := q.Validate(); err != nil {
-		e.errors.Add(1)
-		return nil, err
+	results := make([]*Response, len(reqs))
+	if len(reqs) == 0 {
+		return results, nil
 	}
+	// Validate every entry up front so a bad request fails fast instead of
+	// surfacing mid-batch.
 	g := s.idx.Graph()
-	for _, u := range sources {
-		if err := g.CheckNode(u); err != nil {
+	qs := make([]core.QueryOptions, len(reqs))
+	effEps := make([]float64, len(reqs))
+	clamped := make([]bool, len(reqs))
+	for i := range reqs {
+		qs[i] = core.QueryOptions{Epsilon: reqs[i].Epsilon, Adaptive: e.resolveAdaptive(reqs[i].Adaptive)}
+		if err := qs[i].Validate(); err != nil {
 			e.errors.Add(1)
 			return nil, err
 		}
-	}
-	results := make([]*Response, len(sources))
-	if len(sources) == 0 {
-		return results, nil
-	}
-	if !base.Class.valid() {
-		base.Class = ClassInteractive
+		if err := g.CheckNode(reqs[i].Source); err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+		eff, cl := s.idx.EffectiveOptions(qs[i])
+		effEps[i], clamped[i] = eff.Epsilon, cl
 	}
 	if e.queryFn != nil {
 		// The test seam overrides the per-source computation, which the fused
 		// core call cannot honor; fan the batch out over doSlot instead.
-		return e.doBatchFanout(ctx, s, base, sources, results)
+		return e.doBatchFanout(ctx, s, reqs, results)
 	}
-	e.queries.Add(int64(len(sources)))
-	e.classQueries[base.Class].Add(int64(len(sources)))
+	class := ClassBatch
+	for i := range reqs {
+		c := reqs[i].Class
+		if !c.valid() {
+			c = ClassInteractive
+		}
+		e.classQueries[c].Add(1)
+		if c != ClassBatch {
+			class = ClassInteractive
+		}
+	}
+	e.queries.Add(int64(len(reqs)))
 
-	eff, clamped := s.idx.EffectiveOptions(q)
-	cached := e.cache != nil && !base.NoCache
-	reqFor := func(u int) Request {
-		r := base
-		r.Source = u
-		return r
+	newResp := func(i int) *Response {
+		return &Response{Epsilon: effEps[i], EpsilonServed: effEps[i], Clamped: clamped[i]}
 	}
 
-	// Classify each entry in input order: answered from the cache, duplicate
-	// of an earlier in-batch entry, joiner of an external in-flight
-	// computation, or leader in the batch's fused computation.
+	// Classify each entry in input order: answered from the cache (exactly or
+	// through range coalescing), duplicate of an earlier in-batch entry,
+	// joiner of a satisfying in-flight computation, or leader in the batch's
+	// fused computation.
 	type extJoin struct {
-		i int
-		f *flight
+		i    int
+		f    *flight
+		fkey cacheKey
 	}
 	var (
-		firstIdx = make(map[cacheKey]int, len(sources))
-		dupOf    = make([]int, len(sources))
+		firstIdx = make(map[cacheKey]int, len(reqs))
+		dupOf    = make([]int, len(reqs))
+		keys     = make([]cacheKey, len(reqs))
 		joins    []extJoin
 		leaders  []int
-		flights  = make([]*flight, len(sources))
+		flights  = make([]*flight, len(reqs))
 	)
-	for i, u := range sources {
+	for i := range reqs {
 		dupOf[i] = -1
-		key := cacheKey{gen: s.gen, source: u, epsilon: eff.Epsilon}
+		key := cacheKey{gen: s.gen, source: reqs[i].Source, epsilon: effEps[i], adaptive: qs[i].Adaptive}
+		keys[i] = key
 		if j, ok := firstIdx[key]; ok {
 			dupOf[i] = j
 			continue
 		}
 		firstIdx[key] = i
-		if cached {
-			if res, ok := e.cache.get(key); ok {
+		if e.cache != nil && !reqs[i].NoCache {
+			if res, served, ok := e.cache.lookup(key, qs[i].Adaptive); ok {
 				e.cacheHits.Add(1)
-				resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped, CacheHit: true}
-				results[i] = finishResponse(resp, res, reqFor(u))
+				resp := newResp(i)
+				resp.CacheHit = true
+				if served != key {
+					e.rangeCoalesced.Add(1)
+					resp.ServedFromTighter = true
+					resp.EpsilonServed = served.epsilon
+				}
+				results[i] = finishResponse(resp, res, reqs[i])
 				continue
 			}
 		}
 		e.flightMu.Lock()
-		if f, ok := e.flights[key]; ok {
+		if f, fkey, ok := e.lookupFlight(key, qs[i].Adaptive); ok {
 			f.joiners++
 			e.flightMu.Unlock()
 			e.coalesced.Add(1)
-			joins = append(joins, extJoin{i: i, f: f})
+			if fkey != key {
+				e.rangeCoalesced.Add(1)
+			}
+			joins = append(joins, extJoin{i: i, f: f, fkey: fkey})
 			continue
 		}
 		f := &flight{done: make(chan struct{})}
 		e.flights[key] = f
+		e.addFlightKey(key)
 		e.flightMu.Unlock()
 		flights[i] = f
 		leaders = append(leaders, i)
@@ -840,44 +966,61 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 	// call, one shared index-read pass.
 	if len(leaders) > 0 {
 		leadSources := make([]int, len(leaders))
+		leadQs := make([]core.QueryOptions, len(leaders))
 		coreRes := make([]*core.Result, len(leaders))
 		for t, i := range leaders {
-			leadSources[t] = sources[i]
+			leadSources[t] = reqs[i].Source
+			leadQs[t] = qs[i]
 			coreRes[t] = &core.Result{}
+		}
+		// The group's parallelism hint: auto (0) from any leader opens the
+		// whole pool, otherwise the largest explicit hint governs.
+		hint := 0
+		for _, i := range leaders {
+			if p := reqs[i].Parallelism; p <= 0 {
+				hint = 0
+				break
+			} else if p > hint {
+				hint = p
+			}
 		}
 		var svcElapsed time.Duration
 		err := func() error {
-			if err := e.admit(ctx, base.Class); err != nil {
+			if err := e.admit(ctx, class); err != nil {
 				return err
 			}
 			defer e.adm.release()
 			start := time.Now()
 			defer func() { svcElapsed = time.Since(start) }()
-			qq := q
 			// The fused computation fans out across sources (each source's
 			// walk phase runs serially on its worker), so the useful fan-out
 			// is the leader count — except for a single leader, which
 			// degenerates to the intra-query chunked path.
 			useful := len(leadSources)
 			if useful == 1 {
-				useful = s.idx.QueryChunks(qq)
+				useful = s.idx.QueryChunks(leadQs[0])
 			}
-			p, extras := e.reserveParallelism(base.Parallelism, useful)
+			p, extras := e.reserveParallelism(hint, useful)
 			defer e.releaseExtras(extras)
-			qq.Parallelism = p
-			return s.idx.QueryBatchIntoOpts(ctx, leadSources, coreRes, qq)
+			for t := range leadQs {
+				leadQs[t].Parallelism = p
+			}
+			return s.idx.QueryBatchEachIntoOpts(ctx, leadSources, coreRes, leadQs)
 		}()
 		if err == nil {
 			// Feed the per-class service-time telemetry with the per-source
 			// cost: a fused batch answers len(leadSources) sources in one
 			// admission slot, so each source's share is the fair sample.
-			e.adm.observe(base.Class, svcElapsed/time.Duration(len(leadSources)))
+			e.adm.observe(class, svcElapsed/time.Duration(len(leadSources)))
 		}
 		// One fused computation is one unit of engaged parallelism, however
 		// many sources it answered: count it once when any wave fanned out.
+		// Round telemetry is per entry — each leader walked (and possibly
+		// stopped) on its own.
 		if err == nil {
 			maxPar := 0
 			for _, r := range coreRes {
+				e.noteRounds(r.Stats)
 				if r.Stats.Parallelism > maxPar {
 					maxPar = r.Stats.Parallelism
 				}
@@ -889,23 +1032,23 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 		// Publish to the cache before retiring each flight so no identical
 		// request can slip between the two and recompute.
 		for t, i := range leaders {
-			key := cacheKey{gen: s.gen, source: sources[i], epsilon: eff.Epsilon}
+			key := keys[i]
 			f := flights[i]
 			var res *core.Result
 			if err == nil {
 				res = coreRes[t]
-				if cached {
+				if e.cache != nil && !reqs[i].NoCache {
 					e.cache.put(key, res)
 				}
 			}
 			e.flightMu.Lock()
 			delete(e.flights, key)
+			e.removeFlightKey(key)
 			e.flightMu.Unlock()
 			f.res, f.err = res, err
 			close(f.done)
 			if err == nil {
-				resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped}
-				results[i] = finishResponse(resp, res, reqFor(sources[i]))
+				results[i] = finishResponse(newResp(i), res, reqs[i])
 			}
 		}
 		if err != nil {
@@ -914,12 +1057,12 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 		}
 	}
 
-	// Wait out the external computations this batch coalesced onto.
+	// Wait out the computations this batch's entries coalesced onto.
 	if queryErr == nil && ctxErr == nil {
 		for _, ej := range joins {
-			resp, err := e.joinFlight(ctx, s, reqFor(sources[ej.i]), ej.f)
+			resp, err := e.joinFlight(ctx, s, reqs[ej.i], ej.f, ej.fkey != keys[ej.i], ej.fkey.epsilon)
 			if err != nil {
-				note(fmt.Errorf("engine: query from source %d: %w", sources[ej.i], err))
+				note(fmt.Errorf("engine: query from source %d: %w", reqs[ej.i].Source, err))
 				break
 			}
 			results[ej.i] = resp
@@ -939,15 +1082,15 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 				// Rare: the duplicated entry answered without a shareable
 				// result (a foreign leader gave up and the retry pooled its
 				// top-k). Recompute through the normal path.
-				resp, err := e.runSlot(ctx, s, reqFor(sources[i]))
+				resp, err := e.runSlot(ctx, s, reqs[i])
 				if err != nil {
-					note(fmt.Errorf("engine: query from source %d: %w", sources[i], err))
+					note(fmt.Errorf("engine: query from source %d: %w", reqs[i].Source, err))
 					break
 				}
 				results[i] = resp
 				continue
 			}
-			resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped}
+			resp := newResp(i)
 			if lead.CacheHit {
 				e.cacheHits.Add(1)
 				resp.CacheHit = true
@@ -955,7 +1098,12 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 				e.coalesced.Add(1)
 				resp.Coalesced = true
 			}
-			results[i] = finishResponse(resp, lead.Result, reqFor(sources[i]))
+			if lead.ServedFromTighter {
+				e.rangeCoalesced.Add(1)
+				resp.ServedFromTighter = true
+				resp.EpsilonServed = lead.EpsilonServed
+			}
+			results[i] = finishResponse(resp, lead.Result, reqs[i])
 		}
 	}
 
@@ -968,10 +1116,12 @@ func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*R
 	return results, nil
 }
 
-// joinFlight waits out an external in-flight computation a batch entry
-// coalesced onto, retrying through the normal request path when the foreign
-// leader's caller gave up before publishing (mirroring doSlot's retry loop).
-func (e *Engine) joinFlight(ctx context.Context, s *slot, req Request, f *flight) (*Response, error) {
+// joinFlight waits out an in-flight computation a batch entry coalesced
+// onto, retrying through the normal request path when the foreign leader's
+// caller gave up before publishing (mirroring doSlot's retry loop). tighter
+// and servedEps carry the range-coalescing provenance when the joined flight
+// was a tighter computation rather than the entry's exact identity.
+func (e *Engine) joinFlight(ctx context.Context, s *slot, req Request, f *flight, tighter bool, servedEps float64) (*Response, error) {
 	select {
 	case <-f.done:
 	case <-ctx.Done():
@@ -986,18 +1136,22 @@ func (e *Engine) joinFlight(ctx context.Context, s *slot, req Request, f *flight
 		return nil, f.err
 	}
 	eff, clamped := s.idx.EffectiveOptions(core.QueryOptions{Epsilon: req.Epsilon})
-	resp := &Response{Epsilon: eff.Epsilon, Clamped: clamped, Coalesced: true}
+	resp := &Response{Epsilon: eff.Epsilon, EpsilonServed: eff.Epsilon, Clamped: clamped, Coalesced: true}
+	if tighter {
+		resp.ServedFromTighter = true
+		resp.EpsilonServed = servedEps
+	}
 	return finishResponse(resp, f.res, req), nil
 }
 
-// doBatchFanout is the pre-fusion batch path: one doSlot per source over up
+// doBatchFanout is the pre-fusion batch path: one doSlot per entry over up
 // to Workers goroutines. It remains behind the queryFn test seam, which
 // forces per-source interleavings the fused single computation cannot
 // reproduce.
-func (e *Engine) doBatchFanout(ctx context.Context, s *slot, base Request, sources []int, results []*Response) ([]*Response, error) {
+func (e *Engine) doBatchFanout(ctx context.Context, s *slot, reqs []Request, results []*Response) ([]*Response, error) {
 	workers := e.workers
-	if workers > len(sources) {
-		workers = len(sources)
+	if workers > len(reqs) {
+		workers = len(reqs)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -1034,14 +1188,12 @@ func (e *Engine) doBatchFanout(ctx context.Context, s *slot, base Request, sourc
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= len(sources) {
+				if i >= len(reqs) {
 					return
 				}
-				req := base
-				req.Source = sources[i]
-				resp, err := e.doSlot(ctx, s, req)
+				resp, err := e.doSlot(ctx, s, reqs[i])
 				if err != nil {
-					record(fmt.Errorf("engine: query from source %d: %w", sources[i], err))
+					record(fmt.Errorf("engine: query from source %d: %w", reqs[i].Source, err))
 					cancel()
 					return
 				}
@@ -1131,6 +1283,18 @@ type Stats struct {
 	// Coalesced counts requests that shared an identical in-flight
 	// computation instead of running their own.
 	Coalesced int64
+	// RangeCoalesced counts adaptive requests satisfied by a cached or
+	// in-flight computation at a *tighter* epsilon than requested (range
+	// coalescing) — a subset of CacheHits + Coalesced.
+	RangeCoalesced int64
+	// EarlyStops counts computations that terminated before the worst-case
+	// sampling budget under adaptive execution; RoundsExecuted and
+	// RoundsBudget accumulate the Monte Carlo round counts of every
+	// completed computation, so executed/budget is the fleet-wide fraction
+	// of the worst-case sampling work actually performed.
+	EarlyStops     int64
+	RoundsExecuted int64
+	RoundsBudget   int64
 	// Shed counts requests rejected with ErrOverloaded by admission control,
 	// summed over both classes.
 	Shed int64
@@ -1193,6 +1357,12 @@ func (e *Engine) Stats() Stats {
 		Queries:     e.queries.Load(),
 		CacheHits:   e.cacheHits.Load(),
 		Coalesced:   e.coalesced.Load(),
+
+		RangeCoalesced: e.rangeCoalesced.Load(),
+		EarlyStops:     e.earlyStops.Load(),
+		RoundsExecuted: e.roundsExecuted.Load(),
+		RoundsBudget:   e.roundsBudget.Load(),
+
 		Shed:        e.classShed[ClassInteractive].Load() + e.classShed[ClassBatch].Load(),
 		QueueDepth:  int64(depths[ClassInteractive] + depths[ClassBatch]),
 		PairQueries: e.pairs.Load(),
@@ -1223,22 +1393,30 @@ func (e *Engine) Stats() Stats {
 // cacheKey identifies one cached single-source result. Epsilon is the
 // *effective* epsilon (post-clamping), so requests at different accuracy
 // tiers never collide and redundant tiers (requested below build epsilon)
-// share the build-epsilon entry; the generation guarantees results computed
-// against a swapped-out index can never serve the new one, even if an
-// in-flight query inserts after the swap's purge. The single-flight table
-// shares this key, which is what makes "identical request" precise.
+// share the build-epsilon entry; adaptive records the resolved execution
+// mode, because adaptive and fixed-budget computations at the same epsilon
+// produce different (both epsilon-faithful) bits; the generation guarantees
+// results computed against a swapped-out index can never serve the new one,
+// even if an in-flight query inserts after the swap's purge. The
+// single-flight table shares this key, which is what makes "identical
+// request" precise. Adaptive requests additionally accept any key that
+// satisfies theirs (see satisfies) through the range lookups.
 type cacheKey struct {
-	gen     uint64
-	source  int
-	epsilon float64
+	gen      uint64
+	source   int
+	epsilon  float64
+	adaptive bool
 }
 
-// resultCache is a small mutex-guarded LRU of query results.
+// resultCache is a small mutex-guarded LRU of query results. bySource
+// indexes the resident keys by (generation, source) for the range lookups
+// adaptive requests use; it is maintained by every mutation.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used; element values are *cacheEntry
-	items map[cacheKey]*list.Element
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used; element values are *cacheEntry
+	items    map[cacheKey]*list.Element
+	bySource map[genSource][]cacheKey
 }
 
 type cacheEntry struct {
@@ -1248,9 +1426,10 @@ type cacheEntry struct {
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[cacheKey]*list.Element, capacity),
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+		bySource: make(map[genSource][]cacheKey),
 	}
 }
 
@@ -1265,6 +1444,40 @@ func (c *resultCache) get(key cacheKey) (*core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// lookup finds a cached result that answers key: the exact entry, or — for
+// adaptive requests — the tightest satisfying entry at a smaller-or-equal
+// epsilon (range coalescing). The returned key is the identity of the entry
+// actually served; callers compare it against the request key to detect a
+// tighter serve. Non-adaptive requests only ever match exactly, preserving
+// bit-parity with the fixed path.
+func (c *resultCache) lookup(key cacheKey, adaptive bool) (*core.Result, cacheKey, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).res, key, true
+	}
+	if !adaptive {
+		return nil, cacheKey{}, false
+	}
+	var best cacheKey
+	found := false
+	for _, k := range c.bySource[genSource{gen: key.gen, source: key.source}] {
+		if !satisfies(k, key) {
+			continue
+		}
+		if !found || tighterKey(k, best) {
+			best, found = k, true
+		}
+	}
+	if !found {
+		return nil, cacheKey{}, false
+	}
+	el := c.items[best]
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, best, true
+}
+
 func (c *resultCache) put(key cacheKey, res *core.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -1274,10 +1487,47 @@ func (c *resultCache) put(key cacheKey, res *core.Result) {
 		return
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.addKey(key)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		old := oldest.Value.(*cacheEntry).key
+		delete(c.items, old)
+		c.dropKey(old)
+	}
+}
+
+// addKey / dropKey maintain the (generation, source) range index; both
+// require c.mu.
+func (c *resultCache) addKey(key cacheKey) {
+	gs := genSource{gen: key.gen, source: key.source}
+	c.bySource[gs] = append(c.bySource[gs], key)
+}
+
+func (c *resultCache) dropKey(key cacheKey) {
+	gs := genSource{gen: key.gen, source: key.source}
+	ks := c.bySource[gs]
+	for i, k := range ks {
+		if k == key {
+			ks[i] = ks[len(ks)-1]
+			ks = ks[:len(ks)-1]
+			break
+		}
+	}
+	if len(ks) == 0 {
+		delete(c.bySource, gs)
+	} else {
+		c.bySource[gs] = ks
+	}
+}
+
+// rebuildIndex reconstructs the range index from the entry map after a
+// swap-time rekey rewrote the resident generations (rare; O(entries)).
+// Requires c.mu.
+func (c *resultCache) rebuildIndex() {
+	clear(c.bySource)
+	for key := range c.items {
+		c.addKey(key)
 	}
 }
 
@@ -1287,6 +1537,7 @@ func (c *resultCache) purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.items)
+	clear(c.bySource)
 }
 
 // rekey migrates every entry of generation oldGen to newGen, rebinding the
@@ -1315,6 +1566,7 @@ func (c *resultCache) rekey(oldGen, newGen uint64, g *graph.Graph) {
 		ent.res = ent.res.Rebound(g)
 		c.items[ent.key] = el
 	}
+	c.rebuildIndex()
 }
 
 // rekeyFiltered is rekey with a retention predicate: entries of generation
@@ -1343,6 +1595,7 @@ func (c *resultCache) rekeyFiltered(oldGen, newGen uint64, g *graph.Graph, keep 
 		c.items[ent.key] = el
 		kept++
 	}
+	c.rebuildIndex()
 	return kept
 }
 

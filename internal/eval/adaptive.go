@@ -1,0 +1,280 @@
+package eval
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"prsim/internal/core"
+	"prsim/internal/gen"
+)
+
+// AdaptiveResult reports the adaptive-sampling experiment: the same
+// single-source workload executed with the fixed worst-case Monte Carlo
+// budget and with variance-based early termination, at per-request epsilon
+// multiples of the build epsilon. Latency is reported as median and p99 (an
+// adaptive stop helps the whole distribution, not just the mean), sampling
+// savings as a rounds-saved histogram, and accuracy as the measured maximum
+// absolute error of both modes against a pooled ground-truth oracle — the
+// evidence that early stopping buys latency without giving back accuracy.
+type AdaptiveResult struct {
+	// Nodes/Edges describe the benchmark graph; Queries is the number of
+	// measured queries per tier and mode (after one warm-up each).
+	Nodes   int
+	Edges   int
+	Queries int
+	// Epsilon is the build epsilon; SampleScale the Monte Carlo scale.
+	Epsilon     float64
+	SampleScale float64
+	// RoundsBudget is the worst-case round budget f_r = ceil(3·ln(n/δ)) every
+	// query of this graph is allowed (identical across tiers).
+	RoundsBudget int
+	// Oracle names the ground-truth source: "exact" (power method) on small
+	// graphs, "montecarlo" (high-precision sampling) on large ones.
+	Oracle string
+	// ErrorQueries is how many sources the accuracy measurement pooled
+	// (ground truth is far more expensive than the queries themselves).
+	ErrorQueries int
+	// Tiers holds one row per requested epsilon multiple.
+	Tiers []AdaptiveTier
+}
+
+// AdaptiveTier compares fixed-budget and adaptive execution at one
+// per-request epsilon.
+type AdaptiveTier struct {
+	// Multiple is the requested epsilon as a multiple of the build epsilon;
+	// Epsilon is the effective value.
+	Multiple float64
+	Epsilon  float64
+	// FixedMedianNs/FixedP99Ns and AdaptiveMedianNs/AdaptiveP99Ns are
+	// latency percentiles over the measured queries of each mode.
+	FixedMedianNs    float64
+	FixedP99Ns       float64
+	AdaptiveMedianNs float64
+	AdaptiveP99Ns    float64
+	// Speedup is FixedMedianNs / AdaptiveMedianNs.
+	Speedup float64
+	// RoundsExecuted is the adaptive mode's mean executed rounds (the fixed
+	// mode always executes the full budget); EarlyStopRate is the fraction
+	// of adaptive queries that stopped before the budget.
+	RoundsExecuted float64
+	EarlyStopRate  float64
+	// RoundsSavedHist buckets the adaptive queries by the fraction of the
+	// round budget they saved: [0,20%), [20,40%), [40,60%), [60,80%),
+	// [80,100%].
+	RoundsSavedHist [5]int
+	// FixedMaxError and AdaptiveMaxError are the maximum absolute errors
+	// against the oracle over the pooled evaluation nodes (both inflated
+	// identically by the oracle's own precision when it is sampled).
+	FixedMaxError    float64
+	AdaptiveMaxError float64
+}
+
+// adaptiveErrorQueries bounds the sources the accuracy pass evaluates, and
+// adaptiveErrorTopK the per-answer candidate pool it scores.
+const (
+	adaptiveErrorQueries = 6
+	adaptiveErrorTopK    = 25
+)
+
+// RunAdaptive builds the standard power-law benchmark graph (150k nodes in
+// full mode, 30k in quick mode, average degree 10, γ = 2.5), indexes it at
+// build epsilon 0.2, and measures the same source set per tier in both
+// sampling modes through the request plane. Fixed and adaptive runs share
+// the index, the scratch pools, and the query seeds, so the only variable is
+// the stop rule.
+func RunAdaptive(cfg Config) (*AdaptiveResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 150_000
+	if cfg.Quick {
+		n = 30_000
+	}
+	g, err := gen.PowerLaw(gen.PowerLawOptions{
+		N: n, AvgDegree: 10, Gamma: 2.5, Directed: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		C: cfg.Decay,
+		// Matches the querypath experiment: 0.2 keeps the 4x tier (0.8)
+		// inside the valid (0,1) epsilon range.
+		Epsilon:     0.2,
+		NumHubs:     -1,
+		SampleScale: cfg.SampleScale,
+		Seed:        cfg.Seed,
+	}
+	idx, err := core.BuildIndex(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &AdaptiveResult{
+		Nodes:       g.N(),
+		Edges:       g.M(),
+		Queries:     cfg.Queries,
+		Epsilon:     opts.Epsilon,
+		SampleScale: cfg.SampleScale,
+	}
+
+	sources := make([]int, cfg.Queries)
+	for i := range sources {
+		sources[i] = (i * 131) % g.N()
+	}
+	errQueries := adaptiveErrorQueries
+	if errQueries > len(sources) {
+		errQueries = len(sources)
+	}
+	res.ErrorQueries = errQueries
+
+	gt, err := NewGroundTruth(g, cfg.Decay, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if !gt.Exact() {
+		// The pooled oracle only needs to resolve error differences near the
+		// build epsilon; full reference precision (0.005) would dominate the
+		// experiment's runtime at benchmark scale.
+		gt.Eps, gt.Delta = 0.02, 0.01
+	}
+	res.Oracle = "montecarlo"
+	if gt.Exact() {
+		res.Oracle = "exact"
+	}
+
+	var r core.Result
+	ctx := context.Background()
+	for _, mult := range []float64{1, 2, 4} {
+		tier := AdaptiveTier{Multiple: mult}
+		fixedQ := core.QueryOptions{}
+		if mult != 1 {
+			fixedQ.Epsilon = mult * opts.Epsilon
+		}
+		adaptQ := fixedQ
+		adaptQ.Adaptive = true
+
+		// Fixed-budget pass.
+		fixedNs, err := measureTier(ctx, idx, sources, &r, fixedQ, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Adaptive pass over the same sources and query seeds.
+		adaptNs, err := measureTier(ctx, idx, sources, &r, adaptQ, &tier)
+		if err != nil {
+			return nil, err
+		}
+		tier.Epsilon = r.Stats.Epsilon
+		res.RoundsBudget = r.Stats.RoundsBudget
+		tier.FixedMedianNs, tier.FixedP99Ns = percentiles(fixedNs)
+		tier.AdaptiveMedianNs, tier.AdaptiveP99Ns = percentiles(adaptNs)
+		if tier.AdaptiveMedianNs > 0 {
+			tier.Speedup = tier.FixedMedianNs / tier.AdaptiveMedianNs
+		}
+
+		// Accuracy: pooled max absolute error of both modes against the
+		// oracle, over the union of each answer's top candidates.
+		for i := 0; i < errQueries; i++ {
+			u := sources[i]
+			var fres, ares core.Result
+			if err := idx.QueryIntoOpts(ctx, u, &fres, fixedQ); err != nil {
+				return nil, err
+			}
+			if err := idx.QueryIntoOpts(ctx, u, &ares, adaptQ); err != nil {
+				return nil, err
+			}
+			targets := poolTargets(u, &fres, &ares)
+			truth, err := gt.Values(u, targets)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range targets {
+				if e := abs(fres.Score(v) - truth[v]); e > tier.FixedMaxError {
+					tier.FixedMaxError = e
+				}
+				if e := abs(ares.Score(v) - truth[v]); e > tier.AdaptiveMaxError {
+					tier.AdaptiveMaxError = e
+				}
+			}
+		}
+		res.Tiers = append(res.Tiers, tier)
+	}
+	return res, nil
+}
+
+// measureTier runs one timed pass over the sources (after one warm-up
+// query), returning per-query latencies in nanoseconds. When tier is
+// non-nil the pass also folds the adaptive round telemetry — mean executed
+// rounds, early-stop rate, and the rounds-saved histogram — into it.
+func measureTier(ctx context.Context, idx *core.Index, sources []int, r *core.Result, q core.QueryOptions, tier *AdaptiveTier) ([]float64, error) {
+	if err := idx.QueryIntoOpts(ctx, sources[0], r, q); err != nil {
+		return nil, err
+	}
+	ns := make([]float64, 0, len(sources))
+	var rounds, stops int
+	for _, u := range sources {
+		start := time.Now()
+		if err := idx.QueryIntoOpts(ctx, u, r, q); err != nil {
+			return nil, err
+		}
+		ns = append(ns, float64(time.Since(start).Nanoseconds()))
+		if tier != nil {
+			rounds += r.Stats.RoundsExecuted
+			if r.Stats.EarlyStopped {
+				stops++
+			}
+			saved := float64(r.Stats.RoundsBudget-r.Stats.RoundsExecuted) / float64(r.Stats.RoundsBudget)
+			b := int(saved * 5)
+			if b > 4 {
+				b = 4
+			}
+			tier.RoundsSavedHist[b]++
+		}
+	}
+	if tier != nil {
+		tier.RoundsExecuted = float64(rounds) / float64(len(sources))
+		tier.EarlyStopRate = float64(stops) / float64(len(sources))
+	}
+	return ns, nil
+}
+
+// percentiles returns the median and p99 of the samples (ns).
+func percentiles(ns []float64) (median, p99 float64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), ns...)
+	sort.Float64s(s)
+	median = s[len(s)/2]
+	i := (99*len(s) + 99) / 100
+	if i > len(s) {
+		i = len(s)
+	}
+	p99 = s[i-1]
+	return median, p99
+}
+
+// poolTargets unions the top candidates of both answers (source excluded —
+// its self-similarity is exactly 1 in every estimator).
+func poolTargets(u int, results ...*core.Result) []int {
+	seen := map[int]bool{}
+	for _, r := range results {
+		for _, s := range r.TopK(adaptiveErrorTopK) {
+			seen[s.Node] = true
+		}
+	}
+	delete(seen, u)
+	targets := make([]int, 0, len(seen))
+	for v := range seen {
+		targets = append(targets, v)
+	}
+	sort.Ints(targets)
+	return targets
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -817,10 +817,12 @@ type wireResult struct {
 
 type wireSingle struct {
 	wireResult
-	Epsilon   float64 `json:"epsilon"`
-	Clamped   bool    `json:"epsilon_clamped"`
-	Cached    bool    `json:"cached"`
-	Coalesced bool    `json:"coalesced"`
+	Epsilon           float64 `json:"epsilon"`
+	EpsilonEffective  float64 `json:"epsilon_effective"`
+	Clamped           bool    `json:"epsilon_clamped"`
+	Cached            bool    `json:"cached"`
+	Coalesced         bool    `json:"coalesced"`
+	ServedFromTighter bool    `json:"served_from_tighter"`
 }
 
 type wireBatch struct {
@@ -854,6 +856,14 @@ func (rs *RemoteShard) buildQuery(ctx context.Context, base Request, sources []i
 		if base.Class == engine.ClassBatch {
 			body["class"] = "batch"
 		}
+		switch base.Adaptive {
+		case engine.AdaptiveOn:
+			body["adaptive"] = "on"
+		case engine.AdaptiveOff:
+			body["adaptive"] = "off"
+			// Auto is the wire default: omitted, so the shard host's own
+			// configured default applies.
+		}
 		if dl, ok := ctx.Deadline(); ok {
 			if ms := time.Until(dl).Milliseconds(); ms > 0 {
 				body["timeout_ms"] = ms
@@ -875,18 +885,25 @@ func (rs *RemoteShard) buildQuery(ctx context.Context, base Request, sources []i
 // toResponse lifts one wire result into an engine response. The graph stays
 // nil — labels resolve on the shard hosts, and local callers fall back to
 // numeric labels.
-func toResponse(w wireResult, epsilon float64, clamped, cached, coalesced bool, k int) *engine.Response {
+func toResponse(w wireResult, epsilon, epsilonServed float64, clamped, cached, coalesced, tighter bool, k int) *engine.Response {
 	scores := make(map[int]float64, len(w.Scores))
 	for _, s := range w.Scores {
 		scores[s.Node] = s.Score
 	}
+	if epsilonServed == 0 {
+		// Pre-adaptive shard hosts omit epsilon_effective; the request
+		// epsilon is then also the served one.
+		epsilonServed = epsilon
+	}
 	res := &core.Result{Source: w.Source, Scores: scores}
 	resp := &engine.Response{
-		Result:    res,
-		Epsilon:   epsilon,
-		Clamped:   clamped,
-		CacheHit:  cached,
-		Coalesced: coalesced,
+		Result:            res,
+		Epsilon:           epsilon,
+		EpsilonServed:     epsilonServed,
+		Clamped:           clamped,
+		CacheHit:          cached,
+		Coalesced:         coalesced,
+		ServedFromTighter: tighter,
 	}
 	if k != 0 {
 		resp.Top = res.TopK(k)
@@ -913,7 +930,8 @@ func (rs *RemoteShard) DoBatch(ctx context.Context, base Request, sources []int)
 			return nil, fmt.Errorf("shard %d: decoding response: %w", rs.index, err)
 		}
 		return []*engine.Response{
-			toResponse(single.wireResult, single.Epsilon, single.Clamped, single.Cached, single.Coalesced, base.K),
+			toResponse(single.wireResult, single.Epsilon, single.EpsilonEffective,
+				single.Clamped, single.Cached, single.Coalesced, single.ServedFromTighter, base.K),
 		}, nil
 	}
 	var batch wireBatch
@@ -927,7 +945,7 @@ func (rs *RemoteShard) DoBatch(ctx context.Context, base Request, sources []int)
 	}
 	out := make([]*engine.Response, len(batch.Results))
 	for i, w := range batch.Results {
-		out[i] = toResponse(w, batch.Epsilon, batch.Clamped, false, false, base.K)
+		out[i] = toResponse(w, batch.Epsilon, batch.Epsilon, batch.Clamped, false, false, false, base.K)
 	}
 	return out, nil
 }

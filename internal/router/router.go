@@ -588,6 +588,10 @@ func Aggregate(shards []engine.Stats) engine.Stats {
 		agg.Queries += s.Queries
 		agg.CacheHits += s.CacheHits
 		agg.Coalesced += s.Coalesced
+		agg.RangeCoalesced += s.RangeCoalesced
+		agg.EarlyStops += s.EarlyStops
+		agg.RoundsExecuted += s.RoundsExecuted
+		agg.RoundsBudget += s.RoundsBudget
 		agg.Shed += s.Shed
 		agg.QueueDepth += s.QueueDepth
 		agg.CacheEntries += s.CacheEntries

@@ -19,6 +19,26 @@ var ErrOverloaded = engine.ErrOverloaded
 // classify bad requests.
 var ErrInvalidEpsilon = core.ErrInvalidEpsilon
 
+// AdaptiveMode selects how a request's Monte Carlo sampling budget is
+// executed: fixed worst-case (AdaptiveOff), variance-based early termination
+// (AdaptiveOn), or the serving engine's configured default (AdaptiveAuto,
+// the zero value). See Request.Adaptive.
+type AdaptiveMode = engine.AdaptiveMode
+
+const (
+	// AdaptiveAuto (the zero value) defers to the engine's configured
+	// default (EngineOptions.AdaptiveDefault; fixed-budget unless enabled).
+	// Index.Do, which has no engine, treats it as AdaptiveOff.
+	AdaptiveAuto = engine.AdaptiveAuto
+	// AdaptiveOff pins the fixed worst-case sampling budget: bit-identical
+	// results to a stack that predates adaptive execution.
+	AdaptiveOff = engine.AdaptiveOff
+	// AdaptiveOn enables early termination: the query stops at the first
+	// confirmed round boundary where an empirical-Bernstein bound certifies
+	// the epsilon target, never past the worst-case budget.
+	AdaptiveOn = engine.AdaptiveOn
+)
+
 // Request is one unit of query work — the single parameter bundle the whole
 // stack shares: cmd/prsimserve decodes request bodies into it, Engine.Do
 // threads it through caching, coalescing and admission control, and Index.Do
@@ -55,6 +75,19 @@ type Request struct {
 	// bit-identical at every parallelism level — which is also why the hint
 	// is excluded from cache and coalescing identity.
 	Parallelism int
+	// Adaptive selects the sampling execution mode. AdaptiveOn lets the
+	// query terminate its Monte Carlo rounds early once a variance-based
+	// confidence bound certifies the epsilon target — typically a large
+	// latency win at unchanged accuracy guarantees — while AdaptiveOff pins
+	// the fixed worst-case budget (bit-identical to the pre-adaptive stack).
+	// AdaptiveAuto (the zero value) follows the engine's configured default.
+	// Adaptive execution stays deterministic: for a fixed index seed the
+	// stop round, and therefore every score bit, is identical at every
+	// parallelism level. The resolved mode is part of cache and coalescing
+	// identity, and adaptive requests may additionally be answered by a
+	// cached or in-flight computation at a *tighter* epsilon
+	// (Response.ServedFromTighter).
+	Adaptive AdaptiveMode
 	// Graph names the logical graph a Registry routes this request to; empty
 	// means DefaultGraph. Ignored by Index.Do and Engine.Do, which serve
 	// exactly one graph.
@@ -84,6 +117,7 @@ func (r Request) toEngine() engine.Request {
 		K:            r.K,
 		NoCache:      r.NoCache,
 		Parallelism:  r.Parallelism,
+		Adaptive:     r.Adaptive,
 		Class:        r.Class,
 		AllowPartial: r.AllowPartial,
 	}
@@ -100,12 +134,23 @@ type Response struct {
 	// Top is the top-K selection in descending score order, with labels
 	// resolved against the graph that answered; set when K != 0.
 	Top []ScoredNode
-	// Epsilon is the effective additive error bound the query ran at (the
-	// build epsilon, or the larger requested one).
+	// Epsilon is the effective additive error bound of the request: the build
+	// epsilon, or the larger requested one. It reflects what the caller asked
+	// for even when range coalescing answered from a tighter computation —
+	// see EpsilonServed.
 	Epsilon float64
+	// EpsilonServed is the epsilon the answering computation actually ran at.
+	// Equal to Epsilon except when an adaptive request was served from a
+	// cached or in-flight computation at a tighter epsilon, in which case
+	// EpsilonServed < Epsilon and ServedFromTighter is set.
+	EpsilonServed float64
 	// Clamped reports that the requested epsilon was below the index's build
 	// epsilon and was raised to it.
 	Clamped bool
+	// ServedFromTighter reports that an adaptive request was answered by a
+	// computation at a strictly tighter epsilon than requested (range
+	// coalescing) — strictly more accurate than asked for, never less.
+	ServedFromTighter bool
 	// CacheHit reports the result came from an engine's LRU cache.
 	CacheHit bool
 	// Coalesced reports the result was shared from an identical in-flight
@@ -124,7 +169,8 @@ func (idx *Index) Do(ctx context.Context, req Request) (*Response, error) {
 		// Auto without an engine's worker pool: the machine is the pool.
 		p = runtime.GOMAXPROCS(0)
 	}
-	q := core.QueryOptions{Epsilon: req.Epsilon, Parallelism: p}
+	// No engine means no configured default: Auto lowers to Off here.
+	q := core.QueryOptions{Epsilon: req.Epsilon, Parallelism: p, Adaptive: req.Adaptive == AdaptiveOn}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,7 +180,7 @@ func (idx *Index) Do(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 	pr := wrapResult(idx.g, res)
-	resp := &Response{Result: pr, Epsilon: eff.Epsilon, Clamped: clamped}
+	resp := &Response{Result: pr, Epsilon: eff.Epsilon, EpsilonServed: eff.Epsilon, Clamped: clamped}
 	if req.K != 0 {
 		resp.Top = pr.TopK(req.K)
 	}
@@ -172,10 +218,12 @@ func wrapResponse(cur *Graph, inner *engine.Response) *Response {
 		pg = wrapGraph(inner.Graph)
 	}
 	resp := &Response{
-		Epsilon:   inner.Epsilon,
-		Clamped:   inner.Clamped,
-		CacheHit:  inner.CacheHit,
-		Coalesced: inner.Coalesced,
+		Epsilon:           inner.Epsilon,
+		EpsilonServed:     inner.EpsilonServed,
+		Clamped:           inner.Clamped,
+		CacheHit:          inner.CacheHit,
+		Coalesced:         inner.Coalesced,
+		ServedFromTighter: inner.ServedFromTighter,
 	}
 	if inner.Result != nil {
 		resp.Result = wrapResult(pg, inner.Result)
@@ -202,6 +250,30 @@ func wrapResponse(cur *Graph, inner *engine.Response) *Response {
 // remaining queries are cancelled and the error is returned.
 func (e *Engine) DoBatch(ctx context.Context, base Request, sources []int) ([]*Response, error) {
 	inner, err := e.eng.DoBatch(ctx, base.toEngine(), sources)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Response, len(inner))
+	for i, r := range inner {
+		out[i] = e.wrapEngineResponse(r)
+	}
+	return out, nil
+}
+
+// DoBatchEach is DoBatch with fully heterogeneous entries: every request
+// carries its own source, epsilon, K, and adaptive mode, and the entries not
+// answered by the cache or an in-flight computation still fuse into one core
+// computation (each index level streamed once per batch, per-entry sampling
+// budgets). Entries behave exactly as if issued through Do — same bits, same
+// cache and coalescing semantics — including in-batch range coalescing: a
+// loose-epsilon adaptive entry may join a tighter entry of the same batch
+// rather than compute. Graph fields are ignored (an Engine serves one graph).
+func (e *Engine) DoBatchEach(ctx context.Context, reqs []Request) ([]*Response, error) {
+	ereqs := make([]engine.Request, len(reqs))
+	for i, r := range reqs {
+		ereqs[i] = r.toEngine()
+	}
+	inner, err := e.eng.DoBatchEach(ctx, ereqs)
 	if err != nil {
 		return nil, err
 	}

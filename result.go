@@ -78,6 +78,9 @@ func (r *Result) Stats() QueryStats {
 		IndexEntriesRead: s.IndexEntriesRead,
 		Chunks:           s.Chunks,
 		Parallelism:      s.Parallelism,
+		RoundsExecuted:   s.RoundsExecuted,
+		RoundsBudget:     s.RoundsBudget,
+		EarlyStopped:     s.EarlyStopped,
 		Seconds:          s.Time.Seconds(),
 	}
 }
@@ -99,6 +102,14 @@ type QueryStats struct {
 	// (1 = serial). Results are bit-identical at every parallelism level.
 	Chunks      int
 	Parallelism int
+	// RoundsExecuted is how many Monte Carlo median-trick rounds the query
+	// actually ran; RoundsBudget is the worst-case budget f_r = ⌈3·ln(n/δ)⌉
+	// it was allowed. EarlyStopped reports that adaptive execution stopped
+	// before the budget (RoundsExecuted < RoundsBudget); fixed-budget queries
+	// always execute the full budget.
+	RoundsExecuted int
+	RoundsBudget   int
+	EarlyStopped   bool
 	// Seconds is the wall-clock query time.
 	Seconds float64
 }
